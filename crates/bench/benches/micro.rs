@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the sequential substrate: Morpion move generation
+//! and playouts, NMCS levels, and baseline comparisons. These quantify
+//! the cost model feeding Table I and the calibration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use morpion::{cross_board, standard_5d, Variant};
+use nmcs_core::baselines::flat_monte_carlo;
+use nmcs_core::{nested, nrpa, sample, Game, NestedConfig, NrpaConfig, Rng};
+use nmcs_games::SameGame;
+use std::hint::black_box;
+
+fn bench_playout(c: &mut Criterion) {
+    let board = standard_5d();
+    let mut rng = Rng::seeded(1);
+    c.bench_function("morpion_5d_playout", |b| {
+        b.iter(|| black_box(sample(&board, &mut rng).score))
+    });
+
+    let board_t = morpion::standard_5t();
+    let mut rng_t = Rng::seeded(1);
+    c.bench_function("morpion_5t_playout", |b| {
+        b.iter(|| black_box(sample(&board_t, &mut rng_t).score))
+    });
+
+    let sg = SameGame::random(15, 15, 5, 3);
+    let mut rng_s = Rng::seeded(2);
+    c.bench_function("samegame_playout", |b| {
+        b.iter(|| black_box(sample(&sg, &mut rng_s).score))
+    });
+}
+
+fn bench_movegen(c: &mut Criterion) {
+    let board = standard_5d();
+    c.bench_function("morpion_clone", |b| b.iter(|| black_box(board.clone())));
+
+    c.bench_function("morpion_recompute_candidates", |b| {
+        b.iter(|| black_box(board.recompute_candidates().len()))
+    });
+
+    // Incremental update: play one (fixed) move on a fresh clone.
+    let mv = board.candidates()[0];
+    c.bench_function("morpion_play_move_incremental", |b| {
+        b.iter_batched(
+            || board.clone(),
+            |mut bd| {
+                bd.play_move(&mv);
+                black_box(bd.candidates().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested");
+    group.sample_size(10);
+
+    // The small cross keeps level-1 full searches affordable per sample.
+    let small = cross_board(Variant::Disjoint, 3);
+    let cfg = NestedConfig::paper();
+    let mut rng = Rng::seeded(7);
+    group.bench_function("level1_small_cross", |b| {
+        b.iter(|| black_box(nested(&small, 1, &cfg, &mut rng).score))
+    });
+
+    let standard = standard_5d();
+    let mut rng2 = Rng::seeded(7);
+    group.bench_function("level1_standard_cross", |b| {
+        b.iter(|| black_box(nested(&standard, 1, &cfg, &mut rng2).score))
+    });
+
+    // Flat Monte-Carlo with the playout budget of a level-1 search
+    // (quality comparison lives in the tables; here we time it).
+    let mut rng3 = Rng::seeded(7);
+    group.bench_function("flat_mc_700_playouts", |b| {
+        b.iter(|| black_box(flat_monte_carlo(&standard, 700, &mut rng3).score))
+    });
+    group.finish();
+}
+
+fn bench_legal_moves_buffer(c: &mut Criterion) {
+    // The workhorse-buffer pattern of the Game trait: enumerate legal
+    // moves without allocating per step.
+    let board = standard_5d();
+    let mut buf = Vec::with_capacity(64);
+    c.bench_function("morpion_legal_moves_into_buffer", |b| {
+        b.iter(|| {
+            buf.clear();
+            board.legal_moves(&mut buf);
+            black_box(buf.len())
+        })
+    });
+}
+
+fn bench_nrpa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nrpa");
+    group.sample_size(10);
+    let small = cross_board(Variant::Disjoint, 3);
+    let cfg = NrpaConfig { iterations: 20, alpha: 1.0 };
+    let mut rng = Rng::seeded(3);
+    group.bench_function("level2_n20_small_cross", |b| {
+        b.iter(|| black_box(nrpa(&small, 2, &cfg, &mut rng).score))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_playout,
+    bench_movegen,
+    bench_nested,
+    bench_legal_moves_buffer,
+    bench_nrpa
+);
+criterion_main!(benches);

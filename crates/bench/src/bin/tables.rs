@@ -1,0 +1,152 @@
+//! `tables` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! tables                         # everything at paper scale (default)
+//! tables --table 2               # just Table II
+//! tables --table 6               # Table VI (heterogeneous)
+//! tables --figure 1              # Figure 1 analogue
+//! tables --ablations             # A1/A2/A4/A5
+//! tables --scale real --table 2  # real recorded level-2 traces
+//! tables --seed 42 --out target/experiments
+//! ```
+
+use nmcs_bench::experiments::{Experiments, Scale};
+use parallel_nmcs::{DispatchPolicy, RunMode};
+use std::path::PathBuf;
+
+struct Args {
+    table: Option<u32>,
+    figure: Option<u32>,
+    ablations: bool,
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+    all: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        table: None,
+        figure: None,
+        ablations: false,
+        scale: Scale::Paper,
+        seed: 2009,
+        out: PathBuf::from("target/experiments"),
+        all: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--table" => {
+                args.table = Some(expect_val(&mut it, "--table").parse().expect("table number"));
+                args.all = false;
+            }
+            "--figure" => {
+                args.figure =
+                    Some(expect_val(&mut it, "--figure").parse().expect("figure number"));
+                args.all = false;
+            }
+            "--ablations" => {
+                args.ablations = true;
+                args.all = false;
+            }
+            "--scale" => {
+                args.scale = match expect_val(&mut it, "--scale").as_str() {
+                    "paper" => Scale::Paper,
+                    "real" => Scale::Real,
+                    other => panic!("unknown scale '{other}' (paper|real)"),
+                };
+            }
+            "--seed" => args.seed = expect_val(&mut it, "--seed").parse().expect("seed"),
+            "--out" => args.out = PathBuf::from(expect_val(&mut it, "--out")),
+            "--help" | "-h" => {
+                println!(
+                    "tables [--table N] [--figure 1] [--ablations] \
+                     [--scale paper|real] [--seed S] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument '{other}' (see --help)"),
+        }
+    }
+    args
+}
+
+fn expect_val(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("calibrating on this machine…");
+    let e = Experiments::new(args.seed, args.out.clone());
+    eprintln!(
+        "calibration: {:.0} ns/work-unit, mean playout {:.1} moves, level ratio x{:.0}\n",
+        e.cal.ns_per_unit, e.cal.mean_playout_len, e.cal.level_ratio
+    );
+
+    let run_table = |n: u32| match (n, args.scale) {
+        (1, _) => println!("{}", e.table1().render()),
+        (2, Scale::Paper) => {
+            println!("{}", e.paper_sweep(2, DispatchPolicy::RoundRobin, RunMode::FirstMove, 3).render());
+            println!("{}", e.paper_sweep(2, DispatchPolicy::RoundRobin, RunMode::FirstMove, 4).render());
+        }
+        (3, Scale::Paper) => {
+            println!("{}", e.paper_sweep(3, DispatchPolicy::RoundRobin, RunMode::FullGame, 3).render());
+            println!("{}", e.paper_sweep(3, DispatchPolicy::RoundRobin, RunMode::FullGame, 4).render());
+        }
+        (4, Scale::Paper) => {
+            println!("{}", e.paper_sweep(4, DispatchPolicy::LastMinute, RunMode::FirstMove, 3).render());
+            println!("{}", e.paper_sweep(4, DispatchPolicy::LastMinute, RunMode::FirstMove, 4).render());
+        }
+        (5, Scale::Paper) => {
+            println!("{}", e.paper_sweep(5, DispatchPolicy::LastMinute, RunMode::FullGame, 3).render());
+            println!("{}", e.paper_sweep(5, DispatchPolicy::LastMinute, RunMode::FullGame, 4).render());
+        }
+        (6, _) => {
+            println!("{}", e.table6(3).render());
+            println!("{}", e.table6(4).render());
+        }
+        (2, Scale::Real) => {
+            println!("{}", e.real_sweep(DispatchPolicy::RoundRobin, RunMode::FirstMove).render())
+        }
+        (3, Scale::Real) => {
+            println!("{}", e.real_sweep(DispatchPolicy::RoundRobin, RunMode::FullGame).render())
+        }
+        (4, Scale::Real) => {
+            println!("{}", e.real_sweep(DispatchPolicy::LastMinute, RunMode::FirstMove).render())
+        }
+        (5, Scale::Real) => {
+            println!("{}", e.real_sweep(DispatchPolicy::LastMinute, RunMode::FullGame).render())
+        }
+        (n, _) => panic!("no table {n}"),
+    };
+
+    if args.all {
+        for t in 1..=6 {
+            run_table(t);
+        }
+        let (art, _) = e.figure1();
+        println!("{art}");
+        println!("{}", e.ablation_order().render());
+        println!("{}", e.ablation_latency().render());
+        println!("{}", e.ablation_memory(5).render());
+        println!("{}", e.ablation_baselines().render());
+        println!("{}", e.ablation_nrpa().render());
+        return;
+    }
+    if let Some(t) = args.table {
+        run_table(t);
+    }
+    if args.figure == Some(1) {
+        let (art, _) = e.figure1();
+        println!("{art}");
+    }
+    if args.ablations {
+        println!("{}", e.ablation_order().render());
+        println!("{}", e.ablation_latency().render());
+        println!("{}", e.ablation_memory(5).render());
+        println!("{}", e.ablation_baselines().render());
+        println!("{}", e.ablation_nrpa().render());
+    }
+}

@@ -1,0 +1,16 @@
+//! # nmcs-bench — experiment harness
+//!
+//! Code that regenerates every table and figure of *"Parallel Nested
+//! Monte-Carlo Search"* plus the ablations of DESIGN.md. See the `tables`
+//! binary (`cargo run --release -p nmcs-bench --bin tables -- --help`) for
+//! the command-line interface and `benches/` for the criterion
+//! micro-benchmarks.
+
+pub mod calibrate;
+pub mod experiments;
+pub mod paper;
+pub mod report;
+
+pub use calibrate::{calibrate, fit_model, Calibration};
+pub use experiments::{fit_power, Experiments, Scale, CLIENT_SWEEP};
+pub use report::{persist, Table};

@@ -1,0 +1,115 @@
+//! The paper's published numbers (Tables I–VI), used as reference columns
+//! in the regenerated tables and by the shape-checking tests.
+//!
+//! All times in seconds. Parenthesised one-shot measurements in the paper
+//! are included as plain values.
+
+/// Table I — sequential algorithm.
+pub const T1_L3_FIRST_MOVE: u64 = 8 * 60 + 3; // 8m03s
+pub const T1_L3_ROLLOUT: u64 = 3600 + 7 * 60 + 33; // 1h07m33s
+pub const T1_L4_FIRST_MOVE: u64 = 28 * 3600 + 6; // 28h00m06s
+pub const T1_L4_ROLLOUT: u64 = 9 * 86_400 + 18 * 3600 + 58 * 60; // 09d18h58m
+
+/// Tables II–V — (clients, seconds); `None` entries were not run ("—").
+pub const T2_RR_FIRST_L3: &[(usize, u64)] =
+    &[(64, 10), (32, 20), (16, 37), (8, 71), (4, 142), (1, 547)];
+pub const T2_RR_FIRST_L4: &[(usize, u64)] = &[
+    (64, 33 * 60 + 11),
+    (32, 3600 + 4 * 60 + 44),
+    (16, 2 * 3600 + 10 * 60),
+    (1, 29 * 3600 + 56 * 60 + 14),
+];
+pub const T3_RR_ROLLOUT_L3: &[(usize, u64)] = &[
+    (64, 112),
+    (32, 188),
+    (16, 322),
+    (8, 618),
+    (4, 21 * 60 + 41),
+    (1, 3600 + 26 * 60 + 28),
+];
+pub const T3_RR_ROLLOUT_L4: &[(usize, u64)] =
+    &[(64, 5 * 3600 + 9 * 60 + 16), (32, 6 * 3600 + 31 * 60)];
+pub const T4_LM_FIRST_L3: &[(usize, u64)] =
+    &[(64, 9), (32, 19), (16, 37), (8, 72), (4, 143), (1, 9 * 60 + 30)];
+pub const T4_LM_FIRST_L4: &[(usize, u64)] = &[
+    (64, 27 * 60 + 20),
+    (32, 59 * 60 + 44),
+    (16, 2 * 3600 + 5 * 60 + 17),
+    (1, 33 * 3600 + 6 * 60 + 57),
+];
+pub const T5_LM_ROLLOUT_L3: &[(usize, u64)] = &[
+    (64, 92),
+    (32, 163),
+    (16, 5 * 60 + 35),
+    (8, 11 * 60 + 33),
+    (4, 19 * 60 + 51),
+    (1, 3600 + 31 * 60 + 40),
+];
+pub const T5_LM_ROLLOUT_L4: &[(usize, u64)] =
+    &[(64, 4 * 3600 + 10 * 60 + 9), (32, 6 * 3600 + 58 * 60 + 21)];
+
+/// Table VI — ((repartition, policy, level), seconds).
+pub const T6: &[(&str, &str, u32, u64)] = &[
+    ("16x4+16x2", "LM", 3, 14),
+    ("16x4+16x2", "RR", 3, 16),
+    ("8x4+8x2", "LM", 3, 18),
+    ("8x4+8x2", "RR", 3, 25),
+    ("16x4+16x2", "LM", 4, 28 * 60 + 37),
+    ("16x4+16x2", "RR", 4, 45 * 60 + 17),
+    ("8x4+8x2", "LM", 4, 58 * 60 + 21),
+    ("8x4+8x2", "RR", 4, 3600 + 24 * 60 + 11),
+];
+
+/// Headline speedups quoted in the abstract / §V.
+pub const SPEEDUP_64_CLIENTS_FIRST_MOVE: f64 = 56.0;
+pub const SPEEDUP_64_CLIENTS_ROLLOUT_RR: f64 = 44.0;
+pub const SPEEDUP_32_CLIENTS_L3: f64 = 29.8;
+
+/// Looks up a paper time for a client count in one of the sweep tables.
+pub fn paper_time(table: &[(usize, u64)], clients: usize) -> Option<u64> {
+    table.iter().find(|(c, _)| *c == clients).map(|(_, t)| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_level_ratio_is_about_207() {
+        // §V: "level 4 takes approximately 207 times more time than
+        // level 3" (first move).
+        let ratio = T1_L4_FIRST_MOVE as f64 / T1_L3_FIRST_MOVE as f64;
+        assert!((200.0..215.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn paper_rollout_is_about_9x_first_move() {
+        let ratio = T1_L3_ROLLOUT as f64 / T1_L3_FIRST_MOVE as f64;
+        assert!((8.0..10.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn paper_speedup_at_64_clients_is_about_56() {
+        let t1 = paper_time(T2_RR_FIRST_L3, 1).unwrap() as f64;
+        let t64 = paper_time(T2_RR_FIRST_L3, 64).unwrap() as f64;
+        let s = t1 / t64;
+        assert!((52.0..58.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn paper_lm_beats_rr_on_heterogeneous_level_4() {
+        let lm: Vec<u64> =
+            T6.iter().filter(|r| r.1 == "LM" && r.2 == 4).map(|r| r.3).collect();
+        let rr: Vec<u64> =
+            T6.iter().filter(|r| r.1 == "RR" && r.2 == 4).map(|r| r.3).collect();
+        for (l, r) in lm.iter().zip(rr.iter()) {
+            assert!(l < r, "LM {l} vs RR {r}");
+        }
+    }
+
+    #[test]
+    fn lookup_finds_existing_and_rejects_missing() {
+        assert_eq!(paper_time(T2_RR_FIRST_L3, 64), Some(10));
+        assert_eq!(paper_time(T2_RR_FIRST_L4, 8), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! Plain-text table rendering in the paper's style, plus JSON persistence
+//! of raw experiment data.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A rendered experiment table: a title, column headers, and rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (header, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{header:<w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{cell:<w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// Writes any serialisable experiment payload as pretty JSON under
+/// `dir/name.json`, creating the directory if needed.
+pub fn persist<T: Serialize>(dir: &Path, name: &str, payload: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(payload).expect("serialisable payload");
+    std::fs::write(path, json)
+}
+
+/// Formats a speedup for table cells.
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["clients", "time"]);
+        t.row(&["1".into(), "09m07s".into()]);
+        t.row(&["64".into(), "10s".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[3].starts_with("1 "));
+        assert!(lines[4].starts_with("64"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn persist_writes_json() {
+        let dir = std::env::temp_dir().join("pnmcs_report_test");
+        persist(&dir, "demo", &vec![1, 2, 3]).unwrap();
+        let back = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        assert!(back.contains('1'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(fmt_speedup(56.04), "56.0x");
+    }
+}

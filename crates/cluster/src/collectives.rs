@@ -1,0 +1,232 @@
+//! MPI-style collective operations over [`Endpoint`]s.
+//!
+//! The paper's program uses the master/slave model over
+//! `MPI_COMM_WORLD`; besides point-to-point sends it relies on the usual
+//! collective idioms (startup broadcast, result gather, shutdown
+//! barrier). These helpers implement them with the same star topology an
+//! MPI implementation would use for small worlds: a designated root rank
+//! coordinates.
+//!
+//! Every participant must call the *same* collective with the *same*
+//! root; like MPI, mismatched collectives deadlock (the runtime cannot
+//! diagnose that for you).
+
+use crate::{Endpoint, Tagged};
+
+/// Wrapper protocol for collectives, generic over the user payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Collective<M> {
+    /// A user point-to-point message.
+    User(M),
+    /// Barrier: arrival notification / release token.
+    BarrierArrive,
+    BarrierRelease,
+    /// Broadcast payload.
+    Bcast(M),
+    /// Gather contribution.
+    Gather(M),
+}
+
+impl<M: Tagged> Tagged for Collective<M> {
+    fn tag(&self) -> &'static str {
+        match self {
+            Collective::User(m) => m.tag(),
+            Collective::BarrierArrive => "BarrierArrive",
+            Collective::BarrierRelease => "BarrierRelease",
+            Collective::Bcast(_) => "Bcast",
+            Collective::Gather(_) => "Gather",
+        }
+    }
+}
+
+/// Blocks until every rank has entered the barrier rooted at `root`.
+///
+/// Non-root ranks send an arrival notice and wait for the release; the
+/// root collects `world_size − 1` notices then releases everyone.
+pub fn barrier<M: Send + Tagged>(ep: &mut Endpoint<Collective<M>>, root: usize) {
+    let n = ep.world_size();
+    if ep.rank() == root {
+        let mut arrived = 0;
+        while arrived < n - 1 {
+            let env = ep.recv_matching(|e| matches!(e.msg, Collective::BarrierArrive));
+            debug_assert!(matches!(env.msg, Collective::BarrierArrive));
+            arrived += 1;
+        }
+        for r in 0..n {
+            if r != root {
+                ep.send(r, Collective::BarrierRelease);
+            }
+        }
+    } else {
+        ep.send(root, Collective::BarrierArrive);
+        let _ = ep.recv_matching(|e| matches!(e.msg, Collective::BarrierRelease));
+    }
+}
+
+/// Broadcasts `value` from `root` to every rank; returns each rank's copy.
+pub fn broadcast<M: Send + Tagged + Clone>(
+    ep: &mut Endpoint<Collective<M>>,
+    root: usize,
+    value: Option<M>,
+) -> M {
+    if ep.rank() == root {
+        let v = value.expect("root must supply the broadcast value");
+        for r in 0..ep.world_size() {
+            if r != root {
+                ep.send(r, Collective::Bcast(v.clone()));
+            }
+        }
+        v
+    } else {
+        let env = ep.recv_matching(|e| matches!(e.msg, Collective::Bcast(_)));
+        match env.msg {
+            Collective::Bcast(v) => v,
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Gathers one value per rank at `root`; returns `Some(values)` on the
+/// root (indexed by rank) and `None` elsewhere.
+pub fn gather<M: Send + Tagged>(
+    ep: &mut Endpoint<Collective<M>>,
+    root: usize,
+    value: M,
+) -> Option<Vec<M>> {
+    let n = ep.world_size();
+    if ep.rank() == root {
+        let mut slots: Vec<Option<M>> = (0..n).map(|_| None).collect();
+        slots[root] = Some(value);
+        for _ in 0..n - 1 {
+            let env = ep.recv_matching(|e| matches!(e.msg, Collective::Gather(_)));
+            let from = env.from;
+            match env.msg {
+                Collective::Gather(v) => {
+                    debug_assert!(slots[from].is_none(), "duplicate gather from {from}");
+                    slots[from] = Some(v);
+                }
+                _ => unreachable!(),
+            }
+        }
+        Some(slots.into_iter().map(|s| s.expect("all ranks contribute")).collect())
+    } else {
+        ep.send(root, Collective::Gather(value));
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+    use std::thread;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Num(u64);
+
+    impl Tagged for Num {
+        fn tag(&self) -> &'static str {
+            "Num"
+        }
+    }
+
+    fn spawn_world<F>(n: usize, f: F) -> Vec<thread::JoinHandle<()>>
+    where
+        F: Fn(Endpoint<Collective<Num>>) + Send + Sync + Clone + 'static,
+    {
+        let mut world = World::<Collective<Num>>::new(n);
+        (0..n)
+            .map(|r| {
+                let ep = world.take_endpoint(r);
+                let f = f.clone();
+                thread::spawn(move || f(ep))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn barrier_synchronises_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        let handles = spawn_world(6, move |mut ep| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            barrier(&mut ep, 0);
+            // After the barrier everyone must have incremented.
+            assert_eq!(c2.load(Ordering::SeqCst), 6);
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_rank() {
+        let handles = spawn_world(5, |mut ep| {
+            let v = if ep.rank() == 2 {
+                broadcast(&mut ep, 2, Some(Num(77)))
+            } else {
+                broadcast(&mut ep, 2, None)
+            };
+            assert_eq!(v, Num(77));
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let handles = spawn_world(4, |mut ep| {
+            let rank = ep.rank() as u64;
+            let gathered = gather(&mut ep, 0, Num(rank * 10));
+            if ep.rank() == 0 {
+                let values = gathered.expect("root receives");
+                assert_eq!(values, vec![Num(0), Num(10), Num(20), Num(30)]);
+            } else {
+                assert!(gathered.is_none());
+            }
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn collectives_compose_in_sequence() {
+        // broadcast → compute → gather → barrier, several rounds.
+        let handles = spawn_world(4, |mut ep| {
+            for round in 0..3u64 {
+                let base = if ep.rank() == 0 {
+                    broadcast(&mut ep, 0, Some(Num(round * 100)))
+                } else {
+                    broadcast(&mut ep, 0, None)
+                };
+                let mine = Num(base.0 + ep.rank() as u64);
+                let gathered = gather(&mut ep, 0, mine);
+                if let Some(values) = gathered {
+                    for (r, v) in values.iter().enumerate() {
+                        assert_eq!(v.0, round * 100 + r as u64);
+                    }
+                }
+                barrier(&mut ep, 0);
+            }
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn user_messages_pass_through_collective_wrapper() {
+        let mut world = World::<Collective<Num>>::new(2);
+        let a = world.take_endpoint(0);
+        let mut b = world.take_endpoint(1);
+        a.send(1, Collective::User(Num(5)));
+        let env = b.recv();
+        assert_eq!(env.msg, Collective::User(Num(5)));
+        assert_eq!(env.msg.tag(), "Num");
+    }
+}

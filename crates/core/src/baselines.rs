@@ -1,0 +1,383 @@
+//! Baseline search algorithms.
+//!
+//! The paper positions NMCS against simpler Monte-Carlo strategies and
+//! against the previous Morpion Solitaire record holder, a simulated
+//! annealing search (Hyyrö & Poranen 2007, reference \[16\]; best computer
+//! score 79 before the paper's 80). These baselines serve two purposes:
+//!
+//! * they are the comparators for the "NMCS amplifies plain Monte-Carlo"
+//!   claim (§I), benchmarked in the ablation suite, and
+//! * their simplicity makes them good cross-checks in tests (on toy games
+//!   with known optima every search must agree).
+
+use crate::game::{Game, Score};
+use crate::rng::Rng;
+use crate::search::{sample_into, SearchResult};
+use crate::stats::SearchStats;
+
+/// Flat Monte-Carlo search: play `n` independent random games from `game`
+/// and keep the best.
+///
+/// This is the "simple Monte-Carlo search" that nested search improves on
+/// (§I). With the same playout budget as a level-1 NMCS it is markedly
+/// weaker, which the `flat_vs_nested` bench quantifies.
+pub fn flat_monte_carlo<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchResult<G::Move> {
+    assert!(n > 0, "flat_monte_carlo needs at least one playout");
+    let mut stats = SearchStats::new();
+    let mut best_score = Score::MIN;
+    let mut best_seq: Vec<G::Move> = Vec::new();
+    let mut seq: Vec<G::Move> = Vec::new();
+    for _ in 0..n {
+        seq.clear();
+        let mut g = game.clone();
+        let score = sample_into(&mut g, rng, None, &mut seq, &mut stats);
+        if score > best_score {
+            best_score = score;
+            best_seq.clear();
+            best_seq.extend(seq.iter().cloned());
+        }
+    }
+    SearchResult { score: best_score, sequence: best_seq, stats }
+}
+
+/// Iterated sampling: at each step of one game, sample `n` random playouts
+/// per candidate move and play the move with the best *maximum* playout.
+///
+/// Equivalent to a level-1 NMCS when `n == 1` except for the absence of
+/// sequence memory; with larger `n` it is the classic "rollout algorithm"
+/// of Tesauro & Galperin applied with a uniform random base policy.
+pub fn iterated_sampling<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchResult<G::Move> {
+    assert!(n > 0, "iterated_sampling needs at least one playout per move");
+    let mut stats = SearchStats::new();
+    let mut pos = game.clone();
+    let mut played: Vec<G::Move> = Vec::new();
+    let mut moves: Vec<G::Move> = Vec::new();
+    let mut seq: Vec<G::Move> = Vec::new();
+    loop {
+        moves.clear();
+        pos.legal_moves(&mut moves);
+        if moves.is_empty() {
+            break;
+        }
+        let mut best: Option<(Score, usize)> = None;
+        for (i, mv) in moves.iter().enumerate() {
+            for _ in 0..n {
+                let mut child = pos.clone();
+                child.play(mv);
+                stats.record_expansion();
+                seq.clear();
+                let s = sample_into(&mut child, rng, None, &mut seq, &mut stats);
+                if best.is_none_or(|(bs, _)| s > bs) {
+                    best = Some((s, i));
+                }
+            }
+        }
+        let (_, idx) = best.expect("non-empty move list");
+        let mv = moves[idx].clone();
+        pos.play(&mv);
+        played.push(mv);
+        stats.record_nested_move();
+    }
+    SearchResult { score: pos.score(), sequence: played, stats }
+}
+
+/// Configuration for the [`simulated_annealing`] baseline.
+#[derive(Debug, Clone)]
+pub struct AnnealingConfig {
+    /// Total iterations (neighbour proposals).
+    pub iterations: usize,
+    /// Initial temperature, in score units.
+    pub t_initial: f64,
+    /// Final temperature; the schedule is geometric between the two.
+    pub t_final: f64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        Self { iterations: 10_000, t_initial: 4.0, t_final: 0.05 }
+    }
+}
+
+/// Simulated annealing over *decision vectors*, in the spirit of Hyyrö &
+/// Poranen's Morpion Solitaire heuristic (paper reference \[16\]).
+///
+/// A candidate solution is the list of branch indices chosen at each step
+/// of a game (the "decision vector"); replaying it is deterministic: step
+/// `k` plays `legal_moves()[d_k mod |moves|]`. A neighbour is produced by
+/// re-randomising one decision at a random depth and keeping the suffix
+/// (whose interpretation shifts with the new prefix — the classic encoding
+/// for permutation-free games). Standard Metropolis acceptance with a
+/// geometric cooling schedule.
+pub fn simulated_annealing<G: Game>(
+    game: &G,
+    config: &AnnealingConfig,
+    rng: &mut Rng,
+) -> SearchResult<G::Move> {
+    let mut stats = SearchStats::new();
+
+    // Long enough for any bounded game we ship; decisions beyond the game
+    // end are simply unused.
+    const DECISIONS: usize = 512;
+    let mut current: Vec<u32> = (0..DECISIONS).map(|_| rng.next_u64() as u32).collect();
+
+    let replay = |decisions: &[u32], stats: &mut SearchStats| -> (Score, Vec<G::Move>) {
+        let mut pos = game.clone();
+        let mut moves: Vec<G::Move> = Vec::new();
+        let mut seq: Vec<G::Move> = Vec::new();
+        for &d in decisions {
+            moves.clear();
+            pos.legal_moves(&mut moves);
+            if moves.is_empty() {
+                break;
+            }
+            let mv = moves[(d as usize) % moves.len()].clone();
+            pos.play(&mv);
+            seq.push(mv);
+            stats.record_playout_move();
+        }
+        stats.record_playout_end();
+        (pos.score(), seq)
+    };
+
+    let (mut cur_score, mut cur_seq) = replay(&current, &mut stats);
+    let mut best_score = cur_score;
+    let mut best_seq = cur_seq.clone();
+
+    let iters = config.iterations.max(1);
+    let cooling = (config.t_final / config.t_initial).powf(1.0 / iters as f64);
+    let mut temp = config.t_initial;
+
+    for _ in 0..iters {
+        let depth = rng.below(cur_seq.len().max(1));
+        let old = current[depth];
+        current[depth] = rng.next_u64() as u32;
+        let (score, seq) = replay(&current, &mut stats);
+        let accept = score >= cur_score
+            || rng.chance((((score - cur_score) as f64) / temp.max(1e-9)).exp());
+        if accept {
+            cur_score = score;
+            cur_seq = seq;
+            if score > best_score {
+                best_score = score;
+                best_seq = cur_seq.clone();
+            }
+        } else {
+            current[depth] = old;
+        }
+        temp *= cooling;
+    }
+
+    SearchResult { score: best_score, sequence: best_seq, stats }
+}
+
+/// Beam search over playout-evaluated moves: keep the `width` best
+/// positions per depth, evaluating each candidate child with `n` random
+/// playouts. A deterministic, memory-bounded contrast to NMCS used in the
+/// ablation benches.
+pub fn beam_search<G: Game>(
+    game: &G,
+    width: usize,
+    n: usize,
+    rng: &mut Rng,
+) -> SearchResult<G::Move> {
+    assert!(width > 0 && n > 0);
+    let mut stats = SearchStats::new();
+    let mut beam: Vec<(G, Vec<G::Move>)> = vec![(game.clone(), Vec::new())];
+    let mut best_score = game.score();
+    let mut best_seq: Vec<G::Move> = Vec::new();
+    let mut moves: Vec<G::Move> = Vec::new();
+    let mut seq: Vec<G::Move> = Vec::new();
+
+    loop {
+        let mut children: Vec<(Score, G, Vec<G::Move>)> = Vec::new();
+        for (pos, path) in &beam {
+            moves.clear();
+            pos.legal_moves(&mut moves);
+            for mv in &moves {
+                let mut child = pos.clone();
+                child.play(mv);
+                stats.record_expansion();
+                // Evaluate with the best of n playouts.
+                let mut value = Score::MIN;
+                for _ in 0..n {
+                    let mut probe = child.clone();
+                    seq.clear();
+                    let s = sample_into(&mut probe, rng, None, &mut seq, &mut stats);
+                    value = value.max(s);
+                }
+                let mut path2 = path.clone();
+                path2.push(mv.clone());
+                if child.score() > best_score {
+                    best_score = child.score();
+                    best_seq = path2.clone();
+                }
+                children.push((value, child, path2));
+            }
+        }
+        if children.is_empty() {
+            break;
+        }
+        children.sort_by_key(|c| std::cmp::Reverse(c.0));
+        children.truncate(width);
+        beam = children.into_iter().map(|(_, g, p)| (g, p)).collect();
+    }
+
+    SearchResult { score: best_score, sequence: best_seq, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Depth-`d` ternary game scoring the base-3 reading of the path; the
+    /// unique optimum plays move 2 every step.
+    #[derive(Clone, Debug)]
+    struct Ternary {
+        depth: usize,
+        taken: Vec<u8>,
+    }
+
+    impl Game for Ternary {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            if self.taken.len() < self.depth {
+                out.extend_from_slice(&[0, 1, 2]);
+            }
+        }
+        fn play(&mut self, mv: &u8) {
+            self.taken.push(*mv);
+        }
+        fn score(&self) -> Score {
+            self.taken.iter().fold(0, |acc, &m| acc * 3 + m as Score)
+        }
+        fn moves_played(&self) -> usize {
+            self.taken.len()
+        }
+    }
+
+    fn ternary(depth: usize) -> Ternary {
+        Ternary { depth, taken: Vec::new() }
+    }
+
+    fn optimum(depth: usize) -> Score {
+        (0..depth).fold(0, |acc, _| acc * 3 + 2)
+    }
+
+    #[test]
+    fn flat_mc_improves_with_budget() {
+        let g = ternary(4);
+        let few = flat_monte_carlo(&g, 2, &mut Rng::seeded(1)).score;
+        let many = flat_monte_carlo(&g, 512, &mut Rng::seeded(1)).score;
+        assert!(many >= few);
+        assert!(many > optimum(4) / 2, "512 samples of 81 leaves should land high");
+    }
+
+    #[test]
+    fn flat_mc_sequence_is_replayable() {
+        let g = ternary(5);
+        let r = flat_monte_carlo(&g, 16, &mut Rng::seeded(9));
+        let mut replay = ternary(5);
+        for mv in &r.sequence {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), r.score);
+        assert_eq!(r.stats.playouts, 16);
+    }
+
+    #[test]
+    fn iterated_sampling_beats_flat_mc_with_same_order_of_budget() {
+        let trials = 20;
+        let mut flat_total = 0;
+        let mut iter_total = 0;
+        for seed in 0..trials {
+            let g = ternary(5);
+            // iterated sampling with n=3: 5 steps × 3 moves × 3 playouts ≈ 45
+            flat_total += flat_monte_carlo(&g, 45, &mut Rng::seeded(seed)).score;
+            iter_total += iterated_sampling(&g, 3, &mut Rng::seeded(seed)).score;
+        }
+        assert!(
+            iter_total > flat_total,
+            "iterated {iter_total} should beat flat {flat_total}"
+        );
+    }
+
+    #[test]
+    fn iterated_sampling_sequence_consistent() {
+        let g = ternary(4);
+        let r = iterated_sampling(&g, 2, &mut Rng::seeded(3));
+        let mut replay = ternary(4);
+        for mv in &r.sequence {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), r.score);
+        assert_eq!(r.sequence.len(), 4);
+    }
+
+    #[test]
+    fn annealing_finds_good_solutions_on_small_game() {
+        let g = ternary(4);
+        let cfg = AnnealingConfig { iterations: 3000, t_initial: 8.0, t_final: 0.01 };
+        let r = simulated_annealing(&g, &cfg, &mut Rng::seeded(7));
+        assert!(
+            r.score >= optimum(4) - 3,
+            "annealing should get near optimum {}, got {}",
+            optimum(4),
+            r.score
+        );
+        let mut replay = ternary(4);
+        for mv in &r.sequence {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), r.score);
+    }
+
+    #[test]
+    fn annealing_on_terminal_game_is_harmless() {
+        let g = ternary(0);
+        let cfg = AnnealingConfig { iterations: 10, ..Default::default() };
+        let r = simulated_annealing(&g, &cfg, &mut Rng::seeded(1));
+        assert_eq!(r.score, 0);
+        assert!(r.sequence.is_empty());
+    }
+
+    #[test]
+    fn beam_search_solves_small_game_with_wide_beam() {
+        let g = ternary(3);
+        let r = beam_search(&g, 27, 1, &mut Rng::seeded(2));
+        assert_eq!(r.score, optimum(3), "width 27 covers the whole tree");
+        let mut replay = ternary(3);
+        for mv in &r.sequence {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), r.score);
+    }
+
+    #[test]
+    fn beam_search_narrow_beam_still_returns_consistent_result() {
+        let g = ternary(5);
+        let r = beam_search(&g, 2, 2, &mut Rng::seeded(4));
+        let mut replay = ternary(5);
+        for mv in &r.sequence {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), r.score);
+    }
+
+    #[test]
+    fn baselines_deterministic_given_seed() {
+        let g = ternary(4);
+        assert_eq!(
+            flat_monte_carlo(&g, 10, &mut Rng::seeded(5)).score,
+            flat_monte_carlo(&g, 10, &mut Rng::seeded(5)).score
+        );
+        assert_eq!(
+            iterated_sampling(&g, 2, &mut Rng::seeded(5)).sequence,
+            iterated_sampling(&g, 2, &mut Rng::seeded(5)).sequence
+        );
+        let cfg = AnnealingConfig { iterations: 200, ..Default::default() };
+        assert_eq!(
+            simulated_annealing(&g, &cfg, &mut Rng::seeded(5)).score,
+            simulated_annealing(&g, &cfg, &mut Rng::seeded(5)).score
+        );
+    }
+}

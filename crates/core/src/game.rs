@@ -1,0 +1,118 @@
+//! The [`Game`] abstraction searched by NMCS.
+//!
+//! The paper's algorithms are described for single-agent score-maximisation
+//! problems ("the algorithm tries to find the sequence of moves that
+//! maximizes \[the score\]", §III). The trait below captures exactly what
+//! `sample` and `nested` need: cheap position cloning, legal move
+//! enumeration, move application, and a score.
+
+/// The score of a game; the search maximises it.
+///
+/// Integer scores make the per-move `argmax` exact and deterministic —
+/// important because the parallel backends must agree bit-for-bit with the
+/// sequential search. Domains with fractional objectives should scale them
+/// to integers (e.g. TSP tour lengths in integer units).
+pub type Score = i64;
+
+/// A single-agent, perfect-information, finite game searched by NMCS.
+///
+/// Implementations must satisfy:
+///
+/// * **Determinism** — `play` is a pure state transition; `legal_moves`
+///   and `score` depend only on the current state.
+/// * **Finiteness** — every playout reaches a state with no legal moves in
+///   a bounded number of steps (Morpion games are bounded by the grid,
+///   SameGame by the number of tiles, …).
+/// * **Cheap `Clone`** — `nested` clones the position once per candidate
+///   move per step; a flat memcpy-style clone keeps level-3+ searches
+///   affordable.
+pub trait Game: Clone {
+    /// The move type. `Clone + PartialEq` suffice for sequence memoisation.
+    type Move: Clone + PartialEq + std::fmt::Debug;
+
+    /// Appends every legal move of the current position to `out`.
+    ///
+    /// `out` is a caller-provided workhorse buffer (cleared by the caller)
+    /// so hot playout loops do not allocate per step.
+    fn legal_moves(&self, out: &mut Vec<Self::Move>);
+
+    /// Applies a legal move to the position.
+    ///
+    /// Passing a move that is not currently legal is a logic error; the
+    /// implementation may panic or corrupt the game state (debug builds of
+    /// the bundled games panic).
+    fn play(&mut self, mv: &Self::Move);
+
+    /// The score of the current position; compared at terminal states.
+    ///
+    /// For Morpion Solitaire this is the number of moves played, so the
+    /// score is monotone along a game. That monotonicity is *not* required
+    /// by the search.
+    fn score(&self) -> Score;
+
+    /// Number of moves played from the initial position.
+    ///
+    /// The Last-Minute dispatcher uses this as its expected-remaining-time
+    /// estimate (paper §IV-B: "the expected computation time is estimated
+    /// with the number of moves already played").
+    fn moves_played(&self) -> usize;
+
+    /// Whether the game is over (no legal moves).
+    ///
+    /// The default enumerates moves into a scratch vector; implementations
+    /// with a cached candidate list should override it.
+    fn is_terminal(&self) -> bool {
+        let mut buf = Vec::new();
+        self.legal_moves(&mut buf);
+        buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal game used to exercise the default `is_terminal`.
+    #[derive(Clone)]
+    struct Countdown(u32);
+
+    impl Game for Countdown {
+        type Move = ();
+        fn legal_moves(&self, out: &mut Vec<()>) {
+            if self.0 > 0 {
+                out.push(());
+            }
+        }
+        fn play(&mut self, _: &()) {
+            self.0 -= 1;
+        }
+        fn score(&self) -> Score {
+            -(self.0 as Score)
+        }
+        fn moves_played(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_is_terminal_matches_move_list() {
+        assert!(!Countdown(2).is_terminal());
+        assert!(Countdown(0).is_terminal());
+    }
+
+    #[test]
+    fn playing_to_the_end_terminates() {
+        let mut g = Countdown(5);
+        let mut buf = Vec::new();
+        let mut steps = 0;
+        loop {
+            buf.clear();
+            g.legal_moves(&mut buf);
+            let Some(mv) = buf.first().cloned() else { break };
+            g.play(&mv);
+            steps += 1;
+        }
+        assert_eq!(steps, 5);
+        assert_eq!(g.score(), 0);
+    }
+}

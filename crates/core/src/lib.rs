@@ -1,0 +1,58 @@
+//! # nmcs-core — Sequential Nested Monte-Carlo Search
+//!
+//! This crate implements §III of *"Parallel Nested Monte-Carlo Search"*
+//! (Cazenave & Jouandeau, NIDISC/IPDPS 2009): the generic [`Game`]
+//! abstraction, the random [`sample`] playout, the nested
+//! rollout search [`nested`] with memorised best sequence,
+//! and the baselines the paper's related-work section measures against
+//! (flat Monte-Carlo, iterated sampling, beam search and a simulated
+//! annealing baseline in the spirit of Hyyrö & Poranen's pre-paper Morpion
+//! record).
+//!
+//! Everything is deterministic given a seed: randomness flows exclusively
+//! through the self-contained [`rng`] module (SplitMix64 seeding feeding a
+//! xoshiro256★★ generator), so that parallel and simulated backends in the
+//! companion crates can reproduce byte-identical searches.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nmcs_core::{Game, Score, rng::Rng, search::{nested, NestedConfig}};
+//!
+//! // A toy game: walk 4 steps left (0) or right (1); score = # of rights.
+//! #[derive(Clone)]
+//! struct Walk { taken: Vec<u8> }
+//! impl Game for Walk {
+//!     type Move = u8;
+//!     fn legal_moves(&self, out: &mut Vec<u8>) {
+//!         if self.taken.len() < 4 { out.extend_from_slice(&[0, 1]); }
+//!     }
+//!     fn play(&mut self, mv: &u8) { self.taken.push(*mv); }
+//!     fn score(&self) -> Score {
+//!         self.taken.iter().map(|&m| m as Score).sum()
+//!     }
+//!     fn moves_played(&self) -> usize { self.taken.len() }
+//! }
+//!
+//! let game = Walk { taken: vec![] };
+//! let mut rng = Rng::seeded(42);
+//! let result = nested(&game, 1, &NestedConfig::default(), &mut rng);
+//! assert_eq!(result.score, 4); // level-1 NMCS solves this toy game
+//! ```
+
+pub mod baselines;
+pub mod driver;
+pub mod game;
+pub mod nrpa;
+pub mod rng;
+pub mod search;
+pub mod stats;
+pub mod uct;
+
+pub use driver::{drive, Budget, DriveReport};
+pub use game::{Game, Score};
+pub use nrpa::{nrpa, CodedGame, NrpaConfig, Policy};
+pub use rng::Rng;
+pub use search::{nested, sample, MemoryPolicy, NestedConfig, SearchResult};
+pub use stats::SearchStats;
+pub use uct::{uct, UctConfig};

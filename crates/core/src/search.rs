@@ -1,0 +1,516 @@
+//! The paper's §III: random sampling and Nested Monte-Carlo Search.
+//!
+//! Two entry points:
+//!
+//! * [`sample`] — "the basic sample function just plays a random game from
+//!   a given position" and returns its score (and the sequence it played).
+//! * [`nested`] — "the nested rollout function plays a game, choosing at
+//!   each step of the game the move that has the highest score of the
+//!   lower level nested rollout", with the *memorised best sequence*
+//!   behaviour of the paper's pseudocode (lines 7–11): whenever a
+//!   lower-level evaluation beats the best score seen so far in this call,
+//!   the whole continuation is memorised, and the game always advances
+//!   along the memorised sequence.
+//!
+//! The memorisation matters: at high levels most per-step evaluations fail
+//! to beat the incumbent, and without the memory the search would discard
+//! the good continuation it has already paid to discover. The
+//! [`MemoryPolicy::Greedy`] variant reproduces the *parallel* pseudocode of
+//! §IV, which plays the per-step argmax without cross-step memory — the
+//! difference is measured by an ablation benchmark.
+
+use crate::game::{Game, Score};
+use crate::rng::Rng;
+use crate::stats::SearchStats;
+
+/// Outcome of a search: the best score found and the move sequence that
+/// realises it (from the position the search was called on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult<M> {
+    /// Best score found.
+    pub score: Score,
+    /// Moves realising `score`, in play order from the root position.
+    pub sequence: Vec<M>,
+    /// Instrumentation counters for this call (including sub-searches).
+    pub stats: SearchStats,
+}
+
+/// How `nested` advances its game between steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryPolicy {
+    /// Follow the globally best sequence found so far in this call
+    /// (sequential pseudocode, §III lines 7–11). The default.
+    #[default]
+    Memorise,
+    /// Play the best move of the *current* step only (parallel pseudocode,
+    /// §IV: root and median processes play "the move with best score").
+    Greedy,
+}
+
+/// Tunables for [`nested`].
+#[derive(Debug, Clone)]
+pub struct NestedConfig {
+    /// Cross-step memory policy.
+    pub memory: MemoryPolicy,
+    /// Hard cap on the number of moves a single random playout may make;
+    /// `None` plays to termination. Used by scaled-down experiments, never
+    /// by the paper-faithful ones.
+    pub playout_cap: Option<usize>,
+}
+
+impl Default for NestedConfig {
+    fn default() -> Self {
+        Self { memory: MemoryPolicy::Memorise, playout_cap: None }
+    }
+}
+
+impl NestedConfig {
+    /// Paper-faithful configuration (memorised sequence, uncapped playouts).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Greedy per-step configuration matching the parallel pseudocode.
+    pub fn greedy() -> Self {
+        Self { memory: MemoryPolicy::Greedy, playout_cap: None }
+    }
+}
+
+/// Plays a uniformly random game from `game` (mutating it to the terminal
+/// position), appends the moves played to `seq`, and returns the final
+/// score.
+///
+/// This is the paper's `sample` function; `cap` bounds the playout length
+/// for scaled experiments (`None` = play to the end).
+pub fn sample_into<G: Game>(
+    game: &mut G,
+    rng: &mut Rng,
+    cap: Option<usize>,
+    seq: &mut Vec<G::Move>,
+    stats: &mut SearchStats,
+) -> Score {
+    let mut buf: Vec<G::Move> = Vec::new();
+    let mut steps = 0usize;
+    loop {
+        if let Some(c) = cap {
+            if steps >= c {
+                break;
+            }
+        }
+        buf.clear();
+        game.legal_moves(&mut buf);
+        if buf.is_empty() {
+            break;
+        }
+        let mv = buf.swap_remove(rng.below(buf.len()));
+        game.play(&mv);
+        seq.push(mv);
+        stats.record_playout_move();
+        steps += 1;
+    }
+    stats.record_playout_end();
+    game.score()
+}
+
+/// Plays a uniformly random game from a copy of `game` and returns the
+/// result. Convenience wrapper over [`sample_into`].
+pub fn sample<G: Game>(game: &G, rng: &mut Rng) -> SearchResult<G::Move> {
+    let mut stats = SearchStats::new();
+    let mut seq = Vec::new();
+    let mut g = game.clone();
+    let score = sample_into(&mut g, rng, None, &mut seq, &mut stats);
+    SearchResult { score, sequence: seq, stats }
+}
+
+/// Nested Monte-Carlo Search at `level` from `game`.
+///
+/// * `level == 0` degenerates to a single random playout (useful as a
+///   baseline; the paper starts at level 1).
+/// * `level == 1` evaluates each candidate move with one random playout.
+/// * `level >= 2` evaluates each candidate move with a `level - 1` search.
+///
+/// Returns the best score found, the full move sequence realising it, and
+/// the accumulated statistics. With [`MemoryPolicy::Memorise`] the returned
+/// score equals the score of the position reached by replaying the returned
+/// sequence.
+pub fn nested<G: Game>(
+    game: &G,
+    level: u32,
+    config: &NestedConfig,
+    rng: &mut Rng,
+) -> SearchResult<G::Move> {
+    let mut stats = SearchStats::new();
+    let (score, sequence) = nested_inner(game, level, config, rng, &mut stats);
+    SearchResult { score, sequence, stats }
+}
+
+fn nested_inner<G: Game>(
+    game: &G,
+    level: u32,
+    config: &NestedConfig,
+    rng: &mut Rng,
+    stats: &mut SearchStats,
+) -> (Score, Vec<G::Move>) {
+    if level == 0 {
+        let mut g = game.clone();
+        let mut seq = Vec::new();
+        let score = sample_into(&mut g, rng, config.playout_cap, &mut seq, stats);
+        return (score, seq);
+    }
+
+    let mut pos = game.clone();
+    // `best_seq[..played]` is the prefix already played by this call;
+    // `best_seq[played..]` is the memorised best continuation.
+    let mut best_seq: Vec<G::Move> = Vec::new();
+    let mut played = 0usize;
+    let mut best_score = Score::MIN;
+    let mut moves: Vec<G::Move> = Vec::new();
+    // Workhorse buffer reused by level-1 playout evaluations.
+    let mut scratch_seq: Vec<G::Move> = Vec::new();
+
+    loop {
+        moves.clear();
+        pos.legal_moves(&mut moves);
+        if moves.is_empty() {
+            break;
+        }
+
+        let mut step_best: Option<(Score, usize)> = None;
+        for (i, mv) in moves.iter().enumerate() {
+            let mut child = pos.clone();
+            child.play(mv);
+            stats.record_expansion();
+
+            let (score, continuation) = if level == 1 {
+                scratch_seq.clear();
+                let s =
+                    sample_into(&mut child, rng, config.playout_cap, &mut scratch_seq, stats);
+                (s, &scratch_seq)
+            } else {
+                let (s, seq) = nested_inner(&child, level - 1, config, rng, stats);
+                scratch_seq = seq;
+                (s, &scratch_seq)
+            };
+
+            // Track the best move of *this step* (for the greedy policy) …
+            if step_best.is_none_or(|(s, _)| score > s) {
+                step_best = Some((score, i));
+            }
+            // … and the best sequence of the *whole call* (paper lines 7–9).
+            if score > best_score {
+                best_score = score;
+                best_seq.truncate(played);
+                best_seq.push(mv.clone());
+                best_seq.extend(continuation.iter().cloned());
+            }
+        }
+
+        // Paper lines 10–11: play the next move of the memorised best
+        // sequence. Fallbacks: the greedy policy always plays this step's
+        // argmax, and a capped search whose memorised (capped) continuation
+        // is exhausted must extend it with the step argmax.
+        let follow_memory =
+            config.memory == MemoryPolicy::Memorise && played < best_seq.len();
+        let next = if follow_memory {
+            best_seq[played].clone()
+        } else {
+            let (_, idx) = step_best.expect("non-empty move list");
+            let mv = moves[idx].clone();
+            // Keep best_seq aligned with the actually-played prefix; the
+            // incumbent continuation (if any) is abandoned.
+            if best_seq.len() <= played || best_seq[played] != mv {
+                best_seq.truncate(played);
+                best_seq.push(mv.clone());
+                best_score = Score::MIN;
+            }
+            mv
+        };
+        pos.play(&next);
+        played += 1;
+        stats.record_nested_move();
+    }
+
+    if played > 0 && config.memory == MemoryPolicy::Memorise && config.playout_cap.is_none() {
+        debug_assert_eq!(
+            best_score,
+            pos.score(),
+            "memorised sequence must reach the memorised score"
+        );
+        debug_assert_eq!(played, best_seq.len());
+    }
+    // The game was advanced to a true terminal position along
+    // `best_seq[..played]`, so the pair below is consistent by construction
+    // under every policy (and equals the memorised optimum in the
+    // paper-faithful configuration, per the assertions above).
+    best_seq.truncate(played);
+    (pos.score(), best_seq)
+}
+
+/// Evaluates every legal move of `game` with a `level`-search and returns
+/// `(move, result)` pairs in move-list order.
+///
+/// This is the decomposition point the parallel algorithms exploit: the
+/// root process farms one entry per move to the median processes, and each
+/// median farms its own entries to clients (paper §IV). Keeping it here
+/// lets the parallel crates and the sequential search share evaluation
+/// semantics (including seed derivation order).
+pub fn evaluate_moves<G: Game>(
+    game: &G,
+    level: u32,
+    config: &NestedConfig,
+    seeds: impl Fn(usize) -> u64,
+) -> Vec<(G::Move, SearchResult<G::Move>)> {
+    let mut moves = Vec::new();
+    game.legal_moves(&mut moves);
+    moves
+        .into_iter()
+        .enumerate()
+        .map(|(i, mv)| {
+            let mut child = game.clone();
+            child.play(&mv);
+            let mut rng = Rng::seeded(seeds(i));
+            let res = if level == 0 {
+                let mut stats = SearchStats::new();
+                let mut seq = Vec::new();
+                let mut g = child.clone();
+                let score = sample_into(&mut g, &mut rng, config.playout_cap, &mut seq, &mut stats);
+                SearchResult { score, sequence: seq, stats }
+            } else {
+                nested(&child, level, config, &mut rng)
+            };
+            (mv, res)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Binary-decision toy game with a unique optimal line: at each of
+    /// `depth` steps choose 0 or 1; the score is the number of 1s, but a 1
+    /// is only counted when all earlier choices were 1 too. Greedy per-step
+    /// play and random play both solve it; it sanity-checks plumbing.
+    #[derive(Clone, Debug)]
+    struct AllOnes {
+        depth: usize,
+        taken: Vec<u8>,
+    }
+
+    impl Game for AllOnes {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            if self.taken.len() < self.depth {
+                out.extend_from_slice(&[0, 1]);
+            }
+        }
+        fn play(&mut self, mv: &u8) {
+            self.taken.push(*mv);
+        }
+        fn score(&self) -> Score {
+            let mut s = 0;
+            for &m in &self.taken {
+                if m == 1 {
+                    s += 1;
+                } else {
+                    break;
+                }
+            }
+            s
+        }
+        fn moves_played(&self) -> usize {
+            self.taken.len()
+        }
+    }
+
+    /// A trap game where per-step greedy evaluation backed by a *single*
+    /// random playout is unreliable, but memorising the best full sequence
+    /// guarantees the returned score is achieved by the returned sequence.
+    #[derive(Clone, Debug)]
+    struct Trap {
+        taken: Vec<u8>,
+    }
+
+    impl Game for Trap {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            if self.taken.len() < 3 {
+                out.extend_from_slice(&[0, 1, 2]);
+            }
+        }
+        fn play(&mut self, mv: &u8) {
+            self.taken.push(*mv);
+        }
+        fn score(&self) -> Score {
+            // Base-3 reading of the path; unique maximum at [2,2,2].
+            self.taken.iter().fold(0, |acc, &m| acc * 3 + m as Score)
+        }
+        fn moves_played(&self) -> usize {
+            self.taken.len()
+        }
+    }
+
+    fn fresh(depth: usize) -> AllOnes {
+        AllOnes { depth, taken: Vec::new() }
+    }
+
+    #[test]
+    fn sample_reaches_terminal_and_reports_consistent_sequence() {
+        let g = fresh(6);
+        let mut rng = Rng::seeded(1);
+        let r = sample(&g, &mut rng);
+        assert_eq!(r.sequence.len(), 6);
+        assert_eq!(r.stats.playouts, 1);
+        assert_eq!(r.stats.playout_moves, 6);
+        // Replaying the sequence reproduces the score.
+        let mut replay = fresh(6);
+        for mv in &r.sequence {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), r.score);
+    }
+
+    #[test]
+    fn nested_level1_solves_small_games() {
+        let g = fresh(5);
+        let mut rng = Rng::seeded(7);
+        let r = nested(&g, 1, &NestedConfig::paper(), &mut rng);
+        assert_eq!(r.score, 5, "level-1 NMCS should find the all-ones line");
+        assert_eq!(r.sequence, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn nested_level2_solves_trap_game() {
+        let g = Trap { taken: vec![] };
+        let mut rng = Rng::seeded(3);
+        let r = nested(&g, 2, &NestedConfig::paper(), &mut rng);
+        assert_eq!(r.score, 26, "optimum is [2,2,2] scoring 2*9+2*3+2");
+        assert_eq!(r.sequence, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn memorised_score_matches_replayed_sequence_on_every_seed() {
+        for seed in 0..50 {
+            let g = Trap { taken: vec![] };
+            let mut rng = Rng::seeded(seed);
+            let r = nested(&g, 1, &NestedConfig::paper(), &mut rng);
+            let mut replay = Trap { taken: vec![] };
+            for mv in &r.sequence {
+                replay.play(mv);
+            }
+            assert_eq!(replay.score(), r.score, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_policy_returns_played_game_score() {
+        for seed in 0..20 {
+            let g = Trap { taken: vec![] };
+            let mut rng = Rng::seeded(seed);
+            let r = nested(&g, 1, &NestedConfig::greedy(), &mut rng);
+            let mut replay = Trap { taken: vec![] };
+            for mv in &r.sequence {
+                replay.play(mv);
+            }
+            assert_eq!(replay.score(), r.score, "seed {seed}");
+            assert_eq!(r.sequence.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = Trap { taken: vec![] };
+        let a = nested(&g, 2, &NestedConfig::paper(), &mut Rng::seeded(11));
+        let b = nested(&g, 2, &NestedConfig::paper(), &mut Rng::seeded(11));
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.sequence, b.sequence);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn level0_is_a_single_playout() {
+        let g = fresh(4);
+        let r = nested(&g, 0, &NestedConfig::paper(), &mut Rng::seeded(5));
+        assert_eq!(r.stats.playouts, 1);
+        assert_eq!(r.sequence.len(), 4);
+    }
+
+    #[test]
+    fn nested_on_terminal_position_returns_empty_sequence() {
+        let g = fresh(0);
+        let r = nested(&g, 2, &NestedConfig::paper(), &mut Rng::seeded(1));
+        assert_eq!(r.score, 0);
+        assert!(r.sequence.is_empty());
+    }
+
+    #[test]
+    fn playout_cap_limits_sample_length() {
+        let g = fresh(100);
+        let mut stats = SearchStats::new();
+        let mut seq = Vec::new();
+        let mut game = g.clone();
+        let mut rng = Rng::seeded(2);
+        sample_into(&mut game, &mut rng, Some(10), &mut seq, &mut stats);
+        assert_eq!(seq.len(), 10);
+        assert_eq!(stats.playout_moves, 10);
+    }
+
+    #[test]
+    fn higher_level_never_worse_on_average() {
+        // NMCS's defining property: level k+1 amplifies level k. On the
+        // trap game, average over seeds must improve (strictly, here).
+        let avg = |level: u32| -> f64 {
+            (0..40)
+                .map(|seed| {
+                    let g = Trap { taken: vec![] };
+                    nested(&g, level, &NestedConfig::paper(), &mut Rng::seeded(seed)).score as f64
+                })
+                .sum::<f64>()
+                / 40.0
+        };
+        let l0 = avg(0);
+        let l1 = avg(1);
+        let l2 = avg(2);
+        assert!(l1 > l0, "level1 {l1} should beat level0 {l0}");
+        assert!(l2 >= l1, "level2 {l2} should not be worse than level1 {l1}");
+        assert_eq!(l2, 26.0, "level 2 solves the 27-leaf trap exactly");
+    }
+
+    #[test]
+    fn evaluate_moves_orders_and_seeds_deterministically() {
+        let g = Trap { taken: vec![] };
+        let seeds = |i: usize| 1000 + i as u64;
+        let a = evaluate_moves(&g, 1, &NestedConfig::paper(), seeds);
+        let b = evaluate_moves(&g, 1, &NestedConfig::paper(), seeds);
+        assert_eq!(a.len(), 3);
+        for ((ma, ra), (mb, rb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ma, mb);
+            assert_eq!(ra.score, rb.score);
+            assert_eq!(ra.sequence, rb.sequence);
+        }
+        // Moves come back in legal_moves order.
+        assert_eq!(a[0].0, 0);
+        assert_eq!(a[1].0, 1);
+        assert_eq!(a[2].0, 2);
+    }
+
+    #[test]
+    fn evaluate_moves_level0_uses_single_playouts() {
+        let g = Trap { taken: vec![] };
+        let evals = evaluate_moves(&g, 0, &NestedConfig::paper(), |i| i as u64);
+        for (_, r) in &evals {
+            assert_eq!(r.stats.playouts, 1);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_recursion() {
+        let g = Trap { taken: vec![] };
+        let r = nested(&g, 2, &NestedConfig::paper(), &mut Rng::seeded(4));
+        // Level 2 over a 3-ary depth-3 game: 3 steps at top; each expansion
+        // triggers a level-1 search. There must be strictly more playouts
+        // than top-level expansions.
+        assert!(r.stats.playouts > r.stats.expansions / 2);
+        assert!(r.stats.work_units >= r.stats.playout_moves + r.stats.nested_moves);
+    }
+}

@@ -1,0 +1,272 @@
+//! Single-agent UCT — the Monte-Carlo tree search the paper's related
+//! work parallelises (§II cites four parallel-MCTS papers).
+//!
+//! NMCS and UCT are the two families of Monte-Carlo search for
+//! single-agent optimisation; the paper argues for nested rollouts on
+//! problems "that have a large state space and no good heuristics".
+//! This module provides the classic comparator: a UCT tree over the
+//! maximisation game, with single-player adaptations:
+//!
+//! * rewards are normalised running averages of playout scores, plus a
+//!   max-score memory per node (single-player UCT à la Schadd et al.:
+//!   tracking the best playout matters more than the mean when only the
+//!   best line counts);
+//! * the final answer replays the best sequence *found during any
+//!   playout*, not the visit-count path, matching how the NMCS results
+//!   are scored.
+
+use crate::game::{Game, Score};
+use crate::rng::Rng;
+use crate::search::SearchResult;
+use crate::stats::SearchStats;
+
+/// UCT tunables.
+#[derive(Debug, Clone)]
+pub struct UctConfig {
+    /// Playout budget (tree iterations).
+    pub iterations: usize,
+    /// Exploration constant for the normalised-mean term.
+    pub exploration: f64,
+    /// Mixing weight of the node's best-seen score against its mean
+    /// (single-player modification; `0` = plain UCT).
+    pub max_bias: f64,
+}
+
+impl Default for UctConfig {
+    fn default() -> Self {
+        Self { iterations: 1_000, exploration: 0.4, max_bias: 0.5 }
+    }
+}
+
+struct Node<M> {
+    /// Move that led here (None for the root).
+    mv: Option<M>,
+    children: Vec<usize>,
+    /// Moves not yet expanded.
+    unexpanded: Vec<M>,
+    visits: u64,
+    total: f64,
+    best: Score,
+    expanded: bool,
+}
+
+/// Runs UCT from `game` and returns the best playout found.
+pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult<G::Move> {
+    let mut stats = SearchStats::new();
+    let mut nodes: Vec<Node<G::Move>> = vec![Node {
+        mv: None,
+        children: Vec::new(),
+        unexpanded: Vec::new(),
+        visits: 0,
+        total: 0.0,
+        best: Score::MIN,
+        expanded: false,
+    }];
+
+    let mut best_score = Score::MIN;
+    let mut best_seq: Vec<G::Move> = Vec::new();
+    // Running bounds for reward normalisation.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+
+    let mut moves_buf: Vec<G::Move> = Vec::new();
+    for _ in 0..config.iterations.max(1) {
+        let mut pos = game.clone();
+        let mut path = vec![0usize];
+        let mut seq: Vec<G::Move> = Vec::new();
+
+        // ---- selection ----
+        loop {
+            let id = *path.last().expect("path non-empty");
+            if !nodes[id].expanded {
+                moves_buf.clear();
+                pos.legal_moves(&mut moves_buf);
+                nodes[id].unexpanded = moves_buf.clone();
+                nodes[id].expanded = true;
+                // Shuffle once so expansion order is unbiased.
+                let n = nodes[id].unexpanded.len();
+                for i in (1..n).rev() {
+                    let j = rng.below(i + 1);
+                    nodes[id].unexpanded.swap(i, j);
+                }
+            }
+            // Expand one child if any remain.
+            if let Some(mv) = nodes[id].unexpanded.pop() {
+                pos.play(&mv);
+                seq.push(mv.clone());
+                stats.record_expansion();
+                let child = nodes.len();
+                nodes.push(Node {
+                    mv: Some(mv),
+                    children: Vec::new(),
+                    unexpanded: Vec::new(),
+                    visits: 0,
+                    total: 0.0,
+                    best: Score::MIN,
+                    expanded: false,
+                });
+                nodes[id].children.push(child);
+                path.push(child);
+                break;
+            }
+            if nodes[id].children.is_empty() {
+                break; // terminal
+            }
+            // UCB over children with normalised means + max bias.
+            let span = (hi - lo).max(1.0);
+            let ln_n = ((nodes[id].visits.max(1)) as f64).ln();
+            let mut best_child = nodes[id].children[0];
+            let mut best_val = f64::NEG_INFINITY;
+            for &c in &nodes[id].children {
+                let n = &nodes[c];
+                let mean = (n.total / n.visits.max(1) as f64 - lo) / span;
+                let maxv = (n.best as f64 - lo) / span;
+                let explore =
+                    config.exploration * (ln_n / n.visits.max(1) as f64).sqrt();
+                let val = (1.0 - config.max_bias) * mean
+                    + config.max_bias * maxv
+                    + explore;
+                if val > best_val {
+                    best_val = val;
+                    best_child = c;
+                }
+            }
+            let mv = nodes[best_child].mv.clone().expect("non-root");
+            pos.play(&mv);
+            seq.push(mv);
+            stats.record_nested_move();
+            path.push(best_child);
+        }
+
+        // ---- rollout ----
+        let score =
+            crate::search::sample_into(&mut pos, rng, None, &mut seq, &mut stats);
+        let s = score as f64;
+        lo = lo.min(s);
+        hi = hi.max(s);
+
+        // ---- backpropagation ----
+        for &id in &path {
+            let n = &mut nodes[id];
+            n.visits += 1;
+            n.total += s;
+            n.best = n.best.max(score);
+        }
+
+        if score > best_score {
+            best_score = score;
+            best_seq = seq;
+        }
+    }
+
+    SearchResult { score: best_score, sequence: best_seq, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::flat_monte_carlo;
+
+    /// Depth-`d` ternary game, unique optimum all-2s.
+    #[derive(Clone, Debug)]
+    struct Ternary {
+        depth: usize,
+        taken: Vec<u8>,
+    }
+
+    impl Game for Ternary {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            if self.taken.len() < self.depth {
+                out.extend_from_slice(&[0, 1, 2]);
+            }
+        }
+        fn play(&mut self, mv: &u8) {
+            self.taken.push(*mv);
+        }
+        fn score(&self) -> Score {
+            self.taken.iter().fold(0, |acc, &m| acc * 3 + m as Score)
+        }
+        fn moves_played(&self) -> usize {
+            self.taken.len()
+        }
+    }
+
+    fn optimum(d: usize) -> Score {
+        (0..d).fold(0, |acc, _| acc * 3 + 2)
+    }
+
+    #[test]
+    fn uct_solves_small_games() {
+        let g = Ternary { depth: 4, taken: vec![] };
+        let cfg = UctConfig { iterations: 2_000, ..Default::default() };
+        let r = uct(&g, &cfg, &mut Rng::seeded(1));
+        assert_eq!(r.score, optimum(4));
+    }
+
+    #[test]
+    fn uct_sequences_replay_to_their_score() {
+        for seed in 0..10 {
+            let g = Ternary { depth: 5, taken: vec![] };
+            let cfg = UctConfig { iterations: 200, ..Default::default() };
+            let r = uct(&g, &cfg, &mut Rng::seeded(seed));
+            let mut replay = g.clone();
+            for mv in &r.sequence {
+                replay.play(mv);
+            }
+            assert_eq!(replay.score(), r.score, "seed {seed}");
+            assert_eq!(r.sequence.len(), 5);
+        }
+    }
+
+    #[test]
+    fn uct_beats_flat_mc_at_equal_budget() {
+        let g = Ternary { depth: 6, taken: vec![] };
+        let budget = 300;
+        let trials = 20;
+        let mut uct_total = 0;
+        let mut flat_total = 0;
+        for seed in 0..trials {
+            let cfg = UctConfig { iterations: budget, ..Default::default() };
+            uct_total += uct(&g, &cfg, &mut Rng::seeded(seed)).score;
+            flat_total += flat_monte_carlo(&g, budget, &mut Rng::seeded(seed)).score;
+        }
+        assert!(
+            uct_total > flat_total,
+            "UCT ({uct_total}) should beat flat MC ({flat_total}) over {trials} trials"
+        );
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt() {
+        let g = Ternary { depth: 5, taken: vec![] };
+        let score_at = |iters: usize| {
+            (0..10)
+                .map(|s| {
+                    let cfg = UctConfig { iterations: iters, ..Default::default() };
+                    uct(&g, &cfg, &mut Rng::seeded(s)).score
+                })
+                .sum::<Score>()
+        };
+        assert!(score_at(1_000) >= score_at(30));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = Ternary { depth: 4, taken: vec![] };
+        let cfg = UctConfig { iterations: 100, ..Default::default() };
+        let a = uct(&g, &cfg, &mut Rng::seeded(9));
+        let b = uct(&g, &cfg, &mut Rng::seeded(9));
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.sequence, b.sequence);
+    }
+
+    #[test]
+    fn terminal_root_is_handled() {
+        let g = Ternary { depth: 0, taken: vec![] };
+        let cfg = UctConfig { iterations: 10, ..Default::default() };
+        let r = uct(&g, &cfg, &mut Rng::seeded(1));
+        assert_eq!(r.score, 0);
+        assert!(r.sequence.is_empty());
+    }
+}

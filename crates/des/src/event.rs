@@ -1,0 +1,147 @@
+//! The event queue: time-ordered with stable FIFO tie-breaking.
+
+use crate::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-queue of `(time, payload)` events.
+///
+/// Events with equal timestamps pop in insertion order (a monotone
+/// sequence number breaks ties), which makes every simulation built on it
+/// deterministic — crucial for the cross-backend agreement tests.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    last_popped: Time,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, last_popped: 0 }
+    }
+
+    /// Schedules `payload` at absolute virtual time `time`.
+    pub fn push(&mut self, time: Time, payload: E) {
+        debug_assert!(
+            time >= self.last_popped,
+            "scheduling into the past: {time} < {}",
+            self.last_popped
+        );
+        self.heap.push(Reverse(Entry { time, seq: self.seq, payload }));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event. The simulation clock is the returned time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.last_popped = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10, 1);
+        q.push(5, 0);
+        assert_eq!(q.pop(), Some((5, 0)));
+        q.push(7, 2);
+        q.push(12, 3);
+        assert_eq!(q.pop(), Some((7, 2)));
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((12, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_the_past_is_caught() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push(5, ());
+    }
+}

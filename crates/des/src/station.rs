@@ -1,0 +1,187 @@
+//! A simulated client process: speed factor + implicit FIFO queue.
+
+use crate::timeline::Timeline;
+use crate::Time;
+
+/// One client process of the simulated cluster.
+///
+/// Jobs are *work demands* in abstract work units (the instrumented search
+/// counts them; see `nmcs_core::SearchStats::work_units`). A station
+/// executes one job at a time at `speed` units per unit-time of a
+/// speed-1.0 client; jobs assigned while busy queue FIFO — this models the
+/// paper's client processes, which serve requests one after another, and
+/// is what makes blind Round-Robin assignment waste time on a loaded or
+/// slow client while others idle.
+#[derive(Debug, Clone)]
+pub struct ServiceStation {
+    speed: f64,
+    busy_until: Time,
+    busy_time: Time,
+    jobs_done: u64,
+    total_queue_wait: Time,
+    timeline: Option<Timeline>,
+}
+
+impl ServiceStation {
+    /// Creates an idle station with the given relative speed (> 0).
+    pub fn new(speed: f64) -> Self {
+        assert!(speed > 0.0, "station speed must be positive");
+        Self {
+            speed,
+            busy_until: 0,
+            busy_time: 0,
+            jobs_done: 0,
+            total_queue_wait: 0,
+            timeline: None,
+        }
+    }
+
+    /// Like [`ServiceStation::new`], additionally recording every service
+    /// interval for Gantt rendering (costs memory per job; off by
+    /// default).
+    pub fn new_recording(speed: f64) -> Self {
+        let mut s = Self::new(speed);
+        s.timeline = Some(Timeline::new());
+        s
+    }
+
+    /// The recorded timeline, if recording was enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Relative speed factor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// When the station next becomes idle.
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Whether the station is idle at time `now`.
+    pub fn idle_at(&self, now: Time) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Converts a work demand into this station's service duration.
+    pub fn service_time(&self, demand_units: u64, ns_per_unit: f64) -> Time {
+        ((demand_units as f64 * ns_per_unit / self.speed).round() as Time).max(1)
+    }
+
+    /// Assigns a job at time `now`; returns its completion time.
+    ///
+    /// If the station is busy the job starts when the current backlog
+    /// drains (FIFO).
+    pub fn assign(&mut self, now: Time, demand_units: u64, ns_per_unit: f64) -> Time {
+        let start = self.busy_until.max(now);
+        let dur = self.service_time(demand_units, ns_per_unit);
+        self.total_queue_wait += start - now;
+        self.busy_until = start + dur;
+        self.busy_time += dur;
+        self.jobs_done += 1;
+        if let Some(tl) = &mut self.timeline {
+            tl.record(start, self.busy_until);
+        }
+        self.busy_until
+    }
+
+    /// Total time spent serving jobs.
+    pub fn busy_time(&self) -> Time {
+        self.busy_time
+    }
+
+    /// Number of jobs served.
+    pub fn jobs_done(&self) -> u64 {
+        self.jobs_done
+    }
+
+    /// Sum over jobs of the time spent waiting in this station's queue.
+    pub fn total_queue_wait(&self) -> Time {
+        self.total_queue_wait
+    }
+
+    /// Utilisation over the window `[0, horizon]`.
+    pub fn utilisation(&self, horizon: Time) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            self.busy_time as f64 / horizon as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_station_starts_jobs_immediately() {
+        let mut s = ServiceStation::new(1.0);
+        let done = s.assign(100, 50, 1.0);
+        assert_eq!(done, 150);
+        assert_eq!(s.total_queue_wait(), 0);
+        assert_eq!(s.jobs_done(), 1);
+    }
+
+    #[test]
+    fn busy_station_queues_fifo() {
+        let mut s = ServiceStation::new(1.0);
+        assert_eq!(s.assign(0, 100, 1.0), 100);
+        // Arrives at t=10 but must wait until 100.
+        assert_eq!(s.assign(10, 100, 1.0), 200);
+        assert_eq!(s.total_queue_wait(), 90);
+        assert!(!s.idle_at(150));
+        assert!(s.idle_at(200));
+    }
+
+    #[test]
+    fn faster_stations_finish_sooner() {
+        let mut slow = ServiceStation::new(0.5);
+        let mut fast = ServiceStation::new(2.0);
+        assert_eq!(slow.assign(0, 100, 1.0), 200);
+        assert_eq!(fast.assign(0, 100, 1.0), 50);
+    }
+
+    #[test]
+    fn service_time_rounds_and_never_zero() {
+        let s = ServiceStation::new(3.0);
+        assert_eq!(s.service_time(1, 0.1), 1, "sub-unit demands clamp to 1");
+        assert_eq!(s.service_time(300, 1.0), 100);
+    }
+
+    #[test]
+    fn utilisation_reflects_busy_fraction() {
+        let mut s = ServiceStation::new(1.0);
+        s.assign(0, 250, 1.0);
+        assert!((s.utilisation(1000) - 0.25).abs() < 1e-9);
+        assert_eq!(s.utilisation(0), 0.0);
+    }
+
+    #[test]
+    fn busy_time_accumulates_across_jobs() {
+        let mut s = ServiceStation::new(1.0);
+        s.assign(0, 10, 1.0);
+        s.assign(0, 20, 1.0);
+        s.assign(100, 5, 1.0);
+        assert_eq!(s.busy_time(), 35);
+        assert_eq!(s.jobs_done(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        let _ = ServiceStation::new(0.0);
+    }
+
+    #[test]
+    fn recording_station_tracks_intervals() {
+        let mut s = ServiceStation::new_recording(1.0);
+        s.assign(0, 10, 1.0);
+        s.assign(0, 5, 1.0); // queues behind the first
+        let tl = s.timeline().expect("recording on");
+        assert_eq!(tl.intervals(), &[(0, 10), (10, 15)]);
+        assert!(ServiceStation::new(1.0).timeline().is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Simulation output statistics.
+
+use crate::{ServiceStation, Time};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate results of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Virtual time at which the last result reached its consumer.
+    pub makespan: Time,
+    /// Total jobs executed.
+    pub jobs: u64,
+    /// Total work units executed.
+    pub total_work: u64,
+    /// Mean client utilisation over `[0, makespan]`.
+    pub mean_utilisation: f64,
+    /// Minimum and maximum client utilisation.
+    pub min_utilisation: f64,
+    pub max_utilisation: f64,
+    /// Mean time jobs spent waiting in client queues.
+    pub mean_queue_wait: f64,
+}
+
+impl SimStats {
+    /// Collects statistics from the stations after a run.
+    pub fn collect(stations: &[ServiceStation], makespan: Time, total_work: u64) -> Self {
+        assert!(!stations.is_empty());
+        let jobs: u64 = stations.iter().map(|s| s.jobs_done()).sum();
+        let utils: Vec<f64> = stations.iter().map(|s| s.utilisation(makespan)).collect();
+        let mean_utilisation = utils.iter().sum::<f64>() / utils.len() as f64;
+        let min_utilisation = utils.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_utilisation = utils.iter().copied().fold(0.0, f64::max);
+        let total_wait: Time = stations.iter().map(|s| s.total_queue_wait()).sum();
+        let mean_queue_wait = if jobs == 0 { 0.0 } else { total_wait as f64 / jobs as f64 };
+        Self {
+            makespan,
+            jobs,
+            total_work,
+            mean_utilisation,
+            min_utilisation,
+            max_utilisation,
+            mean_queue_wait,
+        }
+    }
+
+    /// Speedup relative to a given single-client reference time.
+    pub fn speedup(&self, single_client: Time) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            single_client as f64 / self.makespan as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_aggregates_utilisation_and_waits() {
+        let mut a = ServiceStation::new(1.0);
+        let mut b = ServiceStation::new(1.0);
+        a.assign(0, 100, 1.0); // busy 100
+        b.assign(0, 50, 1.0); // busy 50
+        b.assign(0, 50, 1.0); // queued 50, busy 50 more
+        let mut c = ServiceStation::new(1.0);
+        c.assign(0, 50, 1.0); // busy 50
+        let stats = SimStats::collect(&[a, b, c], 200, 250);
+        assert_eq!(stats.jobs, 4);
+        // Utilisations over 200: a = 0.5, b = 0.5, c = 0.25.
+        assert!((stats.mean_utilisation - 0.41666666).abs() < 1e-6, "{}", stats.mean_utilisation);
+        assert!((stats.min_utilisation - 0.25).abs() < 1e-9);
+        assert!((stats.max_utilisation - 0.5).abs() < 1e-9);
+        // One job waited 50; 4 jobs total.
+        assert!((stats.mean_queue_wait - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_reference_over_makespan() {
+        let s = SimStats {
+            makespan: 250,
+            jobs: 1,
+            total_work: 0,
+            mean_utilisation: 0.0,
+            min_utilisation: 0.0,
+            max_utilisation: 0.0,
+            mean_queue_wait: 0.0,
+        };
+        assert!((s.speedup(1000) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_jobs_has_zero_wait() {
+        let stats = SimStats::collect(&[ServiceStation::new(1.0)], 100, 0);
+        assert_eq!(stats.jobs, 0);
+        assert_eq!(stats.mean_queue_wait, 0.0);
+    }
+}

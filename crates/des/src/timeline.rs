@@ -1,0 +1,134 @@
+//! Per-client busy timelines and ASCII Gantt rendering.
+//!
+//! A speedup number says *that* a schedule is slow; a Gantt chart shows
+//! *why* — idle tails behind barriers, queues piling on slow clients
+//! under Round-Robin, the Last-Minute free list keeping everyone warm.
+//! The heterogeneous-cluster example renders these next to the Table VI
+//! numbers.
+
+use crate::Time;
+
+/// Busy intervals of one client, in chronological order, non-overlapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    intervals: Vec<(Time, Time)>,
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a service interval `[start, end)`.
+    ///
+    /// Panics if it overlaps or precedes the previous interval — a
+    /// violation of the one-job-at-a-time station discipline.
+    pub fn record(&mut self, start: Time, end: Time) {
+        assert!(start <= end, "inverted interval");
+        if let Some(&(_, prev_end)) = self.intervals.last() {
+            assert!(start >= prev_end, "overlapping service intervals");
+        }
+        self.intervals.push((start, end));
+    }
+
+    pub fn intervals(&self) -> &[(Time, Time)] {
+        &self.intervals
+    }
+
+    /// Total busy time.
+    pub fn busy(&self) -> Time {
+        self.intervals.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Renders the timeline as a fixed-width strip: `#` busy, `.` idle.
+    pub fn strip(&self, horizon: Time, width: usize) -> String {
+        assert!(width > 0);
+        if horizon == 0 {
+            return ".".repeat(width);
+        }
+        let mut cells = vec![false; width];
+        for &(s, e) in &self.intervals {
+            // Mark every column the interval touches.
+            let c0 = (s as u128 * width as u128 / horizon as u128) as usize;
+            let c1 = ((e.saturating_sub(1)) as u128 * width as u128 / horizon as u128) as usize;
+            for c in cells.iter_mut().take(c1.min(width - 1) + 1).skip(c0) {
+                *c = true;
+            }
+        }
+        cells.iter().map(|&b| if b { '#' } else { '.' }).collect()
+    }
+}
+
+/// Renders a labelled Gantt chart for a set of client timelines.
+pub fn gantt(timelines: &[Timeline], horizon: Time, width: usize) -> String {
+    let mut out = String::new();
+    for (i, tl) in timelines.iter().enumerate() {
+        let util = if horizon == 0 { 0.0 } else { tl.busy() as f64 / horizon as f64 };
+        out.push_str(&format!(
+            "client {i:>3} [{}] {:>4.0}%\n",
+            tl.strip(horizon, width),
+            util * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_sums_intervals() {
+        let mut t = Timeline::new();
+        t.record(0, 10);
+        t.record(20, 25);
+        assert_eq!(t.busy(), 15);
+        assert_eq!(t.intervals().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_is_rejected() {
+        let mut t = Timeline::new();
+        t.record(0, 10);
+        t.record(5, 15);
+    }
+
+    #[test]
+    fn strip_marks_busy_columns() {
+        let mut t = Timeline::new();
+        t.record(0, 50);
+        let s = t.strip(100, 10);
+        assert_eq!(s, "#####.....");
+    }
+
+    #[test]
+    fn strip_of_idle_timeline_is_dots() {
+        let t = Timeline::new();
+        assert_eq!(t.strip(100, 5), ".....");
+        assert_eq!(t.strip(0, 5), ".....");
+    }
+
+    #[test]
+    fn short_intervals_still_visible() {
+        let mut t = Timeline::new();
+        t.record(99, 100);
+        let s = t.strip(100, 10);
+        assert_eq!(s.chars().filter(|&c| c == '#').count(), 1);
+        assert!(s.ends_with('#'));
+    }
+
+    #[test]
+    fn gantt_renders_one_line_per_client() {
+        let mut a = Timeline::new();
+        a.record(0, 100);
+        let b = Timeline::new();
+        let chart = gantt(&[a, b], 100, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("########"));
+        assert!(lines[0].contains("100%"));
+        assert!(lines[1].contains("........"));
+        assert!(lines[1].contains("0%"));
+    }
+}

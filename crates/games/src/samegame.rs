@@ -1,0 +1,320 @@
+//! SameGame — the classic tile-collapsing puzzle, the other standard NMCS
+//! benchmark domain (Cazenave's IJCAI'09 NMCS paper evaluates on it).
+//!
+//! Rules: click a group of ≥2 orthogonally-connected same-coloured tiles to
+//! remove it, scoring `(n − 2)²` for a group of `n`. Tiles above fall
+//! down; empty columns close up to the left. Clearing the whole board
+//! earns a +1000 bonus. The game ends when no group of ≥2 remains.
+
+use nmcs_core::{CodedGame, Game, Rng, Score};
+
+/// Bonus for clearing the entire board.
+pub const CLEAR_BONUS: Score = 1000;
+
+/// A SameGame position. Columns are stored bottom-up, which makes gravity
+/// and column removal O(column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SameGame {
+    /// `cols[x][y]` = colour of the tile at column `x`, height `y`
+    /// (bottom-up). Colours are `1..=colors`.
+    cols: Vec<Vec<u8>>,
+    width: usize,
+    height: usize,
+    accumulated: Score,
+    moves: usize,
+}
+
+/// A move: remove the group containing this cell. `(x, y)` is the
+/// *canonical* cell of the group (smallest `x`, then smallest `y`), so two
+/// moves are equal iff they name the same group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tap {
+    pub x: u8,
+    pub y: u8,
+}
+
+impl SameGame {
+    /// Builds a board from rows given top-down (as usually printed), each
+    /// row a slice of colours in `1..=9`.
+    pub fn from_rows(rows: &[&[u8]]) -> Self {
+        assert!(!rows.is_empty());
+        let width = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == width), "ragged rows");
+        let height = rows.len();
+        let mut cols = vec![Vec::with_capacity(height); width];
+        for row in rows.iter().rev() {
+            for (x, &c) in row.iter().enumerate() {
+                assert!((1..=9).contains(&c), "colours are 1..=9");
+                cols[x].push(c);
+            }
+        }
+        Self { cols, width, height, accumulated: 0, moves: 0 }
+    }
+
+    /// A pseudo-random `width × height` board with `colors` colours,
+    /// matching the standard benchmark generator (uniform i.i.d. tiles).
+    pub fn random(width: usize, height: usize, colors: u8, seed: u64) -> Self {
+        assert!(width > 0 && height > 0 && (1..=9).contains(&colors));
+        let mut rng = Rng::seeded(seed);
+        let cols = (0..width)
+            .map(|_| (0..height).map(|_| rng.below(colors as usize) as u8 + 1).collect())
+            .collect();
+        Self { cols, width, height, accumulated: 0, moves: 0 }
+    }
+
+    /// Colour at `(x, y)` (bottom-up), if a tile is present.
+    pub fn tile(&self, x: usize, y: usize) -> Option<u8> {
+        self.cols.get(x).and_then(|c| c.get(y)).copied()
+    }
+
+    /// Remaining tile count.
+    pub fn tiles_left(&self) -> usize {
+        self.cols.iter().map(Vec::len).sum()
+    }
+
+    /// Whether every tile has been removed.
+    pub fn cleared(&self) -> bool {
+        self.cols.iter().all(Vec::is_empty)
+    }
+
+    /// Flood-fills the group containing `(x, y)`; returns the member cells.
+    fn group(&self, x: usize, y: usize) -> Vec<(usize, usize)> {
+        let Some(color) = self.tile(x, y) else { return Vec::new() };
+        let mut seen = vec![false; self.width * self.height];
+        let mut stack = vec![(x, y)];
+        let mut members = Vec::new();
+        seen[x * self.height + y] = true;
+        while let Some((cx, cy)) = stack.pop() {
+            members.push((cx, cy));
+            let neighbours = [
+                (cx.wrapping_sub(1), cy),
+                (cx + 1, cy),
+                (cx, cy.wrapping_sub(1)),
+                (cx, cy + 1),
+            ];
+            for (nx, ny) in neighbours {
+                if nx < self.width
+                    && ny < self.height
+                    && self.tile(nx, ny) == Some(color)
+                    && !seen[nx * self.height + ny]
+                {
+                    seen[nx * self.height + ny] = true;
+                    stack.push((nx, ny));
+                }
+            }
+        }
+        members
+    }
+
+    /// Enumerates groups of ≥2 tiles by canonical cell.
+    fn groups(&self) -> Vec<(Tap, usize)> {
+        let mut seen = vec![false; self.width * self.height];
+        let mut out = Vec::new();
+        for x in 0..self.width {
+            for y in 0..self.cols[x].len() {
+                if seen[x * self.height + y] {
+                    continue;
+                }
+                let members = self.group(x, y);
+                let mut canon = (usize::MAX, usize::MAX);
+                for &(mx, my) in &members {
+                    seen[mx * self.height + my] = true;
+                    if (mx, my) < canon {
+                        canon = (mx, my);
+                    }
+                }
+                if members.len() >= 2 {
+                    out.push((Tap { x: canon.0 as u8, y: canon.1 as u8 }, members.len()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes the group containing the tap, applies gravity and column
+    /// collapse, and returns the group size. Panics if the group has
+    /// fewer than two tiles.
+    fn remove(&mut self, tap: Tap) -> usize {
+        let members = self.group(tap.x as usize, tap.y as usize);
+        assert!(members.len() >= 2, "tap on a group of {} tiles", members.len());
+        // Mark and drop per column, highest-y first so indices stay valid.
+        let mut by_col: Vec<Vec<usize>> = vec![Vec::new(); self.width];
+        for (x, y) in &members {
+            by_col[*x].push(*y);
+        }
+        for (x, mut ys) in by_col.into_iter().enumerate() {
+            ys.sort_unstable_by(|a, b| b.cmp(a));
+            for y in ys {
+                self.cols[x].remove(y);
+            }
+        }
+        self.cols.retain(|c| !c.is_empty());
+        while self.cols.len() < self.width {
+            self.cols.push(Vec::new());
+        }
+        members.len()
+    }
+}
+
+impl CodedGame for SameGame {
+    /// Codes combine the tap cell with the group's colour. Gravity moves
+    /// tiles between positions, so identical codes can denote different
+    /// groups in different positions — NRPA tolerates such sharing (the
+    /// policy then generalises over "tap colour c near (x, y)", which is
+    /// the standard pragmatic choice for SameGame policies).
+    fn move_code(&self, mv: &Tap) -> u64 {
+        let color = self.tile(mv.x as usize, mv.y as usize).unwrap_or(0) as u64;
+        ((mv.x as u64) << 16) | ((mv.y as u64) << 8) | color
+    }
+}
+
+impl Game for SameGame {
+    type Move = Tap;
+
+    fn legal_moves(&self, out: &mut Vec<Tap>) {
+        out.extend(self.groups().into_iter().map(|(t, _)| t));
+    }
+
+    fn play(&mut self, mv: &Tap) {
+        let n = self.remove(*mv);
+        self.accumulated += ((n - 2) * (n - 2)) as Score;
+        self.moves += 1;
+        if self.cleared() {
+            self.accumulated += CLEAR_BONUS;
+        }
+    }
+
+    fn score(&self) -> Score {
+        self.accumulated
+    }
+
+    fn moves_played(&self) -> usize {
+        self.moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmcs_core::{nested, sample, NestedConfig};
+
+    #[test]
+    fn from_rows_round_trips_geometry() {
+        let g = SameGame::from_rows(&[&[1, 2], &[3, 1]]);
+        // Bottom row is [3,1], top row [1,2].
+        assert_eq!(g.tile(0, 0), Some(3));
+        assert_eq!(g.tile(1, 0), Some(1));
+        assert_eq!(g.tile(0, 1), Some(1));
+        assert_eq!(g.tile(1, 1), Some(2));
+        assert_eq!(g.tiles_left(), 4);
+    }
+
+    #[test]
+    fn groups_require_two_tiles() {
+        let g = SameGame::from_rows(&[&[1, 2], &[2, 1]]);
+        let mut moves = Vec::new();
+        g.legal_moves(&mut moves);
+        assert!(moves.is_empty(), "diagonal same-colours do not connect");
+    }
+
+    #[test]
+    fn removing_a_group_scores_quadratically() {
+        // Column of three 1s next to isolated 2s.
+        let mut g = SameGame::from_rows(&[&[1, 2], &[1, 3], &[1, 2]]);
+        let mut moves = Vec::new();
+        g.legal_moves(&mut moves);
+        assert_eq!(moves.len(), 1);
+        g.play(&moves[0]);
+        assert_eq!(g.score(), 1, "(3-2)^2 = 1");
+        assert_eq!(g.tiles_left(), 3);
+    }
+
+    #[test]
+    fn gravity_pulls_tiles_down() {
+        // Remove the bottom pair; the top tiles must fall.
+        let mut g = SameGame::from_rows(&[&[2, 3], &[1, 1]]);
+        let mut moves = Vec::new();
+        g.legal_moves(&mut moves);
+        assert_eq!(moves.len(), 1);
+        g.play(&moves[0]);
+        assert_eq!(g.tile(0, 0), Some(2), "2 fell to the bottom");
+        assert_eq!(g.tile(1, 0), Some(3));
+    }
+
+    #[test]
+    fn empty_columns_collapse_left() {
+        // Left column of two 1s, right column 2 over 3; removing the 1s
+        // must shift the right column to x=0.
+        let mut g = SameGame::from_rows(&[&[1, 2], &[1, 3]]);
+        let mut moves = Vec::new();
+        g.legal_moves(&mut moves);
+        let tap_left = moves.iter().find(|t| t.x == 0).copied().unwrap();
+        g.play(&tap_left);
+        assert_eq!(g.tile(0, 0), Some(3));
+        assert_eq!(g.tile(0, 1), Some(2));
+        assert_eq!(g.tile(1, 0), None);
+    }
+
+    #[test]
+    fn clearing_the_board_earns_the_bonus() {
+        let mut g = SameGame::from_rows(&[&[1, 1], &[1, 1]]);
+        let mut moves = Vec::new();
+        g.legal_moves(&mut moves);
+        assert_eq!(moves.len(), 1);
+        g.play(&moves[0]);
+        assert!(g.cleared());
+        assert_eq!(g.score(), 4 + CLEAR_BONUS, "(4-2)^2 + bonus");
+    }
+
+    #[test]
+    fn random_board_is_deterministic_per_seed() {
+        let a = SameGame::random(10, 10, 4, 7);
+        let b = SameGame::random(10, 10, 4, 7);
+        let c = SameGame::random(10, 10, 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn playouts_terminate_and_score_consistently() {
+        for seed in 0..5 {
+            let g = SameGame::random(8, 8, 4, seed);
+            let r = sample(&g, &mut Rng::seeded(seed));
+            let mut replay = g.clone();
+            for mv in &r.sequence {
+                replay.play(mv);
+            }
+            assert_eq!(replay.score(), r.score, "seed {seed}");
+            assert!(replay.is_terminal());
+        }
+    }
+
+    #[test]
+    fn nmcs_improves_over_random_play() {
+        let g = SameGame::random(6, 6, 3, 42);
+        let mut rng = Rng::seeded(1);
+        let random_avg: f64 =
+            (0..20).map(|_| sample(&g, &mut rng).score as f64).sum::<f64>() / 20.0;
+        let nmcs = nested(&g, 1, &NestedConfig::paper(), &mut Rng::seeded(2));
+        assert!(
+            (nmcs.score as f64) > random_avg,
+            "NMCS {} should beat random avg {random_avg}",
+            nmcs.score
+        );
+    }
+
+    #[test]
+    fn canonical_tap_is_stable_under_enumeration_order() {
+        let g = SameGame::random(8, 8, 3, 3);
+        let mut a = Vec::new();
+        g.legal_moves(&mut a);
+        let mut b = Vec::new();
+        g.legal_moves(&mut b);
+        assert_eq!(a, b);
+        // Canonical cells are unique.
+        let mut set = std::collections::HashSet::new();
+        for t in &a {
+            assert!(set.insert((t.x, t.y)), "duplicate canonical tap {t:?}");
+        }
+    }
+}

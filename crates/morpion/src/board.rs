@@ -1,0 +1,543 @@
+//! The Morpion Solitaire board: rules, incremental move generation, play.
+//!
+//! A *move* adds one circle (point) to the grid such that a line of five
+//! consecutive points — horizontal, vertical, or diagonal — can be drawn
+//! through it, the other four already existing. The variants differ in how
+//! much two same-direction lines may overlap:
+//!
+//! * **5T (touching)** — two parallel lines may share an endpoint but not a
+//!   unit segment.
+//! * **5D (disjoint)** — two parallel lines may not share *any* point
+//!   ("a circle cannot be a part of two lines that have the same
+//!   direction", paper §II). This is the variant of all the paper's
+//!   experiments.
+//!
+//! The board is a bounded `GRID × GRID` window of the infinite grid, large
+//! enough for every humanly- or machine-reachable game from the standard
+//! cross (the proven 5D upper bound is 121 moves; record games span well
+//! under 40 cells). Move generation is incremental: a cached candidate
+//! list is revalidated after each move and extended with the ≤20 windows
+//! through the new point, making random playouts allocation-free and fast.
+
+use crate::geom::{Dir, Point, DIRS};
+use nmcs_core::{Game, Score};
+use serde::{Deserialize, Serialize};
+
+/// Side length of the board window.
+pub const GRID: i16 = 64;
+const NCELLS: usize = (GRID as usize) * (GRID as usize);
+
+/// Cell bit layout.
+const OCC: u16 = 1;
+#[inline]
+const fn used_bit(d: Dir) -> u16 {
+    1 << (1 + d as u16) // 5D: point used by a line of direction d
+}
+#[inline]
+const fn seg_bit(d: Dir) -> u16 {
+    1 << (5 + d as u16) // 5T: unit segment from this point toward +d used
+}
+
+/// Rule variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// 5T: same-direction lines may share endpoints.
+    Touching,
+    /// 5D: same-direction lines are fully disjoint (the paper's variant).
+    Disjoint,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Variant::Touching => "5T",
+            Variant::Disjoint => "5D",
+        })
+    }
+}
+
+/// A legal move: the line runs from `start` for five steps along `dir`;
+/// the new point is placed `pos` steps from `start` (`0 ≤ pos ≤ 4`), the
+/// other four points already exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Move {
+    pub start: Point,
+    pub dir: Dir,
+    pub pos: u8,
+}
+
+impl Move {
+    /// The point this move adds to the board.
+    #[inline]
+    pub fn new_point(&self) -> Point {
+        self.start.step(self.dir, self.pos as i16)
+    }
+
+    /// The five points of the move's line, in direction order.
+    #[inline]
+    pub fn line_points(&self) -> [Point; 5] {
+        [
+            self.start,
+            self.start.step(self.dir, 1),
+            self.start.step(self.dir, 2),
+            self.start.step(self.dir, 3),
+            self.start.step(self.dir, 4),
+        ]
+    }
+}
+
+impl std::fmt::Display for Move {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}@{}", self.new_point(), self.dir, self.start)
+    }
+}
+
+/// A Morpion Solitaire position.
+#[derive(Clone)]
+pub struct Board {
+    cells: Box<[u16]>,
+    variant: Variant,
+    /// Cached legal moves of the current position (kept exact).
+    candidates: Vec<Move>,
+    /// Moves played so far, in order.
+    history: Vec<Move>,
+    /// The initial points (for rendering and records).
+    initial: std::sync::Arc<Vec<Point>>,
+    /// Top-left corner of the initial points' bounding box; record
+    /// coordinates are relative to it.
+    origin: Point,
+}
+
+impl Board {
+    /// Builds a board with the given `initial` points placed.
+    ///
+    /// Panics if a point is out of the grid window or duplicated.
+    pub fn from_points(variant: Variant, initial: Vec<Point>) -> Self {
+        assert!(!initial.is_empty(), "initial position must have points");
+        let mut cells = vec![0u16; NCELLS].into_boxed_slice();
+        let mut min = Point::new(i16::MAX, i16::MAX);
+        for p in &initial {
+            assert!(in_bounds(*p), "initial point {p} outside the {GRID}x{GRID} window");
+            let idx = cell_index(*p);
+            assert_eq!(cells[idx] & OCC, 0, "duplicate initial point {p}");
+            cells[idx] |= OCC;
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+        }
+        let mut board = Self {
+            cells,
+            variant,
+            candidates: Vec::new(),
+            history: Vec::new(),
+            initial: std::sync::Arc::new(initial),
+            origin: min,
+        };
+        board.candidates = board.recompute_candidates();
+        board
+    }
+
+    /// The rule variant in force.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Number of moves played so far (the Morpion score).
+    pub fn move_count(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The moves played so far, in order.
+    pub fn history(&self) -> &[Move] {
+        &self.history
+    }
+
+    /// The initial points.
+    pub fn initial_points(&self) -> &[Point] {
+        &self.initial
+    }
+
+    /// Top-left corner of the initial points' bounding box.
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The current legal moves (cached, exact).
+    pub fn candidates(&self) -> &[Move] {
+        &self.candidates
+    }
+
+    /// Whether `p` holds a point (initial or played).
+    #[inline]
+    pub fn occupied(&self, p: Point) -> bool {
+        in_bounds(p) && self.cells[cell_index(p)] & OCC != 0
+    }
+
+    /// Bounding box `(min, max)` of all occupied points.
+    pub fn extent(&self) -> (Point, Point) {
+        let mut min = Point::new(i16::MAX, i16::MAX);
+        let mut max = Point::new(i16::MIN, i16::MIN);
+        for y in 0..GRID {
+            for x in 0..GRID {
+                if self.cells[cell_index(Point::new(x, y))] & OCC != 0 {
+                    min.x = min.x.min(x);
+                    min.y = min.y.min(y);
+                    max.x = max.x.max(x);
+                    max.y = max.y.max(y);
+                }
+            }
+        }
+        (min, max)
+    }
+
+    /// Checks a move against the full rules of the current position.
+    pub fn is_legal(&self, m: &Move) -> bool {
+        m.pos < 5
+            && self
+                .check_window(m.start, m.dir)
+                .is_some_and(|legal| legal.pos == m.pos)
+    }
+
+    /// Plays a legal move, updating the candidate cache incrementally.
+    ///
+    /// Panics (in all builds) if the move is illegal: silently corrupting a
+    /// search is worse than failing fast, and the check is five cell reads.
+    pub fn play_move(&mut self, m: &Move) {
+        assert!(self.is_legal(m), "illegal move {m}");
+        let q = m.new_point();
+        self.cells[cell_index(q)] |= OCC;
+        self.mark_line(m.start, m.dir);
+
+        // Revalidate the cache: a candidate dies iff its new point just got
+        // occupied, or it shares constraint marks with the played line
+        // (same direction only — other directions' bits are untouched).
+        let q_copy = q;
+        let dir = m.dir;
+        let cells = &self.cells;
+        let variant = self.variant;
+        self.candidates.retain(|c| {
+            c.new_point() != q_copy
+                && (c.dir != dir || constraints_free(cells, variant, c.start, c.dir))
+        });
+
+        // Add the windows through the new point. No candidate surviving the
+        // filter contains `q` (it would have had two empty cells before
+        // this move), so these are never duplicates.
+        for e in DIRS {
+            for k in 0..5i16 {
+                let start = q.step(e, -k);
+                if let Some(mv) = self.check_window(start, e) {
+                    self.candidates.push(mv);
+                }
+            }
+        }
+
+        self.history.push(*m);
+    }
+
+    /// Structural + constraint check of the 5-window starting at `start`
+    /// along `dir`. Returns the move (with the correct `pos`) iff exactly
+    /// one cell is empty and the variant's overlap constraints allow a new
+    /// line here.
+    fn check_window(&self, start: Point, dir: Dir) -> Option<Move> {
+        let end = start.step(dir, 4);
+        if !in_bounds(start) || !in_bounds(end) {
+            return None;
+        }
+        let mut empty_pos: Option<u8> = None;
+        for k in 0..5i16 {
+            let p = start.step(dir, k);
+            if self.cells[cell_index(p)] & OCC == 0 {
+                if empty_pos.is_some() {
+                    return None; // two empties
+                }
+                empty_pos = Some(k as u8);
+            }
+        }
+        let pos = empty_pos?; // all-occupied windows are not moves
+        if !constraints_free(&self.cells, self.variant, start, dir) {
+            return None;
+        }
+        Some(Move { start, dir, pos })
+    }
+
+    /// Marks the constraint bits of a just-played line.
+    fn mark_line(&mut self, start: Point, dir: Dir) {
+        match self.variant {
+            Variant::Disjoint => {
+                for k in 0..5i16 {
+                    self.cells[cell_index(start.step(dir, k))] |= used_bit(dir);
+                }
+            }
+            Variant::Touching => {
+                for k in 0..4i16 {
+                    self.cells[cell_index(start.step(dir, k))] |= seg_bit(dir);
+                }
+            }
+        }
+    }
+
+    /// Recomputes the legal-move list from scratch (O(grid²)); the
+    /// incremental cache is tested against this.
+    pub fn recompute_candidates(&self) -> Vec<Move> {
+        let mut out = Vec::new();
+        for y in 0..GRID {
+            for x in 0..GRID {
+                let start = Point::new(x, y);
+                for dir in DIRS {
+                    if let Some(mv) = self.check_window(start, dir) {
+                        out.push(mv);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn in_bounds(p: Point) -> bool {
+    (0..GRID).contains(&p.x) && (0..GRID).contains(&p.y)
+}
+
+#[inline]
+fn cell_index(p: Point) -> usize {
+    debug_assert!(in_bounds(p));
+    p.y as usize * GRID as usize + p.x as usize
+}
+
+fn constraints_free(cells: &[u16], variant: Variant, start: Point, dir: Dir) -> bool {
+    match variant {
+        Variant::Disjoint => {
+            let bit = used_bit(dir);
+            (0..5i16).all(|k| cells[cell_index(start.step(dir, k))] & bit == 0)
+        }
+        Variant::Touching => {
+            let bit = seg_bit(dir);
+            (0..4i16).all(|k| cells[cell_index(start.step(dir, k))] & bit == 0)
+        }
+    }
+}
+
+impl Game for Board {
+    type Move = Move;
+
+    fn legal_moves(&self, out: &mut Vec<Move>) {
+        out.extend_from_slice(&self.candidates);
+    }
+
+    fn play(&mut self, mv: &Move) {
+        self.play_move(mv);
+    }
+
+    /// The Morpion score: "the score is the number of moves played in the
+    /// game" (paper §III).
+    fn score(&self) -> Score {
+        self.history.len() as Score
+    }
+
+    fn moves_played(&self) -> usize {
+        self.history.len()
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+impl nmcs_core::CodedGame for Board {
+    /// Moves are identified by (line start, direction, new-point slot):
+    /// stable across positions, exactly what NRPA's policy table needs
+    /// (Rosin's NRPA record runs on Morpion use the same identification).
+    fn move_code(&self, mv: &Move) -> u64 {
+        let cell = mv.start.y as u64 * GRID as u64 + mv.start.x as u64;
+        (cell << 5) | ((mv.dir.index() as u64) << 3) | mv.pos as u64
+    }
+}
+
+impl std::fmt::Debug for Board {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Board({}, {} initial, {} moves, {} candidates)",
+            self.variant,
+            self.initial.len(),
+            self.history.len(),
+            self.candidates.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cross::cross_board;
+
+    fn row_board(variant: Variant, n: usize) -> Board {
+        // n consecutive points on a horizontal row, centred.
+        let y = GRID / 2;
+        let x0 = (GRID - n as i16) / 2;
+        let pts = (0..n as i16).map(|i| Point::new(x0 + i, y)).collect();
+        Board::from_points(variant, pts)
+    }
+
+    #[test]
+    fn four_in_a_row_has_two_extensions() {
+        for variant in [Variant::Disjoint, Variant::Touching] {
+            let b = row_board(variant, 4);
+            assert_eq!(b.candidates().len(), 2, "{variant}: extend left or right");
+            for c in b.candidates() {
+                assert_eq!(c.dir, Dir::E);
+            }
+        }
+    }
+
+    #[test]
+    fn three_in_a_row_has_no_moves() {
+        let b = row_board(Variant::Disjoint, 3);
+        assert!(b.candidates().is_empty());
+        assert!(b.is_terminal());
+    }
+
+    #[test]
+    fn playing_an_extension_marks_line_and_updates_candidates() {
+        let mut b = row_board(Variant::Disjoint, 4);
+        let mv = b.candidates()[0];
+        b.play_move(&mv);
+        assert_eq!(b.move_count(), 1);
+        assert!(b.occupied(mv.new_point()));
+        // 5 points in a used row: in 5D no further horizontal move may
+        // reuse any of them; a row of 5 has no legal move at all.
+        assert!(b.candidates().is_empty());
+    }
+
+    #[test]
+    fn touching_allows_endpoint_reuse_disjoint_does_not() {
+        // X X X X _ X X X _ : playing [x0..x0+4] fills the first gap; the
+        // follow-up line [x0+4..x0+8] then shares exactly the endpoint
+        // x0+4 with it and adds a point in the second gap.
+        let y = GRID / 2;
+        let x0 = GRID / 2 - 4;
+        let pts: Vec<Point> = [0i16, 1, 2, 3, 5, 6, 7]
+            .iter()
+            .map(|&i| Point::new(x0 + i, y))
+            .collect();
+
+        for variant in [Variant::Disjoint, Variant::Touching] {
+            let mut b = Board::from_points(variant, pts.clone());
+            let first = Move { start: Point::new(x0, y), dir: Dir::E, pos: 4 };
+            assert!(b.is_legal(&first), "{variant}: gap fill must be legal");
+            b.play_move(&first);
+
+            // The follow-up shares the endpoint x0+4 with the played line.
+            let follow = Move { start: Point::new(x0 + 4, y), dir: Dir::E, pos: 4 };
+            let legal_now = b.is_legal(&follow);
+            let cached = b.candidates().contains(&follow);
+            assert_eq!(legal_now, cached, "{variant}: cache agrees with rules");
+            match variant {
+                // 5T: the two lines share only the endpoint — allowed.
+                Variant::Touching => assert!(legal_now, "5T allows touching lines"),
+                // 5D: sharing any point is banned.
+                Variant::Disjoint => assert!(!legal_now, "5D forbids point sharing"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_candidates_match_full_recompute_along_random_games() {
+        use nmcs_core::Rng;
+        for variant in [Variant::Disjoint, Variant::Touching] {
+            let mut b = cross_board(variant, 4);
+            let mut rng = Rng::seeded(42);
+            let mut steps = 0;
+            while !b.candidates().is_empty() && steps < 200 {
+                let mut cached: Vec<Move> = b.candidates().to_vec();
+                let mut full = b.recompute_candidates();
+                cached.sort_by_key(|m| (m.start.y, m.start.x, m.dir.index(), m.pos));
+                full.sort_by_key(|m| (m.start.y, m.start.x, m.dir.index(), m.pos));
+                assert_eq!(cached, full, "{variant} step {steps}");
+                let mv = cached[rng.below(cached.len())];
+                b.play_move(&mv);
+                steps += 1;
+            }
+            assert!(steps > 10, "{variant}: game should last more than 10 moves");
+        }
+    }
+
+    #[test]
+    fn standard_cross_has_28_first_moves() {
+        // 12 horizontal + 12 vertical extensions of the eight 4-runs, plus
+        // 4 diagonal inner-corner completions; verified against the full
+        // recompute and stable across variants (no lines played yet).
+        let b5d = cross_board(Variant::Disjoint, 4);
+        let b5t = cross_board(Variant::Touching, 4);
+        assert_eq!(b5d.candidates().len(), b5t.candidates().len());
+        assert_eq!(b5d.candidates().len(), b5d.recompute_candidates().len());
+        let n = b5d.candidates().len();
+        assert_eq!(n, 28, "standard cross admits 28 first moves, got {n}");
+    }
+
+    #[test]
+    fn score_equals_moves_played() {
+        use nmcs_core::Rng;
+        let mut b = cross_board(Variant::Disjoint, 4);
+        let mut rng = Rng::seeded(3);
+        for i in 0..10 {
+            assert_eq!(b.score(), i as Score);
+            let mv = b.candidates()[rng.below(b.candidates().len())];
+            b.play_move(&mv);
+        }
+        assert_eq!(b.score(), 10);
+        assert_eq!(b.moves_played(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal move")]
+    fn illegal_move_panics() {
+        let mut b = row_board(Variant::Disjoint, 4);
+        let bogus = Move { start: Point::new(0, 0), dir: Dir::E, pos: 0 };
+        b.play_move(&bogus);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate initial point")]
+    fn duplicate_initial_points_rejected() {
+        let p = Point::new(30, 30);
+        let _ = Board::from_points(Variant::Disjoint, vec![p, p]);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = row_board(Variant::Disjoint, 4);
+        let b = a.clone();
+        let mv = a.candidates()[0];
+        a.play_move(&mv);
+        assert_eq!(a.move_count(), 1);
+        assert_eq!(b.move_count(), 0);
+        assert_eq!(b.candidates().len(), 2);
+    }
+
+    #[test]
+    fn extent_tracks_played_points() {
+        let mut b = row_board(Variant::Disjoint, 4);
+        let (min0, max0) = b.extent();
+        assert_eq!(max0.x - min0.x, 3);
+        // Extend to the right if possible, else left.
+        let mv = *b
+            .candidates()
+            .iter()
+            .find(|m| m.new_point().x > max0.x)
+            .unwrap_or(&b.candidates()[0]);
+        b.play_move(&mv);
+        let (min1, max1) = b.extent();
+        assert!(max1.x - min1.x >= 4);
+    }
+
+    #[test]
+    fn move_accessors() {
+        let m = Move { start: Point::new(10, 10), dir: Dir::SE, pos: 2 };
+        assert_eq!(m.new_point(), Point::new(12, 12));
+        let pts = m.line_points();
+        assert_eq!(pts[0], Point::new(10, 10));
+        assert_eq!(pts[4], Point::new(14, 14));
+    }
+}

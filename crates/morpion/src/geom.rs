@@ -1,0 +1,139 @@
+//! Grid geometry: points and the four line directions.
+
+use serde::{Deserialize, Serialize};
+
+/// A lattice point in board coordinates.
+///
+/// The board is a bounded window of the (conceptually infinite) grid;
+/// coordinates are small non-negative integers inside that window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Point {
+    pub x: i16,
+    pub y: i16,
+}
+
+impl Point {
+    #[inline]
+    pub const fn new(x: i16, y: i16) -> Self {
+        Self { x, y }
+    }
+
+    /// The point `self + k * dir`.
+    #[inline]
+    pub fn step(self, dir: Dir, k: i16) -> Self {
+        let (dx, dy) = dir.delta();
+        Self { x: self.x + dx * k, y: self.y + dy * k }
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// One of the four line directions of Morpion Solitaire.
+///
+/// Lines are undirected; each is represented by its canonical direction
+/// with positive `x` component (or straight down for vertical lines):
+/// east, south, south-east, and north-east.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Dir {
+    /// Horizontal, `(+1, 0)`.
+    E = 0,
+    /// Vertical, `(0, +1)`.
+    S = 1,
+    /// Falling diagonal, `(+1, +1)`.
+    SE = 2,
+    /// Rising diagonal, `(+1, -1)`.
+    NE = 3,
+}
+
+/// All four directions, in index order.
+pub const DIRS: [Dir; 4] = [Dir::E, Dir::S, Dir::SE, Dir::NE];
+
+impl Dir {
+    /// Unit step of the direction.
+    #[inline]
+    pub const fn delta(self) -> (i16, i16) {
+        match self {
+            Dir::E => (1, 0),
+            Dir::S => (0, 1),
+            Dir::SE => (1, 1),
+            Dir::NE => (1, -1),
+        }
+    }
+
+    /// Stable index in `0..4`, used for per-direction bookkeeping bits.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Dir::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> Dir {
+        DIRS[i]
+    }
+}
+
+impl std::fmt::Display for Dir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dir::E => "E",
+            Dir::S => "S",
+            Dir::SE => "SE",
+            Dir::NE => "NE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_unit_steps_with_canonical_orientation() {
+        for d in DIRS {
+            let (dx, dy) = d.delta();
+            assert!(dx.abs() <= 1 && dy.abs() <= 1);
+            assert!((dx, dy) != (0, 0));
+            // Canonical: positive x, or straight down.
+            assert!(dx > 0 || (dx == 0 && dy > 0));
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for d in DIRS {
+            assert_eq!(Dir::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn step_walks_along_the_direction() {
+        let p = Point::new(10, 10);
+        assert_eq!(p.step(Dir::E, 4), Point::new(14, 10));
+        assert_eq!(p.step(Dir::S, 2), Point::new(10, 12));
+        assert_eq!(p.step(Dir::SE, 3), Point::new(13, 13));
+        assert_eq!(p.step(Dir::NE, 3), Point::new(13, 7));
+        assert_eq!(p.step(Dir::NE, -1), Point::new(9, 11));
+    }
+
+    #[test]
+    fn directions_are_pairwise_distinct() {
+        for (i, a) in DIRS.iter().enumerate() {
+            for b in &DIRS[i + 1..] {
+                assert_ne!(a.delta(), b.delta());
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(3, -2).to_string(), "(3,-2)");
+        assert_eq!(Dir::NE.to_string(), "NE");
+    }
+}

@@ -1,0 +1,256 @@
+//! The dispatcher state machine (paper §IV-A and §IV-B).
+//!
+//! Implemented once as a pure, time-free state machine so the threaded
+//! runtime and the discrete-event simulator drive *exactly* the same
+//! logic — the cross-backend agreement tests depend on this.
+//!
+//! * **Round-Robin** hands clients out cyclically, "always in the same
+//!   order", blind to load. Requests never wait, but jobs can pile up in a
+//!   busy (or slow) client's mailbox while other clients idle.
+//! * **Last-Minute** keeps a list of free clients and a list of pending
+//!   jobs ordered by expected remaining computation time, estimated by the
+//!   number of moves already played: *fewer* moves played means a longer
+//!   remaining game, so such jobs are served first when a client frees up.
+//!
+//! Two ablation orderings quantify how much the longest-first heuristic
+//! matters: FIFO and shortest-first.
+
+use cluster_rt::Rank;
+use std::collections::VecDeque;
+use serde::{Deserialize, Serialize};
+
+/// Client-assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Paper §IV-A: cyclic, load-blind.
+    RoundRobin,
+    /// Paper §IV-B: free-list + pending queue, longest job first.
+    LastMinute,
+    /// Ablation: Last-Minute machinery with FIFO job ordering.
+    LastMinuteFifo,
+    /// Ablation: Last-Minute machinery serving *shortest* jobs first.
+    LastMinuteShortest,
+}
+
+impl DispatchPolicy {
+    /// Whether clients notify the dispatcher when they become free
+    /// (Figure 4's (c') message exists only in the Last-Minute family).
+    pub fn uses_free_list(self) -> bool {
+        !matches!(self, DispatchPolicy::RoundRobin)
+    }
+
+    /// Short name used in reports ("RR" / "LM" …).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "RR",
+            DispatchPolicy::LastMinute => "LM",
+            DispatchPolicy::LastMinuteFifo => "LM-FIFO",
+            DispatchPolicy::LastMinuteShortest => "LM-SJF",
+        }
+    }
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A queued request waiting for a client (Last-Minute only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingJob {
+    median: Rank,
+    moves_played: usize,
+    seq: u64,
+}
+
+/// The dispatcher's decision logic, shared by all backends.
+#[derive(Debug, Clone)]
+pub struct DispatcherCore {
+    policy: DispatchPolicy,
+    clients: Vec<Rank>,
+    rr_next: usize,
+    free: VecDeque<Rank>,
+    jobs: Vec<PendingJob>,
+    seq: u64,
+}
+
+impl DispatcherCore {
+    /// Creates a dispatcher over the given client ranks. In the
+    /// Last-Minute family every client starts on the free list (paper
+    /// pseudocode line 1).
+    pub fn new(policy: DispatchPolicy, clients: Vec<Rank>) -> Self {
+        assert!(!clients.is_empty(), "dispatcher needs clients");
+        let free: VecDeque<Rank> =
+            if policy.uses_free_list() { clients.iter().copied().collect() } else { VecDeque::new() };
+        Self { policy, clients, rr_next: 0, free, jobs: Vec::new(), seq: 0 }
+    }
+
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// A median asks for a client for a job whose position has
+    /// `moves_played` moves. Returns the client to use, or `None` if the
+    /// request was queued (Last-Minute with no free client).
+    pub fn on_request(&mut self, median: Rank, moves_played: usize) -> Option<Rank> {
+        match self.policy {
+            DispatchPolicy::RoundRobin => {
+                // "It simply sends back clients one after another, always
+                // in the same order."
+                let client = self.clients[self.rr_next];
+                self.rr_next = (self.rr_next + 1) % self.clients.len();
+                Some(client)
+            }
+            _ => {
+                // "Client = first element of listFreeClients" — FIFO.
+                if let Some(client) = self.free.pop_front() {
+                    Some(client)
+                } else {
+                    self.jobs.push(PendingJob { median, moves_played, seq: self.seq });
+                    self.seq += 1;
+                    None
+                }
+            }
+        }
+    }
+
+    /// A client announces it is free. Returns `Some((median, client))` if
+    /// a pending job should now be served (send `UseClient{client}` to
+    /// `median`), or `None` if the client was parked on the free list.
+    ///
+    /// No-op under Round-Robin (clients do not notify).
+    pub fn on_client_free(&mut self, client: Rank) -> Option<(Rank, Rank)> {
+        if !self.policy.uses_free_list() {
+            return None;
+        }
+        if self.jobs.is_empty() {
+            self.free.push_back(client);
+            return None;
+        }
+        let idx = match self.policy {
+            // "Find j in jobs with the smallest number of moves" — the
+            // longest expected job. Ties: oldest first.
+            DispatchPolicy::LastMinute => self
+                .jobs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (j.moves_played, j.seq))
+                .map(|(i, _)| i)
+                .expect("jobs non-empty"),
+            DispatchPolicy::LastMinuteFifo => self
+                .jobs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| j.seq)
+                .map(|(i, _)| i)
+                .expect("jobs non-empty"),
+            DispatchPolicy::LastMinuteShortest => self
+                .jobs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (std::cmp::Reverse(j.moves_played), j.seq))
+                .map(|(i, _)| i)
+                .expect("jobs non-empty"),
+            DispatchPolicy::RoundRobin => unreachable!(),
+        };
+        let job = self.jobs.swap_remove(idx);
+        Some((job.median, client))
+    }
+
+    /// Number of jobs waiting for a client.
+    pub fn pending_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of clients on the free list.
+    pub fn free_clients(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_in_fixed_order() {
+        let mut d = DispatcherCore::new(DispatchPolicy::RoundRobin, vec![10, 11, 12]);
+        let picks: Vec<Rank> = (0..7).map(|i| d.on_request(2, i).unwrap()).collect();
+        assert_eq!(picks, vec![10, 11, 12, 10, 11, 12, 10]);
+        assert_eq!(d.pending_jobs(), 0);
+    }
+
+    #[test]
+    fn round_robin_ignores_free_notifications() {
+        let mut d = DispatcherCore::new(DispatchPolicy::RoundRobin, vec![10, 11]);
+        assert_eq!(d.on_client_free(10), None);
+        assert_eq!(d.free_clients(), 0);
+    }
+
+    #[test]
+    fn last_minute_serves_from_free_list_then_queues() {
+        let mut d = DispatcherCore::new(DispatchPolicy::LastMinute, vec![10, 11]);
+        assert!(d.on_request(2, 0).is_some());
+        assert!(d.on_request(3, 5).is_some());
+        assert_eq!(d.free_clients(), 0);
+        // Third request has nobody free: queued.
+        assert_eq!(d.on_request(4, 2), None);
+        assert_eq!(d.pending_jobs(), 1);
+    }
+
+    #[test]
+    fn last_minute_gives_freed_client_to_longest_job() {
+        let mut d = DispatcherCore::new(DispatchPolicy::LastMinute, vec![10]);
+        let _ = d.on_request(2, 0); // takes the only client
+        assert_eq!(d.on_request(3, 30), None); // short job (late game)
+        assert_eq!(d.on_request(4, 5), None); // long job (early game)
+        assert_eq!(d.on_request(5, 12), None);
+        // Client frees: the job with the FEWEST moves played (longest
+        // remaining) is served first — median 4.
+        assert_eq!(d.on_client_free(10), Some((4, 10)));
+        assert_eq!(d.on_client_free(10), Some((5, 10)));
+        assert_eq!(d.on_client_free(10), Some((3, 10)));
+        // Nothing pending: client parks on the free list.
+        assert_eq!(d.on_client_free(10), None);
+        assert_eq!(d.free_clients(), 1);
+        // Next request is served immediately from the free list.
+        assert_eq!(d.on_request(6, 1), Some(10));
+    }
+
+    #[test]
+    fn fifo_ablation_serves_in_arrival_order() {
+        let mut d = DispatcherCore::new(DispatchPolicy::LastMinuteFifo, vec![10]);
+        let _ = d.on_request(2, 0);
+        assert_eq!(d.on_request(3, 30), None);
+        assert_eq!(d.on_request(4, 5), None);
+        assert_eq!(d.on_client_free(10), Some((3, 10)));
+        assert_eq!(d.on_client_free(10), Some((4, 10)));
+    }
+
+    #[test]
+    fn shortest_ablation_serves_latest_game_first() {
+        let mut d = DispatcherCore::new(DispatchPolicy::LastMinuteShortest, vec![10]);
+        let _ = d.on_request(2, 0);
+        assert_eq!(d.on_request(3, 30), None);
+        assert_eq!(d.on_request(4, 5), None);
+        assert_eq!(d.on_client_free(10), Some((3, 10)));
+    }
+
+    #[test]
+    fn tie_break_is_submission_order() {
+        let mut d = DispatcherCore::new(DispatchPolicy::LastMinute, vec![10]);
+        let _ = d.on_request(2, 0);
+        assert_eq!(d.on_request(7, 4), None);
+        assert_eq!(d.on_request(8, 4), None);
+        assert_eq!(d.on_client_free(10), Some((7, 10)), "equal sizes: FIFO");
+    }
+
+    #[test]
+    fn policy_metadata() {
+        assert!(!DispatchPolicy::RoundRobin.uses_free_list());
+        assert!(DispatchPolicy::LastMinute.uses_free_list());
+        assert_eq!(DispatchPolicy::LastMinute.to_string(), "LM");
+        assert_eq!(DispatchPolicy::RoundRobin.to_string(), "RR");
+    }
+}

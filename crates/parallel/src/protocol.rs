@@ -1,0 +1,142 @@
+//! The wire protocol between the four process roles (paper §IV, Figs 2–5).
+//!
+//! Rank layout in a world of `2 + M + C` processes:
+//!
+//! ```text
+//! rank 0            root
+//! rank 1            dispatcher
+//! ranks 2 .. 2+M    median processes
+//! ranks 2+M ..      client processes
+//! ```
+//!
+//! The four communications of Figure 2 map to messages here:
+//! (a) root → median  [`Msg::EvalRequest`]
+//! (b) median → dispatcher [`Msg::WhichClient`], dispatcher → median
+//!     [`Msg::UseClient`], median → client [`Msg::EvalRequest`]
+//! (c) client → median [`Msg::EvalResult`] (and, Last-Minute only,
+//!     client → dispatcher [`Msg::ClientFree`], Figure 4 (c'))
+//! (d) median → root  [`Msg::EvalResult`]
+
+use cluster_rt::{Rank, Tagged};
+use nmcs_core::Score;
+
+/// Messages exchanged by the parallel search processes.
+#[derive(Debug, Clone)]
+pub enum Msg<G, Mv> {
+    /// Evaluate `position` with a search at `level`; all randomness must
+    /// derive from `seed`. Root→median and median→client.
+    EvalRequest {
+        position: G,
+        level: u32,
+        seed: u64,
+        /// Echoed back in the result so the requester can match
+        /// out-of-order replies to moves.
+        job: usize,
+    },
+    /// The result of an evaluation. Client→median and median→root.
+    EvalResult {
+        job: usize,
+        score: Score,
+        /// Continuation realising `score` (empty when only the score is
+        /// needed, as in the paper's median→root reply).
+        sequence: Vec<Mv>,
+        /// Work units spent (drives the simulator's cost model and the
+        /// experiment reports).
+        work: u64,
+        /// Number of client jobs this result aggregates (1 for a client's
+        /// own reply; the job count of the whole median game for a
+        /// median's reply to the root).
+        jobs: u64,
+    },
+    /// Median asks the dispatcher for a client; carries the number of
+    /// moves already played in the position to evaluate (the Last-Minute
+    /// expected-time estimate, paper §IV-B).
+    WhichClient { moves_played: usize },
+    /// Dispatcher's reply: use this client.
+    UseClient { client: Rank },
+    /// A client informs the dispatcher it is free (Last-Minute only).
+    ClientFree,
+    /// Orderly termination.
+    Shutdown,
+}
+
+impl<G, Mv> Tagged for Msg<G, Mv> {
+    fn tag(&self) -> &'static str {
+        match self {
+            Msg::EvalRequest { .. } => "EvalRequest",
+            Msg::EvalResult { .. } => "EvalResult",
+            Msg::WhichClient { .. } => "WhichClient",
+            Msg::UseClient { .. } => "UseClient",
+            Msg::ClientFree => "ClientFree",
+            Msg::Shutdown => "Shutdown",
+        }
+    }
+}
+
+/// Fixed ranks.
+pub const ROOT: Rank = 0;
+/// The dispatcher's rank.
+pub const DISPATCHER: Rank = 1;
+/// First median rank.
+pub const FIRST_MEDIAN: Rank = 2;
+
+/// Rank of median `i` in a world with `n_medians` medians.
+pub const fn median_rank(i: usize) -> Rank {
+    FIRST_MEDIAN + i
+}
+
+/// Rank of client `i` in a world with `n_medians` medians.
+pub const fn client_rank(n_medians: usize, i: usize) -> Rank {
+    FIRST_MEDIAN + n_medians + i
+}
+
+/// Inverse of [`client_rank`].
+pub const fn client_index(n_medians: usize, rank: Rank) -> usize {
+    rank - FIRST_MEDIAN - n_medians
+}
+
+/// Total world size for a given topology.
+pub const fn world_size(n_medians: usize, n_clients: usize) -> usize {
+    2 + n_medians + n_clients
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_layout_is_consistent() {
+        let m = 5;
+        let c = 8;
+        assert_eq!(world_size(m, c), 15);
+        assert_eq!(median_rank(0), 2);
+        assert_eq!(median_rank(4), 6);
+        assert_eq!(client_rank(m, 0), 7);
+        assert_eq!(client_rank(m, 7), 14);
+        for i in 0..c {
+            assert_eq!(client_index(m, client_rank(m, i)), i);
+        }
+    }
+
+    #[test]
+    fn tags_name_each_message() {
+        type M = Msg<(), ()>;
+        let msgs: Vec<(M, &str)> = vec![
+            (
+                Msg::EvalRequest { position: (), level: 1, seed: 0, job: 0 },
+                "EvalRequest",
+            ),
+            (
+                Msg::EvalResult { job: 0, score: 0, sequence: vec![], work: 0, jobs: 0 },
+                "EvalResult",
+            ),
+            (Msg::WhichClient { moves_played: 3 }, "WhichClient"),
+            (Msg::UseClient { client: 9 }, "UseClient"),
+            (Msg::ClientFree, "ClientFree"),
+            (Msg::Shutdown, "Shutdown"),
+        ];
+        for (m, tag) in msgs {
+            assert_eq!(m.tag(), tag);
+        }
+    }
+}

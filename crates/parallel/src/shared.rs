@@ -1,0 +1,175 @@
+//! Shared-memory parallel NMCS (ablation A3).
+//!
+//! The paper distributes work across machines; on a single multi-core
+//! machine the same per-move evaluation loop can be parallelised with a
+//! worker pool and no message passing. This module implements *root-level
+//! leaf parallelism*: at each step of the top-level game, the candidate
+//! evaluations (complete `level − 1` searches) run concurrently on a pool
+//! of scoped threads fed by a crossbeam channel.
+//!
+//! Results are identical to the sequential greedy search with the same
+//! seed derivation (the agreement test asserts it); only wall-clock time
+//! changes. This is the natural "rayon-style" contrast configuration for
+//! the cluster algorithms.
+
+use crate::seeds::median_seed;
+use crate::trace::{ParallelOutcome, RunMode};
+use crossbeam::channel::unbounded;
+use nmcs_core::{nested, Game, NestedConfig, Rng, Score};
+use std::time::{Duration, Instant};
+
+/// Configuration for [`par_nested`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Search level of the top-level game (≥ 1). Each candidate move is
+    /// evaluated with a `level − 1` search.
+    pub level: u32,
+    /// Worker threads.
+    pub threads: usize,
+    pub seed: u64,
+    pub mode: RunMode,
+    pub playout_cap: Option<usize>,
+}
+
+impl PoolConfig {
+    pub fn new(level: u32, threads: usize) -> Self {
+        Self { level, threads, seed: 0, mode: RunMode::FullGame, playout_cap: None }
+    }
+}
+
+/// Runs a top-level greedy NMCS whose per-move evaluations execute on a
+/// worker pool. Returns the outcome and the wall-clock duration.
+pub fn par_nested<G>(game: &G, config: &PoolConfig) -> (ParallelOutcome<G::Move>, Duration)
+where
+    G: Game + Send,
+    G::Move: Send,
+{
+    assert!(config.level >= 1, "par_nested needs level >= 1");
+    assert!(config.threads >= 1);
+    let eval_level = config.level - 1;
+    let nconfig = NestedConfig { playout_cap: config.playout_cap, ..NestedConfig::paper() };
+
+    let started = Instant::now();
+    let mut pos = game.clone();
+    let mut sequence = Vec::new();
+    let mut total_work = 0u64;
+    let mut client_jobs = 0u64;
+    let mut first_step_best: Option<Score> = None;
+    let mut moves: Vec<G::Move> = Vec::new();
+    let mut step = 0usize;
+
+    loop {
+        moves.clear();
+        pos.legal_moves(&mut moves);
+        if moves.is_empty() {
+            break;
+        }
+
+        // Fan the evaluations out over a scoped pool.
+        let (job_tx, job_rx) = unbounded::<(usize, G)>();
+        let (res_tx, res_rx) = unbounded::<(usize, Score, u64)>();
+        for (i, mv) in moves.iter().enumerate() {
+            let mut child = pos.clone();
+            child.play(mv);
+            job_tx.send((i, child)).expect("queue open");
+        }
+        drop(job_tx);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..config.threads.min(moves.len()) {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let nconfig = &nconfig;
+                let seed = config.seed;
+                scope.spawn(move |_| {
+                    while let Ok((i, child)) = job_rx.recv() {
+                        let mut rng = Rng::seeded(median_seed(seed, step, i));
+                        let r = nested(&child, eval_level, nconfig, &mut rng);
+                        res_tx
+                            .send((i, r.score, r.stats.work_units))
+                            .expect("result channel open");
+                    }
+                });
+            }
+        })
+        .expect("pool workers do not panic");
+        drop(res_tx);
+
+        let mut best: Option<(Score, usize)> = None;
+        for (i, score, work) in res_rx.iter() {
+            total_work += work;
+            client_jobs += 1;
+            if best.is_none_or(|(bs, bj)| score > bs || (score == bs && i < bj)) {
+                best = Some((score, i));
+            }
+        }
+        let (best_score, best_idx) = best.expect("non-empty move list");
+        if step == 0 {
+            first_step_best = Some(best_score);
+        }
+        sequence.push(moves[best_idx].clone());
+        pos.play(&moves[best_idx]);
+        step += 1;
+        if config.mode == RunMode::FirstMove {
+            break;
+        }
+    }
+
+    let score = match config.mode {
+        RunMode::FirstMove => first_step_best.unwrap_or_else(|| pos.score()),
+        RunMode::FullGame => pos.score(),
+    };
+    (
+        ParallelOutcome { score, sequence, total_work, client_jobs },
+        started.elapsed(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmcs_games::{NeedleLadder, SumGame};
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = SumGame::random(6, 4, 5);
+        let mut reference: Option<ParallelOutcome<u8>> = None;
+        for threads in [1, 2, 4] {
+            let mut cfg = PoolConfig::new(2, threads);
+            cfg.seed = 9;
+            let (out, _) = par_nested(&g, &cfg);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => {
+                    assert_eq!(out.score, r.score, "{threads} threads");
+                    assert_eq!(out.sequence, r.sequence, "{threads} threads");
+                    assert_eq!(out.total_work, r.total_work, "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solves_needle_ladder() {
+        let g = NeedleLadder::new(10);
+        let (out, _) = par_nested(&g, &PoolConfig::new(2, 2));
+        assert_eq!(out.score, g.optimum());
+    }
+
+    #[test]
+    fn level_1_evaluates_with_playouts() {
+        let g = SumGame::random(5, 3, 2);
+        let (out, _) = par_nested(&g, &PoolConfig::new(1, 2));
+        assert_eq!(out.sequence.len(), 5);
+        assert_eq!(out.client_jobs, 15, "3 evals per step × 5 steps");
+    }
+
+    #[test]
+    fn first_move_mode_stops_early() {
+        let g = SumGame::random(5, 3, 2);
+        let mut cfg = PoolConfig::new(2, 2);
+        cfg.mode = RunMode::FirstMove;
+        let (out, _) = par_nested(&g, &cfg);
+        assert_eq!(out.sequence.len(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Table VI live: why the Last-Minute dispatcher wins on heterogeneous
+//! clusters.
+//!
+//! Replays a paper-scale level-3 workload on the paper's oversubscribed
+//! repartitions (16×4+16×2 and 8×4+8×2) under all four dispatch policies,
+//! showing the utilisation gap that blind Round-Robin leaves on the
+//! table and how much of Last-Minute's gain comes from its longest-first
+//! job ordering.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster [seed]
+//! ```
+
+use pnmcs::parallel::{simulate_trace, simulate_trace_recorded, DispatchPolicy, RunMode, TraceModel};
+use pnmcs::sim::{format_time, gantt, ClusterSpec};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2009);
+    let trace = TraceModel::level3_like().synthesize(RunMode::FirstMove, seed);
+    println!(
+        "level-3-like first-move workload: {} client jobs, {} Mwu total\n",
+        trace.client_jobs,
+        trace.total_work / 1_000_000
+    );
+
+    let policies = [
+        DispatchPolicy::LastMinute,
+        DispatchPolicy::LastMinuteFifo,
+        DispatchPolicy::LastMinuteShortest,
+        DispatchPolicy::RoundRobin,
+    ];
+
+    for (name, cluster) in [
+        ("16x4+16x2 (96 clients)", ClusterSpec::hetero_16x4_16x2()),
+        ("8x4+8x2   (48 clients)", ClusterSpec::hetero_8x4_8x2()),
+        ("64 homogeneous", ClusterSpec::paper_64()),
+    ] {
+        println!("{name}: capacity {:.0} core-equivalents", cluster.capacity());
+        let mut lm_time = None;
+        for policy in policies {
+            let out = simulate_trace(&trace, &cluster, policy);
+            if policy == DispatchPolicy::LastMinute {
+                lm_time = Some(out.makespan);
+            }
+            let vs = lm_time
+                .map(|lm| format!("{:+6.1}%", (out.makespan as f64 / lm as f64 - 1.0) * 100.0))
+                .unwrap_or_default();
+            println!(
+                "  {:<7} {:>9}  util {:>3.0}%  queue-wait {:>7}   {}",
+                policy.to_string(),
+                format_time(out.makespan),
+                out.stats.mean_utilisation * 100.0,
+                format_time(out.stats.mean_queue_wait as u64),
+                vs
+            );
+        }
+        println!();
+    }
+    println!(
+        "Paper (Table VI, level 3): LM 14s vs RR 16s on 16x4+16x2, \
+         LM 18s vs RR 25s on 8x4+8x2."
+    );
+
+    // Gantt view of the mechanism on a small mixed cluster: RR lets the
+    // slow clients (top rows) become the critical path while fast ones
+    // idle; LM keeps everyone busy.
+    let small = TraceModel { game_len: 16, branching0: 6.0, ..TraceModel::level3_like() }
+        .synthesize(RunMode::FirstMove, seed);
+    let tiny_cluster = ClusterSpec::oversubscribed(1, 1).with_ns_per_unit(2e3); // 4 slow + 2 fast
+    for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LastMinute] {
+        let (out, timelines) = simulate_trace_recorded(&small, &tiny_cluster, policy);
+        println!("\n{policy} on 4 slow + 2 fast clients ({}):", format_time(out.makespan));
+        print!("{}", gantt(&timelines, out.makespan, 60));
+    }
+}

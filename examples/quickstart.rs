@@ -1,0 +1,47 @@
+//! Quickstart: sequential Nested Monte-Carlo Search on Morpion Solitaire.
+//!
+//! Plays the paper's §III algorithm at levels 0–2 on the official
+//! 36-point 5D cross and prints the resulting grids, demonstrating the
+//! "each level amplifies the one below" behaviour that motivates the
+//! whole paper.
+//!
+//! ```text
+//! cargo run --release --example quickstart [seed]
+//! ```
+
+use pnmcs::morpion::{render_default, standard_5d, GameRecord};
+use pnmcs::search::{nested, Game, NestedConfig, Rng};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2009);
+    let board = standard_5d();
+    println!("Morpion Solitaire, disjoint (5D) version — the paper's domain.");
+    println!("Start position ({} points):\n", board.initial_points().len());
+    println!("{}", render_default(&board));
+
+    let config = NestedConfig::paper();
+    for level in 0..=2u32 {
+        let start = std::time::Instant::now();
+        let result = nested(&board, level, &config, &mut Rng::seeded(seed));
+        let elapsed = start.elapsed();
+        println!(
+            "level {level}: score {:>3} moves  ({} playouts, {:.2?})",
+            result.score, result.stats.playouts, elapsed
+        );
+
+        if level == 2 {
+            let mut replay = board.clone();
+            for mv in &result.sequence {
+                replay.play(mv);
+            }
+            let record = GameRecord::from_board(&replay, format!("quickstart seed {seed}"));
+            record.verify().expect("search output must replay legally");
+            println!("\nBest grid found (level 2, {} moves):\n", result.score);
+            println!("{}", render_default(&replay));
+            println!(
+                "Context: best human score 68, pre-paper record 79 (simulated \
+                 annealing),\nthe paper's parallel level-4 record 80, proven bound 121."
+            );
+        }
+    }
+}

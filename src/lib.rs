@@ -1,0 +1,52 @@
+//! # pnmcs — Parallel Nested Monte-Carlo Search
+//!
+//! A full reproduction of *"Parallel Nested Monte-Carlo Search"*
+//! (Cazenave & Jouandeau, NIDISC/IPDPS 2009) as a Rust workspace. This
+//! facade crate re-exports the public API of every subsystem:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`search`] | `nmcs-core` | the `Game` trait, `sample`, `nested`, baselines, RNG |
+//! | [`morpion`] | `morpion` | Morpion Solitaire 5T/5D, records, rendering |
+//! | [`games`] | `nmcs-games` | SameGame, rollout-TSP, toy validation games |
+//! | [`parallel`] | `parallel-nmcs` | root/median/dispatcher/client roles, RR & LM dispatchers, backends |
+//! | [`cluster`] | `cluster-rt` | MPI-like in-process message passing |
+//! | [`sim`] | `des-sim` | deterministic discrete-event cluster simulation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pnmcs::search::{nested, NestedConfig, Rng};
+//! use pnmcs::morpion::standard_5d;
+//!
+//! // A level-1 Nested Monte-Carlo Search on the official 5D cross.
+//! let result = nested(
+//!     &standard_5d(),
+//!     1,
+//!     &NestedConfig::paper(),
+//!     &mut Rng::seeded(2009),
+//! );
+//! assert!(result.score > 40, "level 1 comfortably beats random play");
+//! ```
+//!
+//! ## Parallel search on threads
+//!
+//! ```
+//! use pnmcs::parallel::{run_threads, DispatchPolicy, RunMode, ThreadConfig};
+//! use pnmcs::morpion::{cross_board, Variant};
+//!
+//! let board = cross_board(Variant::Disjoint, 2); // reduced cross
+//! let mut config = ThreadConfig::new(2, DispatchPolicy::LastMinute, 2);
+//! config.n_medians = 4;
+//! config.mode = RunMode::FirstMove;
+//! let (outcome, report) = run_threads(&board, &config);
+//! assert!(outcome.score > 0);
+//! assert!(report.total_work > 0);
+//! ```
+
+pub use cluster_rt as cluster;
+pub use des_sim as sim;
+pub use morpion;
+pub use nmcs_core as search;
+pub use nmcs_games as games;
+pub use parallel_nmcs as parallel;

@@ -1,0 +1,115 @@
+//! Cross-backend agreement: the sequential reference, the threaded
+//! runtime, and the discrete-event simulator must make identical search
+//! decisions for identical seeds — the determinism contract that makes
+//! the simulated cluster results transferable.
+
+use pnmcs::morpion::{cross_board, Variant};
+use pnmcs::parallel::{
+    run_threads, run_threads_traced, simulate_trace, trace::run_reference, DispatchPolicy,
+    RunMode, ThreadConfig,
+};
+use pnmcs::games::SumGame;
+use pnmcs::sim::ClusterSpec;
+
+fn thread_config(level: u32, policy: DispatchPolicy) -> ThreadConfig {
+    let mut cfg = ThreadConfig::new(level, policy, 3);
+    cfg.n_medians = 6;
+    cfg.seed = 4242;
+    cfg
+}
+
+#[test]
+fn threads_match_reference_on_morpion() {
+    // Tiny cross: a complete level-2 parallel game in well under a second.
+    let board = cross_board(Variant::Disjoint, 2);
+    for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LastMinute] {
+        let cfg = thread_config(2, policy);
+        let (t_out, _) = run_threads(&board, &cfg);
+        let (r_out, _) = run_reference(&board, 2, cfg.seed, RunMode::FullGame, None);
+        assert_eq!(t_out.score, r_out.score, "{policy}");
+        assert_eq!(t_out.sequence, r_out.sequence, "{policy}");
+        assert_eq!(t_out.total_work, r_out.total_work, "{policy}");
+        assert_eq!(t_out.client_jobs, r_out.client_jobs, "{policy}");
+    }
+}
+
+#[test]
+fn simulator_executes_exactly_the_recorded_jobs() {
+    let board = cross_board(Variant::Disjoint, 2);
+    let (_, trace) = run_reference(&board, 2, 9, RunMode::FullGame, None);
+    for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LastMinute] {
+        let out = simulate_trace(&trace, &ClusterSpec::homogeneous(5), policy);
+        assert_eq!(out.stats.jobs, trace.client_jobs, "{policy}");
+        assert_eq!(out.stats.total_work, trace.total_work, "{policy}");
+    }
+}
+
+#[test]
+fn first_move_agreement_at_level_3() {
+    let board = cross_board(Variant::Disjoint, 2);
+    let mut cfg = thread_config(3, DispatchPolicy::LastMinute);
+    cfg.mode = RunMode::FirstMove;
+    let (t_out, _) = run_threads(&board, &cfg);
+    let (r_out, _) = run_reference(&board, 3, cfg.seed, RunMode::FirstMove, None);
+    assert_eq!(t_out.score, r_out.score);
+    assert_eq!(t_out.sequence, r_out.sequence);
+}
+
+#[test]
+fn message_flow_follows_figures_2_through_5() {
+    use pnmcs::parallel::{DISPATCHER, ROOT};
+    let g = SumGame::random(4, 3, 8);
+    let mut cfg = thread_config(2, DispatchPolicy::LastMinute);
+    cfg.mode = RunMode::FirstMove;
+    let (_, _, log) = run_threads_traced(&g, &cfg);
+
+    // Figure 2 (a): the root opens by sending positions to medians.
+    let first_sends: Vec<_> = log.iter().filter(|e| e.from == ROOT).collect();
+    assert!(first_sends.iter().all(|e| e.tag == "EvalRequest" || e.tag == "Shutdown"));
+
+    // Figure 2 (b): every client request is mediated by the dispatcher.
+    let asks = log.iter().filter(|e| e.tag == "WhichClient").count();
+    let grants = log.iter().filter(|e| e.tag == "UseClient").count();
+    assert_eq!(asks, grants, "every ask is granted exactly once");
+
+    // Figure 4 (c'): Last-Minute clients notify the dispatcher.
+    let frees = log.iter().filter(|e| e.tag == "ClientFree").count();
+    let client_results = log
+        .iter()
+        .filter(|e| e.tag == "EvalResult" && e.to != ROOT)
+        .count();
+    assert_eq!(frees, client_results, "one free notice per client job");
+    assert!(log.iter().any(|e| e.to == DISPATCHER && e.tag == "ClientFree"));
+
+    // Figure 2 (d): medians report to the root (3 candidate moves).
+    let to_root = log
+        .iter()
+        .filter(|e| e.to == ROOT && e.tag == "EvalResult")
+        .count();
+    assert_eq!(to_root, 3);
+}
+
+#[test]
+fn round_robin_run_has_no_free_notices() {
+    let g = SumGame::random(4, 3, 8);
+    let mut cfg = thread_config(2, DispatchPolicy::RoundRobin);
+    cfg.mode = RunMode::FirstMove;
+    let (_, _, log) = run_threads_traced(&g, &cfg);
+    assert_eq!(
+        log.iter().filter(|e| e.tag == "ClientFree").count(),
+        0,
+        "Figure 2's protocol has no (c') message"
+    );
+}
+
+#[test]
+fn playout_caps_propagate_to_all_backends() {
+    let board = cross_board(Variant::Disjoint, 3);
+    let mut cfg = thread_config(2, DispatchPolicy::LastMinute);
+    cfg.mode = RunMode::FirstMove;
+    cfg.playout_cap = Some(4);
+    let (t_out, _) = run_threads(&board, &cfg);
+    let (r_out, _) = run_reference(&board, 2, cfg.seed, RunMode::FirstMove, Some(4));
+    assert_eq!(t_out.score, r_out.score);
+    assert_eq!(t_out.total_work, r_out.total_work);
+}

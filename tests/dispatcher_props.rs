@@ -1,0 +1,125 @@
+//! Property-based tests of the dispatcher state machine: the scheduling
+//! invariants that hold after *any* interleaving of requests and free
+//! notices.
+
+use pnmcs::parallel::{DispatchPolicy, DispatcherCore};
+use proptest::prelude::*;
+
+/// A scripted event against the dispatcher.
+#[derive(Debug, Clone)]
+enum Ev {
+    Request { median: usize, moves: usize },
+    Free { client_slot: usize },
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0usize..8, 0usize..60).prop_map(|(m, mv)| Ev::Request { median: 100 + m, moves: mv }),
+        (0usize..4).prop_map(|c| Ev::Free { client_slot: c }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Last-Minute never leaves a job pending while a client sits on the
+    /// free list, and never grants a busy client.
+    #[test]
+    fn lm_is_work_conserving(events in proptest::collection::vec(ev_strategy(), 1..80)) {
+        let clients: Vec<usize> = vec![0, 1, 2, 3];
+        let mut core = DispatcherCore::new(DispatchPolicy::LastMinute, clients.clone());
+        let mut busy = [false; 4];
+
+        for ev in events {
+            match ev {
+                Ev::Request { median, moves } => {
+                    if let Some(c) = core.on_request(median, moves) {
+                        prop_assert!(!busy[c], "granted busy client {c}");
+                        busy[c] = true;
+                    }
+                }
+                Ev::Free { client_slot } => {
+                    // Only a busy client can free.
+                    if busy[client_slot] {
+                        busy[client_slot] = false;
+                        if let Some((_, c)) = core.on_client_free(client_slot) {
+                            prop_assert_eq!(c, client_slot);
+                            busy[c] = true;
+                        }
+                    }
+                }
+            }
+            // The invariant: free list and pending queue never coexist.
+            prop_assert!(
+                core.free_clients() == 0 || core.pending_jobs() == 0,
+                "free={} pending={}",
+                core.free_clients(),
+                core.pending_jobs()
+            );
+        }
+    }
+
+    /// Round-Robin grants every request immediately and cycles fairly.
+    #[test]
+    fn rr_grants_immediately_and_fairly(n_requests in 1usize..100) {
+        let clients: Vec<usize> = vec![10, 11, 12];
+        let mut core = DispatcherCore::new(DispatchPolicy::RoundRobin, clients.clone());
+        let mut counts = [0usize; 3];
+        for i in 0..n_requests {
+            let c = core.on_request(100, i).expect("RR always grants");
+            counts[c - 10] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "unfair cycle: {counts:?}");
+    }
+
+    /// Under Last-Minute, pending jobs are served longest-remaining first
+    /// (fewest moves played), ties by arrival.
+    #[test]
+    fn lm_serves_longest_first(moves in proptest::collection::vec(0usize..50, 2..12)) {
+        let mut core = DispatcherCore::new(DispatchPolicy::LastMinute, vec![0]);
+        // Occupy the single client.
+        let _ = core.on_request(99, 0);
+        for (i, &m) in moves.iter().enumerate() {
+            prop_assert_eq!(core.on_request(200 + i, m), None);
+        }
+        // Drain: medians must come back sorted by (moves, arrival).
+        let mut expected: Vec<(usize, usize)> =
+            moves.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        expected.sort();
+        for (_, idx) in expected {
+            let (median, _) = core.on_client_free(0).expect("job pending");
+            prop_assert_eq!(median, 200 + idx);
+        }
+        prop_assert_eq!(core.pending_jobs(), 0);
+    }
+
+    /// The shortest-first ablation is the exact mirror of Last-Minute.
+    #[test]
+    fn sjf_is_the_mirror_of_lm(moves in proptest::collection::vec(0usize..50, 2..10)) {
+        let mut lm = DispatcherCore::new(DispatchPolicy::LastMinute, vec![0]);
+        let mut sjf = DispatcherCore::new(DispatchPolicy::LastMinuteShortest, vec![0]);
+        let _ = lm.on_request(99, 0);
+        let _ = sjf.on_request(99, 0);
+        let distinct: Vec<usize> = {
+            // Make sizes unique so the mirror property is exact.
+            let mut v = moves.clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for (i, &m) in distinct.iter().enumerate() {
+            let _ = lm.on_request(300 + i, m);
+            let _ = sjf.on_request(300 + i, m);
+        }
+        let mut lm_order = Vec::new();
+        let mut sjf_order = Vec::new();
+        for _ in 0..distinct.len() {
+            lm_order.push(lm.on_client_free(0).unwrap().0);
+            sjf_order.push(sjf.on_client_free(0).unwrap().0);
+        }
+        sjf_order.reverse();
+        prop_assert_eq!(lm_order, sjf_order);
+    }
+}

@@ -1,0 +1,72 @@
+//! Extension X1: NRPA (Rosin 2011) — the algorithm that took the Morpion
+//! record back from the paper — integrated with the rest of the library.
+
+use pnmcs::morpion::{cross_board, standard_5d, GameRecord, Variant};
+use pnmcs::search::driver::{drive, Budget};
+use pnmcs::search::{nested, nrpa, Game, NestedConfig, NrpaConfig, Rng};
+
+#[test]
+fn nrpa_plays_legal_verified_morpion_games() {
+    let board = cross_board(Variant::Disjoint, 3);
+    let cfg = NrpaConfig { iterations: 15, alpha: 1.0 };
+    let r = nrpa(&board, 2, &cfg, &mut Rng::seeded(1));
+    let mut replay = board.clone();
+    for mv in &r.sequence {
+        replay.play(mv);
+    }
+    assert_eq!(replay.score(), r.score);
+    let record = GameRecord::from_board(&replay, "nrpa test");
+    assert_eq!(record.verify().unwrap() as i64, r.score);
+}
+
+#[test]
+fn nrpa_level2_beats_single_level1_nmcs_on_average() {
+    // At comparable playout budgets NRPA's learned policy should at least
+    // match plain NMCS on the reduced cross; compare averages over seeds.
+    let board = cross_board(Variant::Disjoint, 3);
+    let trials = 5;
+    let mut nrpa_sum = 0i64;
+    let mut nmcs_sum = 0i64;
+    for seed in 0..trials {
+        let l1 = nested(&board, 1, &NestedConfig::paper(), &mut Rng::seeded(seed));
+        let iters = (l1.stats.playouts as f64).sqrt().ceil() as usize;
+        let cfg = NrpaConfig { iterations: iters, alpha: 1.0 };
+        let r = nrpa(&board, 2, &cfg, &mut Rng::seeded(seed));
+        nrpa_sum += r.score;
+        nmcs_sum += l1.score;
+    }
+    assert!(
+        nrpa_sum + 2 * trials as i64 >= nmcs_sum,
+        "NRPA ({nrpa_sum}) should be competitive with NMCS level 1 ({nmcs_sum})"
+    );
+}
+
+#[test]
+fn nrpa_works_under_the_restart_driver() {
+    let board = cross_board(Variant::Disjoint, 2);
+    let cfg = NrpaConfig { iterations: 8, alpha: 1.0 };
+    let report = drive(&board, 7, &Budget::runs(4), |g, rng| nrpa(g, 1, &cfg, rng));
+    assert_eq!(report.runs, 4);
+    assert!(report.best.score > 0);
+    // The winning seed reproduces the winning game.
+    let again = nrpa(&board, 1, &cfg, &mut Rng::seeded(report.best_seed));
+    assert_eq!(again.score, report.best.score);
+    assert_eq!(again.sequence, report.best.sequence);
+}
+
+#[test]
+fn nrpa_improves_with_iterations_on_morpion() {
+    let board = standard_5d();
+    let score_at = |iters: usize| {
+        let cfg = NrpaConfig { iterations: iters, alpha: 1.0 };
+        (0..3)
+            .map(|s| nrpa(&board, 1, &cfg, &mut Rng::seeded(s)).score)
+            .sum::<i64>()
+    };
+    let few = score_at(3);
+    let many = score_at(30);
+    assert!(
+        many > few,
+        "30 iterations ({many}) should beat 3 iterations ({few}) summed over seeds"
+    );
+}

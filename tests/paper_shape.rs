@@ -1,0 +1,128 @@
+//! Shape checks against the paper's published results: who wins, by
+//! roughly what factor, and where the structure lands. These use the
+//! paper-scale synthetic workloads (fast) — the full regeneration lives
+//! in the `tables` binary.
+
+use nmcs_bench::paper;
+use pnmcs::parallel::{simulate_trace, DispatchPolicy, RunMode, TraceModel};
+use pnmcs::sim::ClusterSpec;
+
+fn level3_first_move() -> pnmcs::parallel::SearchTrace {
+    TraceModel::level3_like().synthesize(RunMode::FirstMove, 2009)
+}
+
+fn anchored(trace: &pnmcs::parallel::SearchTrace, secs: u64) -> f64 {
+    secs as f64 * 1e9 / trace.total_work as f64
+}
+
+#[test]
+fn speedup_at_64_clients_lands_near_56() {
+    let trace = level3_first_move();
+    let nspu = anchored(&trace, paper::paper_time(paper::T2_RR_FIRST_L3, 1).unwrap());
+    let t1 = simulate_trace(
+        &trace,
+        &ClusterSpec::homogeneous(1).with_ns_per_unit(nspu),
+        DispatchPolicy::RoundRobin,
+    )
+    .makespan;
+    let t64 = simulate_trace(
+        &trace,
+        &ClusterSpec::paper_64().with_ns_per_unit(nspu),
+        DispatchPolicy::RoundRobin,
+    )
+    .makespan;
+    let speedup = t1 as f64 / t64 as f64;
+    assert!(
+        (45.0..70.0).contains(&speedup),
+        "64-client speedup {speedup}, paper ~56"
+    );
+}
+
+#[test]
+fn speedup_at_32_homogeneous_lands_near_30() {
+    let trace = level3_first_move();
+    let nspu = anchored(&trace, 547);
+    let t1 = simulate_trace(
+        &trace,
+        &ClusterSpec::homogeneous(1).with_ns_per_unit(nspu),
+        DispatchPolicy::RoundRobin,
+    )
+    .makespan;
+    let t32 = simulate_trace(
+        &trace,
+        &ClusterSpec::homogeneous(32).with_ns_per_unit(nspu),
+        DispatchPolicy::RoundRobin,
+    )
+    .makespan;
+    let speedup = t1 as f64 / t32 as f64;
+    assert!(
+        (26.0..33.0).contains(&speedup),
+        "32-client speedup {speedup}, paper 29.8"
+    );
+}
+
+#[test]
+fn sweep_times_track_the_paper_within_a_factor() {
+    // Row-by-row: anchored at the 1-client row, every other row of
+    // Table II level 3 should land within ~35% of the paper's time.
+    let trace = level3_first_move();
+    let nspu = anchored(&trace, 547);
+    for &(clients, paper_secs) in paper::T2_RR_FIRST_L3 {
+        let cluster = if clients == 64 {
+            ClusterSpec::paper_64().with_ns_per_unit(nspu)
+        } else {
+            ClusterSpec::homogeneous(clients).with_ns_per_unit(nspu)
+        };
+        let ours = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin).makespan as f64
+            / 1e9;
+        let ratio = ours / paper_secs as f64;
+        assert!(
+            (0.65..1.35).contains(&ratio),
+            "{clients} clients: ours {ours:.0}s vs paper {paper_secs}s (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_lm_advantage_matches_table6_direction_and_magnitude() {
+    let trace = TraceModel::level4_like().synthesize(RunMode::FirstMove, 2009);
+    let nspu = anchored(&trace, paper::paper_time(paper::T2_RR_FIRST_L4, 1).unwrap());
+    for (cluster, paper_lm, paper_rr) in [
+        (ClusterSpec::hetero_16x4_16x2().with_ns_per_unit(nspu), 28 * 60 + 37, 45 * 60 + 17),
+        (ClusterSpec::hetero_8x4_8x2().with_ns_per_unit(nspu), 58 * 60 + 21, 3600 + 24 * 60 + 11),
+    ] {
+        let lm = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute).makespan;
+        let rr = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin).makespan;
+        assert!(lm < rr, "LM must win");
+        let our_gain = rr as f64 / lm as f64;
+        let paper_gain = paper_rr as f64 / paper_lm as f64;
+        assert!(
+            (our_gain - paper_gain).abs() < 0.45,
+            "LM gain {our_gain:.2} vs paper {paper_gain:.2}"
+        );
+    }
+}
+
+#[test]
+fn full_game_costs_several_times_the_first_move() {
+    // Table I: one rollout ≈ 9× the first move at level 3.
+    let model = TraceModel::level3_like();
+    let first = model.synthesize(RunMode::FirstMove, 2009).total_work as f64;
+    let full = model.synthesize(RunMode::FullGame, 2009).total_work as f64;
+    let ratio = full / first;
+    assert!(
+        (4.0..25.0).contains(&ratio),
+        "rollout/first-move work ratio {ratio:.1}, paper ≈ 9"
+    );
+}
+
+#[test]
+fn level4_workload_is_two_orders_heavier_than_level3() {
+    let l3 = TraceModel::level3_like().synthesize(RunMode::FirstMove, 1).total_work as f64;
+    let l4 = TraceModel::level4_like().synthesize(RunMode::FirstMove, 1).total_work as f64;
+    let ratio = l4 / l3;
+    assert!(
+        (100.0..400.0).contains(&ratio),
+        "level ratio {ratio:.0}, paper ≈ 207"
+    );
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the discrete-event replay: conservation,
+//! monotonicity, and determinism over randomly generated workloads.
+
+use pnmcs::parallel::{simulate_trace, DispatchPolicy, RunMode, TraceModel};
+use pnmcs::sim::ClusterSpec;
+use proptest::prelude::*;
+
+fn small_model(game_len: usize, branching: f64, sigma: f64) -> TraceModel {
+    TraceModel { game_len, branching0: branching, demand0: 5_000.0, gamma: 2.5, sigma }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every job runs exactly once regardless of policy or cluster shape.
+    #[test]
+    fn work_conservation(
+        seed in 0u64..500,
+        n_clients in 1usize..20,
+        game_len in 6usize..16,
+    ) {
+        let trace = small_model(game_len, 5.0, 0.3).synthesize(RunMode::FullGame, seed);
+        for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LastMinute] {
+            let out = simulate_trace(&trace, &ClusterSpec::homogeneous(n_clients), policy);
+            prop_assert_eq!(out.stats.jobs, trace.client_jobs);
+            prop_assert_eq!(out.stats.total_work, trace.total_work);
+            prop_assert!(out.makespan > 0);
+        }
+    }
+
+    /// Doubling the client count never slows Last-Minute down (it is
+    /// work-conserving; blind RR does not have this guarantee).
+    #[test]
+    fn lm_makespan_monotone_in_clients(seed in 0u64..200) {
+        let trace = small_model(12, 6.0, 0.4).synthesize(RunMode::FirstMove, seed);
+        let mut last = u64::MAX;
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let out = simulate_trace(
+                &trace,
+                &ClusterSpec::homogeneous(n),
+                DispatchPolicy::LastMinute,
+            );
+            prop_assert!(
+                out.makespan <= last,
+                "{n} clients: {} after {last}",
+                out.makespan
+            );
+            last = out.makespan;
+        }
+    }
+
+    /// Utilisation stays in [0, 1] and decreases when clients multiply.
+    #[test]
+    fn utilisation_bounds(seed in 0u64..200) {
+        let trace = small_model(10, 5.0, 0.3).synthesize(RunMode::FirstMove, seed);
+        let few = simulate_trace(&trace, &ClusterSpec::homogeneous(2), DispatchPolicy::LastMinute);
+        let many = simulate_trace(&trace, &ClusterSpec::homogeneous(64), DispatchPolicy::LastMinute);
+        for out in [&few, &many] {
+            prop_assert!(out.stats.mean_utilisation >= 0.0);
+            prop_assert!(out.stats.max_utilisation <= 1.0 + 1e-9);
+        }
+        prop_assert!(few.stats.mean_utilisation >= many.stats.mean_utilisation);
+    }
+
+    /// Replay is bit-deterministic.
+    #[test]
+    fn replay_determinism(seed in 0u64..300, n in 1usize..32) {
+        let trace = small_model(10, 4.0, 0.5).synthesize(RunMode::FullGame, seed);
+        let cluster = ClusterSpec::homogeneous(n);
+        let a = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute);
+        let b = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Faster clusters (uniformly scaled speeds) finish proportionally
+    /// sooner when latency is zero.
+    #[test]
+    fn speed_scaling(seed in 0u64..100) {
+        let trace = small_model(8, 4.0, 0.2).synthesize(RunMode::FirstMove, seed);
+        let slow = ClusterSpec {
+            clients: vec![pnmcs::sim::ClientSpec { speed: 1.0 }; 4],
+            ns_per_unit: 1_000.0,
+            latency: 0,
+        };
+        let fast = ClusterSpec {
+            clients: vec![pnmcs::sim::ClientSpec { speed: 2.0 }; 4],
+            ns_per_unit: 1_000.0,
+            latency: 0,
+        };
+        let ts = simulate_trace(&trace, &slow, DispatchPolicy::LastMinute).makespan as f64;
+        let tf = simulate_trace(&trace, &fast, DispatchPolicy::LastMinute).makespan as f64;
+        let ratio = ts / tf;
+        prop_assert!((1.9..2.1).contains(&ratio), "speed-2 cluster ratio {ratio}");
+    }
+}
+
+#[test]
+fn lm_beats_rr_on_heterogeneous_clusters_statistically() {
+    // Table VI's claim over many synthetic workloads: count wins rather
+    // than demanding pointwise dominance.
+    let mut lm_wins = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        // Compute-dominated jobs (tens of ms vs 0.1 ms latency) and
+        // enough width to queue on the 48-client repartition.
+        let trace = TraceModel {
+            game_len: 24,
+            branching0: 8.0,
+            demand0: 20_000.0,
+            gamma: 2.5,
+            sigma: 0.5,
+        }
+        .synthesize(RunMode::FirstMove, seed);
+        let cluster = ClusterSpec::hetero_8x4_8x2().with_ns_per_unit(1e3);
+        let rr = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin).makespan;
+        let lm = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute).makespan;
+        if lm < rr {
+            lm_wins += 1;
+        }
+    }
+    assert!(
+        lm_wins >= trials * 7 / 10,
+        "LM should win on most heterogeneous workloads, won {lm_wins}/{trials}"
+    );
+}
+
+#[test]
+fn rr_ties_lm_on_homogeneous_uniform_workloads() {
+    // §V: "results are similar to the Round-Robin algorithm at level 3"
+    // on the homogeneous cluster — the gap only opens with heterogeneity.
+    let trace = small_model(16, 6.0, 0.2).synthesize(RunMode::FirstMove, 3);
+    let cluster = ClusterSpec::homogeneous(16).with_ns_per_unit(1e5);
+    let rr = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin).makespan as f64;
+    let lm = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute).makespan as f64;
+    let ratio = lm / rr;
+    assert!((0.7..1.3).contains(&ratio), "homogeneous LM/RR ratio {ratio}");
+}
