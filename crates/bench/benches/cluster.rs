@@ -7,8 +7,8 @@ use des_sim::ClusterSpec;
 use morpion::{cross_board, Variant};
 use nmcs_games::SumGame;
 use parallel_nmcs::{
-    par_nested, run_threads, simulate_trace, trace::run_reference, DispatchPolicy,
-    DispatcherCore, PoolConfig, RunMode, ThreadConfig, TraceModel,
+    par_nested, run_threads, simulate_trace, trace::run_reference, DispatchPolicy, DispatcherCore,
+    PoolConfig, RunMode, ThreadConfig, TraceModel,
 };
 use std::hint::black_box;
 
@@ -25,9 +25,7 @@ fn bench_sim_replay(c: &mut Criterion) {
     }
     let hetero = ClusterSpec::hetero_16x4_16x2();
     group.bench_function("hetero_96_clients_LM", |b| {
-        b.iter(|| {
-            black_box(simulate_trace(&trace, &hetero, DispatchPolicy::LastMinute).makespan)
-        })
+        b.iter(|| black_box(simulate_trace(&trace, &hetero, DispatchPolicy::LastMinute).makespan))
     });
     group.finish();
 }
@@ -88,12 +86,20 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.sample_size(10);
     let g = SumGame::random(6, 4, 1);
     group.bench_function("reference_level2_sum_game", |b| {
-        b.iter(|| black_box(run_reference(&g, 2, 7, RunMode::FullGame, None).1.client_jobs))
+        b.iter(|| {
+            black_box(
+                run_reference(&g, 2, 7, RunMode::FullGame, None)
+                    .1
+                    .client_jobs,
+            )
+        })
     });
     group.bench_function("synthetic_level3_first_move", |b| {
         b.iter(|| {
             black_box(
-                TraceModel::level3_like().synthesize(RunMode::FirstMove, 3).client_jobs,
+                TraceModel::level3_like()
+                    .synthesize(RunMode::FirstMove, 3)
+                    .client_jobs,
             )
         })
     });

@@ -96,7 +96,10 @@ fn bench_nrpa(c: &mut Criterion) {
     let mut group = c.benchmark_group("nrpa");
     group.sample_size(10);
     let small = cross_board(Variant::Disjoint, 3);
-    let cfg = NrpaConfig { iterations: 20, alpha: 1.0 };
+    let cfg = NrpaConfig {
+        iterations: 20,
+        alpha: 1.0,
+    };
     let mut rng = Rng::seeded(3);
     group.bench_function("level2_n20_small_cross", |b| {
         b.iter(|| black_box(nrpa(&small, 2, &cfg, &mut rng).score))

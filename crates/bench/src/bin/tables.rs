@@ -18,6 +18,7 @@ struct Args {
     table: Option<u32>,
     figure: Option<u32>,
     ablations: bool,
+    engine: bool,
     scale: Scale,
     seed: u64,
     out: PathBuf,
@@ -29,6 +30,7 @@ fn parse_args() -> Args {
         table: None,
         figure: None,
         ablations: false,
+        engine: false,
         scale: Scale::Paper,
         seed: 2009,
         out: PathBuf::from("target/experiments"),
@@ -38,16 +40,27 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--table" => {
-                args.table = Some(expect_val(&mut it, "--table").parse().expect("table number"));
+                args.table = Some(
+                    expect_val(&mut it, "--table")
+                        .parse()
+                        .expect("table number"),
+                );
                 args.all = false;
             }
             "--figure" => {
-                args.figure =
-                    Some(expect_val(&mut it, "--figure").parse().expect("figure number"));
+                args.figure = Some(
+                    expect_val(&mut it, "--figure")
+                        .parse()
+                        .expect("figure number"),
+                );
                 args.all = false;
             }
             "--ablations" => {
                 args.ablations = true;
+                args.all = false;
+            }
+            "--engine" => {
+                args.engine = true;
                 args.all = false;
             }
             "--scale" => {
@@ -61,7 +74,7 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(expect_val(&mut it, "--out")),
             "--help" | "-h" => {
                 println!(
-                    "tables [--table N] [--figure 1] [--ablations] \
+                    "tables [--table N] [--figure 1] [--ablations] [--engine] \
                      [--scale paper|real] [--seed S] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -88,36 +101,84 @@ fn main() {
     let run_table = |n: u32| match (n, args.scale) {
         (1, _) => println!("{}", e.table1().render()),
         (2, Scale::Paper) => {
-            println!("{}", e.paper_sweep(2, DispatchPolicy::RoundRobin, RunMode::FirstMove, 3).render());
-            println!("{}", e.paper_sweep(2, DispatchPolicy::RoundRobin, RunMode::FirstMove, 4).render());
+            println!(
+                "{}",
+                e.paper_sweep(2, DispatchPolicy::RoundRobin, RunMode::FirstMove, 3)
+                    .render()
+            );
+            println!(
+                "{}",
+                e.paper_sweep(2, DispatchPolicy::RoundRobin, RunMode::FirstMove, 4)
+                    .render()
+            );
         }
         (3, Scale::Paper) => {
-            println!("{}", e.paper_sweep(3, DispatchPolicy::RoundRobin, RunMode::FullGame, 3).render());
-            println!("{}", e.paper_sweep(3, DispatchPolicy::RoundRobin, RunMode::FullGame, 4).render());
+            println!(
+                "{}",
+                e.paper_sweep(3, DispatchPolicy::RoundRobin, RunMode::FullGame, 3)
+                    .render()
+            );
+            println!(
+                "{}",
+                e.paper_sweep(3, DispatchPolicy::RoundRobin, RunMode::FullGame, 4)
+                    .render()
+            );
         }
         (4, Scale::Paper) => {
-            println!("{}", e.paper_sweep(4, DispatchPolicy::LastMinute, RunMode::FirstMove, 3).render());
-            println!("{}", e.paper_sweep(4, DispatchPolicy::LastMinute, RunMode::FirstMove, 4).render());
+            println!(
+                "{}",
+                e.paper_sweep(4, DispatchPolicy::LastMinute, RunMode::FirstMove, 3)
+                    .render()
+            );
+            println!(
+                "{}",
+                e.paper_sweep(4, DispatchPolicy::LastMinute, RunMode::FirstMove, 4)
+                    .render()
+            );
         }
         (5, Scale::Paper) => {
-            println!("{}", e.paper_sweep(5, DispatchPolicy::LastMinute, RunMode::FullGame, 3).render());
-            println!("{}", e.paper_sweep(5, DispatchPolicy::LastMinute, RunMode::FullGame, 4).render());
+            println!(
+                "{}",
+                e.paper_sweep(5, DispatchPolicy::LastMinute, RunMode::FullGame, 3)
+                    .render()
+            );
+            println!(
+                "{}",
+                e.paper_sweep(5, DispatchPolicy::LastMinute, RunMode::FullGame, 4)
+                    .render()
+            );
         }
         (6, _) => {
             println!("{}", e.table6(3).render());
             println!("{}", e.table6(4).render());
         }
         (2, Scale::Real) => {
-            println!("{}", e.real_sweep(DispatchPolicy::RoundRobin, RunMode::FirstMove).render())
+            println!(
+                "{}",
+                e.real_sweep(DispatchPolicy::RoundRobin, RunMode::FirstMove)
+                    .render()
+            )
         }
         (3, Scale::Real) => {
-            println!("{}", e.real_sweep(DispatchPolicy::RoundRobin, RunMode::FullGame).render())
+            println!(
+                "{}",
+                e.real_sweep(DispatchPolicy::RoundRobin, RunMode::FullGame)
+                    .render()
+            )
         }
         (4, Scale::Real) => {
-            println!("{}", e.real_sweep(DispatchPolicy::LastMinute, RunMode::FirstMove).render())
+            println!(
+                "{}",
+                e.real_sweep(DispatchPolicy::LastMinute, RunMode::FirstMove)
+                    .render()
+            )
         }
         (5, Scale::Real) => {
-            println!("{}", e.real_sweep(DispatchPolicy::LastMinute, RunMode::FullGame).render())
+            println!(
+                "{}",
+                e.real_sweep(DispatchPolicy::LastMinute, RunMode::FullGame)
+                    .render()
+            )
         }
         (n, _) => panic!("no table {n}"),
     };
@@ -148,5 +209,11 @@ fn main() {
         println!("{}", e.ablation_memory(5).render());
         println!("{}", e.ablation_baselines().render());
         println!("{}", e.ablation_nrpa().render());
+    }
+    if args.engine {
+        let rows = nmcs_bench::throughput_sweep(&[1, 2, 4, 8], &[4, 32, 256], 96, args.seed);
+        println!("{}", nmcs_bench::throughput_table(&rows).render());
+        nmcs_bench::persist(&args.out, "engine_throughput", &rows)
+            .expect("persist engine throughput rows");
     }
 }

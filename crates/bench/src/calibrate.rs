@@ -105,7 +105,10 @@ pub fn fit_model(trace: &SearchTrace, sigma: f64) -> TraceModel {
         let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
         let denom = n * sxx - sx * sx;
         if denom.abs() < 1e-12 {
-            (samples.iter().map(|(_, d)| *d).sum::<u64>() as f64 / samples.len() as f64, 0.0)
+            (
+                samples.iter().map(|(_, d)| *d).sum::<u64>() as f64 / samples.len() as f64,
+                0.0,
+            )
         } else {
             let gamma = (n * sxy - sx * sy) / denom;
             let intercept = (sy - gamma * sx) / n;
@@ -134,7 +137,11 @@ mod tests {
     #[test]
     fn calibration_values_are_plausible() {
         let c = calibrate(1);
-        assert!(c.ns_per_unit > 1.0 && c.ns_per_unit < 100_000.0, "{}", c.ns_per_unit);
+        assert!(
+            c.ns_per_unit > 1.0 && c.ns_per_unit < 100_000.0,
+            "{}",
+            c.ns_per_unit
+        );
         assert!(
             c.mean_playout_len > 15.0 && c.mean_playout_len < 80.0,
             "{}",
@@ -151,7 +158,13 @@ mod tests {
     #[test]
     fn fit_recovers_decaying_demand() {
         // Build a synthetic trace through the real generator and refit.
-        let model = TraceModel { game_len: 30, branching0: 6.0, demand0: 5_000.0, gamma: 3.0, sigma: 0.0 };
+        let model = TraceModel {
+            game_len: 30,
+            branching0: 6.0,
+            demand0: 5_000.0,
+            gamma: 3.0,
+            sigma: 0.0,
+        };
         let trace = model.synthesize(RunMode::FirstMove, 3);
         let fit = fit_model(&trace, 0.3);
         assert!(

@@ -20,9 +20,7 @@ use des_sim::{format_time, ClusterSpec, Time, SECOND};
 use morpion::{render_default, standard_5d, GameRecord};
 use nmcs_core::{nested, sample, Game, NestedConfig, Rng};
 use parallel_nmcs::trace::run_reference;
-use parallel_nmcs::{
-    simulate_trace, DispatchPolicy, RunMode, SearchTrace, TraceModel,
-};
+use parallel_nmcs::{simulate_trace, DispatchPolicy, RunMode, SearchTrace, TraceModel};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -132,7 +130,13 @@ impl Experiments {
         let cfg = NestedConfig::paper();
         let mut t = Table::new(
             "Table I — sequential NMCS (measured levels 1-2; paper levels 3-4)",
-            &["level", "first move", "one rollout", "rollout/first", "source"],
+            &[
+                "level",
+                "first move",
+                "one rollout",
+                "rollout/first",
+                "source",
+            ],
         );
 
         let mut prev_rollout: Option<f64> = None;
@@ -166,7 +170,11 @@ impl Experiments {
             }
             prev_rollout = Some(rollout);
             let fmt_secs = |v: f64| {
-                if v < 1.0 { format!("{:.1}ms", v * 1e3) } else { format!("{v:.2}s") }
+                if v < 1.0 {
+                    format!("{:.1}ms", v * 1e3)
+                } else {
+                    format!("{v:.2}s")
+                }
             };
             t.row(&[
                 level.to_string(),
@@ -225,7 +233,14 @@ impl Experiments {
         let nspu = Self::anchored_cluster(trace, anchor_secs);
         let mut t = Table::new(
             title,
-            &["clients", "time", "speedup", "paper time", "paper speedup", "mean util"],
+            &[
+                "clients",
+                "time",
+                "speedup",
+                "paper time",
+                "paper speedup",
+                "mean util",
+            ],
         );
         let paper_t1 = paper::paper_time(paper_col, 1);
 
@@ -321,8 +336,14 @@ impl Experiments {
             &["repartition", "alg", "time", "paper time", "LM gain"],
         );
         for (name, cluster) in [
-            ("16x4+16x2", ClusterSpec::hetero_16x4_16x2().with_ns_per_unit(nspu)),
-            ("8x4+8x2", ClusterSpec::hetero_8x4_8x2().with_ns_per_unit(nspu)),
+            (
+                "16x4+16x2",
+                ClusterSpec::hetero_16x4_16x2().with_ns_per_unit(nspu),
+            ),
+            (
+                "8x4+8x2",
+                ClusterSpec::hetero_8x4_8x2().with_ns_per_unit(nspu),
+            ),
         ] {
             let lm = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute);
             let rr = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin);
@@ -338,7 +359,11 @@ impl Experiments {
                     alg.into(),
                     format_time(out.makespan),
                     ptime,
-                    if alg == "LM" { format!("{gain:.2}x") } else { String::new() },
+                    if alg == "LM" {
+                        format!("{gain:.2}x")
+                    } else {
+                        String::new()
+                    },
                 ]);
             }
         }
@@ -369,8 +394,9 @@ impl Experiments {
         let outs: Vec<(usize, Time, f64)> = CLIENT_SWEEP
             .iter()
             .map(|&n| {
-                let cluster =
-                    ClusterSpec::homogeneous(n).with_ns_per_unit(nspu).with_latency(0);
+                let cluster = ClusterSpec::homogeneous(n)
+                    .with_ns_per_unit(nspu)
+                    .with_latency(0);
                 let out = simulate_trace(&trace, &cluster, policy);
                 (n, out.makespan, out.stats.mean_utilisation)
             })
@@ -412,10 +438,7 @@ impl Experiments {
         for mv in &result.sequence {
             replay.play(mv);
         }
-        let record = GameRecord::from_board(
-            &replay,
-            format!("level-2 NMCS, seed {}", self.seed),
-        );
+        let record = GameRecord::from_board(&replay, format!("level-2 NMCS, seed {}", self.seed));
         let verified = record.verify().expect("search output must verify");
         assert_eq!(verified as i64, result.score);
         let _ = persist(&self.out_dir, "figure1_record", &record);
@@ -467,8 +490,12 @@ impl Experiments {
         );
         for lat_us in [0u64, 100, 1_000, 10_000, 100_000] {
             let lat = lat_us * 1_000;
-            let c64 = ClusterSpec::paper_64().with_ns_per_unit(nspu).with_latency(lat);
-            let c1 = ClusterSpec::homogeneous(1).with_ns_per_unit(nspu).with_latency(lat);
+            let c64 = ClusterSpec::paper_64()
+                .with_ns_per_unit(nspu)
+                .with_latency(lat);
+            let c1 = ClusterSpec::homogeneous(1)
+                .with_ns_per_unit(nspu)
+                .with_latency(lat);
             let out = simulate_trace(&trace, &c64, DispatchPolicy::LastMinute);
             let single = simulate_trace(&trace, &c1, DispatchPolicy::LastMinute);
             t.row(&[
@@ -524,7 +551,9 @@ impl Experiments {
 
     /// Ablation A5 — NMCS vs the baselines at matched playout budgets.
     pub fn ablation_baselines(&self) -> Table {
-        use nmcs_core::baselines::{flat_monte_carlo, iterated_sampling, simulated_annealing, AnnealingConfig};
+        use nmcs_core::baselines::{
+            flat_monte_carlo, iterated_sampling, simulated_annealing, AnnealingConfig,
+        };
         use nmcs_core::{uct, UctConfig};
         let board = standard_5d();
         let mut rng = Rng::seeded(self.seed);
@@ -539,19 +568,45 @@ impl Experiments {
         let iter = iterated_sampling(&board, 1, &mut Rng::seeded(self.seed + 2));
         let sa = simulated_annealing(
             &board,
-            &AnnealingConfig { iterations: budget, ..Default::default() },
+            &AnnealingConfig {
+                iterations: budget,
+                ..Default::default()
+            },
             &mut Rng::seeded(self.seed + 3),
         );
         let mcts = uct(
             &board,
-            &UctConfig { iterations: budget, ..Default::default() },
+            &UctConfig {
+                iterations: budget,
+                ..Default::default()
+            },
             &mut Rng::seeded(self.seed + 4),
         );
-        t.row(&["flat Monte-Carlo".into(), flat.score.to_string(), flat.stats.playouts.to_string()]);
-        t.row(&["iterated sampling".into(), iter.score.to_string(), iter.stats.playouts.to_string()]);
-        t.row(&["simulated annealing".into(), sa.score.to_string(), sa.stats.playouts.to_string()]);
-        t.row(&["UCT (single-player)".into(), mcts.score.to_string(), mcts.stats.playouts.to_string()]);
-        t.row(&["NMCS level 1".into(), l1.score.to_string(), l1.stats.playouts.to_string()]);
+        t.row(&[
+            "flat Monte-Carlo".into(),
+            flat.score.to_string(),
+            flat.stats.playouts.to_string(),
+        ]);
+        t.row(&[
+            "iterated sampling".into(),
+            iter.score.to_string(),
+            iter.stats.playouts.to_string(),
+        ]);
+        t.row(&[
+            "simulated annealing".into(),
+            sa.score.to_string(),
+            sa.stats.playouts.to_string(),
+        ]);
+        t.row(&[
+            "UCT (single-player)".into(),
+            mcts.score.to_string(),
+            mcts.stats.playouts.to_string(),
+        ]);
+        t.row(&[
+            "NMCS level 1".into(),
+            l1.score.to_string(),
+            l1.stats.playouts.to_string(),
+        ]);
         let _ = persist(&self.out_dir, "ablation_baselines", &t);
         t
     }
@@ -568,14 +623,29 @@ impl Experiments {
             "Extension X1 — NRPA vs NMCS (Morpion 5D, matched playouts)",
             &["algorithm", "score", "playouts"],
         );
-        let l1 = nested(&board, 1, &NestedConfig::paper(), &mut Rng::seeded(self.seed));
+        let l1 = nested(
+            &board,
+            1,
+            &NestedConfig::paper(),
+            &mut Rng::seeded(self.seed),
+        );
         // NRPA(2) with iterations^2 ≈ l1 playout count.
         let iters = (l1.stats.playouts as f64).sqrt().ceil() as usize;
-        let cfg = NrpaConfig { iterations: iters, alpha: 1.0 };
+        let cfg = NrpaConfig {
+            iterations: iters,
+            alpha: 1.0,
+        };
         let r2 = nrpa(&board, 2, &cfg, &mut Rng::seeded(self.seed));
-        let cfg3 = NrpaConfig { iterations: 10, alpha: 1.0 };
+        let cfg3 = NrpaConfig {
+            iterations: 10,
+            alpha: 1.0,
+        };
         let r3 = nrpa(&board, 3, &cfg3, &mut Rng::seeded(self.seed));
-        t.row(&["NMCS level 1".into(), l1.score.to_string(), l1.stats.playouts.to_string()]);
+        t.row(&[
+            "NMCS level 1".into(),
+            l1.score.to_string(),
+            l1.stats.playouts.to_string(),
+        ]);
         t.row(&[
             format!("NRPA level 2 (N={iters})"),
             r2.score.to_string(),
@@ -605,8 +675,8 @@ pub fn fit_power(profile: &[(u64, u64)], game_len: f64) -> (f64, f64) {
         })
         .collect();
     if pts.len() < 2 {
-        let mean = profile.iter().map(|(_, d)| *d as f64).sum::<f64>()
-            / profile.len().max(1) as f64;
+        let mean =
+            profile.iter().map(|(_, d)| *d as f64).sum::<f64>() / profile.len().max(1) as f64;
         return (mean.max(1.0), 0.0);
     }
     let n = pts.len() as f64;

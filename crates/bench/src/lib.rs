@@ -10,7 +10,9 @@ pub mod calibrate;
 pub mod experiments;
 pub mod paper;
 pub mod report;
+pub mod service;
 
 pub use calibrate::{calibrate, fit_model, Calibration};
 pub use experiments::{fit_power, Experiments, Scale, CLIENT_SWEEP};
 pub use report::{persist, Table};
+pub use service::{measure_cell, throughput_sweep, throughput_table, ThroughputRow};

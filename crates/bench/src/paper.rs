@@ -29,8 +29,14 @@ pub const T3_RR_ROLLOUT_L3: &[(usize, u64)] = &[
 ];
 pub const T3_RR_ROLLOUT_L4: &[(usize, u64)] =
     &[(64, 5 * 3600 + 9 * 60 + 16), (32, 6 * 3600 + 31 * 60)];
-pub const T4_LM_FIRST_L3: &[(usize, u64)] =
-    &[(64, 9), (32, 19), (16, 37), (8, 72), (4, 143), (1, 9 * 60 + 30)];
+pub const T4_LM_FIRST_L3: &[(usize, u64)] = &[
+    (64, 9),
+    (32, 19),
+    (16, 37),
+    (8, 72),
+    (4, 143),
+    (1, 9 * 60 + 30),
+];
 pub const T4_LM_FIRST_L4: &[(usize, u64)] = &[
     (64, 27 * 60 + 20),
     (32, 59 * 60 + 44),
@@ -98,10 +104,16 @@ mod tests {
 
     #[test]
     fn paper_lm_beats_rr_on_heterogeneous_level_4() {
-        let lm: Vec<u64> =
-            T6.iter().filter(|r| r.1 == "LM" && r.2 == 4).map(|r| r.3).collect();
-        let rr: Vec<u64> =
-            T6.iter().filter(|r| r.1 == "RR" && r.2 == 4).map(|r| r.3).collect();
+        let lm: Vec<u64> = T6
+            .iter()
+            .filter(|r| r.1 == "LM" && r.2 == 4)
+            .map(|r| r.3)
+            .collect();
+        let rr: Vec<u64> = T6
+            .iter()
+            .filter(|r| r.1 == "RR" && r.2 == 4)
+            .map(|r| r.3)
+            .collect();
         for (l, r) in lm.iter().zip(rr.iter()) {
             assert!(l < r, "LM {l} vs RR {r}");
         }

@@ -108,7 +108,12 @@ pub fn gather<M: Send + Tagged>(
                 _ => unreachable!(),
             }
         }
-        Some(slots.into_iter().map(|s| s.expect("all ranks contribute")).collect())
+        Some(
+            slots
+                .into_iter()
+                .map(|s| s.expect("all ranks contribute"))
+                .collect(),
+        )
     } else {
         ep.send(root, Collective::Gather(value));
         None

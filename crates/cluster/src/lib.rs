@@ -110,7 +110,10 @@ impl<M: Send + Tagged> World<M> {
             senders.push(tx);
             receivers.push(Some(rx));
         }
-        Self { shared: Arc::new(Shared { senders, trace }), receivers }
+        Self {
+            shared: Arc::new(Shared { senders, trace }),
+            receivers,
+        }
     }
 
     /// Number of ranks.
@@ -123,7 +126,12 @@ impl<M: Send + Tagged> World<M> {
         let receiver = self.receivers[rank]
             .take()
             .unwrap_or_else(|| panic!("endpoint {rank} already taken"));
-        Endpoint { rank, shared: self.shared.clone(), receiver, stash: VecDeque::new() }
+        Endpoint {
+            rank,
+            shared: self.shared.clone(),
+            receiver,
+            stash: VecDeque::new(),
+        }
     }
 }
 
@@ -150,11 +158,18 @@ impl<M: Send + Tagged> Endpoint<M> {
     /// Sends `msg` to `to` (never blocks; mailboxes are unbounded).
     pub fn send(&self, to: Rank, msg: M) {
         if let Some(trace) = &self.shared.trace {
-            trace.lock().push(TraceEntry { from: self.rank, to, tag: msg.tag() });
+            trace.lock().push(TraceEntry {
+                from: self.rank,
+                to,
+                tag: msg.tag(),
+            });
         }
         // A send to a dropped endpoint is a no-op, like MPI after a peer
         // finalises during shutdown.
-        let _ = self.shared.senders[to].send(Envelope { from: self.rank, msg });
+        let _ = self.shared.senders[to].send(Envelope {
+            from: self.rank,
+            msg,
+        });
     }
 
     /// Blocking any-source receive, FIFO among stashed-then-fresh
@@ -306,8 +321,16 @@ mod tests {
         assert_eq!(
             *log,
             vec![
-                TraceEntry { from: 0, to: 2, tag: "Ping" },
-                TraceEntry { from: 1, to: 2, tag: "Pong" },
+                TraceEntry {
+                    from: 0,
+                    to: 2,
+                    tag: "Ping"
+                },
+                TraceEntry {
+                    from: 1,
+                    to: 2,
+                    tag: "Pong"
+                },
             ]
         );
     }

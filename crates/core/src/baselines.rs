@@ -37,7 +37,11 @@ pub fn flat_monte_carlo<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRes
             best_seq.extend(seq.iter().cloned());
         }
     }
-    SearchResult { score: best_score, sequence: best_seq, stats }
+    SearchResult {
+        score: best_score,
+        sequence: best_seq,
+        stats,
+    }
 }
 
 /// Iterated sampling: at each step of one game, sample `n` random playouts
@@ -47,7 +51,10 @@ pub fn flat_monte_carlo<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRes
 /// sequence memory; with larger `n` it is the classic "rollout algorithm"
 /// of Tesauro & Galperin applied with a uniform random base policy.
 pub fn iterated_sampling<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchResult<G::Move> {
-    assert!(n > 0, "iterated_sampling needs at least one playout per move");
+    assert!(
+        n > 0,
+        "iterated_sampling needs at least one playout per move"
+    );
     let mut stats = SearchStats::new();
     let mut pos = game.clone();
     let mut played: Vec<G::Move> = Vec::new();
@@ -78,7 +85,11 @@ pub fn iterated_sampling<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRe
         played.push(mv);
         stats.record_nested_move();
     }
-    SearchResult { score: pos.score(), sequence: played, stats }
+    SearchResult {
+        score: pos.score(),
+        sequence: played,
+        stats,
+    }
 }
 
 /// Configuration for the [`simulated_annealing`] baseline.
@@ -94,7 +105,11 @@ pub struct AnnealingConfig {
 
 impl Default for AnnealingConfig {
     fn default() -> Self {
-        Self { iterations: 10_000, t_initial: 4.0, t_final: 0.05 }
+        Self {
+            iterations: 10_000,
+            t_initial: 4.0,
+            t_final: 0.05,
+        }
     }
 }
 
@@ -152,8 +167,8 @@ pub fn simulated_annealing<G: Game>(
         let old = current[depth];
         current[depth] = rng.next_u64() as u32;
         let (score, seq) = replay(&current, &mut stats);
-        let accept = score >= cur_score
-            || rng.chance((((score - cur_score) as f64) / temp.max(1e-9)).exp());
+        let accept =
+            score >= cur_score || rng.chance((((score - cur_score) as f64) / temp.max(1e-9)).exp());
         if accept {
             cur_score = score;
             cur_seq = seq;
@@ -167,7 +182,11 @@ pub fn simulated_annealing<G: Game>(
         temp *= cooling;
     }
 
-    SearchResult { score: best_score, sequence: best_seq, stats }
+    SearchResult {
+        score: best_score,
+        sequence: best_seq,
+        stats,
+    }
 }
 
 /// Beam search over playout-evaluated moves: keep the `width` best
@@ -222,7 +241,11 @@ pub fn beam_search<G: Game>(
         beam = children.into_iter().map(|(_, g, p)| (g, p)).collect();
     }
 
-    SearchResult { score: best_score, sequence: best_seq, stats }
+    SearchResult {
+        score: best_score,
+        sequence: best_seq,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -256,7 +279,10 @@ mod tests {
     }
 
     fn ternary(depth: usize) -> Ternary {
-        Ternary { depth, taken: Vec::new() }
+        Ternary {
+            depth,
+            taken: Vec::new(),
+        }
     }
 
     fn optimum(depth: usize) -> Score {
@@ -269,7 +295,10 @@ mod tests {
         let few = flat_monte_carlo(&g, 2, &mut Rng::seeded(1)).score;
         let many = flat_monte_carlo(&g, 512, &mut Rng::seeded(1)).score;
         assert!(many >= few);
-        assert!(many > optimum(4) / 2, "512 samples of 81 leaves should land high");
+        assert!(
+            many > optimum(4) / 2,
+            "512 samples of 81 leaves should land high"
+        );
     }
 
     #[test]
@@ -316,7 +345,11 @@ mod tests {
     #[test]
     fn annealing_finds_good_solutions_on_small_game() {
         let g = ternary(4);
-        let cfg = AnnealingConfig { iterations: 3000, t_initial: 8.0, t_final: 0.01 };
+        let cfg = AnnealingConfig {
+            iterations: 3000,
+            t_initial: 8.0,
+            t_final: 0.01,
+        };
         let r = simulated_annealing(&g, &cfg, &mut Rng::seeded(7));
         assert!(
             r.score >= optimum(4) - 3,
@@ -334,7 +367,10 @@ mod tests {
     #[test]
     fn annealing_on_terminal_game_is_harmless() {
         let g = ternary(0);
-        let cfg = AnnealingConfig { iterations: 10, ..Default::default() };
+        let cfg = AnnealingConfig {
+            iterations: 10,
+            ..Default::default()
+        };
         let r = simulated_annealing(&g, &cfg, &mut Rng::seeded(1));
         assert_eq!(r.score, 0);
         assert!(r.sequence.is_empty());
@@ -374,7 +410,10 @@ mod tests {
             iterated_sampling(&g, 2, &mut Rng::seeded(5)).sequence,
             iterated_sampling(&g, 2, &mut Rng::seeded(5)).sequence
         );
-        let cfg = AnnealingConfig { iterations: 200, ..Default::default() };
+        let cfg = AnnealingConfig {
+            iterations: 200,
+            ..Default::default()
+        };
         assert_eq!(
             simulated_annealing(&g, &cfg, &mut Rng::seeded(5)).score,
             simulated_annealing(&g, &cfg, &mut Rng::seeded(5)).score

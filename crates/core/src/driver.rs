@@ -29,12 +29,20 @@ pub struct Budget {
 impl Budget {
     /// Exactly `n` runs.
     pub fn runs(n: u64) -> Self {
-        Self { max_runs: Some(n), max_time: None, target_score: None }
+        Self {
+            max_runs: Some(n),
+            max_time: None,
+            target_score: None,
+        }
     }
 
     /// As many runs as fit in `d`.
     pub fn time(d: Duration) -> Self {
-        Self { max_runs: None, max_time: Some(d), target_score: None }
+        Self {
+            max_runs: None,
+            max_time: Some(d),
+            target_score: None,
+        }
     }
 
     /// Chainable target score.
@@ -117,8 +125,7 @@ where
         }
 
         let (best_result, _) = best.as_ref().expect("at least one run");
-        let hit_target =
-            budget.target_score.is_some_and(|t| best_result.score >= t);
+        let hit_target = budget.target_score.is_some_and(|t| best_result.score >= t);
         let out_of_runs = budget.max_runs.is_some_and(|m| runs >= m);
         let out_of_time = budget.max_time.is_some_and(|m| started.elapsed() >= m);
         if hit_target || out_of_runs || out_of_time {
@@ -127,7 +134,14 @@ where
     }
 
     let (best, best_seed) = best.expect("at least one run");
-    DriveReport { best, best_seed, runs, elapsed: started.elapsed(), total_stats, history }
+    DriveReport {
+        best,
+        best_seed,
+        runs,
+        elapsed: started.elapsed(),
+        total_stats,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +174,10 @@ mod tests {
     }
 
     fn game() -> Ternary {
-        Ternary { depth: 5, taken: vec![] }
+        Ternary {
+            depth: 5,
+            taken: vec![],
+        }
     }
 
     #[test]
@@ -194,12 +211,7 @@ mod tests {
 
     #[test]
     fn time_budget_runs_at_least_once() {
-        let report = drive(
-            &game(),
-            4,
-            &Budget::time(Duration::ZERO),
-            sample,
-        );
+        let report = drive(&game(), 4, &Budget::time(Duration::ZERO), sample);
         assert_eq!(report.runs, 1);
     }
 
@@ -218,7 +230,10 @@ mod tests {
         let report = drive(&game(), 5, &Budget::runs(4), |g, rng| {
             nested(g, 1, &NestedConfig::paper(), rng)
         });
-        assert!(report.total_stats.playouts >= 4 * 5, "each run playouts out of 15 evals");
+        assert!(
+            report.total_stats.playouts >= 4 * 5,
+            "each run playouts out of 15 evals"
+        );
         assert_eq!(report.history.len(), 4);
     }
 }

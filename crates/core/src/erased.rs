@@ -1,0 +1,420 @@
+//! Object-safe erasure of the [`Game`] trait — the shim that lets
+//! heterogeneous games share one queue (used by the `nmcs-engine`
+//! service crate).
+//!
+//! [`Game`] itself is not object-safe: its associated `Move` type differs
+//! per game, and the search functions are generic over it. The bridge is
+//! the classic *index erasure*: an [`AnyGame`] presents its legal moves
+//! as indices `0..n` into the position's legal-move list, and [`DynGame`]
+//! wraps a boxed `AnyGame` back into a `Game` implementation whose move
+//! type is `usize`.
+//!
+//! The crucial property is that the erasure is **search-transparent**:
+//! for the same seed, a search over `DynGame::new(g)` draws exactly the
+//! same random numbers and makes exactly the same decisions as the same
+//! search over `g` directly, because at every reachable position the
+//! index list and the move list are in bijection (same length, same
+//! order). The returned `SearchResult<usize>` is the index-encoding of
+//! the direct call's `SearchResult<G::Move>`; [`decode_result`] converts
+//! between the two, and the engine's integration tests assert the
+//! round-trip is bit-identical (scores, sequences, and stats).
+
+use crate::game::{Game, Score};
+use crate::nrpa::CodedGame;
+use crate::search::SearchResult;
+
+/// Object-safe view of a game: moves are indices into the current
+/// position's legal-move list (in `legal_moves` order).
+pub trait AnyGame: Send + Sync {
+    /// Number of legal moves at the current position.
+    fn legal_count(&self) -> usize;
+
+    /// Plays the `i`-th legal move of the current position.
+    ///
+    /// `i` must be `< legal_count()`; implementations may panic
+    /// otherwise.
+    fn play_nth(&mut self, i: usize);
+
+    /// Score of the current position (see [`Game::score`]).
+    fn score(&self) -> Score;
+
+    /// Moves played from the initial position (see
+    /// [`Game::moves_played`]).
+    fn moves_played(&self) -> usize;
+
+    /// Stable NRPA move code of the `i`-th legal move (see
+    /// [`CodedGame::move_code`]).
+    fn move_code_nth(&self, i: usize) -> u64;
+
+    /// A cheap digest of the current position, used by schedulers to
+    /// tell positions apart without access to the concrete game type.
+    /// Hashes the position's observable surface (move count, score,
+    /// legal-move codes) plus a short deterministic probe rollout, so
+    /// games whose roots *look* alike but play differently (e.g. two
+    /// random TSP instances, which share move codes but not distances)
+    /// still separate. Not collision-free — a discriminator, not an
+    /// identity.
+    fn state_digest(&self) -> u64;
+
+    /// Clones the erased position.
+    fn clone_any(&self) -> Box<dyn AnyGame>;
+}
+
+/// Digest over the observable surface of a position plus a short
+/// deterministic probe rollout (always-first-move, capped) whose scores
+/// expose game dynamics the surface alone cannot.
+fn digest<G: Game>(game: &G, codes: impl Iterator<Item = u64>) -> u64 {
+    let mut h = crate::rng::Fnv1a::new();
+    h.write_u64(game.moves_played() as u64);
+    h.write_u64(game.score() as u64);
+    for c in codes {
+        h.write_u64(c);
+    }
+    let mut probe = game.clone();
+    let mut buf = Vec::new();
+    for _ in 0..PROBE_STEPS {
+        buf.clear();
+        probe.legal_moves(&mut buf);
+        let Some(mv) = buf.first().cloned() else {
+            break;
+        };
+        probe.play(&mv);
+        h.write_u64(probe.score() as u64);
+        h.write_u64(buf.len() as u64);
+    }
+    h.finish()
+}
+
+/// Length cap of the digest's probe rollout: long enough to separate
+/// look-alike roots, short enough to stay negligible next to a search.
+const PROBE_STEPS: usize = 16;
+
+/// Erasure of a [`CodedGame`]: true move codes, so NRPA over the erased
+/// game learns exactly the policy it would learn over the typed game.
+///
+/// The current legal-move list is cached eagerly (filled at
+/// construction, refreshed after every `play_nth`), so indexed
+/// accessors are O(1) and an erased search performs exactly one move
+/// generation per step — the same as the typed search it mirrors.
+struct ErasedCoded<G: CodedGame + Send + Sync + 'static>
+where
+    G::Move: Send + Sync,
+{
+    game: G,
+    moves: Vec<G::Move>,
+}
+
+/// Erasure of a plain [`Game`]: positional move codes (the index
+/// itself). NRPA still runs, but its policy keys on positions' move
+/// slots rather than stable move identity — fine for algorithms that
+/// ignore codes (NMCS, UCT, flat MC), weaker for NRPA.
+struct ErasedUncoded<G: Game + Send + Sync + 'static>
+where
+    G::Move: Send + Sync,
+{
+    game: G,
+    moves: Vec<G::Move>,
+}
+
+fn current_moves<G: Game>(game: &G) -> Vec<G::Move> {
+    let mut buf = Vec::new();
+    game.legal_moves(&mut buf);
+    buf
+}
+
+impl<G: CodedGame + Send + Sync + 'static> AnyGame for ErasedCoded<G>
+where
+    G::Move: Send + Sync,
+{
+    fn legal_count(&self) -> usize {
+        self.moves.len()
+    }
+
+    fn play_nth(&mut self, i: usize) {
+        let mv = self.moves[i].clone();
+        self.game.play(&mv);
+        self.moves.clear();
+        self.game.legal_moves(&mut self.moves);
+    }
+
+    fn score(&self) -> Score {
+        self.game.score()
+    }
+
+    fn moves_played(&self) -> usize {
+        self.game.moves_played()
+    }
+
+    fn move_code_nth(&self, i: usize) -> u64 {
+        self.game.move_code(&self.moves[i])
+    }
+
+    fn state_digest(&self) -> u64 {
+        digest(
+            &self.game,
+            self.moves.iter().map(|m| self.game.move_code(m)),
+        )
+    }
+
+    fn clone_any(&self) -> Box<dyn AnyGame> {
+        Box::new(ErasedCoded {
+            game: self.game.clone(),
+            moves: self.moves.clone(),
+        })
+    }
+}
+
+impl<G: Game + Send + Sync + 'static> AnyGame for ErasedUncoded<G>
+where
+    G::Move: Send + Sync,
+{
+    fn legal_count(&self) -> usize {
+        self.moves.len()
+    }
+
+    fn play_nth(&mut self, i: usize) {
+        let mv = self.moves[i].clone();
+        self.game.play(&mv);
+        self.moves.clear();
+        self.game.legal_moves(&mut self.moves);
+    }
+
+    fn score(&self) -> Score {
+        self.game.score()
+    }
+
+    fn moves_played(&self) -> usize {
+        self.game.moves_played()
+    }
+
+    fn move_code_nth(&self, i: usize) -> u64 {
+        i as u64
+    }
+
+    fn state_digest(&self) -> u64 {
+        digest(&self.game, 0..self.moves.len() as u64)
+    }
+
+    fn clone_any(&self) -> Box<dyn AnyGame> {
+        Box::new(ErasedUncoded {
+            game: self.game.clone(),
+            moves: self.moves.clone(),
+        })
+    }
+}
+
+/// A boxed erased game that itself implements [`Game`] (with
+/// `Move = usize`) and [`CodedGame`], so every search in this crate runs
+/// on it unchanged.
+pub struct DynGame {
+    inner: Box<dyn AnyGame>,
+}
+
+impl DynGame {
+    /// Erases a coded game; NRPA keeps its true move codes.
+    pub fn new<G: CodedGame + Send + Sync + 'static>(game: G) -> Self
+    where
+        G::Move: Send + Sync,
+    {
+        let moves = current_moves(&game);
+        DynGame {
+            inner: Box::new(ErasedCoded { game, moves }),
+        }
+    }
+
+    /// Erases a plain game; NRPA falls back to positional move codes.
+    pub fn new_uncoded<G: Game + Send + Sync + 'static>(game: G) -> Self
+    where
+        G::Move: Send + Sync,
+    {
+        let moves = current_moves(&game);
+        DynGame {
+            inner: Box::new(ErasedUncoded { game, moves }),
+        }
+    }
+
+    /// Digest of the current position (see [`AnyGame::state_digest`]).
+    pub fn state_digest(&self) -> u64 {
+        self.inner.state_digest()
+    }
+}
+
+impl Clone for DynGame {
+    fn clone(&self) -> Self {
+        DynGame {
+            inner: self.inner.clone_any(),
+        }
+    }
+}
+
+impl std::fmt::Debug for DynGame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynGame")
+            .field("moves_played", &self.inner.moves_played())
+            .field("legal_count", &self.inner.legal_count())
+            .field("score", &self.inner.score())
+            .finish()
+    }
+}
+
+impl Game for DynGame {
+    type Move = usize;
+
+    fn legal_moves(&self, out: &mut Vec<usize>) {
+        out.extend(0..self.inner.legal_count());
+    }
+
+    fn play(&mut self, mv: &usize) {
+        self.inner.play_nth(*mv);
+    }
+
+    fn score(&self) -> Score {
+        self.inner.score()
+    }
+
+    fn moves_played(&self) -> usize {
+        self.inner.moves_played()
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.inner.legal_count() == 0
+    }
+}
+
+impl CodedGame for DynGame {
+    fn move_code(&self, mv: &usize) -> u64 {
+        self.inner.move_code_nth(*mv)
+    }
+}
+
+/// Replays an index sequence (as returned by a search over [`DynGame`])
+/// against the *typed* root position, recovering the typed move
+/// sequence.
+///
+/// Panics if an index is out of range for the position it applies to —
+/// that would mean the sequence does not belong to this root.
+pub fn decode_sequence<G: Game>(root: &G, indices: &[usize]) -> Vec<G::Move> {
+    let mut pos = root.clone();
+    let mut buf = Vec::new();
+    let mut out = Vec::with_capacity(indices.len());
+    for &i in indices {
+        buf.clear();
+        pos.legal_moves(&mut buf);
+        let mv = buf.swap_remove(i);
+        pos.play(&mv);
+        out.push(mv);
+    }
+    out
+}
+
+/// Converts an index-encoded [`SearchResult`] into the typed result of
+/// the equivalent direct search — score and stats are carried over
+/// verbatim, the sequence is decoded against `root`.
+pub fn decode_result<G: Game>(root: &G, result: &SearchResult<usize>) -> SearchResult<G::Move> {
+    SearchResult {
+        score: result.score,
+        sequence: decode_sequence(root, &result.sequence),
+        stats: result.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::search::{nested, sample, NestedConfig};
+
+    /// Small deterministic test game: pick digits, score favours large
+    /// digits early (same shape as the Trap game in `search`).
+    #[derive(Clone, Debug)]
+    struct Digits {
+        taken: Vec<u8>,
+        depth: usize,
+    }
+
+    impl Game for Digits {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            if self.taken.len() < self.depth {
+                out.extend_from_slice(&[0, 1, 2]);
+            }
+        }
+        fn play(&mut self, mv: &u8) {
+            self.taken.push(*mv);
+        }
+        fn score(&self) -> Score {
+            self.taken.iter().fold(0, |acc, &m| acc * 3 + m as Score)
+        }
+        fn moves_played(&self) -> usize {
+            self.taken.len()
+        }
+    }
+
+    impl CodedGame for Digits {
+        fn move_code(&self, mv: &u8) -> u64 {
+            *mv as u64
+        }
+    }
+
+    fn digits() -> Digits {
+        Digits {
+            taken: Vec::new(),
+            depth: 4,
+        }
+    }
+
+    #[test]
+    fn erased_sample_matches_typed_sample() {
+        let typed = sample(&digits(), &mut Rng::seeded(9));
+        let erased = sample(&DynGame::new(digits()), &mut Rng::seeded(9));
+        assert_eq!(erased.score, typed.score);
+        assert_eq!(erased.stats, typed.stats);
+        assert_eq!(decode_sequence(&digits(), &erased.sequence), typed.sequence);
+    }
+
+    #[test]
+    fn erased_nested_is_bit_identical_after_decoding() {
+        for seed in 0..10 {
+            for level in 0..3 {
+                let cfg = NestedConfig::paper();
+                let typed = nested(&digits(), level, &cfg, &mut Rng::seeded(seed));
+                let erased = nested(&DynGame::new(digits()), level, &cfg, &mut Rng::seeded(seed));
+                let decoded = decode_result(&digits(), &erased);
+                assert_eq!(decoded, typed, "seed {seed} level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn erased_game_reports_consistent_state() {
+        let mut g = DynGame::new(digits());
+        assert!(!g.is_terminal());
+        assert_eq!(g.moves_played(), 0);
+        let mut buf = Vec::new();
+        g.legal_moves(&mut buf);
+        assert_eq!(buf, vec![0, 1, 2]);
+        assert_eq!(g.move_code(&2), 2);
+        g.play(&2);
+        assert_eq!(g.moves_played(), 1);
+        assert_eq!(g.score(), 2);
+    }
+
+    #[test]
+    fn uncoded_erasure_uses_positional_codes() {
+        let g = DynGame::new_uncoded(digits());
+        assert_eq!(g.move_code(&0), 0);
+        assert_eq!(g.move_code(&2), 2);
+    }
+
+    #[test]
+    fn decode_sequence_replays_against_root() {
+        let erased = DynGame::new(digits());
+        let r = nested(&erased, 1, &NestedConfig::paper(), &mut Rng::seeded(4));
+        let typed_seq = decode_sequence(&digits(), &r.sequence);
+        let mut replay = digits();
+        for mv in &typed_seq {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), r.score);
+    }
+}

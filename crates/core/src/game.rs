@@ -108,7 +108,9 @@ mod tests {
         loop {
             buf.clear();
             g.legal_moves(&mut buf);
-            let Some(mv) = buf.first().cloned() else { break };
+            let Some(mv) = buf.first().cloned() else {
+                break;
+            };
             g.play(&mv);
             steps += 1;
         }

@@ -42,6 +42,7 @@
 
 pub mod baselines;
 pub mod driver;
+pub mod erased;
 pub mod game;
 pub mod nrpa;
 pub mod rng;
@@ -50,9 +51,10 @@ pub mod stats;
 pub mod uct;
 
 pub use driver::{drive, Budget, DriveReport};
+pub use erased::{decode_result, decode_sequence, AnyGame, DynGame};
 pub use game::{Game, Score};
 pub use nrpa::{nrpa, CodedGame, NrpaConfig, Policy};
-pub use rng::Rng;
+pub use rng::{Fnv1a, Rng};
 pub use search::{nested, sample, MemoryPolicy, NestedConfig, SearchResult};
 pub use stats::SearchStats;
 pub use uct::{uct, UctConfig};

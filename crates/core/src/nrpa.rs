@@ -42,7 +42,10 @@ pub struct NrpaConfig {
 
 impl Default for NrpaConfig {
     fn default() -> Self {
-        Self { iterations: 100, alpha: 1.0 }
+        Self {
+            iterations: 100,
+            alpha: 1.0,
+        }
     }
 }
 
@@ -153,7 +156,11 @@ pub fn nrpa<G: CodedGame>(
     let mut stats = SearchStats::new();
     let mut policy = Policy::new();
     let (score, sequence) = nrpa_inner(game, level, config, &mut policy, rng, &mut stats);
-    SearchResult { score, sequence, stats }
+    SearchResult {
+        score,
+        sequence,
+        stats,
+    }
 }
 
 fn nrpa_inner<G: CodedGame>(
@@ -223,8 +230,14 @@ mod tests {
 
     #[test]
     fn nrpa_level2_solves_binary_game() {
-        let g = Binary { depth: 8, taken: vec![] };
-        let cfg = NrpaConfig { iterations: 30, alpha: 1.0 };
+        let g = Binary {
+            depth: 8,
+            taken: vec![],
+        };
+        let cfg = NrpaConfig {
+            iterations: 30,
+            alpha: 1.0,
+        };
         let r = nrpa(&g, 2, &cfg, &mut Rng::seeded(5));
         assert_eq!(r.score, 255, "NRPA should learn the all-ones line");
         assert_eq!(r.sequence, vec![1; 8]);
@@ -232,13 +245,18 @@ mod tests {
 
     #[test]
     fn nrpa_beats_uniform_sampling_at_equal_playouts() {
-        let g = Binary { depth: 10, taken: vec![] };
-        let cfg = NrpaConfig { iterations: 10, alpha: 1.0 };
+        let g = Binary {
+            depth: 10,
+            taken: vec![],
+        };
+        let cfg = NrpaConfig {
+            iterations: 10,
+            alpha: 1.0,
+        };
         let r = nrpa(&g, 2, &cfg, &mut Rng::seeded(3));
         // 100 playouts of uniform sampling:
         let mut rng = Rng::seeded(3);
-        let best_uniform =
-            (0..100).map(|_| sample(&g, &mut rng).score).max().unwrap();
+        let best_uniform = (0..100).map(|_| sample(&g, &mut rng).score).max().unwrap();
         assert!(
             r.score >= best_uniform,
             "NRPA {} vs best-of-100 uniform {}",
@@ -249,7 +267,10 @@ mod tests {
 
     #[test]
     fn adaptation_raises_played_move_probability() {
-        let g = Binary { depth: 4, taken: vec![] };
+        let g = Binary {
+            depth: 4,
+            taken: vec![],
+        };
         let mut p = Policy::new();
         let seq = vec![1u8, 1, 1, 1];
         p.adapt(&g, &seq, 1.0);
@@ -261,7 +282,10 @@ mod tests {
 
     #[test]
     fn policy_playout_follows_strong_weights() {
-        let g = Binary { depth: 6, taken: vec![] };
+        let g = Binary {
+            depth: 6,
+            taken: vec![],
+        };
         let mut p = Policy::new();
         // Drive all weights hard toward 1s.
         for _ in 0..20 {
@@ -282,7 +306,10 @@ mod tests {
 
     #[test]
     fn level0_is_a_single_policy_playout() {
-        let g = Binary { depth: 5, taken: vec![] };
+        let g = Binary {
+            depth: 5,
+            taken: vec![],
+        };
         let cfg = NrpaConfig::default();
         let r = nrpa(&g, 0, &cfg, &mut Rng::seeded(1));
         assert_eq!(r.stats.playouts, 1);
@@ -291,8 +318,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let g = Binary { depth: 6, taken: vec![] };
-        let cfg = NrpaConfig { iterations: 8, alpha: 0.7 };
+        let g = Binary {
+            depth: 6,
+            taken: vec![],
+        };
+        let cfg = NrpaConfig {
+            iterations: 8,
+            alpha: 0.7,
+        };
         let a = nrpa(&g, 2, &cfg, &mut Rng::seeded(11));
         let b = nrpa(&g, 2, &cfg, &mut Rng::seeded(11));
         assert_eq!(a.score, b.score);
@@ -301,8 +334,14 @@ mod tests {
 
     #[test]
     fn sequence_replays_to_score() {
-        let g = Binary { depth: 7, taken: vec![] };
-        let cfg = NrpaConfig { iterations: 5, alpha: 1.0 };
+        let g = Binary {
+            depth: 7,
+            taken: vec![],
+        };
+        let cfg = NrpaConfig {
+            iterations: 5,
+            alpha: 1.0,
+        };
         for seed in 0..10 {
             let r = nrpa(&g, 1, &cfg, &mut Rng::seeded(seed));
             let mut replay = g.clone();

@@ -71,6 +71,48 @@ pub fn derive_seed(parent: u64, tags: &[u64]) -> u64 {
     acc
 }
 
+/// FNV-1a over a byte stream — the workspace's one non-cryptographic
+/// content hash (job signatures, position digests, test seeding all go
+/// through here so the constants live in exactly one place).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    #[inline]
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    pub fn write_u8(&mut self, byte: u8) {
+        self.0 ^= byte as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, word: u64) {
+        self.write_bytes(&word.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// xoshiro256★★ — the default all-purpose generator of this workspace.
 ///
 /// 256 bits of state, period `2^256 − 1`, excellent statistical quality,
@@ -101,7 +143,10 @@ impl Rng {
     /// At least one word must be non-zero; an all-zero state is the one
     /// fixed point of the transition function and would emit only zeros.
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must not be all zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must not be all zero"
+        );
         Self { s }
     }
 
@@ -241,7 +286,10 @@ mod tests {
             assert!(v < 7);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
     }
 
     #[test]
@@ -269,7 +317,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle of 50 items should move something");
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle of 50 items should move something"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub struct NestedConfig {
 
 impl Default for NestedConfig {
     fn default() -> Self {
-        Self { memory: MemoryPolicy::Memorise, playout_cap: None }
+        Self {
+            memory: MemoryPolicy::Memorise,
+            playout_cap: None,
+        }
     }
 }
 
@@ -72,7 +75,10 @@ impl NestedConfig {
 
     /// Greedy per-step configuration matching the parallel pseudocode.
     pub fn greedy() -> Self {
-        Self { memory: MemoryPolicy::Greedy, playout_cap: None }
+        Self {
+            memory: MemoryPolicy::Greedy,
+            playout_cap: None,
+        }
     }
 }
 
@@ -119,7 +125,11 @@ pub fn sample<G: Game>(game: &G, rng: &mut Rng) -> SearchResult<G::Move> {
     let mut seq = Vec::new();
     let mut g = game.clone();
     let score = sample_into(&mut g, rng, None, &mut seq, &mut stats);
-    SearchResult { score, sequence: seq, stats }
+    SearchResult {
+        score,
+        sequence: seq,
+        stats,
+    }
 }
 
 /// Nested Monte-Carlo Search at `level` from `game`.
@@ -141,7 +151,11 @@ pub fn nested<G: Game>(
 ) -> SearchResult<G::Move> {
     let mut stats = SearchStats::new();
     let (score, sequence) = nested_inner(game, level, config, rng, &mut stats);
-    SearchResult { score, sequence, stats }
+    SearchResult {
+        score,
+        sequence,
+        stats,
+    }
 }
 
 fn nested_inner<G: Game>(
@@ -183,8 +197,7 @@ fn nested_inner<G: Game>(
 
             let (score, continuation) = if level == 1 {
                 scratch_seq.clear();
-                let s =
-                    sample_into(&mut child, rng, config.playout_cap, &mut scratch_seq, stats);
+                let s = sample_into(&mut child, rng, config.playout_cap, &mut scratch_seq, stats);
                 (s, &scratch_seq)
             } else {
                 let (s, seq) = nested_inner(&child, level - 1, config, rng, stats);
@@ -209,8 +222,7 @@ fn nested_inner<G: Game>(
         // sequence. Fallbacks: the greedy policy always plays this step's
         // argmax, and a capped search whose memorised (capped) continuation
         // is exhausted must extend it with the step argmax.
-        let follow_memory =
-            config.memory == MemoryPolicy::Memorise && played < best_seq.len();
+        let follow_memory = config.memory == MemoryPolicy::Memorise && played < best_seq.len();
         let next = if follow_memory {
             best_seq[played].clone()
         } else {
@@ -274,7 +286,11 @@ pub fn evaluate_moves<G: Game>(
                 let mut seq = Vec::new();
                 let mut g = child.clone();
                 let score = sample_into(&mut g, &mut rng, config.playout_cap, &mut seq, &mut stats);
-                SearchResult { score, sequence: seq, stats }
+                SearchResult {
+                    score,
+                    sequence: seq,
+                    stats,
+                }
             } else {
                 nested(&child, level, config, &mut rng)
             };
@@ -351,7 +367,10 @@ mod tests {
     }
 
     fn fresh(depth: usize) -> AllOnes {
-        AllOnes { depth, taken: Vec::new() }
+        AllOnes {
+            depth,
+            taken: Vec::new(),
+        }
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub struct UctConfig {
 
 impl Default for UctConfig {
     fn default() -> Self {
-        Self { iterations: 1_000, exploration: 0.4, max_bias: 0.5 }
+        Self {
+            iterations: 1_000,
+            exploration: 0.4,
+            max_bias: 0.5,
+        }
     }
 }
 
@@ -121,11 +125,8 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
                 let n = &nodes[c];
                 let mean = (n.total / n.visits.max(1) as f64 - lo) / span;
                 let maxv = (n.best as f64 - lo) / span;
-                let explore =
-                    config.exploration * (ln_n / n.visits.max(1) as f64).sqrt();
-                let val = (1.0 - config.max_bias) * mean
-                    + config.max_bias * maxv
-                    + explore;
+                let explore = config.exploration * (ln_n / n.visits.max(1) as f64).sqrt();
+                let val = (1.0 - config.max_bias) * mean + config.max_bias * maxv + explore;
                 if val > best_val {
                     best_val = val;
                     best_child = c;
@@ -139,8 +140,7 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
         }
 
         // ---- rollout ----
-        let score =
-            crate::search::sample_into(&mut pos, rng, None, &mut seq, &mut stats);
+        let score = crate::search::sample_into(&mut pos, rng, None, &mut seq, &mut stats);
         let s = score as f64;
         lo = lo.min(s);
         hi = hi.max(s);
@@ -159,7 +159,11 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
         }
     }
 
-    SearchResult { score: best_score, sequence: best_seq, stats }
+    SearchResult {
+        score: best_score,
+        sequence: best_seq,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -198,8 +202,14 @@ mod tests {
 
     #[test]
     fn uct_solves_small_games() {
-        let g = Ternary { depth: 4, taken: vec![] };
-        let cfg = UctConfig { iterations: 2_000, ..Default::default() };
+        let g = Ternary {
+            depth: 4,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 2_000,
+            ..Default::default()
+        };
         let r = uct(&g, &cfg, &mut Rng::seeded(1));
         assert_eq!(r.score, optimum(4));
     }
@@ -207,8 +217,14 @@ mod tests {
     #[test]
     fn uct_sequences_replay_to_their_score() {
         for seed in 0..10 {
-            let g = Ternary { depth: 5, taken: vec![] };
-            let cfg = UctConfig { iterations: 200, ..Default::default() };
+            let g = Ternary {
+                depth: 5,
+                taken: vec![],
+            };
+            let cfg = UctConfig {
+                iterations: 200,
+                ..Default::default()
+            };
             let r = uct(&g, &cfg, &mut Rng::seeded(seed));
             let mut replay = g.clone();
             for mv in &r.sequence {
@@ -221,13 +237,19 @@ mod tests {
 
     #[test]
     fn uct_beats_flat_mc_at_equal_budget() {
-        let g = Ternary { depth: 6, taken: vec![] };
+        let g = Ternary {
+            depth: 6,
+            taken: vec![],
+        };
         let budget = 300;
         let trials = 20;
         let mut uct_total = 0;
         let mut flat_total = 0;
         for seed in 0..trials {
-            let cfg = UctConfig { iterations: budget, ..Default::default() };
+            let cfg = UctConfig {
+                iterations: budget,
+                ..Default::default()
+            };
             uct_total += uct(&g, &cfg, &mut Rng::seeded(seed)).score;
             flat_total += flat_monte_carlo(&g, budget, &mut Rng::seeded(seed)).score;
         }
@@ -239,11 +261,17 @@ mod tests {
 
     #[test]
     fn more_iterations_do_not_hurt() {
-        let g = Ternary { depth: 5, taken: vec![] };
+        let g = Ternary {
+            depth: 5,
+            taken: vec![],
+        };
         let score_at = |iters: usize| {
             (0..10)
                 .map(|s| {
-                    let cfg = UctConfig { iterations: iters, ..Default::default() };
+                    let cfg = UctConfig {
+                        iterations: iters,
+                        ..Default::default()
+                    };
                     uct(&g, &cfg, &mut Rng::seeded(s)).score
                 })
                 .sum::<Score>()
@@ -253,8 +281,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let g = Ternary { depth: 4, taken: vec![] };
-        let cfg = UctConfig { iterations: 100, ..Default::default() };
+        let g = Ternary {
+            depth: 4,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 100,
+            ..Default::default()
+        };
         let a = uct(&g, &cfg, &mut Rng::seeded(9));
         let b = uct(&g, &cfg, &mut Rng::seeded(9));
         assert_eq!(a.score, b.score);
@@ -263,8 +297,14 @@ mod tests {
 
     #[test]
     fn terminal_root_is_handled() {
-        let g = Ternary { depth: 0, taken: vec![] };
-        let cfg = UctConfig { iterations: 10, ..Default::default() };
+        let g = Ternary {
+            depth: 0,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 10,
+            ..Default::default()
+        };
         let r = uct(&g, &cfg, &mut Rng::seeded(1));
         assert_eq!(r.score, 0);
         assert!(r.sequence.is_empty());

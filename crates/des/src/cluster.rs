@@ -56,13 +56,20 @@ impl ClusterSpec {
         let mut clients = Vec::with_capacity(64);
         clients.extend(std::iter::repeat_n(ClientSpec { speed: 1.0 }, 40));
         clients.extend(std::iter::repeat_n(ClientSpec { speed: FAST_CORE }, 24));
-        Self { clients, ns_per_unit: 1_000.0, latency: DEFAULT_LATENCY }
+        Self {
+            clients,
+            ns_per_unit: 1_000.0,
+            latency: DEFAULT_LATENCY,
+        }
     }
 
     /// The paper's reduced runs: `n ≤ 40` clients on 1.86 GHz PCs only
     /// ("the result for 32 clients is obtained using only 1.86 GHz PCs").
     pub fn paper_subset(n: usize) -> Self {
-        assert!((1..=40).contains(&n), "paper subsets use the 40 slow clients");
+        assert!(
+            (1..=40).contains(&n),
+            "paper subsets use the 40 slow clients"
+        );
         Self::homogeneous(n)
     }
 
@@ -84,7 +91,11 @@ impl ClusterSpec {
         let mut clients = Vec::with_capacity(4 * a + 2 * b);
         clients.extend(std::iter::repeat_n(ClientSpec { speed: 0.5 }, 4 * a));
         clients.extend(std::iter::repeat_n(ClientSpec { speed: 1.0 }, 2 * b));
-        Self { clients, ns_per_unit: 1_000.0, latency: DEFAULT_LATENCY }
+        Self {
+            clients,
+            ns_per_unit: 1_000.0,
+            latency: DEFAULT_LATENCY,
+        }
     }
 
     /// Number of clients.
@@ -177,7 +188,9 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let c = ClusterSpec::homogeneous(2).with_ns_per_unit(5.0).with_latency(42);
+        let c = ClusterSpec::homogeneous(2)
+            .with_ns_per_unit(5.0)
+            .with_latency(42);
         assert_eq!(c.ns_per_unit, 5.0);
         assert_eq!(c.latency, 42);
     }

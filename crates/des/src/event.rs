@@ -48,7 +48,11 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, last_popped: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_popped: 0,
+        }
     }
 
     /// Schedules `payload` at absolute virtual time `time`.
@@ -58,7 +62,11 @@ impl<E> EventQueue<E> {
             "scheduling into the past: {time} < {}",
             self.last_popped
         );
-        self.heap.push(Reverse(Entry { time, seq: self.seq, payload }));
+        self.heap.push(Reverse(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        }));
         self.seq += 1;
     }
 

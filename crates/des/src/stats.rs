@@ -31,7 +31,11 @@ impl SimStats {
         let min_utilisation = utils.iter().copied().fold(f64::INFINITY, f64::min);
         let max_utilisation = utils.iter().copied().fold(0.0, f64::max);
         let total_wait: Time = stations.iter().map(|s| s.total_queue_wait()).sum();
-        let mean_queue_wait = if jobs == 0 { 0.0 } else { total_wait as f64 / jobs as f64 };
+        let mean_queue_wait = if jobs == 0 {
+            0.0
+        } else {
+            total_wait as f64 / jobs as f64
+        };
         Self {
             makespan,
             jobs,
@@ -69,7 +73,11 @@ mod tests {
         let stats = SimStats::collect(&[a, b, c], 200, 250);
         assert_eq!(stats.jobs, 4);
         // Utilisations over 200: a = 0.5, b = 0.5, c = 0.25.
-        assert!((stats.mean_utilisation - 0.41666666).abs() < 1e-6, "{}", stats.mean_utilisation);
+        assert!(
+            (stats.mean_utilisation - 0.41666666).abs() < 1e-6,
+            "{}",
+            stats.mean_utilisation
+        );
         assert!((stats.min_utilisation - 0.25).abs() < 1e-9);
         assert!((stats.max_utilisation - 0.5).abs() < 1e-9);
         // One job waited 50; 4 jobs total.

@@ -63,7 +63,11 @@ impl Timeline {
 pub fn gantt(timelines: &[Timeline], horizon: Time, width: usize) -> String {
     let mut out = String::new();
     for (i, tl) in timelines.iter().enumerate() {
-        let util = if horizon == 0 { 0.0 } else { tl.busy() as f64 / horizon as f64 };
+        let util = if horizon == 0 {
+            0.0
+        } else {
+            tl.busy() as f64 / horizon as f64
+        };
         out.push_str(&format!(
             "client {i:>3} [{}] {:>4.0}%\n",
             tl.strip(horizon, width),

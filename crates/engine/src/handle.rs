@@ -1,0 +1,220 @@
+//! Job state shared between submitters and workers, and the public
+//! [`JobHandle`].
+
+use crate::job::{JobId, JobOutput, JobSpec, JobState, Progress, ReplicaResult};
+use crate::pool::Metrics;
+
+/// What a worker reports for one replica.
+pub(crate) enum ReplicaOutcome {
+    Finished(ReplicaResult),
+    /// Cancelled before or during the search; no result.
+    Skipped,
+    /// The search panicked (buggy game implementation).
+    Panicked,
+}
+use crate::scheduler::ReplicaPlan;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+pub(crate) struct JobInner {
+    pub state: JobState,
+    pub replicas_done: usize,
+    pub results: Vec<Option<ReplicaResult>>,
+    pub work_units: u64,
+    pub finished_at: Option<Instant>,
+    /// Set when a replica panicked; the job finishes as `Failed`.
+    pub failed: bool,
+}
+
+/// Everything the engine and workers share about one job.
+pub(crate) struct JobCore {
+    pub id: JobId,
+    pub spec: JobSpec,
+    pub plans: Vec<ReplicaPlan>,
+    pub cancel: AtomicBool,
+    pub submitted_at: Instant,
+    pub inner: Mutex<JobInner>,
+    pub done: Condvar,
+}
+
+impl JobCore {
+    pub fn new(id: JobId, spec: JobSpec, plans: Vec<ReplicaPlan>) -> Arc<Self> {
+        let replicas = spec.replicas;
+        Arc::new(JobCore {
+            id,
+            spec,
+            plans,
+            cancel: AtomicBool::new(false),
+            submitted_at: Instant::now(),
+            inner: Mutex::new(JobInner {
+                state: JobState::Queued,
+                replicas_done: 0,
+                results: (0..replicas).map(|_| None).collect(),
+                work_units: 0,
+                finished_at: None,
+                failed: false,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, JobInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Acquire)
+    }
+
+    /// Marks the job running (first replica picked up).
+    pub fn mark_running(&self) {
+        let mut inner = self.lock();
+        if inner.state == JobState::Queued {
+            inner.state = JobState::Running;
+        }
+    }
+
+    /// Records a finished (or skipped, `result == None`) replica; when it
+    /// is the last one, seals the job, bumps the engine's job counters,
+    /// and wakes joiners. The counters are updated while the job lock is
+    /// held so any thread that observes the terminal state (via `join` or
+    /// `poll_progress`) also observes them. Returns `true` when the job
+    /// reached a terminal state.
+    pub fn record_replica(
+        &self,
+        replica: usize,
+        result: ReplicaOutcome,
+        metrics: &Metrics,
+    ) -> bool {
+        let mut inner = self.lock();
+        debug_assert!(
+            inner.results[replica].is_none(),
+            "replica {replica} recorded twice"
+        );
+        match result {
+            ReplicaOutcome::Finished(r) => {
+                inner.work_units += r.result.stats.work_units;
+                inner.results[replica] = Some(r);
+            }
+            ReplicaOutcome::Skipped => {}
+            ReplicaOutcome::Panicked => inner.failed = true,
+        }
+        inner.replicas_done += 1;
+        let finished = inner.replicas_done == self.spec.replicas;
+        if finished && !inner.state.is_terminal() {
+            use std::sync::atomic::Ordering;
+            if self.is_cancelled() {
+                inner.state = JobState::Cancelled;
+                metrics.cancelled_jobs.fetch_add(1, Ordering::Relaxed);
+            } else if inner.failed {
+                inner.state = JobState::Failed;
+                metrics.failed_jobs.fetch_add(1, Ordering::Relaxed);
+            } else {
+                inner.state = JobState::Completed;
+                metrics.completed_jobs.fetch_add(1, Ordering::Relaxed);
+            }
+            inner.finished_at = Some(Instant::now());
+            drop(inner);
+            self.done.notify_all();
+        }
+        finished
+    }
+
+    /// Index and score of the best finished replica (ties: lowest
+    /// replica index, matching the deterministic tie-break of the
+    /// paper's root process).
+    fn best_replica(inner: &JobInner) -> Option<usize> {
+        let mut best: Option<(i64, usize)> = None;
+        for (i, r) in inner.results.iter().enumerate() {
+            if let Some(r) = r {
+                let score = r.result.score;
+                if best.is_none_or(|(bs, _)| score > bs) {
+                    best = Some((score, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    pub fn progress(&self) -> Progress {
+        let inner = self.lock();
+        let best = Self::best_replica(&inner);
+        Progress {
+            job: self.id,
+            state: inner.state,
+            replicas_total: self.spec.replicas,
+            replicas_done: inner.replicas_done,
+            best_score: best.map(|i| inner.results[i].as_ref().unwrap().result.score),
+            best_replica: best,
+            work_units: inner.work_units,
+        }
+    }
+
+    pub fn output(&self, inner: &JobInner) -> JobOutput {
+        let best = Self::best_replica(inner);
+        JobOutput {
+            job: self.id,
+            name: self.spec.name.clone(),
+            state: inner.state,
+            best: best.and_then(|i| inner.results[i].clone()),
+            replicas: inner.results.clone(),
+            elapsed: inner
+                .finished_at
+                .unwrap_or_else(Instant::now)
+                .duration_since(self.submitted_at),
+        }
+    }
+}
+
+/// Handle to a submitted job: poll progress, cancel, or block for the
+/// final result. Dropping the handle does not affect the job.
+pub struct JobHandle {
+    pub(crate) core: Arc<JobCore>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.core.id)
+            .field("name", &self.core.spec.name)
+            .finish()
+    }
+}
+
+impl JobHandle {
+    pub fn id(&self) -> JobId {
+        self.core.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.core.spec.name
+    }
+
+    /// A point-in-time snapshot; never blocks on search work.
+    pub fn poll_progress(&self) -> Progress {
+        self.core.progress()
+    }
+
+    /// Requests cancellation. Replicas that already finished keep their
+    /// results; queued replicas are skipped when dequeued; *running*
+    /// replicas observe the flag through their game wrapper within a few
+    /// playout steps and unwind promptly. Idempotent.
+    pub fn cancel(&self) {
+        self.core.cancel.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the job reaches a terminal state and returns the
+    /// merged outcome.
+    pub fn join(self) -> JobOutput {
+        let mut inner = self.core.lock();
+        while !inner.state.is_terminal() {
+            inner = self
+                .core
+                .done
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        self.core.output(&inner)
+    }
+}

@@ -1,0 +1,253 @@
+//! Job descriptions and result types for the engine.
+
+use nmcs_core::{
+    CodedGame, DynGame, Game, MemoryPolicy, NestedConfig, NrpaConfig, Score, SearchResult,
+    UctConfig,
+};
+use std::time::Duration;
+
+/// Engine-assigned job identifier (unique per [`crate::Engine`]).
+pub type JobId = u64;
+
+/// Which search to run. Every variant maps to exactly one function of
+/// `nmcs-core`, so an engine job is reproducible as a direct library
+/// call with the job's seed.
+#[derive(Debug, Clone)]
+pub enum Algorithm {
+    /// [`nmcs_core::nested`] at `level`.
+    Nested { level: u32, config: NestedConfig },
+    /// [`nmcs_core::nrpa`] at `level`.
+    Nrpa { level: u32, config: NrpaConfig },
+    /// [`nmcs_core::uct`].
+    Uct { config: UctConfig },
+    /// [`nmcs_core::baselines::flat_monte_carlo`] with `playouts`
+    /// samples per step.
+    FlatMc { playouts: usize },
+    /// A single random playout ([`nmcs_core::sample`]).
+    Sample,
+}
+
+impl Algorithm {
+    /// Convenience constructor for the most common job shape.
+    pub fn nested(level: u32) -> Self {
+        Algorithm::Nested {
+            level,
+            config: NestedConfig::paper(),
+        }
+    }
+
+    /// NRPA with `iterations` recursive calls per level.
+    pub fn nrpa(level: u32, iterations: usize) -> Self {
+        Algorithm::Nrpa {
+            level,
+            config: NrpaConfig {
+                iterations,
+                alpha: 1.0,
+            },
+        }
+    }
+
+    /// Short label for logs and progress lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Nested { .. } => "nested",
+            Algorithm::Nrpa { .. } => "nrpa",
+            Algorithm::Uct { .. } => "uct",
+            Algorithm::FlatMc { .. } => "flat-mc",
+            Algorithm::Sample => "sample",
+        }
+    }
+
+    /// Stable digest of the variant *and* its configuration, mixed into
+    /// replica signatures by the scheduler. Two algorithms with the same
+    /// shape but different tunables must not look like duplicates.
+    pub(crate) fn tag(&self) -> u64 {
+        let words: [u64; 4] = match self {
+            Algorithm::Nested { level, config } => [
+                0x100 + *level as u64,
+                config.memory as u64,
+                config.playout_cap.map_or(u64::MAX, |c| c as u64),
+                0,
+            ],
+            Algorithm::Nrpa { level, config } => [
+                0x200 + *level as u64,
+                config.iterations as u64,
+                config.alpha.to_bits(),
+                0,
+            ],
+            Algorithm::Uct { config } => [
+                0x300,
+                config.iterations as u64,
+                config.exploration.to_bits(),
+                config.max_bias.to_bits(),
+            ],
+            Algorithm::FlatMc { playouts } => [0x400, *playouts as u64, 0, 0],
+            Algorithm::Sample => [0x500, 0, 0, 0],
+        };
+        let mut h = nmcs_core::Fnv1a::new();
+        for w in words {
+            h.write_u64(w);
+        }
+        h.finish()
+    }
+}
+
+/// A search job: one game position × one algorithm × one seed, run as
+/// `replicas` root-parallel replicas whose best result wins.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable name; also part of the scheduler's duplicate
+    /// detection, so submitting the same (name, algorithm, seed) twice
+    /// concurrently diversifies the second copy instead of repeating
+    /// identical work.
+    pub name: String,
+    /// Initial position (type-erased; see [`nmcs_core::erased`]).
+    pub game: DynGame,
+    pub algorithm: Algorithm,
+    /// Root seed. With `replicas == 1` the job's search is bit-identical
+    /// to the direct library call seeded with this value; with more
+    /// replicas, per-replica seeds derive from it via
+    /// `parallel_nmcs::seeds::median_seed` (see
+    /// [`crate::scheduler::ReplicaPlan`]).
+    pub seed: u64,
+    /// Number of root-parallel replicas (≥ 1).
+    pub replicas: usize,
+    /// When true, odd NMCS replicas run the greedy memory policy instead
+    /// of the memorising one, so the ensemble explores structurally
+    /// different trajectories (WU-UCT-style diversification) instead of
+    /// only reseeding.
+    pub diversify_policies: bool,
+}
+
+impl JobSpec {
+    /// A job over a coded game (NRPA keeps true move codes).
+    pub fn new<G>(name: impl Into<String>, game: G, algorithm: Algorithm, seed: u64) -> Self
+    where
+        G: CodedGame + Send + Sync + 'static,
+        G::Move: Send + Sync,
+    {
+        JobSpec {
+            name: name.into(),
+            game: DynGame::new(game),
+            algorithm,
+            seed,
+            replicas: 1,
+            diversify_policies: false,
+        }
+    }
+
+    /// A job over a plain game (NRPA falls back to positional codes).
+    pub fn uncoded<G>(name: impl Into<String>, game: G, algorithm: Algorithm, seed: u64) -> Self
+    where
+        G: Game + Send + Sync + 'static,
+        G::Move: Send + Sync,
+    {
+        JobSpec {
+            name: name.into(),
+            game: DynGame::new_uncoded(game),
+            algorithm,
+            seed,
+            replicas: 1,
+            diversify_policies: false,
+        }
+    }
+
+    /// Sets the ensemble width.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas >= 1, "a job needs at least one replica");
+        self.replicas = replicas;
+        self
+    }
+
+    /// Enables per-replica policy diversification.
+    pub fn with_policy_diversification(mut self) -> Self {
+        self.diversify_policies = true;
+        self
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted; no replica has started.
+    Queued,
+    /// At least one replica is running.
+    Running,
+    /// All replicas finished and the merge is final.
+    Completed,
+    /// Cancelled; any replicas that had already finished are preserved.
+    Cancelled,
+    /// A replica panicked (e.g. a buggy game implementation); finished
+    /// replicas are preserved.
+    Failed,
+}
+
+impl JobState {
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// A point-in-time snapshot of a job, returned by
+/// [`crate::JobHandle::poll_progress`]. Snapshots stream monotonically:
+/// `replicas_done` and `work_units` never decrease, `best_score` never
+/// worsens, and `state` only advances.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    pub job: JobId,
+    pub state: JobState,
+    pub replicas_total: usize,
+    pub replicas_done: usize,
+    /// Best score over the replicas finished so far.
+    pub best_score: Option<Score>,
+    /// Replica index that produced `best_score`.
+    pub best_replica: Option<usize>,
+    /// Work units accumulated across finished replicas.
+    pub work_units: u64,
+}
+
+/// Outcome of one replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaResult {
+    pub replica: usize,
+    /// The seed this replica actually ran with. Normally the scheduler's
+    /// canonical derivation from the job seed; differs only when
+    /// duplicate in-flight work forced diversification. Either way, the
+    /// replica's `result` is bit-identical to the direct library call
+    /// with this seed (and `memory_policy`, for NMCS).
+    pub seed_used: u64,
+    /// The NMCS memory policy this replica ran with (None for non-NMCS
+    /// algorithms).
+    pub memory_policy: Option<MemoryPolicy>,
+    /// Index-encoded search result; decode with
+    /// [`nmcs_core::decode_result`] against the typed root position.
+    pub result: SearchResult<usize>,
+    pub elapsed: Duration,
+}
+
+/// Final outcome of a job, returned by [`crate::JobHandle::join`].
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    pub job: JobId,
+    pub name: String,
+    /// `Completed`, `Cancelled`, or `Failed`.
+    pub state: JobState,
+    /// Best replica result (the ensemble merge). `None` only if the job
+    /// was cancelled before any replica finished.
+    pub best: Option<ReplicaResult>,
+    /// All replica results, indexed by replica; `None` entries were
+    /// cancelled before finishing.
+    pub replicas: Vec<Option<ReplicaResult>>,
+    /// Wall-clock time from submission to the terminal state.
+    pub elapsed: Duration,
+}
+
+impl JobOutput {
+    /// Best score across finished replicas.
+    pub fn score(&self) -> Option<Score> {
+        self.best.as_ref().map(|r| r.result.score)
+    }
+}

@@ -1,0 +1,431 @@
+//! # nmcs-engine — a concurrent multi-tenant search service
+//!
+//! The paper's cluster NMCS answers *one* search as fast as a cluster
+//! allows. This crate answers *many*: a long-running [`Engine`] accepts
+//! heterogeneous search jobs — any game (via the object-safe
+//! [`nmcs_core::DynGame`] erasure) × any algorithm ([`Algorithm`]: NMCS,
+//! NRPA, UCT, flat Monte-Carlo, raw playouts) — on a bounded submission
+//! queue and executes them on a shared work-stealing worker pool.
+//!
+//! Properties the service layer guarantees:
+//!
+//! * **Determinism** — a job's result is bit-identical to the equivalent
+//!   direct `nmcs-core` call with the job's seed; ensemble replicas
+//!   derive their seeds through `parallel_nmcs::seeds`, the same scheme
+//!   the cluster backends use (see [`scheduler`]).
+//! * **Backpressure** — the queue is bounded; [`Engine::submit`] blocks
+//!   when full, [`Engine::try_submit`] fails fast, and queued memory is
+//!   bounded by `queue_capacity` tasks
+//!   ([`EngineStats::peak_queue_depth`] is the witness).
+//! * **Prompt cancellation** — [`JobHandle::cancel`] reaches *running*
+//!   searches through a cancellation-transparent game wrapper, so even a
+//!   deep NMCS unwinds within a few playout steps.
+//! * **Streaming progress** — [`JobHandle::poll_progress`] returns
+//!   monotone snapshots (replicas done, best-so-far score, work units).
+//! * **Diversified ensembles** — root-parallel replica jobs perturb
+//!   per-replica seeds (and optionally NMCS memory policies), and the
+//!   scheduler consults an in-flight registry so duplicate submissions
+//!   explore fresh trajectories instead of repeating identical work —
+//!   the WU-UCT observation applied to job scheduling.
+//!
+//! ## Example
+//!
+//! ```
+//! use nmcs_engine::{Algorithm, Engine, EngineConfig, JobSpec};
+//! use nmcs_games::SumGame;
+//!
+//! let engine = Engine::start(EngineConfig { workers: 2, queue_capacity: 16 });
+//! let handle = engine
+//!     .submit(JobSpec::new(
+//!         "demo",
+//!         SumGame::random(5, 3, 1),
+//!         Algorithm::nested(1),
+//!         2009,
+//!     ))
+//!     .unwrap();
+//! let output = handle.join();
+//! assert!(output.score().unwrap() > 0);
+//! engine.shutdown();
+//! ```
+
+mod handle;
+mod job;
+mod pool;
+mod queue;
+pub mod scheduler;
+
+pub use handle::JobHandle;
+pub use job::{Algorithm, JobId, JobOutput, JobSpec, JobState, Progress, ReplicaResult};
+pub use scheduler::ReplicaPlan;
+
+use handle::JobCore;
+use pool::{spawn_workers, PoolShared, Task};
+use queue::PushError;
+use scheduler::InFlight;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Engine tunables.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Capacity of the submission queue, counted in *replica tasks*.
+    /// This bounds the engine's queued memory and is the backpressure
+    /// threshold.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(8),
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `try_submit` found fewer free queue slots than the job has
+    /// replicas (nothing was admitted).
+    QueueFull { capacity: usize, requested: usize },
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull {
+                capacity,
+                requested,
+            } => write!(
+                f,
+                "submission queue full (capacity {capacity}, job needs {requested} slots)"
+            ),
+            SubmitError::ShuttingDown => f.write_str("engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A point-in-time snapshot of engine counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    pub workers: usize,
+    pub queue_capacity: usize,
+    pub queue_depth: usize,
+    /// Highest queue depth ever observed (≤ `queue_capacity`, always).
+    pub peak_queue_depth: usize,
+    pub submitted_jobs: u64,
+    pub completed_jobs: u64,
+    pub cancelled_jobs: u64,
+    /// Jobs that ended [`JobState::Failed`] because a replica panicked.
+    pub failed_jobs: u64,
+    pub executed_tasks: u64,
+    /// Replica tasks skipped because their job was cancelled.
+    pub skipped_tasks: u64,
+    /// Tasks a worker stole from a sibling's deque.
+    pub stolen_tasks: u64,
+    /// Search work units executed on behalf of completed replicas.
+    pub total_work_units: u64,
+    /// `try_submit` calls refused by backpressure.
+    pub rejected_submissions: u64,
+    /// Replica signatures currently registered (queued or running).
+    pub in_flight_replicas: usize,
+}
+
+/// The multi-tenant search service. See the crate docs.
+pub struct Engine {
+    shared: Arc<PoolShared>,
+    in_flight: Arc<InFlight>,
+    next_id: AtomicU64,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts the worker pool.
+    pub fn start(config: EngineConfig) -> Self {
+        assert!(config.workers >= 1, "engine needs at least one worker");
+        let in_flight = Arc::new(InFlight::default());
+        let shared = PoolShared::new(config.workers, config.queue_capacity, in_flight.clone());
+        let workers = spawn_workers(&shared);
+        Engine {
+            shared,
+            in_flight,
+            next_id: AtomicU64::new(1),
+            workers,
+        }
+    }
+
+    fn admit(&self, spec: JobSpec) -> (Arc<JobCore>, Vec<Task>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let plans = self.in_flight.plan_job(&spec);
+        let core = JobCore::new(id, spec, plans);
+        let tasks = (0..core.spec.replicas)
+            .map(|replica| Task {
+                job: core.clone(),
+                replica,
+            })
+            .collect();
+        (core, tasks)
+    }
+
+    fn rollback(&self, core: &Arc<JobCore>) {
+        for plan in &core.plans {
+            self.in_flight.release(plan.signature);
+        }
+    }
+
+    /// Submits a job, **blocking** while the queue is full
+    /// (backpressure). Fails only during shutdown.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let (core, tasks) = self.admit(spec);
+        let n = tasks.len();
+        self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
+        for (i, task) in tasks.into_iter().enumerate() {
+            if let Err(PushError::Closed | PushError::Full) = self.shared.injector.push(task) {
+                // Blocking push only fails on close. Give back whatever
+                // was not admitted.
+                for plan in &core.plans[i..] {
+                    self.in_flight.release(plan.signature);
+                }
+                self.shared.outstanding.fetch_sub(n - i, Ordering::AcqRel);
+                // Replicas already queued will be skipped by workers.
+                core.cancel.store(true, Ordering::Release);
+                return Err(SubmitError::ShuttingDown);
+            }
+        }
+        self.shared
+            .metrics
+            .submitted_jobs
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(JobHandle { core })
+    }
+
+    /// Submits a job without blocking: if the queue lacks room for
+    /// *every* replica, nothing is admitted and the caller gets
+    /// [`SubmitError::QueueFull`] **with the spec handed back**, so the
+    /// retry-with-blocking-`submit` fallback needs no upfront clone of
+    /// the game position.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, (SubmitError, JobSpec)> {
+        let (core, tasks) = self.admit(spec);
+        let n = tasks.len();
+        // Count the tasks as outstanding *before* they become poppable —
+        // a fast worker could otherwise finish one and decrement the
+        // counter below zero. Both error arms give the pre-count back.
+        self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
+        match self.shared.injector.try_push_all(tasks) {
+            Ok(()) => {
+                self.shared
+                    .metrics
+                    .submitted_jobs
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { core })
+            }
+            Err((push_error, rejected_tasks)) => {
+                self.shared.outstanding.fetch_sub(n, Ordering::AcqRel);
+                self.rollback(&core);
+                let error = match push_error {
+                    PushError::Full => {
+                        self.shared
+                            .metrics
+                            .rejected_submissions
+                            .fetch_add(1, Ordering::Relaxed);
+                        SubmitError::QueueFull {
+                            capacity: self.shared.injector.capacity(),
+                            requested: n,
+                        }
+                    }
+                    PushError::Closed => SubmitError::ShuttingDown,
+                };
+                // Nothing was admitted, so the rejected tasks hold the
+                // only other references to the core; dropping them lets
+                // the spec be recovered without a clone.
+                drop(rejected_tasks);
+                let spec = Arc::try_unwrap(core)
+                    .unwrap_or_else(|_| unreachable!("rejected job leaked a reference"))
+                    .spec;
+                Err((error, spec))
+            }
+        }
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        let m = &self.shared.metrics;
+        EngineStats {
+            workers: self.shared.locals.len(),
+            queue_capacity: self.shared.injector.capacity(),
+            queue_depth: self.shared.injector.len(),
+            peak_queue_depth: self.shared.injector.peak(),
+            submitted_jobs: m.submitted_jobs.load(Ordering::Relaxed),
+            completed_jobs: m.completed_jobs.load(Ordering::Relaxed),
+            cancelled_jobs: m.cancelled_jobs.load(Ordering::Relaxed),
+            failed_jobs: m.failed_jobs.load(Ordering::Relaxed),
+            executed_tasks: m.executed_tasks.load(Ordering::Relaxed),
+            skipped_tasks: m.skipped_tasks.load(Ordering::Relaxed),
+            stolen_tasks: m.stolen_tasks.load(Ordering::Relaxed),
+            total_work_units: m.total_work_units.load(Ordering::Relaxed),
+            rejected_submissions: m.rejected_submissions.load(Ordering::Relaxed),
+            in_flight_replicas: self.in_flight.len(),
+        }
+    }
+
+    /// Stops accepting jobs, drains everything already admitted, and
+    /// joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.injector.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmcs_core::{nested, NestedConfig, Rng};
+    use nmcs_games::{NeedleLadder, SumGame};
+
+    fn engine(workers: usize, cap: usize) -> Engine {
+        Engine::start(EngineConfig {
+            workers,
+            queue_capacity: cap,
+        })
+    }
+
+    #[test]
+    fn single_job_completes_with_direct_call_score() {
+        let e = engine(2, 8);
+        let g = SumGame::random(5, 3, 7);
+        let h = e
+            .submit(JobSpec::new("sum", g.clone(), Algorithm::nested(1), 99))
+            .unwrap();
+        let out = h.join();
+        assert_eq!(out.state, JobState::Completed);
+        let direct = nested(&g, 1, &NestedConfig::paper(), &mut Rng::seeded(99));
+        assert_eq!(out.score().unwrap(), direct.score);
+        e.shutdown();
+    }
+
+    #[test]
+    fn many_jobs_across_workers() {
+        let e = engine(4, 64);
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                e.submit(JobSpec::new(
+                    format!("job-{i}"),
+                    NeedleLadder::new(6),
+                    Algorithm::nested(1),
+                    1000 + i,
+                ))
+                .unwrap()
+            })
+            .collect();
+        for h in handles {
+            let out = h.join();
+            assert_eq!(out.state, JobState::Completed);
+            assert_eq!(out.score().unwrap(), NeedleLadder::new(6).optimum());
+        }
+        let stats = e.stats();
+        assert_eq!(stats.completed_jobs, 16);
+        assert_eq!(stats.executed_tasks, 16);
+        assert_eq!(stats.in_flight_replicas, 0);
+        e.shutdown();
+    }
+
+    #[test]
+    fn progress_reaches_terminal_state() {
+        let e = engine(1, 8);
+        let h = e
+            .submit(
+                JobSpec::new("p", SumGame::random(4, 3, 3), Algorithm::nested(1), 5)
+                    .with_replicas(3),
+            )
+            .unwrap();
+        let out = h.join();
+        assert_eq!(out.state, JobState::Completed);
+        assert_eq!(out.replicas.len(), 3);
+        assert!(out.replicas.iter().all(|r| r.is_some()));
+        // Merge picks the max.
+        let best = out.best.as_ref().unwrap();
+        let max = out
+            .replicas
+            .iter()
+            .filter_map(|r| r.as_ref().map(|r| r.result.score))
+            .max()
+            .unwrap();
+        assert_eq!(best.result.score, max);
+        e.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_jobs() {
+        let e = engine(2, 32);
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                e.submit(JobSpec::new(
+                    format!("drain-{i}"),
+                    SumGame::random(4, 3, i),
+                    Algorithm::nested(1),
+                    i,
+                ))
+                .unwrap()
+            })
+            .collect();
+        e.shutdown();
+        for h in handles {
+            assert_eq!(h.join().state, JobState::Completed);
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_and_rolls_back_cleanly() {
+        let e = engine(1, 4);
+        // Simulate the closed-queue state shutdown creates, while the
+        // engine value is still alive to submit through.
+        e.shared.injector.close();
+
+        let spec = JobSpec::new("late", SumGame::random(4, 3, 1), Algorithm::nested(1), 9)
+            .with_replicas(2);
+        match e.submit(spec.clone()) {
+            Err(SubmitError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        match e.try_submit(spec) {
+            Err((SubmitError::ShuttingDown, returned)) => {
+                assert_eq!(returned.name, "late", "spec is handed back");
+            }
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        // Both failures must roll their bookkeeping back completely:
+        // leaked in-flight signatures would diversify future duplicates,
+        // and a wrong `outstanding` count would hang the join below.
+        let stats = e.stats();
+        assert_eq!(
+            stats.in_flight_replicas, 0,
+            "signatures released on rejection"
+        );
+        assert_eq!(stats.submitted_jobs, 0);
+        e.shutdown(); // must not hang on a mis-counted `outstanding`
+    }
+}

@@ -1,0 +1,298 @@
+//! The work-stealing worker pool and per-task execution.
+//!
+//! Topology: one bounded *injector* queue (the engine's submission
+//! queue) plus one local deque per worker. A worker grabs a small batch
+//! from the injector into its local deque, runs from the front, and —
+//! when both its deque and the injector are empty — steals from the
+//! *back* of a sibling's deque. Long searches therefore never convoy
+//! behind each other: whatever sits unstarted behind a busy worker is
+//! fair game for an idle one.
+
+use crate::handle::{JobCore, ReplicaOutcome};
+use crate::job::{Algorithm, ReplicaResult};
+use crate::queue::BoundedQueue;
+use crate::scheduler::InFlight;
+use nmcs_core::baselines::flat_monte_carlo;
+use nmcs_core::{nested, nrpa, sample, uct, CodedGame, DynGame, Game, NestedConfig, Rng, Score};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One schedulable unit: a single replica of a job.
+pub(crate) struct Task {
+    pub job: Arc<JobCore>,
+    pub replica: usize,
+}
+
+/// Engine-wide counters (all monotonic except `queue_depth`).
+#[derive(Default)]
+pub(crate) struct Metrics {
+    pub submitted_jobs: AtomicU64,
+    pub completed_jobs: AtomicU64,
+    pub cancelled_jobs: AtomicU64,
+    pub failed_jobs: AtomicU64,
+    pub executed_tasks: AtomicU64,
+    pub skipped_tasks: AtomicU64,
+    pub stolen_tasks: AtomicU64,
+    pub total_work_units: AtomicU64,
+    pub rejected_submissions: AtomicU64,
+}
+
+pub(crate) struct PoolShared {
+    pub injector: BoundedQueue<Task>,
+    pub locals: Vec<Mutex<VecDeque<Task>>>,
+    pub in_flight: Arc<InFlight>,
+    pub metrics: Metrics,
+    pub shutdown: AtomicBool,
+    /// Tasks admitted but not yet finished; lets shutdown drain cleanly.
+    pub outstanding: AtomicUsize,
+}
+
+impl PoolShared {
+    pub fn new(workers: usize, queue_capacity: usize, in_flight: Arc<InFlight>) -> Arc<Self> {
+        Arc::new(PoolShared {
+            injector: BoundedQueue::new(queue_capacity),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            in_flight,
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            outstanding: AtomicUsize::new(0),
+        })
+    }
+
+    fn local(&self, idx: usize) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.locals[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Work remains somewhere (injector or any local deque).
+    fn has_work(&self) -> bool {
+        self.injector.len() > 0
+            || self
+                .locals
+                .iter()
+                .enumerate()
+                .any(|(i, _)| !self.local(i).is_empty())
+    }
+}
+
+/// Spawns the worker threads. They exit when `shutdown` is set *and*
+/// every queue is drained.
+pub(crate) fn spawn_workers(shared: &Arc<PoolShared>) -> Vec<std::thread::JoinHandle<()>> {
+    (0..shared.locals.len())
+        .map(|idx| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("nmcs-engine-worker-{idx}"))
+                .spawn(move || worker_loop(&shared, idx))
+                .expect("spawn engine worker")
+        })
+        .collect()
+}
+
+fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
+    let workers = shared.locals.len();
+    // Idle backoff: 1ms while work was seen recently (steal latency),
+    // stretching to 64ms on a quiet engine so idle workers do not poll
+    // the injector a thousand times a second forever. New injector
+    // pushes (and banked surplus, via `poke`) wake sleepers immediately.
+    let mut idle_wait = Duration::from_millis(1);
+    loop {
+        // 1. Own deque, oldest first.
+        let task = shared.local(idx).pop_front();
+        if let Some(task) = task {
+            idle_wait = Duration::from_millis(1);
+            run_task(shared, task);
+            continue;
+        }
+
+        // 2. Injector: grab a small batch, run one, bank the rest where
+        //    siblings can steal them.
+        let batch_max = (shared.injector.len() / workers).clamp(1, 4);
+        let mut batch = shared.injector.try_pop_batch(batch_max);
+        if !batch.is_empty() {
+            idle_wait = Duration::from_millis(1);
+            let first = batch.remove(0);
+            if !batch.is_empty() {
+                shared.local(idx).extend(batch);
+                // Wake idle siblings: the surplus just banked in this
+                // worker's deque is stealable work they cannot see.
+                shared.injector.poke();
+            }
+            run_task(shared, first);
+            continue;
+        }
+
+        // 3. Steal from the back of a sibling's deque.
+        let mut stolen = None;
+        for off in 1..workers {
+            let victim = (idx + off) % workers;
+            if let Some(task) = shared.local(victim).pop_back() {
+                stolen = Some(task);
+                break;
+            }
+        }
+        if let Some(task) = stolen {
+            idle_wait = Duration::from_millis(1);
+            shared.metrics.stolen_tasks.fetch_add(1, Ordering::Relaxed);
+            run_task(shared, task);
+            continue;
+        }
+
+        // 4. Idle: park briefly on the injector, or exit on drained
+        //    shutdown.
+        if shared.shutdown.load(Ordering::Acquire)
+            && !shared.has_work()
+            && shared.outstanding.load(Ordering::Acquire) == 0
+        {
+            return;
+        }
+        if let Some(task) = shared.injector.pop_timeout(idle_wait) {
+            idle_wait = Duration::from_millis(1);
+            run_task(shared, task);
+        } else {
+            if shared.injector.is_closed() {
+                // pop_timeout returns immediately once the queue is
+                // closed; sleep so workers waiting out a sibling's
+                // long-running final task do not spin a core each.
+                std::thread::sleep(idle_wait);
+            }
+            idle_wait = (idle_wait * 2).min(Duration::from_millis(64));
+        }
+    }
+}
+
+/// A cancellation-transparent view of a job's game: identical to the
+/// inner game until the job's cancel flag rises, after which the
+/// position reports no legal moves — every playout then terminates at
+/// once and the search unwinds within a few steps, which is what makes
+/// [`crate::JobHandle::cancel`] prompt even mid-search.
+#[derive(Clone)]
+struct Interruptible {
+    game: DynGame,
+    cancel: Arc<JobCore>,
+}
+
+impl Game for Interruptible {
+    type Move = usize;
+
+    fn legal_moves(&self, out: &mut Vec<usize>) {
+        if self.cancel.is_cancelled() {
+            return;
+        }
+        self.game.legal_moves(out);
+    }
+
+    fn play(&mut self, mv: &usize) {
+        self.game.play(mv);
+    }
+
+    fn score(&self) -> Score {
+        self.game.score()
+    }
+
+    fn moves_played(&self) -> usize {
+        self.game.moves_played()
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.cancel.is_cancelled() || self.game.is_terminal()
+    }
+}
+
+impl CodedGame for Interruptible {
+    fn move_code(&self, mv: &usize) -> u64 {
+        self.game.move_code(mv)
+    }
+}
+
+fn run_task(shared: &PoolShared, task: Task) {
+    let job = task.job;
+    let plan = job.plans[task.replica];
+
+    if job.is_cancelled() {
+        shared.metrics.skipped_tasks.fetch_add(1, Ordering::Relaxed);
+        finish_replica(
+            shared,
+            &job,
+            task.replica,
+            ReplicaOutcome::Skipped,
+            plan.signature,
+        );
+        return;
+    }
+
+    job.mark_running();
+    let game = Interruptible {
+        game: job.spec.game.clone(),
+        cancel: job.clone(),
+    };
+    let mut rng = Rng::seeded(plan.seed);
+    let started = Instant::now();
+
+    // The search is fenced with catch_unwind for two reasons: a buggy
+    // game implementation must not take the worker thread (and with it
+    // the whole engine) down, and a *cancelled* search legitimately
+    // violates search invariants (the cancellation wrapper truncates the
+    // game mid-flight, which debug assertions inside the search are
+    // entitled to notice).
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.spec.algorithm {
+            Algorithm::Nested { level, config } => {
+                let config = match plan.memory_policy {
+                    Some(policy) => NestedConfig {
+                        memory: policy,
+                        ..config.clone()
+                    },
+                    None => config.clone(),
+                };
+                nested(&game, *level, &config, &mut rng)
+            }
+            Algorithm::Nrpa { level, config } => nrpa(&game, *level, config, &mut rng),
+            Algorithm::Uct { config } => uct(&game, config, &mut rng),
+            Algorithm::FlatMc { playouts } => flat_monte_carlo(&game, *playouts, &mut rng),
+            Algorithm::Sample => sample(&game, &mut rng),
+        }));
+    let elapsed = started.elapsed();
+
+    let outcome = match result {
+        // A search that raced with cancellation produced a truncated
+        // result (and may even have panicked on a truncation-violated
+        // invariant); discard it rather than report a wrong score.
+        _ if job.is_cancelled() => {
+            shared.metrics.skipped_tasks.fetch_add(1, Ordering::Relaxed);
+            ReplicaOutcome::Skipped
+        }
+        Ok(result) => {
+            shared
+                .metrics
+                .executed_tasks
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .total_work_units
+                .fetch_add(result.stats.work_units, Ordering::Relaxed);
+            ReplicaOutcome::Finished(ReplicaResult {
+                replica: task.replica,
+                seed_used: plan.seed,
+                memory_policy: plan.memory_policy,
+                result,
+                elapsed,
+            })
+        }
+        Err(_panic) => ReplicaOutcome::Panicked,
+    };
+    finish_replica(shared, &job, task.replica, outcome, plan.signature);
+}
+
+fn finish_replica(
+    shared: &PoolShared,
+    job: &Arc<JobCore>,
+    replica: usize,
+    outcome: ReplicaOutcome,
+    signature: u64,
+) {
+    shared.in_flight.release(signature);
+    job.record_replica(replica, outcome, &shared.metrics);
+    shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+}

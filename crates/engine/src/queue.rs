@@ -1,0 +1,229 @@
+//! Bounded MPMC submission queue with explicit backpressure.
+//!
+//! This is the engine's admission control: the queue holds *replica
+//! tasks*, its capacity bounds the engine's queued memory, and a full
+//! queue pushes back on submitters — [`BoundedQueue::push`] blocks,
+//! [`BoundedQueue::try_push_all`] fails fast (all-or-nothing, so a
+//! multi-replica job is never half-admitted).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (try-only; blocking pushes wait instead).
+    Full,
+    /// The queue was closed by shutdown.
+    Closed,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    peak: usize,
+}
+
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+                peak: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocking push: waits while the queue is full (backpressure).
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.queue.len() < self.capacity {
+                inner.queue.push_back(item);
+                inner.peak = inner.peak.max(inner.queue.len());
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking push of a whole batch; either every item is admitted
+    /// or none is.
+    pub fn try_push_all(&self, items: Vec<T>) -> Result<(), (PushError, Vec<T>)> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err((PushError::Closed, items));
+        }
+        if self.capacity - inner.queue.len() < items.len() {
+            return Err((PushError::Full, items));
+        }
+        let n = items.len();
+        inner.queue.extend(items);
+        inner.peak = inner.peak.max(inner.queue.len());
+        drop(inner);
+        for _ in 0..n {
+            self.not_empty.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Pops one item without blocking.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        let item = inner.queue.pop_front();
+        if item.is_some() {
+            drop(inner);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Pops up to `max` items without blocking (work-stealing workers
+    /// take a batch so siblings can steal the surplus from them).
+    pub fn try_pop_batch(&self, max: usize) -> Vec<T> {
+        let mut inner = self.lock();
+        let n = max.min(inner.queue.len());
+        let batch: Vec<T> = inner.queue.drain(..n).collect();
+        if !batch.is_empty() {
+            drop(inner);
+            self.not_full.notify_all();
+        }
+        batch
+    }
+
+    /// Waits up to `timeout` for an item. Returns `None` on timeout,
+    /// when the queue is closed and drained, **or on any wakeup that
+    /// delivers no item** (notably [`BoundedQueue::poke`]) — an early
+    /// `None` tells the caller to go look for work that lives outside
+    /// this queue, such as a sibling's banked surplus.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut inner = self.lock();
+        if let Some(item) = inner.queue.pop_front() {
+            drop(inner);
+            self.not_full.notify_one();
+            return Some(item);
+        }
+        if inner.closed {
+            return None;
+        }
+        let (mut inner, _res) = self
+            .not_empty
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        let item = inner.queue.pop_front();
+        if item.is_some() {
+            drop(inner);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Wakes every popper blocked in [`BoundedQueue::pop_timeout`]
+    /// without delivering an item — used to announce stealable work that
+    /// lives outside this queue (a worker's banked surplus).
+    pub fn poke(&self) {
+        self.not_empty.notify_all();
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes fail,
+    /// and blocked poppers wake up.
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Highest queue depth ever observed — the memory-bound witness used
+    /// by the backpressure tests.
+    pub fn peak(&self) -> usize {
+        self.lock().peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn try_push_all_is_all_or_nothing() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(3);
+        q.try_push_all(vec![1, 2]).unwrap();
+        let (err, returned) = q.try_push_all(vec![3, 4]).unwrap_err();
+        assert_eq!(err, PushError::Full);
+        assert_eq!(returned, vec![3, 4]);
+        assert_eq!(q.len(), 2);
+        q.try_push_all(vec![3]).unwrap();
+        assert_eq!(q.peak(), 3);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = q.clone();
+        let t = thread::spawn(move || q2.push(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "push must still be blocked");
+        assert_eq!(q.try_pop(), Some(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(q.try_pop(), Some(2));
+    }
+
+    #[test]
+    fn close_wakes_poppers_and_rejects_pushes() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let t = thread::spawn(move || q2.pop_timeout(Duration::from_secs(10)));
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(t.join().unwrap(), None);
+        assert_eq!(q.push(1), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn pop_batch_takes_at_most_max() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(10);
+        q.try_push_all((0..6).collect()).unwrap();
+        assert_eq!(q.try_pop_batch(4), vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 2);
+    }
+}

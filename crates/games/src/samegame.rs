@@ -48,7 +48,13 @@ impl SameGame {
                 cols[x].push(c);
             }
         }
-        Self { cols, width, height, accumulated: 0, moves: 0 }
+        Self {
+            cols,
+            width,
+            height,
+            accumulated: 0,
+            moves: 0,
+        }
     }
 
     /// A pseudo-random `width × height` board with `colors` colours,
@@ -57,9 +63,19 @@ impl SameGame {
         assert!(width > 0 && height > 0 && (1..=9).contains(&colors));
         let mut rng = Rng::seeded(seed);
         let cols = (0..width)
-            .map(|_| (0..height).map(|_| rng.below(colors as usize) as u8 + 1).collect())
+            .map(|_| {
+                (0..height)
+                    .map(|_| rng.below(colors as usize) as u8 + 1)
+                    .collect()
+            })
             .collect();
-        Self { cols, width, height, accumulated: 0, moves: 0 }
+        Self {
+            cols,
+            width,
+            height,
+            accumulated: 0,
+            moves: 0,
+        }
     }
 
     /// Colour at `(x, y)` (bottom-up), if a tile is present.
@@ -79,7 +95,9 @@ impl SameGame {
 
     /// Flood-fills the group containing `(x, y)`; returns the member cells.
     fn group(&self, x: usize, y: usize) -> Vec<(usize, usize)> {
-        let Some(color) = self.tile(x, y) else { return Vec::new() };
+        let Some(color) = self.tile(x, y) else {
+            return Vec::new();
+        };
         let mut seen = vec![false; self.width * self.height];
         let mut stack = vec![(x, y)];
         let mut members = Vec::new();
@@ -124,7 +142,13 @@ impl SameGame {
                     }
                 }
                 if members.len() >= 2 {
-                    out.push((Tap { x: canon.0 as u8, y: canon.1 as u8 }, members.len()));
+                    out.push((
+                        Tap {
+                            x: canon.0 as u8,
+                            y: canon.1 as u8,
+                        },
+                        members.len(),
+                    ));
                 }
             }
         }
@@ -136,7 +160,11 @@ impl SameGame {
     /// fewer than two tiles.
     fn remove(&mut self, tap: Tap) -> usize {
         let members = self.group(tap.x as usize, tap.y as usize);
-        assert!(members.len() >= 2, "tap on a group of {} tiles", members.len());
+        assert!(
+            members.len() >= 2,
+            "tap on a group of {} tiles",
+            members.len()
+        );
         // Mark and drop per column, highest-y first so indices stay valid.
         let mut by_col: Vec<Vec<usize>> = vec![Vec::new(); self.width];
         for (x, y) in &members {
@@ -293,8 +321,10 @@ mod tests {
     fn nmcs_improves_over_random_play() {
         let g = SameGame::random(6, 6, 3, 42);
         let mut rng = Rng::seeded(1);
-        let random_avg: f64 =
-            (0..20).map(|_| sample(&g, &mut rng).score as f64).sum::<f64>() / 20.0;
+        let random_avg: f64 = (0..20)
+            .map(|_| sample(&g, &mut rng).score as f64)
+            .sum::<f64>()
+            / 20.0;
         let nmcs = nested(&g, 1, &NestedConfig::paper(), &mut Rng::seeded(2));
         assert!(
             (nmcs.score as f64) > random_avg,

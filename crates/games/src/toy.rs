@@ -20,7 +20,11 @@ impl SumGame {
     /// at most 256).
     pub fn new(values: Vec<Vec<Score>>) -> Self {
         assert!(values.iter().all(|row| !row.is_empty() && row.len() <= 256));
-        Self { values: std::sync::Arc::new(values), taken: Vec::new(), accumulated: 0 }
+        Self {
+            values: std::sync::Arc::new(values),
+            taken: Vec::new(),
+            accumulated: 0,
+        }
     }
 
     /// A pseudo-random instance with values in `[0, 100)`.
@@ -98,7 +102,10 @@ pub struct NeedleLadder {
 impl NeedleLadder {
     pub fn new(depth: usize) -> Self {
         assert!(depth >= 2);
-        Self { depth, taken: Vec::new() }
+        Self {
+            depth,
+            taken: Vec::new(),
+        }
     }
 
     /// Score of the unique optimal (all-ones) game.
@@ -127,10 +134,8 @@ impl Game for NeedleLadder {
     }
 
     fn score(&self) -> Score {
-        let leading_ones =
-            self.taken.iter().take_while(|&&m| m == 1).count() as Score;
-        let complete = self.taken.len() == self.depth
-            && self.taken.iter().all(|&m| m == 1);
+        let leading_ones = self.taken.iter().take_while(|&&m| m == 1).count() as Score;
+        let complete = self.taken.len() == self.depth && self.taken.iter().all(|&m| m == 1);
         leading_ones + if complete { 2 * self.depth as Score } else { 0 }
     }
 

@@ -25,7 +25,12 @@ impl TspInstance {
         assert!(n >= 2);
         let mut rng = Rng::seeded(seed);
         let cities = (0..n)
-            .map(|_| (rng.below(SCALE as usize) as i64, rng.below(SCALE as usize) as i64))
+            .map(|_| {
+                (
+                    rng.below(SCALE as usize) as i64,
+                    rng.below(SCALE as usize) as i64,
+                )
+            })
             .collect();
         Self { cities }
     }
@@ -114,8 +119,10 @@ impl Game for TspGame {
         match self.neighbourhood {
             None => out.extend(self.unvisited().map(|c| c as u16)),
             Some(k) => {
-                let mut cands: Vec<(i64, usize)> =
-                    self.unvisited().map(|c| (self.instance.dist(here, c), c)).collect();
+                let mut cands: Vec<(i64, usize)> = self
+                    .unvisited()
+                    .map(|c| (self.instance.dist(here, c), c))
+                    .collect();
                 cands.sort_unstable();
                 out.extend(cands.into_iter().take(k.max(1)).map(|(_, c)| c as u16));
             }
@@ -224,7 +231,9 @@ mod tests {
 
     #[test]
     fn neighbourhood_keeps_nearest_cities() {
-        let inst = TspInstance { cities: vec![(0, 0), (10, 0), (20, 0), (5000, 0), (9000, 0)] };
+        let inst = TspInstance {
+            cities: vec![(0, 0), (10, 0), (20, 0), (5000, 0), (9000, 0)],
+        };
         let g = TspGame::new(inst, Some(2));
         let mut moves = Vec::new();
         g.legal_moves(&mut moves);
@@ -235,8 +244,9 @@ mod tests {
     fn known_square_instance_optimal_tour() {
         // Four corners of a square: the optimal closed tour is the
         // perimeter, length 4 * side.
-        let inst =
-            TspInstance { cities: vec![(0, 0), (0, 1000), (1000, 1000), (1000, 0)] };
+        let inst = TspInstance {
+            cities: vec![(0, 0), (0, 1000), (1000, 1000), (1000, 0)],
+        };
         let g = TspGame::new(inst, None);
         let r = nested(&g, 2, &NestedConfig::paper(), &mut Rng::seeded(1));
         assert_eq!(r.score, -4000, "NMCS must find the perimeter tour");

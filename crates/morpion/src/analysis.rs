@@ -144,10 +144,8 @@ impl GameStats {
         let (min, max) = board.extent();
 
         // Count bounding-box expansions by replaying extents.
-        let mut replay = crate::board::Board::from_points(
-            board.variant(),
-            board.initial_points().to_vec(),
-        );
+        let mut replay =
+            crate::board::Board::from_points(board.variant(), board.initial_points().to_vec());
         let (mut rmin, mut rmax) = replay.extent();
         let mut expanding_moves = 0;
         for mv in board.history() {
@@ -211,7 +209,11 @@ pub fn transform_move(mv: &Move, sym: Symmetry, c2: (i32, i32)) -> Move {
     } else {
         (new_point.y - start.y) / ddy
     };
-    Move { start, dir, pos: pos as u8 }
+    Move {
+        start,
+        dir,
+        pos: pos as u8,
+    }
 }
 
 #[cfg(test)]
@@ -254,11 +256,7 @@ mod tests {
     fn initial_cross_is_fully_symmetric() {
         let b = cross_board(Variant::Disjoint, 4);
         let base = position_hash(&b);
-        assert_eq!(
-            canonical_hash(&b),
-            canonical_hash(&b),
-            "deterministic"
-        );
+        assert_eq!(canonical_hash(&b), canonical_hash(&b), "deterministic");
         // The cross itself is D4-symmetric: every symmetry hash equals the
         // base hash, so canonical == plain.
         assert_eq!(canonical_hash(&b), base);
@@ -273,7 +271,10 @@ mod tests {
         for _ in 0..20 {
             let mv = b.candidates()[rng.below(b.candidates().len())];
             b.play_move(&mv);
-            assert!(seen.insert(position_hash(&b)), "hash collision along a game");
+            assert!(
+                seen.insert(position_hash(&b)),
+                "hash collision along a game"
+            );
         }
     }
 
@@ -290,7 +291,11 @@ mod tests {
             assert!(mirrored.is_legal(&tm), "mirror of a legal move is legal");
             mirrored.play_move(&tm);
         }
-        assert_ne!(position_hash(&b), position_hash(&mirrored), "generic game is asymmetric");
+        assert_ne!(
+            position_hash(&b),
+            position_hash(&mirrored),
+            "generic game is asymmetric"
+        );
         assert_eq!(canonical_hash(&b), canonical_hash(&mirrored));
     }
 
@@ -316,7 +321,10 @@ mod tests {
         let stats = GameStats::of(&b);
         assert_eq!(stats.moves, b.move_count());
         assert_eq!(stats.per_direction.iter().sum::<usize>(), b.move_count());
-        assert!(stats.extent.0 >= 10 && stats.extent.1 >= 10, "cross is 10 wide");
+        assert!(
+            stats.extent.0 >= 10 && stats.extent.1 >= 10,
+            "cross is 10 wide"
+        );
         assert!(stats.expanding_moves <= stats.moves);
     }
 

@@ -117,7 +117,10 @@ impl Board {
         let mut cells = vec![0u16; NCELLS].into_boxed_slice();
         let mut min = Point::new(i16::MAX, i16::MAX);
         for p in &initial {
-            assert!(in_bounds(*p), "initial point {p} outside the {GRID}x{GRID} window");
+            assert!(
+                in_bounds(*p),
+                "initial point {p} outside the {GRID}x{GRID} window"
+            );
             let idx = cell_index(*p);
             assert_eq!(cells[idx] & OCC, 0, "duplicate initial point {p}");
             cells[idx] |= OCC;
@@ -424,12 +427,20 @@ mod tests {
 
         for variant in [Variant::Disjoint, Variant::Touching] {
             let mut b = Board::from_points(variant, pts.clone());
-            let first = Move { start: Point::new(x0, y), dir: Dir::E, pos: 4 };
+            let first = Move {
+                start: Point::new(x0, y),
+                dir: Dir::E,
+                pos: 4,
+            };
             assert!(b.is_legal(&first), "{variant}: gap fill must be legal");
             b.play_move(&first);
 
             // The follow-up shares the endpoint x0+4 with the played line.
-            let follow = Move { start: Point::new(x0 + 4, y), dir: Dir::E, pos: 4 };
+            let follow = Move {
+                start: Point::new(x0 + 4, y),
+                dir: Dir::E,
+                pos: 4,
+            };
             let legal_now = b.is_legal(&follow);
             let cached = b.candidates().contains(&follow);
             assert_eq!(legal_now, cached, "{variant}: cache agrees with rules");
@@ -494,7 +505,11 @@ mod tests {
     #[should_panic(expected = "illegal move")]
     fn illegal_move_panics() {
         let mut b = row_board(Variant::Disjoint, 4);
-        let bogus = Move { start: Point::new(0, 0), dir: Dir::E, pos: 0 };
+        let bogus = Move {
+            start: Point::new(0, 0),
+            dir: Dir::E,
+            pos: 0,
+        };
         b.play_move(&bogus);
     }
 
@@ -534,7 +549,11 @@ mod tests {
 
     #[test]
     fn move_accessors() {
-        let m = Move { start: Point::new(10, 10), dir: Dir::SE, pos: 2 };
+        let m = Move {
+            start: Point::new(10, 10),
+            dir: Dir::SE,
+            pos: 2,
+        };
         assert_eq!(m.new_point(), Point::new(12, 12));
         let pts = m.line_points();
         assert_eq!(pts[0], Point::new(10, 10));

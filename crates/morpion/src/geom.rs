@@ -22,7 +22,10 @@ impl Point {
     #[inline]
     pub fn step(self, dir: Dir, k: i16) -> Self {
         let (dx, dy) = dir.delta();
-        Self { x: self.x + dx * k, y: self.y + dy * k }
+        Self {
+            x: self.x + dx * k,
+            y: self.y + dy * k,
+        }
     }
 }
 

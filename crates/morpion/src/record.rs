@@ -226,8 +226,12 @@ mod tests {
 
     #[test]
     fn milestone_constants_are_ordered() {
-        let milestones =
-            [HUMAN_RECORD_5D, SA_RECORD_5D, PAPER_RECORD_5D, UPPER_BOUND_5D];
+        let milestones = [
+            HUMAN_RECORD_5D,
+            SA_RECORD_5D,
+            PAPER_RECORD_5D,
+            UPPER_BOUND_5D,
+        ];
         assert!(milestones.windows(2).all(|w| w[0] < w[1]), "{milestones:?}");
     }
 }

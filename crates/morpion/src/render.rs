@@ -22,7 +22,10 @@ pub struct RenderOptions {
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        Self { numbered: true, margin: 1 }
+        Self {
+            numbered: true,
+            margin: 1,
+        }
     }
 }
 
@@ -107,7 +110,13 @@ mod tests {
         let mut b = cross_board(Variant::Disjoint, 4);
         let mv = b.candidates()[0];
         b.play(&mv);
-        let art = render(&b, &RenderOptions { numbered: false, margin: 0 });
+        let art = render(
+            &b,
+            &RenderOptions {
+                numbered: false,
+                margin: 0,
+            },
+        );
         assert_eq!(art.matches('*').count(), 1);
     }
 

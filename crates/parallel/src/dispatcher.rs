@@ -16,8 +16,8 @@
 //! matters: FIFO and shortest-first.
 
 use cluster_rt::Rank;
-use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Client-assignment policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,9 +81,19 @@ impl DispatcherCore {
     /// pseudocode line 1).
     pub fn new(policy: DispatchPolicy, clients: Vec<Rank>) -> Self {
         assert!(!clients.is_empty(), "dispatcher needs clients");
-        let free: VecDeque<Rank> =
-            if policy.uses_free_list() { clients.iter().copied().collect() } else { VecDeque::new() };
-        Self { policy, clients, rr_next: 0, free, jobs: Vec::new(), seq: 0 }
+        let free: VecDeque<Rank> = if policy.uses_free_list() {
+            clients.iter().copied().collect()
+        } else {
+            VecDeque::new()
+        };
+        Self {
+            policy,
+            clients,
+            rr_next: 0,
+            free,
+            jobs: Vec::new(),
+            seq: 0,
+        }
     }
 
     pub fn policy(&self) -> DispatchPolicy {
@@ -107,7 +117,11 @@ impl DispatcherCore {
                 if let Some(client) = self.free.pop_front() {
                     Some(client)
                 } else {
-                    self.jobs.push(PendingJob { median, moves_played, seq: self.seq });
+                    self.jobs.push(PendingJob {
+                        median,
+                        moves_played,
+                        seq: self.seq,
+                    });
                     self.seq += 1;
                     None
                 }

@@ -46,14 +46,23 @@ impl TraceModel {
     /// cross (client jobs are level-1 searches). `demand0` is in work
     /// units; the cluster's `ns_per_unit` scales it to time.
     pub fn level3_like() -> Self {
-        Self { game_len: 72, branching0: 28.0, demand0: 20_000.0, gamma: 3.0, sigma: 0.35 }
+        Self {
+            game_len: 72,
+            branching0: 28.0,
+            demand0: 20_000.0,
+            gamma: 3.0,
+            sigma: 0.35,
+        }
     }
 
     /// A "level-4-like" model: client jobs are level-2 searches, ≈ 200×
     /// costlier (the measured per-level cost ratio; the paper reports 207×
     /// between levels 3 and 4).
     pub fn level4_like() -> Self {
-        Self { demand0: 4_000_000.0, ..Self::level3_like() }
+        Self {
+            demand0: 4_000_000.0,
+            ..Self::level3_like()
+        }
     }
 
     /// Mean branching factor at depth `m`: linear decay to zero at `T`.
@@ -89,7 +98,12 @@ impl TraceModel {
             }
             let mut medians = Vec::with_capacity(width);
             for _ in 0..width {
-                medians.push(self.synth_median_game(s + 1, &mut rng, &mut total_work, &mut client_jobs));
+                medians.push(self.synth_median_game(
+                    s + 1,
+                    &mut rng,
+                    &mut total_work,
+                    &mut client_jobs,
+                ));
             }
             steps.push(RootStepTrace { medians });
         }
@@ -135,12 +149,19 @@ impl TraceModel {
                 let demand = self.sample_demand(depth + 1, rng);
                 *total_work += demand;
                 *client_jobs += 1;
-                jobs.push(ClientJob { demand, moves_played: depth as u64 + 1, score: 0 });
+                jobs.push(ClientJob {
+                    demand,
+                    moves_played: depth as u64 + 1,
+                    score: 0,
+                });
             }
             steps.push(MedianStepTrace { jobs });
             depth += 1;
         }
-        MedianTrace { steps, result_score: 0 }
+        MedianTrace {
+            steps,
+            result_score: 0,
+        }
     }
 
     fn sample_demand(&self, depth: usize, rng: &mut Rng) -> u64 {
@@ -199,7 +220,10 @@ mod tests {
 
     #[test]
     fn full_game_is_an_order_of_magnitude_bigger_than_first_move() {
-        let m = TraceModel { game_len: 40, ..TraceModel::level3_like() };
+        let m = TraceModel {
+            game_len: 40,
+            ..TraceModel::level3_like()
+        };
         let first = m.synthesize(RunMode::FirstMove, 7);
         let full = m.synthesize(RunMode::FullGame, 7);
         // Paper Table I: one rollout ≈ 9× the first move.
@@ -230,7 +254,10 @@ mod tests {
 
     #[test]
     fn moves_played_hints_track_depth() {
-        let m = TraceModel { game_len: 20, ..TraceModel::level3_like() };
+        let m = TraceModel {
+            game_len: 20,
+            ..TraceModel::level3_like()
+        };
         let t = m.synthesize(RunMode::FirstMove, 5);
         for med in &t.steps[0].medians {
             for (i, step) in med.steps.iter().enumerate() {

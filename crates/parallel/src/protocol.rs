@@ -123,11 +123,22 @@ mod tests {
         type M = Msg<(), ()>;
         let msgs: Vec<(M, &str)> = vec![
             (
-                Msg::EvalRequest { position: (), level: 1, seed: 0, job: 0 },
+                Msg::EvalRequest {
+                    position: (),
+                    level: 1,
+                    seed: 0,
+                    job: 0,
+                },
                 "EvalRequest",
             ),
             (
-                Msg::EvalResult { job: 0, score: 0, sequence: vec![], work: 0, jobs: 0 },
+                Msg::EvalResult {
+                    job: 0,
+                    score: 0,
+                    sequence: vec![],
+                    work: 0,
+                    jobs: 0,
+                },
                 "EvalResult",
             ),
             (Msg::WhichClient { moves_played: 3 }, "WhichClient"),

@@ -81,7 +81,11 @@ where
 pub fn run_threads_traced<G>(
     game: &G,
     config: &ThreadConfig,
-) -> (ParallelOutcome<G::Move>, ThreadReport, Vec<cluster_rt::TraceEntry>)
+) -> (
+    ParallelOutcome<G::Move>,
+    ThreadReport,
+    Vec<cluster_rt::TraceEntry>,
+)
 where
     G: Game + Send + 'static,
     G::Move: Send + 'static,
@@ -94,7 +98,11 @@ fn run_threads_inner<G>(
     game: &G,
     config: &ThreadConfig,
     traced: bool,
-) -> (ParallelOutcome<G::Move>, ThreadReport, Option<Vec<cluster_rt::TraceEntry>>)
+) -> (
+    ParallelOutcome<G::Move>,
+    ThreadReport,
+    Option<Vec<cluster_rt::TraceEntry>>,
+)
 where
     G: Game + Send + 'static,
     G::Move: Send + 'static,
@@ -118,8 +126,9 @@ where
 
     // ---- dispatcher ----
     let mut disp_ep = world.take_endpoint(DISPATCHER);
-    let client_ranks: Vec<Rank> =
-        (0..config.n_clients).map(|i| client_rank(config.n_medians, i)).collect();
+    let client_ranks: Vec<Rank> = (0..config.n_clients)
+        .map(|i| client_rank(config.n_medians, i))
+        .collect();
     let mut core = DispatcherCore::new(config.policy, client_ranks);
     handles.push(std::thread::spawn(move || {
         loop {
@@ -161,7 +170,12 @@ where
                 match env.msg {
                     // "Receive position from median node; score =
                     // nestedRollout(position, level)."
-                    Msg::EvalRequest { position, level, seed, job } => {
+                    Msg::EvalRequest {
+                        position,
+                        level,
+                        seed,
+                        job,
+                    } => {
                         let t0 = Instant::now();
                         let res = nested(&position, level, &cfg, &mut Rng::seeded(seed));
                         if speed < 1.0 {
@@ -266,7 +280,14 @@ where
         let mut best: Option<(Score, usize)> = None;
         for _ in 0..moves.len() {
             let env = ep.recv();
-            let Msg::EvalResult { job, score, work, jobs, .. } = env.msg else {
+            let Msg::EvalResult {
+                job,
+                score,
+                work,
+                jobs,
+                ..
+            } = env.msg
+            else {
                 unreachable!("root expects results")
             };
             total_work += work;
@@ -292,7 +313,12 @@ where
         RunMode::FirstMove => first_step_best.unwrap_or_else(|| pos.score()),
         RunMode::FullGame => pos.score(),
     };
-    ParallelOutcome { score, sequence, total_work, client_jobs }
+    ParallelOutcome {
+        score,
+        sequence,
+        total_work,
+        client_jobs,
+    }
 }
 
 /// The median process (paper §IV-A median pseudocode).
@@ -305,7 +331,12 @@ where
     loop {
         let env = ep.recv();
         let (root_job, mut pos, mlevel, mseed) = match env.msg {
-            Msg::EvalRequest { position, level, seed, job } => (job, position, level, seed),
+            Msg::EvalRequest {
+                position,
+                level,
+                seed,
+                job,
+            } => (job, position, level, seed),
             Msg::Shutdown => return,
             other => unreachable!("median got {}", cluster_rt::Tagged::tag(&other)),
         };
@@ -325,9 +356,16 @@ where
             for (j, mv) in moves.iter().enumerate() {
                 let mut child = pos.clone();
                 child.play(mv);
-                ep.send(DISPATCHER, Msg::WhichClient { moves_played: child.moves_played() });
+                ep.send(
+                    DISPATCHER,
+                    Msg::WhichClient {
+                        moves_played: child.moves_played(),
+                    },
+                );
                 let reply = ep.recv_matching(|e| matches!(e.msg, Msg::UseClient { .. }));
-                let Msg::UseClient { client } = reply.msg else { unreachable!() };
+                let Msg::UseClient { client } = reply.msg else {
+                    unreachable!()
+                };
                 ep.send(
                     client,
                     Msg::EvalRequest {
@@ -342,7 +380,14 @@ where
             let mut best: Option<(Score, usize)> = None;
             for _ in 0..moves.len() {
                 let env = ep.recv_matching(|e| matches!(e.msg, Msg::EvalResult { .. }));
-                let Msg::EvalResult { job, score, work, jobs, .. } = env.msg else {
+                let Msg::EvalResult {
+                    job,
+                    score,
+                    work,
+                    jobs,
+                    ..
+                } = env.msg
+                else {
                     unreachable!()
                 };
                 work_total += work;
@@ -472,15 +517,19 @@ mod tests {
         let (_, _, log) = run_threads_traced(&g, &cfg);
 
         // (a) root → median eval requests exist.
+        assert!(log.iter().any(|e| e.from == ROOT && e.tag == "EvalRequest"));
+        // (b) median → dispatcher → median → client chains exist.
         assert!(log
             .iter()
-            .any(|e| e.from == ROOT && e.tag == "EvalRequest"));
-        // (b) median → dispatcher → median → client chains exist.
-        assert!(log.iter().any(|e| e.to == DISPATCHER && e.tag == "WhichClient"));
-        assert!(log.iter().any(|e| e.from == DISPATCHER && e.tag == "UseClient"));
+            .any(|e| e.to == DISPATCHER && e.tag == "WhichClient"));
+        assert!(log
+            .iter()
+            .any(|e| e.from == DISPATCHER && e.tag == "UseClient"));
         // (c) client → median results and (c') client → dispatcher frees.
         assert!(log.iter().any(|e| e.tag == "EvalResult"));
-        assert!(log.iter().any(|e| e.to == DISPATCHER && e.tag == "ClientFree"));
+        assert!(log
+            .iter()
+            .any(|e| e.to == DISPATCHER && e.tag == "ClientFree"));
         // (d) median → root result.
         assert!(log.iter().any(|e| e.to == ROOT && e.tag == "EvalResult"));
         // Every WhichClient precedes its UseClient (per median): check

@@ -23,7 +23,10 @@ pub fn median_seed(root_seed: u64, root_step: usize, root_move: usize) -> u64 {
 /// Seed of the client job spawned for `median_move` at `median_step` of
 /// the median search seeded with `median_seed`.
 pub fn client_seed(median_seed: u64, median_step: usize, median_move: usize) -> u64 {
-    derive_seed(median_seed, &[TAG_CLIENT, median_step as u64, median_move as u64])
+    derive_seed(
+        median_seed,
+        &[TAG_CLIENT, median_step as u64, median_move as u64],
+    )
 }
 
 #[cfg(test)]

@@ -33,7 +33,13 @@ pub struct PoolConfig {
 
 impl PoolConfig {
     pub fn new(level: u32, threads: usize) -> Self {
-        Self { level, threads, seed: 0, mode: RunMode::FullGame, playout_cap: None }
+        Self {
+            level,
+            threads,
+            seed: 0,
+            mode: RunMode::FullGame,
+            playout_cap: None,
+        }
     }
 }
 
@@ -47,7 +53,10 @@ where
     assert!(config.level >= 1, "par_nested needs level >= 1");
     assert!(config.threads >= 1);
     let eval_level = config.level - 1;
-    let nconfig = NestedConfig { playout_cap: config.playout_cap, ..NestedConfig::paper() };
+    let nconfig = NestedConfig {
+        playout_cap: config.playout_cap,
+        ..NestedConfig::paper()
+    };
 
     let started = Instant::now();
     let mut pos = game.clone();
@@ -120,7 +129,12 @@ where
         RunMode::FullGame => pos.score(),
     };
     (
-        ParallelOutcome { score, sequence, total_work, client_jobs },
+        ParallelOutcome {
+            score,
+            sequence,
+            total_work,
+            client_jobs,
+        },
         started.elapsed(),
     )
 }

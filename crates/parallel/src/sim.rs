@@ -119,7 +119,13 @@ fn simulate_trace_impl(
     let mut stations: Vec<ServiceStation> = cluster
         .clients
         .iter()
-        .map(|c| if record { ServiceStation::new_recording(c.speed) } else { ServiceStation::new(c.speed) })
+        .map(|c| {
+            if record {
+                ServiceStation::new_recording(c.speed)
+            } else {
+                ServiceStation::new(c.speed)
+            }
+        })
         .collect();
     // The dispatcher core addresses clients by rank; use their indices.
     let mut core = DispatcherCore::new(policy, (0..stations.len()).collect());
@@ -144,8 +150,16 @@ fn simulate_trace_impl(
         let rs = &trace.steps[step];
         med.clear();
         for (idx, m) in rs.medians.iter().enumerate() {
-            med.push(MedState { next_job: 0, outstanding: 0, step: 0, done: m.steps.is_empty() });
-            let id = MedianId { root_step: step, idx };
+            med.push(MedState {
+                next_job: 0,
+                outstanding: 0,
+                step: 0,
+                done: m.steps.is_empty(),
+            });
+            let id = MedianId {
+                root_step: step,
+                idx,
+            };
             if m.steps.is_empty() {
                 // Terminal child: the median replies immediately.
             } else {
@@ -166,7 +180,12 @@ fn simulate_trace_impl(
                 .collect::<Vec<_>>()
         });
         (
-            SimOutcome { makespan, policy, n_clients: stations.len(), stats },
+            SimOutcome {
+                makespan,
+                policy,
+                n_clients: stations.len(),
+                stats,
+            },
             timelines,
         )
     };
@@ -193,8 +212,7 @@ fn simulate_trace_impl(
         }
         None
     };
-    let mut root_step = match advance_until_live(0, 0, &mut queue, &mut med, &mut medians_left)
-    {
+    let mut root_step = match advance_until_live(0, 0, &mut queue, &mut med, &mut medians_left) {
         Some(step) => step,
         None => return finish(stations, makespan, trace.total_work),
     };
@@ -207,8 +225,7 @@ fn simulate_trace_impl(
             }
             Ev::AskArrive(id) => {
                 let m = &med[id.idx];
-                let job =
-                    &trace.steps[id.root_step].medians[id.idx].steps[m.step].jobs[m.next_job];
+                let job = &trace.steps[id.root_step].medians[id.idx].steps[m.step].jobs[m.next_job];
                 // The dispatcher rank of a median is its index (unique
                 // within the live root step).
                 // `None` means the request queued inside the core
@@ -225,16 +242,16 @@ fn simulate_trace_impl(
                 // Send the position to the client …
                 queue.push(now + lat, Ev::PositionArrive(id, client, job_idx));
                 // … and immediately ask for the next job's client, if any.
-                let njobs =
-                    trace.steps[id.root_step].medians[id.idx].steps[m.step].jobs.len();
+                let njobs = trace.steps[id.root_step].medians[id.idx].steps[m.step]
+                    .jobs
+                    .len();
                 if m.next_job < njobs {
                     queue.push(now + lat, Ev::AskArrive(id));
                 }
             }
             Ev::PositionArrive(id, client, job_idx) => {
                 let m = &med[id.idx];
-                let job =
-                    &trace.steps[id.root_step].medians[id.idx].steps[m.step].jobs[job_idx];
+                let job = &trace.steps[id.root_step].medians[id.idx].steps[m.step].jobs[job_idx];
                 let done_at = stations[client].assign(now, job.demand, nspu);
                 queue.push(done_at, Ev::JobDone(id, client, job_idx));
             }
@@ -246,7 +263,10 @@ fn simulate_trace_impl(
             }
             Ev::FreeArrive(client) => {
                 if let Some((median_idx, client)) = core.on_client_free(client) {
-                    let id = MedianId { root_step, idx: median_idx };
+                    let id = MedianId {
+                        root_step,
+                        idx: median_idx,
+                    };
                     queue.push(now + lat, Ev::GrantArrive(id, client));
                 }
             }
@@ -333,12 +353,7 @@ mod tests {
     fn more_clients_never_slower_much() {
         let trace = small_trace(RunMode::FullGame);
         let base = ClusterSpec::homogeneous(1);
-        let results = sweep_cluster_sizes(
-            &trace,
-            &[1, 2, 4, 8],
-            &base,
-            DispatchPolicy::LastMinute,
-        );
+        let results = sweep_cluster_sizes(&trace, &[1, 2, 4, 8], &base, DispatchPolicy::LastMinute);
         for w in results.windows(2) {
             let (n0, a) = &w[0];
             let (n1, b) = &w[1];
@@ -355,11 +370,15 @@ mod tests {
     fn speedup_is_bounded_by_parallelism_and_positive() {
         // Zero latency isolates compute: speedup must land in [1, n].
         let trace = small_trace(RunMode::FullGame);
-        let base = ClusterSpec::homogeneous(1).with_ns_per_unit(1e6).with_latency(0);
+        let base = ClusterSpec::homogeneous(1)
+            .with_ns_per_unit(1e6)
+            .with_latency(0);
         let single = single_client_reference(&trace, &base);
         let out = simulate_trace(
             &trace,
-            &ClusterSpec::homogeneous(4).with_ns_per_unit(1e6).with_latency(0),
+            &ClusterSpec::homogeneous(4)
+                .with_ns_per_unit(1e6)
+                .with_latency(0),
             DispatchPolicy::LastMinute,
         );
         let s = out.speedup(single);
@@ -417,7 +436,11 @@ mod tests {
         // the two policies tie — medians advance in lockstep and there are
         // no stragglers to fix, which is itself asserted below.)
         use crate::model::TraceModel;
-        let model = TraceModel { game_len: 24, branching0: 8.0, ..TraceModel::level3_like() };
+        let model = TraceModel {
+            game_len: 24,
+            branching0: 8.0,
+            ..TraceModel::level3_like()
+        };
         let trace = model.synthesize(RunMode::FullGame, 13);
         let cluster = ClusterSpec::hetero_8x4_8x2().with_ns_per_unit(1e3);
         let rr = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin);
@@ -441,7 +464,10 @@ mod tests {
         let rr = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin).makespan as f64;
         let lm = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute).makespan as f64;
         let ratio = lm / rr;
-        assert!((0.8..1.25).contains(&ratio), "LM/RR ratio {ratio} should be near 1");
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "LM/RR ratio {ratio} should be near 1"
+        );
     }
 
     #[test]
@@ -483,7 +509,10 @@ mod tests {
         // the stats expose via utilisation × makespan × clients.
         let expected: f64 = out.stats.mean_utilisation * out.makespan as f64 * 4.0;
         let diff = (recorded_busy as f64 - expected).abs() / expected.max(1.0);
-        assert!(diff < 1e-6, "recorded busy {recorded_busy} vs stats {expected}");
+        assert!(
+            diff < 1e-6,
+            "recorded busy {recorded_busy} vs stats {expected}"
+        );
         // And the unrecorded variant returns identical timing.
         let plain = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute);
         assert_eq!(plain.makespan, out.makespan);

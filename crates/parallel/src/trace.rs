@@ -129,7 +129,10 @@ pub fn run_reference<G: Game>(
     playout_cap: Option<usize>,
 ) -> (ParallelOutcome<G::Move>, SearchTrace) {
     assert!(level >= 2, "parallel NMCS needs level >= 2, got {level}");
-    let config = NestedConfig { playout_cap, ..NestedConfig::paper() };
+    let config = NestedConfig {
+        playout_cap,
+        ..NestedConfig::paper()
+    };
     let client_level = level - 2;
 
     let mut root_pos = game.clone();
@@ -184,7 +187,12 @@ pub fn run_reference<G: Game>(
         RunMode::FirstMove => first_step_best.unwrap_or_else(|| root_pos.score()),
         RunMode::FullGame => root_pos.score(),
     };
-    let outcome = ParallelOutcome { score, sequence, total_work, client_jobs };
+    let outcome = ParallelOutcome {
+        score,
+        sequence,
+        total_work,
+        client_jobs,
+    };
     let trace = SearchTrace {
         level,
         seed,
@@ -240,7 +248,10 @@ fn run_median_game<G: Game>(
         pos.play(&moves[best_idx]);
         mstep += 1;
     }
-    MedianTrace { steps, result_score: pos.score() }
+    MedianTrace {
+        steps,
+        result_score: pos.score(),
+    }
 }
 
 #[cfg(test)]
@@ -323,8 +334,11 @@ mod tests {
         let g = SumGame::random(5, 2, 3);
         let (_, trace) = run_reference(&g, 2, 7, RunMode::FirstMove, None);
         for m in &trace.steps[0].medians {
-            let hints: Vec<u64> =
-                m.steps.iter().flat_map(|s| s.jobs.iter().map(|j| j.moves_played)).collect();
+            let hints: Vec<u64> = m
+                .steps
+                .iter()
+                .flat_map(|s| s.jobs.iter().map(|j| j.moves_played))
+                .collect();
             // Within one median game, later steps evaluate deeper
             // positions.
             let mut per_step: Vec<u64> = m

@@ -11,11 +11,16 @@
 //! cargo run --release --example heterogeneous_cluster [seed]
 //! ```
 
-use pnmcs::parallel::{simulate_trace, simulate_trace_recorded, DispatchPolicy, RunMode, TraceModel};
+use pnmcs::parallel::{
+    simulate_trace, simulate_trace_recorded, DispatchPolicy, RunMode, TraceModel,
+};
 use pnmcs::sim::{format_time, gantt, ClusterSpec};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2009);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2009);
     let trace = TraceModel::level3_like().synthesize(RunMode::FirstMove, seed);
     println!(
         "level-3-like first-move workload: {} client jobs, {} Mwu total\n",
@@ -35,7 +40,10 @@ fn main() {
         ("8x4+8x2   (48 clients)", ClusterSpec::hetero_8x4_8x2()),
         ("64 homogeneous", ClusterSpec::paper_64()),
     ] {
-        println!("{name}: capacity {:.0} core-equivalents", cluster.capacity());
+        println!(
+            "{name}: capacity {:.0} core-equivalents",
+            cluster.capacity()
+        );
         let mut lm_time = None;
         for policy in policies {
             let out = simulate_trace(&trace, &cluster, policy);
@@ -64,12 +72,19 @@ fn main() {
     // Gantt view of the mechanism on a small mixed cluster: RR lets the
     // slow clients (top rows) become the critical path while fast ones
     // idle; LM keeps everyone busy.
-    let small = TraceModel { game_len: 16, branching0: 6.0, ..TraceModel::level3_like() }
-        .synthesize(RunMode::FirstMove, seed);
+    let small = TraceModel {
+        game_len: 16,
+        branching0: 6.0,
+        ..TraceModel::level3_like()
+    }
+    .synthesize(RunMode::FirstMove, seed);
     let tiny_cluster = ClusterSpec::oversubscribed(1, 1).with_ns_per_unit(2e3); // 4 slow + 2 fast
     for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LastMinute] {
         let (out, timelines) = simulate_trace_recorded(&small, &tiny_cluster, policy);
-        println!("\n{policy} on 4 slow + 2 fast clients ({}):", format_time(out.makespan));
+        println!(
+            "\n{policy} on 4 slow + 2 fast clients ({}):",
+            format_time(out.makespan)
+        );
         print!("{}", gantt(&timelines, out.makespan, 60));
     }
 }

@@ -17,7 +17,10 @@ use pnmcs::parallel::{
 use pnmcs::sim::{format_time, ClusterSpec};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
     // The reduced cross keeps a level-3 search interactive on a laptop.
     let board = cross_board(Variant::Disjoint, 3);
     let level = 3;

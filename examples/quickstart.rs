@@ -13,10 +13,16 @@ use pnmcs::morpion::{render_default, standard_5d, GameRecord};
 use pnmcs::search::{nested, Game, NestedConfig, Rng};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2009);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2009);
     let board = standard_5d();
     println!("Morpion Solitaire, disjoint (5D) version — the paper's domain.");
-    println!("Start position ({} points):\n", board.initial_points().len());
+    println!(
+        "Start position ({} points):\n",
+        board.initial_points().len()
+    );
     println!("{}", render_default(&board));
 
     let config = NestedConfig::paper();

@@ -18,7 +18,9 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let attempts: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
     let level: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
-    let out = args.next().unwrap_or_else(|| "target/best_record.json".into());
+    let out = args
+        .next()
+        .unwrap_or_else(|| "target/best_record.json".into());
     let algo = args.next().unwrap_or_else(|| "nmcs".into());
 
     let board = standard_5d();
@@ -33,7 +35,10 @@ fn main() {
             "nrpa" => nrpa(
                 &board,
                 level,
-                &NrpaConfig { iterations: 60, alpha: 1.0 },
+                &NrpaConfig {
+                    iterations: 60,
+                    alpha: 1.0,
+                },
                 &mut Rng::seeded(seed),
             ),
             _ => nested(&board, level, &config, &mut Rng::seeded(seed)),
@@ -42,8 +47,7 @@ fn main() {
         for mv in &result.sequence {
             replay.play(mv);
         }
-        let record =
-            GameRecord::from_board(&replay, format!("level {level}, seed {seed}"));
+        let record = GameRecord::from_board(&replay, format!("level {level}, seed {seed}"));
         let verified = record.verify().expect("legal by construction") as i64;
         assert_eq!(verified, result.score);
         // Symmetry-aware dedup: mirrored/rotated rediscoveries don't count.
@@ -72,7 +76,10 @@ fn main() {
     if let Some(dir) = std::path::Path::new(&out).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    std::fs::write(&out, serde_json::to_string_pretty(&record).expect("serialises"))
-        .expect("write record");
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&record).expect("serialises"),
+    )
+    .expect("write record");
     println!("record persisted to {out}");
 }

@@ -14,15 +14,20 @@ use pnmcs::search::baselines::flat_monte_carlo;
 use pnmcs::search::{nested, sample, NestedConfig, Rng};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let config = NestedConfig::paper();
 
     // ---- SameGame ----
     let board = SameGame::random(10, 10, 4, seed);
     println!("SameGame 10x10, 4 colours (seed {seed}):");
     let mut rng = Rng::seeded(seed);
-    let random_avg: f64 =
-        (0..20).map(|_| sample(&board, &mut rng).score as f64).sum::<f64>() / 20.0;
+    let random_avg: f64 = (0..20)
+        .map(|_| sample(&board, &mut rng).score as f64)
+        .sum::<f64>()
+        / 20.0;
     let flat = flat_monte_carlo(&board, 200, &mut Rng::seeded(seed));
     let l1 = nested(&board, 1, &config, &mut Rng::seeded(seed));
     let l2 = nested(&board, 2, &config, &mut Rng::seeded(seed));

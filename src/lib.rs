@@ -12,6 +12,7 @@
 //! | [`parallel`] | `parallel-nmcs` | root/median/dispatcher/client roles, RR & LM dispatchers, backends |
 //! | [`cluster`] | `cluster-rt` | MPI-like in-process message passing |
 //! | [`sim`] | `des-sim` | deterministic discrete-event cluster simulation |
+//! | [`engine`] | `nmcs-engine` | concurrent multi-tenant search service: job queue, work-stealing workers, backpressure, cancellation |
 //!
 //! ## Quickstart
 //!
@@ -43,10 +44,28 @@
 //! assert!(outcome.score > 0);
 //! assert!(report.total_work > 0);
 //! ```
+//!
+//! ## The search service
+//!
+//! Many concurrent searches — any game × any algorithm — share one
+//! engine (see `examples/engine_service.rs` for the full tour):
+//!
+//! ```
+//! use pnmcs::engine::{Algorithm, Engine, EngineConfig, JobSpec};
+//! use pnmcs::games::SumGame;
+//!
+//! let engine = Engine::start(EngineConfig { workers: 2, queue_capacity: 16 });
+//! let job = engine
+//!     .submit(JobSpec::new("doc", SumGame::random(5, 3, 1), Algorithm::nested(1), 7))
+//!     .unwrap();
+//! assert!(job.join().score().unwrap() > 0);
+//! engine.shutdown();
+//! ```
 
 pub use cluster_rt as cluster;
 pub use des_sim as sim;
 pub use morpion;
 pub use nmcs_core as search;
+pub use nmcs_engine as engine;
 pub use nmcs_games as games;
 pub use parallel_nmcs as parallel;

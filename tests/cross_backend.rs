@@ -3,12 +3,12 @@
 //! decisions for identical seeds — the determinism contract that makes
 //! the simulated cluster results transferable.
 
+use pnmcs::games::SumGame;
 use pnmcs::morpion::{cross_board, Variant};
 use pnmcs::parallel::{
-    run_threads, run_threads_traced, simulate_trace, trace::run_reference, DispatchPolicy,
-    RunMode, ThreadConfig,
+    run_threads, run_threads_traced, simulate_trace, trace::run_reference, DispatchPolicy, RunMode,
+    ThreadConfig,
 };
-use pnmcs::games::SumGame;
 use pnmcs::sim::ClusterSpec;
 
 fn thread_config(level: u32, policy: DispatchPolicy) -> ThreadConfig {
@@ -65,7 +65,9 @@ fn message_flow_follows_figures_2_through_5() {
 
     // Figure 2 (a): the root opens by sending positions to medians.
     let first_sends: Vec<_> = log.iter().filter(|e| e.from == ROOT).collect();
-    assert!(first_sends.iter().all(|e| e.tag == "EvalRequest" || e.tag == "Shutdown"));
+    assert!(first_sends
+        .iter()
+        .all(|e| e.tag == "EvalRequest" || e.tag == "Shutdown"));
 
     // Figure 2 (b): every client request is mediated by the dispatcher.
     let asks = log.iter().filter(|e| e.tag == "WhichClient").count();
@@ -79,7 +81,9 @@ fn message_flow_follows_figures_2_through_5() {
         .filter(|e| e.tag == "EvalResult" && e.to != ROOT)
         .count();
     assert_eq!(frees, client_results, "one free notice per client job");
-    assert!(log.iter().any(|e| e.to == DISPATCHER && e.tag == "ClientFree"));
+    assert!(log
+        .iter()
+        .any(|e| e.to == DISPATCHER && e.tag == "ClientFree"));
 
     // Figure 2 (d): medians report to the root (3 candidate moves).
     let to_root = log

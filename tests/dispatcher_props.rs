@@ -14,7 +14,10 @@ enum Ev {
 
 fn ev_strategy() -> impl Strategy<Value = Ev> {
     prop_oneof![
-        (0usize..8, 0usize..60).prop_map(|(m, mv)| Ev::Request { median: 100 + m, moves: mv }),
+        (0usize..8, 0usize..60).prop_map(|(m, mv)| Ev::Request {
+            median: 100 + m,
+            moves: mv
+        }),
         (0usize..4).prop_map(|c| Ev::Free { client_slot: c }),
     ]
 }

@@ -15,7 +15,12 @@ use std::collections::HashMap;
 
 /// Plays a random game with the given seed, returning the final board and
 /// the moves played.
-fn random_game(variant: Variant, arm: i16, seed: u64, max_moves: usize) -> (pnmcs::morpion::Board, Vec<Move>) {
+fn random_game(
+    variant: Variant,
+    arm: i16,
+    seed: u64,
+    max_moves: usize,
+) -> (pnmcs::morpion::Board, Vec<Move>) {
     let mut board = cross_board(variant, arm);
     let mut rng = Rng::seeded(seed);
     let mut played = Vec::new();

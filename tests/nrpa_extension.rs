@@ -8,7 +8,10 @@ use pnmcs::search::{nested, nrpa, Game, NestedConfig, NrpaConfig, Rng};
 #[test]
 fn nrpa_plays_legal_verified_morpion_games() {
     let board = cross_board(Variant::Disjoint, 3);
-    let cfg = NrpaConfig { iterations: 15, alpha: 1.0 };
+    let cfg = NrpaConfig {
+        iterations: 15,
+        alpha: 1.0,
+    };
     let r = nrpa(&board, 2, &cfg, &mut Rng::seeded(1));
     let mut replay = board.clone();
     for mv in &r.sequence {
@@ -30,7 +33,10 @@ fn nrpa_level2_beats_single_level1_nmcs_on_average() {
     for seed in 0..trials {
         let l1 = nested(&board, 1, &NestedConfig::paper(), &mut Rng::seeded(seed));
         let iters = (l1.stats.playouts as f64).sqrt().ceil() as usize;
-        let cfg = NrpaConfig { iterations: iters, alpha: 1.0 };
+        let cfg = NrpaConfig {
+            iterations: iters,
+            alpha: 1.0,
+        };
         let r = nrpa(&board, 2, &cfg, &mut Rng::seeded(seed));
         nrpa_sum += r.score;
         nmcs_sum += l1.score;
@@ -44,7 +50,10 @@ fn nrpa_level2_beats_single_level1_nmcs_on_average() {
 #[test]
 fn nrpa_works_under_the_restart_driver() {
     let board = cross_board(Variant::Disjoint, 2);
-    let cfg = NrpaConfig { iterations: 8, alpha: 1.0 };
+    let cfg = NrpaConfig {
+        iterations: 8,
+        alpha: 1.0,
+    };
     let report = drive(&board, 7, &Budget::runs(4), |g, rng| nrpa(g, 1, &cfg, rng));
     assert_eq!(report.runs, 4);
     assert!(report.best.score > 0);
@@ -58,7 +67,10 @@ fn nrpa_works_under_the_restart_driver() {
 fn nrpa_improves_with_iterations_on_morpion() {
     let board = standard_5d();
     let score_at = |iters: usize| {
-        let cfg = NrpaConfig { iterations: iters, alpha: 1.0 };
+        let cfg = NrpaConfig {
+            iterations: iters,
+            alpha: 1.0,
+        };
         (0..3)
             .map(|s| nrpa(&board, 1, &cfg, &mut Rng::seeded(s)).score)
             .sum::<i64>()

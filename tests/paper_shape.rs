@@ -73,8 +73,8 @@ fn sweep_times_track_the_paper_within_a_factor() {
         } else {
             ClusterSpec::homogeneous(clients).with_ns_per_unit(nspu)
         };
-        let ours = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin).makespan as f64
-            / 1e9;
+        let ours =
+            simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin).makespan as f64 / 1e9;
         let ratio = ours / paper_secs as f64;
         assert!(
             (0.65..1.35).contains(&ratio),
@@ -88,8 +88,16 @@ fn heterogeneous_lm_advantage_matches_table6_direction_and_magnitude() {
     let trace = TraceModel::level4_like().synthesize(RunMode::FirstMove, 2009);
     let nspu = anchored(&trace, paper::paper_time(paper::T2_RR_FIRST_L4, 1).unwrap());
     for (cluster, paper_lm, paper_rr) in [
-        (ClusterSpec::hetero_16x4_16x2().with_ns_per_unit(nspu), 28 * 60 + 37, 45 * 60 + 17),
-        (ClusterSpec::hetero_8x4_8x2().with_ns_per_unit(nspu), 58 * 60 + 21, 3600 + 24 * 60 + 11),
+        (
+            ClusterSpec::hetero_16x4_16x2().with_ns_per_unit(nspu),
+            28 * 60 + 37,
+            45 * 60 + 17,
+        ),
+        (
+            ClusterSpec::hetero_8x4_8x2().with_ns_per_unit(nspu),
+            58 * 60 + 21,
+            3600 + 24 * 60 + 11,
+        ),
     ] {
         let lm = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute).makespan;
         let rr = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin).makespan;
@@ -118,8 +126,12 @@ fn full_game_costs_several_times_the_first_move() {
 
 #[test]
 fn level4_workload_is_two_orders_heavier_than_level3() {
-    let l3 = TraceModel::level3_like().synthesize(RunMode::FirstMove, 1).total_work as f64;
-    let l4 = TraceModel::level4_like().synthesize(RunMode::FirstMove, 1).total_work as f64;
+    let l3 = TraceModel::level3_like()
+        .synthesize(RunMode::FirstMove, 1)
+        .total_work as f64;
+    let l4 = TraceModel::level4_like()
+        .synthesize(RunMode::FirstMove, 1)
+        .total_work as f64;
     let ratio = l4 / l3;
     assert!(
         (100.0..400.0).contains(&ratio),

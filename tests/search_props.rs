@@ -125,6 +125,9 @@ fn level_improvement_is_statistical_not_pointwise() {
     let l0 = avg(0);
     let l1 = avg(1);
     let l2 = avg(2);
-    assert!(l1 > l0 + 10.0, "level 1 ({l1}) must clearly beat level 0 ({l0})");
+    assert!(
+        l1 > l0 + 10.0,
+        "level 1 ({l1}) must clearly beat level 0 ({l0})"
+    );
     assert!(l2 > l1, "level 2 ({l2}) must beat level 1 ({l1})");
 }

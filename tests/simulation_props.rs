@@ -6,7 +6,13 @@ use pnmcs::sim::ClusterSpec;
 use proptest::prelude::*;
 
 fn small_model(game_len: usize, branching: f64, sigma: f64) -> TraceModel {
-    TraceModel { game_len, branching0: branching, demand0: 5_000.0, gamma: 2.5, sigma }
+    TraceModel {
+        game_len,
+        branching0: branching,
+        demand0: 5_000.0,
+        gamma: 2.5,
+        sigma,
+    }
 }
 
 proptest! {
@@ -133,5 +139,8 @@ fn rr_ties_lm_on_homogeneous_uniform_workloads() {
     let rr = simulate_trace(&trace, &cluster, DispatchPolicy::RoundRobin).makespan as f64;
     let lm = simulate_trace(&trace, &cluster, DispatchPolicy::LastMinute).makespan as f64;
     let ratio = lm / rr;
-    assert!((0.7..1.3).contains(&ratio), "homogeneous LM/RR ratio {ratio}");
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "homogeneous LM/RR ratio {ratio}"
+    );
 }

@@ -1,0 +1,204 @@
+//! Minimal vendored stand-in for `criterion`, used because the build
+//! environment has no network access. It provides the same bench-author
+//! surface (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_batched}`) with a simple
+//! measurement loop: a short warm-up, then timed batches reporting the
+//! median ns/iteration. No statistics machinery, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Batch-size hint for `iter_batched`; accepted, only lightly honoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measure_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), self.sample_size, self.measure_time, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            sample_size: None,
+        }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&full, samples, self.criterion.measure_time, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; runs the measured routine.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Filled by `iter`/`iter_batched`: per-sample mean ns/iteration.
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly budget/samples per sample.
+        let per_sample = self.budget.as_secs_f64() / self.samples as f64;
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = t.elapsed().as_secs_f64();
+            if elapsed >= per_sample / 4.0 || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            self.results_ns.push(ns);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            let ns = t.elapsed().as_nanos() as f64;
+            self.results_ns.push(ns);
+        }
+    }
+}
+
+fn run_bench<F>(name: &str, samples: usize, budget: Duration, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: samples.max(2),
+        budget,
+        results_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.results_ns.is_empty() {
+        println!("{name:50}  (no measurement)");
+        return;
+    }
+    b.results_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = b.results_ns[b.results_ns.len() / 2];
+    let lo = b.results_ns[0];
+    let hi = b.results_ns[b.results_ns.len() - 1];
+    println!(
+        "{name:50}  median {:>12}   [{} .. {}]",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,308 @@
+//! Minimal vendored stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a tiny serde-compatible surface (see `vendor/serde`). This proc-macro
+//! crate implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the shapes the workspace actually uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`);
+//! * enums whose variants are all unit variants (serialised as strings).
+//!
+//! Anything else (tuple structs, generics, data-carrying variants) panics
+//! at expansion time with a clear message, so unsupported usage is caught
+//! at compile time rather than producing silently wrong data.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    default: bool,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Returns true if an attribute token pair (`#` + group) encodes
+/// `#[serde(default)]`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(inner))) => {
+            name.to_string() == "serde" && inner.stream().to_string().contains("default")
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `iter`, reporting whether any of them
+/// was `#[serde(default)]`.
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut has_default = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // Optional `!` for inner attributes (not expected, but harmless).
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '!' {
+                        iter.next();
+                    }
+                }
+                match iter.next() {
+                    Some(TokenTree::Group(g)) => {
+                        if attr_is_serde_default(&g) {
+                            has_default = true;
+                        }
+                    }
+                    other => panic!("malformed attribute: expected [..] group, got {other:?}"),
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_vis(&mut iter);
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => {
+            panic!("vendored serde_derive only supports brace-bodied items; `{name}` has {other:?}")
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body.stream()),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_unit_variants(body.stream()),
+        },
+        other => panic!("expected struct or enum, got `{other}`"),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        if iter.peek().is_none() {
+            return fields;
+        }
+        let default = skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let fname = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return fields,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{fname}`, got {other:?}"),
+        }
+        // Collect type tokens until a comma at angle-bracket depth 0.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(tok) => {
+                    if let TokenTree::Punct(p) = tok {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    ty.push_str(&tok.to_string());
+                    ty.push(' ');
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field {
+            name: fname,
+            ty: ty.trim().to_string(),
+            default,
+        });
+    }
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        if iter.peek().is_none() {
+            return variants;
+        }
+        skip_attrs(&mut iter);
+        let vname = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        match iter.peek() {
+            Some(TokenTree::Group(_)) => {
+                panic!("vendored serde_derive only supports unit enum variants; `{vname}` carries data")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip tokens up to the next comma.
+                iter.next();
+                loop {
+                    match iter.next() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                    }
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                iter.next();
+            }
+            None => {}
+            other => panic!("unexpected token after variant `{vname}`: {other:?}"),
+        }
+        variants.push(vname);
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let missing = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::Error::missing_field(\"{}\"))",
+                        f.name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{0}: match v.get_field(\"{0}\") {{\n\
+                         ::std::option::Option::Some(x) => \
+                             <{1} as ::serde::Deserialize>::from_value(x)?,\n\
+                         ::std::option::Option::None => {2},\n\
+                     }},\n",
+                    f.name, f.ty, missing
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}
