@@ -5,8 +5,12 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use morpion::{cross_board, standard_5d, Variant};
 use nmcs_core::baselines::flat_monte_carlo;
-use nmcs_core::{nested, nrpa, sample, Game, NestedConfig, NrpaConfig, Rng};
-use nmcs_games::SameGame;
+use nmcs_core::search::sample_into;
+use nmcs_core::{
+    nested, nrpa, sample, Game, NestedConfig, NrpaConfig, PlayoutScratch, Rng, Score, SearchStats,
+    SnapshotOnly,
+};
+use nmcs_games::{SameGame, Tap};
 use std::hint::black_box;
 
 fn bench_playout(c: &mut Criterion) {
@@ -78,6 +82,177 @@ fn bench_nested(c: &mut Criterion) {
     group.finish();
 }
 
+/// SameGame with the seed's allocating move generation and no undo fast
+/// path — reproduces the cost profile of the pre-scratch-protocol
+/// implementation so the `playout_paths` group measures this PR's actual
+/// before/after on the hot path.
+#[derive(Clone)]
+struct SeedPatternSameGame(SameGame);
+
+impl Game for SeedPatternSameGame {
+    type Move = Tap;
+    fn legal_moves(&self, out: &mut Vec<Tap>) {
+        out.extend(self.0.groups_reference().into_iter().map(|(t, _)| t));
+    }
+    fn play(&mut self, mv: &Tap) {
+        self.0.play(mv);
+    }
+    fn score(&self) -> Score {
+        self.0.score()
+    }
+    fn moves_played(&self) -> usize {
+        self.0.moves_played()
+    }
+    // No fast path: searches clone per evaluation, like the seed did.
+}
+
+/// The clone-path evaluation pattern of the in-tree fallback: clone the
+/// position, play the candidate, roll out. `seq` is reused across calls,
+/// exactly as `nested_inner` reuses its scratch buffer — the comparison
+/// against the undo path must not handicap this side with an allocation
+/// the real fallback does not pay.
+fn eval_clone_path<G: Game>(
+    root: &G,
+    mv: &G::Move,
+    rng: &mut Rng,
+    seq: &mut Vec<G::Move>,
+) -> Score {
+    let mut child = root.clone();
+    child.play(mv);
+    seq.clear();
+    let mut stats = SearchStats::new();
+    sample_into(&mut child, rng, None, seq, &mut stats)
+}
+
+/// The undo-path evaluation pattern of the scratch-state protocol:
+/// apply, roll out in place with reused buffers, unwind.
+fn eval_undo_path<G: Game>(
+    pos: &mut G,
+    mv: &G::Move,
+    rng: &mut Rng,
+    scratch: &mut PlayoutScratch<G>,
+    seq: &mut Vec<G::Move>,
+) -> Score {
+    let token = pos.apply(mv);
+    seq.clear();
+    let mut stats = SearchStats::new();
+    let score = scratch.run_undo(pos, rng, None, seq, &mut stats);
+    pos.undo(token);
+    score
+}
+
+/// The acceptance benchmark of the scratch-state refactor: playouts/sec
+/// in the level-1 evaluation pattern, per path.
+///
+/// * `seed_pattern` (SameGame only) — clone-per-eval plus the seed's
+///   allocating move generation: what every playout cost before this
+///   refactor. The undo path beats it by the full playout-core margin
+///   (≈6× measured on 15×15×5).
+/// * `clone_path` — clone-per-eval over the *optimised* core
+///   ([`SnapshotOnly`] pins the search to the fallback).
+/// * `undo_path` — apply/undo over the optimised core. For Morpion the
+///   clone and undo rows are deliberately close (its clone is a ~130 ns
+///   flat memcpy by design — see the `morpion_clone` bench — so the
+///   protocol's win there is allocation-freedom, not raw speed); for
+///   SameGame the undo path's margin comes from the allocation-free
+///   flood core both in-place paths share.
+fn bench_playout_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("playout_paths");
+
+    // --- SameGame, 15×15, 5 colours (the standard benchmark board) ---
+    let sg = SameGame::random(15, 15, 5, 3);
+    let mut moves = Vec::new();
+    sg.legal_moves(&mut moves);
+    let mv = moves[0];
+
+    let seed_game = SeedPatternSameGame(sg.clone());
+    let mut rng = Rng::seeded(9);
+    let mut seq = Vec::new();
+    group.bench_function("samegame_playout_seed_pattern", |b| {
+        b.iter(|| black_box(eval_clone_path(&seed_game, &mv, &mut rng, &mut seq)))
+    });
+
+    let snap = SnapshotOnly(sg.clone());
+    let mut rng = Rng::seeded(9);
+    let mut seq = Vec::new();
+    group.bench_function("samegame_playout_clone_path", |b| {
+        b.iter(|| black_box(eval_clone_path(&snap, &mv, &mut rng, &mut seq)))
+    });
+
+    let mut pos = sg.clone();
+    let mut scratch = PlayoutScratch::new();
+    let mut seq = Vec::new();
+    let mut rng = Rng::seeded(9);
+    group.bench_function("samegame_playout_undo_path", |b| {
+        b.iter(|| {
+            black_box(eval_undo_path(
+                &mut pos,
+                &mv,
+                &mut rng,
+                &mut scratch,
+                &mut seq,
+            ))
+        })
+    });
+
+    // --- Morpion 5D from the standard cross ---
+    let board = standard_5d();
+    let bmv = board.candidates()[0];
+
+    let snap_board = SnapshotOnly(board.clone());
+    let mut rng = Rng::seeded(9);
+    let mut seq = Vec::new();
+    group.bench_function("morpion_playout_clone_path", |b| {
+        b.iter(|| black_box(eval_clone_path(&snap_board, &bmv, &mut rng, &mut seq)))
+    });
+
+    let mut pos = board;
+    let mut scratch = PlayoutScratch::new();
+    let mut seq = Vec::new();
+    let mut rng = Rng::seeded(9);
+    group.bench_function("morpion_playout_undo_path", |b| {
+        b.iter(|| {
+            black_box(eval_undo_path(
+                &mut pos,
+                &bmv,
+                &mut rng,
+                &mut scratch,
+                &mut seq,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Level-1 searches end to end: the seed pattern vs the scratch path.
+fn bench_nested_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested_paths");
+    group.sample_size(10);
+    let cfg = NestedConfig::paper();
+
+    let sg = SameGame::random(10, 10, 4, 1);
+    let seed_game = SeedPatternSameGame(sg.clone());
+    let mut rng = Rng::seeded(7);
+    group.bench_function("samegame_nested1_seed_pattern", |b| {
+        b.iter(|| black_box(nested(&seed_game, 1, &cfg, &mut rng).score))
+    });
+    let mut rng = Rng::seeded(7);
+    group.bench_function("samegame_nested1_undo_path", |b| {
+        b.iter(|| black_box(nested(&sg, 1, &cfg, &mut rng).score))
+    });
+
+    let small = cross_board(Variant::Disjoint, 3);
+    let mut rng = Rng::seeded(7);
+    group.bench_function("morpion_nested1_clone_path", |b| {
+        b.iter(|| black_box(nested(&SnapshotOnly(small.clone()), 1, &cfg, &mut rng).score))
+    });
+    let mut rng = Rng::seeded(7);
+    group.bench_function("morpion_nested1_undo_path", |b| {
+        b.iter(|| black_box(nested(&small, 1, &cfg, &mut rng).score))
+    });
+    group.finish();
+}
+
 fn bench_legal_moves_buffer(c: &mut Criterion) {
     // The workhorse-buffer pattern of the Game trait: enumerate legal
     // moves without allocating per step.
@@ -112,6 +287,8 @@ criterion_group!(
     bench_playout,
     bench_movegen,
     bench_nested,
+    bench_playout_paths,
+    bench_nested_paths,
     bench_legal_moves_buffer,
     bench_nrpa
 );

@@ -19,6 +19,7 @@ struct Args {
     figure: Option<u32>,
     ablations: bool,
     engine: bool,
+    leaf: bool,
     scale: Scale,
     seed: u64,
     out: PathBuf,
@@ -31,6 +32,7 @@ fn parse_args() -> Args {
         figure: None,
         ablations: false,
         engine: false,
+        leaf: false,
         scale: Scale::Paper,
         seed: 2009,
         out: PathBuf::from("target/experiments"),
@@ -63,6 +65,10 @@ fn parse_args() -> Args {
                 args.engine = true;
                 args.all = false;
             }
+            "--leaf" => {
+                args.leaf = true;
+                args.all = false;
+            }
             "--scale" => {
                 args.scale = match expect_val(&mut it, "--scale").as_str() {
                     "paper" => Scale::Paper,
@@ -74,7 +80,7 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(expect_val(&mut it, "--out")),
             "--help" | "-h" => {
                 println!(
-                    "tables [--table N] [--figure 1] [--ablations] [--engine] \
+                    "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] \
                      [--scale paper|real] [--seed S] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -215,5 +221,10 @@ fn main() {
         println!("{}", nmcs_bench::throughput_table(&rows).render());
         nmcs_bench::persist(&args.out, "engine_throughput", &rows)
             .expect("persist engine throughput rows");
+    }
+    if args.leaf {
+        let rows = nmcs_bench::leaf_sweep(&[1, 2, 4, 8], &[1, 4, 16], args.seed);
+        println!("{}", nmcs_bench::leaf_table(&rows).render());
+        nmcs_bench::persist(&args.out, "leaf_parallel", &rows).expect("persist leaf rows");
     }
 }

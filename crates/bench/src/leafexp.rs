@@ -1,0 +1,121 @@
+//! Leaf-parallel batched backend experiment (`tables --leaf`).
+//!
+//! Sweeps worker count × batch size for [`parallel_nmcs::leaf_nested`]
+//! on a SameGame board and a reduced Morpion cross, reporting score,
+//! wall-clock time, and leaf-evaluation throughput. Because the leaf
+//! backend derives every evaluation's seed from its logical coordinates,
+//! the score column is constant down each batch column — the table
+//! doubles as a visible determinism check (a score that moved with the
+//! thread count would be a seeding bug).
+
+use crate::report::Table;
+use morpion::{cross_board, Variant};
+use nmcs_games::SameGame;
+use parallel_nmcs::{leaf_nested, LeafConfig};
+use serde::Serialize;
+
+/// One measured (domain × workers × batch) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct LeafRow {
+    pub domain: String,
+    pub threads: usize,
+    pub batch: usize,
+    pub score: i64,
+    pub elapsed_ms: f64,
+    pub leaf_evals: u64,
+    pub evals_per_sec: f64,
+}
+
+fn measure<G>(domain: &str, game: &G, threads: usize, batch: usize, seed: u64) -> LeafRow
+where
+    G: nmcs_core::Game + Send,
+    G::Move: Send,
+{
+    let mut config = LeafConfig::new(1, batch, threads);
+    config.seed = seed;
+    let (out, elapsed) = leaf_nested(game, &config);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    LeafRow {
+        domain: domain.to_string(),
+        threads,
+        batch,
+        score: out.score,
+        elapsed_ms: secs * 1e3,
+        leaf_evals: out.client_jobs,
+        evals_per_sec: out.client_jobs as f64 / secs,
+    }
+}
+
+/// Sweeps the leaf backend over worker counts and batch sizes.
+pub fn leaf_sweep(threads: &[usize], batches: &[usize], seed: u64) -> Vec<LeafRow> {
+    let samegame = SameGame::random(10, 10, 4, seed);
+    let cross = cross_board(Variant::Disjoint, 3);
+    let mut rows = Vec::new();
+    for &batch in batches {
+        for &t in threads {
+            rows.push(measure("samegame-10x10", &samegame, t, batch, seed));
+        }
+    }
+    for &batch in batches {
+        for &t in threads {
+            rows.push(measure("morpion-5d-c3", &cross, t, batch, seed));
+        }
+    }
+    rows
+}
+
+/// Renders a sweep as a table in the style of the paper harness.
+pub fn leaf_table(rows: &[LeafRow]) -> Table {
+    let mut table = Table::new(
+        "Leaf-parallel batched NMCS: score and throughput vs workers vs batch",
+        &[
+            "domain",
+            "batch",
+            "workers",
+            "score",
+            "elapsed (ms)",
+            "leaf evals",
+            "evals/sec",
+        ],
+    );
+    for r in rows {
+        table.row(&[
+            r.domain.clone(),
+            r.batch.to_string(),
+            r.threads.to_string(),
+            r.score.to_string(),
+            format!("{:.1}", r.elapsed_ms),
+            r.leaf_evals.to_string(),
+            format!("{:.0}", r.evals_per_sec),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_are_invariant_across_worker_counts() {
+        let rows = leaf_sweep(&[1, 2], &[2], 7);
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].domain, pair[1].domain);
+            assert_eq!(pair[0].batch, pair[1].batch);
+            assert_eq!(
+                pair[0].score, pair[1].score,
+                "{}: leaf scores must not depend on the worker count",
+                pair[0].domain
+            );
+            assert_eq!(pair[0].leaf_evals, pair[1].leaf_evals);
+        }
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let rows = leaf_sweep(&[1], &[1, 2], 3);
+        let table = leaf_table(&rows);
+        assert_eq!(table.rows.len(), rows.len());
+        assert!(table.render().contains("samegame-10x10"));
+    }
+}

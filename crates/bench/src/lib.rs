@@ -8,11 +8,13 @@
 
 pub mod calibrate;
 pub mod experiments;
+pub mod leafexp;
 pub mod paper;
 pub mod report;
 pub mod service;
 
 pub use calibrate::{calibrate, fit_model, Calibration};
 pub use experiments::{fit_power, Experiments, Scale, CLIENT_SWEEP};
+pub use leafexp::{leaf_sweep, leaf_table, LeafRow};
 pub use report::{persist, Table};
 pub use service::{measure_cell, throughput_sweep, throughput_table, ThroughputRow};

@@ -64,7 +64,8 @@ pub fn measure_cell(
     let engine = Engine::start(EngineConfig {
         workers,
         queue_capacity,
-    });
+    })
+    .expect("valid engine config");
     let started = Instant::now();
     let mut handles = Vec::with_capacity(n_jobs);
     for i in 0..n_jobs {

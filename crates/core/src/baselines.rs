@@ -12,7 +12,7 @@
 
 use crate::game::{Game, Score};
 use crate::rng::Rng;
-use crate::search::{sample_into, SearchResult};
+use crate::search::{sample_into, PlayoutScratch, SearchResult};
 use crate::stats::SearchStats;
 
 /// Flat Monte-Carlo search: play `n` independent random games from `game`
@@ -27,14 +27,30 @@ pub fn flat_monte_carlo<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRes
     let mut best_score = Score::MIN;
     let mut best_seq: Vec<G::Move> = Vec::new();
     let mut seq: Vec<G::Move> = Vec::new();
-    for _ in 0..n {
-        seq.clear();
-        let mut g = game.clone();
-        let score = sample_into(&mut g, rng, None, &mut seq, &mut stats);
-        if score > best_score {
-            best_score = score;
-            best_seq.clear();
-            best_seq.extend(seq.iter().cloned());
+    if game.supports_undo() {
+        // Clone-free path: every playout runs in place on one position
+        // and unwinds through the scratch-state protocol.
+        let mut pos = game.clone();
+        let mut scratch = PlayoutScratch::new();
+        for _ in 0..n {
+            seq.clear();
+            let score = scratch.run_undo(&mut pos, rng, None, &mut seq, &mut stats);
+            if score > best_score {
+                best_score = score;
+                best_seq.clear();
+                best_seq.extend(seq.iter().cloned());
+            }
+        }
+    } else {
+        for _ in 0..n {
+            seq.clear();
+            let mut g = game.clone();
+            let score = sample_into(&mut g, rng, None, &mut seq, &mut stats);
+            if score > best_score {
+                best_score = score;
+                best_seq.clear();
+                best_seq.extend(seq.iter().cloned());
+            }
         }
     }
     SearchResult {
@@ -60,6 +76,8 @@ pub fn iterated_sampling<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRe
     let mut played: Vec<G::Move> = Vec::new();
     let mut moves: Vec<G::Move> = Vec::new();
     let mut seq: Vec<G::Move> = Vec::new();
+    let use_undo = game.supports_undo();
+    let mut scratch = PlayoutScratch::new();
     loop {
         moves.clear();
         pos.legal_moves(&mut moves);
@@ -69,11 +87,19 @@ pub fn iterated_sampling<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRe
         let mut best: Option<(Score, usize)> = None;
         for (i, mv) in moves.iter().enumerate() {
             for _ in 0..n {
-                let mut child = pos.clone();
-                child.play(mv);
                 stats.record_expansion();
                 seq.clear();
-                let s = sample_into(&mut child, rng, None, &mut seq, &mut stats);
+                let s = if use_undo {
+                    // Clone-free evaluation: apply, restoring playout, undo.
+                    let token = pos.apply(mv);
+                    let s = scratch.run_undo(&mut pos, rng, None, &mut seq, &mut stats);
+                    pos.undo(token);
+                    s
+                } else {
+                    let mut child = pos.clone();
+                    child.play(mv);
+                    sample_into(&mut child, rng, None, &mut seq, &mut stats)
+                };
                 if best.is_none_or(|(bs, _)| s > bs) {
                     best = Some((s, i));
                 }
@@ -206,6 +232,8 @@ pub fn beam_search<G: Game>(
     let mut best_seq: Vec<G::Move> = Vec::new();
     let mut moves: Vec<G::Move> = Vec::new();
     let mut seq: Vec<G::Move> = Vec::new();
+    let use_undo = game.supports_undo();
+    let mut scratch = PlayoutScratch::new();
 
     loop {
         let mut children: Vec<(Score, G, Vec<G::Move>)> = Vec::new();
@@ -216,12 +244,17 @@ pub fn beam_search<G: Game>(
                 let mut child = pos.clone();
                 child.play(mv);
                 stats.record_expansion();
-                // Evaluate with the best of n playouts.
+                // Evaluate with the best of n playouts (run in place and
+                // unwound on fast-path games; probed on a clone otherwise).
                 let mut value = Score::MIN;
                 for _ in 0..n {
-                    let mut probe = child.clone();
                     seq.clear();
-                    let s = sample_into(&mut probe, rng, None, &mut seq, &mut stats);
+                    let s = if use_undo {
+                        scratch.run_undo(&mut child, rng, None, &mut seq, &mut stats)
+                    } else {
+                        let mut probe = child.clone();
+                        sample_into(&mut probe, rng, None, &mut seq, &mut stats)
+                    };
                     value = value.max(s);
                 }
                 let mut path2 = path.clone();

@@ -19,7 +19,7 @@
 //! between the two, and the engine's integration tests assert the
 //! round-trip is bit-identical (scores, sequences, and stats).
 
-use crate::game::{Game, Score};
+use crate::game::{Game, Score, Undo};
 use crate::nrpa::CodedGame;
 use crate::search::SearchResult;
 
@@ -56,8 +56,41 @@ pub trait AnyGame: Send + Sync {
     /// identity.
     fn state_digest(&self) -> u64;
 
-    /// Clones the erased position.
+    /// Clones the erased position. The clone is an independent position:
+    /// undo tokens pending on `self` do **not** transfer (see
+    /// [`AnyGame::apply_nth`]).
     fn clone_any(&self) -> Box<dyn AnyGame>;
+
+    /// Whether the underlying game implements the scratch-state fast
+    /// path ([`Game::supports_undo`]). Erasures over snapshot-only games
+    /// return `false`, and [`DynGame`] then falls back to snapshotting —
+    /// the default `apply_nth`/`undo_last` pair below is never called in
+    /// that case.
+    fn supports_undo(&self) -> bool {
+        false
+    }
+
+    /// Plays the `i`-th legal move like [`AnyGame::play_nth`], recording
+    /// reversal data internally for [`AnyGame::undo_last`]. Tokens are an
+    /// internal LIFO stack; clones do not inherit it.
+    fn apply_nth(&mut self, i: usize) {
+        self.play_nth(i);
+    }
+
+    /// Reverts the most recent not-yet-undone [`AnyGame::apply_nth`].
+    fn undo_last(&mut self) {
+        panic!("erased game does not implement the undo fast path");
+    }
+
+    /// Reverts the `n` most recent `apply_nth` calls in one go. The
+    /// erasures override this to refresh their legal-move cache once at
+    /// the end instead of once per token — on movegen-heavy games that
+    /// halves the cost of unwinding a playout.
+    fn undo_many(&mut self, n: usize) {
+        for _ in 0..n {
+            self.undo_last();
+        }
+    }
 }
 
 /// Digest over the observable surface of a position plus a short
@@ -102,6 +135,9 @@ where
 {
     game: G,
     moves: Vec<G::Move>,
+    /// Undo tokens of outstanding `apply_nth` calls (LIFO). Not cloned:
+    /// tokens belong to the position they were issued on.
+    undo: Vec<Undo<G>>,
 }
 
 /// Erasure of a plain [`Game`]: positional move codes (the index
@@ -114,12 +150,52 @@ where
 {
     game: G,
     moves: Vec<G::Move>,
+    /// Undo tokens of outstanding `apply_nth` calls (LIFO; not cloned).
+    undo: Vec<Undo<G>>,
 }
 
 fn current_moves<G: Game>(game: &G) -> Vec<G::Move> {
     let mut buf = Vec::new();
     game.legal_moves(&mut buf);
     buf
+}
+
+/// The scratch-protocol surface shared verbatim by both erasures (they
+/// differ only in move coding). One expansion site keeps the journal
+/// semantics — LIFO token pops, one cache refresh per batch — in
+/// lockstep; editing one erasure but not the other would silently break
+/// the bit-identity contract for the other coding scheme.
+macro_rules! erased_scratch_protocol {
+    () => {
+        fn supports_undo(&self) -> bool {
+            self.game.supports_undo()
+        }
+
+        fn apply_nth(&mut self, i: usize) {
+            let mv = self.moves[i].clone();
+            self.undo.push(self.game.apply(&mv));
+            self.moves.clear();
+            self.game.legal_moves(&mut self.moves);
+        }
+
+        fn undo_last(&mut self) {
+            let token = self.undo.pop().expect("undo_last without apply_nth");
+            self.game.undo(token);
+            self.moves.clear();
+            self.game.legal_moves(&mut self.moves);
+        }
+
+        fn undo_many(&mut self, n: usize) {
+            for _ in 0..n {
+                let token = self.undo.pop().expect("undo_many without apply_nth");
+                self.game.undo(token);
+            }
+            if n > 0 {
+                self.moves.clear();
+                self.game.legal_moves(&mut self.moves);
+            }
+        }
+    };
 }
 
 impl<G: CodedGame + Send + Sync + 'static> AnyGame for ErasedCoded<G>
@@ -160,8 +236,11 @@ where
         Box::new(ErasedCoded {
             game: self.game.clone(),
             moves: self.moves.clone(),
+            undo: Vec::new(),
         })
     }
+
+    erased_scratch_protocol!();
 }
 
 impl<G: Game + Send + Sync + 'static> AnyGame for ErasedUncoded<G>
@@ -199,8 +278,11 @@ where
         Box::new(ErasedUncoded {
             game: self.game.clone(),
             moves: self.moves.clone(),
+            undo: Vec::new(),
         })
     }
+
+    erased_scratch_protocol!();
 }
 
 /// A boxed erased game that itself implements [`Game`] (with
@@ -218,7 +300,11 @@ impl DynGame {
     {
         let moves = current_moves(&game);
         DynGame {
-            inner: Box::new(ErasedCoded { game, moves }),
+            inner: Box::new(ErasedCoded {
+                game,
+                moves,
+                undo: Vec::new(),
+            }),
         }
     }
 
@@ -229,13 +315,27 @@ impl DynGame {
     {
         let moves = current_moves(&game);
         DynGame {
-            inner: Box::new(ErasedUncoded { game, moves }),
+            inner: Box::new(ErasedUncoded {
+                game,
+                moves,
+                undo: Vec::new(),
+            }),
         }
     }
 
     /// Digest of the current position (see [`AnyGame::state_digest`]).
     pub fn state_digest(&self) -> u64 {
         self.inner.state_digest()
+    }
+
+    /// Reverts the `n` most recent internal-token applies in one batch,
+    /// refreshing the legal-move cache once (see [`AnyGame::undo_many`]).
+    /// Exists so wrappers holding a `DynGame` (the engine's cancellation
+    /// shim) can reach the batch path without materialising tokens.
+    pub fn undo_last_n(&mut self, n: usize) {
+        if n > 0 {
+            self.inner.undo_many(n);
+        }
     }
 }
 
@@ -278,6 +378,47 @@ impl Game for DynGame {
 
     fn is_terminal(&self) -> bool {
         self.inner.legal_count() == 0
+    }
+
+    // The scratch-state protocol passes straight through the erasure, so
+    // searches over a `DynGame` of a fast-path game stay clone-free (the
+    // engine inherits the speedup for every game that has it).
+
+    fn supports_undo(&self) -> bool {
+        self.inner.supports_undo()
+    }
+
+    fn apply(&mut self, mv: &usize) -> Undo<Self> {
+        if self.inner.supports_undo() {
+            self.inner.apply_nth(*mv);
+            Undo::internal()
+        } else {
+            let snapshot = Undo::snapshot(self.clone());
+            self.inner.play_nth(*mv);
+            snapshot
+        }
+    }
+
+    fn undo(&mut self, token: Undo<Self>) {
+        match token.into_snapshot() {
+            Some(snapshot) => *self = *snapshot,
+            None => self.inner.undo_last(),
+        }
+    }
+
+    fn undo_all(&mut self, tokens: &mut Vec<Undo<Self>>) {
+        // Tokens are homogeneous (the fast-path decision is a property
+        // of the inner game), so a stack of internal tokens can unwind
+        // through the erasure's batch path — one cache refresh total.
+        if tokens.iter().all(|t| t.is_internal()) {
+            let n = tokens.len();
+            tokens.clear();
+            self.undo_last_n(n);
+        } else {
+            while let Some(token) = tokens.pop() {
+                self.undo(token);
+            }
+        }
     }
 }
 
@@ -348,6 +489,20 @@ mod tests {
         fn moves_played(&self) -> usize {
             self.taken.len()
         }
+
+        fn supports_undo(&self) -> bool {
+            true
+        }
+
+        fn apply(&mut self, mv: &u8) -> Undo<Self> {
+            self.play(mv);
+            Undo::internal()
+        }
+
+        fn undo(&mut self, token: Undo<Self>) {
+            debug_assert!(token.is_internal());
+            self.taken.pop().expect("undo without apply");
+        }
     }
 
     impl CodedGame for Digits {
@@ -397,6 +552,60 @@ mod tests {
         g.play(&2);
         assert_eq!(g.moves_played(), 1);
         assert_eq!(g.score(), 2);
+    }
+
+    #[test]
+    fn erasure_passes_the_fast_path_through() {
+        let mut g = DynGame::new(digits());
+        assert!(g.supports_undo(), "Digits opts in, so its erasure must");
+        let mut buf = Vec::new();
+        g.legal_moves(&mut buf);
+        let before_score = g.score();
+        let token = g.apply(&buf[1]);
+        assert!(token.is_internal());
+        assert_eq!(g.moves_played(), 1);
+        g.undo(token);
+        assert_eq!(g.moves_played(), 0);
+        assert_eq!(g.score(), before_score);
+        let mut buf2 = Vec::new();
+        g.legal_moves(&mut buf2);
+        assert_eq!(buf, buf2, "legal-move indices restored");
+    }
+
+    #[test]
+    fn batch_unwind_restores_the_position_in_one_refresh() {
+        let mut g = DynGame::new(digits());
+        let mut reference = Vec::new();
+        g.legal_moves(&mut reference);
+        let before = (g.score(), g.moves_played());
+
+        // Apply a chain of three moves, then unwind it through undo_all
+        // (the playout-unwind path, which batches the cache refresh).
+        let mut tokens = Vec::new();
+        for _ in 0..3 {
+            let mut moves = Vec::new();
+            g.legal_moves(&mut moves);
+            tokens.push(g.apply(&moves[0]));
+        }
+        assert_eq!(g.moves_played(), 3);
+        g.undo_all(&mut tokens);
+        assert!(tokens.is_empty());
+        assert_eq!((g.score(), g.moves_played()), before);
+        let mut after = Vec::new();
+        g.legal_moves(&mut after);
+        assert_eq!(after, reference, "legal-move cache refreshed correctly");
+    }
+
+    #[test]
+    fn snapshot_only_erasure_falls_back_to_snapshots() {
+        use crate::game::SnapshotOnly;
+        let mut g = DynGame::new_uncoded(SnapshotOnly(digits()));
+        assert!(!g.supports_undo());
+        let token = g.apply(&0);
+        assert!(!token.is_internal());
+        assert_eq!(g.moves_played(), 1);
+        g.undo(token);
+        assert_eq!(g.moves_played(), 0);
     }
 
     #[test]

@@ -14,6 +14,60 @@
 /// to integers (e.g. TSP tour lengths in integer units).
 pub type Score = i64;
 
+/// An undo token returned by [`Game::apply`] and consumed by
+/// [`Game::undo`].
+///
+/// Two shapes, one type:
+///
+/// * [`Undo::snapshot`] carries a boxed copy of the pre-move state — the
+///   blanket fallback every game gets for free from `Clone`.
+/// * [`Undo::internal`] is an empty marker meaning the game recorded its
+///   own reversal data internally (an undo journal inside the game
+///   struct). Games on this fast path must override **both** `apply` and
+///   `undo`, and tokens must be consumed in strict LIFO order with no
+///   interleaved [`Game::play`] calls — the journal is a stack.
+///
+/// The token is deliberately not `Clone`: it represents the one right to
+/// revert the matching `apply`.
+#[must_use = "an un-consumed undo token leaves the game permanently advanced"]
+pub struct Undo<G> {
+    snapshot: Option<Box<G>>,
+}
+
+impl<G> Undo<G> {
+    /// A token carrying a full pre-move snapshot (the fallback path).
+    pub fn snapshot(state: G) -> Self {
+        Undo {
+            snapshot: Some(Box::new(state)),
+        }
+    }
+
+    /// A token for a game that journals its own reversal data.
+    pub fn internal() -> Self {
+        Undo { snapshot: None }
+    }
+
+    /// Whether this token relies on the game's internal journal.
+    pub fn is_internal(&self) -> bool {
+        self.snapshot.is_none()
+    }
+
+    /// Extracts the snapshot, if the token carries one.
+    pub fn into_snapshot(self) -> Option<Box<G>> {
+        self.snapshot
+    }
+}
+
+impl<G> std::fmt::Debug for Undo<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.is_internal() {
+            "Undo::internal"
+        } else {
+            "Undo::snapshot"
+        })
+    }
+}
+
 /// A single-agent, perfect-information, finite game searched by NMCS.
 ///
 /// Implementations must satisfy:
@@ -23,9 +77,33 @@ pub type Score = i64;
 /// * **Finiteness** — every playout reaches a state with no legal moves in
 ///   a bounded number of steps (Morpion games are bounded by the grid,
 ///   SameGame by the number of tiles, …).
-/// * **Cheap `Clone`** — `nested` clones the position once per candidate
-///   move per step; a flat memcpy-style clone keeps level-3+ searches
-///   affordable.
+/// * **Cheap `Clone`** — the fallback search path clones the position once
+///   per candidate move per step; a flat memcpy-style clone keeps level-3+
+///   searches affordable when the scratch-state protocol below is not
+///   implemented.
+///
+/// ## The scratch-state protocol (opt-in fast path)
+///
+/// The hot loop of every search is the random playout, and the dominant
+/// cost of the naive implementation is cloning the full game state per
+/// candidate evaluation. Games that can *revert* a move cheaply should
+/// implement [`Game::apply`] / [`Game::undo`] (and return `true` from
+/// [`Game::supports_undo`]): the searches in this crate then run their
+/// playouts and nested rollouts in place on a single mutable position,
+/// never cloning on the hot path. Requirements for the fast path:
+///
+/// * `apply` behaves exactly like `play` as far as any observer can tell
+///   (same state transition, same subsequent `legal_moves` **order** —
+///   move ordering feeds the RNG, so a reordering would silently change
+///   search results);
+/// * `undo` restores the position *exactly*, including the order of the
+///   legal-move list;
+/// * tokens are consumed LIFO, with no interleaved `play` between an
+///   `apply` and its `undo`.
+///
+/// Games that don't opt in keep working unchanged: the default `apply`
+/// snapshots via `Clone`, and the searches keep their clone-per-candidate
+/// strategy (which is cheaper than snapshot-per-move would be).
 pub trait Game: Clone {
     /// The move type. `Clone + PartialEq` suffice for sequence memoisation.
     type Move: Clone + PartialEq + std::fmt::Debug;
@@ -66,6 +144,106 @@ pub trait Game: Clone {
         self.legal_moves(&mut buf);
         buf.is_empty()
     }
+
+    /// Clears `out` and fills it with the current legal moves — the
+    /// hot-loop entry point of the playout core, equivalent to
+    /// `out.clear()` followed by [`Game::legal_moves`]. Exists so callers
+    /// can reuse one buffer across an entire search without sprinkling
+    /// `clear()` calls, and so cached-candidate games have a single place
+    /// to shortcut.
+    fn legal_moves_into(&self, out: &mut Vec<Self::Move>) {
+        out.clear();
+        self.legal_moves(out);
+    }
+
+    /// Whether this game implements the O(move)-cost [`Game::apply`] /
+    /// [`Game::undo`] fast path.
+    ///
+    /// The default (snapshot-based) protocol returns `false`; searches
+    /// then keep the clone-per-evaluation strategy instead of paying a
+    /// full snapshot per playout move.
+    fn supports_undo(&self) -> bool {
+        false
+    }
+
+    /// Applies a legal move like [`Game::play`] and returns a token that
+    /// [`Game::undo`] consumes to revert it.
+    ///
+    /// The default snapshots the whole state; fast-path games override it
+    /// to journal a small reversal delta internally and return
+    /// [`Undo::internal`].
+    fn apply(&mut self, mv: &Self::Move) -> Undo<Self> {
+        let snapshot = Undo::snapshot(self.clone());
+        self.play(mv);
+        snapshot
+    }
+
+    /// Reverts the most recent not-yet-undone [`Game::apply`] (strict
+    /// LIFO; see the trait docs for the full protocol).
+    ///
+    /// Panics if handed an [`Undo::internal`] token by a game that does
+    /// not override `undo` — that means `apply` was overridden without
+    /// its other half.
+    fn undo(&mut self, token: Undo<Self>) {
+        match token.into_snapshot() {
+            Some(snapshot) => *self = *snapshot,
+            None => panic!("game returned Undo::internal() but does not override undo"),
+        }
+    }
+
+    /// Reverts a whole stack of applies (newest first), draining
+    /// `tokens`. Equivalent to popping and [`Game::undo`]ing one by one —
+    /// the default does exactly that — but overridable so wrappers that
+    /// maintain per-position caches (notably the [`crate::DynGame`]
+    /// erasure) can refresh them once per unwind instead of once per
+    /// token. Playout unwinds go through this.
+    fn undo_all(&mut self, tokens: &mut Vec<Undo<Self>>) {
+        while let Some(token) = tokens.pop() {
+            self.undo(token);
+        }
+    }
+}
+
+/// Adapter that hides a game's scratch-state fast path, forcing every
+/// search back onto the snapshot/clone fallback.
+///
+/// Exists for A/B measurement (the `clone-path vs undo-path` criterion
+/// benches) and for tests asserting the two paths produce bit-identical
+/// results. Not useful in production code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotOnly<G>(pub G);
+
+impl<G: Game> Game for SnapshotOnly<G> {
+    type Move = G::Move;
+
+    fn legal_moves(&self, out: &mut Vec<Self::Move>) {
+        self.0.legal_moves(out);
+    }
+
+    fn play(&mut self, mv: &Self::Move) {
+        self.0.play(mv);
+    }
+
+    fn score(&self) -> Score {
+        self.0.score()
+    }
+
+    fn moves_played(&self) -> usize {
+        self.0.moves_played()
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.0.is_terminal()
+    }
+
+    // `supports_undo`, `apply`, `undo` deliberately stay at their
+    // defaults: that is the whole point of the adapter.
+}
+
+impl<G: crate::nrpa::CodedGame> crate::nrpa::CodedGame for SnapshotOnly<G> {
+    fn move_code(&self, mv: &Self::Move) -> u64 {
+        self.0.move_code(mv)
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +276,38 @@ mod tests {
     fn default_is_terminal_matches_move_list() {
         assert!(!Countdown(2).is_terminal());
         assert!(Countdown(0).is_terminal());
+    }
+
+    #[test]
+    fn default_apply_undo_round_trips_via_snapshot() {
+        let mut g = Countdown(3);
+        assert!(!g.supports_undo());
+        let token = g.apply(&());
+        assert!(!token.is_internal());
+        assert_eq!(g.0, 2);
+        g.undo(token);
+        assert_eq!(g.0, 3);
+    }
+
+    #[test]
+    fn default_legal_moves_into_clears_the_buffer() {
+        let g = Countdown(1);
+        let mut buf = vec![(), (), ()];
+        g.legal_moves_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        Countdown(0).legal_moves_into(&mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn snapshot_only_hides_nothing_but_the_fast_path() {
+        let mut wrapped = SnapshotOnly(Countdown(2));
+        assert!(!wrapped.supports_undo());
+        assert!(!wrapped.is_terminal());
+        let t = wrapped.apply(&());
+        assert_eq!(wrapped.0 .0, 1);
+        wrapped.undo(t);
+        assert_eq!(wrapped.0 .0, 2);
     }
 
     #[test]

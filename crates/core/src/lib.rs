@@ -52,9 +52,9 @@ pub mod uct;
 
 pub use driver::{drive, Budget, DriveReport};
 pub use erased::{decode_result, decode_sequence, AnyGame, DynGame};
-pub use game::{Game, Score};
+pub use game::{Game, Score, SnapshotOnly, Undo};
 pub use nrpa::{nrpa, CodedGame, NrpaConfig, Policy};
 pub use rng::{Fnv1a, Rng};
-pub use search::{nested, sample, MemoryPolicy, NestedConfig, SearchResult};
+pub use search::{nested, sample, MemoryPolicy, NestedConfig, PlayoutScratch, SearchResult};
 pub use stats::SearchStats;
 pub use uct::{uct, UctConfig};

@@ -17,11 +17,31 @@
 //! ([`CodedGame::move_code`]); codes collide at the domain's discretion
 //! (colliding moves share a weight, which is sometimes even desirable).
 
-use crate::game::{Game, Score};
+use crate::game::{Game, Score, Undo};
 use crate::rng::Rng;
 use crate::search::SearchResult;
 use crate::stats::SearchStats;
 use std::collections::HashMap;
+
+/// Reusable buffers of the clone-free NRPA path: a legal-move buffer and
+/// an undo-token stack shared by the policy playouts and the adaptation
+/// walks (only one of either is active at a time).
+struct NrpaScratch<G: Game> {
+    moves: Vec<G::Move>,
+    undos: Vec<Undo<G>>,
+    /// (move code, softmax numerator) pairs of the adaptation step.
+    probs: Vec<(u64, f64)>,
+}
+
+impl<G: Game> NrpaScratch<G> {
+    fn new() -> Self {
+        NrpaScratch {
+            moves: Vec::new(),
+            undos: Vec::new(),
+            probs: Vec::new(),
+        }
+    }
+}
 
 /// A game whose moves have stable identity across positions, as NRPA's
 /// policy table requires.
@@ -81,30 +101,62 @@ impl Policy {
     pub fn adapt<G: CodedGame>(&mut self, root: &G, sequence: &[G::Move], alpha: f64) {
         let mut pos = root.clone();
         let mut moves: Vec<G::Move> = Vec::new();
+        let mut probs: Vec<(u64, f64)> = Vec::new();
         for played in sequence {
-            moves.clear();
-            pos.legal_moves(&mut moves);
-            debug_assert!(!moves.is_empty());
-            // Softmax over the current weights.
-            let max_w = moves
-                .iter()
-                .map(|m| self.weight(pos.move_code(m)))
-                .fold(f64::NEG_INFINITY, f64::max);
-            let mut z = 0.0;
-            let mut probs: Vec<(u64, f64)> = Vec::with_capacity(moves.len());
-            for m in &moves {
-                let code = pos.move_code(m);
-                let p = (self.weight(code) - max_w).exp();
-                z += p;
-                probs.push((code, p));
-            }
-            for (code, p) in probs {
-                *self.weights.entry(code).or_insert(0.0) -= alpha * p / z;
-            }
-            *self.weights.entry(pos.move_code(played)).or_insert(0.0) += alpha;
+            self.adapt_step(&pos, played, alpha, &mut moves, &mut probs);
             pos.play(played);
         }
     }
+
+    /// One position's worth of [`Policy::adapt`]: the softmax update at
+    /// `pos` toward `played`. Shared by the cloning and in-place walks so
+    /// the two paths are float-for-float identical.
+    fn adapt_step<G: CodedGame>(
+        &mut self,
+        pos: &G,
+        played: &G::Move,
+        alpha: f64,
+        moves: &mut Vec<G::Move>,
+        probs: &mut Vec<(u64, f64)>,
+    ) {
+        pos.legal_moves_into(moves);
+        debug_assert!(!moves.is_empty());
+        // Softmax over the current weights.
+        let max_w = moves
+            .iter()
+            .map(|m| self.weight(pos.move_code(m)))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut z = 0.0;
+        probs.clear();
+        for m in moves.iter() {
+            let code = pos.move_code(m);
+            let p = (self.weight(code) - max_w).exp();
+            z += p;
+            probs.push((code, p));
+        }
+        for &(code, p) in probs.iter() {
+            *self.weights.entry(code).or_insert(0.0) -= alpha * p / z;
+        }
+        *self.weights.entry(pos.move_code(played)).or_insert(0.0) += alpha;
+    }
+}
+
+/// [`Policy::adapt`] walked with apply/undo on a shared position — the
+/// clone-free path used by [`nrpa`] on games with the scratch-state
+/// protocol. Restores `pos` before returning.
+fn adapt_in_place<G: CodedGame>(
+    policy: &mut Policy,
+    pos: &mut G,
+    sequence: &[G::Move],
+    alpha: f64,
+    scratch: &mut NrpaScratch<G>,
+) {
+    debug_assert!(scratch.undos.is_empty());
+    for played in sequence {
+        policy.adapt_step(&*pos, played, alpha, &mut scratch.moves, &mut scratch.probs);
+        scratch.undos.push(pos.apply(played));
+    }
+    pos.undo_all(&mut scratch.undos);
 }
 
 /// One policy-guided playout (NRPA level 0).
@@ -146,6 +198,46 @@ pub fn policy_playout<G: CodedGame>(
     (pos.score(), seq)
 }
 
+/// One policy-guided playout walked with apply/undo on a shared position;
+/// draw-for-draw identical to [`policy_playout`] but clone-free, and it
+/// restores `pos` before returning.
+fn policy_playout_scratch<G: CodedGame>(
+    pos: &mut G,
+    policy: &Policy,
+    rng: &mut Rng,
+    stats: &mut SearchStats,
+    scratch: &mut NrpaScratch<G>,
+) -> (Score, Vec<G::Move>) {
+    debug_assert!(scratch.undos.is_empty());
+    let mut seq = Vec::new();
+    loop {
+        pos.legal_moves_into(&mut scratch.moves);
+        if scratch.moves.is_empty() {
+            break;
+        }
+        // Gumbel-max sampling (see `policy_playout`).
+        let mut best = 0usize;
+        let mut best_key = f64::NEG_INFINITY;
+        for (i, m) in scratch.moves.iter().enumerate() {
+            let w = policy.weight(pos.move_code(m));
+            let u = rng.unit_f64().max(1e-300);
+            let key = w - (-(u.ln())).ln();
+            if key > best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        let mv = scratch.moves.swap_remove(best);
+        scratch.undos.push(pos.apply(&mv));
+        seq.push(mv);
+        stats.record_playout_move();
+    }
+    stats.record_playout_end();
+    let score = pos.score();
+    pos.undo_all(&mut scratch.undos);
+    (score, seq)
+}
+
 /// Nested Rollout Policy Adaptation at `level` from `game`.
 pub fn nrpa<G: CodedGame>(
     game: &G,
@@ -155,12 +247,57 @@ pub fn nrpa<G: CodedGame>(
 ) -> SearchResult<G::Move> {
     let mut stats = SearchStats::new();
     let mut policy = Policy::new();
-    let (score, sequence) = nrpa_inner(game, level, config, &mut policy, rng, &mut stats);
+    let (score, sequence) = if game.supports_undo() {
+        // Clone-free path: every playout and every adaptation walk runs
+        // in place on one position via the scratch-state protocol.
+        let mut pos = game.clone();
+        let mut scratch = NrpaScratch::new();
+        nrpa_scratch(
+            &mut pos,
+            level,
+            config,
+            &mut policy,
+            rng,
+            &mut stats,
+            &mut scratch,
+        )
+    } else {
+        nrpa_inner(game, level, config, &mut policy, rng, &mut stats)
+    };
     SearchResult {
         score,
         sequence,
         stats,
     }
+}
+
+fn nrpa_scratch<G: CodedGame>(
+    pos: &mut G,
+    level: u32,
+    config: &NrpaConfig,
+    policy: &mut Policy,
+    rng: &mut Rng,
+    stats: &mut SearchStats,
+    scratch: &mut NrpaScratch<G>,
+) -> (Score, Vec<G::Move>) {
+    if level == 0 {
+        return policy_playout_scratch(pos, policy, rng, stats, scratch);
+    }
+    let mut best_score = Score::MIN;
+    let mut best_seq: Vec<G::Move> = Vec::new();
+    // Each level adapts its own copy of the policy (Rosin's algorithm).
+    let mut local = policy.clone();
+    for i in 0..config.iterations {
+        let (score, seq) = nrpa_scratch(pos, level - 1, config, &mut local, rng, stats, scratch);
+        if score > best_score || i == 0 {
+            best_score = score;
+            best_seq = seq;
+        }
+        if !best_seq.is_empty() {
+            adapt_in_place(&mut local, pos, &best_seq, config.alpha, scratch);
+        }
+    }
+    (best_score, best_seq)
 }
 
 fn nrpa_inner<G: CodedGame>(
@@ -225,6 +362,76 @@ mod tests {
     impl CodedGame for Binary {
         fn move_code(&self, mv: &u8) -> u64 {
             (self.taken.len() as u64) << 1 | *mv as u64
+        }
+    }
+
+    /// `Binary` with the scratch-state fast path, for path-equality tests.
+    #[derive(Clone, Debug)]
+    struct FastBinary(Binary);
+
+    impl Game for FastBinary {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            self.0.legal_moves(out);
+        }
+        fn play(&mut self, mv: &u8) {
+            self.0.play(mv);
+        }
+        fn score(&self) -> Score {
+            self.0.score()
+        }
+        fn moves_played(&self) -> usize {
+            self.0.moves_played()
+        }
+        fn supports_undo(&self) -> bool {
+            true
+        }
+        fn apply(&mut self, mv: &u8) -> crate::game::Undo<Self> {
+            self.0.play(mv);
+            crate::game::Undo::internal()
+        }
+        fn undo(&mut self, token: crate::game::Undo<Self>) {
+            debug_assert!(token.is_internal());
+            self.0.taken.pop().expect("undo without apply");
+        }
+    }
+
+    impl CodedGame for FastBinary {
+        fn move_code(&self, mv: &u8) -> u64 {
+            self.0.move_code(mv)
+        }
+    }
+
+    #[test]
+    fn nrpa_undo_path_is_bit_identical_to_clone_path() {
+        let cfg = NrpaConfig {
+            iterations: 6,
+            alpha: 0.8,
+        };
+        for seed in 0..10 {
+            for level in 0..3 {
+                let slow = nrpa(
+                    &Binary {
+                        depth: 7,
+                        taken: vec![],
+                    },
+                    level,
+                    &cfg,
+                    &mut Rng::seeded(seed),
+                );
+                let fast = nrpa(
+                    &FastBinary(Binary {
+                        depth: 7,
+                        taken: vec![],
+                    }),
+                    level,
+                    &cfg,
+                    &mut Rng::seeded(seed),
+                );
+                assert_eq!(fast.score, slow.score, "seed {seed} level {level}");
+                assert_eq!(fast.sequence, slow.sequence, "seed {seed} level {level}");
+                assert_eq!(fast.stats, slow.stats, "seed {seed} level {level}");
+            }
         }
     }
 

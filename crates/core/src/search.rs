@@ -19,9 +19,139 @@
 //! §IV, which plays the per-step argmax without cross-step memory — the
 //! difference is measured by an ablation benchmark.
 
-use crate::game::{Game, Score};
+use crate::game::{Game, Score, Undo};
 use crate::rng::Rng;
 use crate::stats::SearchStats;
+
+/// Reusable buffers for the allocation-free playout core.
+///
+/// A playout needs a legal-move buffer (and, on the restoring variant, a
+/// stack of undo tokens); keeping them in one value lets a search run
+/// thousands of playouts without touching the allocator after warm-up.
+pub struct PlayoutScratch<G: Game> {
+    moves: Vec<G::Move>,
+    undos: Vec<Undo<G>>,
+}
+
+impl<G: Game> Default for PlayoutScratch<G> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<G: Game> PlayoutScratch<G> {
+    pub fn new() -> Self {
+        PlayoutScratch {
+            moves: Vec::new(),
+            undos: Vec::new(),
+        }
+    }
+
+    /// Plays a uniformly random game forward on a *disposable* position
+    /// (mutating it to the terminal position), appending the moves played
+    /// to `seq`, and returns the final score. Draw-for-draw identical to
+    /// [`sample_into`], minus its per-call buffer allocation.
+    pub fn run(
+        &mut self,
+        game: &mut G,
+        rng: &mut Rng,
+        cap: Option<usize>,
+        seq: &mut Vec<G::Move>,
+        stats: &mut SearchStats,
+    ) -> Score {
+        let mut steps = 0usize;
+        loop {
+            if let Some(c) = cap {
+                if steps >= c {
+                    break;
+                }
+            }
+            game.legal_moves_into(&mut self.moves);
+            if self.moves.is_empty() {
+                break;
+            }
+            let mv = self.moves.swap_remove(rng.below(self.moves.len()));
+            game.play(&mv);
+            seq.push(mv);
+            stats.record_playout_move();
+            steps += 1;
+        }
+        stats.record_playout_end();
+        game.score()
+    }
+
+    /// Like [`PlayoutScratch::run`], but *restores* `game` to its entry
+    /// state through the scratch-state protocol before returning — the
+    /// engine of the clone-free level-1 evaluation loop.
+    ///
+    /// Only worthwhile on games where [`Game::supports_undo`] is true:
+    /// the fallback snapshot `apply` would pay one full clone per move.
+    pub fn run_undo(
+        &mut self,
+        game: &mut G,
+        rng: &mut Rng,
+        cap: Option<usize>,
+        seq: &mut Vec<G::Move>,
+        stats: &mut SearchStats,
+    ) -> Score {
+        debug_assert!(self.undos.is_empty(), "re-entrant playout");
+        let mut steps = 0usize;
+        loop {
+            if let Some(c) = cap {
+                if steps >= c {
+                    break;
+                }
+            }
+            game.legal_moves_into(&mut self.moves);
+            if self.moves.is_empty() {
+                break;
+            }
+            let mv = self.moves.swap_remove(rng.below(self.moves.len()));
+            self.undos.push(game.apply(&mv));
+            seq.push(mv);
+            stats.record_playout_move();
+            steps += 1;
+        }
+        stats.record_playout_end();
+        let score = game.score();
+        game.undo_all(&mut self.undos);
+        score
+    }
+}
+
+/// Per-recursion-level buffers of the clone-free nested search; one set
+/// exists per level because exactly one call per level is active at a
+/// time.
+struct LevelBufs<G: Game> {
+    moves: Vec<G::Move>,
+    seq: Vec<G::Move>,
+    undos: Vec<Undo<G>>,
+}
+
+impl<G: Game> Default for LevelBufs<G> {
+    fn default() -> Self {
+        LevelBufs {
+            moves: Vec::new(),
+            seq: Vec::new(),
+            undos: Vec::new(),
+        }
+    }
+}
+
+/// Buffers shared by one clone-free [`nested`] call tree.
+pub(crate) struct NestedScratch<G: Game> {
+    levels: Vec<LevelBufs<G>>,
+    playout: PlayoutScratch<G>,
+}
+
+impl<G: Game> NestedScratch<G> {
+    pub(crate) fn new(level: u32) -> Self {
+        NestedScratch {
+            levels: (0..level).map(|_| LevelBufs::default()).collect(),
+            playout: PlayoutScratch::new(),
+        }
+    }
+}
 
 /// Outcome of a search: the best score found and the move sequence that
 /// realises it (from the position the search was called on).
@@ -150,12 +280,117 @@ pub fn nested<G: Game>(
     rng: &mut Rng,
 ) -> SearchResult<G::Move> {
     let mut stats = SearchStats::new();
-    let (score, sequence) = nested_inner(game, level, config, rng, &mut stats);
+    // Games implementing the scratch-state protocol take the clone-free
+    // path: one clone up front, apply/undo everywhere below. The two
+    // paths are draw-for-draw identical (asserted by the property tests),
+    // so this is purely a throughput decision.
+    let (score, sequence) = if level >= 1 && game.supports_undo() {
+        let mut pos = game.clone();
+        let mut scratch = NestedScratch::new(level);
+        nested_scratch(&mut pos, level, config, rng, &mut stats, &mut scratch)
+    } else {
+        nested_inner(game, level, config, rng, &mut stats)
+    };
     SearchResult {
         score,
         sequence,
         stats,
     }
+}
+
+/// Clone-free nested search over a game with the apply/undo fast path.
+///
+/// Mirrors [`nested_inner`] decision-for-decision, but walks a single
+/// mutable position: candidate evaluations `apply` the move, evaluate in
+/// place (a restoring playout at level 1, a recursive call at level ≥ 2),
+/// and `undo`; the memorised-sequence advance applies with a token that
+/// the final unwind pops, so `pos` is returned to the caller exactly as
+/// it came in.
+fn nested_scratch<G: Game>(
+    pos: &mut G,
+    level: u32,
+    config: &NestedConfig,
+    rng: &mut Rng,
+    stats: &mut SearchStats,
+    scratch: &mut NestedScratch<G>,
+) -> (Score, Vec<G::Move>) {
+    debug_assert!(level >= 1);
+    let mut bufs = std::mem::take(&mut scratch.levels[level as usize - 1]);
+    // `best_seq[..played]` is the prefix already played by this call;
+    // `best_seq[played..]` is the memorised best continuation.
+    let mut best_seq: Vec<G::Move> = Vec::new();
+    let mut played = 0usize;
+    let mut best_score = Score::MIN;
+
+    loop {
+        pos.legal_moves_into(&mut bufs.moves);
+        if bufs.moves.is_empty() {
+            break;
+        }
+
+        let mut step_best: Option<(Score, usize)> = None;
+        for i in 0..bufs.moves.len() {
+            let token = pos.apply(&bufs.moves[i]);
+            stats.record_expansion();
+
+            let score = if level == 1 {
+                bufs.seq.clear();
+                scratch
+                    .playout
+                    .run_undo(pos, rng, config.playout_cap, &mut bufs.seq, stats)
+            } else {
+                let (s, seq) = nested_scratch(pos, level - 1, config, rng, stats, scratch);
+                bufs.seq = seq;
+                s
+            };
+            pos.undo(token);
+
+            // Track the best move of *this step* (for the greedy policy) …
+            if step_best.is_none_or(|(s, _)| score > s) {
+                step_best = Some((score, i));
+            }
+            // … and the best sequence of the *whole call* (paper lines 7–9).
+            if score > best_score {
+                best_score = score;
+                best_seq.truncate(played);
+                best_seq.push(bufs.moves[i].clone());
+                best_seq.extend(bufs.seq.iter().cloned());
+            }
+        }
+
+        // Paper lines 10–11 (see `nested_inner` for the fallback rules).
+        let follow_memory = config.memory == MemoryPolicy::Memorise && played < best_seq.len();
+        let next = if follow_memory {
+            best_seq[played].clone()
+        } else {
+            let (_, idx) = step_best.expect("non-empty move list");
+            let mv = bufs.moves[idx].clone();
+            if best_seq.len() <= played || best_seq[played] != mv {
+                best_seq.truncate(played);
+                best_seq.push(mv.clone());
+                best_score = Score::MIN;
+            }
+            mv
+        };
+        bufs.undos.push(pos.apply(&next));
+        played += 1;
+        stats.record_nested_move();
+    }
+
+    if played > 0 && config.memory == MemoryPolicy::Memorise && config.playout_cap.is_none() {
+        debug_assert_eq!(
+            best_score,
+            pos.score(),
+            "memorised sequence must reach the memorised score"
+        );
+        debug_assert_eq!(played, best_seq.len());
+    }
+    let final_score = pos.score();
+    // Unwind the whole played prefix: the caller gets its position back.
+    pos.undo_all(&mut bufs.undos);
+    best_seq.truncate(played);
+    scratch.levels[level as usize - 1] = bufs;
+    (final_score, best_seq)
 }
 
 fn nested_inner<G: Game>(
@@ -274,6 +509,42 @@ pub fn evaluate_moves<G: Game>(
 ) -> Vec<(G::Move, SearchResult<G::Move>)> {
     let mut moves = Vec::new();
     game.legal_moves(&mut moves);
+    if game.supports_undo() {
+        // Clone-free evaluation: one position walked with apply/undo.
+        let mut pos = game.clone();
+        let mut scratch = NestedScratch::new(level.max(1));
+        return moves
+            .into_iter()
+            .enumerate()
+            .map(|(i, mv)| {
+                let mut rng = Rng::seeded(seeds(i));
+                let mut stats = SearchStats::new();
+                let token = pos.apply(&mv);
+                let (score, sequence) = if level == 0 {
+                    let mut seq = Vec::new();
+                    let score = scratch.playout.run_undo(
+                        &mut pos,
+                        &mut rng,
+                        config.playout_cap,
+                        &mut seq,
+                        &mut stats,
+                    );
+                    (score, seq)
+                } else {
+                    nested_scratch(&mut pos, level, config, &mut rng, &mut stats, &mut scratch)
+                };
+                pos.undo(token);
+                (
+                    mv,
+                    SearchResult {
+                        score,
+                        sequence,
+                        stats,
+                    },
+                )
+            })
+            .collect();
+    }
     moves
         .into_iter()
         .enumerate()
@@ -373,6 +644,136 @@ mod tests {
         }
     }
 
+    /// `Trap` with the scratch-state fast path: identical game, clone-free
+    /// search. Used to assert the two paths are draw-for-draw identical.
+    #[derive(Clone, Debug)]
+    struct FastTrap(Trap);
+
+    impl Game for FastTrap {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            self.0.legal_moves(out);
+        }
+        fn play(&mut self, mv: &u8) {
+            self.0.play(mv);
+        }
+        fn score(&self) -> Score {
+            self.0.score()
+        }
+        fn moves_played(&self) -> usize {
+            self.0.moves_played()
+        }
+        fn supports_undo(&self) -> bool {
+            true
+        }
+        fn apply(&mut self, mv: &u8) -> crate::game::Undo<Self> {
+            self.0.play(mv);
+            crate::game::Undo::internal()
+        }
+        fn undo(&mut self, token: crate::game::Undo<Self>) {
+            debug_assert!(token.is_internal());
+            self.0.taken.pop().expect("undo without apply");
+        }
+    }
+
+    #[test]
+    fn undo_path_is_bit_identical_to_clone_path() {
+        for seed in 0..20 {
+            for level in 1..=3 {
+                for config in [NestedConfig::paper(), NestedConfig::greedy()] {
+                    let slow = nested(
+                        &Trap { taken: vec![] },
+                        level,
+                        &config,
+                        &mut Rng::seeded(seed),
+                    );
+                    let fast = nested(
+                        &FastTrap(Trap { taken: vec![] }),
+                        level,
+                        &config,
+                        &mut Rng::seeded(seed),
+                    );
+                    assert_eq!(fast.score, slow.score, "seed {seed} level {level}");
+                    assert_eq!(fast.sequence, slow.sequence, "seed {seed} level {level}");
+                    assert_eq!(fast.stats, slow.stats, "seed {seed} level {level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undo_path_respects_playout_caps() {
+        for seed in 0..10 {
+            let cfg = NestedConfig {
+                memory: MemoryPolicy::Memorise,
+                playout_cap: Some(2),
+            };
+            let slow = nested(&Trap { taken: vec![] }, 1, &cfg, &mut Rng::seeded(seed));
+            let fast = nested(
+                &FastTrap(Trap { taken: vec![] }),
+                1,
+                &cfg,
+                &mut Rng::seeded(seed),
+            );
+            assert_eq!(fast.score, slow.score, "seed {seed}");
+            assert_eq!(fast.sequence, slow.sequence, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn evaluate_moves_fast_path_matches_clone_path() {
+        for level in 0..3 {
+            let seeds = |i: usize| 7_000 + i as u64;
+            let slow = evaluate_moves(
+                &Trap { taken: vec![] },
+                level,
+                &NestedConfig::paper(),
+                seeds,
+            );
+            let fast = evaluate_moves(
+                &FastTrap(Trap { taken: vec![] }),
+                level,
+                &NestedConfig::paper(),
+                seeds,
+            );
+            assert_eq!(slow.len(), fast.len());
+            for ((ms, rs), (mf, rf)) in slow.iter().zip(fast.iter()) {
+                assert_eq!(ms, mf, "level {level}");
+                assert_eq!(rs.score, rf.score, "level {level}");
+                assert_eq!(rs.sequence, rf.sequence, "level {level}");
+                assert_eq!(rs.stats, rf.stats, "level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_undo_restores_the_position_and_matches_sample_into() {
+        let root = FastTrap(Trap { taken: vec![] });
+        let mut scratch = PlayoutScratch::new();
+        for seed in 0..20 {
+            let mut pos = root.clone();
+            let mut seq = Vec::new();
+            let mut stats = SearchStats::new();
+            let score =
+                scratch.run_undo(&mut pos, &mut Rng::seeded(seed), None, &mut seq, &mut stats);
+            assert_eq!(pos.0.taken, root.0.taken, "seed {seed}: position restored");
+
+            let mut clone = root.clone();
+            let mut seq2 = Vec::new();
+            let mut stats2 = SearchStats::new();
+            let score2 = sample_into(
+                &mut clone,
+                &mut Rng::seeded(seed),
+                None,
+                &mut seq2,
+                &mut stats2,
+            );
+            assert_eq!(score, score2, "seed {seed}");
+            assert_eq!(seq, seq2, "seed {seed}");
+            assert_eq!(stats, stats2, "seed {seed}");
+        }
+    }
+
     #[test]
     fn sample_reaches_terminal_and_reports_consistent_sequence() {
         let g = fresh(6);
@@ -464,10 +865,9 @@ mod tests {
 
     #[test]
     fn playout_cap_limits_sample_length() {
-        let g = fresh(100);
         let mut stats = SearchStats::new();
         let mut seq = Vec::new();
-        let mut game = g.clone();
+        let mut game = fresh(100);
         let mut rng = Rng::seeded(2);
         sample_into(&mut game, &mut rng, Some(10), &mut seq, &mut stats);
         assert_eq!(seq.len(), 10);

@@ -15,9 +15,9 @@
 //!   playout*, not the visit-count path, matching how the NMCS results
 //!   are scored.
 
-use crate::game::{Game, Score};
+use crate::game::{Game, Score, Undo};
 use crate::rng::Rng;
-use crate::search::SearchResult;
+use crate::search::{PlayoutScratch, SearchResult};
 use crate::stats::SearchStats;
 
 /// UCT tunables.
@@ -74,8 +74,21 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
     let mut hi = f64::NEG_INFINITY;
 
     let mut moves_buf: Vec<G::Move> = Vec::new();
+    // On fast-path games every iteration walks this one shared position
+    // with apply/undo instead of cloning the root; `undo_stack` holds the
+    // tokens of the current descent and is fully unwound per iteration.
+    let use_undo = game.supports_undo();
+    let mut shared_pos = game.clone();
+    let mut undo_stack: Vec<Undo<G>> = Vec::new();
+    let mut playout: PlayoutScratch<G> = PlayoutScratch::new();
     for _ in 0..config.iterations.max(1) {
-        let mut pos = game.clone();
+        let mut cloned_pos: Option<G> = None;
+        let pos: &mut G = if use_undo {
+            debug_assert!(undo_stack.is_empty());
+            &mut shared_pos
+        } else {
+            cloned_pos.insert(game.clone())
+        };
         let mut path = vec![0usize];
         let mut seq: Vec<G::Move> = Vec::new();
 
@@ -96,7 +109,11 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
             }
             // Expand one child if any remain.
             if let Some(mv) = nodes[id].unexpanded.pop() {
-                pos.play(&mv);
+                if use_undo {
+                    undo_stack.push(pos.apply(&mv));
+                } else {
+                    pos.play(&mv);
+                }
                 seq.push(mv.clone());
                 stats.record_expansion();
                 let child = nodes.len();
@@ -133,14 +150,25 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
                 }
             }
             let mv = nodes[best_child].mv.clone().expect("non-root");
-            pos.play(&mv);
+            if use_undo {
+                undo_stack.push(pos.apply(&mv));
+            } else {
+                pos.play(&mv);
+            }
             seq.push(mv);
             stats.record_nested_move();
             path.push(best_child);
         }
 
         // ---- rollout ----
-        let score = crate::search::sample_into(&mut pos, rng, None, &mut seq, &mut stats);
+        let score = if use_undo {
+            playout.run_undo(pos, rng, None, &mut seq, &mut stats)
+        } else {
+            crate::search::sample_into(pos, rng, None, &mut seq, &mut stats)
+        };
+        // Unwind the selection descent: the shared position returns to
+        // the root for the next iteration.
+        pos.undo_all(&mut undo_stack);
         let s = score as f64;
         lo = lo.min(s);
         hi = hi.max(s);
@@ -198,6 +226,66 @@ mod tests {
 
     fn optimum(d: usize) -> Score {
         (0..d).fold(0, |acc, _| acc * 3 + 2)
+    }
+
+    /// `Ternary` with the scratch-state fast path, for path-equality tests.
+    #[derive(Clone, Debug)]
+    struct FastTernary(Ternary);
+
+    impl Game for FastTernary {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            self.0.legal_moves(out);
+        }
+        fn play(&mut self, mv: &u8) {
+            self.0.play(mv);
+        }
+        fn score(&self) -> Score {
+            self.0.score()
+        }
+        fn moves_played(&self) -> usize {
+            self.0.moves_played()
+        }
+        fn supports_undo(&self) -> bool {
+            true
+        }
+        fn apply(&mut self, mv: &u8) -> Undo<Self> {
+            self.0.play(mv);
+            Undo::internal()
+        }
+        fn undo(&mut self, token: Undo<Self>) {
+            debug_assert!(token.is_internal());
+            self.0.taken.pop().expect("undo without apply");
+        }
+    }
+
+    #[test]
+    fn uct_undo_path_is_bit_identical_to_clone_path() {
+        let cfg = UctConfig {
+            iterations: 300,
+            ..Default::default()
+        };
+        for seed in 0..10 {
+            let slow = uct(
+                &Ternary {
+                    depth: 5,
+                    taken: vec![],
+                },
+                &cfg,
+                &mut Rng::seeded(seed),
+            );
+            let fast = uct(
+                &FastTernary(Ternary {
+                    depth: 5,
+                    taken: vec![],
+                }),
+                &cfg,
+                &mut Rng::seeded(seed),
+            );
+            assert_eq!(fast.score, slow.score, "seed {seed}");
+            assert_eq!(fast.sequence, slow.sequence, "seed {seed}");
+            assert_eq!(fast.stats, slow.stats, "seed {seed}");
+        }
     }
 
     #[test]

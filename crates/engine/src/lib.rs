@@ -34,7 +34,7 @@
 //! use nmcs_engine::{Algorithm, Engine, EngineConfig, JobSpec};
 //! use nmcs_games::SumGame;
 //!
-//! let engine = Engine::start(EngineConfig { workers: 2, queue_capacity: 16 });
+//! let engine = Engine::start(EngineConfig { workers: 2, queue_capacity: 16 }).unwrap();
 //! let handle = engine
 //!     .submit(JobSpec::new(
 //!         "demo",
@@ -83,6 +83,43 @@ impl Default for EngineConfig {
                 .map_or(4, |n| n.get())
                 .min(8),
             queue_capacity: 256,
+        }
+    }
+}
+
+/// Why an engine failed to start.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The configuration cannot produce a working engine (`workers == 0`
+    /// would build a pool that never runs a job; `queue_capacity == 0`
+    /// would make every submission unadmittable). Validated up front so
+    /// the failure is a typed error, not a queue assertion panic or a
+    /// silent hang.
+    InvalidConfig {
+        /// Human-readable description of the rejected field.
+        reason: &'static str,
+    },
+    /// The OS refused a worker thread; already-spawned workers were shut
+    /// down and joined before this was returned.
+    WorkerSpawn(std::io::Error),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidConfig { reason } => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
+            EngineError::WorkerSpawn(e) => write!(f, "failed to spawn engine worker: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::WorkerSpawn(e) => Some(e),
+            EngineError::InvalidConfig { .. } => None,
         }
     }
 }
@@ -150,17 +187,32 @@ pub struct Engine {
 
 impl Engine {
     /// Starts the worker pool.
-    pub fn start(config: EngineConfig) -> Self {
-        assert!(config.workers >= 1, "engine needs at least one worker");
+    ///
+    /// Validates the configuration first — `workers: 0` (a pool that can
+    /// never run a job) and `queue_capacity: 0` (a queue that can never
+    /// admit one) return [`EngineError::InvalidConfig`] instead of
+    /// panicking or hanging — and degrades gracefully if the OS refuses
+    /// a worker thread ([`EngineError::WorkerSpawn`]).
+    pub fn start(config: EngineConfig) -> Result<Self, EngineError> {
+        if config.workers == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "workers must be >= 1",
+            });
+        }
+        if config.queue_capacity == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "queue_capacity must be >= 1",
+            });
+        }
         let in_flight = Arc::new(InFlight::default());
         let shared = PoolShared::new(config.workers, config.queue_capacity, in_flight.clone());
-        let workers = spawn_workers(&shared);
-        Engine {
+        let workers = spawn_workers(&shared).map_err(EngineError::WorkerSpawn)?;
+        Ok(Engine {
             shared,
             in_flight,
             next_id: AtomicU64::new(1),
             workers,
-        }
+        })
     }
 
     fn admit(&self, spec: JobSpec) -> (Arc<JobCore>, Vec<Task>) {
@@ -277,6 +329,16 @@ impl Engine {
         }
     }
 
+    /// Begins shutdown without consuming the engine: no new jobs are
+    /// accepted (submitters — including ones *blocked* in [`Engine::submit`]
+    /// on a full queue — wake with [`SubmitError::ShuttingDown`]), while
+    /// everything already admitted still drains. Workers exit once
+    /// drained; they are joined by [`Engine::shutdown`] or drop.
+    pub fn close(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.injector.close();
+    }
+
     /// Stops accepting jobs, drains everything already admitted, and
     /// joins the workers.
     pub fn shutdown(mut self) {
@@ -311,6 +373,7 @@ mod tests {
             workers,
             queue_capacity: cap,
         })
+        .expect("valid test configuration")
     }
 
     #[test]
@@ -396,6 +459,119 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().state, JobState::Completed);
         }
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error_not_a_hang() {
+        match Engine::start(EngineConfig {
+            workers: 0,
+            queue_capacity: 8,
+        }) {
+            Err(EngineError::InvalidConfig { reason }) => {
+                assert!(reason.contains("workers"), "got reason {reason:?}")
+            }
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+            Ok(_) => panic!("expected InvalidConfig, got a running engine"),
+        }
+    }
+
+    #[test]
+    fn zero_queue_capacity_is_a_typed_error_not_a_panic() {
+        match Engine::start(EngineConfig {
+            workers: 2,
+            queue_capacity: 0,
+        }) {
+            Err(EngineError::InvalidConfig { reason }) => {
+                assert!(reason.contains("queue_capacity"), "got reason {reason:?}")
+            }
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+            Ok(_) => panic!("expected InvalidConfig, got a running engine"),
+        }
+    }
+
+    /// A game whose playouts run until an external gate opens: each move
+    /// sleeps briefly, and moves keep coming while the gate is closed.
+    /// Lets a test pin a worker deterministically.
+    #[derive(Clone)]
+    struct GateGame {
+        release: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl nmcs_core::Game for GateGame {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            if !self.release.load(Ordering::Acquire) {
+                out.push(0);
+            }
+        }
+        fn play(&mut self, _mv: &u8) {
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        fn score(&self) -> nmcs_core::Score {
+            0
+        }
+        fn moves_played(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn blocked_submitter_wakes_with_error_when_engine_closes() {
+        let release = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let gate = GateGame {
+            release: release.clone(),
+        };
+        // One worker, one queue slot: job A occupies the worker until the
+        // gate opens, job B fills the only slot, so a third submission
+        // blocks in `submit` — the regression shape for the shutdown
+        // audit (a dropped engine must wake it, not strand it forever).
+        let e = engine(1, 1);
+        let a = e
+            .submit(JobSpec::uncoded(
+                "gate-a",
+                gate.clone(),
+                Algorithm::Sample,
+                1,
+            ))
+            .unwrap();
+        // Wait until A is actually running so B occupies the queue slot.
+        while a.poll_progress().state != JobState::Running {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let b = e
+            .submit(JobSpec::uncoded(
+                "gate-b",
+                gate.clone(),
+                Algorithm::Sample,
+                2,
+            ))
+            .unwrap();
+
+        let blocked = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                e.submit(JobSpec::uncoded(
+                    "gate-c",
+                    gate.clone(),
+                    Algorithm::Sample,
+                    3,
+                ))
+            });
+            // Give the submitter time to block on the full queue, then
+            // close the engine out from under it (the drop/shutdown path
+            // runs exactly this close).
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            e.close();
+            release.store(true, Ordering::Release);
+            handle.join().expect("submitter thread must not panic")
+        });
+        match blocked {
+            Err(SubmitError::ShuttingDown) => {}
+            other => panic!("blocked submitter should see ShuttingDown, got {other:?}"),
+        }
+        // Admitted work still drains to completion.
+        assert_eq!(a.join().state, JobState::Completed);
+        assert_eq!(b.join().state, JobState::Completed);
+        e.shutdown(); // joins workers; must not hang
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::job::{Algorithm, ReplicaResult};
 use crate::queue::BoundedQueue;
 use crate::scheduler::InFlight;
 use nmcs_core::baselines::flat_monte_carlo;
-use nmcs_core::{nested, nrpa, sample, uct, CodedGame, DynGame, Game, NestedConfig, Rng, Score};
+use nmcs_core::{
+    nested, nrpa, sample, uct, CodedGame, DynGame, Game, NestedConfig, Rng, Score, Undo,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -78,16 +80,33 @@ impl PoolShared {
 
 /// Spawns the worker threads. They exit when `shutdown` is set *and*
 /// every queue is drained.
-pub(crate) fn spawn_workers(shared: &Arc<PoolShared>) -> Vec<std::thread::JoinHandle<()>> {
-    (0..shared.locals.len())
-        .map(|idx| {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name(format!("nmcs-engine-worker-{idx}"))
-                .spawn(move || worker_loop(&shared, idx))
-                .expect("spawn engine worker")
-        })
-        .collect()
+///
+/// Degrades gracefully when the OS refuses a thread: the workers spawned
+/// so far are shut down and joined, and the error surfaces to the caller
+/// ([`crate::Engine::start`] maps it to [`crate::EngineError`]) instead
+/// of aborting mid-construction with a panic.
+pub(crate) fn spawn_workers(
+    shared: &Arc<PoolShared>,
+) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
+    let mut handles = Vec::with_capacity(shared.locals.len());
+    for idx in 0..shared.locals.len() {
+        let worker_shared = shared.clone();
+        match std::thread::Builder::new()
+            .name(format!("nmcs-engine-worker-{idx}"))
+            .spawn(move || worker_loop(&worker_shared, idx))
+        {
+            Ok(handle) => handles.push(handle),
+            Err(e) => {
+                shared.shutdown.store(true, Ordering::Release);
+                shared.injector.close();
+                for handle in handles {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(handles)
 }
 
 fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
@@ -197,6 +216,47 @@ impl Game for Interruptible {
 
     fn is_terminal(&self) -> bool {
         self.cancel.is_cancelled() || self.game.is_terminal()
+    }
+
+    // The scratch-state fast path tunnels through the wrapper so engine
+    // searches stay clone-free on games that support it. Cancellation is
+    // unaffected: it acts at move *enumeration*, not application.
+
+    fn supports_undo(&self) -> bool {
+        self.game.supports_undo()
+    }
+
+    fn apply(&mut self, mv: &usize) -> Undo<Self> {
+        match self.game.apply(mv).into_snapshot() {
+            None => Undo::internal(),
+            Some(snapshot) => Undo::snapshot(Interruptible {
+                game: *snapshot,
+                cancel: self.cancel.clone(),
+            }),
+        }
+    }
+
+    fn undo(&mut self, token: Undo<Self>) {
+        match token.into_snapshot() {
+            Some(snapshot) => *self = *snapshot,
+            None => self.game.undo(Undo::internal()),
+        }
+    }
+
+    fn undo_all(&mut self, tokens: &mut Vec<Undo<Self>>) {
+        // Forward whole-playout unwinds to the erasure's batch path (one
+        // legal-move cache refresh instead of one per token). Mirrors
+        // `DynGame::undo_all` — the token types differ, so the decision
+        // cannot be shared without materialising a converted token stack.
+        if tokens.iter().all(|t| t.is_internal()) {
+            let n = tokens.len();
+            tokens.clear();
+            self.game.undo_last_n(n);
+        } else {
+            while let Some(token) = tokens.pop() {
+                self.undo(token);
+            }
+        }
     }
 }
 

@@ -209,6 +209,40 @@ mod tests {
     }
 
     #[test]
+    fn close_wakes_blocked_pushers_with_a_shutdown_error() {
+        // Regression shape of the engine-drop audit: a submitter blocked
+        // in `push` on a full queue must wake with `Closed` when the
+        // queue shuts down — never hang forever, and never sneak its
+        // item in after the close.
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = q.clone();
+        let t = thread::spawn(move || q2.push(2));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished(), "pusher must be blocked on the full queue");
+        q.close();
+        assert_eq!(t.join().unwrap(), Err(PushError::Closed));
+        // The pending item survives the close; the refused one does not.
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_pushers_even_when_space_frees_up() {
+        // A racier shape: close *then* drain. The woken pusher sees the
+        // closed flag before the free slot and still errors out.
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let q2 = q.clone();
+        let t = thread::spawn(move || q2.push(2));
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(t.join().unwrap(), Err(PushError::Closed));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
     fn close_wakes_poppers_and_rejects_pushes() {
         let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
         let q2 = q.clone();

@@ -6,14 +6,70 @@
 //! down; empty columns close up to the left. Clearing the whole board
 //! earns a +1000 bonus. The game ends when no group of ≥2 remains.
 
-use nmcs_core::{CodedGame, Game, Rng, Score};
+use nmcs_core::{CodedGame, Game, Rng, Score, Undo};
 
 /// Bonus for clearing the entire board.
 pub const CLEAR_BONUS: Score = 1000;
 
+/// Reusable flood-fill scratch of the playout core. `legal_moves` takes
+/// `&self`, so the buffers live in a thread-local (cheap: one borrow per
+/// movegen) instead of the game struct. Visit marks are epoch-stamped so
+/// nothing is ever cleared between calls.
+#[derive(Default)]
+struct FloodScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<(u8, u8)>,
+    members: Vec<(u8, u8)>,
+    /// Flat colour snapshot (`0` = empty) rebuilt per movegen: floods
+    /// then read one array instead of chasing `Vec<Vec<u8>>` bounds.
+    grid: Vec<u8>,
+}
+
+impl FloodScratch {
+    /// Opens a fresh visit epoch over `cells` cells.
+    fn begin(&mut self, cells: usize) {
+        if self.stamp.len() < cells {
+            self.stamp.resize(cells, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn seen(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    #[inline]
+    fn visit(&mut self, i: usize) {
+        self.stamp[i] = self.epoch;
+    }
+}
+
+thread_local! {
+    static FLOOD: std::cell::RefCell<FloodScratch> =
+        std::cell::RefCell::new(FloodScratch::default());
+}
+
+/// One `apply` frame of the undo journal: where this move's reversal
+/// data starts in the shared spill buffers, plus its scalar deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TapFrame {
+    /// Start of this frame's tiles in `undo_tiles`.
+    tiles_start: u32,
+    /// Start of this frame's collapsed-column indices in `undo_cols`.
+    cols_start: u32,
+    /// Score earned by the move (group score plus any clear bonus).
+    score_delta: Score,
+}
+
 /// A SameGame position. Columns are stored bottom-up, which makes gravity
 /// and column removal O(column).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SameGame {
     /// `cols[x][y]` = colour of the tile at column `x`, height `y`
     /// (bottom-up). Colours are `1..=colors`.
@@ -22,7 +78,32 @@ pub struct SameGame {
     height: usize,
     accumulated: Score,
     moves: usize,
+    /// Spill buffer of removed tiles `(x, y, colour)` in pre-removal
+    /// coordinates, ascending `(x, y)` — re-inserting in this order
+    /// rebuilds every column exactly.
+    undo_tiles: Vec<(u8, u8, u8)>,
+    /// Spill buffer of pre-collapse indices of columns this move emptied,
+    /// ascending.
+    undo_cols: Vec<u8>,
+    /// One frame per outstanding `apply`.
+    undo_frames: Vec<TapFrame>,
 }
+
+/// Equality is over the *observable position* — board, score, move
+/// count — and deliberately ignores the undo journal: a position reached
+/// via `play` equals the same position reached via `apply`, so `==`
+/// stays usable for transposition checks and deduplication.
+impl PartialEq for SameGame {
+    fn eq(&self, other: &Self) -> bool {
+        self.cols == other.cols
+            && self.width == other.width
+            && self.height == other.height
+            && self.accumulated == other.accumulated
+            && self.moves == other.moves
+    }
+}
+
+impl Eq for SameGame {}
 
 /// A move: remove the group containing this cell. `(x, y)` is the
 /// *canonical* cell of the group (smallest `x`, then smallest `y`), so two
@@ -54,6 +135,9 @@ impl SameGame {
             height,
             accumulated: 0,
             moves: 0,
+            undo_tiles: Vec::new(),
+            undo_cols: Vec::new(),
+            undo_frames: Vec::new(),
         }
     }
 
@@ -75,6 +159,9 @@ impl SameGame {
             height,
             accumulated: 0,
             moves: 0,
+            undo_tiles: Vec::new(),
+            undo_cols: Vec::new(),
+            undo_frames: Vec::new(),
         }
     }
 
@@ -93,17 +180,27 @@ impl SameGame {
         self.cols.iter().all(Vec::is_empty)
     }
 
-    /// Flood-fills the group containing `(x, y)`; returns the member cells.
-    fn group(&self, x: usize, y: usize) -> Vec<(usize, usize)> {
+    /// Flood-fills the group containing `(x, y)` into `members` using the
+    /// shared scratch (the allocation-free playout core). `members` is
+    /// cleared first.
+    fn flood_into(
+        &self,
+        x: usize,
+        y: usize,
+        scratch: &mut FloodScratch,
+        members: &mut Vec<(u8, u8)>,
+    ) {
+        members.clear();
         let Some(color) = self.tile(x, y) else {
-            return Vec::new();
+            return;
         };
-        let mut seen = vec![false; self.width * self.height];
-        let mut stack = vec![(x, y)];
-        let mut members = Vec::new();
-        seen[x * self.height + y] = true;
-        while let Some((cx, cy)) = stack.pop() {
+        scratch.begin(self.width * self.height);
+        scratch.stack.clear();
+        scratch.visit(x * self.height + y);
+        scratch.stack.push((x as u8, y as u8));
+        while let Some((cx, cy)) = scratch.stack.pop() {
             members.push((cx, cy));
+            let (cx, cy) = (cx as usize, cy as usize);
             let neighbours = [
                 (cx.wrapping_sub(1), cy),
                 (cx + 1, cy),
@@ -113,19 +210,118 @@ impl SameGame {
             for (nx, ny) in neighbours {
                 if nx < self.width
                     && ny < self.height
+                    && !scratch.seen(nx * self.height + ny)
                     && self.tile(nx, ny) == Some(color)
-                    && !seen[nx * self.height + ny]
                 {
-                    seen[nx * self.height + ny] = true;
-                    stack.push((nx, ny));
+                    scratch.visit(nx * self.height + ny);
+                    scratch.stack.push((nx as u8, ny as u8));
                 }
             }
         }
-        members
     }
 
-    /// Enumerates groups of ≥2 tiles by canonical cell.
-    fn groups(&self) -> Vec<(Tap, usize)> {
+    /// Enumerates the canonical taps of groups of ≥2 tiles into `out`, in
+    /// the same order as [`SameGame::groups_reference`] (first-visited
+    /// cell order — the order is part of the determinism contract, since
+    /// move enumeration feeds the search RNG).
+    ///
+    /// One epoch-stamped flood pass over the board with reusable buffers:
+    /// every tile is visited exactly once and nothing is allocated after
+    /// warm-up, against the reference's O(cells) fresh allocations per
+    /// call. This is the hot function of SameGame playouts.
+    fn groups_into(&self, scratch: &mut FloodScratch, out: &mut Vec<Tap>) {
+        let (w, h) = (self.width, self.height);
+        scratch.begin(w * h);
+        // Snapshot the columns into a flat colour grid so the flood reads
+        // one contiguous array (0 = empty cell).
+        scratch.grid.clear();
+        scratch.grid.resize(w * h, 0);
+        for (x, col) in self.cols.iter().enumerate() {
+            scratch.grid[x * h..x * h + col.len()].copy_from_slice(col);
+        }
+        for x in 0..w {
+            for y in 0..self.cols[x].len() {
+                if scratch.seen(x * h + y) {
+                    continue;
+                }
+                let color = self.cols[x][y];
+                // Flood the group, tracking size and canonical cell.
+                scratch.stack.clear();
+                scratch.visit(x * h + y);
+                scratch.stack.push((x as u8, y as u8));
+                let mut size = 0usize;
+                let mut canon = (u8::MAX, u8::MAX);
+                while let Some((cx, cy)) = scratch.stack.pop() {
+                    size += 1;
+                    if (cx, cy) < canon {
+                        canon = (cx, cy);
+                    }
+                    let (cx, cy) = (cx as usize, cy as usize);
+                    let i = cx * h + cy;
+                    // Up/down are index ±1 in the flat grid; left/right ±h.
+                    if cy + 1 < h && scratch.grid[i + 1] == color && !scratch.seen(i + 1) {
+                        scratch.visit(i + 1);
+                        scratch.stack.push((cx as u8, cy as u8 + 1));
+                    }
+                    if cy > 0 && scratch.grid[i - 1] == color && !scratch.seen(i - 1) {
+                        scratch.visit(i - 1);
+                        scratch.stack.push((cx as u8, cy as u8 - 1));
+                    }
+                    if cx + 1 < w && scratch.grid[i + h] == color && !scratch.seen(i + h) {
+                        scratch.visit(i + h);
+                        scratch.stack.push((cx as u8 + 1, cy as u8));
+                    }
+                    if cx > 0 && scratch.grid[i - h] == color && !scratch.seen(i - h) {
+                        scratch.visit(i - h);
+                        scratch.stack.push((cx as u8 - 1, cy as u8));
+                    }
+                }
+                if size >= 2 {
+                    out.push(Tap {
+                        x: canon.0,
+                        y: canon.1,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The original allocating group enumeration, kept verbatim as the
+    /// executable specification of move generation: the property tests
+    /// assert the scratch-buffer path matches it along random games, and
+    /// the `clone-path vs undo-path` benches use it to reproduce the
+    /// seed's playout cost profile.
+    #[doc(hidden)]
+    pub fn groups_reference(&self) -> Vec<(Tap, usize)> {
+        let group = |x: usize, y: usize| -> Vec<(usize, usize)> {
+            let Some(color) = self.tile(x, y) else {
+                return Vec::new();
+            };
+            let mut seen = vec![false; self.width * self.height];
+            let mut stack = vec![(x, y)];
+            let mut members = Vec::new();
+            seen[x * self.height + y] = true;
+            while let Some((cx, cy)) = stack.pop() {
+                members.push((cx, cy));
+                let neighbours = [
+                    (cx.wrapping_sub(1), cy),
+                    (cx + 1, cy),
+                    (cx, cy.wrapping_sub(1)),
+                    (cx, cy + 1),
+                ];
+                for (nx, ny) in neighbours {
+                    if nx < self.width
+                        && ny < self.height
+                        && self.tile(nx, ny) == Some(color)
+                        && !seen[nx * self.height + ny]
+                    {
+                        seen[nx * self.height + ny] = true;
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+            members
+        };
         let mut seen = vec![false; self.width * self.height];
         let mut out = Vec::new();
         for x in 0..self.width {
@@ -133,7 +329,7 @@ impl SameGame {
                 if seen[x * self.height + y] {
                     continue;
                 }
-                let members = self.group(x, y);
+                let members = group(x, y);
                 let mut canon = (usize::MAX, usize::MAX);
                 for &(mx, my) in &members {
                     seen[mx * self.height + my] = true;
@@ -158,29 +354,56 @@ impl SameGame {
     /// Removes the group containing the tap, applies gravity and column
     /// collapse, and returns the group size. Panics if the group has
     /// fewer than two tiles.
-    fn remove(&mut self, tap: Tap) -> usize {
-        let members = self.group(tap.x as usize, tap.y as usize);
-        assert!(
-            members.len() >= 2,
-            "tap on a group of {} tiles",
-            members.len()
-        );
-        // Mark and drop per column, highest-y first so indices stay valid.
-        let mut by_col: Vec<Vec<usize>> = vec![Vec::new(); self.width];
-        for (x, y) in &members {
-            by_col[*x].push(*y);
-        }
-        for (x, mut ys) in by_col.into_iter().enumerate() {
-            ys.sort_unstable_by(|a, b| b.cmp(a));
-            for y in ys {
-                self.cols[x].remove(y);
+    ///
+    /// With `record`, journals everything needed to reverse the move in
+    /// the undo spill buffers (see [`TapFrame`]): the removed tiles in
+    /// pre-removal coordinates and the pre-collapse indices of columns
+    /// the move emptied. The journal relies on the invariant that empty
+    /// columns only ever sit at the right end (construction fills every
+    /// column; collapse re-packs).
+    fn remove_inner(&mut self, tap: Tap, record: bool) -> usize {
+        FLOOD.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let mut members = std::mem::take(&mut scratch.members);
+            self.flood_into(tap.x as usize, tap.y as usize, scratch, &mut members);
+            let n = members.len();
+            assert!(n >= 2, "tap on a group of {n} tiles");
+            // One ascending (x, y) sort serves both directions: reversed
+            // iteration drops tiles per column highest-y first (so
+            // indices stay valid), and the undo journal re-inserts in
+            // forward order to rebuild columns bottom-up.
+            members.sort_unstable();
+            if record {
+                let color = self
+                    .tile(tap.x as usize, tap.y as usize)
+                    .expect("tap on a tile");
+                for &(x, y) in &members {
+                    self.undo_tiles.push((x, y, color));
+                }
             }
-        }
-        self.cols.retain(|c| !c.is_empty());
-        while self.cols.len() < self.width {
-            self.cols.push(Vec::new());
-        }
-        members.len()
+            for &(x, y) in members.iter().rev() {
+                self.cols[x as usize].remove(y as usize);
+            }
+            if record {
+                // First member per column checks for a newly-emptied
+                // column (ascending x, as undo's re-open expects).
+                let mut last_x = u16::MAX;
+                for &(x, _) in &members {
+                    if x as u16 != last_x {
+                        last_x = x as u16;
+                        if self.cols[x as usize].is_empty() {
+                            self.undo_cols.push(x);
+                        }
+                    }
+                }
+            }
+            self.cols.retain(|c| !c.is_empty());
+            while self.cols.len() < self.width {
+                self.cols.push(Vec::new());
+            }
+            scratch.members = members;
+            n
+        })
     }
 }
 
@@ -200,11 +423,29 @@ impl Game for SameGame {
     type Move = Tap;
 
     fn legal_moves(&self, out: &mut Vec<Tap>) {
-        out.extend(self.groups().into_iter().map(|(t, _)| t));
+        FLOOD.with(|cell| self.groups_into(&mut cell.borrow_mut(), out));
+    }
+
+    fn is_terminal(&self) -> bool {
+        // A legal move exists iff some two same-coloured tiles touch
+        // orthogonally — no flood fill needed.
+        for (x, col) in self.cols.iter().enumerate() {
+            for (y, &c) in col.iter().enumerate() {
+                if y + 1 < col.len() && col[y + 1] == c {
+                    return false;
+                }
+                if let Some(right) = self.cols.get(x + 1) {
+                    if right.get(y) == Some(&c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     fn play(&mut self, mv: &Tap) {
-        let n = self.remove(*mv);
+        let n = self.remove_inner(*mv, false);
         self.accumulated += ((n - 2) * (n - 2)) as Score;
         self.moves += 1;
         if self.cleared() {
@@ -218,6 +459,66 @@ impl Game for SameGame {
 
     fn moves_played(&self) -> usize {
         self.moves
+    }
+
+    // Scratch-state fast path: `apply` journals the removed group and the
+    // collapse it caused; `undo` re-opens collapsed columns and re-inserts
+    // the tiles, which also reverses gravity (a removal never reorders
+    // surviving tiles within a column).
+
+    fn supports_undo(&self) -> bool {
+        true
+    }
+
+    fn apply(&mut self, mv: &Tap) -> Undo<Self> {
+        let tiles_start = self.undo_tiles.len() as u32;
+        let cols_start = self.undo_cols.len() as u32;
+        let n = self.remove_inner(*mv, true);
+        let mut score_delta = ((n - 2) * (n - 2)) as Score;
+        self.moves += 1;
+        if self.cleared() {
+            score_delta += CLEAR_BONUS;
+        }
+        self.accumulated += score_delta;
+        self.undo_frames.push(TapFrame {
+            tiles_start,
+            cols_start,
+            score_delta,
+        });
+        Undo::internal()
+    }
+
+    fn undo(&mut self, token: Undo<Self>) {
+        debug_assert!(token.is_internal());
+        let frame = self.undo_frames.pop().expect("undo without apply");
+
+        // 1. Reverse the column collapse: drop pad columns from the right
+        //    end, then re-open the emptied columns at their pre-collapse
+        //    indices (ascending inserts hit the recorded absolute
+        //    positions exactly).
+        let cols_start = frame.cols_start as usize;
+        for _ in cols_start..self.undo_cols.len() {
+            let padded = self.cols.pop().expect("collapse keeps the width");
+            debug_assert!(padded.is_empty());
+        }
+        for i in cols_start..self.undo_cols.len() {
+            let x = self.undo_cols[i] as usize;
+            self.cols.insert(x, Vec::new());
+        }
+        self.undo_cols.truncate(cols_start);
+
+        // 2. Re-insert the removed tiles; ascending (x, y) order rebuilds
+        //    each column bottom-up.
+        let tiles_start = frame.tiles_start as usize;
+        for i in tiles_start..self.undo_tiles.len() {
+            let (x, y, color) = self.undo_tiles[i];
+            self.cols[x as usize].insert(y as usize, color);
+        }
+        self.undo_tiles.truncate(tiles_start);
+
+        // 3. Scalars.
+        self.accumulated -= frame.score_delta;
+        self.moves -= 1;
     }
 }
 
@@ -331,6 +632,113 @@ mod tests {
             "NMCS {} should beat random avg {random_avg}",
             nmcs.score
         );
+    }
+
+    #[test]
+    fn scratch_movegen_matches_the_reference_along_random_games() {
+        for seed in 0..10 {
+            let mut g = SameGame::random(12, 12, 4, seed);
+            let mut rng = Rng::seeded(seed);
+            let mut moves = Vec::new();
+            loop {
+                g.legal_moves_into(&mut moves);
+                let reference: Vec<Tap> =
+                    g.groups_reference().into_iter().map(|(t, _)| t).collect();
+                assert_eq!(
+                    moves, reference,
+                    "seed {seed}: scratch movegen must match the reference, in order"
+                );
+                assert_eq!(g.is_terminal(), moves.is_empty(), "seed {seed}");
+                if moves.is_empty() {
+                    break;
+                }
+                let mv = moves[rng.below(moves.len())];
+                g.play(&mv);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_undo_round_trips_every_move_of_random_positions() {
+        for seed in 0..8 {
+            let mut g = SameGame::random(8, 8, 3, seed);
+            let mut rng = Rng::seeded(seed + 500);
+            let mut moves = Vec::new();
+            // Walk a few plies in, then round-trip every legal move.
+            loop {
+                g.legal_moves_into(&mut moves);
+                if moves.is_empty() {
+                    break;
+                }
+                for mv in moves.clone() {
+                    let before = g.clone();
+                    let token = g.apply(&mv);
+                    let undone = g.clone();
+                    assert_ne!(undone.tiles_left(), before.tiles_left());
+                    g.undo(token);
+                    assert_eq!(g, before, "seed {seed}: undo must restore the board");
+                }
+                let mv = moves[rng.below(moves.len())];
+                g.play(&mv);
+            }
+        }
+    }
+
+    #[test]
+    fn play_and_apply_reach_equal_positions() {
+        // `==` is over the observable board: the undo journal an `apply`
+        // leaves behind must not make identical positions compare unequal.
+        let root = SameGame::random(6, 6, 3, 1);
+        let mut moves = Vec::new();
+        root.legal_moves(&mut moves);
+        let mv = moves[0];
+        let mut played = root.clone();
+        played.play(&mv);
+        let mut applied = root.clone();
+        let _token = applied.apply(&mv);
+        assert_eq!(played, applied);
+    }
+
+    #[test]
+    fn deep_apply_chains_unwind_exactly() {
+        for seed in 0..5 {
+            let root = SameGame::random(10, 10, 4, seed);
+            let mut g = root.clone();
+            let mut rng = Rng::seeded(seed);
+            let mut moves = Vec::new();
+            let mut tokens = Vec::new();
+            loop {
+                g.legal_moves_into(&mut moves);
+                if moves.is_empty() {
+                    break;
+                }
+                let mv = moves[rng.below(moves.len())];
+                tokens.push(g.apply(&mv));
+            }
+            assert!(g.is_terminal());
+            while let Some(t) = tokens.pop() {
+                g.undo(t);
+            }
+            assert_eq!(g, root, "seed {seed}: full-game unwind restores the root");
+        }
+    }
+
+    #[test]
+    fn undo_path_searches_match_snapshot_path() {
+        use nmcs_core::SnapshotOnly;
+        for seed in 0..3 {
+            let g = SameGame::random(6, 6, 3, seed);
+            let fast = nested(&g, 1, &NestedConfig::paper(), &mut Rng::seeded(seed));
+            let slow = nested(
+                &SnapshotOnly(g.clone()),
+                1,
+                &NestedConfig::paper(),
+                &mut Rng::seeded(seed),
+            );
+            assert_eq!(fast.score, slow.score, "seed {seed}");
+            assert_eq!(fast.sequence, slow.sequence, "seed {seed}");
+            assert_eq!(fast.stats, slow.stats, "seed {seed}");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! and backend in the workspace: if parallel NMCS on the simulated cluster
 //! cannot solve `SumGame`, something is broken in plumbing, not in luck.
 
-use nmcs_core::{CodedGame, Game, Rng, Score};
+use nmcs_core::{CodedGame, Game, Rng, Score, Undo};
 
 /// A depth × width decision table: at step `k` the player picks a column
 /// `c` and earns `values[k][c]`. The optimum is the sum of row maxima —
@@ -83,6 +83,24 @@ impl Game for SumGame {
     fn is_terminal(&self) -> bool {
         self.taken.len() >= self.values.len()
     }
+
+    // Scratch-state fast path: a move is one pushed column, so undo pops
+    // it and subtracts the value it earned.
+
+    fn supports_undo(&self) -> bool {
+        true
+    }
+
+    fn apply(&mut self, mv: &u8) -> Undo<Self> {
+        self.play(mv);
+        Undo::internal()
+    }
+
+    fn undo(&mut self, token: Undo<Self>) {
+        debug_assert!(token.is_internal());
+        let mv = self.taken.pop().expect("undo without apply");
+        self.accumulated -= self.values[self.taken.len()][mv as usize];
+    }
 }
 
 /// The needle-ladder game: a prize of `2 × depth` sits at the unique
@@ -145,6 +163,23 @@ impl Game for NeedleLadder {
 
     fn is_terminal(&self) -> bool {
         self.taken.len() >= self.depth
+    }
+
+    // Scratch-state fast path: the score is derived from `taken`, so
+    // undo is a plain pop.
+
+    fn supports_undo(&self) -> bool {
+        true
+    }
+
+    fn apply(&mut self, mv: &u8) -> Undo<Self> {
+        self.play(mv);
+        Undo::internal()
+    }
+
+    fn undo(&mut self, token: Undo<Self>) {
+        debug_assert!(token.is_internal());
+        self.taken.pop().expect("undo without apply");
     }
 }
 

@@ -6,7 +6,7 @@
 //! tour, a move visits an unvisited city, and the score is the *negated*
 //! tour length in integer micro-units (NMCS maximises).
 
-use nmcs_core::{CodedGame, Game, Rng, Score};
+use nmcs_core::{CodedGame, Game, Rng, Score, Undo};
 
 /// A Euclidean TSP instance (cities on the unit square, scaled to integer
 /// coordinates so all arithmetic is exact).
@@ -154,6 +154,27 @@ impl Game for TspGame {
     fn is_terminal(&self) -> bool {
         self.tour.len() == self.instance.cities.len()
     }
+
+    // Scratch-state fast path: a move extends the tour by one city, so
+    // undo pops it, re-opens the city, and subtracts the edge length.
+
+    fn supports_undo(&self) -> bool {
+        true
+    }
+
+    fn apply(&mut self, mv: &u16) -> Undo<Self> {
+        self.play(mv);
+        Undo::internal()
+    }
+
+    fn undo(&mut self, token: Undo<Self>) {
+        debug_assert!(token.is_internal());
+        let city = self.tour.pop().expect("undo without apply");
+        debug_assert!(city != 0, "cannot undo the fixed start city");
+        self.visited_mask[city] = false;
+        let here = *self.tour.last().expect("tour keeps its start");
+        self.length_so_far -= self.instance.dist(here, city);
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +202,7 @@ mod tests {
         let g = TspGame::new(TspInstance::random(12, 2), None);
         let r = sample(&g, &mut Rng::seeded(3));
         assert_eq!(r.sequence.len(), 11);
-        let mut replay = g.clone();
+        let mut replay = g;
         for mv in &r.sequence {
             replay.play(mv);
         }
@@ -195,7 +216,7 @@ mod tests {
     fn score_matches_tour_length_at_terminal() {
         let g = TspGame::new(TspInstance::random(8, 4), None);
         let r = sample(&g, &mut Rng::seeded(5));
-        let mut replay = g.clone();
+        let mut replay = g;
         for mv in &r.sequence {
             replay.play(mv);
         }

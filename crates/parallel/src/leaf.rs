@@ -1,0 +1,293 @@
+//! Leaf-parallel batched NMCS — the third parallelisation axis.
+//!
+//! The paper parallelises *across candidate moves* (one median per root
+//! move, one client per median move). WU-UCT and the later
+//! parallel-MCTS literature get their wins from a different axis:
+//! keeping many cheap rollouts in flight at once. This module applies
+//! that idea to NMCS as **leaf parallelism**: the top-level game is
+//! played greedily, and each candidate move is evaluated by a *batch* of
+//! `batch` independent `level − 1` evaluations (single random playouts
+//! at level 1) whose `(move, slot)` work items spread across a worker
+//! pool.
+//!
+//! Determinism contract: every work item's seed derives from its logical
+//! coordinates through the same [`crate::seeds`] scheme the cluster
+//! backends use — `median_seed(root_seed, step, move)` names the leaf,
+//! and the batch slots index client seeds under it. Scores therefore
+//! depend only on the search structure, never on scheduling: results are
+//! bit-identical across any worker count, which the tests assert.
+//!
+//! The per-item evaluations run on positions with the scratch-state
+//! fast path (see [`nmcs_core::Game::apply`]) wherever the game provides
+//! one: each worker mutates its private copy forward and never clones
+//! inside the playout loop.
+
+use crate::seeds::{client_seed, median_seed};
+use crate::trace::{ParallelOutcome, RunMode};
+use crossbeam::channel::unbounded;
+use nmcs_core::{nested, NestedConfig, PlayoutScratch, Rng, SearchStats};
+use nmcs_core::{Game, Score};
+use std::time::{Duration, Instant};
+
+/// Configuration for [`leaf_nested`].
+#[derive(Debug, Clone)]
+pub struct LeafConfig {
+    /// Search level of the top-level game (≥ 1). Each candidate move is
+    /// evaluated with `batch` independent `level − 1` evaluations.
+    pub level: u32,
+    /// Playouts (level-1) or sub-searches (level ≥ 2) per leaf. The
+    /// candidate's value is the batch maximum.
+    pub batch: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Root seed of the deterministic per-item derivation.
+    pub seed: u64,
+    pub mode: RunMode,
+    pub playout_cap: Option<usize>,
+}
+
+impl LeafConfig {
+    pub fn new(level: u32, batch: usize, threads: usize) -> Self {
+        Self {
+            level,
+            batch,
+            threads,
+            seed: 0,
+            mode: RunMode::FullGame,
+            playout_cap: None,
+        }
+    }
+}
+
+/// The seed of batch slot `slot` of the leaf at `(step, move)` — the
+/// existing client derivation with the slot in the client-move position,
+/// pinned as part of the cross-backend determinism contract.
+pub fn slot_seed(root_seed: u64, step: usize, mv: usize, slot: usize) -> u64 {
+    client_seed(median_seed(root_seed, step, mv), 0, slot)
+}
+
+/// Runs a top-level greedy NMCS whose candidate moves are each evaluated
+/// by a batch of `config.batch` seeded evaluations fanned out over a
+/// worker pool. Returns the outcome and the wall-clock duration.
+///
+/// Ties break toward the lower move index (and are score-exact because
+/// every slot's result is deterministic), so the chosen move never
+/// depends on which worker finished first.
+pub fn leaf_nested<G>(game: &G, config: &LeafConfig) -> (ParallelOutcome<G::Move>, Duration)
+where
+    G: Game + Send,
+    G::Move: Send,
+{
+    assert!(config.level >= 1, "leaf_nested needs level >= 1");
+    assert!(config.batch >= 1, "leaf_nested needs batch >= 1");
+    assert!(config.threads >= 1);
+    let eval_level = config.level - 1;
+    let nconfig = NestedConfig {
+        playout_cap: config.playout_cap,
+        ..NestedConfig::paper()
+    };
+
+    let started = Instant::now();
+    let mut pos = game.clone();
+    let mut sequence = Vec::new();
+    let mut total_work = 0u64;
+    let mut client_jobs = 0u64;
+    let mut first_step_best: Option<Score> = None;
+    let mut moves: Vec<G::Move> = Vec::new();
+    let mut step = 0usize;
+
+    loop {
+        pos.legal_moves_into(&mut moves);
+        if moves.is_empty() {
+            break;
+        }
+
+        // Fan (move, slot) items out over a scoped pool. Positions are
+        // cloned once per item at the fan-out boundary (threads need
+        // owned state); everything inside the item is clone-free.
+        let (job_tx, job_rx) = unbounded::<(usize, usize, G)>();
+        let (res_tx, res_rx) = unbounded::<(usize, Score, u64)>();
+        for (i, mv) in moves.iter().enumerate() {
+            let mut child = pos.clone();
+            child.play(mv);
+            for slot in 0..config.batch {
+                job_tx
+                    .send((i, slot, child.clone()))
+                    .expect("job queue open");
+            }
+        }
+        drop(job_tx);
+
+        let items = moves.len() * config.batch;
+        crossbeam::scope(|scope| {
+            for _ in 0..config.threads.min(items) {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let nconfig = &nconfig;
+                let seed = config.seed;
+                scope.spawn(move |_| {
+                    let mut scratch = PlayoutScratch::new();
+                    let mut seq = Vec::new();
+                    while let Ok((i, slot, mut child)) = job_rx.recv() {
+                        let mut rng = Rng::seeded(slot_seed(seed, step, i, slot));
+                        let (score, work) = if eval_level == 0 {
+                            let mut stats = SearchStats::new();
+                            seq.clear();
+                            let s = scratch.run(
+                                &mut child,
+                                &mut rng,
+                                nconfig.playout_cap,
+                                &mut seq,
+                                &mut stats,
+                            );
+                            (s, stats.work_units)
+                        } else {
+                            let r = nested(&child, eval_level, nconfig, &mut rng);
+                            (r.score, r.stats.work_units)
+                        };
+                        res_tx.send((i, score, work)).expect("result channel open");
+                    }
+                });
+            }
+        })
+        .expect("pool workers do not panic");
+        drop(res_tx);
+
+        // Deterministic reduce: batch-max per move, argmax over moves
+        // with ties to the lower index.
+        let mut per_move: Vec<Option<Score>> = vec![None; moves.len()];
+        for (i, score, work) in res_rx.iter() {
+            total_work += work;
+            client_jobs += 1;
+            per_move[i] = Some(per_move[i].map_or(score, |s: Score| s.max(score)));
+        }
+        let (best_idx, best_score) = per_move
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.expect("every leaf evaluated")))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("non-empty move list");
+        if step == 0 {
+            first_step_best = Some(best_score);
+        }
+        sequence.push(moves[best_idx].clone());
+        pos.play(&moves[best_idx]);
+        step += 1;
+        if config.mode == RunMode::FirstMove {
+            break;
+        }
+    }
+
+    let score = match config.mode {
+        RunMode::FirstMove => first_step_best.unwrap_or_else(|| pos.score()),
+        RunMode::FullGame => pos.score(),
+    };
+    (
+        ParallelOutcome {
+            score,
+            sequence,
+            total_work,
+            client_jobs,
+        },
+        started.elapsed(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmcs_games::{NeedleLadder, SameGame, SumGame};
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let g = SameGame::random(5, 5, 3, 11);
+        let mut reference: Option<ParallelOutcome<_>> = None;
+        for threads in [1, 2, 4] {
+            let mut cfg = LeafConfig::new(1, 4, threads);
+            cfg.seed = 2009;
+            let (out, _) = leaf_nested(&g, &cfg);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => {
+                    assert_eq!(out.score, r.score, "{threads} workers");
+                    assert_eq!(out.sequence, r.sequence, "{threads} workers");
+                    assert_eq!(out.total_work, r.total_work, "{threads} workers");
+                    assert_eq!(out.client_jobs, r.client_jobs, "{threads} workers");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_size_one_level_one_counts_one_playout_per_move() {
+        let g = SumGame::random(4, 3, 2);
+        let (out, _) = leaf_nested(&g, &LeafConfig::new(1, 1, 2));
+        assert_eq!(out.sequence.len(), 4);
+        assert_eq!(out.client_jobs, 12, "3 moves × 1 slot × 4 steps");
+    }
+
+    #[test]
+    fn batching_multiplies_leaf_evaluations() {
+        let g = SumGame::random(4, 3, 2);
+        let (out, _) = leaf_nested(&g, &LeafConfig::new(1, 8, 4));
+        assert_eq!(out.client_jobs, 96, "3 moves × 8 slots × 4 steps");
+    }
+
+    #[test]
+    fn solves_needle_ladder_like_the_other_backends() {
+        let g = NeedleLadder::new(10);
+        let (out, _) = leaf_nested(&g, &LeafConfig::new(1, 2, 2));
+        assert_eq!(out.score, g.optimum());
+    }
+
+    #[test]
+    fn bigger_batches_never_hurt_on_average() {
+        // The batch max over more independent playouts stochastically
+        // dominates fewer; averaged over instances it must not be worse.
+        let trials = 8;
+        let mut small = 0i64;
+        let mut large = 0i64;
+        for seed in 0..trials {
+            let g = SumGame::random(5, 4, seed);
+            let mut c1 = LeafConfig::new(1, 1, 2);
+            c1.seed = seed;
+            let mut c8 = LeafConfig::new(1, 8, 2);
+            c8.seed = seed;
+            small += leaf_nested(&g, &c1).0.score;
+            large += leaf_nested(&g, &c8).0.score;
+        }
+        assert!(
+            large >= small,
+            "batch 8 total {large} must not trail batch 1 total {small}"
+        );
+    }
+
+    #[test]
+    fn first_move_mode_stops_after_one_step() {
+        let g = SumGame::random(5, 3, 4);
+        let mut cfg = LeafConfig::new(2, 2, 2);
+        cfg.mode = RunMode::FirstMove;
+        let (out, _) = leaf_nested(&g, &cfg);
+        assert_eq!(out.sequence.len(), 1);
+    }
+
+    #[test]
+    fn slot_seeds_are_pinned_and_distinct() {
+        // Part of the determinism contract: a change here invalidates
+        // recorded results.
+        let a = slot_seed(42, 0, 0, 0);
+        assert_eq!(a, slot_seed(42, 0, 0, 0));
+        assert_ne!(a, slot_seed(42, 0, 0, 1));
+        assert_ne!(a, slot_seed(42, 0, 1, 0));
+        assert_ne!(a, slot_seed(42, 1, 0, 0));
+        assert_ne!(a, slot_seed(43, 0, 0, 0));
+    }
+
+    #[test]
+    fn level_two_uses_nested_evaluations() {
+        let g = SumGame::random(4, 3, 9);
+        let (out, _) = leaf_nested(&g, &LeafConfig::new(2, 2, 2));
+        assert_eq!(out.sequence.len(), 4);
+        assert!(out.total_work > 0);
+    }
+}

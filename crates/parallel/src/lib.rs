@@ -24,6 +24,7 @@
 //! shared-memory worker-pool ablation.
 
 pub mod dispatcher;
+pub mod leaf;
 pub mod model;
 pub mod protocol;
 pub mod runner;
@@ -33,6 +34,7 @@ pub mod sim;
 pub mod trace;
 
 pub use dispatcher::{DispatchPolicy, DispatcherCore};
+pub use leaf::{leaf_nested, LeafConfig};
 pub use model::TraceModel;
 pub use protocol::{Msg, DISPATCHER, ROOT};
 pub use runner::{run_threads, run_threads_traced, ThreadConfig, ThreadReport};

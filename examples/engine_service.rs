@@ -17,7 +17,8 @@ fn main() {
     let engine = Engine::start(EngineConfig {
         workers,
         queue_capacity: 64,
-    });
+    })
+    .expect("valid engine config");
     println!("engine up: {workers} workers, queue capacity 64\n");
     let started = Instant::now();
 

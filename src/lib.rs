@@ -54,7 +54,7 @@
 //! use pnmcs::engine::{Algorithm, Engine, EngineConfig, JobSpec};
 //! use pnmcs::games::SumGame;
 //!
-//! let engine = Engine::start(EngineConfig { workers: 2, queue_capacity: 16 });
+//! let engine = Engine::start(EngineConfig { workers: 2, queue_capacity: 16 }).expect("valid engine config");
 //! let job = engine
 //!     .submit(JobSpec::new("doc", SumGame::random(5, 3, 1), Algorithm::nested(1), 7))
 //!     .unwrap();

@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn lm_is_work_conserving(events in proptest::collection::vec(ev_strategy(), 1..80)) {
         let clients: Vec<usize> = vec![0, 1, 2, 3];
-        let mut core = DispatcherCore::new(DispatchPolicy::LastMinute, clients.clone());
+        let mut core = DispatcherCore::new(DispatchPolicy::LastMinute, clients);
         let mut busy = [false; 4];
 
         for ev in events {
@@ -66,7 +66,7 @@ proptest! {
     #[test]
     fn rr_grants_immediately_and_fairly(n_requests in 1usize..100) {
         let clients: Vec<usize> = vec![10, 11, 12];
-        let mut core = DispatcherCore::new(DispatchPolicy::RoundRobin, clients.clone());
+        let mut core = DispatcherCore::new(DispatchPolicy::RoundRobin, clients);
         let mut counts = [0usize; 3];
         for i in 0..n_requests {
             let c = core.on_request(100, i).expect("RR always grants");

@@ -19,7 +19,8 @@ fn thirty_two_mixed_jobs_are_bit_identical_to_direct_calls() {
     let engine = Engine::start(EngineConfig {
         workers: 4,
         queue_capacity: 64,
-    });
+    })
+    .expect("valid engine config");
 
     // Typed games are kept on the side so each engine result can be
     // decoded and compared against the direct call on the same type.
@@ -124,7 +125,8 @@ fn nrpa_jobs_match_direct_nrpa_calls() {
     let engine = Engine::start(EngineConfig {
         workers: 2,
         queue_capacity: 16,
-    });
+    })
+    .expect("valid engine config");
     let mut jobs = Vec::new();
     for i in 0..4u64 {
         let g = SameGame::random(5, 5, 3, i);
@@ -163,7 +165,8 @@ fn ensemble_replicas_use_parallel_seed_derivation_and_merge_best() {
     let engine = Engine::start(EngineConfig {
         workers: 4,
         queue_capacity: 16,
-    });
+    })
+    .expect("valid engine config");
     let g = SameGame::random(6, 6, 3, 5);
     let seed = 31_337;
     let h = engine
@@ -201,7 +204,8 @@ fn cancellation_is_prompt_even_mid_search() {
     let engine = Engine::start(EngineConfig {
         workers: 1,
         queue_capacity: 4,
-    });
+    })
+    .expect("valid engine config");
     // A level-2 search on the full cross takes minutes uncancelled.
     let h = engine
         .submit(JobSpec::new(
@@ -243,7 +247,8 @@ fn backpressure_bounds_queued_memory_and_try_submit_fails_fast() {
     let engine = Engine::start(EngineConfig {
         workers: 1,
         queue_capacity: capacity,
-    });
+    })
+    .expect("valid engine config");
 
     // Occupy the only worker with a search we control.
     let blocker = engine
@@ -327,7 +332,8 @@ fn blocking_submit_applies_backpressure_then_succeeds() {
     let engine = Engine::start(EngineConfig {
         workers: 1,
         queue_capacity: 1,
-    });
+    })
+    .expect("valid engine config");
     let blocker = engine
         .submit(JobSpec::new(
             "blocker",
@@ -388,7 +394,8 @@ fn duplicate_in_flight_submissions_are_diversified() {
     let engine = Engine::start(EngineConfig {
         workers: 1,
         queue_capacity: 8,
-    });
+    })
+    .expect("valid engine config");
     // Hold the worker so both duplicates stay queued while planned.
     let blocker = engine
         .submit(JobSpec::new(
@@ -432,7 +439,8 @@ fn policy_diversified_ensembles_match_their_recorded_policies() {
     let engine = Engine::start(EngineConfig {
         workers: 2,
         queue_capacity: 8,
-    });
+    })
+    .expect("valid engine config");
     let g = SameGame::random(5, 5, 3, 2);
     let seed = 2_024;
     let h = engine

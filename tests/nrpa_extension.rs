@@ -13,7 +13,7 @@ fn nrpa_plays_legal_verified_morpion_games() {
         alpha: 1.0,
     };
     let r = nrpa(&board, 2, &cfg, &mut Rng::seeded(1));
-    let mut replay = board.clone();
+    let mut replay = board;
     for mv in &r.sequence {
         replay.play(mv);
     }
