@@ -1,14 +1,19 @@
 //! Micro-benchmarks of the sequential substrate: Morpion move generation
 //! and playouts, NMCS levels, and baseline comparisons. These quantify
 //! the cost model feeding Table I and the calibration.
+//!
+//! The deprecated free functions are exercised deliberately: they are
+//! zero-cost shims over the unified API, and benchmarking through them
+//! keeps the numbers comparable with the seed's history.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use morpion::{cross_board, standard_5d, Variant};
 use nmcs_core::baselines::flat_monte_carlo;
 use nmcs_core::search::sample_into;
 use nmcs_core::{
-    nested, nrpa, sample, Game, NestedConfig, NrpaConfig, PlayoutScratch, Rng, Score, SearchStats,
-    SnapshotOnly,
+    nested, nrpa, sample, Game, NestedConfig, NrpaConfig, PlayoutScratch, Rng, Score, SearchCtx,
+    SearchStats, SnapshotOnly,
 };
 use nmcs_games::{SameGame, Tap};
 use std::hint::black_box;
@@ -135,8 +140,8 @@ fn eval_undo_path<G: Game>(
 ) -> Score {
     let token = pos.apply(mv);
     seq.clear();
-    let mut stats = SearchStats::new();
-    let score = scratch.run_undo(pos, rng, None, seq, &mut stats);
+    let mut ctx = SearchCtx::unbounded();
+    let score = scratch.run_undo(pos, rng, None, seq, &mut ctx);
     pos.undo(token);
     score
 }

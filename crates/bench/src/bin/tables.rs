@@ -8,7 +8,11 @@
 //! tables --ablations             # A1/A2/A4/A5
 //! tables --scale real --table 2  # real recorded level-2 traces
 //! tables --seed 42 --out target/experiments
+//! tables --spec '{"algorithm":{"kind":"nested","level":2},"budget":{"deadline_ms":200},"seed":42}' --game samegame
 //! ```
+//!
+//! `--spec` replays any persisted sweep row from its recorded JSON (see
+//! `nmcs_bench::spec_cli`); `--game` picks the stock game it runs on.
 
 use nmcs_bench::experiments::{Experiments, Scale};
 use parallel_nmcs::{DispatchPolicy, RunMode};
@@ -20,6 +24,8 @@ struct Args {
     ablations: bool,
     engine: bool,
     leaf: bool,
+    spec: Option<String>,
+    game: String,
     scale: Scale,
     seed: u64,
     out: PathBuf,
@@ -33,6 +39,8 @@ fn parse_args() -> Args {
         ablations: false,
         engine: false,
         leaf: false,
+        spec: None,
+        game: "samegame".to_string(),
         scale: Scale::Paper,
         seed: 2009,
         out: PathBuf::from("target/experiments"),
@@ -69,6 +77,11 @@ fn parse_args() -> Args {
                 args.leaf = true;
                 args.all = false;
             }
+            "--spec" => {
+                args.spec = Some(expect_val(&mut it, "--spec"));
+                args.all = false;
+            }
+            "--game" => args.game = expect_val(&mut it, "--game"),
             "--scale" => {
                 args.scale = match expect_val(&mut it, "--scale").as_str() {
                     "paper" => Scale::Paper,
@@ -81,7 +94,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] \
-                     [--scale paper|real] [--seed S] [--out DIR]"
+                     [--spec JSON [--game {}]] \
+                     [--scale paper|real] [--seed S] [--out DIR]",
+                    nmcs_bench::STOCK_GAMES.join("|")
                 );
                 std::process::exit(0);
             }
@@ -97,6 +112,20 @@ fn expect_val(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
 
 fn main() {
     let args = parse_args();
+
+    // Spec replay needs no calibration: parse, run, render, done.
+    if let Some(json) = &args.spec {
+        let spec: nmcs_core::SearchSpec = match serde_json::from_str(json) {
+            Ok(spec) => spec,
+            Err(e) => panic!("--spec JSON did not parse: {e}"),
+        };
+        match nmcs_bench::run_spec_on(&spec, &args.game) {
+            Ok(table) => println!("{}", table.render()),
+            Err(e) => panic!("{e}"),
+        }
+        return;
+    }
+
     eprintln!("calibrating on this machine…");
     let e = Experiments::new(args.seed, args.out.clone());
     eprintln!(

@@ -13,6 +13,9 @@
 //!    decay measured from a real recorded trace, parameterising
 //!    [`parallel_nmcs::TraceModel`] for paper-scale synthetic workloads.
 
+// Calibration measures the historical entry points through their
+// zero-cost shims (one mid-stream RNG feeds several searches).
+#![allow(deprecated)]
 use morpion::standard_5d;
 use nmcs_core::{nested, sample, NestedConfig, Rng};
 use parallel_nmcs::{SearchTrace, TraceModel};

@@ -13,6 +13,11 @@
 //!   the simulator with this machine's measured `ns_per_unit`. Slower to
 //!   generate, entirely measurement-driven.
 
+// The experiment harness deliberately measures the historical entry
+// points (they share one mid-stream RNG across many calls, a shape the
+// seeded SearchSpec front door does not reproduce) — the shims are
+// zero-cost, so the numbers stay comparable with the recorded tables.
+#![allow(deprecated)]
 use crate::calibrate::{calibrate, Calibration};
 use crate::paper;
 use crate::report::{fmt_speedup, persist, Table};

@@ -1,17 +1,22 @@
 //! Leaf-parallel batched backend experiment (`tables --leaf`).
 //!
-//! Sweeps worker count × batch size for [`parallel_nmcs::leaf_nested`]
-//! on a SameGame board and a reduced Morpion cross, reporting score,
-//! wall-clock time, and leaf-evaluation throughput. Because the leaf
-//! backend derives every evaluation's seed from its logical coordinates,
-//! the score column is constant down each batch column — the table
-//! doubles as a visible determinism check (a score that moved with the
-//! thread count would be a seeding bug).
+//! Sweeps worker count × batch size for the unified
+//! `SearchSpec::leaf(level, batch, threads)` strategy on a SameGame
+//! board and a reduced Morpion cross, reporting score, wall-clock time,
+//! and leaf-evaluation throughput. Because the leaf backend derives
+//! every evaluation's seed from its logical coordinates, the score
+//! column is constant down each batch column — the table doubles as a
+//! visible determinism check (a score that moved with the thread count
+//! would be a seeding bug).
+//!
+//! Every row records the exact [`SearchSpec`] JSON that produced it, so
+//! any cell is reproducible from the command line with one pasted
+//! string: `tables --spec '<json>' --game <domain>`.
 
 use crate::report::Table;
 use morpion::{cross_board, Variant};
+use nmcs_core::{CodedGame, SearchSpec, Searcher};
 use nmcs_games::SameGame;
-use parallel_nmcs::{leaf_nested, LeafConfig};
 use serde::Serialize;
 
 /// One measured (domain × workers × batch) cell.
@@ -24,29 +29,32 @@ pub struct LeafRow {
     pub elapsed_ms: f64,
     pub leaf_evals: u64,
     pub evals_per_sec: f64,
+    /// The exact spec JSON reproducing this row from the CLI.
+    pub spec: String,
 }
 
 fn measure<G>(domain: &str, game: &G, threads: usize, batch: usize, seed: u64) -> LeafRow
 where
-    G: nmcs_core::Game + Send,
-    G::Move: Send,
+    G: CodedGame + Send + Sync,
+    G::Move: Send + Sync,
 {
-    let mut config = LeafConfig::new(1, batch, threads);
-    config.seed = seed;
-    let (out, elapsed) = leaf_nested(game, &config);
-    let secs = elapsed.as_secs_f64().max(1e-9);
+    let spec = SearchSpec::leaf(1, batch, threads).seed(seed).build();
+    let report = spec.search(game, None);
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
     LeafRow {
         domain: domain.to_string(),
         threads,
         batch,
-        score: out.score,
+        score: report.score,
         elapsed_ms: secs * 1e3,
-        leaf_evals: out.client_jobs,
-        evals_per_sec: out.client_jobs as f64 / secs,
+        leaf_evals: report.client_jobs,
+        evals_per_sec: report.client_jobs as f64 / secs,
+        spec: serde_json::to_string(&spec).expect("specs serialise"),
     }
 }
 
-/// Sweeps the leaf backend over worker counts and batch sizes.
+/// Sweeps the leaf backend over worker counts and batch sizes by
+/// enumerating specs (one [`SearchSpec`] per cell).
 pub fn leaf_sweep(threads: &[usize], batches: &[usize], seed: u64) -> Vec<LeafRow> {
     let samegame = SameGame::random(10, 10, 4, seed);
     let cross = cross_board(Variant::Disjoint, 3);
@@ -117,5 +125,18 @@ mod tests {
         let table = leaf_table(&rows);
         assert_eq!(table.rows.len(), rows.len());
         assert!(table.render().contains("samegame-10x10"));
+    }
+
+    #[test]
+    fn rows_carry_replayable_specs() {
+        let rows = leaf_sweep(&[1], &[2], 5);
+        for row in &rows {
+            let spec: SearchSpec = serde_json::from_str(&row.spec).expect("row spec parses");
+            assert!(matches!(
+                spec.algorithm,
+                nmcs_core::AlgorithmSpec::LeafParallel { batch: 2, .. }
+            ));
+            assert_eq!(spec.seed, 5);
+        }
     }
 }

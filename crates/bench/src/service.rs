@@ -9,7 +9,8 @@
 //! work-stealing activity.
 
 use crate::report::Table;
-use nmcs_engine::{Algorithm, Engine, EngineConfig, JobSpec, SubmitError};
+use nmcs_core::SearchSpec;
+use nmcs_engine::{Engine, EngineConfig, JobSpec, SubmitError};
 use nmcs_games::{SameGame, SumGame, TspGame, TspInstance};
 use serde::Serialize;
 use std::time::Instant;
@@ -28,28 +29,23 @@ pub struct ThroughputRow {
     pub rejected_submissions: u64,
 }
 
-/// Builds the `i`-th job of the mixed workload.
+/// Builds the `i`-th job of the mixed workload by enumerating unified
+/// specs — the job is (name, game, SearchSpec), nothing hand-wired.
 fn mixed_job(i: usize, seed: u64) -> JobSpec {
     let job_seed = seed.wrapping_add(i as u64);
+    let spec = SearchSpec::nested(1).seed(job_seed).build();
     match i % 3 {
-        0 => JobSpec::new(
+        0 => JobSpec::from_spec(
             format!("samegame-{i}"),
             SameGame::random(5, 5, 3, job_seed),
-            Algorithm::nested(1),
-            job_seed,
+            spec,
         ),
-        1 => JobSpec::new(
+        1 => JobSpec::from_spec(
             format!("tsp-{i}"),
             TspGame::new(TspInstance::random(8, job_seed), None),
-            Algorithm::nested(1),
-            job_seed,
+            spec,
         ),
-        _ => JobSpec::new(
-            format!("sum-{i}"),
-            SumGame::random(6, 4, job_seed),
-            Algorithm::nested(1),
-            job_seed,
-        ),
+        _ => JobSpec::from_spec(format!("sum-{i}"), SumGame::random(6, 4, job_seed), spec),
     }
 }
 

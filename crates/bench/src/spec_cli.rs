@@ -1,0 +1,130 @@
+//! `tables --spec '<json>'` — replay any sweep row from one pasted
+//! string.
+//!
+//! Every persisted sweep row records the exact [`SearchSpec`] JSON that
+//! produced it; this module runs such a spec against a named stock game
+//! and renders a one-row table, so a measurement is reproducible from
+//! the command line without touching code:
+//!
+//! ```text
+//! tables --spec '{"algorithm":{"kind":"nested","level":2},"budget":{"deadline_ms":200},"seed":42}' \
+//!        --game samegame
+//! ```
+
+use crate::report::Table;
+use morpion::{cross_board, standard_5d, Variant};
+use nmcs_core::{SearchReport, SearchSpec, Searcher};
+use nmcs_games::{NeedleLadder, SameGame, SumGame, TspGame, TspInstance};
+
+/// The stock games `--game` can name. Each is fully determined by the
+/// name plus the spec's seed, so (spec, game name) is a complete
+/// experiment description.
+pub const STOCK_GAMES: &[&str] = &[
+    "samegame",
+    "samegame-small",
+    "morpion",
+    "morpion-c3",
+    "tsp",
+    "sum",
+    "needle",
+];
+
+/// Runs `spec` on the stock game named `game` (seeded games derive from
+/// the spec's seed). Returns the rendered table; errors on an unknown
+/// game name.
+pub fn run_spec_on(spec: &SearchSpec, game: &str) -> Result<Table, String> {
+    let report = match game {
+        "samegame" => erase(spec.search(&SameGame::random(10, 10, 4, spec.seed), None)),
+        "samegame-small" => erase(spec.search(&SameGame::random(6, 6, 3, spec.seed), None)),
+        "morpion" => erase(spec.search(&standard_5d(), None)),
+        "morpion-c3" => erase(spec.search(&cross_board(Variant::Disjoint, 3), None)),
+        "tsp" => erase(spec.search(
+            &TspGame::new(TspInstance::random(12, spec.seed), None),
+            None,
+        )),
+        "sum" => erase(spec.search(&SumGame::random(6, 4, spec.seed), None)),
+        "needle" => erase(spec.search(&NeedleLadder::new(10), None)),
+        other => {
+            return Err(format!(
+                "unknown game '{other}' (expected one of {STOCK_GAMES:?})"
+            ))
+        }
+    };
+    Ok(spec_table(spec, game, &report))
+}
+
+/// Drops the move type (every stock game has a different one; the table
+/// only needs scalars).
+fn erase<M>(report: SearchReport<M>) -> SearchReport<()> {
+    SearchReport {
+        score: report.score,
+        sequence: report.sequence.iter().map(|_| ()).collect(),
+        stats: report.stats,
+        elapsed: report.elapsed,
+        client_jobs: report.client_jobs,
+        interrupted: report.interrupted,
+        seed: report.seed,
+    }
+}
+
+fn spec_table(spec: &SearchSpec, game: &str, report: &SearchReport<()>) -> Table {
+    let mut table = Table::new(
+        "Spec replay",
+        &[
+            "game",
+            "algorithm",
+            "seed",
+            "score",
+            "moves",
+            "playouts",
+            "work units",
+            "client jobs",
+            "elapsed (ms)",
+            "interrupted",
+        ],
+    );
+    table.row(&[
+        game.to_string(),
+        spec.algorithm.label().to_string(),
+        spec.seed.to_string(),
+        report.score.to_string(),
+        report.sequence.len().to_string(),
+        report.stats.playouts.to_string(),
+        report.total_work().to_string(),
+        report.client_jobs.to_string(),
+        format!("{:.1}", report.elapsed.as_secs_f64() * 1e3),
+        report
+            .interrupted
+            .map_or_else(|| "-".to_string(), |i| format!("{i:?}")),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_a_pasted_json_spec() {
+        let json = r#"{"algorithm":{"kind":"nested","level":1},"budget":{},"seed":7}"#;
+        let spec: SearchSpec = serde_json::from_str(json).expect("spec parses");
+        let table = run_spec_on(&spec, "sum").expect("stock game");
+        let rendered = table.render();
+        assert!(rendered.contains("nested"));
+        assert!(rendered.contains("sum"));
+    }
+
+    #[test]
+    fn budgeted_spec_reports_its_interruption() {
+        let spec = SearchSpec::nested(2).seed(1).max_playouts(5).build();
+        let table = run_spec_on(&spec, "samegame-small").expect("stock game");
+        assert!(table.render().contains("PlayoutBudget"));
+    }
+
+    #[test]
+    fn unknown_game_is_a_clear_error() {
+        let spec = SearchSpec::sample().build();
+        let err = run_spec_on(&spec, "chess").unwrap_err();
+        assert!(err.contains("unknown game"));
+    }
+}

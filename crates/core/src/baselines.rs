@@ -10,9 +10,10 @@
 //! * their simplicity makes them good cross-checks in tests (on toy games
 //!   with known optima every search must agree).
 
+use crate::ctx::SearchCtx;
 use crate::game::{Game, Score};
 use crate::rng::Rng;
-use crate::search::{sample_into, PlayoutScratch, SearchResult};
+use crate::search::{sample_ctx, PlayoutScratch, SearchResult};
 use crate::stats::SearchStats;
 
 /// Flat Monte-Carlo search: play `n` independent random games from `game`
@@ -21,9 +22,26 @@ use crate::stats::SearchStats;
 /// This is the "simple Monte-Carlo search" that nested search improves on
 /// (§I). With the same playout budget as a level-1 NMCS it is markedly
 /// weaker, which the `flat_vs_nested` bench quantifies.
+#[deprecated(note = "use SearchSpec::flat_mc(n) — the unified search API")]
 pub fn flat_monte_carlo<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchResult<G::Move> {
+    let mut ctx = SearchCtx::unbounded();
+    let (score, sequence) = flat_monte_carlo_with(game, n, rng, &mut ctx);
+    SearchResult {
+        score,
+        sequence,
+        stats: ctx.into_stats(),
+    }
+}
+
+/// Ctx-threaded engine room of [`flat_monte_carlo`], used by
+/// `SearchSpec::flat_mc`.
+pub fn flat_monte_carlo_with<G: Game>(
+    game: &G,
+    n: usize,
+    rng: &mut Rng,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>) {
     assert!(n > 0, "flat_monte_carlo needs at least one playout");
-    let mut stats = SearchStats::new();
     let mut best_score = Score::MIN;
     let mut best_seq: Vec<G::Move> = Vec::new();
     let mut seq: Vec<G::Move> = Vec::new();
@@ -32,9 +50,12 @@ pub fn flat_monte_carlo<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRes
         // and unwinds through the scratch-state protocol.
         let mut pos = game.clone();
         let mut scratch = PlayoutScratch::new();
-        for _ in 0..n {
+        for i in 0..n {
+            if i > 0 && ctx.should_stop() {
+                break;
+            }
             seq.clear();
-            let score = scratch.run_undo(&mut pos, rng, None, &mut seq, &mut stats);
+            let score = scratch.run_undo(&mut pos, rng, None, &mut seq, ctx);
             if score > best_score {
                 best_score = score;
                 best_seq.clear();
@@ -42,10 +63,13 @@ pub fn flat_monte_carlo<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRes
             }
         }
     } else {
-        for _ in 0..n {
+        for i in 0..n {
+            if i > 0 && ctx.should_stop() {
+                break;
+            }
             seq.clear();
             let mut g = game.clone();
-            let score = sample_into(&mut g, rng, None, &mut seq, &mut stats);
+            let score = sample_ctx(&mut g, rng, None, &mut seq, ctx);
             if score > best_score {
                 best_score = score;
                 best_seq.clear();
@@ -53,11 +77,7 @@ pub fn flat_monte_carlo<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRes
             }
         }
     }
-    SearchResult {
-        score: best_score,
-        sequence: best_seq,
-        stats,
-    }
+    (best_score, best_seq)
 }
 
 /// Iterated sampling: at each step of one game, sample `n` random playouts
@@ -66,12 +86,30 @@ pub fn flat_monte_carlo<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRes
 /// Equivalent to a level-1 NMCS when `n == 1` except for the absence of
 /// sequence memory; with larger `n` it is the classic "rollout algorithm"
 /// of Tesauro & Galperin applied with a uniform random base policy.
+#[deprecated(note = "use SearchSpec::iterated_sampling(n) — the unified search API")]
 pub fn iterated_sampling<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchResult<G::Move> {
+    let mut ctx = SearchCtx::unbounded();
+    let (score, sequence) = iterated_sampling_with(game, n, rng, &mut ctx);
+    SearchResult {
+        score,
+        sequence,
+        stats: ctx.into_stats(),
+    }
+}
+
+/// Ctx-threaded engine room of [`iterated_sampling`], used by
+/// `SearchSpec::iterated_sampling`. On interruption the game stops where
+/// it stands; the played prefix and its score stay consistent.
+pub fn iterated_sampling_with<G: Game>(
+    game: &G,
+    n: usize,
+    rng: &mut Rng,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>) {
     assert!(
         n > 0,
         "iterated_sampling needs at least one playout per move"
     );
-    let mut stats = SearchStats::new();
     let mut pos = game.clone();
     let mut played: Vec<G::Move> = Vec::new();
     let mut moves: Vec<G::Move> = Vec::new();
@@ -84,38 +122,43 @@ pub fn iterated_sampling<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchRe
         if moves.is_empty() {
             break;
         }
+        if ctx.should_stop() {
+            break;
+        }
         let mut best: Option<(Score, usize)> = None;
-        for (i, mv) in moves.iter().enumerate() {
+        'candidates: for (i, mv) in moves.iter().enumerate() {
             for _ in 0..n {
-                stats.record_expansion();
+                if ctx.should_stop() {
+                    break 'candidates;
+                }
+                ctx.record_expansion();
                 seq.clear();
                 let s = if use_undo {
                     // Clone-free evaluation: apply, restoring playout, undo.
                     let token = pos.apply(mv);
-                    let s = scratch.run_undo(&mut pos, rng, None, &mut seq, &mut stats);
+                    let s = scratch.run_undo(&mut pos, rng, None, &mut seq, ctx);
                     pos.undo(token);
                     s
                 } else {
                     let mut child = pos.clone();
                     child.play(mv);
-                    sample_into(&mut child, rng, None, &mut seq, &mut stats)
+                    sample_ctx(&mut child, rng, None, &mut seq, ctx)
                 };
                 if best.is_none_or(|(bs, _)| s > bs) {
                     best = Some((s, i));
                 }
             }
         }
-        let (_, idx) = best.expect("non-empty move list");
+        let Some((_, idx)) = best else {
+            // Interrupted before any evaluation of this step finished.
+            break;
+        };
         let mv = moves[idx].clone();
         pos.play(&mv);
         played.push(mv);
-        stats.record_nested_move();
+        ctx.record_nested_move();
     }
-    SearchResult {
-        score: pos.score(),
-        sequence: played,
-        stats,
-    }
+    (pos.score(), played)
 }
 
 /// Configuration for the [`simulated_annealing`] baseline.
@@ -219,14 +262,33 @@ pub fn simulated_annealing<G: Game>(
 /// positions per depth, evaluating each candidate child with `n` random
 /// playouts. A deterministic, memory-bounded contrast to NMCS used in the
 /// ablation benches.
+#[deprecated(note = "use SearchSpec::beam(width, n) — the unified search API")]
 pub fn beam_search<G: Game>(
     game: &G,
     width: usize,
     n: usize,
     rng: &mut Rng,
 ) -> SearchResult<G::Move> {
+    let mut ctx = SearchCtx::unbounded();
+    let (score, sequence) = beam_search_with(game, width, n, rng, &mut ctx);
+    SearchResult {
+        score,
+        sequence,
+        stats: ctx.into_stats(),
+    }
+}
+
+/// Ctx-threaded engine room of [`beam_search`], used by
+/// `SearchSpec::beam`. On interruption the best position reached by any
+/// beam entry so far is returned.
+pub fn beam_search_with<G: Game>(
+    game: &G,
+    width: usize,
+    n: usize,
+    rng: &mut Rng,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>) {
     assert!(width > 0 && n > 0);
-    let mut stats = SearchStats::new();
     let mut beam: Vec<(G, Vec<G::Move>)> = vec![(game.clone(), Vec::new())];
     let mut best_score = game.score();
     let mut best_seq: Vec<G::Move> = Vec::new();
@@ -235,25 +297,28 @@ pub fn beam_search<G: Game>(
     let use_undo = game.supports_undo();
     let mut scratch = PlayoutScratch::new();
 
-    loop {
+    'depths: loop {
         let mut children: Vec<(Score, G, Vec<G::Move>)> = Vec::new();
         for (pos, path) in &beam {
             moves.clear();
             pos.legal_moves(&mut moves);
             for mv in &moves {
+                if ctx.should_stop() {
+                    break 'depths;
+                }
                 let mut child = pos.clone();
                 child.play(mv);
-                stats.record_expansion();
+                ctx.record_expansion();
                 // Evaluate with the best of n playouts (run in place and
                 // unwound on fast-path games; probed on a clone otherwise).
                 let mut value = Score::MIN;
                 for _ in 0..n {
                     seq.clear();
                     let s = if use_undo {
-                        scratch.run_undo(&mut child, rng, None, &mut seq, &mut stats)
+                        scratch.run_undo(&mut child, rng, None, &mut seq, ctx)
                     } else {
                         let mut probe = child.clone();
-                        sample_into(&mut probe, rng, None, &mut seq, &mut stats)
+                        sample_ctx(&mut probe, rng, None, &mut seq, ctx)
                     };
                     value = value.max(s);
                 }
@@ -274,13 +339,12 @@ pub fn beam_search<G: Game>(
         beam = children.into_iter().map(|(_, g, p)| (g, p)).collect();
     }
 
-    SearchResult {
-        score: best_score,
-        sequence: best_seq,
-        stats,
-    }
+    (best_score, best_seq)
 }
 
+// The unit tests keep exercising the deprecated free functions: they are
+// the regression net for the shims (new-API coverage lives in `spec.rs`).
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,8 +16,12 @@ use std::time::{Duration, Instant};
 
 /// Stopping criteria for [`drive`]; the first one reached stops the loop
 /// (at least one search always runs).
+///
+/// Not to be confused with [`crate::spec::Budget`], which limits a
+/// *single* search run; `DriveBudget` limits the restart loop around
+/// many runs. (It was called `Budget` before the unified API landed.)
 #[derive(Debug, Clone)]
-pub struct Budget {
+pub struct DriveBudget {
     /// Maximum number of searches.
     pub max_runs: Option<u64>,
     /// Wall-clock budget.
@@ -26,7 +30,7 @@ pub struct Budget {
     pub target_score: Option<Score>,
 }
 
-impl Budget {
+impl DriveBudget {
     /// Exactly `n` runs.
     pub fn runs(n: u64) -> Self {
         Self {
@@ -76,7 +80,7 @@ pub struct DriveReport<M> {
 /// algorithm and its configuration:
 ///
 /// ```
-/// use nmcs_core::driver::{drive, Budget};
+/// use nmcs_core::driver::{drive, DriveBudget};
 /// use nmcs_core::{nested, NestedConfig, Game, Score, Rng};
 ///
 /// #[derive(Clone)]
@@ -94,13 +98,18 @@ pub struct DriveReport<M> {
 /// let report = drive(
 ///     &Coin(vec![]),
 ///     42,
-///     &Budget::runs(5),
+///     &DriveBudget::runs(5),
 ///     |g, rng| nested(g, 1, &NestedConfig::paper(), rng),
 /// );
 /// assert_eq!(report.best.score, 4);
 /// assert_eq!(report.runs, 5);
 /// ```
-pub fn drive<G, F>(game: &G, base_seed: u64, budget: &Budget, mut search: F) -> DriveReport<G::Move>
+pub fn drive<G, F>(
+    game: &G,
+    base_seed: u64,
+    budget: &DriveBudget,
+    mut search: F,
+) -> DriveReport<G::Move>
 where
     G: Game,
     F: FnMut(&G, &mut Rng) -> SearchResult<G::Move>,
@@ -144,6 +153,9 @@ where
     }
 }
 
+// The tests drive the restart loop through the deprecated `nested` shim
+// on purpose (shim behaviour is part of the regression surface).
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,7 +194,7 @@ mod tests {
 
     #[test]
     fn run_budget_is_respected_exactly() {
-        let report = drive(&game(), 1, &Budget::runs(7), sample);
+        let report = drive(&game(), 1, &DriveBudget::runs(7), sample);
         assert_eq!(report.runs, 7);
         assert_eq!(report.history.len(), 7);
         assert_eq!(report.total_stats.playouts, 7);
@@ -190,7 +202,7 @@ mod tests {
 
     #[test]
     fn best_of_many_runs_dominates_each_run() {
-        let report = drive(&game(), 2, &Budget::runs(20), sample);
+        let report = drive(&game(), 2, &DriveBudget::runs(20), sample);
         let max_hist = *report.history.iter().max().unwrap();
         assert_eq!(report.best.score, max_hist);
     }
@@ -202,7 +214,7 @@ mod tests {
         let report = drive(
             &game(),
             3,
-            &Budget::runs(50).until_score(optimum),
+            &DriveBudget::runs(50).until_score(optimum),
             |g, rng| nested(g, 2, &NestedConfig::paper(), rng),
         );
         assert_eq!(report.best.score, optimum);
@@ -211,13 +223,13 @@ mod tests {
 
     #[test]
     fn time_budget_runs_at_least_once() {
-        let report = drive(&game(), 4, &Budget::time(Duration::ZERO), sample);
+        let report = drive(&game(), 4, &DriveBudget::time(Duration::ZERO), sample);
         assert_eq!(report.runs, 1);
     }
 
     #[test]
     fn reproducible_best_seed() {
-        let a = drive(&game(), 9, &Budget::runs(10), sample);
+        let a = drive(&game(), 9, &DriveBudget::runs(10), sample);
         // Re-running just the winning seed reproduces the best result.
         let mut rng = Rng::seeded(a.best_seed);
         let again = sample(&game(), &mut rng);
@@ -227,7 +239,7 @@ mod tests {
 
     #[test]
     fn stats_aggregate_across_runs() {
-        let report = drive(&game(), 5, &Budget::runs(4), |g, rng| {
+        let report = drive(&game(), 5, &DriveBudget::runs(4), |g, rng| {
             nested(g, 1, &NestedConfig::paper(), rng)
         });
         assert!(

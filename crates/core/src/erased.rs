@@ -21,7 +21,9 @@
 
 use crate::game::{Game, Score, Undo};
 use crate::nrpa::CodedGame;
+use crate::report::SearchReport;
 use crate::search::SearchResult;
+use crate::spec::{CancelToken, SearchSpec, Searcher};
 
 /// Object-safe view of a game: moves are indices into the current
 /// position's legal-move list (in `legal_moves` order).
@@ -459,6 +461,49 @@ pub fn decode_result<G: Game>(root: &G, result: &SearchResult<usize>) -> SearchR
     }
 }
 
+/// Converts an index-encoded [`SearchReport`] (from a search over
+/// [`DynGame`]) into the typed report of the equivalent direct search;
+/// everything but the sequence is carried over verbatim.
+pub fn decode_report<G: Game>(root: &G, report: &SearchReport<usize>) -> SearchReport<G::Move> {
+    SearchReport {
+        score: report.score,
+        sequence: decode_sequence(root, &report.sequence),
+        stats: report.stats,
+        elapsed: report.elapsed,
+        client_jobs: report.client_jobs,
+        interrupted: report.interrupted,
+        seed: report.seed,
+    }
+}
+
+/// Object-safe twin of [`Searcher`], closed over [`DynGame`]: the form a
+/// heterogeneous service (the engine, a job queue, a registry of named
+/// strategies) can box and store without knowing the concrete game type.
+///
+/// Because the erasure is search-transparent, `search_erased` over
+/// `DynGame::new(g)` makes exactly the same decisions as the same
+/// searcher over `g` directly; [`decode_report`] converts back.
+pub trait AnySearcher: Send + Sync {
+    /// Runs the strategy on an erased game (see [`Searcher::search`]).
+    fn search_erased(&self, game: &DynGame, cancel: Option<&CancelToken>) -> SearchReport<usize>;
+
+    /// Short label for logs and progress lines.
+    fn label(&self) -> &'static str;
+}
+
+impl AnySearcher for SearchSpec {
+    fn search_erased(&self, game: &DynGame, cancel: Option<&CancelToken>) -> SearchReport<usize> {
+        self.search(game, cancel)
+    }
+
+    fn label(&self) -> &'static str {
+        self.algorithm.label()
+    }
+}
+
+// The tests exercise the deprecated free functions on purpose: erasure
+// transparency must hold for the legacy shims too.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

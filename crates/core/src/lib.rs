@@ -14,10 +14,15 @@
 //! xoshiro256★★ generator), so that parallel and simulated backends in the
 //! companion crates can reproduce byte-identical searches.
 //!
-//! ## Quick example
+//! ## Quick example — the unified front door
+//!
+//! Every backend (NMCS, NRPA, UCT, the Monte-Carlo baselines, and the
+//! leaf-/root-parallel executors) is reachable through one call:
+//! [`SearchSpec::run`], with budgets, cancellation, and a common
+//! [`SearchReport`].
 //!
 //! ```
-//! use nmcs_core::{Game, Score, rng::Rng, search::{nested, NestedConfig}};
+//! use nmcs_core::{CodedGame, Game, Score, SearchSpec};
 //!
 //! // A toy game: walk 4 steps left (0) or right (1); score = # of rights.
 //! #[derive(Clone)]
@@ -33,28 +38,48 @@
 //!     }
 //!     fn moves_played(&self) -> usize { self.taken.len() }
 //! }
+//! impl CodedGame for Walk {
+//!     fn move_code(&self, mv: &u8) -> u64 { *mv as u64 }
+//! }
 //!
 //! let game = Walk { taken: vec![] };
-//! let mut rng = Rng::seeded(42);
-//! let result = nested(&game, 1, &NestedConfig::default(), &mut rng);
-//! assert_eq!(result.score, 4); // level-1 NMCS solves this toy game
+//! let report = SearchSpec::nested(1).seed(42).deadline_ms(500).run(&game);
+//! assert_eq!(report.score, 4); // level-1 NMCS solves this toy game
+//! assert!(report.interrupted.is_none());
 //! ```
 
 pub mod baselines;
+pub mod ctx;
 pub mod driver;
 pub mod erased;
+mod exec;
 pub mod game;
 pub mod nrpa;
+pub mod report;
 pub mod rng;
 pub mod search;
+pub mod seeds;
+pub mod spec;
 pub mod stats;
 pub mod uct;
 
-pub use driver::{drive, Budget, DriveReport};
-pub use erased::{decode_result, decode_sequence, AnyGame, DynGame};
+pub use ctx::SearchCtx;
+pub use driver::{drive, DriveBudget, DriveReport};
+pub use erased::{decode_report, decode_result, decode_sequence, AnyGame, AnySearcher, DynGame};
 pub use game::{Game, Score, SnapshotOnly, Undo};
-pub use nrpa::{nrpa, CodedGame, NrpaConfig, Policy};
+pub use nrpa::{nrpa_with, CodedGame, NrpaConfig, Policy};
+pub use report::{Interruption, SearchReport};
 pub use rng::{Fnv1a, Rng};
-pub use search::{nested, sample, MemoryPolicy, NestedConfig, PlayoutScratch, SearchResult};
+pub use search::{nested_with, sample, MemoryPolicy, NestedConfig, PlayoutScratch, SearchResult};
+pub use spec::{AlgorithmSpec, Budget, CancelToken, SearchBuilder, SearchSpec, Searcher};
 pub use stats::SearchStats;
-pub use uct::{uct, UctConfig};
+pub use uct::{uct_with, UctConfig};
+
+// Deprecated free functions, re-exported so historical `use` paths keep
+// compiling (each is a thin shim over the unified SearchSpec API).
+#[allow(deprecated)]
+pub use nrpa::nrpa;
+#[allow(deprecated)]
+pub use search::nested;
+#[allow(deprecated)]
+pub use uct::uct;

@@ -17,10 +17,12 @@
 //! ([`CodedGame::move_code`]); codes collide at the domain's discretion
 //! (colliding moves share a weight, which is sometimes even desirable).
 
+use crate::ctx::SearchCtx;
 use crate::game::{Game, Score, Undo};
 use crate::rng::Rng;
 use crate::search::SearchResult;
 use crate::stats::SearchStats;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Reusable buffers of the clone-free NRPA path: a legal-move buffer and
@@ -51,7 +53,7 @@ pub trait CodedGame: Game {
 }
 
 /// NRPA tunables.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NrpaConfig {
     /// Recursive calls per level (Rosin uses 100; smaller values keep
     /// laptop runs interactive).
@@ -65,6 +67,26 @@ impl Default for NrpaConfig {
         Self {
             iterations: 100,
             alpha: 1.0,
+        }
+    }
+}
+
+impl NrpaConfig {
+    /// Rosin's published configuration (100 iterations per level,
+    /// `alpha = 1.0`). The single source of truth for NRPA defaults:
+    /// every convenience constructor (including the engine's
+    /// `Algorithm::nrpa`) routes through this instead of hardcoding
+    /// tunables.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// `paper()` with a different iteration count — the common scaled
+    /// shape (`iterations` is the knob every harness sweeps).
+    pub fn with_iterations(iterations: usize) -> Self {
+        Self {
+            iterations,
+            ..Self::paper()
         }
     }
 }
@@ -166,10 +188,27 @@ pub fn policy_playout<G: CodedGame>(
     rng: &mut Rng,
     stats: &mut SearchStats,
 ) -> (Score, Vec<G::Move>) {
+    let mut ctx = SearchCtx::unbounded();
+    let out = policy_playout_ctx(game, policy, rng, &mut ctx);
+    stats.merge(ctx.stats());
+    out
+}
+
+/// Ctx-threaded core of [`policy_playout`]: identical draws, plus the
+/// uniform budget/cancellation poll per playout move.
+fn policy_playout_ctx<G: CodedGame>(
+    game: &G,
+    policy: &Policy,
+    rng: &mut Rng,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>) {
     let mut pos = game.clone();
     let mut seq = Vec::new();
     let mut moves: Vec<G::Move> = Vec::new();
     loop {
+        if ctx.should_stop() {
+            break;
+        }
         moves.clear();
         pos.legal_moves(&mut moves);
         if moves.is_empty() {
@@ -192,9 +231,9 @@ pub fn policy_playout<G: CodedGame>(
         let mv = moves.swap_remove(best);
         pos.play(&mv);
         seq.push(mv);
-        stats.record_playout_move();
+        ctx.record_playout_move();
     }
-    stats.record_playout_end();
+    ctx.record_playout_end();
     (pos.score(), seq)
 }
 
@@ -205,12 +244,15 @@ fn policy_playout_scratch<G: CodedGame>(
     pos: &mut G,
     policy: &Policy,
     rng: &mut Rng,
-    stats: &mut SearchStats,
+    ctx: &mut SearchCtx,
     scratch: &mut NrpaScratch<G>,
 ) -> (Score, Vec<G::Move>) {
     debug_assert!(scratch.undos.is_empty());
     let mut seq = Vec::new();
     loop {
+        if ctx.should_stop() {
+            break;
+        }
         pos.legal_moves_into(&mut scratch.moves);
         if scratch.moves.is_empty() {
             break;
@@ -230,44 +272,54 @@ fn policy_playout_scratch<G: CodedGame>(
         let mv = scratch.moves.swap_remove(best);
         scratch.undos.push(pos.apply(&mv));
         seq.push(mv);
-        stats.record_playout_move();
+        ctx.record_playout_move();
     }
-    stats.record_playout_end();
+    ctx.record_playout_end();
     let score = pos.score();
     pos.undo_all(&mut scratch.undos);
     (score, seq)
 }
 
 /// Nested Rollout Policy Adaptation at `level` from `game`.
+#[deprecated(note = "use SearchSpec::nrpa(level) — the unified search API")]
 pub fn nrpa<G: CodedGame>(
     game: &G,
     level: u32,
     config: &NrpaConfig,
     rng: &mut Rng,
 ) -> SearchResult<G::Move> {
-    let mut stats = SearchStats::new();
+    let mut ctx = SearchCtx::unbounded();
+    let (score, sequence) = nrpa_with(game, level, config, rng, &mut ctx);
+    SearchResult {
+        score,
+        sequence,
+        stats: ctx.into_stats(),
+    }
+}
+
+/// Nested Rollout Policy Adaptation at `level` from `game`, accounting
+/// into (and honouring the budget/cancellation of) `ctx`.
+///
+/// The engine room behind `SearchSpec::run` for the `Nrpa` strategy; the
+/// deprecated [`nrpa`] free function is a thin shim over it. On
+/// interruption the best sequence found so far is returned (still
+/// replayable to its score).
+pub fn nrpa_with<G: CodedGame>(
+    game: &G,
+    level: u32,
+    config: &NrpaConfig,
+    rng: &mut Rng,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>) {
     let mut policy = Policy::new();
-    let (score, sequence) = if game.supports_undo() {
+    if game.supports_undo() {
         // Clone-free path: every playout and every adaptation walk runs
         // in place on one position via the scratch-state protocol.
         let mut pos = game.clone();
         let mut scratch = NrpaScratch::new();
-        nrpa_scratch(
-            &mut pos,
-            level,
-            config,
-            &mut policy,
-            rng,
-            &mut stats,
-            &mut scratch,
-        )
+        nrpa_scratch(&mut pos, level, config, &mut policy, rng, ctx, &mut scratch)
     } else {
-        nrpa_inner(game, level, config, &mut policy, rng, &mut stats)
-    };
-    SearchResult {
-        score,
-        sequence,
-        stats,
+        nrpa_inner(game, level, config, &mut policy, rng, ctx)
     }
 }
 
@@ -277,21 +329,27 @@ fn nrpa_scratch<G: CodedGame>(
     config: &NrpaConfig,
     policy: &mut Policy,
     rng: &mut Rng,
-    stats: &mut SearchStats,
+    ctx: &mut SearchCtx,
     scratch: &mut NrpaScratch<G>,
 ) -> (Score, Vec<G::Move>) {
     if level == 0 {
-        return policy_playout_scratch(pos, policy, rng, stats, scratch);
+        return policy_playout_scratch(pos, policy, rng, ctx, scratch);
     }
     let mut best_score = Score::MIN;
     let mut best_seq: Vec<G::Move> = Vec::new();
     // Each level adapts its own copy of the policy (Rosin's algorithm).
     let mut local = policy.clone();
     for i in 0..config.iterations {
-        let (score, seq) = nrpa_scratch(pos, level - 1, config, &mut local, rng, stats, scratch);
+        if i > 0 && ctx.should_stop() {
+            break;
+        }
+        let (score, seq) = nrpa_scratch(pos, level - 1, config, &mut local, rng, ctx, scratch);
         if score > best_score || i == 0 {
             best_score = score;
             best_seq = seq;
+        }
+        if ctx.interruption().is_some() {
+            break;
         }
         if !best_seq.is_empty() {
             adapt_in_place(&mut local, pos, &best_seq, config.alpha, scratch);
@@ -306,20 +364,26 @@ fn nrpa_inner<G: CodedGame>(
     config: &NrpaConfig,
     policy: &mut Policy,
     rng: &mut Rng,
-    stats: &mut SearchStats,
+    ctx: &mut SearchCtx,
 ) -> (Score, Vec<G::Move>) {
     if level == 0 {
-        return policy_playout(game, policy, rng, stats);
+        return policy_playout_ctx(game, policy, rng, ctx);
     }
     let mut best_score = Score::MIN;
     let mut best_seq: Vec<G::Move> = Vec::new();
     // Each level adapts its own copy of the policy (Rosin's algorithm).
     let mut local = policy.clone();
     for i in 0..config.iterations {
-        let (score, seq) = nrpa_inner(game, level - 1, config, &mut local, rng, stats);
+        if i > 0 && ctx.should_stop() {
+            break;
+        }
+        let (score, seq) = nrpa_inner(game, level - 1, config, &mut local, rng, ctx);
         if score > best_score || i == 0 {
             best_score = score;
             best_seq = seq;
+        }
+        if ctx.interruption().is_some() {
+            break;
         }
         if !best_seq.is_empty() {
             local.adapt(game, &best_seq, config.alpha);
@@ -328,6 +392,9 @@ fn nrpa_inner<G: CodedGame>(
     (best_score, best_seq)
 }
 
+// The unit tests keep exercising the deprecated free function: they are
+// the regression net for the shim (new-API coverage lives in `spec.rs`).
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,8 +4,8 @@
 //!
 //! * [`sample`] — "the basic sample function just plays a random game from
 //!   a given position" and returns its score (and the sequence it played).
-//! * [`nested`] — "the nested rollout function plays a game, choosing at
-//!   each step of the game the move that has the highest score of the
+//! * [`nested_with`] — "the nested rollout function plays a game, choosing
+//!   at each step of the game the move that has the highest score of the
 //!   lower level nested rollout", with the *memorised best sequence*
 //!   behaviour of the paper's pseudocode (lines 7–11): whenever a
 //!   lower-level evaluation beats the best score seen so far in this call,
@@ -18,10 +18,20 @@
 //! [`MemoryPolicy::Greedy`] variant reproduces the *parallel* pseudocode of
 //! §IV, which plays the per-step argmax without cross-step memory — the
 //! difference is measured by an ablation benchmark.
+//!
+//! The preferred front door is [`crate::spec::SearchSpec`]
+//! (`SearchSpec::nested(2).seed(42).run(&game)`), which adds budgets and
+//! cancellation on top of the raw functions here. Every loop in this
+//! module polls a [`SearchCtx`] so deadlines, playout/node budgets, and
+//! cancel tokens are honoured identically across all backends; the polls
+//! never touch the RNG, so an unbudgeted run through the spec is
+//! bit-identical to the historical direct calls.
 
+use crate::ctx::SearchCtx;
 use crate::game::{Game, Score, Undo};
 use crate::rng::Rng;
 use crate::stats::SearchStats;
+use serde::{Deserialize, Serialize};
 
 /// Reusable buffers for the allocation-free playout core.
 ///
@@ -51,13 +61,16 @@ impl<G: Game> PlayoutScratch<G> {
     /// (mutating it to the terminal position), appending the moves played
     /// to `seq`, and returns the final score. Draw-for-draw identical to
     /// [`sample_into`], minus its per-call buffer allocation.
+    ///
+    /// Budget/cancellation polls go through `ctx` — one check per playout
+    /// move, the shared choke point every backend's playouts pass through.
     pub fn run(
         &mut self,
         game: &mut G,
         rng: &mut Rng,
         cap: Option<usize>,
         seq: &mut Vec<G::Move>,
-        stats: &mut SearchStats,
+        ctx: &mut SearchCtx,
     ) -> Score {
         let mut steps = 0usize;
         loop {
@@ -66,6 +79,9 @@ impl<G: Game> PlayoutScratch<G> {
                     break;
                 }
             }
+            if ctx.should_stop() {
+                break;
+            }
             game.legal_moves_into(&mut self.moves);
             if self.moves.is_empty() {
                 break;
@@ -73,10 +89,10 @@ impl<G: Game> PlayoutScratch<G> {
             let mv = self.moves.swap_remove(rng.below(self.moves.len()));
             game.play(&mv);
             seq.push(mv);
-            stats.record_playout_move();
+            ctx.record_playout_move();
             steps += 1;
         }
-        stats.record_playout_end();
+        ctx.record_playout_end();
         game.score()
     }
 
@@ -92,7 +108,7 @@ impl<G: Game> PlayoutScratch<G> {
         rng: &mut Rng,
         cap: Option<usize>,
         seq: &mut Vec<G::Move>,
-        stats: &mut SearchStats,
+        ctx: &mut SearchCtx,
     ) -> Score {
         debug_assert!(self.undos.is_empty(), "re-entrant playout");
         let mut steps = 0usize;
@@ -102,6 +118,9 @@ impl<G: Game> PlayoutScratch<G> {
                     break;
                 }
             }
+            if ctx.should_stop() {
+                break;
+            }
             game.legal_moves_into(&mut self.moves);
             if self.moves.is_empty() {
                 break;
@@ -109,10 +128,10 @@ impl<G: Game> PlayoutScratch<G> {
             let mv = self.moves.swap_remove(rng.below(self.moves.len()));
             self.undos.push(game.apply(&mv));
             seq.push(mv);
-            stats.record_playout_move();
+            ctx.record_playout_move();
             steps += 1;
         }
-        stats.record_playout_end();
+        ctx.record_playout_end();
         let score = game.score();
         game.undo_all(&mut self.undos);
         score
@@ -138,7 +157,7 @@ impl<G: Game> Default for LevelBufs<G> {
     }
 }
 
-/// Buffers shared by one clone-free [`nested`] call tree.
+/// Buffers shared by one clone-free [`nested_with`] call tree.
 pub(crate) struct NestedScratch<G: Game> {
     levels: Vec<LevelBufs<G>>,
     playout: PlayoutScratch<G>,
@@ -166,7 +185,7 @@ pub struct SearchResult<M> {
 }
 
 /// How `nested` advances its game between steps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum MemoryPolicy {
     /// Follow the globally best sequence found so far in this call
     /// (sequential pseudocode, §III lines 7–11). The default.
@@ -177,8 +196,8 @@ pub enum MemoryPolicy {
     Greedy,
 }
 
-/// Tunables for [`nested`].
-#[derive(Debug, Clone)]
+/// Tunables for [`nested_with`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NestedConfig {
     /// Cross-step memory policy.
     pub memory: MemoryPolicy,
@@ -212,6 +231,42 @@ impl NestedConfig {
     }
 }
 
+/// Ctx-threaded core of [`sample_into`]; every playout in the workspace
+/// funnels through here or through [`PlayoutScratch`], which is what
+/// makes budget checks uniform across backends.
+pub(crate) fn sample_ctx<G: Game>(
+    game: &mut G,
+    rng: &mut Rng,
+    cap: Option<usize>,
+    seq: &mut Vec<G::Move>,
+    ctx: &mut SearchCtx,
+) -> Score {
+    let mut buf: Vec<G::Move> = Vec::new();
+    let mut steps = 0usize;
+    loop {
+        if let Some(c) = cap {
+            if steps >= c {
+                break;
+            }
+        }
+        if ctx.should_stop() {
+            break;
+        }
+        buf.clear();
+        game.legal_moves(&mut buf);
+        if buf.is_empty() {
+            break;
+        }
+        let mv = buf.swap_remove(rng.below(buf.len()));
+        game.play(&mv);
+        seq.push(mv);
+        ctx.record_playout_move();
+        steps += 1;
+    }
+    ctx.record_playout_end();
+    game.score()
+}
+
 /// Plays a uniformly random game from `game` (mutating it to the terminal
 /// position), appends the moves played to `seq`, and returns the final
 /// score.
@@ -225,27 +280,10 @@ pub fn sample_into<G: Game>(
     seq: &mut Vec<G::Move>,
     stats: &mut SearchStats,
 ) -> Score {
-    let mut buf: Vec<G::Move> = Vec::new();
-    let mut steps = 0usize;
-    loop {
-        if let Some(c) = cap {
-            if steps >= c {
-                break;
-            }
-        }
-        buf.clear();
-        game.legal_moves(&mut buf);
-        if buf.is_empty() {
-            break;
-        }
-        let mv = buf.swap_remove(rng.below(buf.len()));
-        game.play(&mv);
-        seq.push(mv);
-        stats.record_playout_move();
-        steps += 1;
-    }
-    stats.record_playout_end();
-    game.score()
+    let mut ctx = SearchCtx::unbounded();
+    let score = sample_ctx(game, rng, cap, seq, &mut ctx);
+    stats.merge(ctx.stats());
+    score
 }
 
 /// Plays a uniformly random game from a copy of `game` and returns the
@@ -273,28 +311,49 @@ pub fn sample<G: Game>(game: &G, rng: &mut Rng) -> SearchResult<G::Move> {
 /// the accumulated statistics. With [`MemoryPolicy::Memorise`] the returned
 /// score equals the score of the position reached by replaying the returned
 /// sequence.
+#[deprecated(note = "use SearchSpec::nested(level) — the unified search API")]
 pub fn nested<G: Game>(
     game: &G,
     level: u32,
     config: &NestedConfig,
     rng: &mut Rng,
 ) -> SearchResult<G::Move> {
-    let mut stats = SearchStats::new();
+    let mut ctx = SearchCtx::unbounded();
+    let (score, sequence) = nested_with(game, level, config, rng, &mut ctx);
+    SearchResult {
+        score,
+        sequence,
+        stats: ctx.into_stats(),
+    }
+}
+
+/// Nested Monte-Carlo Search at `level` from `game`, accounting into (and
+/// honouring the budget/cancellation of) `ctx`.
+///
+/// This is the engine room behind `SearchSpec::run` for the `Nested`
+/// strategy and behind the parallel backends' client evaluations; the
+/// deprecated [`nested`] free function is a thin shim over it with an
+/// unbounded context. If the context interrupts the search, the returned
+/// pair is still consistent: the score is realised by replaying the
+/// returned sequence (the memorising policy fast-forwards its memorised
+/// continuation without further evaluations before returning).
+pub fn nested_with<G: Game>(
+    game: &G,
+    level: u32,
+    config: &NestedConfig,
+    rng: &mut Rng,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>) {
     // Games implementing the scratch-state protocol take the clone-free
     // path: one clone up front, apply/undo everywhere below. The two
     // paths are draw-for-draw identical (asserted by the property tests),
     // so this is purely a throughput decision.
-    let (score, sequence) = if level >= 1 && game.supports_undo() {
+    if level >= 1 && game.supports_undo() {
         let mut pos = game.clone();
         let mut scratch = NestedScratch::new(level);
-        nested_scratch(&mut pos, level, config, rng, &mut stats, &mut scratch)
+        nested_scratch(&mut pos, level, config, rng, ctx, &mut scratch)
     } else {
-        nested_inner(game, level, config, rng, &mut stats)
-    };
-    SearchResult {
-        score,
-        sequence,
-        stats,
+        nested_inner(game, level, config, rng, ctx)
     }
 }
 
@@ -311,7 +370,7 @@ fn nested_scratch<G: Game>(
     level: u32,
     config: &NestedConfig,
     rng: &mut Rng,
-    stats: &mut SearchStats,
+    ctx: &mut SearchCtx,
     scratch: &mut NestedScratch<G>,
 ) -> (Score, Vec<G::Move>) {
     debug_assert!(level >= 1);
@@ -327,19 +386,27 @@ fn nested_scratch<G: Game>(
         if bufs.moves.is_empty() {
             break;
         }
+        if ctx.should_stop() {
+            break;
+        }
 
         let mut step_best: Option<(Score, usize)> = None;
         for i in 0..bufs.moves.len() {
+            // Once interrupted, no new evaluations may start; the ones
+            // already finished stay incorporated in the memory.
+            if ctx.should_stop() {
+                break;
+            }
             let token = pos.apply(&bufs.moves[i]);
-            stats.record_expansion();
+            ctx.record_expansion();
 
             let score = if level == 1 {
                 bufs.seq.clear();
                 scratch
                     .playout
-                    .run_undo(pos, rng, config.playout_cap, &mut bufs.seq, stats)
+                    .run_undo(pos, rng, config.playout_cap, &mut bufs.seq, ctx)
             } else {
-                let (s, seq) = nested_scratch(pos, level - 1, config, rng, stats, scratch);
+                let (s, seq) = nested_scratch(pos, level - 1, config, rng, ctx, scratch);
                 bufs.seq = seq;
                 s
             };
@@ -356,6 +423,9 @@ fn nested_scratch<G: Game>(
                 best_seq.push(bufs.moves[i].clone());
                 best_seq.extend(bufs.seq.iter().cloned());
             }
+        }
+        if ctx.interruption().is_some() {
+            break;
         }
 
         // Paper lines 10–11 (see `nested_inner` for the fallback rules).
@@ -374,10 +444,27 @@ fn nested_scratch<G: Game>(
         };
         bufs.undos.push(pos.apply(&next));
         played += 1;
-        stats.record_nested_move();
+        ctx.record_nested_move();
     }
 
-    if played > 0 && config.memory == MemoryPolicy::Memorise && config.playout_cap.is_none() {
+    // Interrupted with a memorised continuation pending: fast-forward it
+    // with plain move applications (no further evaluations, no RNG), so
+    // the returned score is realised by the returned sequence exactly as
+    // in an uninterrupted run.
+    if ctx.interruption().is_some() && config.memory == MemoryPolicy::Memorise {
+        while played < best_seq.len() {
+            let mv = best_seq[played].clone();
+            bufs.undos.push(pos.apply(&mv));
+            played += 1;
+            ctx.record_nested_move();
+        }
+    }
+
+    if played > 0
+        && config.memory == MemoryPolicy::Memorise
+        && config.playout_cap.is_none()
+        && ctx.interruption().is_none()
+    {
         debug_assert_eq!(
             best_score,
             pos.score(),
@@ -398,12 +485,12 @@ fn nested_inner<G: Game>(
     level: u32,
     config: &NestedConfig,
     rng: &mut Rng,
-    stats: &mut SearchStats,
+    ctx: &mut SearchCtx,
 ) -> (Score, Vec<G::Move>) {
     if level == 0 {
         let mut g = game.clone();
         let mut seq = Vec::new();
-        let score = sample_into(&mut g, rng, config.playout_cap, &mut seq, stats);
+        let score = sample_ctx(&mut g, rng, config.playout_cap, &mut seq, ctx);
         return (score, seq);
     }
 
@@ -423,19 +510,26 @@ fn nested_inner<G: Game>(
         if moves.is_empty() {
             break;
         }
+        if ctx.should_stop() {
+            break;
+        }
 
         let mut step_best: Option<(Score, usize)> = None;
         for (i, mv) in moves.iter().enumerate() {
+            // Once interrupted, no new evaluations may start.
+            if ctx.should_stop() {
+                break;
+            }
             let mut child = pos.clone();
             child.play(mv);
-            stats.record_expansion();
+            ctx.record_expansion();
 
             let (score, continuation) = if level == 1 {
                 scratch_seq.clear();
-                let s = sample_into(&mut child, rng, config.playout_cap, &mut scratch_seq, stats);
+                let s = sample_ctx(&mut child, rng, config.playout_cap, &mut scratch_seq, ctx);
                 (s, &scratch_seq)
             } else {
-                let (s, seq) = nested_inner(&child, level - 1, config, rng, stats);
+                let (s, seq) = nested_inner(&child, level - 1, config, rng, ctx);
                 scratch_seq = seq;
                 (s, &scratch_seq)
             };
@@ -451,6 +545,9 @@ fn nested_inner<G: Game>(
                 best_seq.push(mv.clone());
                 best_seq.extend(continuation.iter().cloned());
             }
+        }
+        if ctx.interruption().is_some() {
+            break;
         }
 
         // Paper lines 10–11: play the next move of the memorised best
@@ -474,10 +571,25 @@ fn nested_inner<G: Game>(
         };
         pos.play(&next);
         played += 1;
-        stats.record_nested_move();
+        ctx.record_nested_move();
     }
 
-    if played > 0 && config.memory == MemoryPolicy::Memorise && config.playout_cap.is_none() {
+    // Interrupted: fast-forward the memorised continuation (see
+    // `nested_scratch`) so score and sequence stay consistent.
+    if ctx.interruption().is_some() && config.memory == MemoryPolicy::Memorise {
+        while played < best_seq.len() {
+            let mv = best_seq[played].clone();
+            pos.play(&mv);
+            played += 1;
+            ctx.record_nested_move();
+        }
+    }
+
+    if played > 0
+        && config.memory == MemoryPolicy::Memorise
+        && config.playout_cap.is_none()
+        && ctx.interruption().is_none()
+    {
         debug_assert_eq!(
             best_score,
             pos.score(),
@@ -518,7 +630,7 @@ pub fn evaluate_moves<G: Game>(
             .enumerate()
             .map(|(i, mv)| {
                 let mut rng = Rng::seeded(seeds(i));
-                let mut stats = SearchStats::new();
+                let mut ctx = SearchCtx::unbounded();
                 let token = pos.apply(&mv);
                 let (score, sequence) = if level == 0 {
                     let mut seq = Vec::new();
@@ -527,11 +639,11 @@ pub fn evaluate_moves<G: Game>(
                         &mut rng,
                         config.playout_cap,
                         &mut seq,
-                        &mut stats,
+                        &mut ctx,
                     );
                     (score, seq)
                 } else {
-                    nested_scratch(&mut pos, level, config, &mut rng, &mut stats, &mut scratch)
+                    nested_scratch(&mut pos, level, config, &mut rng, &mut ctx, &mut scratch)
                 };
                 pos.undo(token);
                 (
@@ -539,7 +651,7 @@ pub fn evaluate_moves<G: Game>(
                     SearchResult {
                         score,
                         sequence,
-                        stats,
+                        stats: ctx.into_stats(),
                     },
                 )
             })
@@ -552,24 +664,34 @@ pub fn evaluate_moves<G: Game>(
             let mut child = game.clone();
             child.play(&mv);
             let mut rng = Rng::seeded(seeds(i));
+            let mut ctx = SearchCtx::unbounded();
             let res = if level == 0 {
-                let mut stats = SearchStats::new();
                 let mut seq = Vec::new();
                 let mut g = child.clone();
-                let score = sample_into(&mut g, &mut rng, config.playout_cap, &mut seq, &mut stats);
+                let score = sample_ctx(&mut g, &mut rng, config.playout_cap, &mut seq, &mut ctx);
                 SearchResult {
                     score,
                     sequence: seq,
-                    stats,
+                    stats: ctx.into_stats(),
                 }
             } else {
-                nested(&child, level, config, &mut rng)
+                let (score, sequence) = nested_with(&child, level, config, &mut rng, &mut ctx);
+                SearchResult {
+                    score,
+                    sequence,
+                    stats: ctx.into_stats(),
+                }
             };
             (mv, res)
         })
         .collect()
 }
 
+// The unit tests intentionally keep exercising the deprecated free
+// functions: they are the regression net asserting the shims stay
+// bit-identical to the historical behaviour (new-API coverage lives in
+// `spec.rs` and `tests/budget_props.rs`).
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -753,9 +875,9 @@ mod tests {
         for seed in 0..20 {
             let mut pos = root.clone();
             let mut seq = Vec::new();
-            let mut stats = SearchStats::new();
+            let mut ctx = SearchCtx::unbounded();
             let score =
-                scratch.run_undo(&mut pos, &mut Rng::seeded(seed), None, &mut seq, &mut stats);
+                scratch.run_undo(&mut pos, &mut Rng::seeded(seed), None, &mut seq, &mut ctx);
             assert_eq!(pos.0.taken, root.0.taken, "seed {seed}: position restored");
 
             let mut clone = root.clone();
@@ -770,7 +892,7 @@ mod tests {
             );
             assert_eq!(score, score2, "seed {seed}");
             assert_eq!(seq, seq2, "seed {seed}");
-            assert_eq!(stats, stats2, "seed {seed}");
+            assert_eq!(*ctx.stats(), stats2, "seed {seed}");
         }
     }
 
@@ -845,6 +967,33 @@ mod tests {
         assert_eq!(a.score, b.score);
         assert_eq!(a.sequence, b.sequence);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn shim_equals_ctx_entry_point_seed_for_seed() {
+        // The deprecated shim and the ctx-threaded engine room must stay
+        // bit-identical (this is the contract the shims advertise).
+        for seed in 0..10 {
+            for level in 0..3 {
+                let shim = nested(
+                    &Trap { taken: vec![] },
+                    level,
+                    &NestedConfig::paper(),
+                    &mut Rng::seeded(seed),
+                );
+                let mut ctx = SearchCtx::unbounded();
+                let (score, sequence) = nested_with(
+                    &Trap { taken: vec![] },
+                    level,
+                    &NestedConfig::paper(),
+                    &mut Rng::seeded(seed),
+                    &mut ctx,
+                );
+                assert_eq!(shim.score, score, "seed {seed} level {level}");
+                assert_eq!(shim.sequence, sequence, "seed {seed} level {level}");
+                assert_eq!(shim.stats, ctx.into_stats(), "seed {seed} level {level}");
+            }
+        }
     }
 
     #[test]

@@ -15,13 +15,14 @@
 //!   playout*, not the visit-count path, matching how the NMCS results
 //!   are scored.
 
+use crate::ctx::SearchCtx;
 use crate::game::{Game, Score, Undo};
 use crate::rng::Rng;
 use crate::search::{PlayoutScratch, SearchResult};
-use crate::stats::SearchStats;
+use serde::{Deserialize, Serialize};
 
 /// UCT tunables.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UctConfig {
     /// Playout budget (tree iterations).
     pub iterations: usize,
@@ -55,8 +56,30 @@ struct Node<M> {
 }
 
 /// Runs UCT from `game` and returns the best playout found.
+#[deprecated(note = "use SearchSpec::uct() — the unified search API")]
 pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult<G::Move> {
-    let mut stats = SearchStats::new();
+    let mut ctx = SearchCtx::unbounded();
+    let (score, sequence) = uct_with(game, config, rng, &mut ctx);
+    SearchResult {
+        score,
+        sequence,
+        stats: ctx.into_stats(),
+    }
+}
+
+/// Runs UCT from `game`, accounting into (and honouring the
+/// budget/cancellation of) `ctx`.
+///
+/// The engine room behind `SearchSpec::uct()`; the deprecated [`uct`]
+/// free function is a thin shim over it. The node budget
+/// (`Budget::max_nodes`) counts tree expansions, so a budgeted UCT run
+/// is bounded in memory as well as time.
+pub fn uct_with<G: Game>(
+    game: &G,
+    config: &UctConfig,
+    rng: &mut Rng,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>) {
     let mut nodes: Vec<Node<G::Move>> = vec![Node {
         mv: None,
         children: Vec::new(),
@@ -81,7 +104,10 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
     let mut shared_pos = game.clone();
     let mut undo_stack: Vec<Undo<G>> = Vec::new();
     let mut playout: PlayoutScratch<G> = PlayoutScratch::new();
-    for _ in 0..config.iterations.max(1) {
+    for iteration in 0..config.iterations.max(1) {
+        if iteration > 0 && ctx.should_stop() {
+            break;
+        }
         let mut cloned_pos: Option<G> = None;
         let pos: &mut G = if use_undo {
             debug_assert!(undo_stack.is_empty());
@@ -115,7 +141,7 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
                     pos.play(&mv);
                 }
                 seq.push(mv.clone());
-                stats.record_expansion();
+                ctx.record_expansion();
                 let child = nodes.len();
                 nodes.push(Node {
                     mv: Some(mv),
@@ -156,15 +182,15 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
                 pos.play(&mv);
             }
             seq.push(mv);
-            stats.record_nested_move();
+            ctx.record_nested_move();
             path.push(best_child);
         }
 
         // ---- rollout ----
         let score = if use_undo {
-            playout.run_undo(pos, rng, None, &mut seq, &mut stats)
+            playout.run_undo(pos, rng, None, &mut seq, ctx)
         } else {
-            crate::search::sample_into(pos, rng, None, &mut seq, &mut stats)
+            crate::search::sample_ctx(pos, rng, None, &mut seq, ctx)
         };
         // Unwind the selection descent: the shared position returns to
         // the root for the next iteration.
@@ -187,13 +213,12 @@ pub fn uct<G: Game>(game: &G, config: &UctConfig, rng: &mut Rng) -> SearchResult
         }
     }
 
-    SearchResult {
-        score: best_score,
-        sequence: best_seq,
-        stats,
-    }
+    (best_score, best_seq)
 }
 
+// The unit tests keep exercising the deprecated free functions: they are
+// the regression net for the shims (new-API coverage lives in `spec.rs`).
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

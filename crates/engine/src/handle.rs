@@ -13,7 +13,7 @@ pub(crate) enum ReplicaOutcome {
     Panicked,
 }
 use crate::scheduler::ReplicaPlan;
-use std::sync::atomic::{AtomicBool, Ordering};
+use nmcs_core::CancelToken;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -32,7 +32,9 @@ pub(crate) struct JobCore {
     pub id: JobId,
     pub spec: JobSpec,
     pub plans: Vec<ReplicaPlan>,
-    pub cancel: AtomicBool,
+    /// Cooperative cancellation handle, polled inside the search loops
+    /// of every replica (see [`nmcs_core::CancelToken`]).
+    pub cancel: CancelToken,
     pub submitted_at: Instant,
     pub inner: Mutex<JobInner>,
     pub done: Condvar,
@@ -45,7 +47,7 @@ impl JobCore {
             id,
             spec,
             plans,
-            cancel: AtomicBool::new(false),
+            cancel: CancelToken::new(),
             submitted_at: Instant::now(),
             inner: Mutex::new(JobInner {
                 state: JobState::Queued,
@@ -64,7 +66,12 @@ impl JobCore {
     }
 
     pub fn is_cancelled(&self) -> bool {
-        self.cancel.load(Ordering::Acquire)
+        self.cancel.is_cancelled()
+    }
+
+    /// The job's cancel token (workers hand it to `SearchSpec::search`).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Marks the job running (first replica picked up).
@@ -198,10 +205,10 @@ impl JobHandle {
 
     /// Requests cancellation. Replicas that already finished keep their
     /// results; queued replicas are skipped when dequeued; *running*
-    /// replicas observe the flag through their game wrapper within a few
-    /// playout steps and unwind promptly. Idempotent.
+    /// replicas observe the token inside their search loops (at
+    /// playout-move granularity) and return promptly. Idempotent.
     pub fn cancel(&self) {
-        self.core.cancel.store(true, Ordering::Release);
+        self.core.cancel.cancel();
     }
 
     /// Blocks until the job reaches a terminal state and returns the

@@ -1,99 +1,28 @@
 //! Job descriptions and result types for the engine.
+//!
+//! Since the unified search API landed, an engine job is "a
+//! [`SearchSpec`] applied to an erased game": [`Algorithm`] is the
+//! core's [`nmcs_core::AlgorithmSpec`] re-exported (the engine's old
+//! private enum duplicated its config plumbing), jobs carry a
+//! [`Budget`], and every replica runs through `SearchSpec::run` — so an
+//! engine job is reproducible as one `spec.run(&game)` call with the
+//! replica's recorded seed.
 
-use nmcs_core::{
-    CodedGame, DynGame, Game, MemoryPolicy, NestedConfig, NrpaConfig, Score, SearchResult,
-    UctConfig,
-};
+use nmcs_core::{Budget, CodedGame, DynGame, Game, MemoryPolicy, Score, SearchResult, SearchSpec};
 use std::time::Duration;
 
 /// Engine-assigned job identifier (unique per [`crate::Engine`]).
 pub type JobId = u64;
 
-/// Which search to run. Every variant maps to exactly one function of
-/// `nmcs-core`, so an engine job is reproducible as a direct library
-/// call with the job's seed.
-#[derive(Debug, Clone)]
-pub enum Algorithm {
-    /// [`nmcs_core::nested`] at `level`.
-    Nested { level: u32, config: NestedConfig },
-    /// [`nmcs_core::nrpa`] at `level`.
-    Nrpa { level: u32, config: NrpaConfig },
-    /// [`nmcs_core::uct`].
-    Uct { config: UctConfig },
-    /// [`nmcs_core::baselines::flat_monte_carlo`] with `playouts`
-    /// samples per step.
-    FlatMc { playouts: usize },
-    /// A single random playout ([`nmcs_core::sample`]).
-    Sample,
-}
+/// Which search to run — the unified algorithm description from
+/// `nmcs-core`. Every variant maps to exactly one strategy of
+/// [`SearchSpec`], so an engine job is reproducible as a direct
+/// `spec.run(&game)` call with the job's seed.
+pub type Algorithm = nmcs_core::AlgorithmSpec;
 
-impl Algorithm {
-    /// Convenience constructor for the most common job shape.
-    pub fn nested(level: u32) -> Self {
-        Algorithm::Nested {
-            level,
-            config: NestedConfig::paper(),
-        }
-    }
-
-    /// NRPA with `iterations` recursive calls per level.
-    pub fn nrpa(level: u32, iterations: usize) -> Self {
-        Algorithm::Nrpa {
-            level,
-            config: NrpaConfig {
-                iterations,
-                alpha: 1.0,
-            },
-        }
-    }
-
-    /// Short label for logs and progress lines.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Algorithm::Nested { .. } => "nested",
-            Algorithm::Nrpa { .. } => "nrpa",
-            Algorithm::Uct { .. } => "uct",
-            Algorithm::FlatMc { .. } => "flat-mc",
-            Algorithm::Sample => "sample",
-        }
-    }
-
-    /// Stable digest of the variant *and* its configuration, mixed into
-    /// replica signatures by the scheduler. Two algorithms with the same
-    /// shape but different tunables must not look like duplicates.
-    pub(crate) fn tag(&self) -> u64 {
-        let words: [u64; 4] = match self {
-            Algorithm::Nested { level, config } => [
-                0x100 + *level as u64,
-                config.memory as u64,
-                config.playout_cap.map_or(u64::MAX, |c| c as u64),
-                0,
-            ],
-            Algorithm::Nrpa { level, config } => [
-                0x200 + *level as u64,
-                config.iterations as u64,
-                config.alpha.to_bits(),
-                0,
-            ],
-            Algorithm::Uct { config } => [
-                0x300,
-                config.iterations as u64,
-                config.exploration.to_bits(),
-                config.max_bias.to_bits(),
-            ],
-            Algorithm::FlatMc { playouts } => [0x400, *playouts as u64, 0, 0],
-            Algorithm::Sample => [0x500, 0, 0, 0],
-        };
-        let mut h = nmcs_core::Fnv1a::new();
-        for w in words {
-            h.write_u64(w);
-        }
-        h.finish()
-    }
-}
-
-/// A search job: one game position × one algorithm × one seed, run as
-/// `replicas` root-parallel replicas whose best result wins.
+/// A search job: one game position × one algorithm × one seed × one
+/// budget, run as `replicas` root-parallel replicas whose best result
+/// wins.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     /// Human-readable name; also part of the scheduler's duplicate
@@ -110,6 +39,10 @@ pub struct JobSpec {
     /// `parallel_nmcs::seeds::median_seed` (see
     /// [`crate::scheduler::ReplicaPlan`]).
     pub seed: u64,
+    /// Per-replica budget (deadline / playout cap / node cap), honoured
+    /// cooperatively inside the search loops. A budget-interrupted
+    /// replica still reports its best-so-far result.
+    pub budget: Budget,
     /// Number of root-parallel replicas (≥ 1).
     pub replicas: usize,
     /// When true, odd NMCS replicas run the greedy memory policy instead
@@ -131,6 +64,7 @@ impl JobSpec {
             game: DynGame::new(game),
             algorithm,
             seed,
+            budget: Budget::none(),
             replicas: 1,
             diversify_policies: false,
         }
@@ -147,9 +81,45 @@ impl JobSpec {
             game: DynGame::new_uncoded(game),
             algorithm,
             seed,
+            budget: Budget::none(),
             replicas: 1,
             diversify_policies: false,
         }
+    }
+
+    /// A job from a complete [`SearchSpec`] — algorithm, budget, and
+    /// seed travel together, so a spec pasted from a sweep row or a
+    /// service request runs unchanged.
+    pub fn from_spec<G>(name: impl Into<String>, game: G, spec: SearchSpec) -> Self
+    where
+        G: CodedGame + Send + Sync + 'static,
+        G::Move: Send + Sync,
+    {
+        JobSpec {
+            name: name.into(),
+            game: DynGame::new(game),
+            algorithm: spec.algorithm,
+            seed: spec.seed,
+            budget: spec.budget,
+            replicas: 1,
+            diversify_policies: false,
+        }
+    }
+
+    /// The job's unified spec (algorithm + budget + job seed). Replica
+    /// `r` of an ensemble runs this spec with its plan seed substituted.
+    pub fn search_spec(&self) -> SearchSpec {
+        SearchSpec {
+            algorithm: self.algorithm.clone(),
+            budget: self.budget.clone(),
+            seed: self.seed,
+        }
+    }
+
+    /// Sets the per-replica budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Sets the ensemble width.
@@ -216,8 +186,8 @@ pub struct ReplicaResult {
     /// The seed this replica actually ran with. Normally the scheduler's
     /// canonical derivation from the job seed; differs only when
     /// duplicate in-flight work forced diversification. Either way, the
-    /// replica's `result` is bit-identical to the direct library call
-    /// with this seed (and `memory_policy`, for NMCS).
+    /// replica's `result` is bit-identical to `spec.run` with this seed
+    /// (and `memory_policy`, for NMCS).
     pub seed_used: u64,
     /// The NMCS memory policy this replica ran with (None for non-NMCS
     /// algorithms).
@@ -225,6 +195,10 @@ pub struct ReplicaResult {
     /// Index-encoded search result; decode with
     /// [`nmcs_core::decode_result`] against the typed root position.
     pub result: SearchResult<usize>,
+    /// Why the replica stopped early, if its budget interrupted it
+    /// (budget-interrupted replicas keep their best-so-far result;
+    /// cancellation discards the replica instead).
+    pub interrupted: Option<nmcs_core::Interruption>,
     pub elapsed: Duration,
 }
 

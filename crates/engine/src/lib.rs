@@ -3,23 +3,31 @@
 //! The paper's cluster NMCS answers *one* search as fast as a cluster
 //! allows. This crate answers *many*: a long-running [`Engine`] accepts
 //! heterogeneous search jobs — any game (via the object-safe
-//! [`nmcs_core::DynGame`] erasure) × any algorithm ([`Algorithm`]: NMCS,
-//! NRPA, UCT, flat Monte-Carlo, raw playouts) — on a bounded submission
-//! queue and executes them on a shared work-stealing worker pool.
+//! [`nmcs_core::DynGame`] erasure) × any strategy of the unified search
+//! API ([`Algorithm`] *is* [`nmcs_core::AlgorithmSpec`]) — on a bounded
+//! submission queue and executes them on a shared work-stealing worker
+//! pool. A job is "a [`nmcs_core::SearchSpec`] applied to an erased
+//! game" ([`JobSpec::from_spec`]), so algorithm, tunables, budget, and
+//! seed travel as one serde-able value.
 //!
 //! Properties the service layer guarantees:
 //!
-//! * **Determinism** — a job's result is bit-identical to the equivalent
-//!   direct `nmcs-core` call with the job's seed; ensemble replicas
-//!   derive their seeds through `parallel_nmcs::seeds`, the same scheme
-//!   the cluster backends use (see [`scheduler`]).
+//! * **Determinism** — a job's result is bit-identical to
+//!   `spec.run(&game)` with the job's seed; ensemble replicas derive
+//!   their seeds through `parallel_nmcs::seeds`, the same scheme the
+//!   cluster backends use (see [`scheduler`]).
 //! * **Backpressure** — the queue is bounded; [`Engine::submit`] blocks
 //!   when full, [`Engine::try_submit`] fails fast, and queued memory is
 //!   bounded by `queue_capacity` tasks
 //!   ([`EngineStats::peak_queue_depth`] is the witness).
-//! * **Prompt cancellation** — [`JobHandle::cancel`] reaches *running*
-//!   searches through a cancellation-transparent game wrapper, so even a
-//!   deep NMCS unwinds within a few playout steps.
+//! * **Prompt cancellation** — [`JobHandle::cancel`] trips a
+//!   [`nmcs_core::CancelToken`] polled inside every search loop at
+//!   playout-move granularity, so even a deep NMCS returns within
+//!   microseconds of the request.
+//! * **Budgets** — [`JobSpec::with_budget`] bounds each replica by
+//!   deadline / playout cap / node cap; budget-interrupted replicas
+//!   keep their (replayable) best-so-far result, with the reason in
+//!   [`ReplicaResult::interrupted`].
 //! * **Streaming progress** — [`JobHandle::poll_progress`] returns
 //!   monotone snapshots (replicas done, best-so-far score, work units).
 //! * **Diversified ensembles** — root-parallel replica jobs perturb
@@ -249,7 +257,7 @@ impl Engine {
                 }
                 self.shared.outstanding.fetch_sub(n - i, Ordering::AcqRel);
                 // Replicas already queued will be skipped by workers.
-                core.cancel.store(true, Ordering::Release);
+                core.cancel.cancel();
                 return Err(SubmitError::ShuttingDown);
             }
         }
@@ -265,6 +273,9 @@ impl Engine {
     /// [`SubmitError::QueueFull`] **with the spec handed back**, so the
     /// retry-with-blocking-`submit` fallback needs no upfront clone of
     /// the game position.
+    // Handing the (large) spec back on rejection is the point of this
+    // API — the caller resubmits it without cloning the game.
+    #[allow(clippy::result_large_err)]
     pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, (SubmitError, JobSpec)> {
         let (core, tasks) = self.admit(spec);
         let n = tasks.len();
@@ -362,6 +373,9 @@ impl Drop for Engine {
     }
 }
 
+// The unit tests exercise the deprecated shims on purpose (legacy-
+// surface regression net; the unified API has its own coverage).
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

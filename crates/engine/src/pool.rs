@@ -7,19 +7,24 @@
 //! *back* of a sibling's deque. Long searches therefore never convoy
 //! behind each other: whatever sits unstarted behind a busy worker is
 //! fair game for an idle one.
+//!
+//! Task execution goes through the unified search API: each replica
+//! builds a [`SearchSpec`] (the job's algorithm and budget with the
+//! replica's planned seed and memory policy) and runs it on the erased
+//! game with the job's [`nmcs_core::CancelToken`]. Cancellation is
+//! therefore cooperative *inside* the search loops — no game wrapper,
+//! no truncated-invariant panics — and budget-interrupted replicas
+//! return valid best-so-far results.
 
 use crate::handle::{JobCore, ReplicaOutcome};
 use crate::job::{Algorithm, ReplicaResult};
 use crate::queue::BoundedQueue;
 use crate::scheduler::InFlight;
-use nmcs_core::baselines::flat_monte_carlo;
-use nmcs_core::{
-    nested, nrpa, sample, uct, CodedGame, DynGame, Game, NestedConfig, Rng, Score, Undo,
-};
+use nmcs_core::{NestedConfig, Searcher};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One schedulable unit: a single replica of a job.
 pub(crate) struct Task {
@@ -181,91 +186,6 @@ fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
     }
 }
 
-/// A cancellation-transparent view of a job's game: identical to the
-/// inner game until the job's cancel flag rises, after which the
-/// position reports no legal moves — every playout then terminates at
-/// once and the search unwinds within a few steps, which is what makes
-/// [`crate::JobHandle::cancel`] prompt even mid-search.
-#[derive(Clone)]
-struct Interruptible {
-    game: DynGame,
-    cancel: Arc<JobCore>,
-}
-
-impl Game for Interruptible {
-    type Move = usize;
-
-    fn legal_moves(&self, out: &mut Vec<usize>) {
-        if self.cancel.is_cancelled() {
-            return;
-        }
-        self.game.legal_moves(out);
-    }
-
-    fn play(&mut self, mv: &usize) {
-        self.game.play(mv);
-    }
-
-    fn score(&self) -> Score {
-        self.game.score()
-    }
-
-    fn moves_played(&self) -> usize {
-        self.game.moves_played()
-    }
-
-    fn is_terminal(&self) -> bool {
-        self.cancel.is_cancelled() || self.game.is_terminal()
-    }
-
-    // The scratch-state fast path tunnels through the wrapper so engine
-    // searches stay clone-free on games that support it. Cancellation is
-    // unaffected: it acts at move *enumeration*, not application.
-
-    fn supports_undo(&self) -> bool {
-        self.game.supports_undo()
-    }
-
-    fn apply(&mut self, mv: &usize) -> Undo<Self> {
-        match self.game.apply(mv).into_snapshot() {
-            None => Undo::internal(),
-            Some(snapshot) => Undo::snapshot(Interruptible {
-                game: *snapshot,
-                cancel: self.cancel.clone(),
-            }),
-        }
-    }
-
-    fn undo(&mut self, token: Undo<Self>) {
-        match token.into_snapshot() {
-            Some(snapshot) => *self = *snapshot,
-            None => self.game.undo(Undo::internal()),
-        }
-    }
-
-    fn undo_all(&mut self, tokens: &mut Vec<Undo<Self>>) {
-        // Forward whole-playout unwinds to the erasure's batch path (one
-        // legal-move cache refresh instead of one per token). Mirrors
-        // `DynGame::undo_all` — the token types differ, so the decision
-        // cannot be shared without materialising a converted token stack.
-        if tokens.iter().all(|t| t.is_internal()) {
-            let n = tokens.len();
-            tokens.clear();
-            self.game.undo_last_n(n);
-        } else {
-            while let Some(token) = tokens.pop() {
-                self.undo(token);
-            }
-        }
-    }
-}
-
-impl CodedGame for Interruptible {
-    fn move_code(&self, mv: &usize) -> u64 {
-        self.game.move_code(mv)
-    }
-}
-
 fn run_task(shared: &PoolShared, task: Task) {
     let job = task.job;
     let plan = job.plans[task.replica];
@@ -283,47 +203,39 @@ fn run_task(shared: &PoolShared, task: Task) {
     }
 
     job.mark_running();
-    let game = Interruptible {
-        game: job.spec.game.clone(),
-        cancel: job.clone(),
-    };
-    let mut rng = Rng::seeded(plan.seed);
-    let started = Instant::now();
 
-    // The search is fenced with catch_unwind for two reasons: a buggy
-    // game implementation must not take the worker thread (and with it
-    // the whole engine) down, and a *cancelled* search legitimately
-    // violates search invariants (the cancellation wrapper truncates the
-    // game mid-flight, which debug assertions inside the search are
-    // entitled to notice).
-    let result =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.spec.algorithm {
-            Algorithm::Nested { level, config } => {
-                let config = match plan.memory_policy {
-                    Some(policy) => NestedConfig {
-                        memory: policy,
-                        ..config.clone()
-                    },
-                    None => config.clone(),
-                };
-                nested(&game, *level, &config, &mut rng)
-            }
-            Algorithm::Nrpa { level, config } => nrpa(&game, *level, config, &mut rng),
-            Algorithm::Uct { config } => uct(&game, config, &mut rng),
-            Algorithm::FlatMc { playouts } => flat_monte_carlo(&game, *playouts, &mut rng),
-            Algorithm::Sample => sample(&game, &mut rng),
-        }));
-    let elapsed = started.elapsed();
+    // The replica's unified spec: job algorithm (with the plan's memory
+    // policy substituted for diversified NMCS replicas) + job budget +
+    // plan seed.
+    let mut spec = job.spec.search_spec();
+    spec.seed = plan.seed;
+    if let (Algorithm::Nested { config, .. }, Some(policy)) =
+        (&mut spec.algorithm, plan.memory_policy)
+    {
+        *config = NestedConfig {
+            memory: policy,
+            ..config.clone()
+        };
+    }
+    let game = job.spec.game.clone();
+
+    // The search is fenced with catch_unwind so a buggy game
+    // implementation cannot take the worker thread (and with it the
+    // whole engine) down. Cancellation no longer relies on unwinding:
+    // the cancel token is polled cooperatively inside every search loop.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        spec.search(&game, Some(job.cancel_token()))
+    }));
 
     let outcome = match result {
-        // A search that raced with cancellation produced a truncated
-        // result (and may even have panicked on a truncation-violated
-        // invariant); discard it rather than report a wrong score.
+        // A search that raced with cancellation returned a truncated
+        // best-so-far result; discard it so cancelled jobs never report
+        // partial scores as if they were complete.
         _ if job.is_cancelled() => {
             shared.metrics.skipped_tasks.fetch_add(1, Ordering::Relaxed);
             ReplicaOutcome::Skipped
         }
-        Ok(result) => {
+        Ok(report) => {
             shared
                 .metrics
                 .executed_tasks
@@ -331,12 +243,15 @@ fn run_task(shared: &PoolShared, task: Task) {
             shared
                 .metrics
                 .total_work_units
-                .fetch_add(result.stats.work_units, Ordering::Relaxed);
+                .fetch_add(report.stats.work_units, Ordering::Relaxed);
+            let elapsed = report.elapsed;
+            let interrupted = report.interrupted;
             ReplicaOutcome::Finished(ReplicaResult {
                 replica: task.replica,
                 seed_used: plan.seed,
                 memory_policy: plan.memory_policy,
-                result,
+                result: report.into_result(),
+                interrupted,
                 elapsed,
             })
         }

@@ -1,4 +1,7 @@
 //! Quick calibration: playout and NMCS costs on the standard 5D cross.
+// Calibrates through the deprecated shims (zero-cost; comparable
+// with historical numbers).
+#![allow(deprecated)]
 use morpion::standard_5d;
 use nmcs_core::{nested, sample, NestedConfig, Rng};
 use std::time::Instant;

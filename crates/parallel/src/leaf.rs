@@ -3,31 +3,33 @@
 //! The paper parallelises *across candidate moves* (one median per root
 //! move, one client per median move). WU-UCT and the later
 //! parallel-MCTS literature get their wins from a different axis:
-//! keeping many cheap rollouts in flight at once. This module applies
+//! keeping many cheap rollouts in flight at once. This strategy applies
 //! that idea to NMCS as **leaf parallelism**: the top-level game is
 //! played greedily, and each candidate move is evaluated by a *batch* of
 //! `batch` independent `level − 1` evaluations (single random playouts
 //! at level 1) whose `(move, slot)` work items spread across a worker
 //! pool.
 //!
+//! The implementation lives behind the unified front door
+//! (`SearchSpec::leaf(level, batch, threads)`), which fans the items of
+//! each step out over scoped std-thread workers with budget and
+//! cancellation support; the [`leaf_nested`] function here is the
+//! historical entry point, kept as a thin shim over the spec (and
+//! asserted result-identical to it).
+//!
 //! Determinism contract: every work item's seed derives from its logical
 //! coordinates through the same [`crate::seeds`] scheme the cluster
 //! backends use — `median_seed(root_seed, step, move)` names the leaf,
-//! and the batch slots index client seeds under it. Scores therefore
-//! depend only on the search structure, never on scheduling: results are
-//! bit-identical across any worker count, which the tests assert.
-//!
-//! The per-item evaluations run on positions with the scratch-state
-//! fast path (see [`nmcs_core::Game::apply`]) wherever the game provides
-//! one: each worker mutates its private copy forward and never clones
-//! inside the playout loop.
+//! and the batch slots index client seeds under it ([`slot_seed`]).
+//! Scores therefore depend only on the search structure, never on
+//! scheduling: results are bit-identical across any worker count, which
+//! the tests assert.
 
-use crate::seeds::{client_seed, median_seed};
 use crate::trace::{ParallelOutcome, RunMode};
-use crossbeam::channel::unbounded;
-use nmcs_core::{nested, NestedConfig, PlayoutScratch, Rng, SearchStats};
-use nmcs_core::{Game, Score};
-use std::time::{Duration, Instant};
+use nmcs_core::{CodedGame, SearchSpec, Searcher};
+use std::time::Duration;
+
+pub use crate::seeds::slot_seed;
 
 /// Configuration for [`leaf_nested`].
 #[derive(Debug, Clone)]
@@ -57,13 +59,19 @@ impl LeafConfig {
             playout_cap: None,
         }
     }
-}
 
-/// The seed of batch slot `slot` of the leaf at `(step, move)` — the
-/// existing client derivation with the slot in the client-move position,
-/// pinned as part of the cross-backend determinism contract.
-pub fn slot_seed(root_seed: u64, step: usize, mv: usize, slot: usize) -> u64 {
-    client_seed(median_seed(root_seed, step, mv), 0, slot)
+    /// The equivalent unified spec: `leaf_nested(game, &config)` and
+    /// `config.to_spec().run(&game)` produce identical outcomes.
+    pub fn to_spec(&self) -> SearchSpec {
+        let mut builder = SearchSpec::leaf(self.level, self.batch, self.threads).seed(self.seed);
+        if let Some(cap) = self.playout_cap {
+            builder = builder.playout_cap(cap);
+        }
+        if self.mode == RunMode::FirstMove {
+            builder = builder.first_move_only();
+        }
+        builder.build()
+    }
 }
 
 /// Runs a top-level greedy NMCS whose candidate moves are each evaluated
@@ -73,126 +81,25 @@ pub fn slot_seed(root_seed: u64, step: usize, mv: usize, slot: usize) -> u64 {
 /// Ties break toward the lower move index (and are score-exact because
 /// every slot's result is deterministic), so the chosen move never
 /// depends on which worker finished first.
+#[deprecated(note = "use SearchSpec::leaf(level, batch, threads) — the unified search API")]
 pub fn leaf_nested<G>(game: &G, config: &LeafConfig) -> (ParallelOutcome<G::Move>, Duration)
 where
-    G: Game + Send,
-    G::Move: Send,
+    G: CodedGame + Send + Sync,
+    G::Move: Send + Sync,
 {
-    assert!(config.level >= 1, "leaf_nested needs level >= 1");
-    assert!(config.batch >= 1, "leaf_nested needs batch >= 1");
-    assert!(config.threads >= 1);
-    let eval_level = config.level - 1;
-    let nconfig = NestedConfig {
-        playout_cap: config.playout_cap,
-        ..NestedConfig::paper()
-    };
-
-    let started = Instant::now();
-    let mut pos = game.clone();
-    let mut sequence = Vec::new();
-    let mut total_work = 0u64;
-    let mut client_jobs = 0u64;
-    let mut first_step_best: Option<Score> = None;
-    let mut moves: Vec<G::Move> = Vec::new();
-    let mut step = 0usize;
-
-    loop {
-        pos.legal_moves_into(&mut moves);
-        if moves.is_empty() {
-            break;
-        }
-
-        // Fan (move, slot) items out over a scoped pool. Positions are
-        // cloned once per item at the fan-out boundary (threads need
-        // owned state); everything inside the item is clone-free.
-        let (job_tx, job_rx) = unbounded::<(usize, usize, G)>();
-        let (res_tx, res_rx) = unbounded::<(usize, Score, u64)>();
-        for (i, mv) in moves.iter().enumerate() {
-            let mut child = pos.clone();
-            child.play(mv);
-            for slot in 0..config.batch {
-                job_tx
-                    .send((i, slot, child.clone()))
-                    .expect("job queue open");
-            }
-        }
-        drop(job_tx);
-
-        let items = moves.len() * config.batch;
-        crossbeam::scope(|scope| {
-            for _ in 0..config.threads.min(items) {
-                let job_rx = job_rx.clone();
-                let res_tx = res_tx.clone();
-                let nconfig = &nconfig;
-                let seed = config.seed;
-                scope.spawn(move |_| {
-                    let mut scratch = PlayoutScratch::new();
-                    let mut seq = Vec::new();
-                    while let Ok((i, slot, mut child)) = job_rx.recv() {
-                        let mut rng = Rng::seeded(slot_seed(seed, step, i, slot));
-                        let (score, work) = if eval_level == 0 {
-                            let mut stats = SearchStats::new();
-                            seq.clear();
-                            let s = scratch.run(
-                                &mut child,
-                                &mut rng,
-                                nconfig.playout_cap,
-                                &mut seq,
-                                &mut stats,
-                            );
-                            (s, stats.work_units)
-                        } else {
-                            let r = nested(&child, eval_level, nconfig, &mut rng);
-                            (r.score, r.stats.work_units)
-                        };
-                        res_tx.send((i, score, work)).expect("result channel open");
-                    }
-                });
-            }
-        })
-        .expect("pool workers do not panic");
-        drop(res_tx);
-
-        // Deterministic reduce: batch-max per move, argmax over moves
-        // with ties to the lower index.
-        let mut per_move: Vec<Option<Score>> = vec![None; moves.len()];
-        for (i, score, work) in res_rx.iter() {
-            total_work += work;
-            client_jobs += 1;
-            per_move[i] = Some(per_move[i].map_or(score, |s: Score| s.max(score)));
-        }
-        let (best_idx, best_score) = per_move
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i, s.expect("every leaf evaluated")))
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-            .expect("non-empty move list");
-        if step == 0 {
-            first_step_best = Some(best_score);
-        }
-        sequence.push(moves[best_idx].clone());
-        pos.play(&moves[best_idx]);
-        step += 1;
-        if config.mode == RunMode::FirstMove {
-            break;
-        }
-    }
-
-    let score = match config.mode {
-        RunMode::FirstMove => first_step_best.unwrap_or_else(|| pos.score()),
-        RunMode::FullGame => pos.score(),
-    };
+    let report = config.to_spec().search(game, None);
     (
         ParallelOutcome {
-            score,
-            sequence,
-            total_work,
-            client_jobs,
+            score: report.score,
+            sequence: report.sequence,
+            total_work: report.stats.work_units,
+            client_jobs: report.client_jobs,
         },
-        started.elapsed(),
+        report.elapsed,
     )
 }
 
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +122,21 @@ mod tests {
                     assert_eq!(out.client_jobs, r.client_jobs, "{threads} workers");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn shim_equals_spec_seed_for_seed() {
+        let g = SameGame::random(5, 5, 3, 3);
+        for seed in [0u64, 7, 2009] {
+            let mut cfg = LeafConfig::new(1, 3, 2);
+            cfg.seed = seed;
+            let (out, _) = leaf_nested(&g, &cfg);
+            let report = cfg.to_spec().run(&g);
+            assert_eq!(out.score, report.score, "seed {seed}");
+            assert_eq!(out.sequence, report.sequence, "seed {seed}");
+            assert_eq!(out.total_work, report.stats.work_units, "seed {seed}");
+            assert_eq!(out.client_jobs, report.client_jobs, "seed {seed}");
         }
     }
 

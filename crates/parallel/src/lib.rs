@@ -34,10 +34,16 @@ pub mod sim;
 pub mod trace;
 
 pub use dispatcher::{DispatchPolicy, DispatcherCore};
-pub use leaf::{leaf_nested, LeafConfig};
+pub use leaf::LeafConfig;
 pub use model::TraceModel;
 pub use protocol::{Msg, DISPATCHER, ROOT};
-pub use runner::{run_threads, run_threads_traced, ThreadConfig, ThreadReport};
+pub use runner::{run_threads_traced, ThreadConfig, ThreadReport};
+
+// Deprecated shims re-exported under their historical paths.
+#[allow(deprecated)]
+pub use leaf::leaf_nested;
+#[allow(deprecated)]
+pub use runner::run_threads;
 pub use seeds::{client_seed, median_seed};
 pub use shared::{par_nested, PoolConfig};
 pub use sim::{

@@ -13,7 +13,7 @@ use crate::protocol::{client_rank, median_rank, world_size, Msg, DISPATCHER, ROO
 use crate::seeds::{client_seed, median_seed};
 use crate::trace::{ParallelOutcome, RunMode};
 use cluster_rt::{Endpoint, Rank, Trace, World};
-use nmcs_core::{nested, Game, NestedConfig, Rng, Score};
+use nmcs_core::{nested_with, Game, NestedConfig, Rng, Score, SearchCtx, SearchSpec};
 use std::time::{Duration, Instant};
 
 /// Configuration of a threaded parallel search.
@@ -54,6 +54,25 @@ impl ThreadConfig {
             playout_cap: None,
         }
     }
+
+    /// The equivalent unified spec (`SearchSpec::root_parallel`). The
+    /// dispatch policy, median count, and client-speed emulation are
+    /// execution knobs that cannot change *results* (the determinism
+    /// contract), so the spec carries only the result-relevant fields
+    /// plus a worker count; `run_threads(game, &config)` and
+    /// `config.to_spec().run(&game)` produce identical outcomes
+    /// seed-for-seed.
+    pub fn to_spec(&self) -> SearchSpec {
+        let mut builder =
+            SearchSpec::root_parallel(self.level, self.n_clients.max(1)).seed(self.seed);
+        if let Some(cap) = self.playout_cap {
+            builder = builder.playout_cap(cap);
+        }
+        if self.mode == RunMode::FirstMove {
+            builder = builder.first_move_only();
+        }
+        builder.build()
+    }
 }
 
 /// Timing and throughput measurements of a threaded run.
@@ -67,6 +86,16 @@ pub struct ThreadReport {
 
 /// Runs the parallel search on real threads. Returns the outcome (scores,
 /// moves) and a wall-clock report.
+///
+/// This is the paper-faithful message-passing reproduction (root, median,
+/// dispatcher, and client processes over the `cluster-rt` runtime). The
+/// unified `SearchSpec::root_parallel(level, threads)` runs the same
+/// strategy with identical results plus budget/cancellation support; use
+/// this function (or [`run_threads_traced`]) when the point is the
+/// communication structure itself.
+#[deprecated(
+    note = "use SearchSpec::root_parallel(level, threads) — the unified search API — unless you need the message-passing runtime itself"
+)]
 pub fn run_threads<G>(game: &G, config: &ThreadConfig) -> (ParallelOutcome<G::Move>, ThreadReport)
 where
     G: Game + Send + 'static,
@@ -177,7 +206,9 @@ where
                         job,
                     } => {
                         let t0 = Instant::now();
-                        let res = nested(&position, level, &cfg, &mut Rng::seeded(seed));
+                        let mut ctx = SearchCtx::unbounded();
+                        let (score, sequence) =
+                            nested_with(&position, level, &cfg, &mut Rng::seeded(seed), &mut ctx);
                         if speed < 1.0 {
                             // Emulate a slower core: stretch the service
                             // time by 1/speed.
@@ -193,9 +224,9 @@ where
                             env.from,
                             Msg::EvalResult {
                                 job,
-                                score: res.score,
-                                sequence: res.sequence,
-                                work: res.stats.work_units,
+                                score,
+                                sequence,
+                                work: ctx.stats().work_units,
                                 jobs: 1,
                             },
                         );
@@ -415,6 +446,9 @@ where
     }
 }
 
+// The tests exercise the deprecated entry point on purpose: the shim
+// contract (run_threads ≡ reference ≡ SearchSpec) is regression surface.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +476,24 @@ mod tests {
             );
             assert_eq!(out.sequence.len(), 5);
             assert!(report.total_work > 0);
+        }
+    }
+
+    #[test]
+    fn threads_agree_with_unified_spec_seed_for_seed() {
+        // The satellite contract: the legacy entry point and the unified
+        // SearchSpec front door produce identical outcomes per seed.
+        let g = SumGame::random(5, 3, 21);
+        for mode in [RunMode::FirstMove, RunMode::FullGame] {
+            let mut cfg = config(2, DispatchPolicy::LastMinute, 3);
+            cfg.mode = mode;
+            let (t_out, report) = run_threads(&g, &cfg);
+            let spec_report = cfg.to_spec().run(&g);
+            assert_eq!(t_out.score, spec_report.score, "{mode:?}");
+            assert_eq!(t_out.sequence, spec_report.sequence, "{mode:?}");
+            assert_eq!(t_out.total_work, spec_report.stats.work_units, "{mode:?}");
+            assert_eq!(t_out.client_jobs, spec_report.client_jobs, "{mode:?}");
+            assert_eq!(report.total_work, spec_report.total_work(), "{mode:?}");
         }
     }
 

@@ -1,63 +1,29 @@
 //! Per-job seed derivation — the cross-backend determinism contract.
 //!
-//! Every evaluation job in the parallel search gets a seed derived from
-//! the run's root seed and the job's logical coordinates (which root step
-//! and root move spawned the median, which median step and median move
-//! spawned the client job). Scores therefore depend only on the *logical*
-//! structure of the search, never on scheduling, threads, or message
-//! timing — so the threaded runtime, the discrete-event simulator, and
-//! the sequential reference implementation all make identical decisions,
-//! which the agreement tests assert.
+//! The derivations now live in [`nmcs_core::seeds`] (so the unified
+//! `SearchSpec` front door can drive the parallel strategies without a
+//! dependency inversion); this module re-exports them under their
+//! historical path. The constants are pinned: every backend — threaded
+//! runtime, discrete-event simulator, in-core executors, sequential
+//! reference — derives identical per-job seeds, which the agreement
+//! tests assert.
 
-use nmcs_core::rng::derive_seed;
-
-/// Domain-separation tags (arbitrary odd constants).
-const TAG_MEDIAN: u64 = 0x6d65_6469_616e_0001;
-const TAG_CLIENT: u64 = 0x636c_6965_6e74_0001;
-
-/// Seed of the median search spawned for `root_move` at `root_step`.
-pub fn median_seed(root_seed: u64, root_step: usize, root_move: usize) -> u64 {
-    derive_seed(root_seed, &[TAG_MEDIAN, root_step as u64, root_move as u64])
-}
-
-/// Seed of the client job spawned for `median_move` at `median_step` of
-/// the median search seeded with `median_seed`.
-pub fn client_seed(median_seed: u64, median_step: usize, median_move: usize) -> u64 {
-    derive_seed(
-        median_seed,
-        &[TAG_CLIENT, median_step as u64, median_move as u64],
-    )
-}
+pub use nmcs_core::seeds::{client_seed, median_seed, slot_seed};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn seeds_differ_across_coordinates() {
-        let m00 = median_seed(1, 0, 0);
-        assert_ne!(m00, median_seed(1, 0, 1));
-        assert_ne!(m00, median_seed(1, 1, 0));
-        assert_ne!(m00, median_seed(2, 0, 0));
-        let c00 = client_seed(m00, 0, 0);
-        assert_ne!(c00, client_seed(m00, 0, 1));
-        assert_ne!(c00, client_seed(m00, 1, 0));
-    }
-
-    #[test]
-    fn median_and_client_derivations_are_domain_separated() {
-        // Same numeric coordinates through the two derivations must not
-        // collide.
-        assert_ne!(median_seed(7, 3, 4), client_seed(7, 3, 4));
-    }
-
-    #[test]
-    fn derivation_is_stable() {
-        // Pinned: these values are part of the cross-backend contract; a
-        // change here invalidates recorded traces.
-        let m = median_seed(42, 1, 2);
-        assert_eq!(m, median_seed(42, 1, 2));
-        let c = client_seed(m, 3, 4);
-        assert_eq!(c, client_seed(m, 3, 4));
+    fn reexports_are_the_core_derivations() {
+        assert_eq!(
+            median_seed(42, 1, 2),
+            nmcs_core::seeds::median_seed(42, 1, 2)
+        );
+        assert_eq!(client_seed(7, 3, 4), nmcs_core::seeds::client_seed(7, 3, 4));
+        assert_eq!(
+            slot_seed(1, 2, 3, 4),
+            nmcs_core::seeds::slot_seed(1, 2, 3, 4)
+        );
     }
 }

@@ -15,7 +15,7 @@
 use crate::seeds::median_seed;
 use crate::trace::{ParallelOutcome, RunMode};
 use crossbeam::channel::unbounded;
-use nmcs_core::{nested, Game, NestedConfig, Rng, Score};
+use nmcs_core::{nested_with, Game, NestedConfig, Rng, Score, SearchCtx};
 use std::time::{Duration, Instant};
 
 /// Configuration for [`par_nested`].
@@ -91,11 +91,14 @@ where
                 let nconfig = &nconfig;
                 let seed = config.seed;
                 scope.spawn(move |_| {
+                    let mut ctx = SearchCtx::unbounded();
                     while let Ok((i, child)) = job_rx.recv() {
                         let mut rng = Rng::seeded(median_seed(seed, step, i));
-                        let r = nested(&child, eval_level, nconfig, &mut rng);
+                        let before = ctx.stats().work_units;
+                        let (score, _) =
+                            nested_with(&child, eval_level, nconfig, &mut rng, &mut ctx);
                         res_tx
-                            .send((i, r.score, r.stats.work_units))
+                            .send((i, score, ctx.stats().work_units - before))
                             .expect("result channel open");
                     }
                 });

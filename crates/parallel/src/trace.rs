@@ -25,7 +25,7 @@
 //! medians finished (the root's collection barrier).
 
 use crate::seeds::{client_seed, median_seed};
-use nmcs_core::{nested, Game, NestedConfig, Rng, Score};
+use nmcs_core::{nested_with, Game, NestedConfig, Rng, Score, SearchCtx};
 use serde::{Deserialize, Serialize};
 
 /// What the root process plays.
@@ -231,16 +231,24 @@ fn run_median_game<G: Game>(
             let mut child = pos.clone();
             child.play(mv);
             let seed = client_seed(mseed, mstep, j);
-            let res = nested(&child, client_level, config, &mut Rng::seeded(seed));
-            *total_work += res.stats.work_units;
+            let mut ctx = SearchCtx::unbounded();
+            let (score, _) = nested_with(
+                &child,
+                client_level,
+                config,
+                &mut Rng::seeded(seed),
+                &mut ctx,
+            );
+            let work = ctx.stats().work_units;
+            *total_work += work;
             *client_jobs += 1;
             jobs.push(ClientJob {
-                demand: res.stats.work_units,
+                demand: work,
                 moves_played: child.moves_played() as u64,
-                score: res.score,
+                score,
             });
-            if best.is_none_or(|(bs, bj)| res.score > bs || (res.score == bs && j < bj)) {
-                best = Some((res.score, j));
+            if best.is_none_or(|(bs, bj)| score > bs || (score == bs && j < bj)) {
+                best = Some((score, j));
             }
         }
         steps.push(MedianStepTrace { jobs });

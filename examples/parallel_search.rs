@@ -10,10 +10,16 @@
 //! cargo run --release --example parallel_search [seed]
 //! ```
 
+// `run_threads` is deprecated in favour of `SearchSpec::root_parallel`;
+// this example demonstrates the message-passing runtime itself (and that
+// the unified spec agrees with it), so it calls the shim deliberately.
+#![allow(deprecated)]
+
 use pnmcs::morpion::{cross_board, Variant};
 use pnmcs::parallel::{
     run_threads, simulate_trace, trace::run_reference, DispatchPolicy, RunMode, ThreadConfig,
 };
+use pnmcs::search::SearchSpec;
 use pnmcs::sim::{format_time, ClusterSpec};
 
 fn main() {
@@ -40,14 +46,28 @@ fn main() {
         );
     }
 
-    // 2. Sequential reference records the job trace...
+    // 2. The unified front door runs the same strategy (budgets and
+    //    cancellation available) with an identical outcome.
+    let spec_report = SearchSpec::root_parallel(level, 4)
+        .seed(seed)
+        .first_move_only()
+        .run(&board);
+    println!(
+        "spec:      score {} with {} client jobs ({} work units) in {:.2?}",
+        spec_report.score,
+        spec_report.client_jobs,
+        spec_report.total_work(),
+        spec_report.elapsed
+    );
+
+    // 3. Sequential reference records the job trace...
     let (ref_out, trace) = run_reference(&board, level, seed, RunMode::FirstMove, None);
     println!(
         "reference: score {} — identical to both threaded runs by construction",
         ref_out.score
     );
 
-    // 3. ...which the simulator replays on the paper's cluster shapes.
+    // 4. ...which the simulator replays on the paper's cluster shapes.
     println!("\nvirtual-time replay of the same search:");
     for n in [1usize, 4, 16, 64] {
         let cluster = if n == 64 {

@@ -10,7 +10,7 @@
 //! ```
 
 use pnmcs::morpion::{render_default, standard_5d, GameRecord};
-use pnmcs::search::{nested, Game, NestedConfig, Rng};
+use pnmcs::search::{Game, SearchSpec};
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -25,14 +25,13 @@ fn main() {
     );
     println!("{}", render_default(&board));
 
-    let config = NestedConfig::paper();
     for level in 0..=2u32 {
-        let start = std::time::Instant::now();
-        let result = nested(&board, level, &config, &mut Rng::seeded(seed));
-        let elapsed = start.elapsed();
+        // The unified front door: one call, any strategy, reproducible
+        // from the seed (add .deadline_ms(..) to bound it).
+        let result = SearchSpec::nested(level).seed(seed).run(&board);
         println!(
             "level {level}: score {:>3} moves  ({} playouts, {:.2?})",
-            result.score, result.stats.playouts, elapsed
+            result.score, result.stats.playouts, result.elapsed
         );
 
         if level == 2 {

@@ -12,7 +12,7 @@
 //! ```
 
 use pnmcs::morpion::{canonical_hash, render_default, standard_5d, GameRecord};
-use pnmcs::search::{nested, nrpa, Game, NestedConfig, NrpaConfig, Rng};
+use pnmcs::search::{Game, NrpaConfig, SearchSpec};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,25 +24,20 @@ fn main() {
     let algo = args.next().unwrap_or_else(|| "nmcs".into());
 
     let board = standard_5d();
-    let config = NestedConfig::paper();
     let mut best: Option<(i64, GameRecord)> = None;
 
     let mut seen_grids = std::collections::HashSet::new();
     println!("hunting with {attempts} level-{level} {algo} searches…");
     for seed in 0..attempts {
-        let t0 = std::time::Instant::now();
-        let result = match algo.as_str() {
-            "nrpa" => nrpa(
-                &board,
-                level,
-                &NrpaConfig {
-                    iterations: 60,
-                    alpha: 1.0,
-                },
-                &mut Rng::seeded(seed),
-            ),
-            _ => nested(&board, level, &config, &mut Rng::seeded(seed)),
-        };
+        // Each attempt is one SearchSpec run; the spec JSON is the full
+        // provenance of a record (algorithm + tunables + seed).
+        let spec = match algo.as_str() {
+            "nrpa" => SearchSpec::nrpa_with(level, NrpaConfig::with_iterations(60)),
+            _ => SearchSpec::nested(level),
+        }
+        .seed(seed)
+        .build();
+        let result = spec.run(&board);
         let mut replay = board.clone();
         for mv in &result.sequence {
             replay.play(mv);
@@ -55,7 +50,7 @@ fn main() {
         let is_best = best.as_ref().is_none_or(|(b, _)| verified > *b);
         println!(
             "  seed {seed}: {verified} moves in {:.1?}{}{}",
-            t0.elapsed(),
+            result.elapsed,
             if is_best { "  <- new best" } else { "" },
             if fresh { "" } else { "  (symmetry duplicate)" }
         );

@@ -10,16 +10,13 @@
 //! ```
 
 use pnmcs::games::{SameGame, TspGame, TspInstance};
-use pnmcs::search::baselines::flat_monte_carlo;
-use pnmcs::search::{nested, sample, NestedConfig, Rng};
+use pnmcs::search::{sample, Rng, SearchSpec};
 
 fn main() {
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
-    let config = NestedConfig::paper();
-
     // ---- SameGame ----
     let board = SameGame::random(10, 10, 4, seed);
     println!("SameGame 10x10, 4 colours (seed {seed}):");
@@ -28,9 +25,9 @@ fn main() {
         .map(|_| sample(&board, &mut rng).score as f64)
         .sum::<f64>()
         / 20.0;
-    let flat = flat_monte_carlo(&board, 200, &mut Rng::seeded(seed));
-    let l1 = nested(&board, 1, &config, &mut Rng::seeded(seed));
-    let l2 = nested(&board, 2, &config, &mut Rng::seeded(seed));
+    let flat = SearchSpec::flat_mc(200).seed(seed).run(&board);
+    let l1 = SearchSpec::nested(1).seed(seed).run(&board);
+    let l2 = SearchSpec::nested(2).seed(seed).run(&board);
     println!("  random playout (mean of 20): {random_avg:.0}");
     println!("  flat MC, 200 playouts:       {}", flat.score);
     println!("  NMCS level 1:                {}", l1.score);
@@ -42,8 +39,8 @@ fn main() {
     let tour = TspGame::new(instance, Some(8)); // 8-nearest neighbourhood
     println!("\nTSP, 24 random cities, 8-nearest-neighbour moves:");
     let rand_len = -sample(&tour, &mut Rng::seeded(seed)).score;
-    let l1 = nested(&tour, 1, &config, &mut Rng::seeded(seed));
-    let l2 = nested(&tour, 2, &config, &mut Rng::seeded(seed));
+    let l1 = SearchSpec::nested(1).seed(seed).run(&tour);
+    let l2 = SearchSpec::nested(2).seed(seed).run(&tour);
     println!("  random tour length: {rand_len}");
     println!("  NMCS level 1:       {}", -l1.score);
     println!("  NMCS level 2:       {}", -l2.score);

@@ -14,36 +14,47 @@
 //! | [`sim`] | `des-sim` | deterministic discrete-event cluster simulation |
 //! | [`engine`] | `nmcs-engine` | concurrent multi-tenant search service: job queue, work-stealing workers, backpressure, cancellation |
 //!
-//! ## Quickstart
+//! ## Quickstart — one front door for every backend
+//!
+//! A [`search::SearchSpec`] names a strategy, its configuration, a
+//! budget (deadline / playout cap / node cap), and a seed; `run` works
+//! the same for every backend and returns one `SearchReport`:
 //!
 //! ```
-//! use pnmcs::search::{nested, NestedConfig, Rng};
+//! use pnmcs::search::SearchSpec;
 //! use pnmcs::morpion::standard_5d;
 //!
-//! // A level-1 Nested Monte-Carlo Search on the official 5D cross.
-//! let result = nested(
-//!     &standard_5d(),
-//!     1,
-//!     &NestedConfig::paper(),
-//!     &mut Rng::seeded(2009),
-//! );
-//! assert!(result.score > 40, "level 1 comfortably beats random play");
+//! // A level-1 Nested Monte-Carlo Search on the official 5D cross,
+//! // bounded to half a second of wall clock.
+//! let report = SearchSpec::nested(1)
+//!     .seed(2009)
+//!     .deadline_ms(500)
+//!     .run(&standard_5d());
+//! assert!(report.score > 40, "level 1 comfortably beats random play");
 //! ```
 //!
-//! ## Parallel search on threads
+//! ## Parallel search through the same door
+//!
+//! The paper's root-parallel hierarchy and the leaf-parallel batch
+//! executor are spec strategies too — identical results for any worker
+//! count, cancellable, budgetable:
 //!
 //! ```
-//! use pnmcs::parallel::{run_threads, DispatchPolicy, RunMode, ThreadConfig};
+//! use pnmcs::search::SearchSpec;
 //! use pnmcs::morpion::{cross_board, Variant};
 //!
 //! let board = cross_board(Variant::Disjoint, 2); // reduced cross
-//! let mut config = ThreadConfig::new(2, DispatchPolicy::LastMinute, 2);
-//! config.n_medians = 4;
-//! config.mode = RunMode::FirstMove;
-//! let (outcome, report) = run_threads(&board, &config);
-//! assert!(outcome.score > 0);
-//! assert!(report.total_work > 0);
+//! let report = SearchSpec::root_parallel(2, 2)
+//!     .seed(7)
+//!     .first_move_only()
+//!     .run(&board);
+//! assert!(report.score > 0);
+//! assert!(report.total_work() > 0);
 //! ```
+//!
+//! (The message-passing reproduction itself — root/median/dispatcher/
+//! client over `cluster-rt` — lives on as `parallel::run_threads_traced`
+//! for the communication-pattern experiments.)
 //!
 //! ## The search service
 //!

@@ -1,7 +1,10 @@
 //! Cross-backend agreement: the sequential reference, the threaded
-//! runtime, and the discrete-event simulator must make identical search
-//! decisions for identical seeds — the determinism contract that makes
-//! the simulated cluster results transferable.
+//! runtime, the discrete-event simulator, and the unified `SearchSpec`
+//! executors must make identical search decisions for identical seeds —
+//! the determinism contract that makes the simulated cluster results
+//! transferable. (The deprecated `run_threads` shim is exercised on
+//! purpose: shim ≡ reference ≡ spec is exactly the contract under test.)
+#![allow(deprecated)]
 
 use pnmcs::games::SumGame;
 use pnmcs::morpion::{cross_board, Variant};
@@ -9,6 +12,7 @@ use pnmcs::parallel::{
     run_threads, run_threads_traced, simulate_trace, trace::run_reference, DispatchPolicy, RunMode,
     ThreadConfig,
 };
+use pnmcs::search::{SearchSpec, Searcher};
 use pnmcs::sim::ClusterSpec;
 
 fn thread_config(level: u32, policy: DispatchPolicy) -> ThreadConfig {
@@ -30,6 +34,36 @@ fn threads_match_reference_on_morpion() {
         assert_eq!(t_out.sequence, r_out.sequence, "{policy}");
         assert_eq!(t_out.total_work, r_out.total_work, "{policy}");
         assert_eq!(t_out.client_jobs, r_out.client_jobs, "{policy}");
+    }
+}
+
+#[test]
+fn unified_spec_matches_reference_and_threads() {
+    // The new front door's root-parallel executor joins the agreement
+    // set: spec ≡ reference ≡ threads, score/sequence/work/jobs.
+    let board = cross_board(Variant::Disjoint, 2);
+    for mode in [RunMode::FullGame, RunMode::FirstMove] {
+        let mut cfg = thread_config(2, DispatchPolicy::LastMinute);
+        cfg.mode = mode;
+        let (t_out, _) = run_threads(&board, &cfg);
+        let (r_out, _) = run_reference(&board, 2, cfg.seed, mode, None);
+        let spec_report = cfg.to_spec().search(&board, None);
+        assert_eq!(spec_report.score, r_out.score, "{mode:?}");
+        assert_eq!(spec_report.sequence, r_out.sequence, "{mode:?}");
+        assert_eq!(spec_report.stats.work_units, r_out.total_work, "{mode:?}");
+        assert_eq!(spec_report.client_jobs, r_out.client_jobs, "{mode:?}");
+        assert_eq!(spec_report.score, t_out.score, "{mode:?}");
+        // A different worker count cannot change anything.
+        let wide = SearchSpec::root_parallel(2, 7).seed(cfg.seed);
+        let wide = if mode == RunMode::FirstMove {
+            wide.first_move_only()
+        } else {
+            wide
+        };
+        let wide_report = wide.run(&board);
+        assert_eq!(wide_report.score, spec_report.score, "{mode:?}");
+        assert_eq!(wide_report.sequence, spec_report.sequence, "{mode:?}");
+        assert_eq!(wide_report.stats, spec_report.stats, "{mode:?}");
     }
 }
 

@@ -8,7 +8,9 @@ use pnmcs::games::{SameGame, SumGame, TspGame, TspInstance};
 use pnmcs::morpion::{cross_board, standard_5d, Variant};
 use pnmcs::parallel::seeds::median_seed;
 use pnmcs::search::nrpa::CodedGame;
-use pnmcs::search::{decode_result, nested, nrpa, NestedConfig, NrpaConfig, Rng, SearchResult};
+use pnmcs::search::{
+    decode_result, Budget, Interruption, NestedConfig, NrpaConfig, SearchResult, SearchSpec,
+};
 use std::time::{Duration, Instant};
 
 /// The acceptance-criterion workload: ≥ 32 mixed-game jobs on 4 workers,
@@ -83,13 +85,17 @@ fn thirty_two_mixed_jobs_are_bit_identical_to_direct_calls() {
         }
     }
 
-    fn check<G: pnmcs::search::Game>(game: &G, seed: u64, level: u32, handle: JobHandle) {
+    fn check<G>(game: &G, seed: u64, level: u32, handle: JobHandle)
+    where
+        G: CodedGame + Send + Sync,
+        G::Move: Send + Sync,
+    {
         let out = handle.join();
         assert_eq!(out.state, JobState::Completed);
         let replica = out.best.expect("completed job has a result");
         assert_eq!(replica.seed_used, seed, "single-replica job keeps its seed");
         let direct: SearchResult<G::Move> =
-            nested(game, level, &NestedConfig::paper(), &mut Rng::seeded(seed));
+            SearchSpec::nested(level).seed(seed).run(game).into_result();
         let decoded = decode_result(game, &replica.result);
         assert_eq!(decoded, direct, "engine result must be bit-identical");
     }
@@ -150,7 +156,10 @@ fn nrpa_jobs_match_direct_nrpa_calls() {
     for (g, cfg, seed, h) in jobs {
         let out = h.join();
         let replica = out.best.expect("completed");
-        let direct = nrpa(&g, 2, &cfg, &mut Rng::seeded(seed));
+        let direct = SearchSpec::nrpa_with(2, cfg.clone())
+            .seed(seed)
+            .run(&g)
+            .into_result();
         let decoded = decode_result(&g, &replica.result);
         assert_eq!(
             decoded, direct,
@@ -183,7 +192,10 @@ fn ensemble_replicas_use_parallel_seed_derivation_and_merge_best() {
             replica.seed_used, expect_seed,
             "replica {r} seed derivation"
         );
-        let direct = nested(&g, 1, &NestedConfig::paper(), &mut Rng::seeded(expect_seed));
+        let direct = SearchSpec::nested(1)
+            .seed(expect_seed)
+            .run(&g)
+            .into_result();
         assert_eq!(
             decode_result(&g, &replica.result),
             direct,
@@ -428,7 +440,10 @@ fn duplicate_in_flight_submissions_are_diversified() {
 
     // Both results are still reproducible from their recorded seeds.
     for r in [&r1, &r2] {
-        let direct = nested(&g, 1, &NestedConfig::paper(), &mut Rng::seeded(r.seed_used));
+        let direct = SearchSpec::nested(1)
+            .seed(r.seed_used)
+            .run(&g)
+            .into_result();
         assert_eq!(decode_result(&g, &r.result), direct);
     }
     engine.shutdown();
@@ -456,7 +471,10 @@ fn policy_diversified_ensembles_match_their_recorded_policies() {
             memory: replica.memory_policy.expect("NMCS job records its policy"),
             ..NestedConfig::paper()
         };
-        let direct = nested(&g, 1, &config, &mut Rng::seeded(replica.seed_used));
+        let direct = SearchSpec::nested_with(1, config)
+            .seed(replica.seed_used)
+            .run(&g)
+            .into_result();
         assert_eq!(
             decode_result(&g, &replica.result),
             direct,
@@ -479,6 +497,85 @@ fn erased_games_expose_true_move_codes_to_the_engine() {
     for (i, mv) in typed_moves.iter().enumerate() {
         assert_eq!(erased.move_code(&i), g.move_code(mv));
     }
+}
+
+#[test]
+fn spec_jobs_are_bit_identical_to_direct_spec_runs() {
+    // The acceptance shape: engine jobs accept a full SearchSpec and
+    // stay bit-identical to `spec.run(&game)` with the same seed.
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 8,
+    })
+    .expect("valid engine config");
+    let g = SameGame::random(6, 6, 3, 9);
+    let specs = [
+        SearchSpec::nested(1).seed(501).build(),
+        SearchSpec::uct().seed(502).build(),
+        SearchSpec::flat_mc(64).seed(503).build(),
+        SearchSpec::iterated_sampling(2).seed(504).build(),
+        SearchSpec::beam(4, 1).seed(505).build(),
+        SearchSpec::sample().seed(506).build(),
+    ];
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            engine
+                .submit(JobSpec::from_spec(
+                    format!("spec-{}", spec.algorithm.label()),
+                    g.clone(),
+                    spec.clone(),
+                ))
+                .unwrap()
+        })
+        .collect();
+    for (spec, h) in specs.iter().zip(handles) {
+        let out = h.join();
+        assert_eq!(out.state, JobState::Completed, "{}", spec.algorithm.label());
+        let replica = out.best.expect("completed job has a result");
+        assert_eq!(replica.seed_used, spec.seed);
+        let direct = spec.run(&g);
+        assert_eq!(
+            decode_result(&g, &replica.result),
+            direct.result(),
+            "{} through the engine must equal the direct spec run",
+            spec.algorithm.label()
+        );
+        assert!(replica.interrupted.is_none());
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn budgeted_jobs_stop_early_and_keep_best_so_far() {
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        queue_capacity: 4,
+    })
+    .expect("valid engine config");
+    // A level-3 search on the standard cross would take hours; a playout
+    // budget turns it into a bounded job that still reports a result.
+    let spec = SearchSpec::nested(3).seed(77).max_playouts(2_000).build();
+    let h = engine
+        .submit(JobSpec::from_spec("budgeted", standard_5d(), spec))
+        .unwrap();
+    let out = h.join();
+    assert_eq!(out.state, JobState::Completed);
+    let replica = out.best.expect("budget interruption keeps the result");
+    assert_eq!(replica.interrupted, Some(Interruption::PlayoutBudget));
+    assert_eq!(
+        replica.seed_used, 77,
+        "budgeted single-replica job keeps its seed"
+    );
+    // The best-so-far sequence replays to the reported score.
+    let decoded = decode_result(&standard_5d(), &replica.result);
+    let mut replay = standard_5d();
+    for mv in &decoded.sequence {
+        replay.play(mv);
+    }
+    assert_eq!(replay.score(), decoded.score);
+    let _ = Budget::none();
+    engine.shutdown();
 }
 
 use pnmcs::search::Game;

@@ -1,8 +1,13 @@
 //! Extension X1: NRPA (Rosin 2011) — the algorithm that took the Morpion
 //! record back from the paper — integrated with the rest of the library.
+//!
+//! Exercises the deprecated free-function shims on purpose: they are the
+//! historical surface these regressions pin (the unified-API coverage
+//! lives in tests/spec_api.rs and tests/budget_props.rs).
+#![allow(deprecated)]
 
 use pnmcs::morpion::{cross_board, standard_5d, GameRecord, Variant};
-use pnmcs::search::driver::{drive, Budget};
+use pnmcs::search::driver::{drive, DriveBudget};
 use pnmcs::search::{nested, nrpa, Game, NestedConfig, NrpaConfig, Rng};
 
 #[test]
@@ -54,7 +59,9 @@ fn nrpa_works_under_the_restart_driver() {
         iterations: 8,
         alpha: 1.0,
     };
-    let report = drive(&board, 7, &Budget::runs(4), |g, rng| nrpa(g, 1, &cfg, rng));
+    let report = drive(&board, 7, &DriveBudget::runs(4), |g, rng| {
+        nrpa(g, 1, &cfg, rng)
+    });
     assert_eq!(report.runs, 4);
     assert!(report.best.score > 0);
     // The winning seed reproduces the winning game.

@@ -11,6 +11,9 @@
 //! * the type-erased [`DynGame`] used by the engine preserves both
 //!   properties.
 
+// Exercises the deprecated free-function shims on purpose: clone-vs-
+// undo bit-identity must keep holding for the historical surface.
+#![allow(deprecated)]
 use pnmcs::games::{NeedleLadder, SameGame, Sudoku, SumGame, TspGame, TspInstance};
 use pnmcs::morpion::{cross_board, Variant};
 use pnmcs::search::baselines::flat_monte_carlo;

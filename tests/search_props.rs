@@ -2,6 +2,10 @@
 //! returned sequence must replay to its returned score, on every domain,
 //! under every configuration.
 
+// Exercises the deprecated free-function shims on purpose: the
+// properties pin the historical surface (unified-API coverage lives
+// in tests/spec_api.rs and tests/budget_props.rs).
+#![allow(deprecated)]
 use pnmcs::games::{NeedleLadder, SameGame, SumGame, TspGame, TspInstance};
 use pnmcs::search::baselines::{
     beam_search, flat_monte_carlo, iterated_sampling, simulated_annealing, AnnealingConfig,

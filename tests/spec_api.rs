@@ -1,0 +1,146 @@
+//! Integration tests of the unified `SearchSpec` front door on the real
+//! domains: every deprecated free-function shim produces results equal
+//! to the equivalent spec run seed-for-seed, specs round-trip through
+//! JSON (the `tables --spec` reproducibility contract), and the erased
+//! `AnySearcher` form matches the typed runs.
+//!
+//! The deprecated shims are called deliberately: shim ≡ spec is the
+//! contract under test.
+#![allow(deprecated)]
+
+use pnmcs::games::{SameGame, TspGame, TspInstance};
+use pnmcs::morpion::{cross_board, Variant};
+use pnmcs::search::baselines::{beam_search, flat_monte_carlo, iterated_sampling};
+use pnmcs::search::{
+    decode_report, nested, nrpa, uct, AnySearcher, DynGame, NestedConfig, NrpaConfig, Rng,
+    SearchReport, SearchSpec, UctConfig,
+};
+use pnmcs::search::{Game, MemoryPolicy};
+
+fn assert_matches<M: PartialEq + std::fmt::Debug>(
+    report: &SearchReport<M>,
+    result: &pnmcs::search::SearchResult<M>,
+    label: &str,
+) {
+    assert_eq!(report.score, result.score, "{label} score");
+    assert_eq!(report.sequence, result.sequence, "{label} sequence");
+    assert_eq!(report.stats, result.stats, "{label} stats");
+    assert!(report.interrupted.is_none(), "{label} interrupted");
+}
+
+#[test]
+fn shims_equal_specs_on_morpion_seed_for_seed() {
+    let board = cross_board(Variant::Disjoint, 3);
+    for seed in [1u64, 2009] {
+        let spec_run = SearchSpec::nested(1).seed(seed).run(&board);
+        let shim = nested(&board, 1, &NestedConfig::paper(), &mut Rng::seeded(seed));
+        assert_matches(&spec_run, &shim, "nested");
+
+        let greedy = SearchSpec::nested(1)
+            .memory(MemoryPolicy::Greedy)
+            .seed(seed)
+            .run(&board);
+        let shim = nested(&board, 1, &NestedConfig::greedy(), &mut Rng::seeded(seed));
+        assert_matches(&greedy, &shim, "nested-greedy");
+
+        let cfg = NrpaConfig::with_iterations(10);
+        let spec_run = SearchSpec::nrpa_with(1, cfg.clone()).seed(seed).run(&board);
+        let shim = nrpa(&board, 1, &cfg, &mut Rng::seeded(seed));
+        assert_matches(&spec_run, &shim, "nrpa");
+
+        let ucfg = UctConfig {
+            iterations: 300,
+            ..UctConfig::default()
+        };
+        let spec_run = SearchSpec::uct_with(ucfg.clone()).seed(seed).run(&board);
+        let shim = uct(&board, &ucfg, &mut Rng::seeded(seed));
+        assert_matches(&spec_run, &shim, "uct");
+    }
+}
+
+#[test]
+fn shims_equal_specs_on_samegame_and_tsp() {
+    let sg = SameGame::random(7, 7, 3, 4);
+    let tsp = TspGame::new(TspInstance::random(10, 4), None);
+    for seed in [3u64, 77] {
+        let spec_run = SearchSpec::flat_mc(64).seed(seed).run(&sg);
+        let shim = flat_monte_carlo(&sg, 64, &mut Rng::seeded(seed));
+        assert_matches(&spec_run, &shim, "flat-mc");
+
+        let spec_run = SearchSpec::iterated_sampling(2).seed(seed).run(&sg);
+        let shim = iterated_sampling(&sg, 2, &mut Rng::seeded(seed));
+        assert_matches(&spec_run, &shim, "iterated-sampling");
+
+        let spec_run = SearchSpec::beam(4, 2).seed(seed).run(&tsp);
+        let shim = beam_search(&tsp, 4, 2, &mut Rng::seeded(seed));
+        assert_matches(&spec_run, &shim, "beam");
+
+        let spec_run = SearchSpec::nested(2).seed(seed).run(&tsp);
+        let shim = nested(&tsp, 2, &NestedConfig::paper(), &mut Rng::seeded(seed));
+        assert_matches(&spec_run, &shim, "nested-tsp");
+    }
+}
+
+#[test]
+fn a_pasted_spec_json_reproduces_a_run_exactly() {
+    // The `tables --spec '<json>'` contract: serialise, re-parse, rerun,
+    // and the two reports agree bit-for-bit (scores, sequences, stats).
+    let sg = SameGame::random(8, 8, 4, 11);
+    let spec = SearchSpec::leaf(1, 4, 3).seed(2009).build();
+    let first = spec.run(&sg);
+    let json = serde_json::to_string(&spec).unwrap();
+    let pasted: SearchSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, pasted);
+    let second = pasted.run(&sg);
+    assert_eq!(first.score, second.score);
+    assert_eq!(first.sequence, second.sequence);
+    assert_eq!(first.stats, second.stats);
+    assert_eq!(first.client_jobs, second.client_jobs);
+
+    // Reports themselves round-trip too (persisted sweep rows).
+    let report_json = serde_json::to_string(&first).unwrap();
+    let back: SearchReport<pnmcs::games::Tap> = serde_json::from_str(&report_json).unwrap();
+    assert_eq!(back.score, first.score);
+    assert_eq!(back.sequence, first.sequence);
+    assert_eq!(back.stats, first.stats);
+    assert_eq!(back.seed, first.seed);
+}
+
+#[test]
+fn erased_searcher_matches_typed_searcher() {
+    let sg = SameGame::random(6, 6, 3, 8);
+    let specs: Vec<SearchSpec> = vec![
+        SearchSpec::nested(1).seed(5).build(),
+        SearchSpec::nrpa(1).seed(5).build(),
+        SearchSpec::uct().seed(5).build(),
+    ];
+    for spec in &specs {
+        let typed = spec.run(&sg);
+        let erased: &dyn AnySearcher = spec;
+        let report = erased.search_erased(&DynGame::new(sg.clone()), None);
+        let decoded = decode_report(&sg, &report);
+        assert_eq!(decoded.score, typed.score, "{}", erased.label());
+        assert_eq!(decoded.sequence, typed.sequence, "{}", erased.label());
+        assert_eq!(decoded.stats, typed.stats, "{}", erased.label());
+    }
+}
+
+#[test]
+fn reports_subsume_the_legacy_result_shapes() {
+    // One report answers what previously took three types: score +
+    // sequence + stats (SearchResult), wall/work (ThreadReport), and the
+    // leaf backend's (outcome, elapsed) tuple.
+    let board = cross_board(Variant::Disjoint, 2);
+    let report = SearchSpec::root_parallel(2, 2).seed(9).run(&board);
+    assert!(report.elapsed.as_nanos() > 0);
+    assert!(report.total_work() > 0);
+    assert!(report.client_jobs > 0);
+    let legacy = report.result();
+    assert_eq!(legacy.score, report.score);
+    assert_eq!(legacy.stats.work_units, report.total_work());
+    let mut replay = board;
+    for mv in &report.sequence {
+        replay.play(mv);
+    }
+    assert_eq!(replay.score(), report.score);
+}
