@@ -24,6 +24,7 @@ struct Args {
     ablations: bool,
     engine: bool,
     leaf: bool,
+    tree: bool,
     spec: Option<String>,
     game: String,
     scale: Scale,
@@ -39,6 +40,7 @@ fn parse_args() -> Args {
         ablations: false,
         engine: false,
         leaf: false,
+        tree: false,
         spec: None,
         game: "samegame".to_string(),
         scale: Scale::Paper,
@@ -77,6 +79,10 @@ fn parse_args() -> Args {
                 args.leaf = true;
                 args.all = false;
             }
+            "--tree" => {
+                args.tree = true;
+                args.all = false;
+            }
             "--spec" => {
                 args.spec = Some(expect_val(&mut it, "--spec"));
                 args.all = false;
@@ -93,7 +99,7 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(expect_val(&mut it, "--out")),
             "--help" | "-h" => {
                 println!(
-                    "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] \
+                    "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] [--tree] \
                      [--spec JSON [--game {}]] \
                      [--scale paper|real] [--seed S] [--out DIR]",
                     nmcs_bench::STOCK_GAMES.join("|")
@@ -255,5 +261,10 @@ fn main() {
         let rows = nmcs_bench::leaf_sweep(&[1, 2, 4, 8], &[1, 4, 16], args.seed);
         println!("{}", nmcs_bench::leaf_table(&rows).render());
         nmcs_bench::persist(&args.out, "leaf_parallel", &rows).expect("persist leaf rows");
+    }
+    if args.tree {
+        let rows = nmcs_bench::tree_sweep(&[1, 2, 4, 8], 20_000, args.seed);
+        println!("{}", nmcs_bench::tree_table(&rows).render());
+        nmcs_bench::persist(&args.out, "tree_parallel", &rows).expect("persist tree rows");
     }
 }

@@ -1,13 +1,22 @@
 //! Leaf-parallel batched backend experiment (`tables --leaf`).
 //!
 //! Sweeps worker count × batch size for the unified
-//! `SearchSpec::leaf(level, batch, threads)` strategy on a SameGame
-//! board and a reduced Morpion cross, reporting score, wall-clock time,
-//! and leaf-evaluation throughput. Because the leaf backend derives
-//! every evaluation's seed from its logical coordinates, the score
-//! column is constant down each batch column — the table doubles as a
-//! visible determinism check (a score that moved with the thread count
-//! would be a seeding bug).
+//! `SearchSpec::leaf(level, batch, threads)` strategy on SameGame boards
+//! (one small, one paper-sized) and a reduced Morpion cross, reporting
+//! score, wall-clock time, and leaf-evaluation throughput — for **both**
+//! execution backends: the persistent executor pool the spec now runs
+//! on, and the frozen PR-3 spawn-per-step implementation
+//! (`nmcs_core::exec::baseline`). The `speedup` column is the pool's
+//! throughput over the spawn baseline's; on the small board, where a
+//! step's work is comparable to the cost of spawning threads to do it,
+//! this is the number the pool exists to move (the acceptance floor is
+//! ≥ 1.3× at multi-worker cells).
+//!
+//! Because the leaf backend derives every evaluation's seed from its
+//! logical coordinates, the score column is constant down each batch
+//! column *and identical between the two backends* — the table doubles
+//! as a visible determinism check (a score that moved with the thread
+//! count, or between pool and spawn, would be a seeding bug).
 //!
 //! Every row records the exact [`SearchSpec`] JSON that produced it, so
 //! any cell is reproducible from the command line with one pasted
@@ -15,11 +24,13 @@
 
 use crate::report::Table;
 use morpion::{cross_board, Variant};
+use nmcs_core::exec::baseline::leaf_parallel_spawn;
 use nmcs_core::{CodedGame, SearchSpec, Searcher};
 use nmcs_games::SameGame;
 use serde::Serialize;
 
-/// One measured (domain × workers × batch) cell.
+/// One measured (domain × workers × batch) cell: pool-backed spec run
+/// vs the frozen spawn-per-step baseline.
 #[derive(Debug, Clone, Serialize)]
 pub struct LeafRow {
     pub domain: String,
@@ -29,6 +40,10 @@ pub struct LeafRow {
     pub elapsed_ms: f64,
     pub leaf_evals: u64,
     pub evals_per_sec: f64,
+    /// Throughput of the frozen spawn-per-step baseline on the same cell.
+    pub spawn_evals_per_sec: f64,
+    /// `evals_per_sec / spawn_evals_per_sec` — the pool's win.
+    pub speedup: f64,
     /// The exact spec JSON reproducing this row from the CLI.
     pub spec: String,
 }
@@ -41,6 +56,18 @@ where
     let spec = SearchSpec::leaf(1, batch, threads).seed(seed).build();
     let report = spec.search(game, None);
     let secs = report.elapsed.as_secs_f64().max(1e-9);
+
+    let t0 = std::time::Instant::now();
+    let spawn = leaf_parallel_spawn(game, 1, batch, threads, None, false, seed);
+    let spawn_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(
+        (spawn.score, spawn.client_jobs),
+        (report.score, report.client_jobs),
+        "{domain}: pool and spawn backends must agree bit-for-bit"
+    );
+
+    let evals_per_sec = report.client_jobs as f64 / secs;
+    let spawn_evals_per_sec = spawn.client_jobs as f64 / spawn_secs;
     LeafRow {
         domain: domain.to_string(),
         threads,
@@ -48,34 +75,59 @@ where
         score: report.score,
         elapsed_ms: secs * 1e3,
         leaf_evals: report.client_jobs,
-        evals_per_sec: report.client_jobs as f64 / secs,
+        evals_per_sec,
+        spawn_evals_per_sec,
+        speedup: evals_per_sec / spawn_evals_per_sec.max(1e-9),
         spec: serde_json::to_string(&spec).expect("specs serialise"),
     }
 }
 
+fn sweep_domain<G>(
+    rows: &mut Vec<LeafRow>,
+    domain: &str,
+    game: &G,
+    threads: &[usize],
+    batches: &[usize],
+    seed: u64,
+) where
+    G: CodedGame + Send + Sync,
+    G::Move: Send + Sync,
+{
+    for &batch in batches {
+        for &t in threads {
+            rows.push(measure(domain, game, t, batch, seed));
+        }
+    }
+}
+
 /// Sweeps the leaf backend over worker counts and batch sizes by
-/// enumerating specs (one [`SearchSpec`] per cell).
+/// enumerating specs (one [`SearchSpec`] per cell), measuring pool and
+/// spawn execution for each.
 pub fn leaf_sweep(threads: &[usize], batches: &[usize], seed: u64) -> Vec<LeafRow> {
+    // The small board is the pool's motivating case: whole games take
+    // milliseconds, so per-step thread spawns dominate the spawn
+    // baseline's profile.
+    let small = SameGame::random(6, 6, 3, seed);
     let samegame = SameGame::random(10, 10, 4, seed);
     let cross = cross_board(Variant::Disjoint, 3);
     let mut rows = Vec::new();
-    for &batch in batches {
-        for &t in threads {
-            rows.push(measure("samegame-10x10", &samegame, t, batch, seed));
-        }
-    }
-    for &batch in batches {
-        for &t in threads {
-            rows.push(measure("morpion-5d-c3", &cross, t, batch, seed));
-        }
-    }
+    sweep_domain(&mut rows, "samegame-6x6", &small, threads, batches, seed);
+    sweep_domain(
+        &mut rows,
+        "samegame-10x10",
+        &samegame,
+        threads,
+        batches,
+        seed,
+    );
+    sweep_domain(&mut rows, "morpion-5d-c3", &cross, threads, batches, seed);
     rows
 }
 
 /// Renders a sweep as a table in the style of the paper harness.
 pub fn leaf_table(rows: &[LeafRow]) -> Table {
     let mut table = Table::new(
-        "Leaf-parallel batched NMCS: score and throughput vs workers vs batch",
+        "Leaf-parallel batched NMCS: persistent pool vs spawn-per-step throughput",
         &[
             "domain",
             "batch",
@@ -83,7 +135,9 @@ pub fn leaf_table(rows: &[LeafRow]) -> Table {
             "score",
             "elapsed (ms)",
             "leaf evals",
-            "evals/sec",
+            "pool evals/sec",
+            "spawn evals/sec",
+            "speedup",
         ],
     );
     for r in rows {
@@ -95,6 +149,8 @@ pub fn leaf_table(rows: &[LeafRow]) -> Table {
             format!("{:.1}", r.elapsed_ms),
             r.leaf_evals.to_string(),
             format!("{:.0}", r.evals_per_sec),
+            format!("{:.0}", r.spawn_evals_per_sec),
+            format!("{:.2}x", r.speedup),
         ]);
     }
     table
@@ -125,6 +181,7 @@ mod tests {
         let table = leaf_table(&rows);
         assert_eq!(table.rows.len(), rows.len());
         assert!(table.render().contains("samegame-10x10"));
+        assert!(table.render().contains("samegame-6x6"));
     }
 
     #[test]
@@ -137,6 +194,7 @@ mod tests {
                 nmcs_core::AlgorithmSpec::LeafParallel { batch: 2, .. }
             ));
             assert_eq!(spec.seed, 5);
+            assert!(row.speedup > 0.0);
         }
     }
 }

@@ -13,6 +13,7 @@ pub mod paper;
 pub mod report;
 pub mod service;
 pub mod spec_cli;
+pub mod treeexp;
 
 pub use calibrate::{calibrate, fit_model, Calibration};
 pub use experiments::{fit_power, Experiments, Scale, CLIENT_SWEEP};
@@ -20,3 +21,4 @@ pub use leafexp::{leaf_sweep, leaf_table, LeafRow};
 pub use report::{persist, Table};
 pub use service::{measure_cell, throughput_sweep, throughput_table, ThroughputRow};
 pub use spec_cli::{run_spec_on, STOCK_GAMES};
+pub use treeexp::{tree_sweep, tree_table, TreeRow};

@@ -1,0 +1,149 @@
+//! Tree-parallel UCT experiment (`tables --tree`).
+//!
+//! Sweeps the worker count for `SearchSpec::tree_parallel(threads)` on a
+//! SameGame board and a reduced Morpion cross, reporting score,
+//! wall-clock time, and playout throughput, with sequential UCT as the
+//! `workers = 1` anchor (per seed, tree-parallel at one worker is
+//! bit-identical to `SearchSpec::uct()` — the sweep asserts it).
+//!
+//! Unlike the leaf and root sweeps, the score column is **allowed to
+//! move with the worker count** above one worker: tree-parallel workers
+//! race on one shared tree under virtual loss, so their interleaving
+//! shapes the search itself. The `deterministic` column states the
+//! contract per row so the table never over-promises (see
+//! `AlgorithmSpec::worker_count_deterministic`).
+//!
+//! Every row records the exact [`SearchSpec`] JSON that produced it;
+//! deterministic rows are reproducible from the command line with
+//! `tables --spec '<json>' --game <domain>`, nondeterministic rows
+//! reproduce the *distribution*, not the cell.
+
+use crate::report::Table;
+use morpion::{cross_board, Variant};
+use nmcs_core::{CodedGame, SearchSpec, Searcher, UctConfig};
+use nmcs_games::SameGame;
+use serde::Serialize;
+
+/// One measured (domain × workers) cell of the tree-parallel sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct TreeRow {
+    pub domain: String,
+    pub threads: usize,
+    pub score: i64,
+    pub elapsed_ms: f64,
+    pub playouts: u64,
+    pub playouts_per_sec: f64,
+    /// Whether this cell's result is reproducible bit-for-bit from its
+    /// spec (true at one worker, false above — the honest column).
+    pub deterministic: bool,
+    /// The exact spec JSON describing this row.
+    pub spec: String,
+}
+
+fn measure<G>(domain: &str, game: &G, threads: usize, iterations: usize, seed: u64) -> TreeRow
+where
+    G: CodedGame + Send + Sync,
+    G::Move: Send + Sync,
+{
+    let config = UctConfig {
+        iterations,
+        ..UctConfig::default()
+    };
+    let spec = SearchSpec::tree_parallel_with(config.clone(), threads)
+        .seed(seed)
+        .build();
+    let report = spec.search(game, None);
+    if threads == 1 {
+        // The sweep's built-in conformance check: one worker ≡ uct.
+        let uct = SearchSpec::uct_with(config).seed(seed).run(game);
+        assert_eq!(
+            (report.score, &report.sequence),
+            (uct.score, &uct.sequence),
+            "{domain}: single-worker tree-parallel must equal sequential UCT"
+        );
+    }
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    TreeRow {
+        domain: domain.to_string(),
+        threads,
+        score: report.score,
+        elapsed_ms: secs * 1e3,
+        playouts: report.stats.playouts,
+        playouts_per_sec: report.stats.playouts as f64 / secs,
+        deterministic: spec.algorithm.worker_count_deterministic(),
+        spec: serde_json::to_string(&spec).expect("specs serialise"),
+    }
+}
+
+/// Sweeps tree-parallel UCT over worker counts at a fixed iteration
+/// budget (the shared counter keeps total playouts constant per row, so
+/// the throughput column isolates parallel efficiency).
+pub fn tree_sweep(threads: &[usize], iterations: usize, seed: u64) -> Vec<TreeRow> {
+    let samegame = SameGame::random(10, 10, 4, seed);
+    let cross = cross_board(Variant::Disjoint, 3);
+    let mut rows = Vec::new();
+    for &t in threads {
+        rows.push(measure("samegame-10x10", &samegame, t, iterations, seed));
+    }
+    for &t in threads {
+        rows.push(measure("morpion-5d-c3", &cross, t, iterations, seed));
+    }
+    rows
+}
+
+/// Renders a sweep as a table in the style of the paper harness.
+pub fn tree_table(rows: &[TreeRow]) -> Table {
+    let mut table = Table::new(
+        "Tree-parallel UCT: score and playout throughput vs workers (shared tree, virtual loss)",
+        &[
+            "domain",
+            "workers",
+            "score",
+            "elapsed (ms)",
+            "playouts",
+            "playouts/sec",
+            "deterministic",
+        ],
+    );
+    for r in rows {
+        table.row(&[
+            r.domain.clone(),
+            r.threads.to_string(),
+            r.score.to_string(),
+            format!("{:.1}", r.elapsed_ms),
+            r.playouts.to_string(),
+            format!("{:.0}", r.playouts_per_sec),
+            if r.deterministic { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn playout_totals_are_invariant_across_worker_counts() {
+        // The shared iteration counter: any worker count executes the
+        // same number of playouts, so throughput comparisons are fair.
+        let rows = tree_sweep(&[1, 2, 4], 200, 7);
+        for chunk in rows.chunks(3) {
+            assert!(chunk.iter().all(|r| r.playouts == chunk[0].playouts));
+        }
+    }
+
+    #[test]
+    fn single_worker_rows_are_marked_deterministic_and_anchor_to_uct() {
+        // `measure` itself asserts the uct anchor for threads == 1.
+        let rows = tree_sweep(&[1, 2], 150, 3);
+        for row in &rows {
+            assert_eq!(row.deterministic, row.threads == 1, "{}", row.domain);
+            let spec: SearchSpec = serde_json::from_str(&row.spec).expect("row spec parses");
+            assert!(matches!(
+                spec.algorithm,
+                nmcs_core::AlgorithmSpec::TreeParallel { .. }
+            ));
+        }
+    }
+}

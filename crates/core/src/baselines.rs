@@ -14,7 +14,7 @@ use crate::ctx::SearchCtx;
 use crate::game::{Game, Score};
 use crate::rng::Rng;
 use crate::search::{sample_ctx, PlayoutScratch, SearchResult};
-use crate::stats::SearchStats;
+use serde::{Deserialize, Serialize};
 
 /// Flat Monte-Carlo search: play `n` independent random games from `game`
 /// and keep the best.
@@ -161,8 +161,9 @@ pub fn iterated_sampling_with<G: Game>(
     (pos.score(), played)
 }
 
-/// Configuration for the [`simulated_annealing`] baseline.
-#[derive(Debug, Clone)]
+/// Configuration for the simulated-annealing baseline
+/// (`SearchSpec::simulated_annealing`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnnealingConfig {
     /// Total iterations (neighbour proposals).
     pub iterations: usize,
@@ -192,23 +193,47 @@ impl Default for AnnealingConfig {
 /// (whose interpretation shifts with the new prefix — the classic encoding
 /// for permutation-free games). Standard Metropolis acceptance with a
 /// geometric cooling schedule.
+#[deprecated(note = "use SearchSpec::simulated_annealing() — the unified search API")]
 pub fn simulated_annealing<G: Game>(
     game: &G,
     config: &AnnealingConfig,
     rng: &mut Rng,
 ) -> SearchResult<G::Move> {
-    let mut stats = SearchStats::new();
+    let mut ctx = SearchCtx::unbounded();
+    let (score, sequence) = simulated_annealing_with(game, config, rng, &mut ctx);
+    SearchResult {
+        score,
+        sequence,
+        stats: ctx.into_stats(),
+    }
+}
 
+/// Ctx-threaded engine room of [`simulated_annealing`], used by
+/// `SearchSpec::simulated_annealing`. Budget/cancellation polls happen
+/// once per proposal and once per replayed move — and never touch the
+/// RNG, so an unhit budget is bit-identical to the unbudgeted run. An
+/// interrupted replay stops where it stands; the prefix played so far
+/// and its score stay consistent, so the returned best line always
+/// replays to the returned score.
+pub fn simulated_annealing_with<G: Game>(
+    game: &G,
+    config: &AnnealingConfig,
+    rng: &mut Rng,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>) {
     // Long enough for any bounded game we ship; decisions beyond the game
     // end are simply unused.
     const DECISIONS: usize = 512;
     let mut current: Vec<u32> = (0..DECISIONS).map(|_| rng.next_u64() as u32).collect();
 
-    let replay = |decisions: &[u32], stats: &mut SearchStats| -> (Score, Vec<G::Move>) {
+    let replay = |decisions: &[u32], ctx: &mut SearchCtx| -> (Score, Vec<G::Move>) {
         let mut pos = game.clone();
         let mut moves: Vec<G::Move> = Vec::new();
         let mut seq: Vec<G::Move> = Vec::new();
         for &d in decisions {
+            if ctx.should_stop() {
+                break;
+            }
             moves.clear();
             pos.legal_moves(&mut moves);
             if moves.is_empty() {
@@ -217,13 +242,13 @@ pub fn simulated_annealing<G: Game>(
             let mv = moves[(d as usize) % moves.len()].clone();
             pos.play(&mv);
             seq.push(mv);
-            stats.record_playout_move();
+            ctx.record_playout_move();
         }
-        stats.record_playout_end();
+        ctx.record_playout_end();
         (pos.score(), seq)
     };
 
-    let (mut cur_score, mut cur_seq) = replay(&current, &mut stats);
+    let (mut cur_score, mut cur_seq) = replay(&current, ctx);
     let mut best_score = cur_score;
     let mut best_seq = cur_seq.clone();
 
@@ -232,10 +257,13 @@ pub fn simulated_annealing<G: Game>(
     let mut temp = config.t_initial;
 
     for _ in 0..iters {
+        if ctx.should_stop() {
+            break;
+        }
         let depth = rng.below(cur_seq.len().max(1));
         let old = current[depth];
         current[depth] = rng.next_u64() as u32;
-        let (score, seq) = replay(&current, &mut stats);
+        let (score, seq) = replay(&current, ctx);
         let accept =
             score >= cur_score || rng.chance((((score - cur_score) as f64) / temp.max(1e-9)).exp());
         if accept {
@@ -251,11 +279,7 @@ pub fn simulated_annealing<G: Game>(
         temp *= cooling;
     }
 
-    SearchResult {
-        score: best_score,
-        sequence: best_seq,
-        stats,
-    }
+    (best_score, best_seq)
 }
 
 /// Beam search over playout-evaluated moves: keep the `width` best

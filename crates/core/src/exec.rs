@@ -2,8 +2,8 @@
 //! front door.
 //!
 //! Two strategies from the paper's §IV–V are execution shapes rather than
-//! different searches, so the unified API runs them directly on
-//! `std::thread::scope` workers:
+//! different searches, so the unified API runs them directly on the
+//! persistent [`pool::ExecutorPool`]:
 //!
 //! * **Leaf-parallel** — the top-level game is played greedily and every
 //!   candidate move is evaluated by a batch of independent seeded
@@ -13,12 +13,22 @@
 //!   median game per root candidate move runs on the pool, each median
 //!   evaluating its own moves with `level − 2` client searches.
 //!
+//! Both used to spawn fresh `std::thread::scope` workers at every step
+//! of the top-level game; they now share the process-wide
+//! [`pool::ExecutorPool`], which keeps its workers warm across steps,
+//! runs, and even concurrent engine replicas. The original
+//! spawn-per-step implementations are frozen in [`baseline`] so the
+//! bit-identity contract ("the pool changes *when* work runs, never
+//! *what* it computes") stays mechanically checkable, and so the bench
+//! can report an honest pool-vs-spawn speedup.
+//!
 //! Determinism contract: every evaluation's seed derives from its logical
 //! coordinates through [`crate::seeds`], so results are bit-identical
-//! across worker counts, bit-identical to `parallel_nmcs::leaf_nested`
-//! and to `parallel_nmcs::trace::run_reference` (and therefore to
+//! across worker counts, bit-identical to the frozen spawn-per-step
+//! baselines, to `parallel_nmcs::leaf_nested` and to
+//! `parallel_nmcs::trace::run_reference` (and therefore to
 //! `run_threads`) for the same seed — the cross-crate agreement tests
-//! assert all three. Work accounting matches the historical backends:
+//! assert all of these. Work accounting matches the historical backends:
 //! only evaluation work is counted, so `stats.work_units` equals the old
 //! `total_work` and each evaluation counts one `client_job`.
 //!
@@ -26,12 +36,16 @@
 //! one atomic meter, so a deadline or playout cap stops leaf and root
 //! workers exactly like it stops a serial search.
 
+pub mod pool;
+
 use crate::ctx::SearchCtx;
 use crate::game::{Game, Score};
 use crate::rng::Rng;
 use crate::search::{nested_with, NestedConfig, PlayoutScratch};
 use crate::seeds::{client_seed, median_seed, slot_seed};
+use pool::ExecutorPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Outcome of a parallel executor: score, root sequence, and the number
 /// of client/leaf evaluation jobs executed (work units live in the ctx).
@@ -41,52 +55,61 @@ pub(crate) struct ParallelRun<M> {
     pub client_jobs: u64,
 }
 
-/// What one worker returns: its forked context and its per-item results.
+/// What one fan-out slot returns: its forked context and its per-item
+/// results.
 struct WorkerOut {
     ctx: SearchCtx,
     results: Vec<(usize, Score)>,
 }
 
-/// Fans `items` work indices out over `threads` workers and merges every
-/// worker's context back into `ctx` (stats add commutatively, so the
-/// merge order cannot affect results).
-fn fan_out<F>(items: usize, threads: usize, ctx: &mut SearchCtx, eval: F) -> Vec<Option<Score>>
+/// Fans `items` work indices out over up to `threads` batch slots on the
+/// shared executor pool and merges every slot's context back into `ctx`
+/// (stats add commutatively, so the merge order cannot affect results).
+///
+/// `states` holds one reusable per-slot scratch value (allocated once
+/// per *run* by the caller, so nothing is reallocated per step or per
+/// item); slot `s` gets exclusive access to `states[s]` for the whole
+/// batch.
+fn fan_out<S, F>(
+    exec: &ExecutorPool,
+    items: usize,
+    threads: usize,
+    ctx: &mut SearchCtx,
+    states: &[Mutex<S>],
+    eval: F,
+) -> Vec<Option<Score>>
 where
-    F: Fn(usize, &mut SearchCtx) -> Score + Sync,
+    S: Send,
+    F: Fn(usize, &mut SearchCtx, &mut S) -> Score + Sync,
 {
-    let workers = threads.min(items).max(1);
+    let slots = threads.min(items).max(1);
+    debug_assert!(states.len() >= slots);
     let next = AtomicUsize::new(0);
-    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let mut wctx = ctx.fork();
-                let next = &next;
-                let eval = &eval;
-                scope.spawn(move || {
-                    let mut results = Vec::new();
-                    loop {
-                        // Stop claiming items once interrupted; items left
-                        // unevaluated surface as `None` in the reduce.
-                        if wctx.should_stop() {
-                            break;
-                        }
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= items {
-                            break;
-                        }
-                        let score = eval(idx, &mut wctx);
-                        results.push((idx, score));
-                    }
-                    WorkerOut { ctx: wctx, results }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel executor worker panicked"))
-            .collect()
+    let outs: Mutex<Vec<WorkerOut>> = Mutex::new(Vec::with_capacity(slots));
+    let parent: &SearchCtx = ctx;
+    exec.run_batch(slots, &|slot| {
+        let mut wctx = parent.fork();
+        let mut state = states[slot].lock().unwrap_or_else(|e| e.into_inner());
+        let mut results = Vec::new();
+        loop {
+            // Stop claiming items once interrupted; items left
+            // unevaluated surface as `None` in the reduce.
+            if wctx.should_stop() {
+                break;
+            }
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            if idx >= items {
+                break;
+            }
+            let score = eval(idx, &mut wctx, &mut state);
+            results.push((idx, score));
+        }
+        outs.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(WorkerOut { ctx: wctx, results });
     });
 
+    let outs = outs.into_inner().unwrap_or_else(|e| e.into_inner());
     let mut scores: Vec<Option<Score>> = vec![None; items];
     for out in outs {
         ctx.absorb(out.ctx);
@@ -95,6 +118,23 @@ where
         }
     }
     scores
+}
+
+/// Reusable per-slot scratch of the leaf executor: the playout engine
+/// and its sequence buffer live here for the whole run instead of being
+/// allocated per evaluated item (the ROADMAP open item this fixes).
+struct LeafSlot<G: Game> {
+    scratch: PlayoutScratch<G>,
+    seq: Vec<G::Move>,
+}
+
+impl<G: Game> Default for LeafSlot<G> {
+    fn default() -> Self {
+        LeafSlot {
+            scratch: PlayoutScratch::new(),
+            seq: Vec::new(),
+        }
+    }
 }
 
 /// Leaf-parallel batched NMCS (the strategy behind
@@ -125,6 +165,12 @@ where
         playout_cap,
         ..NestedConfig::paper()
     };
+    let exec = ExecutorPool::shared();
+    // One scratch per slot for the whole run: reused across every step
+    // and every item a slot claims.
+    let states: Vec<Mutex<LeafSlot<G>>> = (0..threads)
+        .map(|_| Mutex::new(LeafSlot::default()))
+        .collect();
 
     let mut pos = game.clone();
     let mut sequence = Vec::new();
@@ -146,19 +192,26 @@ where
         let pos_ref = &pos;
         let moves_ref = &moves;
         let config_ref = &config;
-        let scores = fan_out(items, threads, ctx, move |idx, wctx| {
-            let (i, slot) = (idx / batch, idx % batch);
-            let mut child = pos_ref.clone();
-            child.play(&moves_ref[i]);
-            let mut rng = Rng::seeded(slot_seed(seed, step, i, slot));
-            if eval_level == 0 {
-                let mut scratch = PlayoutScratch::new();
-                let mut seq = Vec::new();
-                scratch.run(&mut child, &mut rng, playout_cap, &mut seq, wctx)
-            } else {
-                nested_with(&child, eval_level, config_ref, &mut rng, wctx).0
-            }
-        });
+        let scores = fan_out(
+            exec,
+            items,
+            threads,
+            ctx,
+            &states,
+            move |idx, wctx, slot| {
+                let (i, slot_idx) = (idx / batch, idx % batch);
+                let mut child = pos_ref.clone();
+                child.play(&moves_ref[i]);
+                let mut rng = Rng::seeded(slot_seed(seed, step, i, slot_idx));
+                if eval_level == 0 {
+                    slot.seq.clear();
+                    slot.scratch
+                        .run(&mut child, &mut rng, playout_cap, &mut slot.seq, wctx)
+                } else {
+                    nested_with(&child, eval_level, config_ref, &mut rng, wctx).0
+                }
+            },
+        );
         client_jobs += scores.iter().flatten().count() as u64;
 
         // Deterministic reduce: batch-max per move, argmax over moves
@@ -228,6 +281,8 @@ where
         ..NestedConfig::paper()
     };
     let client_level = level - 2;
+    let exec = ExecutorPool::shared();
+    let states: Vec<Mutex<()>> = (0..threads).map(|_| Mutex::new(())).collect();
 
     let mut pos = game.clone();
     let mut sequence = Vec::new();
@@ -251,22 +306,29 @@ where
         let moves_ref = &moves;
         let config_ref = &config;
         let jobs_ref = &jobs_counter;
-        let scores = fan_out(moves.len(), threads, ctx, move |i, wctx| {
-            let mut median_pos = pos_ref.clone();
-            median_pos.play(&moves_ref[i]);
-            let mseed = median_seed(seed, root_step, i);
-            let mut jobs = 0u64;
-            let score = median_game(
-                &mut median_pos,
-                client_level,
-                mseed,
-                config_ref,
-                wctx,
-                &mut jobs,
-            );
-            jobs_ref.fetch_add(jobs as usize, Ordering::Relaxed);
-            score
-        });
+        let scores = fan_out(
+            exec,
+            moves.len(),
+            threads,
+            ctx,
+            &states,
+            move |i, wctx, _slot| {
+                let mut median_pos = pos_ref.clone();
+                median_pos.play(&moves_ref[i]);
+                let mseed = median_seed(seed, root_step, i);
+                let mut jobs = 0u64;
+                let score = median_game(
+                    &mut median_pos,
+                    client_level,
+                    mseed,
+                    config_ref,
+                    wctx,
+                    &mut jobs,
+                );
+                jobs_ref.fetch_add(jobs as usize, Ordering::Relaxed);
+                score
+            },
+        );
         client_jobs = jobs_counter.load(Ordering::Relaxed) as u64;
 
         // "Receive score from node; play the move with best score" —
@@ -348,4 +410,267 @@ fn median_game<G: Game>(
         }
     }
     pos.score()
+}
+
+/// The PR-3 spawn-per-step executors, frozen verbatim.
+///
+/// These are **reference implementations**, kept for two purposes only:
+/// the cross-backend tests prove the pool-backed executors above are
+/// per-seed bit-identical to them, and `tables --leaf` reports the
+/// pool-vs-spawn throughput speedup against them. They are not part of
+/// the public API surface and may disappear once the pool has a few
+/// releases of soak time. Do not "fix" or optimise them — their value
+/// is being exactly what shipped before the pool.
+#[doc(hidden)]
+pub mod baseline {
+    use super::*;
+
+    /// Outcome of a frozen spawn-per-step run (unbudgeted).
+    pub struct SpawnRun<M> {
+        pub score: Score,
+        pub sequence: Vec<M>,
+        pub client_jobs: u64,
+        pub stats: crate::stats::SearchStats,
+    }
+
+    /// The PR-3 scoped-thread fan-out: spawns `threads` workers per
+    /// call (i.e. per top-level step).
+    fn fan_out_scoped<F>(
+        items: usize,
+        threads: usize,
+        ctx: &mut SearchCtx,
+        eval: F,
+    ) -> Vec<Option<Score>>
+    where
+        F: Fn(usize, &mut SearchCtx) -> Score + Sync,
+    {
+        let workers = threads.min(items).max(1);
+        let next = AtomicUsize::new(0);
+        let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let mut wctx = ctx.fork();
+                    let next = &next;
+                    let eval = &eval;
+                    scope.spawn(move || {
+                        let mut results = Vec::new();
+                        loop {
+                            if wctx.should_stop() {
+                                break;
+                            }
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= items {
+                                break;
+                            }
+                            let score = eval(idx, &mut wctx);
+                            results.push((idx, score));
+                        }
+                        WorkerOut { ctx: wctx, results }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel executor worker panicked"))
+                .collect()
+        });
+
+        let mut scores: Vec<Option<Score>> = vec![None; items];
+        for out in outs {
+            ctx.absorb(out.ctx);
+            for (idx, score) in out.results {
+                scores[idx] = Some(score);
+            }
+        }
+        scores
+    }
+
+    /// Frozen spawn-per-step leaf-parallel NMCS (per-item playout
+    /// scratch and all), for A/B tests and the bench baseline.
+    pub fn leaf_parallel_spawn<G>(
+        game: &G,
+        level: u32,
+        batch: usize,
+        threads: usize,
+        playout_cap: Option<usize>,
+        first_move: bool,
+        seed: u64,
+    ) -> SpawnRun<G::Move>
+    where
+        G: Game + Send + Sync,
+        G::Move: Send + Sync,
+    {
+        assert!(level >= 1 && batch >= 1 && threads >= 1);
+        let eval_level = level - 1;
+        let config = NestedConfig {
+            playout_cap,
+            ..NestedConfig::paper()
+        };
+        let mut ctx = SearchCtx::unbounded();
+
+        let mut pos = game.clone();
+        let mut sequence = Vec::new();
+        let mut client_jobs = 0u64;
+        let mut first_step_best: Option<Score> = None;
+        let mut moves: Vec<G::Move> = Vec::new();
+        let mut step = 0usize;
+
+        loop {
+            pos.legal_moves_into(&mut moves);
+            if moves.is_empty() {
+                break;
+            }
+
+            let items = moves.len() * batch;
+            let pos_ref = &pos;
+            let moves_ref = &moves;
+            let config_ref = &config;
+            let scores = fan_out_scoped(items, threads, &mut ctx, move |idx, wctx| {
+                let (i, slot) = (idx / batch, idx % batch);
+                let mut child = pos_ref.clone();
+                child.play(&moves_ref[i]);
+                let mut rng = Rng::seeded(slot_seed(seed, step, i, slot));
+                if eval_level == 0 {
+                    let mut scratch = PlayoutScratch::new();
+                    let mut seq = Vec::new();
+                    scratch.run(&mut child, &mut rng, playout_cap, &mut seq, wctx)
+                } else {
+                    nested_with(&child, eval_level, config_ref, &mut rng, wctx).0
+                }
+            });
+            client_jobs += scores.iter().flatten().count() as u64;
+
+            let mut best: Option<(Score, usize)> = None;
+            for i in 0..moves.len() {
+                let move_best = scores[i * batch..(i + 1) * batch]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .max();
+                if let Some(s) = move_best {
+                    if best.is_none_or(|(bs, _)| s > bs) {
+                        best = Some((s, i));
+                    }
+                }
+            }
+            let Some((best_score, best_idx)) = best else {
+                break;
+            };
+            if step == 0 {
+                first_step_best = Some(best_score);
+            }
+            sequence.push(moves[best_idx].clone());
+            pos.play(&moves[best_idx]);
+            step += 1;
+            if first_move {
+                break;
+            }
+        }
+
+        let score = if first_move {
+            first_step_best.unwrap_or_else(|| pos.score())
+        } else {
+            pos.score()
+        };
+        SpawnRun {
+            score,
+            sequence,
+            client_jobs,
+            stats: ctx.into_stats(),
+        }
+    }
+
+    /// Frozen spawn-per-step root-parallel NMCS, for A/B tests and the
+    /// bench baseline.
+    pub fn root_parallel_spawn<G>(
+        game: &G,
+        level: u32,
+        threads: usize,
+        playout_cap: Option<usize>,
+        first_move: bool,
+        seed: u64,
+    ) -> SpawnRun<G::Move>
+    where
+        G: Game + Send + Sync,
+        G::Move: Send + Sync,
+    {
+        assert!(level >= 2 && threads >= 1);
+        let config = NestedConfig {
+            playout_cap,
+            ..NestedConfig::paper()
+        };
+        let client_level = level - 2;
+        let mut ctx = SearchCtx::unbounded();
+
+        let mut pos = game.clone();
+        let mut sequence = Vec::new();
+        let mut client_jobs = 0u64;
+        let mut first_step_best: Option<Score> = None;
+        let mut moves: Vec<G::Move> = Vec::new();
+        let mut root_step = 0usize;
+        let jobs_counter = AtomicUsize::new(0);
+
+        loop {
+            moves.clear();
+            pos.legal_moves(&mut moves);
+            if moves.is_empty() {
+                break;
+            }
+
+            let pos_ref = &pos;
+            let moves_ref = &moves;
+            let config_ref = &config;
+            let jobs_ref = &jobs_counter;
+            let scores = fan_out_scoped(moves.len(), threads, &mut ctx, move |i, wctx| {
+                let mut median_pos = pos_ref.clone();
+                median_pos.play(&moves_ref[i]);
+                let mseed = median_seed(seed, root_step, i);
+                let mut jobs = 0u64;
+                let score = median_game(
+                    &mut median_pos,
+                    client_level,
+                    mseed,
+                    config_ref,
+                    wctx,
+                    &mut jobs,
+                );
+                jobs_ref.fetch_add(jobs as usize, Ordering::Relaxed);
+                score
+            });
+            client_jobs = jobs_counter.load(Ordering::Relaxed) as u64;
+
+            let mut best: Option<(Score, usize)> = None;
+            for (i, s) in scores.iter().enumerate() {
+                if let Some(s) = *s {
+                    if best.is_none_or(|(bs, _)| s > bs) {
+                        best = Some((s, i));
+                    }
+                }
+            }
+            let Some((best_score, best_idx)) = best else {
+                break;
+            };
+            if root_step == 0 {
+                first_step_best = Some(best_score);
+            }
+            sequence.push(moves[best_idx].clone());
+            pos.play(&moves[best_idx]);
+            root_step += 1;
+            if first_move {
+                break;
+            }
+        }
+
+        let score = if first_move {
+            first_step_best.unwrap_or_else(|| pos.score())
+        } else {
+            pos.score()
+        };
+        SpawnRun {
+            score,
+            sequence,
+            client_jobs,
+            stats: ctx.into_stats(),
+        }
+    }
 }

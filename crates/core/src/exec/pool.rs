@@ -1,0 +1,443 @@
+//! The persistent executor pool behind the in-core parallel backends.
+//!
+//! Before this module existed, the leaf- and root-parallel executors
+//! spawned a fresh set of `std::thread::scope` workers at **every step**
+//! of the top-level game — the throughput ceiling ROADMAP flags for
+//! small boards, where a step's evaluation work is comparable to the
+//! cost of spawning the threads that do it. An [`ExecutorPool`] keeps
+//! its workers alive for as long as the pool lives, so a whole game
+//! (hundreds of steps) pays the spawn cost once.
+//!
+//! Topology (mirroring the engine's job pool, scaled down to in-search
+//! granularity):
+//!
+//! * one *injector* queue that [`ExecutorPool::run_batch`] submits to;
+//! * one local deque per worker — a worker grabs a small batch from the
+//!   injector, runs from the front of its deque, and banks the surplus
+//!   where siblings can *steal* from the back;
+//! * idle workers park on a condvar and are woken by new submissions
+//!   (with a timeout as a lost-wakeup safety net);
+//! * dropping the pool sets a shutdown flag, wakes everyone, and joins
+//!   every worker — no detached threads survive the pool.
+//!
+//! ## The batch protocol
+//!
+//! [`ExecutorPool::run_batch`]`(slots, body)` runs `body(0)`,
+//! `body(1)`, … `body(slots - 1)`, each exactly once, and returns when
+//! all of them have finished. Slot `0` always runs on the *calling*
+//! thread (the caller is a worker too — a pool with zero background
+//! workers degrades to fully inline execution), and the caller then
+//! helps drain its own still-queued slots before parking, so a batch
+//! can never deadlock waiting for workers that are busy elsewhere.
+//!
+//! The body is a plain `&dyn Fn(usize)` borrowing the caller's stack —
+//! exactly like a scoped thread body. Soundness of handing that borrow
+//! to long-lived workers rests on one invariant, enforced by a drop
+//! guard: **`run_batch` does not return (or unwind) until every
+//! dispatched slot has finished running.**
+//!
+//! A panicking slot does not take the pool down: the payload is caught
+//! on the worker, carried back to the submitting call, and re-thrown
+//! there once the batch has drained — later submissions run normally
+//! (`tests/pool_props.rs` proves drain-on-drop, panic containment, and
+//! prompt budget-cancelled returns).
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a parked worker sleeps before re-checking for work even
+/// without a wakeup. Pure safety net: submissions notify the condvar,
+/// so the timeout only matters if a wakeup is lost to a scheduling
+/// race between a worker's last steal attempt and its park.
+const PARK_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// A persistent pool of search-executor workers. See the module docs
+/// for the topology and the batch protocol.
+pub struct ExecutorPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct PoolShared {
+    /// Submission queue; guarded by its own mutex, paired with
+    /// `work_ready` for park/unpark.
+    injector: Mutex<VecDeque<Task>>,
+    work_ready: Condvar,
+    /// Per-worker deques; siblings steal from the back.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    shutdown: AtomicBool,
+    /// Tasks run by a thread other than their submitter after sitting in
+    /// a sibling's local deque — the observable work-stealing counter.
+    steals: AtomicU64,
+}
+
+impl PoolShared {
+    fn lock_injector(&self) -> MutexGuard<'_, VecDeque<Task>> {
+        self.injector.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_local(&self, idx: usize) -> MutexGuard<'_, VecDeque<Task>> {
+        self.locals[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// One schedulable unit: slot `slot` of one submitted batch.
+struct Task {
+    batch: Arc<BatchCore>,
+    slot: usize,
+}
+
+impl Task {
+    fn run(self) {
+        // The lifetime-erased borrow is valid: the submitter blocks in
+        // `run_batch` until `pending` hits zero, which happens strictly
+        // after this call returns.
+        let outcome = catch_unwind(AssertUnwindSafe(|| (self.batch.body)(self.slot)));
+        let mut done = self.batch.lock_done();
+        if let Err(payload) = outcome {
+            // First panic wins; it is re-thrown by the submitter.
+            done.panic.get_or_insert(payload);
+        }
+        done.pending -= 1;
+        if done.pending == 0 {
+            self.batch.done_cond.notify_all();
+        }
+    }
+}
+
+/// Completion state of one `run_batch` call.
+struct BatchDone {
+    /// Dispatched slots not yet finished.
+    pending: usize,
+    /// First panic payload caught on a worker, if any.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct BatchCore {
+    /// The caller's slot body with its lifetime erased (see the module
+    /// docs for the soundness argument).
+    body: &'static (dyn Fn(usize) + Sync),
+    done: Mutex<BatchDone>,
+    done_cond: Condvar,
+}
+
+impl BatchCore {
+    fn lock_done(&self) -> MutexGuard<'_, BatchDone> {
+        self.done.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl ExecutorPool {
+    /// A pool with `background_workers` long-lived worker threads.
+    ///
+    /// Zero is allowed: every batch then runs inline on the submitting
+    /// thread, which is exactly the right degenerate form for
+    /// single-threaded specs and keeps them trivially deterministic.
+    pub fn new(background_workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            injector: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            locals: (0..background_workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+        });
+        let workers = (0..background_workers)
+            .map(|idx| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("nmcs-exec-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn executor pool worker")
+            })
+            .collect();
+        ExecutorPool { shared, workers }
+    }
+
+    /// Number of background workers (the submitting thread adds one more
+    /// to every batch, so peak parallelism is `background_workers() + 1`).
+    pub fn background_workers(&self) -> usize {
+        self.shared.locals.len()
+    }
+
+    /// Tasks that ran on a thread other than the one that banked them —
+    /// the pool's work-stealing counter (monotonic; test observability).
+    pub fn steal_count(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// The process-wide shared pool the in-core parallel executors run
+    /// on, sized to the machine (`available_parallelism − 1` background
+    /// workers; the submitting search thread is the `+ 1`). Created on
+    /// first use and kept for the life of the process, so every search
+    /// — including every replica inside the engine — reuses the same
+    /// warm workers instead of spawning per run (or worse, per step).
+    ///
+    /// Floored at one background worker even on a single-core machine:
+    /// multi-slot batches then still execute across two real threads, so
+    /// the concurrency machinery (virtual loss, shared meters, stealing)
+    /// is exercised everywhere instead of silently degenerating to
+    /// inline execution on small boxes.
+    pub fn shared() -> &'static ExecutorPool {
+        static SHARED: OnceLock<ExecutorPool> = OnceLock::new();
+        SHARED.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            ExecutorPool::new(cores.saturating_sub(1).max(1))
+        })
+    }
+
+    /// Runs `body(0) … body(slots - 1)`, each exactly once, across the
+    /// calling thread (slot 0) and the pool's workers, returning when
+    /// every slot has finished. If any slot panicked, the first payload
+    /// is re-thrown here — after the batch has fully drained, so the
+    /// pool stays usable and later submissions are unaffected.
+    pub fn run_batch(&self, slots: usize, body: &(dyn Fn(usize) + Sync)) {
+        assert!(slots >= 1, "a batch needs at least one slot");
+        if slots == 1 {
+            // Nothing to dispatch; plain inline call, panics propagate
+            // naturally.
+            body(0);
+            return;
+        }
+
+        // SAFETY: the erased borrow never outlives this call. The
+        // `BatchGuard` below blocks — even during unwinding — until
+        // every dispatched task has run, and tasks drop their clone of
+        // the `Arc<BatchCore>` (the only other handle to the borrow)
+        // when they finish.
+        let body_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
+        let batch = Arc::new(BatchCore {
+            body: body_static,
+            done: Mutex::new(BatchDone {
+                pending: slots - 1,
+                panic: None,
+            }),
+            done_cond: Condvar::new(),
+        });
+
+        {
+            let mut injector = self.shared.lock_injector();
+            for slot in 1..slots {
+                injector.push_back(Task {
+                    batch: batch.clone(),
+                    slot,
+                });
+            }
+        }
+        self.shared.work_ready.notify_all();
+
+        let guard = BatchGuard {
+            batch: &batch,
+            shared: &self.shared,
+        };
+        body(0);
+        drop(guard); // waits for the dispatched slots, helping drain
+        let panic = batch.lock_done().panic.take();
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        // `run_batch` borrows the pool, so no batch can be in flight
+        // here; every queued task has already finished. Signal shutdown,
+        // wake the parked workers, and join them all.
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Blocks until the batch's dispatched slots have all finished, first
+/// helping to run any of them still sitting in the injector. Runs in
+/// `Drop` so the wait also covers unwinding out of slot 0 — the
+/// soundness lynchpin of the lifetime erasure.
+struct BatchGuard<'a> {
+    batch: &'a Arc<BatchCore>,
+    shared: &'a PoolShared,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        // Help-first: claim this batch's still-queued slots instead of
+        // idling. Tasks banked in a worker's local deque are that
+        // worker's responsibility; it is alive and will run them.
+        loop {
+            let task = {
+                let mut injector = self.shared.lock_injector();
+                injector
+                    .iter()
+                    .position(|t| Arc::ptr_eq(&t.batch, self.batch))
+                    .and_then(|pos| injector.remove(pos))
+            };
+            match task {
+                Some(task) => task.run(),
+                None => break,
+            }
+        }
+        let mut done = self.batch.lock_done();
+        while done.pending > 0 {
+            let (next, _) = self
+                .batch
+                .done_cond
+                .wait_timeout(done, PARK_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+            done = next;
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
+    let workers = shared.locals.len();
+    loop {
+        // 1. Own deque, oldest first. Tasks here were banked by this
+        //    worker (or are steal leftovers); anything we run that a
+        //    sibling banked counts as a steal below, not here.
+        let task = shared.lock_local(idx).pop_front();
+        if let Some(task) = task {
+            task.run();
+            continue;
+        }
+
+        // 2. Injector: grab a small batch, run one, bank the surplus
+        //    where siblings can steal it.
+        let mut grabbed: Vec<Task> = {
+            let mut injector = shared.lock_injector();
+            let n = (injector.len() / workers.max(1))
+                .clamp(1, 4)
+                .min(injector.len());
+            injector.drain(..n).collect()
+        };
+        if !grabbed.is_empty() {
+            let first = grabbed.remove(0);
+            if !grabbed.is_empty() {
+                shared.lock_local(idx).extend(grabbed);
+                // The surplus is stealable work parked siblings cannot
+                // see; wake them.
+                shared.work_ready.notify_all();
+            }
+            first.run();
+            continue;
+        }
+
+        // 3. Steal from the back of a sibling's deque.
+        let mut stolen = None;
+        for off in 1..workers {
+            let victim = (idx + off) % workers;
+            if let Some(task) = shared.lock_local(victim).pop_back() {
+                stolen = Some(task);
+                break;
+            }
+        }
+        if let Some(task) = stolen {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            task.run();
+            continue;
+        }
+
+        // 4. Park until new work arrives or shutdown drains us out.
+        let injector = shared.lock_injector();
+        if shared.shutdown.load(Ordering::Acquire) && injector.is_empty() {
+            return;
+        }
+        if injector.is_empty() {
+            let _ = shared
+                .work_ready
+                .wait_timeout(injector, PARK_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_slot_runs_exactly_once() {
+        let pool = ExecutorPool::new(3);
+        for slots in [1usize, 2, 3, 7, 32] {
+            let counts: Vec<AtomicUsize> = (0..slots).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_batch(slots, &|slot| {
+                counts[slot].fetch_add(1, Ordering::Relaxed);
+            });
+            for (slot, count) in counts.iter().enumerate() {
+                assert_eq!(count.load(Ordering::Relaxed), 1, "slot {slot} of {slots}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_batches_inline() {
+        let pool = ExecutorPool::new(0);
+        let ran = AtomicUsize::new(0);
+        pool.run_batch(5, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 5);
+        assert_eq!(pool.background_workers(), 0);
+    }
+
+    #[test]
+    fn batches_borrow_the_callers_stack() {
+        let pool = ExecutorPool::new(2);
+        let data: Vec<u64> = (0..100).collect();
+        let sum = AtomicU64::new(0);
+        pool.run_batch(4, &|slot| {
+            let part: u64 = data.iter().skip(slot).step_by(4).sum();
+            sum.fetch_add(part, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn worker_panic_is_rethrown_on_the_submitter() {
+        let pool = ExecutorPool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(4, &|slot| {
+                if slot == 2 {
+                    panic!("slot 2 exploded");
+                }
+            });
+        }));
+        assert!(err.is_err(), "the slot panic must surface to the caller");
+        // The pool survives: the next batch runs normally.
+        let ran = AtomicUsize::new(0);
+        pool.run_batch(4, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = ExecutorPool::new(4);
+        let ran = AtomicUsize::new(0);
+        pool.run_batch(16, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool); // must not hang or leave threads behind
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn shared_pool_is_a_singleton() {
+        let a = ExecutorPool::shared() as *const _;
+        let b = ExecutorPool::shared() as *const _;
+        assert_eq!(a, b);
+    }
+}

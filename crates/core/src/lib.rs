@@ -52,7 +52,7 @@ pub mod baselines;
 pub mod ctx;
 pub mod driver;
 pub mod erased;
-mod exec;
+pub mod exec;
 pub mod game;
 pub mod nrpa;
 pub mod report;
@@ -63,9 +63,11 @@ pub mod spec;
 pub mod stats;
 pub mod uct;
 
+pub use baselines::{simulated_annealing_with, AnnealingConfig};
 pub use ctx::SearchCtx;
 pub use driver::{drive, DriveBudget, DriveReport};
 pub use erased::{decode_report, decode_result, decode_sequence, AnyGame, AnySearcher, DynGame};
+pub use exec::pool::ExecutorPool;
 pub use game::{Game, Score, SnapshotOnly, Undo};
 pub use nrpa::{nrpa_with, CodedGame, NrpaConfig, Policy};
 pub use report::{Interruption, SearchReport};
@@ -73,7 +75,7 @@ pub use rng::{Fnv1a, Rng};
 pub use search::{nested_with, sample, MemoryPolicy, NestedConfig, PlayoutScratch, SearchResult};
 pub use spec::{AlgorithmSpec, Budget, CancelToken, SearchBuilder, SearchSpec, Searcher};
 pub use stats::SearchStats;
-pub use uct::{uct_with, UctConfig};
+pub use uct::{uct_tree_parallel, uct_with, UctConfig};
 
 // Deprecated free functions, re-exported so historical `use` paths keep
 // compiling (each is a thin shim over the unified SearchSpec API).

@@ -39,6 +39,13 @@ pub enum Interruption {
 /// `first_move` mode, which (matching the paper's Tables I–II and the
 /// legacy `RunMode::FirstMove`) reports the best *evaluation* score of
 /// the single move it plays.
+///
+/// The replay invariant deliberately does **not** imply reproducibility:
+/// a multi-worker tree-parallel report replays to its score like every
+/// other report, but re-running its spec may legitimately produce a
+/// different (equally valid) report — see
+/// [`crate::spec::AlgorithmSpec::worker_count_deterministic`] for which
+/// specs promise bit-identical reruns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchReport<M> {
     /// Best score found.

@@ -20,6 +20,7 @@ use crate::rng::derive_seed;
 /// Domain-separation tags (arbitrary odd constants).
 const TAG_MEDIAN: u64 = 0x6d65_6469_616e_0001;
 const TAG_CLIENT: u64 = 0x636c_6965_6e74_0001;
+const TAG_TREE_WORKER: u64 = 0x7472_6565_7770_0001;
 
 /// Seed of the median search spawned for `root_move` at `root_step`.
 pub fn median_seed(root_seed: u64, root_step: usize, root_move: usize) -> u64 {
@@ -42,6 +43,18 @@ pub fn slot_seed(root_seed: u64, step: usize, mv: usize, slot: usize) -> u64 {
     client_seed(median_seed(root_seed, step, mv), 0, slot)
 }
 
+/// The RNG seed of tree-parallel UCT worker `worker`. Worker 0 uses the
+/// root seed *itself*, so a single-worker tree-parallel run draws the
+/// exact RNG stream of sequential UCT — the bit-identity anchor of the
+/// one backend whose multi-worker runs are inherently nondeterministic.
+pub fn tree_worker_seed(root_seed: u64, worker: usize) -> u64 {
+    if worker == 0 {
+        root_seed
+    } else {
+        derive_seed(root_seed, &[TAG_TREE_WORKER, worker as u64])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,6 +73,16 @@ mod tests {
     #[test]
     fn median_and_client_derivations_are_domain_separated() {
         assert_ne!(median_seed(7, 3, 4), client_seed(7, 3, 4));
+    }
+
+    #[test]
+    fn tree_worker_zero_is_the_root_seed() {
+        // Pinned: worker 0 ≡ root seed is what makes single-worker
+        // tree-parallel UCT bit-identical to sequential UCT.
+        assert_eq!(tree_worker_seed(42, 0), 42);
+        assert_ne!(tree_worker_seed(42, 1), 42);
+        assert_ne!(tree_worker_seed(42, 1), tree_worker_seed(42, 2));
+        assert_ne!(tree_worker_seed(42, 1), tree_worker_seed(43, 1));
     }
 
     #[test]

@@ -39,7 +39,10 @@
 //! touch the RNG stream. `tests/budget_props.rs` and
 //! `tests/spec_api.rs` assert both halves of the contract.
 
-use crate::baselines::{beam_search_with, flat_monte_carlo_with, iterated_sampling_with};
+use crate::baselines::{
+    beam_search_with, flat_monte_carlo_with, iterated_sampling_with, simulated_annealing_with,
+    AnnealingConfig,
+};
 use crate::ctx::SearchCtx;
 use crate::exec;
 use crate::game::Game;
@@ -47,7 +50,7 @@ use crate::nrpa::{nrpa_with, CodedGame, NrpaConfig};
 use crate::report::SearchReport;
 use crate::rng::Rng;
 use crate::search::{nested_with, MemoryPolicy, NestedConfig, PlayoutScratch};
-use crate::uct::{uct_with, UctConfig};
+use crate::uct::{uct_tree_parallel, uct_with, UctConfig};
 use serde::{Deserialize, Error, Serialize, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -213,6 +216,15 @@ pub enum AlgorithmSpec {
         /// Evaluate and play only the first move (paper Tables I–II mode).
         first_move: bool,
     },
+    /// Tree-parallel UCT ([`crate::uct::uct_tree_parallel`]): `threads`
+    /// workers share one arena tree under virtual loss. The one backend
+    /// whose multi-worker results are schedule-dependent; `threads == 1`
+    /// is bit-identical to [`AlgorithmSpec::Uct`] per seed.
+    TreeParallel { config: UctConfig, threads: usize },
+    /// Simulated annealing over decision vectors
+    /// ([`crate::baselines::simulated_annealing_with`]), the last
+    /// pre-paper baseline (Hyyrö & Poranen's Morpion record holder).
+    SimulatedAnnealing { config: AnnealingConfig },
 }
 
 impl AlgorithmSpec {
@@ -235,6 +247,21 @@ impl AlgorithmSpec {
         }
     }
 
+    /// Tree-parallel UCT on `threads` workers with default tunables.
+    pub fn tree_parallel(threads: usize) -> Self {
+        AlgorithmSpec::TreeParallel {
+            config: UctConfig::default(),
+            threads,
+        }
+    }
+
+    /// Simulated annealing with the default schedule.
+    pub fn simulated_annealing() -> Self {
+        AlgorithmSpec::SimulatedAnnealing {
+            config: AnnealingConfig::default(),
+        }
+    }
+
     /// Short label for logs, tables, and progress lines.
     pub fn label(&self) -> &'static str {
         match self {
@@ -247,7 +274,22 @@ impl AlgorithmSpec {
             AlgorithmSpec::Sample => "sample",
             AlgorithmSpec::LeafParallel { .. } => "leaf-parallel",
             AlgorithmSpec::RootParallel { .. } => "root-parallel",
+            AlgorithmSpec::TreeParallel { .. } => "tree-parallel",
+            AlgorithmSpec::SimulatedAnnealing { .. } => "simulated-annealing",
         }
+    }
+
+    /// Whether this strategy promises bit-identical results regardless
+    /// of how many workers execute it (given the same seed and an unhit
+    /// budget). True for everything except tree-parallel UCT above one
+    /// worker: leaf- and root-parallel derive every evaluation's seed
+    /// from its logical coordinates, but tree-parallel workers race on
+    /// one shared tree, so their interleaving shapes the search itself.
+    pub fn worker_count_deterministic(&self) -> bool {
+        !matches!(
+            self,
+            AlgorithmSpec::TreeParallel { threads, .. } if *threads > 1
+        )
     }
 
     /// Stable digest of the variant *and* its configuration (used by the
@@ -309,6 +351,26 @@ impl AlgorithmSpec {
                 playout_cap.map_or(u64::MAX, |c| c as u64),
                 *first_move as u64,
                 0,
+                0,
+                0,
+            ],
+            // Unlike leaf/root, the thread count IS part of a
+            // tree-parallel identity: the workers race on one shared
+            // tree, so different counts genuinely produce different
+            // searches.
+            AlgorithmSpec::TreeParallel { config, threads } => [
+                0xA00,
+                config.iterations as u64,
+                config.exploration.to_bits(),
+                config.max_bias.to_bits(),
+                *threads as u64,
+                0,
+            ],
+            AlgorithmSpec::SimulatedAnnealing { config } => [
+                0xB00,
+                config.iterations as u64,
+                config.t_initial.to_bits(),
+                config.t_final.to_bits(),
                 0,
                 0,
             ],
@@ -381,6 +443,15 @@ impl Serialize for AlgorithmSpec {
                 ("playout_cap".to_string(), playout_cap.to_value()),
                 ("first_move".to_string(), first_move.to_value()),
             ],
+            AlgorithmSpec::TreeParallel { config, threads } => vec![
+                kind("tree_parallel"),
+                ("config".to_string(), config.to_value()),
+                ("threads".to_string(), threads.to_value()),
+            ],
+            AlgorithmSpec::SimulatedAnnealing { config } => vec![
+                kind("simulated_annealing"),
+                ("config".to_string(), config.to_value()),
+            ],
         };
         Value::Object(fields)
     }
@@ -437,6 +508,19 @@ impl Deserialize for AlgorithmSpec {
                 threads: usize::from_value(field("threads")?)?,
                 playout_cap: Option::from_value(&opt("playout_cap"))?,
                 first_move: bool::from_value(&opt("first_move")).unwrap_or(false),
+            }),
+            "tree_parallel" => Ok(AlgorithmSpec::TreeParallel {
+                config: match v.get_field("config") {
+                    Some(c) => UctConfig::from_value(c)?,
+                    None => UctConfig::default(),
+                },
+                threads: usize::from_value(field("threads")?)?,
+            }),
+            "simulated_annealing" => Ok(AlgorithmSpec::SimulatedAnnealing {
+                config: match v.get_field("config") {
+                    Some(c) => AnnealingConfig::from_value(c)?,
+                    None => AnnealingConfig::default(),
+                },
             }),
             other => Err(Error::custom(format!("unknown algorithm kind `{other}`"))),
         }
@@ -569,6 +653,29 @@ impl SearchSpec {
             playout_cap: None,
             first_move: false,
         })
+    }
+
+    /// Tree-parallel UCT on `threads` workers (default tunables). With
+    /// `threads == 1` this is bit-identical to [`SearchSpec::uct`] per
+    /// seed; with more workers, results are schedule-dependent (see
+    /// [`AlgorithmSpec::worker_count_deterministic`]).
+    pub fn tree_parallel(threads: usize) -> SearchBuilder {
+        SearchBuilder::new(AlgorithmSpec::tree_parallel(threads))
+    }
+
+    /// Tree-parallel UCT with an explicit [`UctConfig`].
+    pub fn tree_parallel_with(config: UctConfig, threads: usize) -> SearchBuilder {
+        SearchBuilder::new(AlgorithmSpec::TreeParallel { config, threads })
+    }
+
+    /// Simulated annealing with the default schedule.
+    pub fn simulated_annealing() -> SearchBuilder {
+        SearchBuilder::new(AlgorithmSpec::simulated_annealing())
+    }
+
+    /// Simulated annealing with an explicit [`AnnealingConfig`].
+    pub fn simulated_annealing_with(config: AnnealingConfig) -> SearchBuilder {
+        SearchBuilder::new(AlgorithmSpec::SimulatedAnnealing { config })
     }
 
     /// Runs the spec on `game`. See [`Searcher::search`] for the full
@@ -725,6 +832,13 @@ where
                 );
                 client_jobs = run.client_jobs;
                 (run.score, run.sequence)
+            }
+            AlgorithmSpec::TreeParallel { config, threads } => {
+                uct_tree_parallel(game, config, *threads, self.seed, &mut ctx)
+            }
+            AlgorithmSpec::SimulatedAnnealing { config } => {
+                let mut rng = Rng::seeded(self.seed);
+                simulated_annealing_with(game, config, &mut rng, &mut ctx)
             }
         };
         let interrupted = ctx.interruption();
@@ -974,7 +1088,71 @@ mod tests {
                 (r.score, &r.sequence, &r.stats),
                 (d.score, &d.sequence, &d.stats)
             );
+
+            let acfg = AnnealingConfig {
+                iterations: 200,
+                ..Default::default()
+            };
+            let r = SearchSpec::simulated_annealing_with(acfg.clone())
+                .seed(seed)
+                .run(&g);
+            let d = crate::baselines::simulated_annealing(&g, &acfg, &mut Rng::seeded(seed));
+            assert_eq!(
+                (r.score, &r.sequence, &r.stats),
+                (d.score, &d.sequence, &d.stats)
+            );
         }
+    }
+
+    #[test]
+    fn single_worker_tree_parallel_spec_equals_uct_spec() {
+        let g = Ternary {
+            depth: 5,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 250,
+            ..UctConfig::default()
+        };
+        for seed in [1u64, 9, 77] {
+            let uct = SearchSpec::uct_with(cfg.clone()).seed(seed).run(&g);
+            let tree = SearchSpec::tree_parallel_with(cfg.clone(), 1)
+                .seed(seed)
+                .run(&g);
+            assert_eq!(tree.score, uct.score, "seed {seed}");
+            assert_eq!(tree.sequence, uct.sequence, "seed {seed}");
+            assert_eq!(tree.stats, uct.stats, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_worker_tree_parallel_reports_replay() {
+        let g = Ternary {
+            depth: 6,
+            taken: vec![],
+        };
+        let r = SearchSpec::tree_parallel(4).seed(3).run(&g);
+        let mut replay = g;
+        for mv in &r.sequence {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), r.score);
+        assert!(r.interrupted.is_none());
+    }
+
+    #[test]
+    fn worker_count_determinism_is_declared_honestly() {
+        assert!(AlgorithmSpec::nested(2).worker_count_deterministic());
+        assert!(AlgorithmSpec::LeafParallel {
+            level: 1,
+            batch: 4,
+            threads: 8,
+            playout_cap: None,
+            first_move: false,
+        }
+        .worker_count_deterministic());
+        assert!(AlgorithmSpec::tree_parallel(1).worker_count_deterministic());
+        assert!(!AlgorithmSpec::tree_parallel(4).worker_count_deterministic());
     }
 
     #[test]
@@ -1061,6 +1239,25 @@ mod tests {
             SearchSpec::sample().seed(11).build(),
             SearchSpec::leaf(2, 16, 8).playout_cap(100).build(),
             SearchSpec::root_parallel(3, 8).first_move_only().build(),
+            SearchSpec::tree_parallel(4)
+                .seed(8)
+                .max_playouts(600)
+                .build(),
+            SearchSpec::tree_parallel_with(
+                UctConfig {
+                    iterations: 123,
+                    ..UctConfig::default()
+                },
+                2,
+            )
+            .build(),
+            SearchSpec::simulated_annealing().seed(13).build(),
+            SearchSpec::simulated_annealing_with(AnnealingConfig {
+                iterations: 500,
+                t_initial: 2.5,
+                t_final: 0.1,
+            })
+            .build(),
         ];
         for spec in specs {
             let json = serde_json::to_string(&spec).unwrap();
@@ -1124,6 +1321,23 @@ mod tests {
             first_move: false,
         };
         assert_eq!(l2.tag(), l8.tag());
+        // Tree-parallel is the exception: its thread count shapes the
+        // search, so it IS identity.
+        assert_ne!(
+            AlgorithmSpec::tree_parallel(2).tag(),
+            AlgorithmSpec::tree_parallel(8).tag()
+        );
+        assert_ne!(
+            AlgorithmSpec::tree_parallel(2).tag(),
+            AlgorithmSpec::Uct {
+                config: UctConfig::default()
+            }
+            .tag()
+        );
+        assert_ne!(
+            AlgorithmSpec::simulated_annealing().tag(),
+            AlgorithmSpec::nested(2).tag()
+        );
     }
 
     #[test]

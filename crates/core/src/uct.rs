@@ -14,12 +14,29 @@
 //! * the final answer replays the best sequence *found during any
 //!   playout*, not the visit-count path, matching how the NMCS results
 //!   are scored.
+//!
+//! Two execution shapes share the algorithm:
+//!
+//! * [`uct_with`] — the sequential tree, one iteration at a time;
+//! * [`uct_tree_parallel`] — **tree-parallel** UCT in the style of the
+//!   parallel-MCTS literature the paper cites (and WU-UCT, Liu et al.
+//!   2020): one shared arena tree, workers descending concurrently with
+//!   *virtual loss* steering them apart, visit/value statistics
+//!   accumulated atomically so rollouts (the dominant cost) run outside
+//!   any lock. A single-worker tree-parallel run is **bit-identical** to
+//!   [`uct_with`] for the same seed; multi-worker runs are inherently
+//!   schedule-dependent and promise only a replayable best line (the
+//!   conformance tests assert both halves).
 
 use crate::ctx::SearchCtx;
+use crate::exec::pool::ExecutorPool;
 use crate::game::{Game, Score, Undo};
 use crate::rng::Rng;
 use crate::search::{PlayoutScratch, SearchResult};
+use crate::seeds::tree_worker_seed;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// UCT tunables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -216,6 +233,323 @@ pub fn uct_with<G: Game>(
     (best_score, best_seq)
 }
 
+// ---------------------------------------------------------------------
+// Tree-parallel UCT
+// ---------------------------------------------------------------------
+
+/// Per-node search statistics of the shared tree, updated atomically so
+/// backpropagation never takes the structural lock.
+struct TpStats {
+    visits: AtomicU64,
+    /// Accumulated playout scores, stored as `f64` bits (CAS-add).
+    total_bits: AtomicU64,
+    /// Best playout score seen through this node.
+    best: AtomicI64,
+    /// Outstanding virtual losses: descents that passed through this
+    /// node and have not backpropagated yet. Each counts as one visit
+    /// scoring the pessimistic bound, steering concurrent workers apart.
+    vloss: AtomicU32,
+}
+
+impl TpStats {
+    fn new() -> Self {
+        TpStats {
+            visits: AtomicU64::new(0),
+            total_bits: AtomicU64::new(0f64.to_bits()),
+            best: AtomicI64::new(Score::MIN),
+            vloss: AtomicU32::new(0),
+        }
+    }
+}
+
+/// One node of the shared arena. Structure (children, expansion state)
+/// is guarded by the arena mutex; `stats` is shared out to descents so
+/// they can backpropagate lock-free.
+struct TpNode<M> {
+    mv: Option<M>,
+    children: Vec<usize>,
+    unexpanded: Vec<M>,
+    expanded: bool,
+    stats: Arc<TpStats>,
+}
+
+fn f64_cas_add(cell: &AtomicU64, add: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + add).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn f64_cas_min(cell: &AtomicU64, candidate: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(cur) <= candidate {
+            return;
+        }
+        match cell.compare_exchange_weak(
+            cur,
+            candidate.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn f64_cas_max(cell: &AtomicU64, candidate: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(cur) >= candidate {
+            return;
+        }
+        match cell.compare_exchange_weak(
+            cur,
+            candidate.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Tree-parallel UCT: `threads` workers share one arena tree through
+/// the process-wide [`ExecutorPool`], descending concurrently under
+/// virtual loss. The engine room behind `SearchSpec::tree_parallel`.
+///
+/// Concurrency shape: selection and expansion (cheap pointer-chasing)
+/// run under the arena mutex; rollouts — the dominant cost on every
+/// domain we ship — run outside it; backpropagation goes straight to
+/// the nodes' atomic counters. Virtual loss makes concurrent descents
+/// diverge instead of piling onto one line (WU-UCT's observation), and
+/// the formula reduces *exactly* to the sequential one when no losses
+/// are outstanding — which is why `threads == 1` is bit-identical to
+/// [`uct_with`] per seed (asserted by `tests/cross_backend.rs`).
+///
+/// Budget/cancellation polls hit every worker once per iteration plus
+/// once per playout move (inside the rollout), sharing one atomic meter
+/// through the forked [`SearchCtx`]s.
+pub fn uct_tree_parallel<G>(
+    game: &G,
+    config: &UctConfig,
+    threads: usize,
+    seed: u64,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>)
+where
+    G: Game + Send + Sync,
+    G::Move: Send + Sync,
+{
+    assert!(threads >= 1, "tree-parallel UCT needs at least one worker");
+    let exec = ExecutorPool::shared();
+
+    let tree: Mutex<Vec<TpNode<G::Move>>> = Mutex::new(vec![TpNode {
+        mv: None,
+        children: Vec::new(),
+        unexpanded: Vec::new(),
+        expanded: false,
+        stats: Arc::new(TpStats::new()),
+    }]);
+    // Running reward-normalisation bounds, shared like the tree.
+    let lo_bits = AtomicU64::new(f64::INFINITY.to_bits());
+    let hi_bits = AtomicU64::new(f64::NEG_INFINITY.to_bits());
+    let iters = AtomicUsize::new(0);
+    let max_iters = config.iterations.max(1);
+    let best: Mutex<(Score, Vec<G::Move>)> = Mutex::new((Score::MIN, Vec::new()));
+    let outs: Mutex<Vec<SearchCtx>> = Mutex::new(Vec::with_capacity(threads));
+    let parent: &SearchCtx = ctx;
+
+    exec.run_batch(threads, &|slot| {
+        let mut wctx = parent.fork();
+        let mut rng = Rng::seeded(tree_worker_seed(seed, slot));
+        let use_undo = game.supports_undo();
+        let mut shared_pos = game.clone();
+        let mut undo_stack: Vec<Undo<G>> = Vec::new();
+        let mut playout: PlayoutScratch<G> = PlayoutScratch::new();
+        let mut moves_buf: Vec<G::Move> = Vec::new();
+
+        loop {
+            // Iterations are claimed from a shared counter, so the total
+            // playout budget matches the sequential run regardless of
+            // how many workers share it.
+            let iteration = iters.fetch_add(1, Ordering::Relaxed);
+            if iteration >= max_iters {
+                break;
+            }
+            if iteration > 0 && wctx.should_stop() {
+                break;
+            }
+
+            let mut cloned_pos: Option<G> = None;
+            let pos: &mut G = if use_undo {
+                debug_assert!(undo_stack.is_empty());
+                &mut shared_pos
+            } else {
+                cloned_pos.insert(game.clone())
+            };
+            let mut seq: Vec<G::Move> = Vec::new();
+            let mut path: Vec<Arc<TpStats>> = Vec::new();
+
+            // ---- selection + expansion (arena lock held; the costly
+            // rollout below runs outside it) ----
+            {
+                let mut tree = tree.lock().unwrap_or_else(|e| e.into_inner());
+                let mut id = 0usize;
+                path.push(tree[0].stats.clone());
+                loop {
+                    if !tree[id].expanded {
+                        moves_buf.clear();
+                        pos.legal_moves(&mut moves_buf);
+                        tree[id].unexpanded = moves_buf.clone();
+                        tree[id].expanded = true;
+                        // Shuffle once so expansion order is unbiased.
+                        let n = tree[id].unexpanded.len();
+                        for i in (1..n).rev() {
+                            let j = rng.below(i + 1);
+                            tree[id].unexpanded.swap(i, j);
+                        }
+                    }
+                    // Expand one child if any remain.
+                    if let Some(mv) = tree[id].unexpanded.pop() {
+                        if use_undo {
+                            undo_stack.push(pos.apply(&mv));
+                        } else {
+                            pos.play(&mv);
+                        }
+                        seq.push(mv.clone());
+                        wctx.record_expansion();
+                        let child_stats = Arc::new(TpStats::new());
+                        child_stats.vloss.fetch_add(1, Ordering::Relaxed);
+                        path.push(child_stats.clone());
+                        let child = tree.len();
+                        tree.push(TpNode {
+                            mv: Some(mv),
+                            children: Vec::new(),
+                            unexpanded: Vec::new(),
+                            expanded: false,
+                            stats: child_stats,
+                        });
+                        tree[id].children.push(child);
+                        break;
+                    }
+                    if tree[id].children.is_empty() {
+                        break; // terminal
+                    }
+                    // UCB over children with normalised means + max bias.
+                    // Each outstanding virtual loss counts as one visit
+                    // scoring `lo` (the pessimistic bound); with none
+                    // outstanding this is exactly the sequential formula.
+                    let lo = f64::from_bits(lo_bits.load(Ordering::Relaxed));
+                    let hi = f64::from_bits(hi_bits.load(Ordering::Relaxed));
+                    let mut best_child = tree[id].children[0];
+                    if !(lo.is_finite() && hi.is_finite()) {
+                        // Warm-up: every completed rollout updates lo/hi,
+                        // so non-finite bounds mean all of this node's
+                        // children have their first rollout still in
+                        // flight (only reachable with several workers —
+                        // a single worker finishes each rollout before
+                        // the next selection). The UCB terms would all be
+                        // NaN here and NaN comparisons would pile every
+                        // worker onto child 0, so spread descents by
+                        // fewest outstanding virtual losses instead.
+                        let mut best_vl = u32::MAX;
+                        for &c in &tree[id].children {
+                            let vl = tree[c].stats.vloss.load(Ordering::Relaxed);
+                            if vl < best_vl {
+                                best_vl = vl;
+                                best_child = c;
+                            }
+                        }
+                    } else {
+                        let span = (hi - lo).max(1.0);
+                        let parent_visits = tree[id].stats.visits.load(Ordering::Relaxed);
+                        let ln_n = (parent_visits.max(1) as f64).ln();
+                        let mut best_val = f64::NEG_INFINITY;
+                        for &c in &tree[id].children {
+                            let st = &tree[c].stats;
+                            let visits = st.visits.load(Ordering::Relaxed);
+                            let vl = st.vloss.load(Ordering::Relaxed) as u64;
+                            let n_eff = (visits + vl).max(1) as f64;
+                            let total = f64::from_bits(st.total_bits.load(Ordering::Relaxed))
+                                + vl as f64 * lo;
+                            // A child whose first visit is still in
+                            // flight has no real best yet; rate it at
+                            // the bound.
+                            let best_seen = if visits == 0 {
+                                lo
+                            } else {
+                                st.best.load(Ordering::Relaxed) as f64
+                            };
+                            let mean = (total / n_eff - lo) / span;
+                            let maxv = (best_seen - lo) / span;
+                            let explore = config.exploration * (ln_n / n_eff).sqrt();
+                            let val =
+                                (1.0 - config.max_bias) * mean + config.max_bias * maxv + explore;
+                            if val > best_val {
+                                best_val = val;
+                                best_child = c;
+                            }
+                        }
+                    }
+                    let mv = tree[best_child].mv.clone().expect("non-root");
+                    if use_undo {
+                        undo_stack.push(pos.apply(&mv));
+                    } else {
+                        pos.play(&mv);
+                    }
+                    seq.push(mv);
+                    wctx.record_nested_move();
+                    tree[best_child].stats.vloss.fetch_add(1, Ordering::Relaxed);
+                    path.push(tree[best_child].stats.clone());
+                    id = best_child;
+                }
+            }
+
+            // ---- rollout (fully parallel) ----
+            let score = if use_undo {
+                playout.run_undo(pos, &mut rng, None, &mut seq, &mut wctx)
+            } else {
+                crate::search::sample_ctx(pos, &mut rng, None, &mut seq, &mut wctx)
+            };
+            // Unwind the selection descent: the shared position returns
+            // to the root for the next iteration.
+            pos.undo_all(&mut undo_stack);
+            let s = score as f64;
+            f64_cas_min(&lo_bits, s);
+            f64_cas_max(&hi_bits, s);
+
+            // ---- backpropagation (lock-free) ----
+            for (depth, st) in path.iter().enumerate() {
+                st.visits.fetch_add(1, Ordering::Relaxed);
+                f64_cas_add(&st.total_bits, s);
+                st.best.fetch_max(score, Ordering::Relaxed);
+                if depth > 0 {
+                    st.vloss.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+
+            let mut best = best.lock().unwrap_or_else(|e| e.into_inner());
+            if score > best.0 {
+                *best = (score, seq);
+            }
+        }
+
+        outs.lock().unwrap_or_else(|e| e.into_inner()).push(wctx);
+    });
+
+    for wctx in outs.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        ctx.absorb(wctx);
+    }
+    best.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
 // The unit tests keep exercising the deprecated free functions: they are
 // the regression net for the shims (new-API coverage lives in `spec.rs`).
 #[allow(deprecated)]
@@ -406,6 +740,100 @@ mod tests {
         let b = uct(&g, &cfg, &mut Rng::seeded(9));
         assert_eq!(a.score, b.score);
         assert_eq!(a.sequence, b.sequence);
+    }
+
+    #[test]
+    fn single_worker_tree_parallel_is_bit_identical_to_sequential() {
+        let cfg = UctConfig {
+            iterations: 300,
+            ..Default::default()
+        };
+        for seed in 0..10 {
+            let g = Ternary {
+                depth: 5,
+                taken: vec![],
+            };
+            let mut seq_ctx = SearchCtx::unbounded();
+            let sequential = uct_with(&g, &cfg, &mut Rng::seeded(seed), &mut seq_ctx);
+            let mut tp_ctx = SearchCtx::unbounded();
+            let tree = uct_tree_parallel(&g, &cfg, 1, seed, &mut tp_ctx);
+            assert_eq!(tree, sequential, "seed {seed}");
+            assert_eq!(tp_ctx.stats(), seq_ctx.stats(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_worker_tree_parallel_matches_on_fast_path_games_too() {
+        let cfg = UctConfig {
+            iterations: 200,
+            ..Default::default()
+        };
+        for seed in 0..5 {
+            let g = FastTernary(Ternary {
+                depth: 5,
+                taken: vec![],
+            });
+            let mut seq_ctx = SearchCtx::unbounded();
+            let sequential = uct_with(&g, &cfg, &mut Rng::seeded(seed), &mut seq_ctx);
+            let mut tp_ctx = SearchCtx::unbounded();
+            let tree = uct_tree_parallel(&g, &cfg, 1, seed, &mut tp_ctx);
+            assert_eq!(tree, sequential, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_worker_tree_parallel_replays_and_honours_the_iteration_total() {
+        let g = Ternary {
+            depth: 6,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 400,
+            ..Default::default()
+        };
+        for workers in [2usize, 4] {
+            let mut ctx = SearchCtx::unbounded();
+            let (score, seq) = uct_tree_parallel(&g, &cfg, workers, 9, &mut ctx);
+            let mut replay = g.clone();
+            for mv in &seq {
+                replay.play(mv);
+            }
+            assert_eq!(replay.score(), score, "{workers} workers");
+            // The iteration counter is shared: total playouts equal the
+            // configured budget no matter how many workers split it.
+            assert_eq!(ctx.stats().playouts, 400, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn multi_worker_tree_parallel_still_solves_small_games() {
+        let g = Ternary {
+            depth: 4,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 2_000,
+            ..Default::default()
+        };
+        let mut ctx = SearchCtx::unbounded();
+        let (score, _) = uct_tree_parallel(&g, &cfg, 4, 1, &mut ctx);
+        assert_eq!(score, optimum(4));
+    }
+
+    #[test]
+    fn tree_parallel_terminal_root_is_handled() {
+        let g = Ternary {
+            depth: 0,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 10,
+            ..Default::default()
+        };
+        let mut ctx = SearchCtx::unbounded();
+        let (score, seq) = uct_tree_parallel(&g, &cfg, 3, 1, &mut ctx);
+        assert_eq!(score, 0);
+        assert!(seq.is_empty());
     }
 
     #[test]

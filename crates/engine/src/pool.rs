@@ -15,6 +15,15 @@
 //! therefore cooperative *inside* the search loops — no game wrapper,
 //! no truncated-invariant panics — and budget-interrupted replicas
 //! return valid best-so-far results.
+//!
+//! Two pools, two granularities: this pool schedules whole *replicas*
+//! (long tasks, bounded queue, backpressure); a replica running a
+//! parallel strategy delegates its *in-search* fan-out — per-step leaf
+//! batches, median games, tree-parallel workers — to the process-wide
+//! `nmcs_core::ExecutorPool`, whose workers stay warm across every
+//! replica and every job. Neither pool ever blocks the other: executor
+//! batches are help-first (the submitting replica thread works too), so
+//! an engine fully busy with replicas still makes progress on each.
 
 use crate::handle::{JobCore, ReplicaOutcome};
 use crate::job::{Algorithm, ReplicaResult};

@@ -60,14 +60,31 @@ fn main() {
         spec_report.elapsed
     );
 
-    // 3. Sequential reference records the job trace...
+    // 3. Tree-level parallelism — the scheme from the parallel-MCTS
+    //    literature the paper cites — through the same front door: one
+    //    shared UCT tree, workers steered apart by virtual loss. One
+    //    worker is bit-identical to `SearchSpec::uct()`; more workers
+    //    trade determinism for wall-clock (the honest contract is on
+    //    `AlgorithmSpec::worker_count_deterministic`).
+    for workers in [1usize, 4] {
+        let tree = SearchSpec::tree_parallel(workers).seed(seed).run(&board);
+        println!(
+            "tree×{workers}:   score {} from {} playouts in {:.2?}{}",
+            tree.score,
+            tree.stats.playouts,
+            tree.elapsed,
+            if workers == 1 { "  (≡ uct)" } else { "" }
+        );
+    }
+
+    // 4. Sequential reference records the job trace...
     let (ref_out, trace) = run_reference(&board, level, seed, RunMode::FirstMove, None);
     println!(
         "reference: score {} — identical to both threaded runs by construction",
         ref_out.score
     );
 
-    // 4. ...which the simulator replays on the paper's cluster shapes.
+    // 5. ...which the simulator replays on the paper's cluster shapes.
     println!("\nvirtual-time replay of the same search:");
     for n in [1usize, 4, 16, 64] {
         let cluster = if n == 64 {

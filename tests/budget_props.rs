@@ -15,9 +15,10 @@ use pnmcs::search::{Budget, CancelToken, CodedGame, Game, Interruption, SearchRe
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
 
-/// Every strategy of the unified API, smallest-sensible shapes, with the
-/// given seed. (Annealing is the one baseline that stays outside the
-/// spec; everything the tentpole names is here.)
+/// Every deterministic strategy of the unified API, smallest-sensible
+/// shapes, with the given seed. Tree-parallel joins at one worker (the
+/// deterministic form; its multi-worker shape gets its own tests below,
+/// since a schedule-dependent backend cannot promise bit-identity).
 fn all_specs(seed: u64) -> Vec<SearchSpec> {
     vec![
         SearchSpec::nested(2).seed(seed).build(),
@@ -27,10 +28,20 @@ fn all_specs(seed: u64) -> Vec<SearchSpec> {
         SearchSpec::iterated_sampling(2).seed(seed).build(),
         SearchSpec::beam(3, 1).seed(seed).build(),
         SearchSpec::sample().seed(seed).build(),
+        SearchSpec::simulated_annealing_with(pnmcs::search::AnnealingConfig {
+            iterations: 2_000,
+            ..Default::default()
+        })
+        .seed(seed)
+        .build(),
         SearchSpec::leaf(1, 4, 2).seed(seed).build(),
         SearchSpec::root_parallel(2, 2).seed(seed).build(),
+        SearchSpec::tree_parallel(1).seed(seed).build(),
     ]
 }
+
+mod common;
+use common::test_workers;
 
 fn assert_replays<G>(game: &G, report: &SearchReport<G::Move>, label: &str)
 where
@@ -207,6 +218,59 @@ fn mid_search_cancellation_from_another_thread_is_prompt() {
         "cancellation latency {cancel_latency:?}"
     );
     assert_replays(&board, &report, "nested-3-cancel");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Multi-worker tree-parallel cannot promise bit-identity, but it
+    /// must always honour budgets and hand back a replayable line.
+    #[test]
+    fn budgets_halt_multi_worker_tree_parallel_with_replayable_results(seed in 0u64..1000) {
+        let workers = test_workers();
+        let game = SameGame::random(7, 7, 3, seed);
+        let spec = SearchSpec::tree_parallel(workers).seed(seed).build();
+
+        // (a) playout cap.
+        let budgeted = with_budget(&spec, Budget::none().with_max_playouts(40));
+        let report = budgeted.run(&game);
+        assert_replays(&game, &report, "tree-parallel/playouts");
+        // Each worker may finish the iteration it is in when the cap
+        // trips, so the overshoot is bounded by the worker count.
+        assert!(
+            report.stats.playouts <= 40 + 16 + workers as u64,
+            "{} playouts blew through the cap",
+            report.stats.playouts
+        );
+
+        // (b) node (expansion) cap bounds the shared tree.
+        let budgeted = with_budget(&spec, Budget::none().with_max_nodes(50));
+        let report = budgeted.run(&game);
+        assert_replays(&game, &report, "tree-parallel/nodes");
+        assert!(
+            report.stats.expansions <= 50 + 16 + workers as u64,
+            "{} expansions blew through the node cap",
+            report.stats.expansions
+        );
+
+        // (c) an elapsed deadline halts promptly.
+        let budgeted = with_budget(&spec, Budget::none().with_deadline(Duration::ZERO));
+        let t0 = Instant::now();
+        let report = budgeted.run(&game);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "elapsed-deadline tree-parallel run took {:?}",
+            t0.elapsed()
+        );
+        assert_replays(&game, &report, "tree-parallel/deadline");
+
+        // (d) a pre-cancelled token stops it before real work.
+        let token = CancelToken::new();
+        token.cancel();
+        let report = spec.run_cancellable(&game, &token);
+        assert_eq!(report.interrupted, Some(Interruption::Cancelled));
+        assert_replays(&game, &report, "tree-parallel/cancel");
+    }
 }
 
 #[test]

@@ -1,0 +1,14 @@
+//! Helpers shared by the integration-test crates.
+
+/// Worker count used by worker-count-sensitive assertions (pool
+/// fan-out bit-identity, tree-parallel conformance). CI runs the whole
+/// suite at both `NMCS_TEST_WORKERS=1` and `NMCS_TEST_WORKERS=4` so
+/// each contract is exercised from both sides; locally the default
+/// is 4.
+pub fn test_workers() -> usize {
+    std::env::var("NMCS_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}

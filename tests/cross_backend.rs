@@ -4,16 +4,29 @@
 //! the determinism contract that makes the simulated cluster results
 //! transferable. (The deprecated `run_threads` shim is exercised on
 //! purpose: shim ≡ reference ≡ spec is exactly the contract under test.)
+//!
+//! Since the executors moved onto the persistent pool, this suite also
+//! pins: pool-backed spec runs ≡ the frozen spawn-per-step baselines
+//! per seed; leaf results bit-identical across 1/2/4 workers (the
+//! per-slot scratch reuse must not leak state between items); and the
+//! tree-parallel UCT contract — single-worker ≡ sequential `uct`,
+//! multi-worker always replayable, on all five domains through both the
+//! typed and erased (engine) paths.
 #![allow(deprecated)]
 
-use pnmcs::games::SumGame;
+use pnmcs::engine::{Engine, EngineConfig, JobSpec, JobState};
+use pnmcs::games::{SameGame, Sudoku, SumGame, TspGame, TspInstance};
 use pnmcs::morpion::{cross_board, Variant};
 use pnmcs::parallel::{
     run_threads, run_threads_traced, simulate_trace, trace::run_reference, DispatchPolicy, RunMode,
     ThreadConfig,
 };
-use pnmcs::search::{SearchSpec, Searcher};
+use pnmcs::search::exec::baseline::{leaf_parallel_spawn, root_parallel_spawn};
+use pnmcs::search::{decode_sequence, CodedGame, DynGame, SearchSpec, Searcher, UctConfig};
 use pnmcs::sim::ClusterSpec;
+
+mod common;
+use common::test_workers;
 
 fn thread_config(level: u32, policy: DispatchPolicy) -> ThreadConfig {
     let mut cfg = ThreadConfig::new(level, policy, 3);
@@ -138,6 +151,185 @@ fn round_robin_run_has_no_free_notices() {
         0,
         "Figure 2's protocol has no (c') message"
     );
+}
+
+#[test]
+fn pool_backed_leaf_executor_is_bit_identical_to_the_spawn_baseline() {
+    // The tentpole contract: moving the executors onto the persistent
+    // pool changed *when* work runs, never *what* it computes. The
+    // frozen PR-3 spawn-per-step implementation is the oracle.
+    let sg = SameGame::random(7, 7, 3, 2);
+    let board = cross_board(Variant::Disjoint, 2);
+    for seed in [1u64, 42, 2009] {
+        for threads in [1usize, 2, test_workers()] {
+            let spec = SearchSpec::leaf(1, 4, threads).seed(seed).run(&sg);
+            let spawn = leaf_parallel_spawn(&sg, 1, 4, threads, None, false, seed);
+            assert_eq!(spec.score, spawn.score, "samegame seed {seed} t{threads}");
+            assert_eq!(spec.sequence, spawn.sequence, "samegame seed {seed}");
+            assert_eq!(spec.stats, spawn.stats, "samegame seed {seed}");
+            assert_eq!(spec.client_jobs, spawn.client_jobs, "samegame seed {seed}");
+
+            let spec = SearchSpec::leaf(2, 2, threads)
+                .seed(seed)
+                .first_move_only()
+                .run(&board);
+            let spawn = leaf_parallel_spawn(&board, 2, 2, threads, None, true, seed);
+            assert_eq!(spec.score, spawn.score, "morpion seed {seed} t{threads}");
+            assert_eq!(spec.sequence, spawn.sequence, "morpion seed {seed}");
+            assert_eq!(spec.stats, spawn.stats, "morpion seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn pool_backed_root_executor_is_bit_identical_to_the_spawn_baseline() {
+    let board = cross_board(Variant::Disjoint, 2);
+    for seed in [7u64, 4242] {
+        for threads in [1usize, test_workers()] {
+            let spec = SearchSpec::root_parallel(2, threads).seed(seed).run(&board);
+            let spawn = root_parallel_spawn(&board, 2, threads, None, false, seed);
+            assert_eq!(spec.score, spawn.score, "seed {seed} t{threads}");
+            assert_eq!(spec.sequence, spawn.sequence, "seed {seed} t{threads}");
+            assert_eq!(spec.stats, spawn.stats, "seed {seed} t{threads}");
+            assert_eq!(spec.client_jobs, spawn.client_jobs, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn leaf_results_are_bit_identical_across_1_2_4_workers() {
+    // Regression net for the per-slot scratch reuse: a leaked buffer or
+    // seed would show up as a worker-count-dependent result.
+    let sg = SameGame::random(8, 8, 4, 6);
+    let reference = SearchSpec::leaf(1, 4, 1).seed(11).run(&sg);
+    for threads in [2usize, 4] {
+        let wide = SearchSpec::leaf(1, 4, threads).seed(11).run(&sg);
+        assert_eq!(wide.score, reference.score, "{threads} workers");
+        assert_eq!(wide.sequence, reference.sequence, "{threads} workers");
+        assert_eq!(wide.stats, reference.stats, "{threads} workers");
+        assert_eq!(wide.client_jobs, reference.client_jobs, "{threads} workers");
+    }
+}
+
+#[test]
+fn single_worker_tree_parallel_equals_sequential_uct_on_real_domains() {
+    let cfg = UctConfig {
+        iterations: 400,
+        ..UctConfig::default()
+    };
+    let sg = SameGame::random(6, 6, 3, 9);
+    let tsp = TspGame::new(TspInstance::random(9, 3), None);
+    for seed in [1u64, 2009] {
+        let uct_sg = SearchSpec::uct_with(cfg.clone()).seed(seed).run(&sg);
+        let tree_sg = SearchSpec::tree_parallel_with(cfg.clone(), 1)
+            .seed(seed)
+            .run(&sg);
+        assert_eq!(tree_sg.score, uct_sg.score, "samegame seed {seed}");
+        assert_eq!(tree_sg.sequence, uct_sg.sequence, "samegame seed {seed}");
+        assert_eq!(tree_sg.stats, uct_sg.stats, "samegame seed {seed}");
+
+        let uct_tsp = SearchSpec::uct_with(cfg.clone()).seed(seed).run(&tsp);
+        let tree_tsp = SearchSpec::tree_parallel_with(cfg.clone(), 1)
+            .seed(seed)
+            .run(&tsp);
+        assert_eq!(tree_tsp.score, uct_tsp.score, "tsp seed {seed}");
+        assert_eq!(tree_tsp.sequence, uct_tsp.sequence, "tsp seed {seed}");
+        assert_eq!(tree_tsp.stats, uct_tsp.stats, "tsp seed {seed}");
+    }
+}
+
+/// Runs tree-parallel on `game` at the CI worker count through the
+/// typed path and the erased path, asserting the replay invariant (the
+/// one promise multi-worker tree-parallel makes) on both.
+fn tree_parallel_runs_on<G>(game: &G, label: &str)
+where
+    G: CodedGame + Send + Sync + 'static,
+    G::Move: Send + Sync + std::fmt::Debug + PartialEq,
+{
+    let workers = test_workers();
+    let cfg = UctConfig {
+        iterations: 300,
+        ..UctConfig::default()
+    };
+    let spec = SearchSpec::tree_parallel_with(cfg, workers).seed(5).build();
+
+    let typed = spec.run(game);
+    let mut replay = game.clone();
+    for mv in &typed.sequence {
+        replay.play(mv);
+    }
+    assert_eq!(replay.score(), typed.score, "{label}: typed replay");
+    assert_eq!(typed.stats.playouts, 300, "{label}: shared iteration total");
+
+    let erased = spec.search(&DynGame::new(game.clone()), None);
+    let decoded = decode_sequence(game, &erased.sequence);
+    let mut replay = game.clone();
+    for mv in &decoded {
+        replay.play(mv);
+    }
+    assert_eq!(replay.score(), erased.score, "{label}: erased replay");
+}
+
+#[test]
+fn tree_parallel_runs_on_all_five_domains_typed_and_erased() {
+    tree_parallel_runs_on(&cross_board(Variant::Disjoint, 2), "morpion");
+    tree_parallel_runs_on(&SameGame::random(6, 6, 3, 4), "samegame");
+    tree_parallel_runs_on(&TspGame::new(TspInstance::random(8, 2), None), "tsp");
+    tree_parallel_runs_on(&Sudoku::puzzle(3, 30, 7), "sudoku");
+    tree_parallel_runs_on(&SumGame::random(6, 4, 3), "sumgame");
+}
+
+#[test]
+fn tree_parallel_reaches_every_domain_through_the_engine() {
+    // The erased (engine) path of the acceptance criterion: a
+    // tree-parallel JobSpec on each domain completes and its decoded
+    // best line replays to the reported score.
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+    })
+    .expect("valid engine config");
+    let workers = test_workers();
+    let spec = SearchSpec::tree_parallel_with(
+        UctConfig {
+            iterations: 200,
+            ..UctConfig::default()
+        },
+        workers,
+    )
+    .seed(17)
+    .build();
+
+    fn check<G>(engine: &Engine, game: G, spec: &SearchSpec, label: &str)
+    where
+        G: CodedGame + Send + Sync + 'static,
+        G::Move: Send + Sync,
+    {
+        let handle = engine
+            .submit(JobSpec::from_spec(label, game.clone(), spec.clone()))
+            .expect("submit tree-parallel job");
+        let output = handle.join();
+        assert_eq!(output.state, JobState::Completed, "{label}");
+        let best = output.best.expect("completed job has a result");
+        let decoded = decode_sequence(&game, &best.result.sequence);
+        let mut replay = game;
+        for mv in &decoded {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), best.result.score, "{label}: engine replay");
+    }
+
+    check(&engine, cross_board(Variant::Disjoint, 2), &spec, "morpion");
+    check(&engine, SameGame::random(6, 6, 3, 8), &spec, "samegame");
+    check(
+        &engine,
+        TspGame::new(TspInstance::random(8, 5), None),
+        &spec,
+        "tsp",
+    );
+    check(&engine, Sudoku::puzzle(3, 30, 2), &spec, "sudoku");
+    check(&engine, SumGame::random(6, 4, 9), &spec, "sumgame");
+    engine.shutdown();
 }
 
 #[test]

@@ -10,10 +10,12 @@
 
 use pnmcs::games::{SameGame, TspGame, TspInstance};
 use pnmcs::morpion::{cross_board, Variant};
-use pnmcs::search::baselines::{beam_search, flat_monte_carlo, iterated_sampling};
+use pnmcs::search::baselines::{
+    beam_search, flat_monte_carlo, iterated_sampling, simulated_annealing,
+};
 use pnmcs::search::{
-    decode_report, nested, nrpa, uct, AnySearcher, DynGame, NestedConfig, NrpaConfig, Rng,
-    SearchReport, SearchSpec, UctConfig,
+    decode_report, nested, nrpa, uct, AnnealingConfig, AnySearcher, DynGame, NestedConfig,
+    NrpaConfig, Rng, SearchReport, SearchSpec, UctConfig,
 };
 use pnmcs::search::{Game, MemoryPolicy};
 
@@ -78,7 +80,52 @@ fn shims_equal_specs_on_samegame_and_tsp() {
         let spec_run = SearchSpec::nested(2).seed(seed).run(&tsp);
         let shim = nested(&tsp, 2, &NestedConfig::paper(), &mut Rng::seeded(seed));
         assert_matches(&spec_run, &shim, "nested-tsp");
+
+        let acfg = AnnealingConfig {
+            iterations: 1_500,
+            ..Default::default()
+        };
+        let spec_run = SearchSpec::simulated_annealing_with(acfg.clone())
+            .seed(seed)
+            .run(&sg);
+        let shim = simulated_annealing(&sg, &acfg, &mut Rng::seeded(seed));
+        assert_matches(&spec_run, &shim, "simulated-annealing-samegame");
+
+        let spec_run = SearchSpec::simulated_annealing_with(acfg.clone())
+            .seed(seed)
+            .run(&tsp);
+        let shim = simulated_annealing(&tsp, &acfg, &mut Rng::seeded(seed));
+        assert_matches(&spec_run, &shim, "simulated-annealing-tsp");
     }
+}
+
+#[test]
+fn simulated_annealing_spec_round_trips_and_reruns_identically() {
+    // The last baseline joins the `tables --spec '<json>'` contract:
+    // serialise, re-parse, rerun, and the reports agree bit-for-bit.
+    let sg = SameGame::random(7, 7, 3, 6);
+    let spec = SearchSpec::simulated_annealing_with(AnnealingConfig {
+        iterations: 800,
+        t_initial: 6.0,
+        t_final: 0.02,
+    })
+    .seed(2009)
+    .build();
+    let json = serde_json::to_string(&spec).unwrap();
+    let pasted: SearchSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, pasted);
+    let first = spec.run(&sg);
+    let second = pasted.run(&sg);
+    assert_eq!(first.score, second.score);
+    assert_eq!(first.sequence, second.sequence);
+    assert_eq!(first.stats, second.stats);
+
+    // The sequence replays (annealing reports real lines, not vectors).
+    let mut replay = sg;
+    for mv in &first.sequence {
+        replay.play(mv);
+    }
+    assert_eq!(replay.score(), first.score);
 }
 
 #[test]
@@ -113,6 +160,15 @@ fn erased_searcher_matches_typed_searcher() {
         SearchSpec::nested(1).seed(5).build(),
         SearchSpec::nrpa(1).seed(5).build(),
         SearchSpec::uct().seed(5).build(),
+        // Tree-parallel at one worker is deterministic, so erasure
+        // transparency is assertable for the new backend too.
+        SearchSpec::tree_parallel(1).seed(5).build(),
+        SearchSpec::simulated_annealing_with(AnnealingConfig {
+            iterations: 400,
+            ..Default::default()
+        })
+        .seed(5)
+        .build(),
     ];
     for spec in &specs {
         let typed = spec.run(&sg);
