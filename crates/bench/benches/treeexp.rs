@@ -1,0 +1,66 @@
+//! Criterion coverage of the tree-parallel configuration grid: one
+//! benchmark per (lock strategy × stats mode) point plus the batched
+//! variant, at a small fixed playout budget on the cheap-rollout
+//! SameGame 6x6 board. CI compiles this via `cargo bench --no-run`, so
+//! the `tables --tree` sweep machinery cannot bit-rot; running it
+//! locally gives per-configuration timings with criterion's statistics
+//! on top of the sweep's single-shot table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nmcs_core::{LockStrategy, SearchSpec, StatsMode, UctConfig};
+use nmcs_games::SameGame;
+use std::hint::black_box;
+
+fn bench_tree_parallel(c: &mut Criterion) {
+    let game = SameGame::random(6, 6, 3, 7);
+    let config = UctConfig {
+        iterations: 400,
+        ..UctConfig::default()
+    };
+    let workers = 4;
+    let grid: [(&str, LockStrategy, StatsMode, usize); 4] = [
+        (
+            "arena_vloss",
+            LockStrategy::Global,
+            StatsMode::VirtualLoss,
+            0,
+        ),
+        (
+            "sharded_vloss",
+            LockStrategy::Sharded,
+            StatsMode::VirtualLoss,
+            0,
+        ),
+        ("sharded_wuuct", LockStrategy::Sharded, StatsMode::WuUct, 0),
+        (
+            "sharded_wuuct_batch8",
+            LockStrategy::Sharded,
+            StatsMode::WuUct,
+            8,
+        ),
+    ];
+    for (name, lock, stats, leaf_batch) in grid {
+        c.bench_function(format!("tree_parallel_{name}_4w"), |b| {
+            b.iter(|| {
+                let report = SearchSpec::tree_parallel_with(config.clone(), workers)
+                    .lock_strategy(lock)
+                    .stats_mode(stats)
+                    .leaf_batch(leaf_batch)
+                    .seed(7)
+                    .run(&game);
+                black_box(report.score)
+            })
+        });
+    }
+
+    // The sequential anchor at the same playout budget.
+    c.bench_function("tree_parallel_uct_anchor_1w", |b| {
+        b.iter(|| {
+            let report = SearchSpec::uct_with(config.clone()).seed(7).run(&game);
+            black_box(report.score)
+        })
+    });
+}
+
+criterion_group!(benches, bench_tree_parallel);
+criterion_main!(benches);

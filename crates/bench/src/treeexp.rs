@@ -1,16 +1,22 @@
 //! Tree-parallel UCT experiment (`tables --tree`).
 //!
-//! Sweeps the worker count for `SearchSpec::tree_parallel(threads)` on a
-//! SameGame board and a reduced Morpion cross, reporting score,
-//! wall-clock time, and playout throughput, with sequential UCT as the
-//! `workers = 1` anchor (per seed, tree-parallel at one worker is
-//! bit-identical to `SearchSpec::uct()` — the sweep asserts it).
+//! Sweeps **lock strategy × stats mode × worker count** (plus a
+//! batched-leaf column) for `SearchSpec::tree_parallel` on a
+//! cheap-rollout SameGame 6x6 board — the regime where the PR-4
+//! single-arena-mutex serialised selection — and a reduced Morpion
+//! cross, reporting score, wall-clock time, playout throughput, and
+//! each row's throughput relative to the global-mutex / virtual-loss
+//! arena at the same width (`vs arena`). Sequential UCT is the
+//! `workers = 1` anchor: per seed, *every* lock/stats combination at
+//! one worker is bit-identical to `SearchSpec::uct()` — the sweep
+//! asserts it, so the contention experiment can never drift from the
+//! conformance contract.
 //!
 //! Unlike the leaf and root sweeps, the score column is **allowed to
 //! move with the worker count** above one worker: tree-parallel workers
-//! race on one shared tree under virtual loss, so their interleaving
-//! shapes the search itself. The `deterministic` column states the
-//! contract per row so the table never over-promises (see
+//! race on one shared tree, so their interleaving shapes the search
+//! itself. The `deterministic` column states the contract per row so
+//! the table never over-promises (see
 //! `AlgorithmSpec::worker_count_deterministic`).
 //!
 //! Every row records the exact [`SearchSpec`] JSON that produced it;
@@ -20,19 +26,27 @@
 
 use crate::report::Table;
 use morpion::{cross_board, Variant};
-use nmcs_core::{CodedGame, SearchSpec, Searcher, UctConfig};
+use nmcs_core::{CodedGame, LockStrategy, SearchSpec, Searcher, StatsMode, UctConfig};
 use nmcs_games::SameGame;
 use serde::Serialize;
 
-/// One measured (domain × workers) cell of the tree-parallel sweep.
+/// One measured (domain × configuration × workers) cell of the
+/// tree-parallel sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct TreeRow {
     pub domain: String,
     pub threads: usize,
+    pub lock: String,
+    pub stats: String,
+    pub leaf_batch: usize,
     pub score: i64,
     pub elapsed_ms: f64,
     pub playouts: u64,
     pub playouts_per_sec: f64,
+    /// Throughput relative to the global-mutex / virtual-loss arena row
+    /// at the same domain and width (1.0 for the arena row itself) —
+    /// the measured, not asserted, contention win.
+    pub vs_arena: f64,
     /// Whether this cell's result is reproducible bit-for-bit from its
     /// spec (true at one worker, false above — the honest column).
     pub deterministic: bool,
@@ -40,7 +54,47 @@ pub struct TreeRow {
     pub spec: String,
 }
 
-fn measure<G>(domain: &str, game: &G, threads: usize, iterations: usize, seed: u64) -> TreeRow
+/// One point of the configuration grid.
+#[derive(Debug, Clone, Copy)]
+struct TreeConfigPoint {
+    lock: LockStrategy,
+    stats: StatsMode,
+    leaf_batch: usize,
+}
+
+/// The sweep grid: the PR-4 arena baseline first (the `vs arena`
+/// denominator), then each lever in isolation, then the full stack.
+const GRID: [TreeConfigPoint; 4] = [
+    TreeConfigPoint {
+        lock: LockStrategy::Global,
+        stats: StatsMode::VirtualLoss,
+        leaf_batch: 0,
+    },
+    TreeConfigPoint {
+        lock: LockStrategy::Sharded,
+        stats: StatsMode::VirtualLoss,
+        leaf_batch: 0,
+    },
+    TreeConfigPoint {
+        lock: LockStrategy::Sharded,
+        stats: StatsMode::WuUct,
+        leaf_batch: 0,
+    },
+    TreeConfigPoint {
+        lock: LockStrategy::Sharded,
+        stats: StatsMode::WuUct,
+        leaf_batch: 8,
+    },
+];
+
+fn measure<G>(
+    domain: &str,
+    game: &G,
+    point: TreeConfigPoint,
+    threads: usize,
+    iterations: usize,
+    seed: u64,
+) -> TreeRow
 where
     G: CodedGame + Send + Sync,
     G::Move: Send + Sync,
@@ -50,58 +104,114 @@ where
         ..UctConfig::default()
     };
     let spec = SearchSpec::tree_parallel_with(config.clone(), threads)
+        .lock_strategy(point.lock)
+        .stats_mode(point.stats)
+        .leaf_batch(point.leaf_batch)
         .seed(seed)
         .build();
     let report = spec.search(game, None);
-    if threads == 1 {
-        // The sweep's built-in conformance check: one worker ≡ uct.
+    if threads == 1 && point.leaf_batch < 2 {
+        // The sweep's built-in conformance check: one unbatched worker
+        // ≡ uct, whatever the lock strategy and stats mode.
         let uct = SearchSpec::uct_with(config).seed(seed).run(game);
         assert_eq!(
             (report.score, &report.sequence),
             (uct.score, &uct.sequence),
-            "{domain}: single-worker tree-parallel must equal sequential UCT"
+            "{domain} [{}/{}]: single-worker tree-parallel must equal sequential UCT",
+            point.lock.label(),
+            point.stats.label(),
         );
     }
     let secs = report.elapsed.as_secs_f64().max(1e-9);
     TreeRow {
         domain: domain.to_string(),
         threads,
+        lock: point.lock.label().to_string(),
+        stats: point.stats.label().to_string(),
+        leaf_batch: point.leaf_batch,
         score: report.score,
         elapsed_ms: secs * 1e3,
         playouts: report.stats.playouts,
         playouts_per_sec: report.stats.playouts as f64 / secs,
+        vs_arena: 1.0, // filled in by `tree_sweep` once the arena row exists
         deterministic: spec.algorithm.worker_count_deterministic(),
         spec: serde_json::to_string(&spec).expect("specs serialise"),
     }
 }
 
-/// Sweeps tree-parallel UCT over worker counts at a fixed iteration
-/// budget (the shared counter keeps total playouts constant per row, so
-/// the throughput column isolates parallel efficiency).
+fn sweep_domain<G>(
+    rows: &mut Vec<TreeRow>,
+    domain: &str,
+    game: &G,
+    threads: &[usize],
+    iterations: usize,
+    seed: u64,
+) where
+    G: CodedGame + Send + Sync,
+    G::Move: Send + Sync,
+{
+    for &t in threads {
+        let base = rows.len();
+        for point in GRID {
+            rows.push(measure(domain, game, point, t, iterations, seed));
+        }
+        // The first grid point is the PR-4 arena; normalise the width's
+        // rows against it so the contention win is a printed number.
+        let arena_pps = rows[base].playouts_per_sec.max(1e-9);
+        for row in &mut rows[base..] {
+            row.vs_arena = row.playouts_per_sec / arena_pps;
+        }
+    }
+}
+
+/// Sweeps the tree-parallel configuration grid over worker counts at a
+/// fixed iteration budget (the shared counter keeps total playouts
+/// constant per row, so the throughput column isolates parallel
+/// efficiency). The primary domain is a **6x6 SameGame** — rollouts of
+/// a few microseconds, the regime where selection cost and lock
+/// contention dominate — with a reduced Morpion cross as the
+/// expensive-rollout contrast.
 pub fn tree_sweep(threads: &[usize], iterations: usize, seed: u64) -> Vec<TreeRow> {
-    let samegame = SameGame::random(10, 10, 4, seed);
+    let samegame = SameGame::random(6, 6, 3, seed);
     let cross = cross_board(Variant::Disjoint, 3);
     let mut rows = Vec::new();
-    for &t in threads {
-        rows.push(measure("samegame-10x10", &samegame, t, iterations, seed));
-    }
-    for &t in threads {
-        rows.push(measure("morpion-5d-c3", &cross, t, iterations, seed));
-    }
+    sweep_domain(
+        &mut rows,
+        "samegame-6x6",
+        &samegame,
+        threads,
+        iterations,
+        seed,
+    );
+    // Morpion rollouts are ~2 orders of magnitude more expensive;
+    // a quarter of the iteration budget keeps the sweep's wall clock
+    // balanced between the domains.
+    sweep_domain(
+        &mut rows,
+        "morpion-5d-c3",
+        &cross,
+        threads,
+        (iterations / 4).max(1),
+        seed,
+    );
     rows
 }
 
 /// Renders a sweep as a table in the style of the paper harness.
 pub fn tree_table(rows: &[TreeRow]) -> Table {
     let mut table = Table::new(
-        "Tree-parallel UCT: score and playout throughput vs workers (shared tree, virtual loss)",
+        "Tree-parallel UCT: lock strategy x stats mode x workers (vs the single-mutex arena)",
         &[
             "domain",
             "workers",
+            "lock",
+            "stats",
+            "batch",
             "score",
             "elapsed (ms)",
             "playouts",
             "playouts/sec",
+            "vs arena",
             "deterministic",
         ],
     );
@@ -109,10 +219,14 @@ pub fn tree_table(rows: &[TreeRow]) -> Table {
         table.row(&[
             r.domain.clone(),
             r.threads.to_string(),
+            r.lock.clone(),
+            r.stats.clone(),
+            r.leaf_batch.to_string(),
             r.score.to_string(),
             format!("{:.1}", r.elapsed_ms),
             r.playouts.to_string(),
             format!("{:.0}", r.playouts_per_sec),
+            format!("{:.2}x", r.vs_arena),
             if r.deterministic { "yes" } else { "no" }.to_string(),
         ]);
     }
@@ -124,26 +238,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn playout_totals_are_invariant_across_worker_counts() {
-        // The shared iteration counter: any worker count executes the
-        // same number of playouts, so throughput comparisons are fair.
-        let rows = tree_sweep(&[1, 2, 4], 200, 7);
-        for chunk in rows.chunks(3) {
+    fn playout_totals_are_invariant_across_the_whole_grid() {
+        // The shared iteration counter: any worker count, lock
+        // strategy, stats mode, or batch size executes the same number
+        // of playouts, so throughput comparisons are fair.
+        let rows = tree_sweep(&[1, 2], 120, 7);
+        for chunk in rows.chunks(GRID.len()) {
             assert!(chunk.iter().all(|r| r.playouts == chunk[0].playouts));
         }
     }
 
     #[test]
-    fn single_worker_rows_are_marked_deterministic_and_anchor_to_uct() {
-        // `measure` itself asserts the uct anchor for threads == 1.
-        let rows = tree_sweep(&[1, 2], 150, 3);
+    fn rows_are_marked_deterministic_honestly_and_anchor_to_uct() {
+        // `measure` itself asserts the uct anchor for unbatched
+        // single-worker rows, across every lock/stats combination.
+        let rows = tree_sweep(&[1, 2], 100, 3);
         for row in &rows {
-            assert_eq!(row.deterministic, row.threads == 1, "{}", row.domain);
+            assert_eq!(row.deterministic, row.threads == 1, "{:?}", row);
             let spec: SearchSpec = serde_json::from_str(&row.spec).expect("row spec parses");
             assert!(matches!(
                 spec.algorithm,
                 nmcs_core::AlgorithmSpec::TreeParallel { .. }
             ));
+        }
+    }
+
+    #[test]
+    fn arena_rows_normalise_to_one() {
+        let rows = tree_sweep(&[1], 80, 5);
+        for chunk in rows.chunks(GRID.len()) {
+            assert!((chunk[0].vs_arena - 1.0).abs() < 1e-12, "{:?}", chunk[0]);
+            assert_eq!(chunk[0].lock, "global");
+            assert_eq!(chunk[0].stats, "vloss");
         }
     }
 }

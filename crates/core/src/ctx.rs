@@ -30,7 +30,16 @@ use std::time::Instant;
 /// a deadline is set. Playout steps run in the 0.1–1 µs range, so the
 /// deadline is honoured to within a few microseconds while the hot loop
 /// pays a clock read only once per stride.
+///
+/// The *first* poll of a context always reads the clock (see
+/// [`SearchCtx::should_stop`]): a search whose individual iterations
+/// are expensive (a deep nested rollout, a slow domain) must not run 31
+/// of them past a short deadline before noticing the clock at all. The
+/// stride only amortises polls *after* that first read.
 const DEADLINE_STRIDE: u32 = 32;
+
+/// Countdown start for a fresh context: the first poll reads the clock.
+const FIRST_POLL: u32 = 1;
 
 /// Budget counters shared by every worker of one search run.
 struct BudgetMeter {
@@ -92,7 +101,7 @@ impl SearchCtx {
             meter: None,
             cancel: None,
             interrupted: None,
-            poll: DEADLINE_STRIDE,
+            poll: FIRST_POLL,
         }
     }
 
@@ -116,7 +125,7 @@ impl SearchCtx {
             meter,
             cancel: cancel.cloned(),
             interrupted: None,
-            poll: DEADLINE_STRIDE,
+            poll: FIRST_POLL,
         }
     }
 
@@ -130,7 +139,7 @@ impl SearchCtx {
             meter: self.meter.clone(),
             cancel: self.cancel.clone(),
             interrupted: self.interrupted,
-            poll: DEADLINE_STRIDE,
+            poll: FIRST_POLL,
         }
     }
 
@@ -310,5 +319,25 @@ mod tests {
             assert!(polls <= DEADLINE_STRIDE, "deadline never observed");
         }
         assert_eq!(ctx.interruption(), Some(Interruption::Deadline));
+    }
+
+    #[test]
+    fn the_very_first_poll_reads_the_clock() {
+        // Regression: the countdown used to start at DEADLINE_STRIDE, so
+        // a search with slow iterations could overshoot a short deadline
+        // by 31 expensive rollouts before its first clock read. The
+        // first poll must observe an already-elapsed deadline.
+        let budget = Budget::none().with_deadline(Duration::ZERO);
+        let mut ctx = SearchCtx::new(&budget, None);
+        assert!(ctx.should_stop(), "first poll must read the clock");
+        assert_eq!(ctx.interruption(), Some(Interruption::Deadline));
+
+        // Forked worker contexts inherit the same first-poll behaviour.
+        let parent = SearchCtx::new(&budget, None);
+        let mut worker = parent.fork();
+        assert!(
+            worker.should_stop(),
+            "forked first poll must read the clock"
+        );
     }
 }

@@ -51,9 +51,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How long a parked worker sleeps before re-checking for work even
-/// without a wakeup. Pure safety net: submissions notify the condvar,
-/// so the timeout only matters if a wakeup is lost to a scheduling
-/// race between a worker's last steal attempt and its park.
+/// without a wakeup. **Pure defence-in-depth**, not a correctness
+/// mechanism: every publish bumps the wakeup generation counter under
+/// the injector lock (see [`Injector::wake_gen`]), so a worker never
+/// parks across a publish it has not yet scanned for. If a stall ever
+/// *does* depend on this timeout, that is a bug — and the tests run
+/// pools with a timeout long enough to surface it as one
+/// (`ExecutorPool::with_park_timeout`).
 const PARK_TIMEOUT: Duration = Duration::from_millis(50);
 
 /// A persistent pool of search-executor workers. See the module docs
@@ -63,10 +67,23 @@ pub struct ExecutorPool {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// The submission queue plus the wakeup generation counter, under one
+/// mutex so "work was published" and "a parker would have been woken"
+/// are a single atomic observation.
+struct Injector {
+    queue: VecDeque<Task>,
+    /// Bumped (under this mutex) by every publish — injector pushes,
+    /// surplus banked into a local deque, shutdown. A worker records
+    /// the generation before scanning for work and refuses to park if
+    /// it moved: a notify that raced the scan becomes a rescan instead
+    /// of a lost wakeup.
+    wake_gen: u64,
+}
+
 struct PoolShared {
     /// Submission queue; guarded by its own mutex, paired with
     /// `work_ready` for park/unpark.
-    injector: Mutex<VecDeque<Task>>,
+    injector: Mutex<Injector>,
     work_ready: Condvar,
     /// Per-worker deques; siblings steal from the back.
     locals: Vec<Mutex<VecDeque<Task>>>,
@@ -74,15 +91,25 @@ struct PoolShared {
     /// Tasks run by a thread other than their submitter after sitting in
     /// a sibling's local deque — the observable work-stealing counter.
     steals: AtomicU64,
+    /// See [`PARK_TIMEOUT`]; tests shrink or stretch it per pool.
+    park_timeout: Duration,
 }
 
 impl PoolShared {
-    fn lock_injector(&self) -> MutexGuard<'_, VecDeque<Task>> {
+    fn lock_injector(&self) -> MutexGuard<'_, Injector> {
         self.injector.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn lock_local(&self, idx: usize) -> MutexGuard<'_, VecDeque<Task>> {
         self.locals[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a publish that parked workers cannot see in the injector
+    /// queue (surplus banked in a local deque, shutdown). Publishes via
+    /// the injector bump the generation in the same critical section as
+    /// their push.
+    fn bump_wake_gen(&self) {
+        self.lock_injector().wake_gen += 1;
     }
 }
 
@@ -139,14 +166,27 @@ impl ExecutorPool {
     /// thread, which is exactly the right degenerate form for
     /// single-threaded specs and keeps them trivially deterministic.
     pub fn new(background_workers: usize) -> Self {
+        Self::with_park_timeout(background_workers, PARK_TIMEOUT)
+    }
+
+    /// [`ExecutorPool::new`] with an explicit park timeout. Exposed for
+    /// the lost-wakeup tests: a pool whose timeout is much longer than
+    /// the expected batch latency turns a lost notify into a visible
+    /// stall instead of a 50 ms hiccup the net would mask.
+    #[doc(hidden)]
+    pub fn with_park_timeout(background_workers: usize, park_timeout: Duration) -> Self {
         let shared = Arc::new(PoolShared {
-            injector: Mutex::new(VecDeque::new()),
+            injector: Mutex::new(Injector {
+                queue: VecDeque::new(),
+                wake_gen: 0,
+            }),
             work_ready: Condvar::new(),
             locals: (0..background_workers)
                 .map(|_| Mutex::new(VecDeque::new()))
                 .collect(),
             shutdown: AtomicBool::new(false),
             steals: AtomicU64::new(0),
+            park_timeout,
         });
         let workers = (0..background_workers)
             .map(|idx| {
@@ -227,11 +267,12 @@ impl ExecutorPool {
         {
             let mut injector = self.shared.lock_injector();
             for slot in 1..slots {
-                injector.push_back(Task {
+                injector.queue.push_back(Task {
                     batch: batch.clone(),
                     slot,
                 });
             }
+            injector.wake_gen += 1;
         }
         self.shared.work_ready.notify_all();
 
@@ -252,8 +293,11 @@ impl Drop for ExecutorPool {
     fn drop(&mut self) {
         // `run_batch` borrows the pool, so no batch can be in flight
         // here; every queued task has already finished. Signal shutdown,
-        // wake the parked workers, and join them all.
+        // bump the wakeup generation so a worker racing toward its park
+        // rescans and observes the flag, wake the parked ones, and join
+        // them all.
         self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.bump_wake_gen();
         self.shared.work_ready.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -279,9 +323,10 @@ impl Drop for BatchGuard<'_> {
             let task = {
                 let mut injector = self.shared.lock_injector();
                 injector
+                    .queue
                     .iter()
                     .position(|t| Arc::ptr_eq(&t.batch, self.batch))
-                    .and_then(|pos| injector.remove(pos))
+                    .and_then(|pos| injector.queue.remove(pos))
             };
             match task {
                 Some(task) => task.run(),
@@ -290,10 +335,13 @@ impl Drop for BatchGuard<'_> {
         }
         let mut done = self.batch.lock_done();
         while done.pending > 0 {
+            // Completion is notified under the `done` mutex itself, so
+            // this wait cannot lose a wakeup; the timeout is the same
+            // defence-in-depth net as the worker park.
             let (next, _) = self
                 .batch
                 .done_cond
-                .wait_timeout(done, PARK_TIMEOUT)
+                .wait_timeout(done, self.shared.park_timeout)
                 .unwrap_or_else(|e| e.into_inner());
             done = next;
         }
@@ -313,20 +361,29 @@ fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
         }
 
         // 2. Injector: grab a small batch, run one, bank the surplus
-        //    where siblings can steal it.
-        let mut grabbed: Vec<Task> = {
+        //    where siblings can steal it. The wakeup generation is read
+        //    in the same critical section as the drain — the only path
+        //    that can reach the park below — so any publish after this
+        //    read bumps it (under this same lock) and the park step
+        //    refuses to sleep on it; any publish *before* it is either
+        //    drained here or (surplus banked in a sibling's deque)
+        //    visible to the steal scan in step 3. A wakeup can never be
+        //    lost, timeout or no timeout.
+        let (mut grabbed, observed_gen): (Vec<Task>, u64) = {
             let mut injector = shared.lock_injector();
-            let n = (injector.len() / workers.max(1))
+            let n = (injector.queue.len() / workers.max(1))
                 .clamp(1, 4)
-                .min(injector.len());
-            injector.drain(..n).collect()
+                .min(injector.queue.len());
+            (injector.queue.drain(..n).collect(), injector.wake_gen)
         };
         if !grabbed.is_empty() {
             let first = grabbed.remove(0);
             if !grabbed.is_empty() {
                 shared.lock_local(idx).extend(grabbed);
                 // The surplus is stealable work parked siblings cannot
-                // see; wake them.
+                // see in the injector; bump the generation and wake
+                // them.
+                shared.bump_wake_gen();
                 shared.work_ready.notify_all();
             }
             first.run();
@@ -348,15 +405,17 @@ fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
             continue;
         }
 
-        // 4. Park until new work arrives or shutdown drains us out.
+        // 4. Park — but only if nothing was published since step 0. A
+        //    publish that raced the scan shows up as a moved generation
+        //    and triggers a rescan instead of a sleep.
         let injector = shared.lock_injector();
-        if shared.shutdown.load(Ordering::Acquire) && injector.is_empty() {
+        if shared.shutdown.load(Ordering::Acquire) && injector.queue.is_empty() {
             return;
         }
-        if injector.is_empty() {
+        if injector.queue.is_empty() && injector.wake_gen == observed_gen {
             let _ = shared
                 .work_ready
-                .wait_timeout(injector, PARK_TIMEOUT)
+                .wait_timeout(injector, shared.park_timeout)
                 .unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -439,5 +498,41 @@ mod tests {
         let a = ExecutorPool::shared() as *const _;
         let b = ExecutorPool::shared() as *const _;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wakeups_do_not_depend_on_the_park_timeout_net() {
+        // A park timeout far beyond the test budget: if any wakeup were
+        // lost (workers parking across a publish), some batch — or the
+        // final drop — would stall for the full timeout and blow the
+        // elapsed assertion, instead of being quietly rescued by the
+        // 50 ms production net.
+        let pool = ExecutorPool::with_park_timeout(3, Duration::from_secs(120));
+        let t0 = std::time::Instant::now();
+        let ran = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run_batch(4, &|_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 400);
+        drop(pool); // shutdown must wake parked workers without the net
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "a lost wakeup stalled the pool for {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn every_publish_moves_the_wakeup_generation() {
+        // The generation is the observable contract the park step keys
+        // on: a batch submission must bump it at least once, so a
+        // worker that scanned before the submission cannot park after.
+        let pool = ExecutorPool::new(2);
+        let before = pool.shared.lock_injector().wake_gen;
+        pool.run_batch(3, &|_| {});
+        let after = pool.shared.lock_injector().wake_gen;
+        assert!(after > before, "submission did not bump wake_gen");
     }
 }

@@ -75,7 +75,7 @@ pub use rng::{Fnv1a, Rng};
 pub use search::{nested_with, sample, MemoryPolicy, NestedConfig, PlayoutScratch, SearchResult};
 pub use spec::{AlgorithmSpec, Budget, CancelToken, SearchBuilder, SearchSpec, Searcher};
 pub use stats::SearchStats;
-pub use uct::{uct_tree_parallel, uct_with, UctConfig};
+pub use uct::{uct_tree_parallel, uct_with, LockStrategy, StatsMode, TreeParallelOpts, UctConfig};
 
 // Deprecated free functions, re-exported so historical `use` paths keep
 // compiling (each is a thin shim over the unified SearchSpec API).

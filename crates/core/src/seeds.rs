@@ -21,6 +21,7 @@ use crate::rng::derive_seed;
 const TAG_MEDIAN: u64 = 0x6d65_6469_616e_0001;
 const TAG_CLIENT: u64 = 0x636c_6965_6e74_0001;
 const TAG_TREE_WORKER: u64 = 0x7472_6565_7770_0001;
+const TAG_TREE_LEAF: u64 = 0x7472_6565_6c66_0001;
 
 /// Seed of the median search spawned for `root_move` at `root_step`.
 pub fn median_seed(root_seed: u64, root_step: usize, root_move: usize) -> u64 {
@@ -55,6 +56,15 @@ pub fn tree_worker_seed(root_seed: u64, worker: usize) -> u64 {
     }
 }
 
+/// The rollout seed of tree-parallel iteration `iteration` in
+/// batched-leaf mode. Keyed by the *iteration index* (not the worker or
+/// the pool slot that happens to evaluate it), so a slab's rollouts are
+/// placement-independent: a single-worker batched run produces the same
+/// result no matter how many pool workers execute its slabs.
+pub fn tree_rollout_seed(root_seed: u64, iteration: u64) -> u64 {
+    derive_seed(root_seed, &[TAG_TREE_LEAF, iteration])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +93,15 @@ mod tests {
         assert_ne!(tree_worker_seed(42, 1), 42);
         assert_ne!(tree_worker_seed(42, 1), tree_worker_seed(42, 2));
         assert_ne!(tree_worker_seed(42, 1), tree_worker_seed(43, 1));
+    }
+
+    #[test]
+    fn tree_rollout_seeds_are_iteration_keyed() {
+        assert_ne!(tree_rollout_seed(42, 0), tree_rollout_seed(42, 1));
+        assert_ne!(tree_rollout_seed(42, 0), tree_rollout_seed(43, 0));
+        // Domain-separated from the worker derivation.
+        assert_ne!(tree_rollout_seed(42, 1), tree_worker_seed(42, 1));
+        assert_eq!(tree_rollout_seed(42, 7), tree_rollout_seed(42, 7));
     }
 
     #[test]

@@ -50,7 +50,9 @@ use crate::nrpa::{nrpa_with, CodedGame, NrpaConfig};
 use crate::report::SearchReport;
 use crate::rng::Rng;
 use crate::search::{nested_with, MemoryPolicy, NestedConfig, PlayoutScratch};
-use crate::uct::{uct_tree_parallel, uct_with, UctConfig};
+use crate::uct::{
+    uct_tree_parallel, uct_with, LockStrategy, StatsMode, TreeParallelOpts, UctConfig,
+};
 use serde::{Deserialize, Error, Serialize, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -217,10 +219,22 @@ pub enum AlgorithmSpec {
         first_move: bool,
     },
     /// Tree-parallel UCT ([`crate::uct::uct_tree_parallel`]): `threads`
-    /// workers share one arena tree under virtual loss. The one backend
-    /// whose multi-worker results are schedule-dependent; `threads == 1`
-    /// is bit-identical to [`AlgorithmSpec::Uct`] per seed.
-    TreeParallel { config: UctConfig, threads: usize },
+    /// workers share one tree, with three execution knobs — the
+    /// [`LockStrategy`] (sharded per-node locks vs the global arena
+    /// mutex), the [`StatsMode`] (WU-UCT unobserved-sample statistics
+    /// vs plain virtual loss), and `leaf_batch` (≥ 2 hands each
+    /// worker's pending rollouts to the executor pool in slabs). The
+    /// one backend whose multi-worker results are schedule-dependent;
+    /// `threads == 1` is deterministic at any knob setting and (with
+    /// `leaf_batch < 2`) bit-identical to [`AlgorithmSpec::Uct`] per
+    /// seed.
+    TreeParallel {
+        config: UctConfig,
+        threads: usize,
+        lock: LockStrategy,
+        stats: StatsMode,
+        leaf_batch: usize,
+    },
     /// Simulated annealing over decision vectors
     /// ([`crate::baselines::simulated_annealing_with`]), the last
     /// pre-paper baseline (Hyyrö & Poranen's Morpion record holder).
@@ -247,11 +261,15 @@ impl AlgorithmSpec {
         }
     }
 
-    /// Tree-parallel UCT on `threads` workers with default tunables.
+    /// Tree-parallel UCT on `threads` workers with default tunables
+    /// (sharded locks, WU-UCT statistics, inline rollouts).
     pub fn tree_parallel(threads: usize) -> Self {
         AlgorithmSpec::TreeParallel {
             config: UctConfig::default(),
             threads,
+            lock: LockStrategy::default(),
+            stats: StatsMode::default(),
+            leaf_batch: 0,
         }
     }
 
@@ -285,6 +303,9 @@ impl AlgorithmSpec {
     /// worker: leaf- and root-parallel derive every evaluation's seed
     /// from its logical coordinates, but tree-parallel workers race on
     /// one shared tree, so their interleaving shapes the search itself.
+    /// A *single* tree worker stays deterministic even in batched-leaf
+    /// mode — slab rollouts are seeded by iteration index, so pool
+    /// placement cannot change them.
     pub fn worker_count_deterministic(&self) -> bool {
         !matches!(
             self,
@@ -357,14 +378,31 @@ impl AlgorithmSpec {
             // Unlike leaf/root, the thread count IS part of a
             // tree-parallel identity: the workers race on one shared
             // tree, so different counts genuinely produce different
-            // searches.
-            AlgorithmSpec::TreeParallel { config, threads } => [
+            // searches — and so are the lock/stats/batch knobs, which
+            // change which search the racing workers perform.
+            AlgorithmSpec::TreeParallel {
+                config,
+                threads,
+                lock,
+                stats,
+                leaf_batch,
+            } => [
                 0xA00,
                 config.iterations as u64,
                 config.exploration.to_bits(),
                 config.max_bias.to_bits(),
                 *threads as u64,
-                0,
+                {
+                    let lock_code = match lock {
+                        LockStrategy::Global => 0u64,
+                        LockStrategy::Sharded => 1,
+                    };
+                    let stats_code = match stats {
+                        StatsMode::VirtualLoss => 0u64,
+                        StatsMode::WuUct => 1,
+                    };
+                    lock_code | (stats_code << 8) | ((*leaf_batch as u64) << 16)
+                },
             ],
             AlgorithmSpec::SimulatedAnnealing { config } => [
                 0xB00,
@@ -443,10 +481,19 @@ impl Serialize for AlgorithmSpec {
                 ("playout_cap".to_string(), playout_cap.to_value()),
                 ("first_move".to_string(), first_move.to_value()),
             ],
-            AlgorithmSpec::TreeParallel { config, threads } => vec![
+            AlgorithmSpec::TreeParallel {
+                config,
+                threads,
+                lock,
+                stats,
+                leaf_batch,
+            } => vec![
                 kind("tree_parallel"),
                 ("config".to_string(), config.to_value()),
                 ("threads".to_string(), threads.to_value()),
+                ("lock".to_string(), lock.to_value()),
+                ("stats".to_string(), stats.to_value()),
+                ("leaf_batch".to_string(), leaf_batch.to_value()),
             ],
             AlgorithmSpec::SimulatedAnnealing { config } => vec![
                 kind("simulated_annealing"),
@@ -515,6 +562,20 @@ impl Deserialize for AlgorithmSpec {
                     None => UctConfig::default(),
                 },
                 threads: usize::from_value(field("threads")?)?,
+                // Pre-knob (PR-4) rows carry none of these fields; they
+                // replay on the current defaults.
+                lock: match v.get_field("lock") {
+                    Some(l) => LockStrategy::from_value(l)?,
+                    None => LockStrategy::default(),
+                },
+                stats: match v.get_field("stats") {
+                    Some(s) => StatsMode::from_value(s)?,
+                    None => StatsMode::default(),
+                },
+                leaf_batch: match v.get_field("leaf_batch") {
+                    Some(b) => usize::from_value(b)?,
+                    None => 0,
+                },
             }),
             "simulated_annealing" => Ok(AlgorithmSpec::SimulatedAnnealing {
                 config: match v.get_field("config") {
@@ -655,17 +716,27 @@ impl SearchSpec {
         })
     }
 
-    /// Tree-parallel UCT on `threads` workers (default tunables). With
-    /// `threads == 1` this is bit-identical to [`SearchSpec::uct`] per
-    /// seed; with more workers, results are schedule-dependent (see
+    /// Tree-parallel UCT on `threads` workers (default tunables:
+    /// sharded locks, WU-UCT statistics, inline rollouts — tune with
+    /// [`SearchBuilder::lock_strategy`], [`SearchBuilder::stats_mode`],
+    /// and [`SearchBuilder::leaf_batch`]). With `threads == 1` this is
+    /// bit-identical to [`SearchSpec::uct`] per seed; with more
+    /// workers, results are schedule-dependent (see
     /// [`AlgorithmSpec::worker_count_deterministic`]).
     pub fn tree_parallel(threads: usize) -> SearchBuilder {
         SearchBuilder::new(AlgorithmSpec::tree_parallel(threads))
     }
 
-    /// Tree-parallel UCT with an explicit [`UctConfig`].
+    /// Tree-parallel UCT with an explicit [`UctConfig`] (default
+    /// execution knobs; tune with the builder methods).
     pub fn tree_parallel_with(config: UctConfig, threads: usize) -> SearchBuilder {
-        SearchBuilder::new(AlgorithmSpec::TreeParallel { config, threads })
+        SearchBuilder::new(AlgorithmSpec::TreeParallel {
+            config,
+            threads,
+            lock: LockStrategy::default(),
+            stats: StatsMode::default(),
+            leaf_batch: 0,
+        })
     }
 
     /// Simulated annealing with the default schedule.
@@ -833,8 +904,20 @@ where
                 client_jobs = run.client_jobs;
                 (run.score, run.sequence)
             }
-            AlgorithmSpec::TreeParallel { config, threads } => {
-                uct_tree_parallel(game, config, *threads, self.seed, &mut ctx)
+            AlgorithmSpec::TreeParallel {
+                config,
+                threads,
+                lock,
+                stats,
+                leaf_batch,
+            } => {
+                let opts = TreeParallelOpts {
+                    threads: *threads,
+                    lock: *lock,
+                    stats: *stats,
+                    leaf_batch: *leaf_batch,
+                };
+                uct_tree_parallel(game, config, &opts, self.seed, &mut ctx)
             }
             AlgorithmSpec::SimulatedAnnealing { config } => {
                 let mut rng = Rng::seeded(self.seed);
@@ -940,6 +1023,35 @@ impl SearchBuilder {
             AlgorithmSpec::LeafParallel { first_move, .. }
             | AlgorithmSpec::RootParallel { first_move, .. } => *first_move = true,
             _ => {}
+        }
+        self
+    }
+
+    /// How tree-parallel descents lock the shared tree (tree-parallel
+    /// only; ignored by other strategies).
+    pub fn lock_strategy(mut self, strategy: LockStrategy) -> Self {
+        if let AlgorithmSpec::TreeParallel { lock, .. } = &mut self.spec.algorithm {
+            *lock = strategy;
+        }
+        self
+    }
+
+    /// How in-flight tree-parallel descents bias selection
+    /// (tree-parallel only; ignored by other strategies).
+    pub fn stats_mode(mut self, mode: StatsMode) -> Self {
+        if let AlgorithmSpec::TreeParallel { stats, .. } = &mut self.spec.algorithm {
+            *stats = mode;
+        }
+        self
+    }
+
+    /// Slab size for batched leaf evaluation — `0`/`1` runs rollouts
+    /// inline on the descending worker, `≥ 2` hands each worker's
+    /// pending rollouts to the executor pool in slabs (tree-parallel
+    /// only; ignored by other strategies).
+    pub fn leaf_batch(mut self, batch: usize) -> Self {
+        if let AlgorithmSpec::TreeParallel { leaf_batch, .. } = &mut self.spec.algorithm {
+            *leaf_batch = batch;
         }
         self
     }

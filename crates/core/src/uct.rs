@@ -19,12 +19,32 @@
 //!
 //! * [`uct_with`] — the sequential tree, one iteration at a time;
 //! * [`uct_tree_parallel`] — **tree-parallel** UCT in the style of the
-//!   parallel-MCTS literature the paper cites (and WU-UCT, Liu et al.
-//!   2020): one shared arena tree, workers descending concurrently with
-//!   *virtual loss* steering them apart, visit/value statistics
-//!   accumulated atomically so rollouts (the dominant cost) run outside
-//!   any lock. A single-worker tree-parallel run is **bit-identical** to
-//!   [`uct_with`] for the same seed; multi-worker runs are inherently
+//!   parallel-MCTS literature the paper cites: one shared tree, workers
+//!   descending concurrently, visit/value statistics accumulated
+//!   atomically so rollouts (the dominant cost) run outside any lock.
+//!   Three orthogonal knobs ([`TreeParallelOpts`]) control how it
+//!   scales:
+//!
+//!   * [`LockStrategy`] — `Global` serialises every descent behind one
+//!     structure mutex (the original arena behaviour, kept as the
+//!     measured contention baseline); `Sharded` gives every node its
+//!     own lock, so concurrent descents only contend when they touch
+//!     the *same node at the same instant*.
+//!   * [`StatsMode`] — `VirtualLoss` counts each in-flight descent as a
+//!     pessimistic visit; `WuUct` implements the unobserved-sample
+//!     statistics of *"Watch the Unobserved: a simple approach to
+//!     parallelizing Monte Carlo tree search"* (Liu et al. 2020), where
+//!     incomplete visits widen only the exploration term and never
+//!     distort the observed mean.
+//!   * `leaf_batch` — with a batch of `B ≥ 2`, each worker collects `B`
+//!     pending descents and hands their rollouts to the
+//!     [`ExecutorPool`] as one slab (per-slot scratch, iteration-keyed
+//!     rollout seeds), overlapping tree walks with leaf evaluation.
+//!
+//!   A single-worker, unbatched tree-parallel run is **bit-identical**
+//!   to [`uct_with`] for the same seed under *any* lock strategy and
+//!   stats mode — both formulas reduce exactly to the sequential one
+//!   when nothing is in flight. Multi-worker runs are inherently
 //!   schedule-dependent and promise only a replayable best line (the
 //!   conformance tests assert both halves).
 
@@ -33,7 +53,7 @@ use crate::exec::pool::ExecutorPool;
 use crate::game::{Game, Score, Undo};
 use crate::rng::Rng;
 use crate::search::{PlayoutScratch, SearchResult};
-use crate::seeds::tree_worker_seed;
+use crate::seeds::{tree_rollout_seed, tree_worker_seed};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -237,18 +257,105 @@ pub fn uct_with<G: Game>(
 // Tree-parallel UCT
 // ---------------------------------------------------------------------
 
+/// How concurrent descents lock the shared tree's structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LockStrategy {
+    /// One mutex serialises every selection + expansion (the original
+    /// single-arena-mutex behaviour, kept as the measured contention
+    /// baseline for `tables --tree`).
+    Global,
+    /// Every node carries its own lock; descents contend only when they
+    /// touch the same node at the same instant, so selection scales
+    /// with tree breadth instead of serialising on one mutex.
+    #[default]
+    Sharded,
+}
+
+impl LockStrategy {
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            LockStrategy::Global => "global",
+            LockStrategy::Sharded => "sharded",
+        }
+    }
+}
+
+/// How in-flight (started, not yet backpropagated) descents are folded
+/// into the selection statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StatsMode {
+    /// Plain virtual loss: each in-flight descent counts as one visit
+    /// scoring the pessimistic bound, dragging both the mean and the
+    /// exploration term down.
+    VirtualLoss,
+    /// WU-UCT (Liu et al. 2020): in-flight descents widen only the
+    /// exploration denominators (`N + O` in both UCB terms) while the
+    /// exploitation mean stays the mean of *completed* rollouts — the
+    /// "watch the unobserved" correction that avoids virtual loss's
+    /// systematic pessimism.
+    #[default]
+    WuUct,
+}
+
+impl StatsMode {
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            StatsMode::VirtualLoss => "vloss",
+            StatsMode::WuUct => "wu-uct",
+        }
+    }
+}
+
+/// Execution-shape knobs of [`uct_tree_parallel`] (the algorithmic
+/// tunables stay in [`UctConfig`]). Mirrored field-for-field on
+/// `AlgorithmSpec::TreeParallel` so every knob serde-round-trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeParallelOpts {
+    /// Concurrent tree workers (≥ 1).
+    pub threads: usize,
+    /// How descents lock the shared structure.
+    pub lock: LockStrategy,
+    /// How in-flight descents bias selection.
+    pub stats: StatsMode,
+    /// `0` or `1`: each worker runs its rollouts inline. `B ≥ 2`: each
+    /// worker collects `B` pending descents and evaluates their
+    /// rollouts as one [`ExecutorPool`] slab (WU-UCT's master/worker
+    /// shape), overlapping tree walks with leaf evaluation.
+    pub leaf_batch: usize,
+}
+
+impl TreeParallelOpts {
+    /// Default knobs (sharded locks, WU-UCT stats, inline rollouts) at
+    /// the given width.
+    pub fn new(threads: usize) -> Self {
+        TreeParallelOpts {
+            threads,
+            lock: LockStrategy::default(),
+            stats: StatsMode::default(),
+            leaf_batch: 0,
+        }
+    }
+}
+
+impl Default for TreeParallelOpts {
+    fn default() -> Self {
+        TreeParallelOpts::new(1)
+    }
+}
+
 /// Per-node search statistics of the shared tree, updated atomically so
-/// backpropagation never takes the structural lock.
+/// backpropagation never takes any structural lock.
 struct TpStats {
     visits: AtomicU64,
     /// Accumulated playout scores, stored as `f64` bits (CAS-add).
     total_bits: AtomicU64,
     /// Best playout score seen through this node.
     best: AtomicI64,
-    /// Outstanding virtual losses: descents that passed through this
-    /// node and have not backpropagated yet. Each counts as one visit
-    /// scoring the pessimistic bound, steering concurrent workers apart.
-    vloss: AtomicU32,
+    /// In-flight descents: passed through this node, not yet
+    /// backpropagated. [`StatsMode`] decides how selection reads it.
+    inflight: AtomicU32,
 }
 
 impl TpStats {
@@ -257,20 +364,44 @@ impl TpStats {
             visits: AtomicU64::new(0),
             total_bits: AtomicU64::new(0f64.to_bits()),
             best: AtomicI64::new(Score::MIN),
-            vloss: AtomicU32::new(0),
+            inflight: AtomicU32::new(0),
         }
     }
 }
 
-/// One node of the shared arena. Structure (children, expansion state)
-/// is guarded by the arena mutex; `stats` is shared out to descents so
-/// they can backpropagate lock-free.
+/// One node of the shared tree. `mv` and `stats` are immutable /
+/// atomic and readable without any lock; the mutable structure
+/// (children, expansion state) sits behind the node's own mutex, which
+/// is what makes [`LockStrategy::Sharded`] contention-free for
+/// descents that diverge.
 struct TpNode<M> {
     mv: Option<M>,
-    children: Vec<usize>,
+    stats: TpStats,
+    body: Mutex<TpBody<M>>,
+}
+
+struct TpBody<M> {
+    children: Vec<Arc<TpNode<M>>>,
     unexpanded: Vec<M>,
     expanded: bool,
-    stats: Arc<TpStats>,
+}
+
+impl<M> TpNode<M> {
+    fn new(mv: Option<M>) -> Self {
+        TpNode {
+            mv,
+            stats: TpStats::new(),
+            body: Mutex::new(TpBody {
+                children: Vec::new(),
+                unexpanded: Vec::new(),
+                expanded: false,
+            }),
+        }
+    }
+
+    fn lock_body(&self) -> std::sync::MutexGuard<'_, TpBody<M>> {
+        self.body.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 fn f64_cas_add(cell: &AtomicU64, add: f64) {
@@ -320,67 +451,309 @@ fn f64_cas_max(cell: &AtomicU64, candidate: f64) {
     }
 }
 
-/// Tree-parallel UCT: `threads` workers share one arena tree through
-/// the process-wide [`ExecutorPool`], descending concurrently under
-/// virtual loss. The engine room behind `SearchSpec::tree_parallel`.
-///
-/// Concurrency shape: selection and expansion (cheap pointer-chasing)
-/// run under the arena mutex; rollouts — the dominant cost on every
-/// domain we ship — run outside it; backpropagation goes straight to
-/// the nodes' atomic counters. Virtual loss makes concurrent descents
-/// diverge instead of piling onto one line (WU-UCT's observation), and
-/// the formula reduces *exactly* to the sequential one when no losses
-/// are outstanding — which is why `threads == 1` is bit-identical to
-/// [`uct_with`] per seed (asserted by `tests/cross_backend.rs`).
-///
-/// Budget/cancellation polls hit every worker once per iteration plus
-/// once per playout move (inside the rollout), sharing one atomic meter
-/// through the forked [`SearchCtx`]s.
-pub fn uct_tree_parallel<G>(
-    game: &G,
-    config: &UctConfig,
-    threads: usize,
+/// The shared search tree plus the selection knobs every descent needs.
+struct TpTree<M> {
+    root: Arc<TpNode<M>>,
+    /// Taken for the whole selection + expansion of one descent in
+    /// [`LockStrategy::Global`] mode; untouched in `Sharded` mode.
+    structure: Mutex<()>,
+    /// Running reward-normalisation bounds, shared by every worker.
+    lo_bits: AtomicU64,
+    hi_bits: AtomicU64,
+    exploration: f64,
+    max_bias: f64,
+    lock: LockStrategy,
+    stats: StatsMode,
+}
+
+/// Per-worker descent buffers, reused across iterations so the hot
+/// loop stays allocation-free after warm-up.
+struct DescentScratch<G: Game> {
+    use_undo: bool,
+    undo_stack: Vec<Undo<G>>,
+    moves: Vec<G::Move>,
+    /// Moves of the current descent + rollout (the candidate best line).
+    seq: Vec<G::Move>,
+    /// Nodes of the current descent, root first.
+    path: Vec<Arc<TpNode<G::Move>>>,
+}
+
+impl<G: Game> DescentScratch<G> {
+    fn new(game: &G) -> Self {
+        DescentScratch {
+            use_undo: game.supports_undo(),
+            undo_stack: Vec::new(),
+            moves: Vec::new(),
+            seq: Vec::new(),
+            path: Vec::new(),
+        }
+    }
+}
+
+/// One pending rollout of a batched-leaf slab: the leaf position a
+/// descent reached, the moves that led there, and the nodes to back the
+/// result up through.
+struct PendingLeaf<G: Game> {
+    pos: G,
+    seq: Vec<G::Move>,
+    path: Vec<Arc<TpNode<G::Move>>>,
+    iteration: usize,
+    score: Score,
+}
+
+/// Per-slot state of a worker's slab: the pending rollout plus reusable
+/// scratch (legal-move buffer, forked budget context). Slots are locked
+/// uncontended — exactly one pool thread runs each slot of a batch.
+struct SlabSlot<G: Game> {
+    pending: Option<PendingLeaf<G>>,
+    moves: Vec<G::Move>,
+    ctx: Option<SearchCtx>,
+}
+
+impl<G: Game> SlabSlot<G> {
+    fn new() -> Self {
+        SlabSlot {
+            pending: None,
+            moves: Vec::new(),
+            ctx: None,
+        }
+    }
+}
+
+impl<M: Clone> TpTree<M> {
+    fn new(config: &UctConfig, lock: LockStrategy, stats: StatsMode) -> Self {
+        TpTree {
+            root: Arc::new(TpNode::new(None)),
+            structure: Mutex::new(()),
+            lo_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            hi_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            exploration: config.exploration,
+            max_bias: config.max_bias,
+            lock,
+            stats,
+        }
+    }
+
+    /// UCB over `children` with normalised means + max bias, folding
+    /// in-flight descents in per the [`StatsMode`]. With nothing in
+    /// flight both modes compute exactly the sequential formula — the
+    /// keystone of the single-worker bit-identity contract.
+    fn select_child(&self, parent: &TpNode<M>, children: &[Arc<TpNode<M>>]) -> Arc<TpNode<M>> {
+        let lo = f64::from_bits(self.lo_bits.load(Ordering::Relaxed));
+        let hi = f64::from_bits(self.hi_bits.load(Ordering::Relaxed));
+        if !(lo.is_finite() && hi.is_finite()) {
+            // Warm-up: every completed rollout updates lo/hi, so
+            // non-finite bounds mean all of this node's children have
+            // their first rollout still in flight (only reachable with
+            // several workers — a single worker finishes each rollout
+            // before the next selection). The UCB terms would all be
+            // NaN here and NaN comparisons would pile every worker onto
+            // child 0, so spread descents by fewest in-flight instead.
+            let mut best = &children[0];
+            let mut best_fl = u32::MAX;
+            for c in children {
+                let fl = c.stats.inflight.load(Ordering::Relaxed);
+                if fl < best_fl {
+                    best_fl = fl;
+                    best = c;
+                }
+            }
+            return best.clone();
+        }
+        let span = (hi - lo).max(1.0);
+        let parent_visits = parent.stats.visits.load(Ordering::Relaxed);
+        let ln_n = match self.stats {
+            StatsMode::VirtualLoss => (parent_visits.max(1) as f64).ln(),
+            StatsMode::WuUct => {
+                // WU-UCT's parent term is ln(N + O). The selecting
+                // descent itself already counts 1 in this (non-root)
+                // node's in-flight tally; exclude it so the count is
+                // "other unobserved samples" — and so one worker
+                // reduces exactly to the sequential ln(N).
+                let own = u64::from(parent.mv.is_some());
+                let others =
+                    (parent.stats.inflight.load(Ordering::Relaxed) as u64).saturating_sub(own);
+                ((parent_visits + others).max(1) as f64).ln()
+            }
+        };
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best = &children[0];
+        for c in children {
+            let st = &c.stats;
+            let visits = st.visits.load(Ordering::Relaxed);
+            let fl = st.inflight.load(Ordering::Relaxed) as u64;
+            let (mean_raw, n_explore) = match self.stats {
+                StatsMode::VirtualLoss => {
+                    // Each in-flight descent counts as one visit scoring
+                    // `lo` (the pessimistic bound).
+                    let n_eff = (visits + fl).max(1) as f64;
+                    let total =
+                        f64::from_bits(st.total_bits.load(Ordering::Relaxed)) + fl as f64 * lo;
+                    (total / n_eff, n_eff)
+                }
+                StatsMode::WuUct => {
+                    // Mean of *completed* rollouts only; in-flight
+                    // descents widen the exploration denominator.
+                    let total = f64::from_bits(st.total_bits.load(Ordering::Relaxed));
+                    let mean = if visits == 0 {
+                        lo
+                    } else {
+                        total / visits as f64
+                    };
+                    (mean, (visits + fl).max(1) as f64)
+                }
+            };
+            // A child whose first visit is still in flight has no real
+            // best yet; rate it at the bound.
+            let best_seen = if visits == 0 {
+                lo
+            } else {
+                st.best.load(Ordering::Relaxed) as f64
+            };
+            let mean = (mean_raw - lo) / span;
+            let maxv = (best_seen - lo) / span;
+            let explore = self.exploration * (ln_n / n_explore).sqrt();
+            let val = (1.0 - self.max_bias) * mean + self.max_bias * maxv + explore;
+            if val > best_val {
+                best_val = val;
+                best = c;
+            }
+        }
+        best.clone()
+    }
+
+    /// Walks one selection + expansion descent from the root, applying
+    /// moves to `pos` and filling `scr.seq` / `scr.path`. Marks every
+    /// non-root node on the path in-flight; the matching decrement
+    /// happens in [`tp_backprop`]. Rollouts always run *after* this
+    /// returns, outside every structural lock.
+    fn descend<G>(
+        &self,
+        pos: &mut G,
+        scr: &mut DescentScratch<G>,
+        rng: &mut Rng,
+        wctx: &mut SearchCtx,
+    ) where
+        G: Game<Move = M>,
+    {
+        let _structure_guard = matches!(self.lock, LockStrategy::Global)
+            .then(|| self.structure.lock().unwrap_or_else(|e| e.into_inner()));
+        scr.path.push(self.root.clone());
+        let mut node = self.root.clone();
+        loop {
+            let next: Arc<TpNode<M>>;
+            let expanded_child: bool;
+            {
+                let mut body = node.lock_body();
+                if !body.expanded {
+                    scr.moves.clear();
+                    pos.legal_moves(&mut scr.moves);
+                    body.unexpanded = scr.moves.clone();
+                    body.expanded = true;
+                    // Shuffle once so expansion order is unbiased.
+                    let n = body.unexpanded.len();
+                    for i in (1..n).rev() {
+                        let j = rng.below(i + 1);
+                        body.unexpanded.swap(i, j);
+                    }
+                }
+                // Expand one child if any remain.
+                if let Some(mv) = body.unexpanded.pop() {
+                    let child = Arc::new(TpNode::new(Some(mv)));
+                    body.children.push(child.clone());
+                    next = child;
+                    expanded_child = true;
+                } else if body.children.is_empty() {
+                    return; // terminal leaf
+                } else {
+                    next = self.select_child(&node, &body.children);
+                    expanded_child = false;
+                }
+                // Mark the step in flight *before* releasing the parent
+                // lock: a concurrent selector at this node must never
+                // see a published child (or a just-chosen sibling) with
+                // a stale zero in-flight count — in VirtualLoss mode an
+                // unmarked fresh child would score a raw 0.0 mean
+                // instead of the pessimistic bound, dog-piling descents
+                // onto the very line the marker exists to spread.
+                next.stats.inflight.fetch_add(1, Ordering::Relaxed);
+            }
+            let mv = next.mv.clone().expect("non-root");
+            if scr.use_undo {
+                scr.undo_stack.push(pos.apply(&mv));
+            } else {
+                pos.play(&mv);
+            }
+            scr.seq.push(mv);
+            if expanded_child {
+                wctx.record_expansion();
+            } else {
+                wctx.record_nested_move();
+            }
+            scr.path.push(next.clone());
+            if expanded_child {
+                return;
+            }
+            node = next;
+        }
+    }
+
+    /// Folds one completed rollout into the shared bounds and the
+    /// path's atomic statistics, releasing the in-flight markers.
+    fn backprop(&self, path: &[Arc<TpNode<M>>], score: Score) {
+        let s = score as f64;
+        f64_cas_min(&self.lo_bits, s);
+        f64_cas_max(&self.hi_bits, s);
+        for (depth, node) in path.iter().enumerate() {
+            let st = &node.stats;
+            st.visits.fetch_add(1, Ordering::Relaxed);
+            f64_cas_add(&st.total_bits, s);
+            st.best.fetch_max(score, Ordering::Relaxed);
+            if depth > 0 {
+                st.inflight.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Shared state of one tree-parallel run (tree + budget counters +
+/// incumbent), with the two worker-loop shapes as methods.
+struct TpRun<'a, G: Game> {
+    game: &'a G,
+    tree: TpTree<G::Move>,
+    /// Iterations are claimed from this shared counter, so the total
+    /// playout budget matches the sequential run at any width.
+    iters: AtomicUsize,
+    max_iters: usize,
+    best: Mutex<(Score, Vec<G::Move>)>,
     seed: u64,
-    ctx: &mut SearchCtx,
-) -> (Score, Vec<G::Move>)
+    leaf_batch: usize,
+}
+
+impl<G> TpRun<'_, G>
 where
     G: Game + Send + Sync,
     G::Move: Send + Sync,
 {
-    assert!(threads >= 1, "tree-parallel UCT needs at least one worker");
-    let exec = ExecutorPool::shared();
+    fn offer_best(&self, score: Score, seq: &mut Vec<G::Move>) {
+        let mut best = self.best.lock().unwrap_or_else(|e| e.into_inner());
+        if score > best.0 {
+            best.0 = score;
+            best.1 = std::mem::take(seq);
+        }
+    }
 
-    let tree: Mutex<Vec<TpNode<G::Move>>> = Mutex::new(vec![TpNode {
-        mv: None,
-        children: Vec::new(),
-        unexpanded: Vec::new(),
-        expanded: false,
-        stats: Arc::new(TpStats::new()),
-    }]);
-    // Running reward-normalisation bounds, shared like the tree.
-    let lo_bits = AtomicU64::new(f64::INFINITY.to_bits());
-    let hi_bits = AtomicU64::new(f64::NEG_INFINITY.to_bits());
-    let iters = AtomicUsize::new(0);
-    let max_iters = config.iterations.max(1);
-    let best: Mutex<(Score, Vec<G::Move>)> = Mutex::new((Score::MIN, Vec::new()));
-    let outs: Mutex<Vec<SearchCtx>> = Mutex::new(Vec::with_capacity(threads));
-    let parent: &SearchCtx = ctx;
-
-    exec.run_batch(threads, &|slot| {
-        let mut wctx = parent.fork();
-        let mut rng = Rng::seeded(tree_worker_seed(seed, slot));
-        let use_undo = game.supports_undo();
-        let mut shared_pos = game.clone();
-        let mut undo_stack: Vec<Undo<G>> = Vec::new();
+    /// The unbatched worker loop: descend, roll out inline, back up —
+    /// one iteration at a time, rollouts outside every lock.
+    fn worker_inline(&self, slot: usize, wctx: &mut SearchCtx) {
+        let mut rng = Rng::seeded(tree_worker_seed(self.seed, slot));
+        let mut shared_pos = self.game.clone();
+        let mut scr = DescentScratch::new(self.game);
         let mut playout: PlayoutScratch<G> = PlayoutScratch::new();
-        let mut moves_buf: Vec<G::Move> = Vec::new();
 
         loop {
-            // Iterations are claimed from a shared counter, so the total
-            // playout budget matches the sequential run regardless of
-            // how many workers share it.
-            let iteration = iters.fetch_add(1, Ordering::Relaxed);
-            if iteration >= max_iters {
+            let iteration = self.iters.fetch_add(1, Ordering::Relaxed);
+            if iteration >= self.max_iters {
                 break;
             }
             if iteration > 0 && wctx.should_stop() {
@@ -388,166 +761,217 @@ where
             }
 
             let mut cloned_pos: Option<G> = None;
-            let pos: &mut G = if use_undo {
-                debug_assert!(undo_stack.is_empty());
+            let pos: &mut G = if scr.use_undo {
+                debug_assert!(scr.undo_stack.is_empty());
                 &mut shared_pos
             } else {
-                cloned_pos.insert(game.clone())
+                cloned_pos.insert(self.game.clone())
             };
-            let mut seq: Vec<G::Move> = Vec::new();
-            let mut path: Vec<Arc<TpStats>> = Vec::new();
+            scr.seq.clear();
+            scr.path.clear();
 
-            // ---- selection + expansion (arena lock held; the costly
-            // rollout below runs outside it) ----
-            {
-                let mut tree = tree.lock().unwrap_or_else(|e| e.into_inner());
-                let mut id = 0usize;
-                path.push(tree[0].stats.clone());
-                loop {
-                    if !tree[id].expanded {
-                        moves_buf.clear();
-                        pos.legal_moves(&mut moves_buf);
-                        tree[id].unexpanded = moves_buf.clone();
-                        tree[id].expanded = true;
-                        // Shuffle once so expansion order is unbiased.
-                        let n = tree[id].unexpanded.len();
-                        for i in (1..n).rev() {
-                            let j = rng.below(i + 1);
-                            tree[id].unexpanded.swap(i, j);
-                        }
-                    }
-                    // Expand one child if any remain.
-                    if let Some(mv) = tree[id].unexpanded.pop() {
-                        if use_undo {
-                            undo_stack.push(pos.apply(&mv));
-                        } else {
-                            pos.play(&mv);
-                        }
-                        seq.push(mv.clone());
-                        wctx.record_expansion();
-                        let child_stats = Arc::new(TpStats::new());
-                        child_stats.vloss.fetch_add(1, Ordering::Relaxed);
-                        path.push(child_stats.clone());
-                        let child = tree.len();
-                        tree.push(TpNode {
-                            mv: Some(mv),
-                            children: Vec::new(),
-                            unexpanded: Vec::new(),
-                            expanded: false,
-                            stats: child_stats,
-                        });
-                        tree[id].children.push(child);
-                        break;
-                    }
-                    if tree[id].children.is_empty() {
-                        break; // terminal
-                    }
-                    // UCB over children with normalised means + max bias.
-                    // Each outstanding virtual loss counts as one visit
-                    // scoring `lo` (the pessimistic bound); with none
-                    // outstanding this is exactly the sequential formula.
-                    let lo = f64::from_bits(lo_bits.load(Ordering::Relaxed));
-                    let hi = f64::from_bits(hi_bits.load(Ordering::Relaxed));
-                    let mut best_child = tree[id].children[0];
-                    if !(lo.is_finite() && hi.is_finite()) {
-                        // Warm-up: every completed rollout updates lo/hi,
-                        // so non-finite bounds mean all of this node's
-                        // children have their first rollout still in
-                        // flight (only reachable with several workers —
-                        // a single worker finishes each rollout before
-                        // the next selection). The UCB terms would all be
-                        // NaN here and NaN comparisons would pile every
-                        // worker onto child 0, so spread descents by
-                        // fewest outstanding virtual losses instead.
-                        let mut best_vl = u32::MAX;
-                        for &c in &tree[id].children {
-                            let vl = tree[c].stats.vloss.load(Ordering::Relaxed);
-                            if vl < best_vl {
-                                best_vl = vl;
-                                best_child = c;
-                            }
-                        }
-                    } else {
-                        let span = (hi - lo).max(1.0);
-                        let parent_visits = tree[id].stats.visits.load(Ordering::Relaxed);
-                        let ln_n = (parent_visits.max(1) as f64).ln();
-                        let mut best_val = f64::NEG_INFINITY;
-                        for &c in &tree[id].children {
-                            let st = &tree[c].stats;
-                            let visits = st.visits.load(Ordering::Relaxed);
-                            let vl = st.vloss.load(Ordering::Relaxed) as u64;
-                            let n_eff = (visits + vl).max(1) as f64;
-                            let total = f64::from_bits(st.total_bits.load(Ordering::Relaxed))
-                                + vl as f64 * lo;
-                            // A child whose first visit is still in
-                            // flight has no real best yet; rate it at
-                            // the bound.
-                            let best_seen = if visits == 0 {
-                                lo
-                            } else {
-                                st.best.load(Ordering::Relaxed) as f64
-                            };
-                            let mean = (total / n_eff - lo) / span;
-                            let maxv = (best_seen - lo) / span;
-                            let explore = config.exploration * (ln_n / n_eff).sqrt();
-                            let val =
-                                (1.0 - config.max_bias) * mean + config.max_bias * maxv + explore;
-                            if val > best_val {
-                                best_val = val;
-                                best_child = c;
-                            }
-                        }
-                    }
-                    let mv = tree[best_child].mv.clone().expect("non-root");
-                    if use_undo {
-                        undo_stack.push(pos.apply(&mv));
-                    } else {
-                        pos.play(&mv);
-                    }
-                    seq.push(mv);
-                    wctx.record_nested_move();
-                    tree[best_child].stats.vloss.fetch_add(1, Ordering::Relaxed);
-                    path.push(tree[best_child].stats.clone());
-                    id = best_child;
-                }
-            }
+            // ---- selection + expansion ----
+            self.tree.descend(pos, &mut scr, &mut rng, wctx);
 
-            // ---- rollout (fully parallel) ----
-            let score = if use_undo {
-                playout.run_undo(pos, &mut rng, None, &mut seq, &mut wctx)
+            // ---- rollout (outside every lock) ----
+            let score = if scr.use_undo {
+                playout.run_undo(pos, &mut rng, None, &mut scr.seq, wctx)
             } else {
-                crate::search::sample_ctx(pos, &mut rng, None, &mut seq, &mut wctx)
+                crate::search::sample_ctx(pos, &mut rng, None, &mut scr.seq, wctx)
             };
             // Unwind the selection descent: the shared position returns
             // to the root for the next iteration.
-            pos.undo_all(&mut undo_stack);
-            let s = score as f64;
-            f64_cas_min(&lo_bits, s);
-            f64_cas_max(&hi_bits, s);
+            pos.undo_all(&mut scr.undo_stack);
 
             // ---- backpropagation (lock-free) ----
-            for (depth, st) in path.iter().enumerate() {
-                st.visits.fetch_add(1, Ordering::Relaxed);
-                f64_cas_add(&st.total_bits, s);
-                st.best.fetch_max(score, Ordering::Relaxed);
-                if depth > 0 {
-                    st.vloss.fetch_sub(1, Ordering::Relaxed);
+            self.tree.backprop(&scr.path, score);
+            self.offer_best(score, &mut scr.seq);
+        }
+    }
+
+    /// The batched-leaf worker loop (WU-UCT's master/worker shape): the
+    /// worker collects `leaf_batch` pending descents — each marking its
+    /// path in-flight so later descents steer away — then evaluates all
+    /// their rollouts as one [`ExecutorPool`] slab and backs the slab
+    /// up in slot order.
+    ///
+    /// Playouts are counted against the budget meter when the descent
+    /// is *claimed* (every claimed descent is evaluated), which bounds
+    /// budget overshoot by the worker count rather than by
+    /// `threads × leaf_batch` in-flight rollouts.
+    fn worker_batched(&self, exec: &ExecutorPool, slot: usize, wctx: &mut SearchCtx) {
+        let mut rng = Rng::seeded(tree_worker_seed(self.seed, slot));
+        let mut shared_pos = self.game.clone();
+        let mut scr = DescentScratch::new(self.game);
+        let slots: Vec<Mutex<SlabSlot<G>>> = (0..self.leaf_batch)
+            .map(|_| Mutex::new(SlabSlot::new()))
+            .collect();
+        let mut done = false;
+
+        while !done {
+            // ---- collect up to `leaf_batch` pending descents ----
+            let mut filled = 0usize;
+            while filled < self.leaf_batch {
+                let iteration = self.iters.fetch_add(1, Ordering::Relaxed);
+                if iteration >= self.max_iters {
+                    done = true;
+                    break;
                 }
+                if iteration > 0 && wctx.should_stop() {
+                    done = true;
+                    break;
+                }
+                let mut cloned_pos: Option<G> = None;
+                let pos: &mut G = if scr.use_undo {
+                    debug_assert!(scr.undo_stack.is_empty());
+                    &mut shared_pos
+                } else {
+                    cloned_pos.insert(self.game.clone())
+                };
+                scr.seq.clear();
+                scr.path.clear();
+                self.tree.descend(pos, &mut scr, &mut rng, wctx);
+                // Count the playout at claim time (see the method docs).
+                wctx.record_playout_end();
+                let leaf = if scr.use_undo {
+                    let snapshot = pos.clone();
+                    pos.undo_all(&mut scr.undo_stack);
+                    snapshot
+                } else {
+                    cloned_pos.take().expect("clone-path position")
+                };
+                let mut slab = slots[filled].lock().unwrap_or_else(|e| e.into_inner());
+                slab.pending = Some(PendingLeaf {
+                    pos: leaf,
+                    seq: std::mem::take(&mut scr.seq),
+                    path: std::mem::take(&mut scr.path),
+                    iteration,
+                    score: Score::MIN,
+                });
+                slab.ctx = Some(wctx.fork());
+                drop(slab);
+                filled += 1;
+            }
+            if filled == 0 {
+                break;
             }
 
-            let mut best = best.lock().unwrap_or_else(|e| e.into_inner());
-            if score > best.0 {
-                *best = (score, seq);
+            // ---- evaluate the slab (idle pool workers steal slots;
+            // saturated pools degrade to inline draining) ----
+            if filled == 1 {
+                run_slab_slot(&slots[0], self.seed);
+            } else {
+                exec.run_batch(filled, &|i| run_slab_slot(&slots[i], self.seed));
+            }
+
+            // ---- back up in slot order ----
+            for slab in &slots[..filled] {
+                let mut slab = slab.lock().unwrap_or_else(|e| e.into_inner());
+                let mut pending = slab.pending.take().expect("slab slot was filled");
+                if let Some(slot_ctx) = slab.ctx.take() {
+                    wctx.absorb(slot_ctx);
+                }
+                drop(slab);
+                self.tree.backprop(&pending.path, pending.score);
+                self.offer_best(pending.score, &mut pending.seq);
             }
         }
+    }
+}
 
+/// Evaluates one slab slot: a random rollout from the pending leaf,
+/// seeded by the *iteration index* (not the executing thread), so slab
+/// results are placement-independent. Does **not** record a playout end
+/// — the claiming worker already counted it.
+fn run_slab_slot<G>(slot: &Mutex<SlabSlot<G>>, root_seed: u64)
+where
+    G: Game,
+{
+    let mut slab = slot.lock().unwrap_or_else(|e| e.into_inner());
+    let slab = &mut *slab;
+    let Some(pending) = slab.pending.as_mut() else {
+        return;
+    };
+    let ctx = slab.ctx.as_mut().expect("slot ctx set with pending");
+    let mut rng = Rng::seeded(tree_rollout_seed(root_seed, pending.iteration as u64));
+    loop {
+        if ctx.should_stop() {
+            break;
+        }
+        pending.pos.legal_moves_into(&mut slab.moves);
+        if slab.moves.is_empty() {
+            break;
+        }
+        let mv = slab.moves.swap_remove(rng.below(slab.moves.len()));
+        pending.pos.play(&mv);
+        pending.seq.push(mv);
+        ctx.record_playout_move();
+    }
+    pending.score = pending.pos.score();
+}
+
+/// Tree-parallel UCT: `opts.threads` workers share one tree through the
+/// process-wide [`ExecutorPool`], descending concurrently. The engine
+/// room behind `SearchSpec::tree_parallel`.
+///
+/// Concurrency shape: selection and expansion (cheap pointer-chasing)
+/// run under per-node locks ([`LockStrategy::Sharded`]) or one
+/// structure mutex ([`LockStrategy::Global`], the measured baseline);
+/// rollouts — the dominant cost on every domain we ship — run outside
+/// every lock, inline or as [`ExecutorPool`] slabs (`opts.leaf_batch`);
+/// backpropagation goes straight to the nodes' atomic counters.
+/// In-flight descents steer workers apart per the [`StatsMode`], and
+/// both formulas reduce *exactly* to the sequential one when nothing is
+/// in flight — which is why `threads == 1` (unbatched) is bit-identical
+/// to [`uct_with`] per seed (asserted by `tests/cross_backend.rs`).
+///
+/// Budget/cancellation polls hit every worker once per iteration plus
+/// once per playout move (inside the rollout), sharing one atomic meter
+/// through the forked [`SearchCtx`]s; tree-parallel overshoots a
+/// playout cap by at most one in-flight rollout per worker
+/// (`tests/budget_props.rs` proves the bound at every width and batch).
+pub fn uct_tree_parallel<G>(
+    game: &G,
+    config: &UctConfig,
+    opts: &TreeParallelOpts,
+    seed: u64,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>)
+where
+    G: Game + Send + Sync,
+    G::Move: Send + Sync,
+{
+    assert!(
+        opts.threads >= 1,
+        "tree-parallel UCT needs at least one worker"
+    );
+    let exec = ExecutorPool::shared();
+    let run = TpRun {
+        game,
+        tree: TpTree::new(config, opts.lock, opts.stats),
+        iters: AtomicUsize::new(0),
+        max_iters: config.iterations.max(1),
+        best: Mutex::new((Score::MIN, Vec::new())),
+        seed,
+        leaf_batch: opts.leaf_batch,
+    };
+    let outs: Mutex<Vec<SearchCtx>> = Mutex::new(Vec::with_capacity(opts.threads));
+    let parent: &SearchCtx = ctx;
+
+    exec.run_batch(opts.threads, &|slot| {
+        let mut wctx = parent.fork();
+        if run.leaf_batch >= 2 {
+            run.worker_batched(exec, slot, &mut wctx);
+        } else {
+            run.worker_inline(slot, &mut wctx);
+        }
         outs.lock().unwrap_or_else(|e| e.into_inner()).push(wctx);
     });
 
     for wctx in outs.into_inner().unwrap_or_else(|e| e.into_inner()) {
         ctx.absorb(wctx);
     }
-    best.into_inner().unwrap_or_else(|e| e.into_inner())
+    run.best.into_inner().unwrap_or_else(|e| e.into_inner())
 }
 
 // The unit tests keep exercising the deprecated free functions: they are
@@ -742,8 +1166,24 @@ mod tests {
         assert_eq!(a.sequence, b.sequence);
     }
 
+    /// Every lock × stats combination, unbatched.
+    fn all_modes(threads: usize) -> Vec<TreeParallelOpts> {
+        let mut out = Vec::new();
+        for lock in [LockStrategy::Global, LockStrategy::Sharded] {
+            for stats in [StatsMode::VirtualLoss, StatsMode::WuUct] {
+                out.push(TreeParallelOpts {
+                    threads,
+                    lock,
+                    stats,
+                    leaf_batch: 0,
+                });
+            }
+        }
+        out
+    }
+
     #[test]
-    fn single_worker_tree_parallel_is_bit_identical_to_sequential() {
+    fn single_worker_tree_parallel_is_bit_identical_to_sequential_in_every_mode() {
         let cfg = UctConfig {
             iterations: 300,
             ..Default::default()
@@ -755,10 +1195,12 @@ mod tests {
             };
             let mut seq_ctx = SearchCtx::unbounded();
             let sequential = uct_with(&g, &cfg, &mut Rng::seeded(seed), &mut seq_ctx);
-            let mut tp_ctx = SearchCtx::unbounded();
-            let tree = uct_tree_parallel(&g, &cfg, 1, seed, &mut tp_ctx);
-            assert_eq!(tree, sequential, "seed {seed}");
-            assert_eq!(tp_ctx.stats(), seq_ctx.stats(), "seed {seed}");
+            for opts in all_modes(1) {
+                let mut tp_ctx = SearchCtx::unbounded();
+                let tree = uct_tree_parallel(&g, &cfg, &opts, seed, &mut tp_ctx);
+                assert_eq!(tree, sequential, "seed {seed} {opts:?}");
+                assert_eq!(tp_ctx.stats(), seq_ctx.stats(), "seed {seed} {opts:?}");
+            }
         }
     }
 
@@ -775,9 +1217,11 @@ mod tests {
             });
             let mut seq_ctx = SearchCtx::unbounded();
             let sequential = uct_with(&g, &cfg, &mut Rng::seeded(seed), &mut seq_ctx);
-            let mut tp_ctx = SearchCtx::unbounded();
-            let tree = uct_tree_parallel(&g, &cfg, 1, seed, &mut tp_ctx);
-            assert_eq!(tree, sequential, "seed {seed}");
+            for opts in all_modes(1) {
+                let mut tp_ctx = SearchCtx::unbounded();
+                let tree = uct_tree_parallel(&g, &cfg, &opts, seed, &mut tp_ctx);
+                assert_eq!(tree, sequential, "seed {seed} {opts:?}");
+            }
         }
     }
 
@@ -792,16 +1236,57 @@ mod tests {
             ..Default::default()
         };
         for workers in [2usize, 4] {
-            let mut ctx = SearchCtx::unbounded();
-            let (score, seq) = uct_tree_parallel(&g, &cfg, workers, 9, &mut ctx);
-            let mut replay = g.clone();
-            for mv in &seq {
-                replay.play(mv);
+            for mut opts in all_modes(workers) {
+                for leaf_batch in [0usize, 4] {
+                    opts.leaf_batch = leaf_batch;
+                    let mut ctx = SearchCtx::unbounded();
+                    let (score, seq) = uct_tree_parallel(&g, &cfg, &opts, 9, &mut ctx);
+                    let mut replay = g.clone();
+                    for mv in &seq {
+                        replay.play(mv);
+                    }
+                    assert_eq!(replay.score(), score, "{opts:?}");
+                    // The iteration counter is shared: total playouts equal
+                    // the configured budget no matter how many workers (or
+                    // slab slots) split it.
+                    assert_eq!(ctx.stats().playouts, 400, "{opts:?}");
+                }
             }
-            assert_eq!(replay.score(), score, "{workers} workers");
-            // The iteration counter is shared: total playouts equal the
-            // configured budget no matter how many workers split it.
-            assert_eq!(ctx.stats().playouts, 400, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn batched_single_worker_runs_are_schedule_independent() {
+        // A one-worker batched run claims, evaluates (iteration-seeded),
+        // and backs up serially, so pool placement cannot change it:
+        // repeated runs are identical, on both game paths.
+        let cfg = UctConfig {
+            iterations: 300,
+            ..Default::default()
+        };
+        let opts = TreeParallelOpts {
+            leaf_batch: 4,
+            ..TreeParallelOpts::new(1)
+        };
+        for seed in 0..5 {
+            let g = Ternary {
+                depth: 5,
+                taken: vec![],
+            };
+            let mut ctx_a = SearchCtx::unbounded();
+            let a = uct_tree_parallel(&g, &cfg, &opts, seed, &mut ctx_a);
+            let mut ctx_b = SearchCtx::unbounded();
+            let b = uct_tree_parallel(&g, &cfg, &opts, seed, &mut ctx_b);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(ctx_a.stats(), ctx_b.stats(), "seed {seed}");
+
+            let fast = FastTernary(g.clone());
+            let mut ctx_f = SearchCtx::unbounded();
+            let f1 = uct_tree_parallel(&fast, &cfg, &opts, seed, &mut ctx_f);
+            let mut ctx_g = SearchCtx::unbounded();
+            let f2 = uct_tree_parallel(&fast, &cfg, &opts, seed, &mut ctx_g);
+            assert_eq!(f1, f2, "fast-path seed {seed}");
+            assert_eq!(ctx_f.stats(), ctx_g.stats(), "fast-path seed {seed}");
         }
     }
 
@@ -815,9 +1300,17 @@ mod tests {
             iterations: 2_000,
             ..Default::default()
         };
-        let mut ctx = SearchCtx::unbounded();
-        let (score, _) = uct_tree_parallel(&g, &cfg, 4, 1, &mut ctx);
-        assert_eq!(score, optimum(4));
+        for opts in [
+            TreeParallelOpts::new(4),
+            TreeParallelOpts {
+                leaf_batch: 4,
+                ..TreeParallelOpts::new(4)
+            },
+        ] {
+            let mut ctx = SearchCtx::unbounded();
+            let (score, _) = uct_tree_parallel(&g, &cfg, &opts, 1, &mut ctx);
+            assert_eq!(score, optimum(4), "{opts:?}");
+        }
     }
 
     #[test]
@@ -830,10 +1323,15 @@ mod tests {
             iterations: 10,
             ..Default::default()
         };
-        let mut ctx = SearchCtx::unbounded();
-        let (score, seq) = uct_tree_parallel(&g, &cfg, 3, 1, &mut ctx);
-        assert_eq!(score, 0);
-        assert!(seq.is_empty());
+        for mut opts in all_modes(3) {
+            for leaf_batch in [0usize, 3] {
+                opts.leaf_batch = leaf_batch;
+                let mut ctx = SearchCtx::unbounded();
+                let (score, seq) = uct_tree_parallel(&g, &cfg, &opts, 1, &mut ctx);
+                assert_eq!(score, 0, "{opts:?}");
+                assert!(seq.is_empty(), "{opts:?}");
+            }
+        }
     }
 
     #[test]

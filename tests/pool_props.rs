@@ -233,3 +233,61 @@ fn oversubscribed_batches_complete_every_slot_exactly_once() {
         }
     });
 }
+
+/// A lost park/unpark wakeup must be a test failure, not a 50 ms blip
+/// the timeout net quietly absorbs: this pool's park timeout is far
+/// beyond the watchdog budget, so the only way the hammering below
+/// completes in time is the wakeup-generation handshake doing its job
+/// — including under concurrent submitters racing workers toward their
+/// parks, and at shutdown.
+#[test]
+fn wakeup_generation_makes_the_park_timeout_net_redundant() {
+    with_watchdog("long-park-timeout hammer", Duration::from_secs(60), || {
+        let pool = Arc::new(ExecutorPool::with_park_timeout(3, Duration::from_secs(300)));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                let total = total.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pool.run_batch(4, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("submitter thread");
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 4);
+        // Shutdown must wake the parked workers without the net too.
+        drop(Arc::try_unwrap(pool).ok().expect("sole owner"));
+    });
+}
+
+/// Tree-parallel batched-leaf slabs are nested `run_batch` calls from
+/// inside an outer batch's workers; the pool must drain them without
+/// deadlock even when every background worker is occupied by the outer
+/// batch (the submitter helps drain its own slab), at the CI worker
+/// count.
+#[test]
+fn nested_batches_from_busy_workers_cannot_deadlock() {
+    with_watchdog("nested batched-leaf run", Duration::from_secs(120), || {
+        let workers = test_workers();
+        let game = SameGame::random(6, 6, 3, 17);
+        let report = SearchSpec::tree_parallel(workers)
+            .leaf_batch(4)
+            .seed(3)
+            .max_playouts(400)
+            .build()
+            .run(&game);
+        assert!(report.stats.playouts > 0);
+        let mut replay = game;
+        for mv in &report.sequence {
+            replay.play(mv);
+        }
+        assert_eq!(replay.score(), report.score);
+    });
+}

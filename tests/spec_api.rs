@@ -200,3 +200,108 @@ fn reports_subsume_the_legacy_result_shapes() {
     }
     assert_eq!(replay.score(), report.score);
 }
+
+#[test]
+fn tree_parallel_knobs_round_trip_and_rerun_identically() {
+    use pnmcs::search::{AlgorithmSpec, LockStrategy, StatsMode};
+    let sg = SameGame::random(6, 6, 3, 4);
+    let cfg = UctConfig {
+        iterations: 150,
+        ..UctConfig::default()
+    };
+    // Every knob combination serde-round-trips; the deterministic ones
+    // (one worker) also rerun identically from the parsed spec.
+    for lock in [LockStrategy::Global, LockStrategy::Sharded] {
+        for stats in [StatsMode::VirtualLoss, StatsMode::WuUct] {
+            for leaf_batch in [0usize, 4] {
+                let spec = SearchSpec::tree_parallel_with(cfg.clone(), 1)
+                    .lock_strategy(lock)
+                    .stats_mode(stats)
+                    .leaf_batch(leaf_batch)
+                    .seed(9)
+                    .build();
+                let json = serde_json::to_string(&spec).unwrap();
+                let back: SearchSpec = serde_json::from_str(&json).unwrap();
+                assert_eq!(spec, back, "round-trip of {json}");
+                let AlgorithmSpec::TreeParallel {
+                    lock: l,
+                    stats: s,
+                    leaf_batch: b,
+                    ..
+                } = &back.algorithm
+                else {
+                    panic!("wrong variant from {json}");
+                };
+                assert_eq!((*l, *s, *b), (lock, stats, leaf_batch));
+                let first = spec.run(&sg);
+                let again = back.run(&sg);
+                assert_eq!(first.score, again.score, "{json}");
+                assert_eq!(first.sequence, again.sequence, "{json}");
+                assert_eq!(first.stats, again.stats, "{json}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pre_knob_tree_parallel_json_parses_to_the_defaults() {
+    use pnmcs::search::{AlgorithmSpec, LockStrategy, StatsMode};
+    // A PR-4 row knows nothing of lock/stats/leaf_batch; it must still
+    // parse, landing on the current defaults.
+    let json = r#"{"algorithm":{"kind":"tree_parallel","threads":4},"seed":7}"#;
+    let spec: SearchSpec = serde_json::from_str(json).unwrap();
+    let AlgorithmSpec::TreeParallel {
+        threads,
+        lock,
+        stats,
+        leaf_batch,
+        ..
+    } = &spec.algorithm
+    else {
+        panic!("wrong variant");
+    };
+    assert_eq!(*threads, 4);
+    assert_eq!(*lock, LockStrategy::Sharded);
+    assert_eq!(*stats, StatsMode::WuUct);
+    assert_eq!(*leaf_batch, 0);
+}
+
+#[test]
+fn tree_parallel_knobs_are_part_of_tag_identity() {
+    use pnmcs::search::{AlgorithmSpec, LockStrategy, StatsMode};
+    // The knobs change which search the racing workers perform, so two
+    // specs differing only in a knob must not look alike to the
+    // engine's duplicate detection.
+    let base = AlgorithmSpec::tree_parallel(4);
+    let with = |lock, stats, leaf_batch| {
+        let mut a = AlgorithmSpec::tree_parallel(4);
+        if let AlgorithmSpec::TreeParallel {
+            lock: l,
+            stats: s,
+            leaf_batch: b,
+            ..
+        } = &mut a
+        {
+            *l = lock;
+            *s = stats;
+            *b = leaf_batch;
+        }
+        a
+    };
+    assert_ne!(
+        base.tag(),
+        with(LockStrategy::Global, StatsMode::WuUct, 0).tag()
+    );
+    assert_ne!(
+        base.tag(),
+        with(LockStrategy::Sharded, StatsMode::VirtualLoss, 0).tag()
+    );
+    assert_ne!(
+        base.tag(),
+        with(LockStrategy::Sharded, StatsMode::WuUct, 8).tag()
+    );
+    assert_eq!(
+        base.tag(),
+        with(LockStrategy::Sharded, StatsMode::WuUct, 0).tag()
+    );
+}
