@@ -1,0 +1,82 @@
+//! Microbenchmarks of the observability layer (`nmcs_core::metrics`):
+//! the hot-path primitives (counter bump, histogram record, tagged
+//! record), snapshotting cost, and the end-to-end overhead of an
+//! instrumented vs registry-disabled sequential UCT search — the
+//! numbers behind the "reads via atomics only, allocation-free on the
+//! hot path" contract.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nmcs_core::metrics::{
+    set_metrics_enabled, Counter, DeadLetter, DeadLetterQueue, Histogram, TagHistograms,
+};
+use nmcs_core::{SearchSpec, Searcher};
+use nmcs_games::SameGame;
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_primitives");
+    let counter = Counter::new();
+    group.bench_function("counter_incr", |b| b.iter(|| counter.incr()));
+    let hist = Histogram::new();
+    let mut ns = 1u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            ns = ns.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(black_box(ns >> 20));
+        })
+    });
+    let tags = TagHistograms::new();
+    group.bench_function("tagged_record_claimed_slot", |b| {
+        b.iter(|| tags.record(black_box(42), || "bench".to_string(), black_box(1_000)))
+    });
+    let dlq = DeadLetterQueue::new(64);
+    group.bench_function("dlq_push_at_capacity", |b| {
+        b.iter(|| {
+            dlq.push(DeadLetter {
+                job: 1,
+                reason: "deadline".to_string(),
+                ..Default::default()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    // Populate the global registries so the snapshot walks real data.
+    let game = SameGame::random(5, 5, 3, 7);
+    SearchSpec::uct().seed(7).run(&game);
+    c.bench_function("metrics_snapshot", |b| {
+        b.iter(|| black_box(nmcs_core::metrics::snapshot()))
+    });
+    let snap = nmcs_core::metrics::snapshot();
+    c.bench_function("metrics_render_text", |b| {
+        b.iter(|| black_box(snap.render_text()))
+    });
+}
+
+fn bench_instrumented_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instrumented_uct");
+    group.sample_size(10);
+    let game = SameGame::random(6, 6, 3, 11);
+    let spec = SearchSpec::uct().seed(11).build();
+    group.bench_function("metrics_on", |b| {
+        set_metrics_enabled(true);
+        b.iter(|| black_box(spec.search(&game, None).score))
+    });
+    group.bench_function("metrics_off", |b| {
+        set_metrics_enabled(false);
+        b.iter(|| black_box(spec.search(&game, None).score));
+        set_metrics_enabled(true);
+    });
+    group.finish();
+    set_metrics_enabled(true);
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_snapshot,
+    bench_instrumented_search
+);
+criterion_main!(benches);

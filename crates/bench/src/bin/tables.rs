@@ -25,6 +25,7 @@ struct Args {
     engine: bool,
     leaf: bool,
     tree: bool,
+    service: bool,
     spec: Option<String>,
     game: String,
     scale: Scale,
@@ -41,6 +42,7 @@ fn parse_args() -> Args {
         engine: false,
         leaf: false,
         tree: false,
+        service: false,
         spec: None,
         game: "samegame".to_string(),
         scale: Scale::Paper,
@@ -83,6 +85,10 @@ fn parse_args() -> Args {
                 args.tree = true;
                 args.all = false;
             }
+            "--service" => {
+                args.service = true;
+                args.all = false;
+            }
             "--spec" => {
                 args.spec = Some(expect_val(&mut it, "--spec"));
                 args.all = false;
@@ -99,7 +105,7 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(expect_val(&mut it, "--out")),
             "--help" | "-h" => {
                 println!(
-                    "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] [--tree] \
+                    "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] [--tree] [--service] \
                      [--spec JSON [--game {}]] \
                      [--scale paper|real] [--seed S] [--out DIR]",
                     nmcs_bench::STOCK_GAMES.join("|")
@@ -266,5 +272,15 @@ fn main() {
         let rows = nmcs_bench::tree_sweep(&[1, 2, 4, 8], 20_000, args.seed);
         println!("{}", nmcs_bench::tree_table(&rows).render());
         nmcs_bench::persist(&args.out, "tree_parallel", &rows).expect("persist tree rows");
+    }
+    if args.service {
+        // The latency-SLO report: a mixed workload (plus one injected
+        // panic and one guaranteed budget trip) through the engine,
+        // read back through `Engine::inspector`.
+        let snapshot = nmcs_bench::slo_snapshot(24, args.seed);
+        let rows = nmcs_bench::slo_rows(&snapshot, 250.0);
+        println!("{}", nmcs_bench::slo_table(&rows).render());
+        println!("{}", nmcs_bench::dead_letter_table(&snapshot).render());
+        nmcs_bench::persist(&args.out, "service_slo", &rows).expect("persist SLO rows");
     }
 }

@@ -22,6 +22,7 @@
 //! any cell is reproducible from the command line with one pasted
 //! string: `tables --spec '<json>' --game <domain>`.
 
+use crate::pooldelta::PoolProbe;
 use crate::report::Table;
 use morpion::{cross_board, Variant};
 use nmcs_core::exec::baseline::leaf_parallel_spawn;
@@ -44,6 +45,14 @@ pub struct LeafRow {
     pub spawn_evals_per_sec: f64,
     /// `evals_per_sec / spawn_evals_per_sec` — the pool's win.
     pub speedup: f64,
+    /// Executor-pool deque steals per second during the pool-backed
+    /// run (delta of the shared metrics registry around it).
+    pub steals_per_sec: f64,
+    /// Executor-pool worker parks per second during the pool-backed run.
+    pub parks_per_sec: f64,
+    /// Executor-pool wakeup-generation bumps per second during the
+    /// pool-backed run.
+    pub wakeups_per_sec: f64,
     /// The exact spec JSON reproducing this row from the CLI.
     pub spec: String,
 }
@@ -54,7 +63,9 @@ where
     G::Move: Send + Sync,
 {
     let spec = SearchSpec::leaf(1, batch, threads).seed(seed).build();
+    let probe = PoolProbe::start();
     let report = spec.search(game, None);
+    let delta = probe.finish();
     let secs = report.elapsed.as_secs_f64().max(1e-9);
 
     let t0 = std::time::Instant::now();
@@ -78,6 +89,9 @@ where
         evals_per_sec,
         spawn_evals_per_sec,
         speedup: evals_per_sec / spawn_evals_per_sec.max(1e-9),
+        steals_per_sec: delta.steals_per_sec(secs),
+        parks_per_sec: delta.parks_per_sec(secs),
+        wakeups_per_sec: delta.wakeups_per_sec(secs),
         spec: serde_json::to_string(&spec).expect("specs serialise"),
     }
 }
@@ -138,6 +152,9 @@ pub fn leaf_table(rows: &[LeafRow]) -> Table {
             "pool evals/sec",
             "spawn evals/sec",
             "speedup",
+            "steals/s",
+            "parks/s",
+            "wakeups/s",
         ],
     );
     for r in rows {
@@ -151,6 +168,9 @@ pub fn leaf_table(rows: &[LeafRow]) -> Table {
             format!("{:.0}", r.evals_per_sec),
             format!("{:.0}", r.spawn_evals_per_sec),
             format!("{:.2}x", r.speedup),
+            format!("{:.0}", r.steals_per_sec),
+            format!("{:.0}", r.parks_per_sec),
+            format!("{:.0}", r.wakeups_per_sec),
         ]);
     }
     table

@@ -10,6 +10,7 @@ pub mod calibrate;
 pub mod experiments;
 pub mod leafexp;
 pub mod paper;
+pub mod pooldelta;
 pub mod report;
 pub mod service;
 pub mod spec_cli;
@@ -18,7 +19,11 @@ pub mod treeexp;
 pub use calibrate::{calibrate, fit_model, Calibration};
 pub use experiments::{fit_power, Experiments, Scale, CLIENT_SWEEP};
 pub use leafexp::{leaf_sweep, leaf_table, LeafRow};
+pub use pooldelta::{PoolDelta, PoolProbe};
 pub use report::{persist, Table};
-pub use service::{measure_cell, throughput_sweep, throughput_table, ThroughputRow};
+pub use service::{
+    dead_letter_table, measure_cell, slo_rows, slo_snapshot, slo_table, throughput_sweep,
+    throughput_table, SloRow, ThroughputRow,
+};
 pub use spec_cli::{run_spec_on, STOCK_GAMES};
 pub use treeexp::{tree_sweep, tree_table, TreeRow};

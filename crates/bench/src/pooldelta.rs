@@ -1,0 +1,69 @@
+//! Executor-pool counter deltas around one measured run.
+//!
+//! The shared [`ExecutorPool`] registry counts parks, steals, and
+//! wakeups for the whole process lifetime; a benchmark row wants only
+//! the slice attributable to *its* run. [`PoolProbe`] captures the
+//! counters before the run and differences them after, so the tree and
+//! leaf sweeps can print steals/parks/wakeups **per second of that
+//! row** without resetting (and thereby racing on) the global registry.
+
+use nmcs_core::ExecutorPool;
+
+/// Counter deltas attributable to one measured run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolDelta {
+    /// Deque steals during the run.
+    pub steals: u64,
+    /// Worker parks during the run.
+    pub parks: u64,
+    /// Wakeup-generation bumps during the run.
+    pub wakeups: u64,
+}
+
+impl PoolDelta {
+    /// Steals per second over a run of `secs` seconds.
+    pub fn steals_per_sec(&self, secs: f64) -> f64 {
+        self.steals as f64 / secs.max(1e-9)
+    }
+
+    /// Parks per second over a run of `secs` seconds.
+    pub fn parks_per_sec(&self, secs: f64) -> f64 {
+        self.parks as f64 / secs.max(1e-9)
+    }
+
+    /// Wakeups per second over a run of `secs` seconds.
+    pub fn wakeups_per_sec(&self, secs: f64) -> f64 {
+        self.wakeups as f64 / secs.max(1e-9)
+    }
+}
+
+/// Snapshot of the shared pool's counters at the start of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolProbe {
+    steals: u64,
+    parks: u64,
+    wakeups: u64,
+}
+
+impl PoolProbe {
+    /// Captures the shared pool's current counters.
+    pub fn start() -> Self {
+        let m = ExecutorPool::shared().metrics();
+        PoolProbe {
+            steals: m.steals.get(),
+            parks: m.parks.get(),
+            wakeups: m.wakeups.get(),
+        }
+    }
+
+    /// Differences the counters against the captured baseline.
+    /// Saturating, so a probe misuse can never underflow.
+    pub fn finish(self) -> PoolDelta {
+        let m = ExecutorPool::shared().metrics();
+        PoolDelta {
+            steals: m.steals.get().saturating_sub(self.steals),
+            parks: m.parks.get().saturating_sub(self.parks),
+            wakeups: m.wakeups.get().saturating_sub(self.wakeups),
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! `tables --spec '<json>' --game <domain>`, nondeterministic rows
 //! reproduce the *distribution*, not the cell.
 
+use crate::pooldelta::PoolProbe;
 use crate::report::Table;
 use morpion::{cross_board, Variant};
 use nmcs_core::{CodedGame, LockStrategy, SearchSpec, Searcher, StatsMode, UctConfig};
@@ -47,6 +48,14 @@ pub struct TreeRow {
     /// at the same domain and width (1.0 for the arena row itself) —
     /// the measured, not asserted, contention win.
     pub vs_arena: f64,
+    /// Executor-pool deque steals per second during this row's run
+    /// (delta of the shared metrics registry around the measurement).
+    pub steals_per_sec: f64,
+    /// Executor-pool worker parks per second during this row's run.
+    pub parks_per_sec: f64,
+    /// Executor-pool wakeup-generation bumps per second during this
+    /// row's run.
+    pub wakeups_per_sec: f64,
     /// Whether this cell's result is reproducible bit-for-bit from its
     /// spec (true at one worker, false above — the honest column).
     pub deterministic: bool,
@@ -109,7 +118,9 @@ where
         .leaf_batch(point.leaf_batch)
         .seed(seed)
         .build();
+    let probe = PoolProbe::start();
     let report = spec.search(game, None);
+    let delta = probe.finish();
     if threads == 1 && point.leaf_batch < 2 {
         // The sweep's built-in conformance check: one unbatched worker
         // ≡ uct, whatever the lock strategy and stats mode.
@@ -134,6 +145,9 @@ where
         playouts: report.stats.playouts,
         playouts_per_sec: report.stats.playouts as f64 / secs,
         vs_arena: 1.0, // filled in by `tree_sweep` once the arena row exists
+        steals_per_sec: delta.steals_per_sec(secs),
+        parks_per_sec: delta.parks_per_sec(secs),
+        wakeups_per_sec: delta.wakeups_per_sec(secs),
         deterministic: spec.algorithm.worker_count_deterministic(),
         spec: serde_json::to_string(&spec).expect("specs serialise"),
     }
@@ -212,6 +226,9 @@ pub fn tree_table(rows: &[TreeRow]) -> Table {
             "playouts",
             "playouts/sec",
             "vs arena",
+            "steals/s",
+            "parks/s",
+            "wakeups/s",
             "deterministic",
         ],
     );
@@ -227,6 +244,9 @@ pub fn tree_table(rows: &[TreeRow]) -> Table {
             r.playouts.to_string(),
             format!("{:.0}", r.playouts_per_sec),
             format!("{:.2}x", r.vs_arena),
+            format!("{:.0}", r.steals_per_sec),
+            format!("{:.0}", r.parks_per_sec),
+            format!("{:.0}", r.wakeups_per_sec),
             if r.deterministic { "yes" } else { "no" }.to_string(),
         ]);
     }

@@ -292,6 +292,18 @@ where
 /// on it unchanged.
 pub struct DynGame {
     inner: Box<dyn AnyGame>,
+    /// The erased game's concrete type name (last path segment) —
+    /// survives erasure so observability layers can key per-domain
+    /// metrics without downcasting.
+    domain: &'static str,
+}
+
+/// Last path segment of a `std::any::type_name`, generics stripped —
+/// `nmcs_games::samegame::SameGame` → `SameGame`.
+fn domain_label<G: 'static>() -> &'static str {
+    let full = std::any::type_name::<G>();
+    let base = full.split('<').next().unwrap_or(full);
+    base.rsplit("::").next().unwrap_or(base)
 }
 
 impl DynGame {
@@ -307,6 +319,7 @@ impl DynGame {
                 moves,
                 undo: Vec::new(),
             }),
+            domain: domain_label::<G>(),
         }
     }
 
@@ -322,7 +335,15 @@ impl DynGame {
                 moves,
                 undo: Vec::new(),
             }),
+            domain: domain_label::<G>(),
         }
+    }
+
+    /// The concrete game type's short name (e.g. `"SameGame"`), kept
+    /// through the erasure — the key the engine's per-domain latency
+    /// histograms use.
+    pub fn domain(&self) -> &'static str {
+        self.domain
     }
 
     /// Digest of the current position (see [`AnyGame::state_digest`]).
@@ -345,6 +366,7 @@ impl Clone for DynGame {
     fn clone(&self) -> Self {
         DynGame {
             inner: self.inner.clone_any(),
+            domain: self.domain,
         }
     }
 }

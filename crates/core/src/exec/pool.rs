@@ -42,13 +42,14 @@
 //! (`tests/pool_props.rs` proves drain-on-drop, panic containment, and
 //! prompt budget-cancelled returns).
 
+use crate::metrics::{metrics_enabled, PoolMetrics, WorkerClock};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a parked worker sleeps before re-checking for work even
 /// without a wakeup. **Pure defence-in-depth**, not a correctness
@@ -93,6 +94,12 @@ struct PoolShared {
     steals: AtomicU64,
     /// See [`PARK_TIMEOUT`]; tests shrink or stretch it per pool.
     park_timeout: Duration,
+    /// Lock-free counters/clocks for this pool (see [`PoolMetrics`]).
+    /// Event counters and the idle-workers gauge update unconditionally
+    /// (plain relaxed RMWs); the per-worker busy/idle clocks take their
+    /// `Instant` readings only while [`metrics_enabled`] — the knob the
+    /// overhead-guard test flips.
+    metrics: PoolMetrics,
 }
 
 impl PoolShared {
@@ -110,6 +117,7 @@ impl PoolShared {
     /// their push.
     fn bump_wake_gen(&self) {
         self.lock_injector().wake_gen += 1;
+        self.metrics.wakeups.incr();
     }
 }
 
@@ -187,6 +195,7 @@ impl ExecutorPool {
             shutdown: AtomicBool::new(false),
             steals: AtomicU64::new(0),
             park_timeout,
+            metrics: PoolMetrics::new(background_workers),
         });
         let workers = (0..background_workers)
             .map(|idx| {
@@ -210,6 +219,13 @@ impl ExecutorPool {
     /// the pool's work-stealing counter (monotonic; test observability).
     pub fn steal_count(&self) -> u64 {
         self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// This pool's metrics registry: park/wakeup/steal/batch counters,
+    /// the idle-workers gauge (what the `leaf_batch_dynamic` heuristic
+    /// reads), and per-worker busy/idle clocks. All reads are atomics.
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.shared.metrics
     }
 
     /// The process-wide shared pool the in-core parallel executors run
@@ -241,6 +257,8 @@ impl ExecutorPool {
     /// pool stays usable and later submissions are unaffected.
     pub fn run_batch(&self, slots: usize, body: &(dyn Fn(usize) + Sync)) {
         assert!(slots >= 1, "a batch needs at least one slot");
+        self.shared.metrics.batches.incr();
+        self.shared.metrics.batch_slots.add(slots as u64);
         if slots == 1 {
             // Nothing to dispatch; plain inline call, panics propagate
             // naturally.
@@ -274,6 +292,7 @@ impl ExecutorPool {
             }
             injector.wake_gen += 1;
         }
+        self.shared.metrics.wakeups.incr();
         self.shared.work_ready.notify_all();
 
         let guard = BatchGuard {
@@ -348,15 +367,31 @@ impl Drop for BatchGuard<'_> {
     }
 }
 
+/// Runs a task, charging its wall time to the worker's busy clock when
+/// metrics are enabled (the clock reads are the only conditional part —
+/// the task always runs).
+fn timed_run(task: Task, clock: &WorkerClock) {
+    if metrics_enabled() {
+        let t0 = Instant::now();
+        task.run();
+        clock
+            .busy_ns
+            .add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    } else {
+        task.run();
+    }
+}
+
 fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
     let workers = shared.locals.len();
+    let clock = shared.metrics.worker(idx);
     loop {
         // 1. Own deque, oldest first. Tasks here were banked by this
         //    worker (or are steal leftovers); anything we run that a
         //    sibling banked counts as a steal below, not here.
         let task = shared.lock_local(idx).pop_front();
         if let Some(task) = task {
-            task.run();
+            timed_run(task, clock);
             continue;
         }
 
@@ -386,7 +421,7 @@ fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
                 shared.bump_wake_gen();
                 shared.work_ready.notify_all();
             }
-            first.run();
+            timed_run(first, clock);
             continue;
         }
 
@@ -401,7 +436,8 @@ fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
         }
         if let Some(task) = stolen {
             shared.steals.fetch_add(1, Ordering::Relaxed);
-            task.run();
+            shared.metrics.steals.incr();
+            timed_run(task, clock);
             continue;
         }
 
@@ -413,10 +449,19 @@ fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
             return;
         }
         if injector.queue.is_empty() && injector.wake_gen == observed_gen {
+            shared.metrics.parks.incr();
+            shared.metrics.idle_workers.add(1);
+            let parked_at = metrics_enabled().then(Instant::now);
             let _ = shared
                 .work_ready
                 .wait_timeout(injector, shared.park_timeout)
                 .unwrap_or_else(|e| e.into_inner());
+            if let Some(t0) = parked_at {
+                clock
+                    .idle_ns
+                    .add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            shared.metrics.idle_workers.add(-1);
         }
     }
 }

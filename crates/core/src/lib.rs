@@ -54,6 +54,7 @@ pub mod driver;
 pub mod erased;
 pub mod exec;
 pub mod game;
+pub mod metrics;
 pub mod nrpa;
 pub mod report;
 pub mod rng;
@@ -69,6 +70,12 @@ pub use driver::{drive, DriveBudget, DriveReport};
 pub use erased::{decode_report, decode_result, decode_sequence, AnyGame, AnySearcher, DynGame};
 pub use exec::pool::ExecutorPool;
 pub use game::{Game, Score, SnapshotOnly, Undo};
+pub use metrics::{
+    metrics_enabled, search_metrics, set_metrics_enabled, Counter, DeadLetter, DeadLetterQueue,
+    EngineSnapshot, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, PoolMetrics,
+    PoolSnapshot, SearchMetrics, SearchSnapshot, StalledJob, TagHistograms,
+    TaggedHistogramSnapshot,
+};
 pub use nrpa::{nrpa_with, CodedGame, NrpaConfig, Policy};
 pub use report::{Interruption, SearchReport};
 pub use rng::{Fnv1a, Rng};

@@ -234,6 +234,16 @@ pub enum AlgorithmSpec {
         lock: LockStrategy,
         stats: StatsMode,
         leaf_batch: usize,
+        /// With `leaf_batch ≥ 2`: hand a filled slab to the executor
+        /// pool only when its idle-workers gauge shows someone free to
+        /// help; otherwise run the same slots, in the same order with
+        /// the same per-iteration seeds, on the collecting worker
+        /// itself. Purely a placement heuristic: every rollout keeps
+        /// its iteration-derived seed, so the deterministic
+        /// (single-worker) form is bit-identical to the static slab
+        /// path, and multi-worker runs stay within the backend's usual
+        /// schedule-dependence.
+        leaf_batch_dynamic: bool,
     },
     /// Simulated annealing over decision vectors
     /// ([`crate::baselines::simulated_annealing_with`]), the last
@@ -270,6 +280,7 @@ impl AlgorithmSpec {
             lock: LockStrategy::default(),
             stats: StatsMode::default(),
             leaf_batch: 0,
+            leaf_batch_dynamic: false,
         }
     }
 
@@ -386,6 +397,7 @@ impl AlgorithmSpec {
                 lock,
                 stats,
                 leaf_batch,
+                leaf_batch_dynamic,
             } => [
                 0xA00,
                 config.iterations as u64,
@@ -401,7 +413,10 @@ impl AlgorithmSpec {
                         StatsMode::VirtualLoss => 0u64,
                         StatsMode::WuUct => 1,
                     };
-                    lock_code | (stats_code << 8) | ((*leaf_batch as u64) << 16)
+                    lock_code
+                        | (stats_code << 8)
+                        | ((*leaf_batch_dynamic as u64) << 9)
+                        | ((*leaf_batch as u64) << 16)
                 },
             ],
             AlgorithmSpec::SimulatedAnnealing { config } => [
@@ -487,6 +502,7 @@ impl Serialize for AlgorithmSpec {
                 lock,
                 stats,
                 leaf_batch,
+                leaf_batch_dynamic,
             } => vec![
                 kind("tree_parallel"),
                 ("config".to_string(), config.to_value()),
@@ -494,6 +510,10 @@ impl Serialize for AlgorithmSpec {
                 ("lock".to_string(), lock.to_value()),
                 ("stats".to_string(), stats.to_value()),
                 ("leaf_batch".to_string(), leaf_batch.to_value()),
+                (
+                    "leaf_batch_dynamic".to_string(),
+                    leaf_batch_dynamic.to_value(),
+                ),
             ],
             AlgorithmSpec::SimulatedAnnealing { config } => vec![
                 kind("simulated_annealing"),
@@ -575,6 +595,10 @@ impl Deserialize for AlgorithmSpec {
                 leaf_batch: match v.get_field("leaf_batch") {
                     Some(b) => usize::from_value(b)?,
                     None => 0,
+                },
+                leaf_batch_dynamic: match v.get_field("leaf_batch_dynamic") {
+                    Some(b) => bool::from_value(b)?,
+                    None => false,
                 },
             }),
             "simulated_annealing" => Ok(AlgorithmSpec::SimulatedAnnealing {
@@ -736,6 +760,7 @@ impl SearchSpec {
             lock: LockStrategy::default(),
             stats: StatsMode::default(),
             leaf_batch: 0,
+            leaf_batch_dynamic: false,
         })
     }
 
@@ -910,12 +935,14 @@ where
                 lock,
                 stats,
                 leaf_batch,
+                leaf_batch_dynamic,
             } => {
                 let opts = TreeParallelOpts {
                     threads: *threads,
                     lock: *lock,
                     stats: *stats,
                     leaf_batch: *leaf_batch,
+                    leaf_batch_dynamic: *leaf_batch_dynamic,
                 };
                 uct_tree_parallel(game, config, &opts, self.seed, &mut ctx)
             }
@@ -925,11 +952,36 @@ where
             }
         };
         let interrupted = ctx.interruption();
+        let elapsed = started.elapsed();
+        let stats = ctx.into_stats();
+        // Metrics are recorded once per *completed search*, after the
+        // backend returned — never inside a rollout loop, and never
+        // touching the RNG, so enabling them cannot change any result
+        // (asserted by `tests/metrics_props.rs`).
+        if crate::metrics::metrics_enabled() {
+            let reg = crate::metrics::search_metrics();
+            reg.searches.incr();
+            reg.playouts.add(stats.playouts);
+            reg.playout_moves.add(stats.playout_moves);
+            match interrupted {
+                Some(crate::report::Interruption::Deadline) => reg.deadline_trips.incr(),
+                Some(crate::report::Interruption::PlayoutBudget) => reg.playout_trips.incr(),
+                Some(crate::report::Interruption::NodeBudget) => reg.node_trips.incr(),
+                Some(crate::report::Interruption::Cancelled) => reg.cancellations.incr(),
+                None => {}
+            }
+            let label = self.algorithm.label();
+            reg.wall.record(
+                self.algorithm.tag(),
+                || label.to_string(),
+                u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         SearchReport {
             score,
             sequence,
-            stats: ctx.into_stats(),
-            elapsed: started.elapsed(),
+            stats,
+            elapsed,
             client_jobs,
             interrupted,
             seed: self.seed,
@@ -1052,6 +1104,24 @@ impl SearchBuilder {
     pub fn leaf_batch(mut self, batch: usize) -> Self {
         if let AlgorithmSpec::TreeParallel { leaf_batch, .. } = &mut self.spec.algorithm {
             *leaf_batch = batch;
+        }
+        self
+    }
+
+    /// Gates slab hand-off on the pool's idle-workers gauge: a filled
+    /// slab goes to the executor pool only when an idle worker could
+    /// actually pick slots up, and otherwise runs on the collecting
+    /// worker with identical per-iteration seeds — a placement-only
+    /// heuristic that leaves the deterministic single-worker form
+    /// bit-identical to the static slab path (tree-parallel with
+    /// `leaf_batch ≥ 2` only; ignored by other strategies). Part of
+    /// [`AlgorithmSpec::tag`] identity.
+    pub fn leaf_batch_dynamic(mut self, dynamic: bool) -> Self {
+        if let AlgorithmSpec::TreeParallel {
+            leaf_batch_dynamic, ..
+        } = &mut self.spec.algorithm
+        {
+            *leaf_batch_dynamic = dynamic;
         }
         self
     }

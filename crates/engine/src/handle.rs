@@ -22,6 +22,8 @@ pub(crate) struct JobInner {
     pub replicas_done: usize,
     pub results: Vec<Option<ReplicaResult>>,
     pub work_units: u64,
+    /// First replica pickup; the queue-wait / run-time boundary.
+    pub started_at: Option<Instant>,
     pub finished_at: Option<Instant>,
     /// Set when a replica panicked; the job finishes as `Failed`.
     pub failed: bool,
@@ -54,6 +56,7 @@ impl JobCore {
                 replicas_done: 0,
                 results: (0..replicas).map(|_| None).collect(),
                 work_units: 0,
+                started_at: None,
                 finished_at: None,
                 failed: false,
             }),
@@ -74,12 +77,45 @@ impl JobCore {
         &self.cancel
     }
 
-    /// Marks the job running (first replica picked up).
-    pub fn mark_running(&self) {
+    /// Marks the job running (first replica picked up) and stamps the
+    /// queue-wait / run-time boundary. Returns `true` only for the
+    /// replica that performed the transition, so the caller records the
+    /// job's queue wait exactly once.
+    pub fn mark_running(&self) -> bool {
         let mut inner = self.lock();
         if inner.state == JobState::Queued {
             inner.state = JobState::Running;
+            inner.started_at = Some(Instant::now());
+            true
+        } else {
+            false
         }
+    }
+
+    /// Flags this job as stalled when it is still running past its
+    /// worst-case deadline estimate (per-replica deadline × replicas,
+    /// the fully-serialised bound): a healthy replica trips its own
+    /// deadline budget and returns, so exceeding the bound means a
+    /// search loop has stopped observing its budget.
+    pub fn stalled(&self) -> Option<nmcs_core::metrics::StalledJob> {
+        let deadline = self.spec.budget.deadline?;
+        let started = {
+            let inner = self.lock();
+            if inner.state != JobState::Running {
+                return None;
+            }
+            inner.started_at?
+        };
+        let running_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let estimate_ms = u64::try_from(deadline.as_millis())
+            .unwrap_or(u64::MAX)
+            .saturating_mul(self.spec.replicas as u64);
+        (running_ms > estimate_ms).then(|| nmcs_core::metrics::StalledJob {
+            job: self.id,
+            name: self.spec.name.clone(),
+            running_ms,
+            deadline_ms: estimate_ms,
+        })
     }
 
     /// Records a finished (or skipped, `result == None`) replica; when it
@@ -147,6 +183,23 @@ impl JobCore {
     pub fn progress(&self) -> Progress {
         let inner = self.lock();
         let best = Self::best_replica(&inner);
+        // The same clock reads the metrics registry uses: submitted_at →
+        // started_at is the queue wait, started_at → finished_at (or
+        // now, while running) is the run time.
+        let now = Instant::now();
+        let queued_for = inner
+            .started_at
+            .unwrap_or(now)
+            .saturating_duration_since(self.submitted_at);
+        let running_for = inner
+            .started_at
+            .map(|s| {
+                inner
+                    .finished_at
+                    .unwrap_or(now)
+                    .saturating_duration_since(s)
+            })
+            .unwrap_or_default();
         Progress {
             job: self.id,
             state: inner.state,
@@ -155,6 +208,8 @@ impl JobCore {
             best_score: best.map(|i| inner.results[i].as_ref().unwrap().result.score),
             best_replica: best,
             work_units: inner.work_units,
+            queued_for,
+            running_for,
         }
     }
 

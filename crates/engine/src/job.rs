@@ -192,6 +192,13 @@ pub struct Progress {
     pub best_replica: Option<usize>,
     /// Work units accumulated across finished replicas.
     pub work_units: u64,
+    /// Time from submission until the first replica was picked up (or
+    /// until this poll, while still queued). Fed by the same clock
+    /// reads as the engine's queue-wait histogram.
+    pub queued_for: Duration,
+    /// Time since the first replica was picked up (zero while queued;
+    /// frozen at the terminal transition once the job finishes).
+    pub running_for: Duration,
 }
 
 /// Outcome of one replica.

@@ -67,6 +67,7 @@ pub use job::{Algorithm, JobId, JobOutput, JobSpec, JobState, Progress, ReplicaR
 pub use scheduler::ReplicaPlan;
 
 use handle::JobCore;
+use nmcs_core::metrics::{EngineSnapshot, MetricsSnapshot};
 use pool::{spawn_workers, PoolShared, Task};
 use queue::PushError;
 use scheduler::InFlight;
@@ -227,6 +228,9 @@ impl Engine {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let plans = self.in_flight.plan_job(&spec);
         let core = JobCore::new(id, spec, plans);
+        // Weak-register for the inspector's stall scan (weak refs do not
+        // block the spec recovery `Arc::try_unwrap` on rejection).
+        self.shared.registry.track(&core);
         let tasks = (0..core.spec.replicas)
             .map(|replica| Task {
                 job: core.clone(),
@@ -338,6 +342,54 @@ impl Engine {
             rejected_submissions: m.rejected_submissions.load(Ordering::Relaxed),
             in_flight_replicas: self.in_flight.len(),
         }
+    }
+
+    /// The searchable inspector: one serde-round-trippable
+    /// [`MetricsSnapshot`] spanning all three instrumented layers — the
+    /// process-wide executor pool (parks / steals / wakeups / per-worker
+    /// busy-vs-idle clocks), the search layer (playout rates, budget
+    /// trips, per-backend wall-time percentiles), and this engine
+    /// (queue-wait vs run-time split, per-tenant / per-domain
+    /// histograms, the bounded dead-letter record, and a stall scan
+    /// flagging running jobs past their deadline estimate).
+    ///
+    /// Reads atomics and takes only the short DLQ / job-list locks;
+    /// never blocks a search and never touches any search RNG.
+    pub fn inspector(&self) -> MetricsSnapshot {
+        let m = &self.shared.metrics;
+        let reg = &self.shared.registry;
+        let mut stalled = Vec::new();
+        {
+            let mut jobs = reg.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            jobs.retain(|w| w.strong_count() > 0);
+            for weak in jobs.iter() {
+                if let Some(job) = weak.upgrade() {
+                    stalled.extend(job.stalled());
+                }
+            }
+        }
+        let engine = EngineSnapshot {
+            submitted_jobs: m.submitted_jobs.load(Ordering::Relaxed),
+            completed_jobs: m.completed_jobs.load(Ordering::Relaxed),
+            cancelled_jobs: m.cancelled_jobs.load(Ordering::Relaxed),
+            failed_jobs: m.failed_jobs.load(Ordering::Relaxed),
+            rejected_submissions: m.rejected_submissions.load(Ordering::Relaxed),
+            executed_tasks: m.executed_tasks.load(Ordering::Relaxed),
+            skipped_tasks: m.skipped_tasks.load(Ordering::Relaxed),
+            stolen_tasks: m.stolen_tasks.load(Ordering::Relaxed),
+            total_work_units: m.total_work_units.load(Ordering::Relaxed),
+            queue_depth: self.shared.injector.len() as u64,
+            queue_wait: reg.queue_wait.snapshot(),
+            run_time: reg.run_time.snapshot(),
+            tenants: reg.tenants.snapshot(),
+            domains: reg.domains.snapshot(),
+            dead_letters: reg.dlq.snapshot(),
+            dlq_dropped: reg.dlq.dropped(),
+            stalled,
+        };
+        let mut snapshot = nmcs_core::metrics::snapshot();
+        snapshot.engine = Some(engine);
+        snapshot
     }
 
     /// Begins shutdown without consuming the engine: no new jobs are

@@ -29,10 +29,11 @@ use crate::handle::{JobCore, ReplicaOutcome};
 use crate::job::{Algorithm, ReplicaResult};
 use crate::queue::BoundedQueue;
 use crate::scheduler::InFlight;
-use nmcs_core::{NestedConfig, Searcher};
+use nmcs_core::metrics::{metrics_enabled, DeadLetter, DeadLetterQueue, Histogram, TagHistograms};
+use nmcs_core::{Fnv1a, Interruption, NestedConfig, Searcher};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 
 /// One schedulable unit: a single replica of a job.
@@ -55,11 +56,67 @@ pub(crate) struct Metrics {
     pub rejected_submissions: AtomicU64,
 }
 
+/// How many dead letters the engine retains (oldest evicted first).
+const DLQ_CAPACITY: usize = 64;
+
+/// The engine's observability registry: latency histograms, per-key
+/// tables, the dead-letter record, and the live-job list the stall
+/// scan walks. Histograms/tables are pure atomics; the DLQ and job
+/// list take a mutex only at replica completion / job admission —
+/// never on a search path.
+pub(crate) struct Registry {
+    /// Submission → first replica pickup, per job.
+    pub queue_wait: Histogram,
+    /// Wall time of each executed replica search.
+    pub run_time: Histogram,
+    /// Replica run time keyed by tenant (job name).
+    pub tenants: TagHistograms,
+    /// Replica run time keyed by game domain.
+    pub domains: TagHistograms,
+    /// Panicked / cancelled / budget-tripped replicas.
+    pub dlq: DeadLetterQueue,
+    /// Weak refs to every admitted job; pruned by the stall scan.
+    pub jobs: Mutex<Vec<Weak<JobCore>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            queue_wait: Histogram::new(),
+            run_time: Histogram::new(),
+            tenants: TagHistograms::new(),
+            domains: TagHistograms::new(),
+            dlq: DeadLetterQueue::new(DLQ_CAPACITY),
+            jobs: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Registry {
+    /// Registers an admitted job for the stall scan, pruning dead
+    /// entries opportunistically so the list stays O(live jobs).
+    pub fn track(&self, job: &Arc<JobCore>) {
+        let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        jobs.retain(|w| w.strong_count() > 0);
+        jobs.push(Arc::downgrade(job));
+    }
+}
+
+/// FNV digest of a string key for the per-tenant/per-domain tables.
+pub(crate) fn name_tag(name: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    for b in name.as_bytes() {
+        h.write_u64(*b as u64);
+    }
+    h.finish()
+}
+
 pub(crate) struct PoolShared {
     pub injector: BoundedQueue<Task>,
     pub locals: Vec<Mutex<VecDeque<Task>>>,
     pub in_flight: Arc<InFlight>,
     pub metrics: Metrics,
+    pub registry: Registry,
     pub shutdown: AtomicBool,
     /// Tasks admitted but not yet finished; lets shutdown drain cleanly.
     pub outstanding: AtomicUsize,
@@ -72,6 +129,7 @@ impl PoolShared {
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             in_flight,
             metrics: Metrics::default(),
+            registry: Registry::default(),
             shutdown: AtomicBool::new(false),
             outstanding: AtomicUsize::new(0),
         })
@@ -201,6 +259,7 @@ fn run_task(shared: &PoolShared, task: Task) {
 
     if job.is_cancelled() {
         shared.metrics.skipped_tasks.fetch_add(1, Ordering::Relaxed);
+        dead_letter(shared, &job, task.replica, "cancelled");
         finish_replica(
             shared,
             &job,
@@ -211,7 +270,13 @@ fn run_task(shared: &PoolShared, task: Task) {
         return;
     }
 
-    job.mark_running();
+    if job.mark_running() && metrics_enabled() {
+        // First pickup: the job's whole queue wait, recorded once.
+        shared
+            .registry
+            .queue_wait
+            .record_duration(job.submitted_at.elapsed());
+    }
 
     // The replica's unified spec: job algorithm (with the plan's memory
     // policy substituted for diversified NMCS replicas) + job budget +
@@ -242,6 +307,7 @@ fn run_task(shared: &PoolShared, task: Task) {
         // partial scores as if they were complete.
         _ if job.is_cancelled() => {
             shared.metrics.skipped_tasks.fetch_add(1, Ordering::Relaxed);
+            dead_letter(shared, &job, task.replica, "cancelled");
             ReplicaOutcome::Skipped
         }
         Ok(report) => {
@@ -255,6 +321,29 @@ fn run_task(shared: &PoolShared, task: Task) {
                 .fetch_add(report.stats.work_units, Ordering::Relaxed);
             let elapsed = report.elapsed;
             let interrupted = report.interrupted;
+            if metrics_enabled() {
+                let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+                shared.registry.run_time.record(ns);
+                let tenant = job.spec.name.as_str();
+                shared
+                    .registry
+                    .tenants
+                    .record(name_tag(tenant), || tenant.to_string(), ns);
+                let domain = job.spec.game.domain();
+                shared
+                    .registry
+                    .domains
+                    .record(name_tag(domain), || domain.to_string(), ns);
+            }
+            if let Some(why) = interrupted {
+                let reason = match why {
+                    Interruption::Deadline => "deadline",
+                    Interruption::PlayoutBudget => "playouts",
+                    Interruption::NodeBudget => "nodes",
+                    Interruption::Cancelled => "cancelled",
+                };
+                dead_letter(shared, &job, task.replica, reason);
+            }
             ReplicaOutcome::Finished(ReplicaResult {
                 replica: task.replica,
                 seed_used: plan.seed,
@@ -264,9 +353,28 @@ fn run_task(shared: &PoolShared, task: Task) {
                 elapsed,
             })
         }
-        Err(_panic) => ReplicaOutcome::Panicked,
+        Err(_panic) => {
+            dead_letter(shared, &job, task.replica, "panicked");
+            ReplicaOutcome::Panicked
+        }
     };
     finish_replica(shared, &job, task.replica, outcome, plan.signature);
+}
+
+/// Appends a bounded dead-letter record for a replica that panicked,
+/// was cancelled, or tripped a budget. Runs after the search returned,
+/// so the one short lock inside the DLQ never sits on a rollout path.
+fn dead_letter(shared: &PoolShared, job: &Arc<JobCore>, replica: usize, reason: &str) {
+    if !metrics_enabled() {
+        return;
+    }
+    shared.registry.dlq.push(DeadLetter {
+        job: job.id,
+        replica: replica as u64,
+        name: job.spec.name.clone(),
+        reason: reason.to_string(),
+        age_ms: u64::try_from(job.submitted_at.elapsed().as_millis()).unwrap_or(u64::MAX),
+    });
 }
 
 fn finish_replica(
