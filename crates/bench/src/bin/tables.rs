@@ -9,6 +9,7 @@
 //! tables --scale real --table 2  # real recorded level-2 traces
 //! tables --seed 42 --out target/experiments
 //! tables --spec '{"algorithm":{"kind":"nested","level":2},"budget":{"deadline_ms":200},"seed":42}' --game samegame
+//! tables --lint                  # workspace invariant check (nonzero exit on findings)
 //! ```
 //!
 //! `--spec` replays any persisted sweep row from its recorded JSON (see
@@ -28,6 +29,7 @@ struct Args {
     service: bool,
     spec: Option<String>,
     game: String,
+    lint: bool,
     scale: Scale,
     seed: u64,
     out: PathBuf,
@@ -45,6 +47,7 @@ fn parse_args() -> Args {
         service: false,
         spec: None,
         game: "samegame".to_string(),
+        lint: false,
         scale: Scale::Paper,
         seed: 2009,
         out: PathBuf::from("target/experiments"),
@@ -93,6 +96,10 @@ fn parse_args() -> Args {
                 args.spec = Some(expect_val(&mut it, "--spec"));
                 args.all = false;
             }
+            "--lint" => {
+                args.lint = true;
+                args.all = false;
+            }
             "--game" => args.game = expect_val(&mut it, "--game"),
             "--scale" => {
                 args.scale = match expect_val(&mut it, "--scale").as_str() {
@@ -106,7 +113,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] [--tree] [--service] \
-                     [--spec JSON [--game {}]] \
+                     [--lint] [--spec JSON [--game {}]] \
                      [--scale paper|real] [--seed S] [--out DIR]",
                     nmcs_bench::STOCK_GAMES.join("|")
                 );
@@ -124,6 +131,34 @@ fn expect_val(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
 
 fn main() {
     let args = parse_args();
+
+    // The invariant check needs no calibration and gates CI: print every
+    // unwaived finding, summarise per rule, exit nonzero if any remain.
+    if args.lint {
+        let findings = match nmcs_lint::lint_workspace(std::path::Path::new(".")) {
+            Ok(f) => f,
+            Err(e) => panic!("workspace walk failed (run from the repo root): {e}"),
+        };
+        let mut unwaived = 0usize;
+        for f in &findings {
+            if !f.waived {
+                unwaived += 1;
+                println!("{f}");
+            }
+        }
+        let mut t = nmcs_bench::Table::new(
+            "Workspace invariants (nmcs-lint)",
+            &["rule", "unwaived", "waived"],
+        );
+        for (rule, (open, excused)) in nmcs_lint::rule_counts(&findings) {
+            t.row(&[rule.to_string(), open.to_string(), excused.to_string()]);
+        }
+        println!("{}", t.render());
+        if unwaived > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     // Spec replay needs no calibration: parse, run, render, done.
     if let Some(json) = &args.spec {

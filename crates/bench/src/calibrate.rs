@@ -13,11 +13,9 @@
 //!    decay measured from a real recorded trace, parameterising
 //!    [`parallel_nmcs::TraceModel`] for paper-scale synthetic workloads.
 
-// Calibration measures the historical entry points through their
-// zero-cost shims (one mid-stream RNG feeds several searches).
-#![allow(deprecated)]
+use crate::searches::nested_once;
 use morpion::standard_5d;
-use nmcs_core::{nested, sample, NestedConfig, Rng};
+use nmcs_core::{sample, NestedConfig, Rng};
 use parallel_nmcs::{SearchTrace, TraceModel};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -58,8 +56,8 @@ pub fn calibrate(seed: u64) -> Calibration {
 
     // Level-1 and level-2 costs (work units are machine-independent).
     let cfg = NestedConfig::paper();
-    let l1 = nested(&board, 1, &cfg, &mut rng);
-    let l2 = nested(&board, 2, &cfg, &mut rng);
+    let l1 = nested_once(&board, 1, &cfg, &mut rng);
+    let l2 = nested_once(&board, 2, &cfg, &mut rng);
     let level_ratio = l2.stats.work_units as f64 / l1.stats.work_units as f64;
 
     Calibration {

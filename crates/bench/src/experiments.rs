@@ -13,21 +13,22 @@
 //!   the simulator with this machine's measured `ns_per_unit`. Slower to
 //!   generate, entirely measurement-driven.
 
-// The experiment harness deliberately measures the historical entry
-// points (they share one mid-stream RNG across many calls, a shape the
-// seeded SearchSpec front door does not reproduce) — the shims are
-// zero-cost, so the numbers stay comparable with the recorded tables.
-#![allow(deprecated)]
 use crate::calibrate::{calibrate, Calibration};
 use crate::paper;
 use crate::report::{fmt_speedup, persist, Table};
+use crate::searches::nested_once;
 use des_sim::{format_time, ClusterSpec, Time, SECOND};
 use morpion::{render_default, standard_5d, GameRecord};
-use nmcs_core::{nested, sample, Game, NestedConfig, Rng};
+use nmcs_core::rng::derive_seed;
+use nmcs_core::{sample, Game, NestedConfig, Rng};
 use parallel_nmcs::trace::run_reference;
 use parallel_nmcs::{simulate_trace, DispatchPolicy, RunMode, SearchTrace, TraceModel};
 use serde::Serialize;
 use std::path::PathBuf;
+
+/// Domain-separation tag of the demand-profile sample game (arbitrary
+/// odd constant, same scheme as `nmcs_core::seeds`).
+const TAG_DEMAND_PROFILE: u64 = 0x6465_6d61_6e64_0001;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +66,7 @@ impl Experiments {
     /// `(depth, work_units)` samples.
     pub fn measure_demand_profile(&self, client_level: u32, samples: usize) -> Vec<(u64, u64)> {
         let board = standard_5d();
-        let mut rng = Rng::seeded(self.seed ^ 0xBEEF);
+        let mut rng = Rng::seeded(derive_seed(self.seed, &[TAG_DEMAND_PROFILE]));
         // A fixed random game provides the positions.
         let game = sample(&board, &mut rng);
         let total = game.sequence.len();
@@ -75,7 +76,7 @@ impl Experiments {
         let mut pos = board;
         for (depth, mv) in game.sequence.iter().enumerate() {
             if depth % step == 0 && depth + 2 < total {
-                let r = nested(&pos, client_level, &cfg, &mut rng);
+                let r = nested_once(&pos, client_level, &cfg, &mut rng);
                 out.push((depth as u64, r.stats.work_units.max(1)));
             }
             pos.play(mv);
@@ -155,12 +156,12 @@ impl Experiments {
             for mv in &moves {
                 let mut child = board.clone();
                 child.play(mv);
-                let _ = nested(&child, level - 1, &cfg, &mut rng);
+                let _ = nested_once(&child, level - 1, &cfg, &mut rng);
             }
             let first = t0.elapsed().as_secs_f64();
 
             let t1 = std::time::Instant::now();
-            let _ = nested(&board, level, &cfg, &mut rng);
+            let _ = nested_once(&board, level, &cfg, &mut rng);
             let rollout = t1.elapsed().as_secs_f64();
 
             if let Some(prev) = prev_rollout {
@@ -438,7 +439,7 @@ impl Experiments {
         let board = standard_5d();
         let cfg = NestedConfig::paper();
         let mut rng = Rng::seeded(self.seed);
-        let result = nested(&board, 2, &cfg, &mut rng);
+        let result = nested_once(&board, 2, &cfg, &mut rng);
         let mut replay = board.clone();
         for mv in &result.sequence {
             replay.play(mv);
@@ -526,13 +527,13 @@ impl Experiments {
             let mut mem_sum = 0.0;
             let mut greedy_sum = 0.0;
             for s in 0..runs {
-                let mem = nested(
+                let mem = nested_once(
                     &board,
                     level,
                     &NestedConfig::paper(),
                     &mut Rng::seeded(self.seed + s),
                 );
-                let gre = nested(
+                let gre = nested_once(
                     &board,
                     level,
                     &NestedConfig::greedy(),
@@ -556,22 +557,20 @@ impl Experiments {
 
     /// Ablation A5 — NMCS vs the baselines at matched playout budgets.
     pub fn ablation_baselines(&self) -> Table {
-        use nmcs_core::baselines::{
-            flat_monte_carlo, iterated_sampling, simulated_annealing, AnnealingConfig,
-        };
-        use nmcs_core::{uct, UctConfig};
+        use crate::searches::{annealing_once, flat_mc_once, iterated_sampling_once, uct_once};
+        use nmcs_core::{AnnealingConfig, UctConfig};
         let board = standard_5d();
         let mut rng = Rng::seeded(self.seed);
         // Budget: the playout count of one level-1 NMCS.
-        let l1 = nested(&board, 1, &NestedConfig::paper(), &mut rng);
+        let l1 = nested_once(&board, 1, &NestedConfig::paper(), &mut rng);
         let budget = l1.stats.playouts as usize;
         let mut t = Table::new(
             "Ablation A5 — NMCS vs baselines at matched playout budget (Morpion 5D)",
             &["algorithm", "score", "playouts"],
         );
-        let flat = flat_monte_carlo(&board, budget, &mut Rng::seeded(self.seed + 1));
-        let iter = iterated_sampling(&board, 1, &mut Rng::seeded(self.seed + 2));
-        let sa = simulated_annealing(
+        let flat = flat_mc_once(&board, budget, &mut Rng::seeded(self.seed + 1));
+        let iter = iterated_sampling_once(&board, 1, &mut Rng::seeded(self.seed + 2));
+        let sa = annealing_once(
             &board,
             &AnnealingConfig {
                 iterations: budget,
@@ -579,7 +578,7 @@ impl Experiments {
             },
             &mut Rng::seeded(self.seed + 3),
         );
-        let mcts = uct(
+        let mcts = uct_once(
             &board,
             &UctConfig {
                 iterations: budget,
@@ -622,13 +621,14 @@ impl Experiments {
     /// budgets on Morpion 5D: the successor algorithm the paper's record
     /// eventually lost to.
     pub fn ablation_nrpa(&self) -> Table {
-        use nmcs_core::{nrpa, NrpaConfig};
+        use crate::searches::nrpa_once;
+        use nmcs_core::NrpaConfig;
         let board = standard_5d();
         let mut t = Table::new(
             "Extension X1 — NRPA vs NMCS (Morpion 5D, matched playouts)",
             &["algorithm", "score", "playouts"],
         );
-        let l1 = nested(
+        let l1 = nested_once(
             &board,
             1,
             &NestedConfig::paper(),
@@ -640,12 +640,12 @@ impl Experiments {
             iterations: iters,
             alpha: 1.0,
         };
-        let r2 = nrpa(&board, 2, &cfg, &mut Rng::seeded(self.seed));
+        let r2 = nrpa_once(&board, 2, &cfg, &mut Rng::seeded(self.seed));
         let cfg3 = NrpaConfig {
             iterations: 10,
             alpha: 1.0,
         };
-        let r3 = nrpa(&board, 3, &cfg3, &mut Rng::seeded(self.seed));
+        let r3 = nrpa_once(&board, 3, &cfg3, &mut Rng::seeded(self.seed));
         t.row(&[
             "NMCS level 1".into(),
             l1.score.to_string(),

@@ -12,6 +12,7 @@ pub mod leafexp;
 pub mod paper;
 pub mod pooldelta;
 pub mod report;
+pub(crate) mod searches;
 pub mod service;
 pub mod spec_cli;
 pub mod treeexp;

@@ -1,0 +1,88 @@
+//! Single-shot, unbounded searches for the experiment harness.
+//!
+//! The experiments thread one RNG through a sequence of searches to
+//! reproduce the paper's measurement protocol — a shape the seed-in,
+//! builder-out [`nmcs_core::SearchSpec`] front door deliberately does
+//! not expose. These helpers call the same `*_with` engine rooms the
+//! unified API runs on, with an unbounded budget, and repackage the
+//! `(score, sequence)` pair plus the context's counters as a
+//! [`SearchResult`] — behaviourally identical to the deprecated free
+//! functions without routing through the compatibility shims.
+
+use nmcs_core::baselines::{flat_monte_carlo_with, iterated_sampling_with};
+use nmcs_core::{
+    nested_with, nrpa_with, simulated_annealing_with, uct_with, AnnealingConfig, CodedGame, Game,
+    NestedConfig, NrpaConfig, Rng, SearchCtx, SearchResult, UctConfig,
+};
+
+fn package<M>(ctx: SearchCtx, (score, sequence): (nmcs_core::Score, Vec<M>)) -> SearchResult<M> {
+    SearchResult {
+        score,
+        sequence,
+        stats: ctx.into_stats(),
+    }
+}
+
+/// One unbounded Nested Monte-Carlo Search at `level`.
+pub(crate) fn nested_once<G: Game>(
+    game: &G,
+    level: u32,
+    config: &NestedConfig,
+    rng: &mut Rng,
+) -> SearchResult<G::Move> {
+    let mut ctx = SearchCtx::unbounded();
+    let out = nested_with(game, level, config, rng, &mut ctx);
+    package(ctx, out)
+}
+
+/// One unbounded NRPA run at `level`.
+pub(crate) fn nrpa_once<G: CodedGame>(
+    game: &G,
+    level: u32,
+    config: &NrpaConfig,
+    rng: &mut Rng,
+) -> SearchResult<G::Move> {
+    let mut ctx = SearchCtx::unbounded();
+    let out = nrpa_with(game, level, config, rng, &mut ctx);
+    package(ctx, out)
+}
+
+/// One unbounded UCT run.
+pub(crate) fn uct_once<G: Game>(
+    game: &G,
+    config: &UctConfig,
+    rng: &mut Rng,
+) -> SearchResult<G::Move> {
+    let mut ctx = SearchCtx::unbounded();
+    let out = uct_with(game, config, rng, &mut ctx);
+    package(ctx, out)
+}
+
+/// `n` independent playouts, best kept (flat Monte-Carlo baseline).
+pub(crate) fn flat_mc_once<G: Game>(game: &G, n: usize, rng: &mut Rng) -> SearchResult<G::Move> {
+    let mut ctx = SearchCtx::unbounded();
+    let out = flat_monte_carlo_with(game, n, rng, &mut ctx);
+    package(ctx, out)
+}
+
+/// Iterated sampling baseline with `n` playouts per move.
+pub(crate) fn iterated_sampling_once<G: Game>(
+    game: &G,
+    n: usize,
+    rng: &mut Rng,
+) -> SearchResult<G::Move> {
+    let mut ctx = SearchCtx::unbounded();
+    let out = iterated_sampling_with(game, n, rng, &mut ctx);
+    package(ctx, out)
+}
+
+/// Simulated-annealing baseline over decision vectors.
+pub(crate) fn annealing_once<G: Game>(
+    game: &G,
+    config: &AnnealingConfig,
+    rng: &mut Rng,
+) -> SearchResult<G::Move> {
+    let mut ctx = SearchCtx::unbounded();
+    let out = simulated_annealing_with(game, config, rng, &mut ctx);
+    package(ctx, out)
+}

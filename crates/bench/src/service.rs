@@ -10,6 +10,7 @@
 
 use crate::report::Table;
 use nmcs_core::metrics::{HistogramSnapshot, MetricsSnapshot};
+use nmcs_core::seeds::median_seed;
 use nmcs_core::SearchSpec;
 use nmcs_engine::{Algorithm, Engine, EngineConfig, JobSpec, SubmitError};
 use nmcs_games::{SameGame, SumGame, TspGame, TspInstance};
@@ -33,7 +34,7 @@ pub struct ThroughputRow {
 /// Builds the `i`-th job of the mixed workload by enumerating unified
 /// specs — the job is (name, game, SearchSpec), nothing hand-wired.
 fn mixed_job(i: usize, seed: u64) -> JobSpec {
-    let job_seed = seed.wrapping_add(i as u64);
+    let job_seed = median_seed(seed, 0, i);
     let spec = SearchSpec::nested(1).seed(job_seed).build();
     match i % 3 {
         0 => JobSpec::from_spec(

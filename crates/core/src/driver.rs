@@ -9,10 +9,11 @@
 //! target score.
 
 use crate::game::{Game, Score};
+use crate::metrics::monotonic_now;
 use crate::rng::{derive_seed, Rng};
 use crate::search::SearchResult;
 use crate::stats::SearchStats;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Stopping criteria for [`drive`]; the first one reached stops the loop
 /// (at least one search always runs).
@@ -114,7 +115,7 @@ where
     G: Game,
     F: FnMut(&G, &mut Rng) -> SearchResult<G::Move>,
 {
-    let started = Instant::now();
+    let started = monotonic_now();
     let mut best: Option<(SearchResult<G::Move>, u64)> = None;
     let mut total_stats = SearchStats::new();
     let mut history = Vec::new();

@@ -43,9 +43,9 @@ use crate::game::{Game, Score};
 use crate::rng::Rng;
 use crate::search::{nested_with, NestedConfig, PlayoutScratch};
 use crate::seeds::{client_seed, median_seed, slot_seed};
+use parking_lot::Mutex;
 use pool::ExecutorPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Outcome of a parallel executor: score, root sequence, and the number
 /// of client/leaf evaluation jobs executed (work units live in the ctx).
@@ -89,7 +89,7 @@ where
     let parent: &SearchCtx = ctx;
     exec.run_batch(slots, &|slot| {
         let mut wctx = parent.fork();
-        let mut state = states[slot].lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = states[slot].lock();
         let mut results = Vec::new();
         loop {
             // Stop claiming items once interrupted; items left
@@ -104,12 +104,10 @@ where
             let score = eval(idx, &mut wctx, &mut state);
             results.push((idx, score));
         }
-        outs.lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(WorkerOut { ctx: wctx, results });
+        outs.lock().push(WorkerOut { ctx: wctx, results });
     });
 
-    let outs = outs.into_inner().unwrap_or_else(|e| e.into_inner());
+    let outs = outs.into_inner();
     let mut scores: Vec<Option<Score>> = vec![None; items];
     for out in outs {
         ctx.absorb(out.ctx);
@@ -471,6 +469,7 @@ pub mod baseline {
                 .collect();
             handles
                 .into_iter()
+                // nmcs-lint: allow(panic-discipline) reason="join fails only if a worker panicked; re-raising the panic on the caller is the contract"
                 .map(|h| h.join().expect("parallel executor worker panicked"))
                 .collect()
         });

@@ -43,11 +43,12 @@
 //! prompt budget-cancelled returns).
 
 use crate::metrics::{metrics_enabled, PoolMetrics, WorkerClock};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -104,11 +105,11 @@ struct PoolShared {
 
 impl PoolShared {
     fn lock_injector(&self) -> MutexGuard<'_, Injector> {
-        self.injector.lock().unwrap_or_else(|e| e.into_inner())
+        self.injector.lock()
     }
 
     fn lock_local(&self, idx: usize) -> MutexGuard<'_, VecDeque<Task>> {
-        self.locals[idx].lock().unwrap_or_else(|e| e.into_inner())
+        self.locals[idx].lock()
     }
 
     /// Records a publish that parked workers cannot see in the injector
@@ -163,7 +164,7 @@ struct BatchCore {
 
 impl BatchCore {
     fn lock_done(&self) -> MutexGuard<'_, BatchDone> {
-        self.done.lock().unwrap_or_else(|e| e.into_inner())
+        self.done.lock()
     }
 }
 
@@ -203,6 +204,7 @@ impl ExecutorPool {
                 std::thread::Builder::new()
                     .name(format!("nmcs-exec-{idx}"))
                     .spawn(move || worker_loop(&shared, idx))
+                    // nmcs-lint: allow(panic-discipline) reason="OS refusing to spawn at pool construction is unrecoverable; fail fast before any work is accepted"
                     .expect("spawn executor pool worker")
             })
             .collect();
@@ -357,12 +359,9 @@ impl Drop for BatchGuard<'_> {
             // Completion is notified under the `done` mutex itself, so
             // this wait cannot lose a wakeup; the timeout is the same
             // defence-in-depth net as the worker park.
-            let (next, _) = self
-                .batch
+            self.batch
                 .done_cond
-                .wait_timeout(done, self.shared.park_timeout)
-                .unwrap_or_else(|e| e.into_inner());
-            done = next;
+                .wait_for(&mut done, self.shared.park_timeout);
         }
     }
 }
@@ -444,7 +443,7 @@ fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
         // 4. Park — but only if nothing was published since step 0. A
         //    publish that raced the scan shows up as a moved generation
         //    and triggers a rescan instead of a sleep.
-        let injector = shared.lock_injector();
+        let mut injector = shared.lock_injector();
         if shared.shutdown.load(Ordering::Acquire) && injector.queue.is_empty() {
             return;
         }
@@ -452,10 +451,9 @@ fn worker_loop(shared: &Arc<PoolShared>, idx: usize) {
             shared.metrics.parks.incr();
             shared.metrics.idle_workers.add(1);
             let parked_at = metrics_enabled().then(Instant::now);
-            let _ = shared
+            shared
                 .work_ready
-                .wait_timeout(injector, shared.park_timeout)
-                .unwrap_or_else(|e| e.into_inner());
+                .wait_for(&mut injector, shared.park_timeout);
             if let Some(t0) = parked_at {
                 clock
                     .idle_ns

@@ -34,9 +34,10 @@
 //! against.
 
 use crate::exec::pool::ExecutorPool;
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 // ---------------------------------------------------------------------
@@ -44,6 +45,16 @@ use std::time::Instant;
 // ---------------------------------------------------------------------
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// The sanctioned monotonic clock read for wall-time *observability*
+/// (latency reports, deadline bookkeeping). Every timing site outside
+/// the clock-allowlisted modules must come through here so the
+/// `nmcs-lint` clock-discipline rule can see, from the call site alone,
+/// that the reading feeds reporting and never a seed or an RNG.
+#[inline]
+pub fn monotonic_now() -> Instant {
+    Instant::now()
+}
 
 /// Whether instrumentation sites should record (one relaxed load).
 #[inline]
@@ -417,7 +428,7 @@ impl DeadLetterQueue {
 
     /// Appends a letter, evicting the oldest if full.
     pub fn push(&self, letter: DeadLetter) {
-        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.inner.lock();
         if q.len() == self.cap {
             q.pop_front();
             self.dropped.incr();
@@ -432,12 +443,7 @@ impl DeadLetterQueue {
 
     /// Current letters, oldest first.
     pub fn snapshot(&self) -> Vec<DeadLetter> {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .iter()
-            .cloned()
-            .collect()
+        self.inner.lock().iter().cloned().collect()
     }
 }
 

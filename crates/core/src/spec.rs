@@ -853,7 +853,7 @@ where
     G::Move: Send + Sync,
 {
     fn search(&self, game: &G, cancel: Option<&CancelToken>) -> SearchReport<G::Move> {
-        let started = std::time::Instant::now();
+        let started = crate::metrics::monotonic_now();
         let mut ctx = SearchCtx::new(&self.budget, cancel);
         let mut client_jobs = 0u64;
         let (score, sequence) = match &self.algorithm {

@@ -54,9 +54,10 @@ use crate::game::{Game, Score, Undo};
 use crate::rng::Rng;
 use crate::search::{PlayoutScratch, SearchResult};
 use crate::seeds::{tree_rollout_seed, tree_worker_seed};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// UCT tunables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -406,8 +407,8 @@ impl<M> TpNode<M> {
         }
     }
 
-    fn lock_body(&self) -> std::sync::MutexGuard<'_, TpBody<M>> {
-        self.body.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock_body(&self) -> parking_lot::MutexGuard<'_, TpBody<M>> {
+        self.body.lock()
     }
 }
 
@@ -643,8 +644,8 @@ impl<M: Clone> TpTree<M> {
     ) where
         G: Game<Move = M>,
     {
-        let _structure_guard = matches!(self.lock, LockStrategy::Global)
-            .then(|| self.structure.lock().unwrap_or_else(|e| e.into_inner()));
+        let _structure_guard =
+            matches!(self.lock, LockStrategy::Global).then(|| self.structure.lock());
         scr.path.push(self.root.clone());
         let mut node = self.root.clone();
         loop {
@@ -744,7 +745,7 @@ where
     G::Move: Send + Sync,
 {
     fn offer_best(&self, score: Score, seq: &mut Vec<G::Move>) {
-        let mut best = self.best.lock().unwrap_or_else(|e| e.into_inner());
+        let mut best = self.best.lock();
         if score > best.0 {
             best.0 = score;
             best.1 = std::mem::take(seq);
@@ -848,7 +849,7 @@ where
                 } else {
                     cloned_pos.take().expect("clone-path position")
                 };
-                let mut slab = slots[filled].lock().unwrap_or_else(|e| e.into_inner());
+                let mut slab = slots[filled].lock();
                 slab.pending = Some(PendingLeaf {
                     pos: leaf,
                     seq: std::mem::take(&mut scr.seq),
@@ -883,7 +884,7 @@ where
 
             // ---- back up in slot order ----
             for slab in &slots[..filled] {
-                let mut slab = slab.lock().unwrap_or_else(|e| e.into_inner());
+                let mut slab = slab.lock();
                 let mut pending = slab.pending.take().expect("slab slot was filled");
                 if let Some(slot_ctx) = slab.ctx.take() {
                     wctx.absorb(slot_ctx);
@@ -904,7 +905,7 @@ fn run_slab_slot<G>(slot: &Mutex<SlabSlot<G>>, root_seed: u64)
 where
     G: Game,
 {
-    let mut slab = slot.lock().unwrap_or_else(|e| e.into_inner());
+    let mut slab = slot.lock();
     let slab = &mut *slab;
     let Some(pending) = slab.pending.as_mut() else {
         return;
@@ -983,13 +984,13 @@ where
         } else {
             run.worker_inline(slot, &mut wctx);
         }
-        outs.lock().unwrap_or_else(|e| e.into_inner()).push(wctx);
+        outs.lock().push(wctx);
     });
 
-    for wctx in outs.into_inner().unwrap_or_else(|e| e.into_inner()) {
+    for wctx in outs.into_inner() {
         ctx.absorb(wctx);
     }
-    run.best.into_inner().unwrap_or_else(|e| e.into_inner())
+    run.best.into_inner()
 }
 
 // The unit tests keep exercising the deprecated free functions: they are

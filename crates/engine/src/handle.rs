@@ -13,8 +13,10 @@ pub(crate) enum ReplicaOutcome {
     Panicked,
 }
 use crate::scheduler::ReplicaPlan;
+use nmcs_core::metrics::monotonic_now;
 use nmcs_core::CancelToken;
-use std::sync::{Arc, Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::Instant;
 
 pub(crate) struct JobInner {
@@ -50,7 +52,7 @@ impl JobCore {
             spec,
             plans,
             cancel: CancelToken::new(),
-            submitted_at: Instant::now(),
+            submitted_at: monotonic_now(),
             inner: Mutex::new(JobInner {
                 state: JobState::Queued,
                 replicas_done: 0,
@@ -64,8 +66,8 @@ impl JobCore {
         })
     }
 
-    pub fn lock(&self) -> std::sync::MutexGuard<'_, JobInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    pub fn lock(&self) -> MutexGuard<'_, JobInner> {
+        self.inner.lock()
     }
 
     pub fn is_cancelled(&self) -> bool {
@@ -85,7 +87,7 @@ impl JobCore {
         let mut inner = self.lock();
         if inner.state == JobState::Queued {
             inner.state = JobState::Running;
-            inner.started_at = Some(Instant::now());
+            inner.started_at = Some(monotonic_now());
             true
         } else {
             false
@@ -157,7 +159,7 @@ impl JobCore {
                 inner.state = JobState::Completed;
                 metrics.completed_jobs.fetch_add(1, Ordering::Relaxed);
             }
-            inner.finished_at = Some(Instant::now());
+            inner.finished_at = Some(monotonic_now());
             drop(inner);
             self.done.notify_all();
         }
@@ -166,8 +168,10 @@ impl JobCore {
 
     /// Index and score of the best finished replica (ties: lowest
     /// replica index, matching the deterministic tie-break of the
-    /// paper's root process).
-    fn best_replica(inner: &JobInner) -> Option<usize> {
+    /// paper's root process). Carrying the score out alongside the
+    /// index keeps every caller free of re-indexing `results` (and of
+    /// the `unwrap` that used to imply).
+    fn best_replica(inner: &JobInner) -> Option<(usize, i64)> {
         let mut best: Option<(i64, usize)> = None;
         for (i, r) in inner.results.iter().enumerate() {
             if let Some(r) = r {
@@ -177,7 +181,7 @@ impl JobCore {
                 }
             }
         }
-        best.map(|(_, i)| i)
+        best.map(|(s, i)| (i, s))
     }
 
     pub fn progress(&self) -> Progress {
@@ -186,7 +190,7 @@ impl JobCore {
         // The same clock reads the metrics registry uses: submitted_at →
         // started_at is the queue wait, started_at → finished_at (or
         // now, while running) is the run time.
-        let now = Instant::now();
+        let now = monotonic_now();
         let queued_for = inner
             .started_at
             .unwrap_or(now)
@@ -205,8 +209,8 @@ impl JobCore {
             state: inner.state,
             replicas_total: self.spec.replicas,
             replicas_done: inner.replicas_done,
-            best_score: best.map(|i| inner.results[i].as_ref().unwrap().result.score),
-            best_replica: best,
+            best_score: best.map(|(_, score)| score),
+            best_replica: best.map(|(i, _)| i),
             work_units: inner.work_units,
             queued_for,
             running_for,
@@ -219,11 +223,11 @@ impl JobCore {
             job: self.id,
             name: self.spec.name.clone(),
             state: inner.state,
-            best: best.and_then(|i| inner.results[i].clone()),
+            best: best.and_then(|(i, _)| inner.results[i].clone()),
             replicas: inner.results.clone(),
             elapsed: inner
                 .finished_at
-                .unwrap_or_else(Instant::now)
+                .unwrap_or_else(monotonic_now)
                 .duration_since(self.submitted_at),
         }
     }
@@ -271,11 +275,7 @@ impl JobHandle {
     pub fn join(self) -> JobOutput {
         let mut inner = self.core.lock();
         while !inner.state.is_terminal() {
-            inner = self
-                .core
-                .done
-                .wait(inner)
-                .unwrap_or_else(|e| e.into_inner());
+            self.core.done.wait(&mut inner);
         }
         self.core.output(&inner)
     }

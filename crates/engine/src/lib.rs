@@ -360,7 +360,7 @@ impl Engine {
         let reg = &self.shared.registry;
         let mut stalled = Vec::new();
         {
-            let mut jobs = reg.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            let mut jobs = reg.jobs.lock();
             jobs.retain(|w| w.strong_count() > 0);
             for weak in jobs.iter() {
                 if let Some(job) = weak.upgrade() {

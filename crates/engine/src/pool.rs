@@ -31,9 +31,10 @@ use crate::queue::BoundedQueue;
 use crate::scheduler::InFlight;
 use nmcs_core::metrics::{metrics_enabled, DeadLetter, DeadLetterQueue, Histogram, TagHistograms};
 use nmcs_core::{Fnv1a, Interruption, NestedConfig, Searcher};
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 /// One schedulable unit: a single replica of a job.
@@ -96,7 +97,7 @@ impl Registry {
     /// Registers an admitted job for the stall scan, pruning dead
     /// entries opportunistically so the list stays O(live jobs).
     pub fn track(&self, job: &Arc<JobCore>) {
-        let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let mut jobs = self.jobs.lock();
         jobs.retain(|w| w.strong_count() > 0);
         jobs.push(Arc::downgrade(job));
     }
@@ -135,8 +136,8 @@ impl PoolShared {
         })
     }
 
-    fn local(&self, idx: usize) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
-        self.locals[idx].lock().unwrap_or_else(|e| e.into_inner())
+    fn local(&self, idx: usize) -> MutexGuard<'_, VecDeque<Task>> {
+        self.locals[idx].lock()
     }
 
     /// Work remains somewhere (injector or any local deque).

@@ -6,8 +6,8 @@
 //! [`BoundedQueue::try_push_all`] fails fast (all-or-nothing, so a
 //! multi-replica job is never half-admitted).
 
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Why a push was refused.
@@ -51,8 +51,8 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock()
     }
 
     /// Blocking push: waits while the queue is full (backpressure).
@@ -69,7 +69,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+            self.not_full.wait(&mut inner);
         }
     }
 
@@ -133,10 +133,7 @@ impl<T> BoundedQueue<T> {
         if inner.closed {
             return None;
         }
-        let (mut inner, _res) = self
-            .not_empty
-            .wait_timeout(inner, timeout)
-            .unwrap_or_else(|e| e.into_inner());
+        self.not_empty.wait_for(&mut inner, timeout);
         let item = inner.queue.pop_front();
         if item.is_some() {
             drop(inner);

@@ -27,8 +27,8 @@
 use crate::job::{Algorithm, JobSpec};
 use nmcs_core::MemoryPolicy;
 use parallel_nmcs::seeds::median_seed;
+use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::sync::Mutex;
 
 /// How one replica will run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,14 +52,11 @@ pub(crate) struct InFlight {
 
 impl InFlight {
     pub fn release(&self, signature: u64) {
-        self.set
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(&signature);
+        self.set.lock().remove(&signature);
     }
 
     pub fn len(&self) -> usize {
-        self.set.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.set.lock().len()
     }
 
     /// Plans every replica of `spec`, registering their signatures.
@@ -68,7 +65,7 @@ impl InFlight {
         // engine-wide lock so concurrent submitters do not serialise
         // behind each other's game logic.
         let game_digest = spec.game.state_digest();
-        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
+        let mut set = self.set.lock();
         let mut plans = Vec::with_capacity(spec.replicas);
         for r in 0..spec.replicas {
             let mut attempt = 0usize;

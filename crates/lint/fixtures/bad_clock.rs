@@ -1,0 +1,13 @@
+// lint-fixture: path=crates/core/src/driver.rs expect=clock-discipline
+//! Known-bad: raw clock reads outside the allowlisted modules.
+
+pub fn elapsed_ms(work: impl FnOnce()) -> u128 {
+    let t0 = std::time::Instant::now();
+    work();
+    t0.elapsed().as_millis()
+}
+
+pub fn wall_clock_stamp() -> u64 {
+    use std::time::SystemTime;
+    SystemTime::now().elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}

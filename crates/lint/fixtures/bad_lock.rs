@@ -1,0 +1,10 @@
+// lint-fixture: path=crates/engine/src/queue.rs expect=lock-discipline
+//! Known-bad: std locks bypass the vendored lock-order detector.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+pub struct Queue {
+    inner: std::sync::RwLock<Vec<u32>>,
+    gate: Arc<Mutex<bool>>,
+    cv: Condvar,
+}

@@ -1,0 +1,7 @@
+// lint-fixture: path=crates/engine/src/worker.rs expect=panic-discipline
+//! Known-bad: panicking extractors on an engine worker path.
+
+pub fn run(task: Task) -> Output {
+    let job = task.job.upgrade().unwrap();
+    job.result().expect("job must have completed")
+}

@@ -1,0 +1,15 @@
+// lint-fixture: path=crates/bench/src/service.rs expect=seed-discipline
+//! Known-bad: entropy sources and ad-hoc seed arithmetic.
+
+pub fn job_seed(root_seed: u64, i: u64) -> u64 {
+    root_seed.wrapping_add(i)
+}
+
+pub fn mixed_seed(seed: u64, tag: u64) -> u64 {
+    seed ^ tag
+}
+
+pub fn random_seed() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

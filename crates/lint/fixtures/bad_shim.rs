@@ -1,0 +1,8 @@
+// lint-fixture: path=crates/bench/src/calibrate.rs expect=deprecated-shim
+//! Known-bad: internal calls to the deprecated PR-3 free functions.
+
+pub fn measure(board: &Board, rng: &mut Rng) -> (u64, u64) {
+    let l1 = nested(board, 1, &NestedConfig::paper(), rng);
+    let mc = nmcs_core::uct(board, &UctConfig::default(), rng);
+    (l1.stats.work_units, mc.stats.work_units)
+}

@@ -1,0 +1,12 @@
+// lint-fixture: path=crates/parallel/src/leaf.rs expect=spawn-discipline
+//! Known-bad: ad-hoc threads outside the sanctioned pools.
+
+pub fn fan_out(jobs: Vec<Job>) -> Vec<std::thread::JoinHandle<()>> {
+    jobs.into_iter()
+        .map(|j| std::thread::spawn(move || j.run()))
+        .collect()
+}
+
+pub fn named_worker() {
+    let _ = thread::Builder::new().name("rogue".into());
+}

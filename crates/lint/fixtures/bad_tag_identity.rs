@@ -1,0 +1,18 @@
+// lint-fixture: path=crates/core/src/spec.rs expect=tag-identity
+//! Known-bad: `Beam::width` is a result-affecting knob that `tag()`
+//! never mentions — two differently-configured runs would collide on
+//! one identity.
+
+pub enum AlgorithmSpec {
+    Nested { level: u32, config: NestedConfig },
+    Beam { width: usize },
+}
+
+impl AlgorithmSpec {
+    pub fn tag(&self) -> String {
+        match self {
+            AlgorithmSpec::Nested { level, config } => format!("nested{level}-{config:?}"),
+            AlgorithmSpec::Beam { .. } => "beam".to_string(),
+        }
+    }
+}

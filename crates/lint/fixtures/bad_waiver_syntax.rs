@@ -1,0 +1,13 @@
+// lint-fixture: path=crates/core/src/driver.rs expect=clock-discipline,waiver-syntax
+//! Known-bad: waivers missing a reason or naming unknown rules are
+//! malformed — and malformed waivers silence nothing.
+
+// nmcs-lint: allow(clock-discipline)
+pub fn missing_reason() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+// nmcs-lint: allow(no-such-rule) reason="confidently wrong"
+pub fn unknown_rule() -> u64 {
+    7
+}

@@ -1,0 +1,27 @@
+// lint-fixture: path=crates/core/src/search.rs expect=clean
+//! Known-good: every trigger below sits in a string, a comment, or a
+//! `#[cfg(test)]` region, so no rule may fire.
+
+/* block comment mentioning Instant::now() and thread::spawn */
+// line comment: SystemTime, seed.wrapping_add(1), .unwrap()
+
+pub fn log_message() -> String {
+    let plain = "Instant::now() thread::spawn SystemTime".to_string();
+    let raw = r#"use std::sync::Mutex; x.unwrap() "quoted" "#.to_string();
+    let bytes = b"thread_rng OsRng";
+    format!("{plain}{raw}{}", bytes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let t = Instant::now();
+        let h = std::thread::spawn(move || t.elapsed());
+        h.join().unwrap();
+        let seed = 7u64;
+        let _ = seed.wrapping_add(1);
+    }
+}

@@ -1,0 +1,8 @@
+// lint-fixture: path=crates/core/src/driver.rs expect=stale-waiver
+//! Known-bad: the violation this waiver once excused is gone, so the
+//! waiver itself must now be reported.
+
+// nmcs-lint: allow(clock-discipline) reason="the clock read below was removed"
+pub fn no_clock_here() -> u64 {
+    42
+}

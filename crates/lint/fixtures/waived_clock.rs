@@ -1,0 +1,8 @@
+// lint-fixture: path=crates/core/src/driver.rs expect=clean
+//! Known-good: a finding covered by a well-formed waiver is silenced
+//! (and the waiver is consumed, so no stale-waiver either).
+
+pub fn stamp() -> std::time::Instant {
+    // nmcs-lint: allow(clock-discipline) reason="fixture demonstrating a sound waiver"
+    std::time::Instant::now()
+}

@@ -1,0 +1,403 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The rules in this crate match *token sequences*, so the lexer's one
+//! job is to never confuse code with non-code: string literals (plain,
+//! raw, byte), char literals, lifetimes, and both comment forms must
+//! come out as single tokens with their content quarantined. There is
+//! deliberately no attempt at full Rust grammar — no `syn` exists in
+//! the vendor set, and the rules need token shapes, not ASTs.
+//!
+//! Guarantees the proptests in `tests/lexer_props.rs` pin down:
+//!
+//! * lexing never panics on arbitrary input (garbage in, tokens out);
+//! * rule-relevant identifiers inside strings or comments never
+//!   surface as [`TokKind::Ident`];
+//! * line numbers are 1-based and monotonically non-decreasing.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, without the `r#`).
+    Ident(String),
+    /// A lifetime such as `'a` (content discarded).
+    Lifetime,
+    /// A numeric literal (value discarded).
+    Num,
+    /// String literal content — plain `"…"`, raw `r#"…"#`, or byte.
+    Str(String),
+    /// A char literal such as `'x'` or `'\n'` (content discarded).
+    Char,
+    /// Any single punctuation character.
+    Punct(char),
+    /// `// …` comment content (without the slashes).
+    LineComment(String),
+    /// `/* … */` comment content, nesting folded in.
+    BlockComment(String),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    /// Consumes a `// …` comment; the leading slashes are already gone.
+    fn line_comment(&mut self, line: u32) {
+        let mut content = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            content.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment(content), line);
+    }
+
+    /// Consumes a `/* … */` comment (nesting-aware); `/*` already gone.
+    fn block_comment(&mut self, line: u32) {
+        let mut content = String::new();
+        let mut depth = 1usize;
+        while let Some(c) = self.bump() {
+            if c == '*' && self.peek() == Some('/') {
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                content.push_str("*/");
+            } else if c == '/' && self.peek() == Some('*') {
+                self.bump();
+                depth += 1;
+                content.push_str("/*");
+            } else {
+                content.push(c);
+            }
+        }
+        // An unterminated comment swallows the rest of the file, which
+        // is exactly what rustc would reject anyway.
+        self.push(TokKind::BlockComment(content), line);
+    }
+
+    /// Consumes a `"…"` body with escapes; the opening quote is gone.
+    fn string_body(&mut self, line: u32) {
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // The escaped character never terminates the string,
+                    // so consume it blindly (covers \" and \\).
+                    if let Some(e) = self.bump() {
+                        content.push('\\');
+                        content.push(e);
+                    }
+                }
+                '"' => break,
+                _ => content.push(c),
+            }
+        }
+        self.push(TokKind::Str(content), line);
+    }
+
+    /// Consumes a raw string `r##"…"##` given the hash count; the
+    /// opening `r##"` is gone.
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        let mut content = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A candidate terminator: `"` followed by `hashes` #s.
+                let mut seen = 0usize;
+                while seen < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break 'outer;
+                }
+                content.push('"');
+                for _ in 0..seen {
+                    content.push('#');
+                }
+            } else {
+                content.push(c);
+            }
+        }
+        self.push(TokKind::Str(content), line);
+    }
+
+    /// Handles `'` — lifetime, or char literal.
+    fn quote(&mut self, line: u32) {
+        match self.peek() {
+            // `'a` with no closing quote right after the ident: lifetime.
+            Some(c) if is_ident_start(c) => {
+                // Look ahead: consume the ident, then decide by whether a
+                // `'` closes it ('x' is a char, 'xs in a pattern is a
+                // lifetime-ish label — and 'static has many chars).
+                let mut ident = String::new();
+                while let Some(c) = self.peek() {
+                    if is_ident_continue(c) {
+                        ident.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if ident.chars().count() == 1 && self.peek() == Some('\'') {
+                    self.bump();
+                    self.push(TokKind::Char, line);
+                } else {
+                    self.push(TokKind::Lifetime, line);
+                }
+            }
+            // Escape: definitely a char literal.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // The escaped character.
+                             // Unicode escapes have a {...} payload before the quote.
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, line);
+            }
+            // Any other single char then a quote: char literal.
+            Some(_) => {
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, line);
+            }
+            None => self.push(TokKind::Punct('\''), line),
+        }
+    }
+
+    /// Raw-prefix handling once an ident starting with `r`/`b`/`br` is
+    /// fully read: returns true if it consumed a literal.
+    fn try_raw_literal(&mut self, ident: &str, line: u32) -> bool {
+        let raw = matches!(ident, "r" | "br");
+        let plain_bytes = ident == "b";
+        if raw {
+            // r"..."  r#"..."#  (and br variants). Count hashes with a
+            // cloned lookahead and only commit when a quote follows —
+            // `r#ident` is a raw identifier, not a string.
+            let mut hashes = 0usize;
+            let mut look = self.chars.clone();
+            while look.peek() == Some(&'#') {
+                look.next();
+                hashes += 1;
+            }
+            if look.peek() == Some(&'"') {
+                for _ in 0..=hashes {
+                    self.bump(); // The #s and the opening quote.
+                }
+                self.raw_string_body(hashes, line);
+                return true;
+            }
+            // `r#ident`: strip the hash and lex the identifier normally.
+            if hashes >= 1 && self.peek() == Some('#') {
+                self.bump();
+                let mut name = String::new();
+                while let Some(c) = self.peek() {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Ident(name), line);
+                return true;
+            }
+            return false;
+        }
+        if plain_bytes {
+            if self.peek() == Some('"') {
+                self.bump();
+                self.string_body(line);
+                return true;
+            }
+            if self.peek() == Some('\'') {
+                self.bump();
+                self.quote(line);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            if c == '/' {
+                self.bump();
+                match self.peek() {
+                    Some('/') => {
+                        self.bump();
+                        self.line_comment(line);
+                    }
+                    Some('*') => {
+                        self.bump();
+                        self.block_comment(line);
+                    }
+                    _ => self.push(TokKind::Punct('/'), line),
+                }
+                continue;
+            }
+            if c == '"' {
+                self.bump();
+                self.string_body(line);
+                continue;
+            }
+            if c == '\'' {
+                self.bump();
+                self.quote(line);
+                continue;
+            }
+            if is_ident_start(c) {
+                let mut ident = String::new();
+                while let Some(c) = self.peek() {
+                    if is_ident_continue(c) {
+                        ident.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if matches!(ident.as_str(), "r" | "b" | "br") && self.try_raw_literal(&ident, line)
+                {
+                    continue;
+                }
+                self.push(TokKind::Ident(ident), line);
+                continue;
+            }
+            if c.is_ascii_digit() {
+                // Good enough for linting: one Num token per alnum run;
+                // `1.5` comes out as Num Punct('.') Num, which no rule
+                // cares about.
+                while let Some(c) = self.peek() {
+                    if is_ident_continue(c) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Num, line);
+                continue;
+            }
+            self.bump();
+            self.push(TokKind::Punct(c), line);
+        }
+        self.out
+    }
+}
+
+/// Lexes `src` into tokens. Never panics; unterminated literals or
+/// comments absorb the rest of the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().peekable(),
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_strings_and_comments_are_distinct() {
+        let toks = kinds(r#"let x = "Instant::now()"; // thread::spawn"#);
+        assert!(toks.contains(&TokKind::Ident("let".into())));
+        assert!(toks.contains(&TokKind::Str("Instant::now()".into())));
+        assert!(toks.contains(&TokKind::LineComment(" thread::spawn".into())));
+        assert!(!toks.contains(&TokKind::Ident("Instant".into())));
+        assert!(!toks.contains(&TokKind::Ident("spawn".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let s = r#"unwrap() "quoted""#; let r#type = 1;"##);
+        assert!(toks.contains(&TokKind::Str("unwrap() \"quoted\"".into())));
+        assert!(toks.contains(&TokKind::Ident("type".into())));
+        assert!(!toks.contains(&TokKind::Ident("unwrap".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|t| **t == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| **t == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(
+            toks,
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::BlockComment(" outer /* inner */ still ".into()),
+                TokKind::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_strings_quarantine_content() {
+        let toks = kinds(r#"let b = b"SystemTime"; let c = b'x';"#);
+        assert!(toks.contains(&TokKind::Str("SystemTime".into())));
+        assert!(toks.contains(&TokKind::Char));
+        assert!(!toks.contains(&TokKind::Ident("SystemTime".into())));
+    }
+}

@@ -1,0 +1,79 @@
+//! `nmcs-lint` CLI.
+//!
+//! ```text
+//! nmcs-lint [--root PATH] [--deny] [--list-rules]
+//! ```
+//!
+//! Advisory by default (exit 0 either way); `--deny` exits 1 when any
+//! unwaived finding remains — that is the mode CI and `tables --lint`
+//! run. Exit 2 means the invocation itself failed (bad flag, IO error).
+
+use nmcs_lint::{lint_workspace, rule_counts, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("nmcs-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<18} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: nmcs-lint [--root PATH] [--deny] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("nmcs-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("nmcs-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut unwaived = 0usize;
+    let mut waived = 0usize;
+    for f in &findings {
+        if f.waived {
+            waived += 1;
+        } else {
+            unwaived += 1;
+            println!("{f}");
+        }
+    }
+
+    if findings.is_empty() {
+        println!("nmcs-lint: clean (no findings, no waivers)");
+    } else {
+        println!("---");
+        for (rule, (open, excused)) in rule_counts(&findings) {
+            println!("{rule:<18} {open} unwaived, {excused} waived");
+        }
+        println!("total              {unwaived} unwaived, {waived} waived");
+    }
+
+    if deny && unwaived > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

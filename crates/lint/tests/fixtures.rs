@@ -1,0 +1,82 @@
+//! Drives the fixture corpus: every file in `fixtures/` declares, on
+//! its first line, the workspace path it impersonates and the exact set
+//! of rules it expects to trip:
+//!
+//! ```text
+//! // lint-fixture: path=crates/core/src/driver.rs expect=clock-discipline
+//! // lint-fixture: path=crates/core/src/search.rs expect=clean
+//! ```
+//!
+//! The harness asserts the *set equality* of unwaived rule ids — a
+//! fixture firing extra rules fails just as loudly as one firing none.
+
+use nmcs_lint::lint_source;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+struct Directive {
+    path: String,
+    expect: BTreeSet<String>,
+}
+
+fn parse_directive(name: &str, first_line: &str) -> Directive {
+    let rest = first_line
+        .strip_prefix("// lint-fixture:")
+        .unwrap_or_else(|| panic!("{name}: first line must be a `// lint-fixture:` directive"))
+        .trim();
+    let mut path = None;
+    let mut expect = None;
+    for field in rest.split_whitespace() {
+        if let Some(p) = field.strip_prefix("path=") {
+            path = Some(p.to_string());
+        } else if let Some(e) = field.strip_prefix("expect=") {
+            expect = Some(if e == "clean" {
+                BTreeSet::new()
+            } else {
+                e.split(',').map(str::to_string).collect()
+            });
+        } else {
+            panic!("{name}: unknown directive field `{field}`");
+        }
+    }
+    Directive {
+        path: path.unwrap_or_else(|| panic!("{name}: directive missing path=")),
+        expect: expect.unwrap_or_else(|| panic!("{name}: directive missing expect=")),
+    }
+}
+
+#[test]
+fn every_fixture_fires_exactly_its_declared_rules() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut seen = 0usize;
+    let mut bad = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixtures dir exists")
+        .map(|e| e.expect("readable fixture entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).expect("readable fixture");
+        let directive = parse_directive(&name, src.lines().next().unwrap_or(""));
+        let findings = lint_source(&directive.path, &src);
+        let fired: BTreeSet<String> = findings
+            .iter()
+            .filter(|f| !f.waived)
+            .map(|f| f.rule.to_string())
+            .collect();
+        assert_eq!(
+            fired, directive.expect,
+            "fixture {name} (as {}): findings were {findings:#?}",
+            directive.path
+        );
+        seen += 1;
+        if !directive.expect.is_empty() {
+            bad += 1;
+        }
+    }
+    // The corpus must keep covering both sides of every rule family.
+    assert!(seen >= 10, "fixture corpus shrank to {seen} files");
+    assert!(bad >= 7, "known-bad coverage shrank to {bad} fixtures");
+}

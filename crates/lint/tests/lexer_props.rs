@@ -1,0 +1,112 @@
+//! Property tests for the lexer — the foundation every rule stands on.
+//!
+//! The generator gives lexically adversarial soup: quote and comment
+//! delimiters, escapes, raw-string openers, newlines, and rule-relevant
+//! identifiers, concatenated in random orders. The lexer must survive
+//! anything (garbage in, tokens out) and must never let trigger text
+//! that sits inside a string or comment surface as an identifier.
+
+use nmcs_lint::lexer::{lex, TokKind};
+use nmcs_lint::lint_source;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Fragments chosen to collide: every delimiter the lexer special-cases,
+/// plus identifiers the rules match on.
+fn fragment() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("\"".to_string()),
+        Just("\\".to_string()),
+        Just("\\\"".to_string()),
+        Just("'".to_string()),
+        Just("'a".to_string()),
+        Just("//".to_string()),
+        Just("/*".to_string()),
+        Just("*/".to_string()),
+        Just("r#\"".to_string()),
+        Just("\"#".to_string()),
+        Just("r#type".to_string()),
+        Just("b\"bytes\"".to_string()),
+        Just("b'x'".to_string()),
+        Just("\n".to_string()),
+        Just(" ".to_string()),
+        Just("Instant::now()".to_string()),
+        Just("thread::spawn".to_string()),
+        Just(".unwrap()".to_string()),
+        Just("seed.wrapping_add(1)".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        (32u32..0x2500u32).prop_map(|c| char::from_u32(c).map(String::from).unwrap_or_default()),
+    ]
+    .boxed()
+}
+
+fn soup() -> BoxedStrategy<String> {
+    vec(fragment(), 0..48).prop_map(|v| v.concat()).boxed()
+}
+
+/// Lowercase payload that cannot terminate a string or comment.
+fn word() -> BoxedStrategy<String> {
+    // Exclusive upper bound: the vendored proptest only implements
+    // `Strategy` for `Range`, not `RangeInclusive` (`{` is `z` + 1).
+    vec((b'a'..b'{').prop_map(|b| b as char), 1..9)
+        .prop_map(|v| v.into_iter().collect())
+        .boxed()
+}
+
+proptest! {
+    /// Garbage in, tokens out — lexing arbitrary delimiter soup never
+    /// panics, and is deterministic.
+    #[test]
+    fn lexing_never_panics_and_is_deterministic(src in soup()) {
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Line numbers are 1-based and non-decreasing in token order.
+    #[test]
+    fn line_numbers_are_monotone(src in soup()) {
+        let toks = lex(&src);
+        let mut prev = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= prev, "line went backwards in {:?}", toks);
+            prev = t.line;
+        }
+    }
+
+    /// Trigger text quarantined inside a string literal and a line
+    /// comment never surfaces as identifiers, and no rule fires on it —
+    /// for any payload padding around the triggers.
+    #[test]
+    fn triggers_inside_strings_and_comments_never_fire(pad in word()) {
+        let src = format!(
+            "fn f() {{ let s = \"{pad} Instant::now() thread::spawn\"; }}\n\
+             // {pad} SystemTime seed.wrapping_add(1)\n"
+        );
+        for t in lex(&src) {
+            if let TokKind::Ident(id) = &t.kind {
+                prop_assert!(
+                    !matches!(id.as_str(), "Instant" | "thread" | "spawn" | "SystemTime"),
+                    "quarantined trigger leaked as ident `{}`", id
+                );
+            }
+        }
+        let findings = lint_source("crates/core/src/search.rs", &src);
+        prop_assert!(findings.is_empty(), "phantom findings: {:?}", findings);
+    }
+
+    /// The same triggers as live code *do* fire — the quarantine above
+    /// is not the lexer eating the tokens outright.
+    #[test]
+    fn triggers_outside_strings_still_fire(pad in word()) {
+        let src = format!(
+            "fn {pad}() {{ let t = Instant::now(); std::thread::spawn(|| t); }}\n"
+        );
+        let findings = lint_source("crates/core/src/search.rs", &src);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        prop_assert!(rules.contains(&"clock-discipline"), "{:?}", findings);
+        prop_assert!(rules.contains(&"spawn-discipline"), "{:?}", findings);
+    }
+}

@@ -1,0 +1,78 @@
+//! The linter's own acceptance gate, run as a test so `cargo test`
+//! alone catches a regression before CI's dedicated lint job does:
+//!
+//! * the whole workspace is clean (zero unwaived findings, and every
+//!   waiver carries a reason — malformed ones are findings);
+//! * the linter's own crate is clean under its own rules;
+//! * the rule catalog itself stays well-formed.
+
+use nmcs_lint::{lint_source, lint_workspace, rule_counts, RULES};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn the_workspace_is_clean_under_deny() {
+    let findings = lint_workspace(workspace_root()).expect("workspace walk");
+    let unwaived: Vec<_> = findings.iter().filter(|f| !f.waived).collect();
+    assert!(
+        unwaived.is_empty(),
+        "unwaived findings (fix them or waive with a reason):\n{}",
+        unwaived
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Waivers exist and are all consumed (a stale one would be an
+    // unwaived finding above); keep the count in sight so an explosion
+    // of exceptions needs a deliberate edit here.
+    let waived: usize = rule_counts(&findings).values().map(|(_, w)| w).sum();
+    assert!(
+        waived <= 8,
+        "waiver count crept up to {waived} — review them"
+    );
+}
+
+#[test]
+fn nmcs_lint_lints_itself_clean() {
+    let own = workspace_root().join("crates/lint/src");
+    for entry in std::fs::read_dir(&own).expect("own src dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let rel = format!(
+            "crates/lint/src/{}",
+            path.file_name().unwrap().to_string_lossy()
+        );
+        let src = std::fs::read_to_string(&path).expect("readable source");
+        let findings = lint_source(&rel, &src);
+        assert!(
+            findings.is_empty(),
+            "the linter violates its own rules in {rel}: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn rule_catalog_is_well_formed() {
+    let mut ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    let n = ids.len();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate rule ids in the catalog");
+    for r in RULES {
+        assert!(
+            r.id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+            "rule id `{}` is not kebab-case",
+            r.id
+        );
+        assert!(!r.summary.is_empty());
+    }
+}

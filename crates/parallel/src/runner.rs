@@ -13,8 +13,9 @@ use crate::protocol::{client_rank, median_rank, world_size, Msg, DISPATCHER, ROO
 use crate::seeds::{client_seed, median_seed};
 use crate::trace::{ParallelOutcome, RunMode};
 use cluster_rt::{Endpoint, Rank, Trace, World};
+use nmcs_core::metrics::monotonic_now;
 use nmcs_core::{nested_with, Game, NestedConfig, Rng, Score, SearchCtx, SearchSpec};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a threaded parallel search.
 #[derive(Debug, Clone)]
@@ -150,7 +151,7 @@ where
         (World::new(n), None)
     };
 
-    let start = Instant::now();
+    let start = monotonic_now();
     let mut handles = Vec::new();
 
     // ---- dispatcher ----
@@ -159,6 +160,7 @@ where
         .map(|i| client_rank(config.n_medians, i))
         .collect();
     let mut core = DispatcherCore::new(config.policy, client_ranks);
+    // nmcs-lint: allow(spawn-discipline) reason="the dispatcher is a cluster process of the paper's threaded reference runtime, not pool work"
     handles.push(std::thread::spawn(move || {
         loop {
             let env = disp_ep.recv();
@@ -193,6 +195,7 @@ where
         let mut ep = world.take_endpoint(client_rank(config.n_medians, i));
         let cfg = client_config.clone();
         let speed = config.client_speeds.as_ref().map_or(1.0, |s| s[i]);
+        // nmcs-lint: allow(spawn-discipline) reason="each client rank is a cluster process of the paper's threaded reference runtime, not pool work"
         handles.push(std::thread::spawn(move || {
             loop {
                 let env = ep.recv();
@@ -205,7 +208,7 @@ where
                         seed,
                         job,
                     } => {
-                        let t0 = Instant::now();
+                        let t0 = monotonic_now();
                         let mut ctx = SearchCtx::unbounded();
                         let (score, sequence) =
                             nested_with(&position, level, &cfg, &mut Rng::seeded(seed), &mut ctx);
@@ -241,6 +244,7 @@ where
     // ---- medians ----
     for m in 0..config.n_medians {
         let mut ep = world.take_endpoint(median_rank(m));
+        // nmcs-lint: allow(spawn-discipline) reason="each median rank is a cluster process of the paper's threaded reference runtime, not pool work"
         handles.push(std::thread::spawn(move || median_loop::<G>(&mut ep)));
     }
 

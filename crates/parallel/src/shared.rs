@@ -15,8 +15,9 @@
 use crate::seeds::median_seed;
 use crate::trace::{ParallelOutcome, RunMode};
 use crossbeam::channel::unbounded;
+use nmcs_core::metrics::monotonic_now;
 use nmcs_core::{nested_with, Game, NestedConfig, Rng, Score, SearchCtx};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration for [`par_nested`].
 #[derive(Debug, Clone)]
@@ -58,7 +59,7 @@ where
         ..NestedConfig::paper()
     };
 
-    let started = Instant::now();
+    let started = monotonic_now();
     let mut pos = game.clone();
     let mut sequence = Vec::new();
     let mut total_work = 0u64;

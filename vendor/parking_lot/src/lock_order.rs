@@ -1,0 +1,289 @@
+//! Runtime lock-order deadlock detector (lockdep-style).
+//!
+//! Every tracked acquisition appends a directed edge *currently held →
+//! being acquired* to a process-global lock-order graph. Before a
+//! blocking acquisition, the detector checks whether the new edge would
+//! close a cycle — the classic A→B / B→A inversion — and panics with
+//! **both** recorded acquisition backtraces instead of letting the run
+//! deadlock. This catches *potential* deadlocks even when the racing
+//! schedule happens not to interleave badly: two threads that ever take
+//! the same two locks in opposite orders are reported, whether or not
+//! they collided this run.
+//!
+//! Gating (the contract `vendor/parking_lot` tests assert):
+//!
+//! * **Release builds compile the detector out entirely** — the lock
+//!   types carry no id slot, acquisitions do no tracking, and
+//!   [`lock_order_enabled`] is a constant `false`.
+//! * **Debug builds keep it off by default.** It turns on only when the
+//!   `NMCS_LOCK_ORDER` environment variable is `1`/`true` at first use,
+//!   or programmatically via [`set_lock_order_enabled`] (the hook the
+//!   regression tests use).
+//!
+//! Design notes:
+//!
+//! * Lock ids are assigned lazily from a monotone counter on first
+//!   tracked acquisition and never reused, so edges recorded against a
+//!   dropped lock can never alias a new one — any reported cycle is a
+//!   genuine historical ordering inversion.
+//! * Only the edge *top-of-held-stack → new* is recorded. Deeper held
+//!   locks are reachable transitively (their edge to the current top
+//!   was recorded when the top was acquired), so cycle detection loses
+//!   nothing while the graph stays linear in the number of distinct
+//!   nesting pairs.
+//! * `try_lock` acquisitions are pushed on the held stack (they order
+//!   *later* acquisitions) but record no edge and run no cycle check
+//!   themselves: a try-lock cannot block, and flagging the inversion it
+//!   deliberately avoids would punish the correct mitigation.
+//! * Re-acquiring a mutex already held by the same thread is reported
+//!   immediately (with `std` mutexes that is a guaranteed deadlock).
+//!   RwLock self-acquisition is *not* flagged: shared re-reads are
+//!   legal, and the detector cannot see hold kinds after the fact.
+//! * A `Condvar` wait keeps the lock on the held stack: the wait
+//!   releases and reacquires the *same* lock under the *same* held set,
+//!   so no edge it could contribute is ever new.
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+const STATE_UNKNOWN: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Off / on / not-yet-read-from-env. The detector's own state uses raw
+/// std primitives throughout so tracked locks never re-enter it.
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNKNOWN);
+
+/// Monotone id source; 0 is reserved for "untracked".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Whether lock-order tracking is active. First call reads
+/// `NMCS_LOCK_ORDER` from the environment (`1` or `true` enables);
+/// afterwards the answer is a single relaxed load.
+pub fn lock_order_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => {
+            let on = std::env::var("NMCS_LOCK_ORDER")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false);
+            STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Programmatically enables or disables the detector (debug builds
+/// only; in release this module is compiled out and the stub is a
+/// no-op). Exposed for the inversion regression tests, which must not
+/// depend on the environment of the test runner.
+pub fn set_lock_order_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// What kind of lock is being acquired (self-relock is only a
+/// guaranteed deadlock for mutexes).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+/// RAII token for one tracked acquisition; popping the held stack on
+/// drop is what keeps the per-thread view consistent. `id == 0` means
+/// the acquisition happened while tracking was off.
+pub(crate) struct Held {
+    id: u64,
+}
+
+impl Drop for Held {
+    fn drop(&mut self) {
+        if self.id != 0 {
+            HELD.with(|h| {
+                let mut v = h.borrow_mut();
+                if let Some(pos) = v.iter().rposition(|&x| x == self.id) {
+                    v.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+thread_local! {
+    /// Lock ids currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One recorded acquisition site: the first time the owning edge was
+/// observed.
+struct EdgeSite {
+    thread: String,
+    backtrace: Backtrace,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// Adjacency: `adj[a]` holds every `b` such that some thread
+    /// acquired `b` while `a` was its most recent held lock.
+    adj: HashMap<u64, Vec<u64>>,
+    sites: HashMap<(u64, u64), EdgeSite>,
+}
+
+impl Graph {
+    /// Depth-first path from `from` to `to`, if one exists.
+    fn path(&self, from: u64, to: u64) -> Option<Vec<u64>> {
+        let mut stack = vec![vec![from]];
+        let mut visited = vec![from];
+        while let Some(path) = stack.pop() {
+            let last = *path.last().expect("path is never empty");
+            if last == to {
+                return Some(path);
+            }
+            if let Some(nexts) = self.adj.get(&last) {
+                for &n in nexts {
+                    if !visited.contains(&n) {
+                        visited.push(n);
+                        let mut p = path.clone();
+                        p.push(n);
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+/// The lock's stable id, assigned from the global counter on first use.
+fn id_of(cell: &AtomicU64) -> u64 {
+    let v = cell.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match cell.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(current) => current,
+    }
+}
+
+fn thread_label() -> String {
+    let t = std::thread::current();
+    t.name()
+        .map_or_else(|| format!("{:?}", t.id()), String::from)
+}
+
+/// Tracking for a *blocking* acquisition. Runs **before** the real lock
+/// call so an inversion is reported instead of deadlocking in it.
+/// Panics with both acquisition backtraces when the new edge closes a
+/// cycle, or on mutex self-relock.
+pub(crate) fn acquire(cell: &AtomicU64, kind: LockKind) -> Held {
+    if !lock_order_enabled() {
+        return Held { id: 0 };
+    }
+    let id = id_of(cell);
+    let (top, self_held) = HELD.with(|h| (h.borrow().last().copied(), h.borrow().contains(&id)));
+    if self_held && kind == LockKind::Mutex {
+        panic!(
+            "nmcs lock-order: thread '{}' is re-acquiring mutex #{id} it already holds \
+             (guaranteed deadlock)\ncurrent acquisition backtrace:\n{}",
+            thread_label(),
+            Backtrace::force_capture()
+        );
+    }
+    if let Some(a) = top {
+        if a != id {
+            check_and_record_edge(a, id);
+        }
+    }
+    HELD.with(|h| h.borrow_mut().push(id));
+    Held { id }
+}
+
+/// Tracking for a successful `try_lock`: held-stack only, no edge, no
+/// cycle check (see module docs).
+pub(crate) fn acquire_try(cell: &AtomicU64) -> Held {
+    if !lock_order_enabled() {
+        return Held { id: 0 };
+    }
+    let id = id_of(cell);
+    HELD.with(|h| h.borrow_mut().push(id));
+    Held { id }
+}
+
+/// Records edge `a → b`, first checking whether a recorded path
+/// `b ⇝ a` already exists — in which case the new edge closes an
+/// ordering cycle and the detector aborts with every involved stack.
+fn check_and_record_edge(a: u64, b: u64) {
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    if g.adj.get(&a).is_some_and(|v| v.contains(&b)) {
+        return; // Edge already validated once.
+    }
+    if let Some(path) = g.path(b, a) {
+        let mut report = format!(
+            "nmcs lock-order inversion (potential deadlock) detected:\n  thread '{}' is \
+             acquiring lock #{b} while holding lock #{a}, but the reverse ordering was \
+             recorded earlier:\n",
+            thread_label()
+        );
+        for pair in path.windows(2) {
+            let (x, y) = (pair[0], pair[1]);
+            report.push_str(&format!("    lock #{x} -> lock #{y}"));
+            if let Some(site) = g.sites.get(&(x, y)) {
+                report.push_str(&format!(
+                    " first acquired in this order by thread '{}':\n{}\n",
+                    site.thread, site.backtrace
+                ));
+            } else {
+                report.push('\n');
+            }
+        }
+        report.push_str(&format!(
+            "  current (#{a} -> #{b}) acquisition backtrace:\n{}\n  (lock ids are assigned \
+             in first-acquisition order; set RUST_BACKTRACE=1 for symbolised frames)",
+            Backtrace::force_capture()
+        ));
+        drop(g);
+        panic!("{report}");
+    }
+    g.adj.entry(a).or_default().push(b);
+    g.sites.insert(
+        (a, b),
+        EdgeSite {
+            thread: thread_label(),
+            backtrace: Backtrace::force_capture(),
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_unique() {
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        let ia = id_of(&a);
+        assert_eq!(id_of(&a), ia, "id must be stable");
+        assert_ne!(id_of(&b), ia, "distinct locks get distinct ids");
+    }
+
+    #[test]
+    fn graph_path_finds_transitive_routes() {
+        let mut g = Graph::default();
+        g.adj.insert(1, vec![2]);
+        g.adj.insert(2, vec![3]);
+        assert_eq!(g.path(1, 3), Some(vec![1, 2, 3]));
+        assert_eq!(g.path(3, 1), None);
+    }
+}
