@@ -30,6 +30,7 @@ struct Args {
     spec: Option<String>,
     game: String,
     lint: bool,
+    hot: bool,
     scale: Scale,
     seed: u64,
     out: PathBuf,
@@ -48,6 +49,7 @@ fn parse_args() -> Args {
         spec: None,
         game: "samegame".to_string(),
         lint: false,
+        hot: false,
         scale: Scale::Paper,
         seed: 2009,
         out: PathBuf::from("target/experiments"),
@@ -100,6 +102,10 @@ fn parse_args() -> Args {
                 args.lint = true;
                 args.all = false;
             }
+            "--hot" => {
+                args.hot = true;
+                args.all = false;
+            }
             "--game" => args.game = expect_val(&mut it, "--game"),
             "--scale" => {
                 args.scale = match expect_val(&mut it, "--scale").as_str() {
@@ -113,7 +119,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] [--tree] [--service] \
-                     [--lint] [--spec JSON [--game {}]] \
+                     [--lint [--hot]] [--spec JSON [--game {}]] \
                      [--scale paper|real] [--seed S] [--out DIR]",
                     nmcs_bench::STOCK_GAMES.join("|")
                 );
@@ -134,7 +140,51 @@ fn main() {
 
     // The invariant check needs no calibration and gates CI: print every
     // unwaived finding, summarise per rule, exit nonzero if any remain.
+    // `--hot` additionally renders every function the hot-path pass
+    // proved reachable from a `nmcs-lint: hot-entry` root, with its
+    // verdict and provenance chain.
     if args.lint {
+        if args.hot {
+            let (hot, hot_findings) = match nmcs_lint::hot_report(std::path::Path::new(".")) {
+                Ok(r) => r,
+                Err(e) => panic!("workspace walk failed (run from the repo root): {e}"),
+            };
+            let mut t = nmcs_bench::Table::new(
+                "Hot-path reachability (nmcs-lint --hot)",
+                &["function", "file:line", "verdict", "hot via"],
+            );
+            for f in &hot {
+                let in_fn = |x: &&nmcs_lint::Finding| {
+                    x.file == f.file && x.line >= f.line && x.line <= f.end_line
+                };
+                let open = hot_findings
+                    .iter()
+                    .filter(in_fn)
+                    .filter(|x| !x.waived)
+                    .count();
+                let waived = hot_findings
+                    .iter()
+                    .filter(in_fn)
+                    .filter(|x| x.waived)
+                    .count();
+                let verdict = match (open, waived) {
+                    (0, 0) => "clean".to_string(),
+                    (0, w) => format!("waived x{w}"),
+                    (o, _) => format!("DENY x{o}"),
+                };
+                t.row(&[
+                    f.name.clone(),
+                    format!("{}:{}", f.file, f.line),
+                    verdict,
+                    f.via.clone(),
+                ]);
+            }
+            println!("{}", t.render());
+            if hot_findings.iter().any(|x| !x.waived) {
+                std::process::exit(1);
+            }
+            return;
+        }
         let findings = match nmcs_lint::lint_workspace(std::path::Path::new(".")) {
             Ok(f) => f,
             Err(e) => panic!("workspace walk failed (run from the repo root): {e}"),
@@ -154,6 +204,15 @@ fn main() {
             t.row(&[rule.to_string(), open.to_string(), excused.to_string()]);
         }
         println!("{}", t.render());
+        // Persist the machine-readable report CI consumes — the same
+        // serialisation `nmcs-lint --format json` prints.
+        let json = nmcs_lint::findings_to_json(&findings);
+        if std::fs::create_dir_all(&args.out).is_ok() {
+            let path = args.out.join("lint_findings.json");
+            if std::fs::write(&path, json).is_ok() {
+                eprintln!("wrote {}", path.display());
+            }
+        }
         if unwaived > 0 {
             std::process::exit(1);
         }

@@ -190,6 +190,7 @@ impl SearchCtx {
             self.poll = self.poll.saturating_sub(1);
             if self.poll == 0 {
                 self.poll = DEADLINE_STRIDE;
+                // nmcs-lint: allow(hot-path) reason="strided deadline poll: one clock read per DEADLINE_STRIDE playout steps is the documented budget contract"
                 if Instant::now() >= deadline {
                     self.interrupted = Some(Interruption::Deadline);
                     // Let sibling workers see the trip without waiting

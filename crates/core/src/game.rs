@@ -38,6 +38,7 @@ impl<G> Undo<G> {
     /// A token carrying a full pre-move snapshot (the fallback path).
     pub fn snapshot(state: G) -> Self {
         Undo {
+            // nmcs-lint: allow(hot-path) reason="the snapshot token exists to box a full state copy; fast-path games return Undo::internal and never reach it"
             snapshot: Some(Box::new(state)),
         }
     }
@@ -151,6 +152,7 @@ pub trait Game: Clone {
     /// can reuse one buffer across an entire search without sprinkling
     /// `clear()` calls, and so cached-candidate games have a single place
     /// to shortcut.
+    // nmcs-lint: hot-entry
     fn legal_moves_into(&self, out: &mut Vec<Self::Move>) {
         out.clear();
         self.legal_moves(out);

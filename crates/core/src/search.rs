@@ -64,6 +64,7 @@ impl<G: Game> PlayoutScratch<G> {
     ///
     /// Budget/cancellation polls go through `ctx` — one check per playout
     /// move, the shared choke point every backend's playouts pass through.
+    // nmcs-lint: hot-entry
     pub fn run(
         &mut self,
         game: &mut G,
@@ -102,6 +103,7 @@ impl<G: Game> PlayoutScratch<G> {
     ///
     /// Only worthwhile on games where [`Game::supports_undo`] is true:
     /// the fallback snapshot `apply` would pay one full clone per move.
+    // nmcs-lint: hot-entry
     pub fn run_undo(
         &mut self,
         game: &mut G,
@@ -365,6 +367,7 @@ pub fn nested_with<G: Game>(
 /// and `undo`; the memorised-sequence advance applies with a token that
 /// the final unwind pops, so `pos` is returned to the caller exactly as
 /// it came in.
+// nmcs-lint: hot-entry
 fn nested_scratch<G: Game>(
     pos: &mut G,
     level: u32,
@@ -377,6 +380,7 @@ fn nested_scratch<G: Game>(
     let mut bufs = std::mem::take(&mut scratch.levels[level as usize - 1]);
     // `best_seq[..played]` is the prefix already played by this call;
     // `best_seq[played..]` is the memorised best continuation.
+    // nmcs-lint: allow(hot-path) reason="the returned best-sequence buffer: one empty Vec per nested call (no allocation until moves land), handed to the caller as the result"
     let mut best_seq: Vec<G::Move> = Vec::new();
     let mut played = 0usize;
     let mut best_score = Score::MIN;

@@ -400,7 +400,9 @@ impl<M> TpNode<M> {
             mv,
             stats: TpStats::new(),
             body: Mutex::new(TpBody {
+                // nmcs-lint: allow(hot-path) reason="node construction at expansion: the UCT tree grows by design, bounded by the node budget, not per playout step"
                 children: Vec::new(),
+                // nmcs-lint: allow(hot-path) reason="node construction at expansion: the UCT tree grows by design, bounded by the node budget, not per playout step"
                 unexpanded: Vec::new(),
                 expanded: false,
             }),
@@ -408,6 +410,7 @@ impl<M> TpNode<M> {
     }
 
     fn lock_body(&self) -> parking_lot::MutexGuard<'_, TpBody<M>> {
+        // nmcs-lint: allow(hot-path) reason="per-node parking_lot mutex is the tree-parallel sharing design (PR 5); playouts proper never hold it"
         self.body.lock()
     }
 }
@@ -635,6 +638,7 @@ impl<M: Clone> TpTree<M> {
     /// non-root node on the path in-flight; the matching decrement
     /// happens in [`tp_backprop`]. Rollouts always run *after* this
     /// returns, outside every structural lock.
+    // nmcs-lint: hot-entry
     fn descend<G>(
         &self,
         pos: &mut G,
@@ -644,8 +648,9 @@ impl<M: Clone> TpTree<M> {
     ) where
         G: Game<Move = M>,
     {
-        let _structure_guard =
-            matches!(self.lock, LockStrategy::Global).then(|| self.structure.lock());
+        let _structure_guard = matches!(self.lock, LockStrategy::Global)
+            // nmcs-lint: allow(hot-path) reason="opt-in Global lock strategy (the paper's single-mutex baseline) measured against the sharded default; not on the default path"
+            .then(|| self.structure.lock());
         scr.path.push(self.root.clone());
         let mut node = self.root.clone();
         loop {

@@ -398,9 +398,16 @@ impl SameGame {
                     }
                 }
             }
-            self.cols.retain(|c| !c.is_empty());
-            while self.cols.len() < self.width {
-                self.cols.push(Vec::new());
+            // Stable partition: surviving columns slide left in order,
+            // emptied columns become the trailing pads with their
+            // buffers (and capacity) intact — the collapse neither
+            // drops nor creates a single Vec.
+            let mut write = 0;
+            for read in 0..self.cols.len() {
+                if !self.cols[read].is_empty() {
+                    self.cols.swap(read, write);
+                    write += 1;
+                }
             }
             scratch.members = members;
             n
@@ -471,6 +478,7 @@ impl Game for SameGame {
         true
     }
 
+    // nmcs-lint: hot-entry
     fn apply(&mut self, mv: &Tap) -> Undo<Self> {
         let tiles_start = self.undo_tiles.len() as u32;
         let cols_start = self.undo_cols.len() as u32;
@@ -489,22 +497,24 @@ impl Game for SameGame {
         Undo::internal()
     }
 
+    // nmcs-lint: hot-entry
     fn undo(&mut self, token: Undo<Self>) {
         debug_assert!(token.is_internal());
         let frame = self.undo_frames.pop().expect("undo without apply");
 
-        // 1. Reverse the column collapse: drop pad columns from the right
-        //    end, then re-open the emptied columns at their pre-collapse
-        //    indices (ascending inserts hit the recorded absolute
-        //    positions exactly).
+        // 1. Reverse the column collapse: re-open the emptied columns at
+        //    their pre-collapse indices (ascending inserts hit the
+        //    recorded absolute positions exactly).
+        //    Each re-opened column recycles a pad popped from the right
+        //    end (pads are interchangeable empty columns, and ascending
+        //    re-open indices keep the remaining pads trailing), so the
+        //    unwind allocates nothing.
         let cols_start = frame.cols_start as usize;
-        for _ in cols_start..self.undo_cols.len() {
-            let padded = self.cols.pop().expect("collapse keeps the width");
-            debug_assert!(padded.is_empty());
-        }
         for i in cols_start..self.undo_cols.len() {
             let x = self.undo_cols[i] as usize;
-            self.cols.insert(x, Vec::new());
+            let pad = self.cols.pop().expect("collapse keeps the width");
+            debug_assert!(pad.is_empty());
+            self.cols.insert(x, pad);
         }
         self.undo_cols.truncate(cols_start);
 

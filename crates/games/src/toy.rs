@@ -91,11 +91,13 @@ impl Game for SumGame {
         true
     }
 
+    // nmcs-lint: hot-entry
     fn apply(&mut self, mv: &u8) -> Undo<Self> {
         self.play(mv);
         Undo::internal()
     }
 
+    // nmcs-lint: hot-entry
     fn undo(&mut self, token: Undo<Self>) {
         debug_assert!(token.is_internal());
         let mv = self.taken.pop().expect("undo without apply");
@@ -172,11 +174,13 @@ impl Game for NeedleLadder {
         true
     }
 
+    // nmcs-lint: hot-entry
     fn apply(&mut self, mv: &u8) -> Undo<Self> {
         self.play(mv);
         Undo::internal()
     }
 
+    // nmcs-lint: hot-entry
     fn undo(&mut self, token: Undo<Self>) {
         debug_assert!(token.is_internal());
         self.taken.pop().expect("undo without apply");

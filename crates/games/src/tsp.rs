@@ -7,6 +7,14 @@
 //! tour length in integer micro-units (NMCS maximises).
 
 use nmcs_core::{CodedGame, Game, Rng, Score, Undo};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Candidate scratch for neighbourhood-pruned move generation —
+    /// reused across calls so the playout path stays allocation-free
+    /// once the buffer has grown to the instance size.
+    static CANDS: RefCell<Vec<(i64, usize)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A Euclidean TSP instance (cities on the unit square, scaled to integer
 /// coordinates so all arithmetic is exact).
@@ -118,14 +126,13 @@ impl Game for TspGame {
         let here = *self.tour.last().unwrap();
         match self.neighbourhood {
             None => out.extend(self.unvisited().map(|c| c as u16)),
-            Some(k) => {
-                let mut cands: Vec<(i64, usize)> = self
-                    .unvisited()
-                    .map(|c| (self.instance.dist(here, c), c))
-                    .collect();
+            Some(k) => CANDS.with(|cell| {
+                let mut cands = cell.borrow_mut();
+                cands.clear();
+                cands.extend(self.unvisited().map(|c| (self.instance.dist(here, c), c)));
                 cands.sort_unstable();
-                out.extend(cands.into_iter().take(k.max(1)).map(|(_, c)| c as u16));
-            }
+                out.extend(cands.iter().take(k.max(1)).map(|&(_, c)| c as u16));
+            }),
         }
     }
 
@@ -162,11 +169,13 @@ impl Game for TspGame {
         true
     }
 
+    // nmcs-lint: hot-entry
     fn apply(&mut self, mv: &u16) -> Undo<Self> {
         self.play(mv);
         Undo::internal()
     }
 
+    // nmcs-lint: hot-entry
     fn undo(&mut self, token: Undo<Self>) {
         debug_assert!(token.is_internal());
         let city = self.tour.pop().expect("undo without apply");

@@ -1,0 +1,12 @@
+// lint-fixture: path=crates/core/src/search.rs expect=hot-path
+//! Known-bad: heap allocation directly inside a declared hot-path
+//! root — the exact bug class the rule exists for.
+
+// nmcs-lint: hot-entry
+pub fn rollout(moves: &mut Vec<u32>) -> usize {
+    let mut played: Vec<u32> = Vec::new();
+    while let Some(top) = moves.pop() {
+        played.push(top);
+    }
+    played.len()
+}

@@ -1,0 +1,14 @@
+// lint-fixture: path=crates/core/src/search.rs expect=hot-path
+//! Known-bad: the hot root itself is clean, but a helper it calls
+//! allocates — reachability must carry the taint through the call
+//! graph, and the finding lands in the callee.
+
+// nmcs-lint: hot-entry
+pub fn rollout(moves: &mut Vec<u32>) -> usize {
+    step(moves)
+}
+
+fn step(moves: &mut Vec<u32>) -> usize {
+    let label = format!("{} moves", moves.len());
+    label.len()
+}

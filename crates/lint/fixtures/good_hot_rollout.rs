@@ -1,0 +1,13 @@
+// lint-fixture: path=crates/core/src/search.rs expect=clean
+//! Known-good: an allocation-free hot rollout — in-place mutation,
+//! indexing, and integer arithmetic only; nothing for the hot-path
+//! pass to object to.
+
+// nmcs-lint: hot-entry
+pub fn rollout(moves: &mut Vec<u32>) -> u64 {
+    let mut acc = 0u64;
+    while let Some(top) = moves.pop() {
+        acc = acc.wrapping_mul(31).wrapping_add(top as u64);
+    }
+    acc
+}

@@ -1,0 +1,10 @@
+// lint-fixture: path=crates/core/src/search.rs expect=clean
+//! Known-good: a hot-path finding silenced by a well-formed, reasoned
+//! waiver (and the waiver is consumed, so no stale-waiver either).
+
+// nmcs-lint: hot-entry
+pub fn rollout(out: &mut Vec<u32>) {
+    // nmcs-lint: allow(hot-path) reason="fixture demonstrating a reasoned hot-path waiver"
+    let scratch: Vec<u32> = Vec::with_capacity(4);
+    out.push(scratch.capacity() as u32);
+}

@@ -22,9 +22,12 @@
 //! * **Tests are exempt.** `#[cfg(test)]` regions and test-context
 //!   paths may spawn, unwrap, and read clocks freely.
 
+pub mod hotpath;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
+pub use hotpath::HotFnInfo;
 use lexer::{lex, TokKind, Token};
 use rules::FileCtx;
 pub use rules::{is_waivable_rule, RuleInfo, RULES};
@@ -70,7 +73,7 @@ struct Waiver {
 
 /// Path-level test context: anything under a test/bench/example/fixture
 /// directory is allowed to break the rules.
-fn is_test_path(rel: &str) -> bool {
+pub(crate) fn is_test_path(rel: &str) -> bool {
     rel.split('/')
         .any(|seg| matches!(seg, "tests" | "benches" | "examples" | "fixtures"))
 }
@@ -94,7 +97,7 @@ fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
 /// Conservative by construction: an attribute whose argument list
 /// mentions `not` anywhere (e.g. `#[cfg(not(test))]`) is *not* treated
 /// as a test gate, so release-only code stays under the rules.
-fn test_regions(toks: &[Token]) -> Vec<bool> {
+pub(crate) fn test_regions(toks: &[Token]) -> Vec<bool> {
     let mut flags = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -208,6 +211,11 @@ fn parse_waivers(all_toks: &[Token], rel: &str, findings: &mut Vec<Finding>) -> 
             continue;
         };
         let rest = rest.trim_start();
+        // `nmcs-lint: hot-entry` is the hot-path pass's entry-point
+        // annotation (see `parser::HOT_ENTRY_MARKER`), not a waiver.
+        if rest.starts_with(parser::HOT_ENTRY_MARKER) {
+            continue;
+        }
         let parsed = rest
             .strip_prefix("allow(")
             .and_then(|r| r.split_once(')'))
@@ -261,11 +269,22 @@ fn parse_waivers(all_toks: &[Token], rel: &str, findings: &mut Vec<Finding>) -> 
     waivers
 }
 
-/// Lints one file's source. `rel` is the workspace-relative path with
-/// forward slashes; rules use it for allowlists and test context.
-pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+/// One file mid-lint: rule findings gathered, waivers not yet applied.
+/// Cross-file passes (hot-path) append their findings between the two
+/// phases so waivers and stale-waiver detection see the full set.
+struct FileAnalysis {
+    rel: String,
+    all_toks: Vec<Token>,
+    findings: Vec<Finding>,
+    parsed: parser::ParsedFile,
+}
+
+/// Phase 1: lex, run the per-file token rules, and parse items for the
+/// call-graph pass.
+fn analyze_source(rel: &str, src: &str) -> FileAnalysis {
     let all_toks = lex(src);
-    // Rules see only significant tokens; comments carry waivers.
+    // Rules see only significant tokens; comments carry waivers and
+    // hot-entry annotations.
     let toks: Vec<Token> = all_toks
         .iter()
         .filter(|t| !matches!(t.kind, TokKind::LineComment(_) | TokKind::BlockComment(_)))
@@ -278,13 +297,38 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
         in_test: &in_test,
         is_test_path: is_test_path(rel),
     };
-    let mut findings = rules::run_all(&ctx);
+    let findings = rules::run_all(&ctx);
+    let hot_lines = parser::hot_entry_lines(&all_toks);
+    let parsed = parser::parse_file(rel, &toks, &in_test, &hot_lines, ctx.is_test_path);
+    FileAnalysis {
+        rel: rel.to_string(),
+        all_toks,
+        findings,
+        parsed,
+    }
+}
+
+/// Phase 2: waiver application and stale-waiver detection over the full
+/// finding set for one file.
+///
+/// `stale_hot_ok`: in single-file mode a `hot-path` waiver may be
+/// justified by an entry point in *another* file (e.g. the waived clock
+/// read in `ctx.rs` is hot via `search.rs`), so an unmatched hot-path
+/// waiver only counts as stale when the file declares its own entries
+/// or the whole workspace was analysed.
+fn apply_waivers(fa: FileAnalysis, stale_hot_ok: bool) -> Vec<Finding> {
+    let FileAnalysis {
+        rel,
+        all_toks,
+        mut findings,
+        ..
+    } = fa;
     // Test-context paths carry no findings, so a waiver there could
     // only ever be stale noise — the machinery skips them entirely.
-    let mut waivers = if ctx.is_test_path {
+    let mut waivers = if is_test_path(&rel) {
         Vec::new()
     } else {
-        parse_waivers(&all_toks, rel, &mut findings)
+        parse_waivers(&all_toks, &rel, &mut findings)
     };
 
     // A waiver on line W covers matching findings on W (trailing
@@ -301,7 +345,7 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
         }
     }
     for w in &waivers {
-        if !w.used {
+        if !w.used && (w.rule != "hot-path" || stale_hot_ok) {
             findings.push(Finding {
                 rule: "stale-waiver",
                 file: rel.to_string(),
@@ -317,6 +361,22 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
     }
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
+}
+
+/// Lints one file's source. `rel` is the workspace-relative path with
+/// forward slashes; rules use it for allowlists and test context.
+///
+/// The hot-path pass runs over this file alone: entry annotations and
+/// their reachable callees are analysed within the file, which is the
+/// whole story for fixtures and self-contained modules. Workspace-wide
+/// reachability needs [`lint_workspace`].
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let mut fa = analyze_source(rel, src);
+    let files = std::slice::from_ref(&fa.parsed);
+    let (hot_findings, _) = hotpath::analyze(files);
+    let has_local_entries = fa.parsed.fns.iter().any(|f| f.hot_entry);
+    fa.findings.extend(hot_findings);
+    apply_waivers(fa, has_local_entries)
 }
 
 /// Directories the walker never descends into: build output, the
@@ -347,17 +407,113 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> 
     Ok(())
 }
 
-/// Lints every first-party `.rs` file under `root` in sorted order.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+/// Reads every first-party `.rs` file under `root` in sorted order,
+/// returning `(workspace-relative path, source)` pairs.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs(root, root, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
-    for rel in files {
-        let src = std::fs::read_to_string(root.join(&rel))?;
-        findings.extend(lint_source(&rel, &src));
+    files
+        .into_iter()
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(&rel))?;
+            Ok((rel, src))
+        })
+        .collect()
+}
+
+/// Workspace-mode core: per-file rules, then the cross-file hot-path
+/// pass, then waivers — so a waiver can cover a finding whose cause
+/// (a hot entry point) lives in another file. Also returns the
+/// hot-reachable function report.
+fn lint_sources_full(sources: &[(String, String)]) -> (Vec<Finding>, Vec<HotFnInfo>) {
+    let mut analyses: Vec<FileAnalysis> = sources
+        .iter()
+        .map(|(rel, src)| analyze_source(rel, src))
+        .collect();
+    let parsed: Vec<parser::ParsedFile> = analyses.iter().map(|fa| fa.parsed.clone()).collect();
+    let (hot_findings, report) = hotpath::analyze(&parsed);
+    for f in hot_findings {
+        if let Some(fa) = analyses.iter_mut().find(|fa| fa.rel == f.file) {
+            fa.findings.push(f);
+        }
     }
-    Ok(findings)
+    let mut findings: Vec<Finding> = Vec::new();
+    for fa in analyses {
+        findings.extend(apply_waivers(fa, true));
+    }
+    // The entry registry must be intact whenever the whole workspace is
+    // on the table; these are unwaivable by construction (no source
+    // line to attach a waiver to).
+    findings.extend(hotpath::required_entry_findings(&parsed));
+    (findings, report)
+}
+
+/// Lints a pre-read set of workspace sources (see [`workspace_sources`]).
+pub fn lint_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    lint_sources_full(sources).0
+}
+
+/// Lints every first-party `.rs` file under `root` in sorted order,
+/// including the workspace-wide hot-path reachability pass.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(lint_sources(&workspace_sources(root)?))
+}
+
+/// The hot-path report for `tables --lint --hot`: every hot-reachable
+/// function with its provenance chain and per-function verdict
+/// (unwaived/waived hot-path finding counts, resolved against the
+/// in-source waivers).
+pub fn hot_report(root: &Path) -> io::Result<(Vec<HotFnInfo>, Vec<Finding>)> {
+    let sources = workspace_sources(root)?;
+    let (findings, report) = lint_sources_full(&sources);
+    let hot: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| f.rule == "hot-path")
+        .collect();
+    Ok((report, hot))
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialises findings as a JSON array of
+/// `{"file","line","rule","waived","message"}` objects — the one
+/// machine-readable shape shared by `nmcs-lint --format json` and
+/// `tables --lint`, so CI and the report tool cannot drift apart.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"file\":\"");
+        json_escape(&f.file, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"rule\":\"");
+        json_escape(f.rule, &mut out);
+        out.push_str("\",\"waived\":");
+        out.push_str(if f.waived { "true" } else { "false" });
+        out.push_str(",\"message\":\"");
+        json_escape(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str("\n]");
+    out
 }
 
 /// Per-rule `(unwaived, waived)` counts, sorted by rule id.

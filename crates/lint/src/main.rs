@@ -1,20 +1,24 @@
 //! `nmcs-lint` CLI.
 //!
 //! ```text
-//! nmcs-lint [--root PATH] [--deny] [--list-rules]
+//! nmcs-lint [--root PATH] [--deny] [--list-rules] [--format text|json]
 //! ```
 //!
 //! Advisory by default (exit 0 either way); `--deny` exits 1 when any
 //! unwaived finding remains — that is the mode CI and `tables --lint`
-//! run. Exit 2 means the invocation itself failed (bad flag, IO error).
+//! run. `--format json` prints every finding (waived included) as the
+//! machine-readable array from [`nmcs_lint::findings_to_json`], the
+//! same serialisation `tables --lint` consumes. Exit 2 means the
+//! invocation itself failed (bad flag, IO error).
 
-use nmcs_lint::{lint_workspace, rule_counts, RULES};
+use nmcs_lint::{findings_to_json, lint_workspace, rule_counts, RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,6 +30,17 @@ fn main() -> ExitCode {
                 }
             },
             "--deny" => deny = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "nmcs-lint: --format requires `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => {
                 for r in RULES {
                     println!("{:<18} {}", r.id, r.summary);
@@ -33,7 +48,10 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: nmcs-lint [--root PATH] [--deny] [--list-rules]");
+                println!(
+                    "usage: nmcs-lint [--root PATH] [--deny] [--list-rules] \
+                     [--format text|json]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -50,14 +68,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let unwaived = findings.iter().filter(|f| !f.waived).count();
 
-    let mut unwaived = 0usize;
-    let mut waived = 0usize;
+    if json {
+        println!("{}", findings_to_json(&findings));
+        if deny && unwaived > 0 {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let waived = findings.len() - unwaived;
     for f in &findings {
-        if f.waived {
-            waived += 1;
-        } else {
-            unwaived += 1;
+        if !f.waived {
             println!("{f}");
         }
     }

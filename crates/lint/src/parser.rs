@@ -1,0 +1,1009 @@
+//! A lightweight item-level parser on top of [`crate::lexer`], just deep
+//! enough for call-graph linting: `fn` items (with their `impl`/`trait`
+//! owner and parameter types), call sites, macro invocations, and
+//! `struct`/`enum` declarations (with `Copy`-derive detection).
+//!
+//! There is deliberately no `syn` in the vendor set, and none is needed:
+//! the hot-path pass (see [`crate::hotpath`]) wants *names and shapes*,
+//! not a typed AST. The parser is a single forward walk over the
+//! comment-stripped token stream with balanced-bracket skipping; like the
+//! lexer it must never panic on arbitrary input (pinned by
+//! `tests/parser_props.rs`), so every lookup is bounds-checked and every
+//! loop makes forward progress.
+//!
+//! What it extracts per function:
+//!
+//! * owner: the `impl` self type (last path ident before `{`, after `for`
+//!   when present) or the enclosing `trait` name for default bodies, plus
+//!   the trait being implemented when there is one;
+//! * parameters (`name: Type`, head type ident only) and simple local
+//!   bindings (`let x = Type::…` / `let x: Type = …`), used by the
+//!   hot-path pass to type method receivers;
+//! * call sites: free `foo(…)`, qualified `Path::foo(…)` (including the
+//!   `<T as Trait>::foo(…)` shape), and method `.foo(…)` with the
+//!   receiver ident when it is a plain variable or `self.field`;
+//! * macro invocations `name!(…)` — except `debug_assert*!`, whose whole
+//!   argument group is skipped because it does not exist in release
+//!   builds and therefore cannot violate a hot-path contract;
+//! * the `// nmcs-lint: hot-entry` marker on the line of (or directly
+//!   above) a `fn`, which declares that function a hot-path root.
+
+use crate::lexer::{TokKind, Token};
+
+/// One `name: Type` function parameter (head type ident only; `&mut
+/// Vec<G>` records `Vec`, `&G` records `G`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    pub name: String,
+    pub ty: String,
+}
+
+/// The shape of one call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `foo(…)` with no path qualifier or receiver.
+    Free { name: String },
+    /// `Qual::foo(…)` (only the last two path segments are kept; the
+    /// `<T as Trait>::foo` shape records the trait as the qualifier).
+    Qualified { qual: String, name: String },
+    /// `recv.foo(…)`. `recv` is the ident directly before the dot when
+    /// there is one; `recv_self_field` marks the `self.field.foo(…)`
+    /// shape so the receiver can be typed from the owner's field list.
+    Method {
+        name: String,
+        recv: Option<String>,
+        recv_self_field: bool,
+    },
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    pub callee: Callee,
+    pub line: u32,
+}
+
+/// One macro invocation (`name!…`) inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroUse {
+    pub name: String,
+    pub line: u32,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// `impl` self type, or the trait name for trait default bodies.
+    pub qual: Option<String>,
+    /// The trait being implemented (also set for trait default bodies).
+    pub trait_name: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the body's closing brace (== `line` for bodiless items).
+    pub end_line: u32,
+    /// Declared a hot-path root via `// nmcs-lint: hot-entry`.
+    pub hot_entry: bool,
+    /// Inside a `#[cfg(test)]` region or a test-context file.
+    pub in_test: bool,
+    pub params: Vec<Param>,
+    /// Simple `let` bindings with an inferable head type.
+    pub lets: Vec<(String, String)>,
+    pub calls: Vec<Call>,
+    pub macros: Vec<MacroUse>,
+}
+
+/// One `struct`/`enum`/`union` declaration.
+#[derive(Debug, Clone)]
+pub struct TypeDecl {
+    pub name: String,
+    /// A `#[derive(…)]` directly above mentions `Copy`.
+    pub derives_copy: bool,
+    /// Named fields with their head type ident (structs only).
+    pub fields: Vec<(String, String)>,
+}
+
+/// Everything the hot-path pass needs from one file.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    pub rel: String,
+    pub fns: Vec<FnItem>,
+    pub types: Vec<TypeDecl>,
+}
+
+/// The in-source marker declaring the next `fn` a hot-path root.
+pub const HOT_ENTRY_MARKER: &str = "hot-entry";
+
+/// Lines carrying a `// nmcs-lint: hot-entry` marker.
+pub fn hot_entry_lines(all_toks: &[Token]) -> Vec<u32> {
+    all_toks
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokKind::LineComment(c) => {
+                let body = c.trim_start().strip_prefix("nmcs-lint:")?.trim_start();
+                body.starts_with(HOT_ENTRY_MARKER).then_some(t.line)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    in_test: &'a [bool],
+    hot_lines: &'a [u32],
+    fns: Vec<FnItem>,
+    types: Vec<TypeDecl>,
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match &toks.get(i)?.kind {
+        TokKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize) -> Option<char> {
+    match toks.get(i)?.kind {
+        TokKind::Punct(c) => Some(c),
+        _ => None,
+    }
+}
+
+fn is_upper_initial(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_uppercase())
+}
+
+/// Keywords that look like free calls when followed by `(` but are not.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "match"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "as"
+            | "in"
+            | "move"
+            | "ref"
+            | "mut"
+            | "let"
+            | "else"
+            | "unsafe"
+            | "where"
+            | "fn"
+            | "impl"
+            | "dyn"
+    )
+}
+
+impl<'a> Parser<'a> {
+    fn ident(&self, i: usize) -> Option<&'a str> {
+        ident_at(self.toks, i)
+    }
+
+    fn punct(&self, i: usize) -> Option<char> {
+        punct_at(self.toks, i)
+    }
+
+    /// `::` at positions i, i+1.
+    fn path_sep(&self, i: usize) -> bool {
+        self.punct(i) == Some(':') && self.punct(i + 1) == Some(':')
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.toks.get(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Skips a balanced `<…>` group whose `<` is at `i`; returns the
+    /// index just past the matching `>`. A `>` that is the tail of a
+    /// `->` arrow does not close the group (fn-pointer bounds like
+    /// `F: Fn() -> T` appear inside generics).
+    fn skip_angles(&self, i: usize) -> usize {
+        debug_assert_eq!(self.punct(i), Some('<'));
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < self.toks.len() {
+            match self.punct(j) {
+                Some('<') => depth += 1,
+                Some('>') if self.punct(j.wrapping_sub(1)) != Some('-') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Skips a balanced bracket group (`(…)`, `[…]`, or `{…}`) whose
+    /// opener is at `i`; returns the index just past the closer.
+    fn skip_group(&self, i: usize, open: char, close: char) -> usize {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < self.toks.len() {
+            match self.punct(j) {
+                Some(c) if c == open => depth += 1,
+                Some(c) if c == close => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Head type ident of a type expression starting at `i`, scanning at
+    /// most to `end`: the last segment of the first `::`-path, skipping
+    /// `&`/`mut`/`dyn`/lifetimes (`&'a mut core::Foo<G>` → `Foo`).
+    fn head_type(&self, i: usize, end: usize) -> Option<String> {
+        let mut j = i;
+        while j < end {
+            match &self.toks.get(j)?.kind {
+                TokKind::Ident(s) if !matches!(s.as_str(), "mut" | "dyn" | "impl" | "const") => {
+                    // Follow the path to its last segment.
+                    let mut last = s.as_str();
+                    let mut k = j;
+                    while self.path_sep(k + 1) {
+                        match self.ident(k + 3) {
+                            Some(seg) => {
+                                last = seg;
+                                k += 3;
+                            }
+                            None => break,
+                        }
+                    }
+                    return Some(last.to_string());
+                }
+                TokKind::Ident(_) | TokKind::Lifetime | TokKind::Punct('&') => j += 1,
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// Parses the parameter list between `open` (at `(`) and its closing
+    /// paren, returning `(params, index past the `)`)`.
+    fn parse_params(&self, open: usize) -> (Vec<Param>, usize) {
+        let close = self.skip_group(open, '(', ')');
+        let mut params = Vec::new();
+        let mut j = open + 1;
+        while j + 1 < close {
+            // One parameter: tokens up to a top-level `,` or the `)`.
+            let mut k = j;
+            let mut colon = None;
+            while k + 1 < close {
+                match self.punct(k) {
+                    Some('(') => {
+                        k = self.skip_group(k, '(', ')');
+                        continue;
+                    }
+                    Some('[') => {
+                        k = self.skip_group(k, '[', ']');
+                        continue;
+                    }
+                    Some('<') => {
+                        k = self.skip_angles(k);
+                        continue;
+                    }
+                    Some(',') => break,
+                    Some(':') if colon.is_none() && self.punct(k + 1) != Some(':') => {
+                        colon = Some(k);
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(c) = colon {
+                // Pattern side: the last ident before the colon names the
+                // binding for all the shapes that matter (`x`, `mut x`).
+                let name = (j..c).rev().find_map(|p| self.ident(p));
+                let ty = self.head_type(c + 1, k + 1);
+                if let (Some(name), Some(ty)) = (name, ty) {
+                    if !is_expr_keyword(name) {
+                        params.push(Param {
+                            name: name.to_string(),
+                            ty,
+                        });
+                    }
+                }
+            }
+            if k <= j {
+                break;
+            }
+            j = k + 1;
+        }
+        (params, close)
+    }
+
+    /// Whether a hot-entry marker sits on `line` or the line above.
+    fn is_hot(&self, line: u32) -> bool {
+        self.hot_lines.iter().any(|&l| l == line || l + 1 == line)
+    }
+
+    /// Parses one `fn` whose `fn` keyword is at `i`; returns the index
+    /// just past the item.
+    fn parse_fn(&mut self, i: usize, qual: Option<&str>, trait_name: Option<&str>) -> usize {
+        let line = self.line(i);
+        let Some(name) = self.ident(i + 1) else {
+            return i + 1;
+        };
+        let name = name.to_string();
+        let mut j = i + 2;
+        if self.punct(j) == Some('<') {
+            j = self.skip_angles(j);
+        }
+        if self.punct(j) != Some('(') {
+            return i + 1;
+        }
+        let (params, after_params) = self.parse_params(j);
+        // Scan past return type and `where` clause to the body (or `;`
+        // for trait method declarations).
+        let mut k = after_params;
+        let mut body = None;
+        while k < self.toks.len() {
+            match self.punct(k) {
+                Some(';') => break,
+                Some('{') => {
+                    body = Some(k);
+                    break;
+                }
+                Some('<') => {
+                    k = self.skip_angles(k);
+                    continue;
+                }
+                Some('(') => {
+                    k = self.skip_group(k, '(', ')');
+                    continue;
+                }
+                Some('[') => {
+                    k = self.skip_group(k, '[', ']');
+                    continue;
+                }
+                _ => k += 1,
+            }
+        }
+        let mut item = FnItem {
+            name,
+            qual: qual.map(str::to_string),
+            trait_name: trait_name.map(str::to_string),
+            line,
+            end_line: line,
+            hot_entry: self.is_hot(line),
+            in_test: self.in_test.get(i).copied().unwrap_or(false),
+            params,
+            lets: Vec::new(),
+            calls: Vec::new(),
+            macros: Vec::new(),
+        };
+        let Some(open) = body else {
+            self.fns.push(item);
+            return (k + 1).max(i + 2);
+        };
+        let close = self.skip_group(open, '{', '}');
+        item.end_line = self.line(close.saturating_sub(1));
+        self.scan_body(open + 1, close.saturating_sub(1), &mut item);
+        self.fns.push(item);
+        close.max(i + 2)
+    }
+
+    /// Extracts calls, macros, and simple `let` types from a body range.
+    fn scan_body(&self, start: usize, end: usize, item: &mut FnItem) {
+        let mut j = start;
+        while j < end {
+            let Some(id) = self.ident(j) else {
+                // Method call: `.name` then `(` (or turbofish then `(`).
+                if self.punct(j) == Some('.') {
+                    if let Some(m) = self.ident(j + 1) {
+                        let mut k = j + 2;
+                        if self.path_sep(k) && self.punct(k + 2) == Some('<') {
+                            k = self.skip_angles(k + 2);
+                        }
+                        if self.punct(k) == Some('(') {
+                            let recv = ident_at(self.toks, j.wrapping_sub(1)).filter(|r| *r != "}");
+                            let recv_self_field = recv.is_some()
+                                && self.punct(j.wrapping_sub(2)) == Some('.')
+                                && self.ident(j.wrapping_sub(3)) == Some("self");
+                            item.calls.push(Call {
+                                callee: Callee::Method {
+                                    name: m.to_string(),
+                                    recv: recv.map(str::to_string),
+                                    recv_self_field,
+                                },
+                                line: self.line(j + 1),
+                            });
+                            j = k;
+                            continue;
+                        }
+                    }
+                }
+                j += 1;
+                continue;
+            };
+
+            // `debug_assert*!` groups vanish in release builds: skip.
+            if id.starts_with("debug_assert") && self.punct(j + 1) == Some('!') {
+                let mut k = j + 2;
+                match self.punct(k) {
+                    Some('(') => k = self.skip_group(k, '(', ')'),
+                    Some('[') => k = self.skip_group(k, '[', ']'),
+                    Some('{') => k = self.skip_group(k, '{', '}'),
+                    _ => k = j + 2,
+                }
+                j = k.max(j + 2);
+                continue;
+            }
+
+            // Macro invocation (`!=` is a comparison, not a macro).
+            if self.punct(j + 1) == Some('!') && self.punct(j + 2) != Some('=') {
+                item.macros.push(MacroUse {
+                    name: id.to_string(),
+                    line: self.line(j),
+                });
+                j += 2;
+                continue;
+            }
+
+            // Simple `let` binding: `let [mut] x: Type = …` or
+            // `let [mut] x = Type::…`.
+            if id == "let" {
+                let mut k = j + 1;
+                if self.ident(k) == Some("mut") {
+                    k += 1;
+                }
+                if let Some(binding) = self.ident(k) {
+                    if !is_expr_keyword(binding) {
+                        let ty = if self.punct(k + 1) == Some(':') && self.punct(k + 2) != Some(':')
+                        {
+                            self.head_type(k + 2, (k + 16).min(end))
+                        } else if self.punct(k + 1) == Some('=') {
+                            match self.ident(k + 2) {
+                                Some(t) if is_upper_initial(t) && self.path_sep(k + 3) => {
+                                    Some(t.to_string())
+                                }
+                                _ => None,
+                            }
+                        } else {
+                            None
+                        };
+                        if let Some(ty) = ty {
+                            item.lets.push((binding.to_string(), ty));
+                        }
+                    }
+                }
+                j += 1;
+                continue;
+            }
+
+            if is_expr_keyword(id) {
+                j += 1;
+                continue;
+            }
+
+            // Qualified path or free call: collect `a::b::c`.
+            let mut segs = vec![id];
+            let mut p = j;
+            while self.path_sep(p + 1) {
+                match self.ident(p + 3) {
+                    Some(seg) => {
+                        segs.push(seg);
+                        p += 3;
+                    }
+                    None => break,
+                }
+            }
+            let mut q = p + 1;
+            // Turbofish: `path::<T>(…)`.
+            if self.path_sep(q) && self.punct(q + 2) == Some('<') {
+                q = self.skip_angles(q + 2);
+            }
+            if self.punct(q) != Some('(') {
+                j += 1;
+                continue;
+            }
+            let line = self.line(p);
+            if segs.len() >= 2 {
+                item.calls.push(Call {
+                    callee: Callee::Qualified {
+                        qual: segs[segs.len() - 2].to_string(),
+                        name: segs[segs.len() - 1].to_string(),
+                    },
+                    line,
+                });
+                j = q;
+                continue;
+            }
+            // Single segment. `fn foo(` definitions and `.foo(` tails are
+            // handled elsewhere; `::foo(` here is the tail of a
+            // `<T as Trait>::foo(` cast path.
+            let prev = j.wrapping_sub(1);
+            if self.ident(prev) == Some("fn") || self.punct(prev) == Some('.') {
+                j += 1;
+                continue;
+            }
+            if self.punct(prev) == Some(':') {
+                if let Some(qual) = self.qual_from_as_cast(j) {
+                    item.calls.push(Call {
+                        callee: Callee::Qualified {
+                            qual,
+                            name: segs[0].to_string(),
+                        },
+                        line,
+                    });
+                }
+                j = q;
+                continue;
+            }
+            // Uppercase-initial free "calls" are tuple-struct or enum
+            // constructors (`Some(…)`, `Undo(…)`), never workspace fns.
+            if !is_upper_initial(segs[0]) {
+                item.calls.push(Call {
+                    callee: Callee::Free {
+                        name: segs[0].to_string(),
+                    },
+                    line,
+                });
+            }
+            j = q;
+        }
+    }
+
+    /// For `… > :: name (` at `name_idx`, walks back over a
+    /// `<T as Trait>` cast and returns `Trait`.
+    fn qual_from_as_cast(&self, name_idx: usize) -> Option<String> {
+        // name_idx-1, -2 are `::`; -3 should be `>`.
+        if self.punct(name_idx.wrapping_sub(3)) != Some('>') {
+            return None;
+        }
+        let mut depth = 1usize;
+        let mut j = name_idx.wrapping_sub(4);
+        let mut after_as = None;
+        for _ in 0..32 {
+            match self.punct(j) {
+                Some('>') => depth += 1,
+                Some('<') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if self.ident(j) == Some("as") {
+                        after_as = self.ident(j + 1).map(str::to_string);
+                    }
+                }
+            }
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        after_as
+    }
+
+    /// Parses the items in `start..end` with the given owner context.
+    fn parse_items(
+        &mut self,
+        start: usize,
+        end: usize,
+        qual: Option<&str>,
+        trait_name: Option<&str>,
+    ) {
+        let mut derive_copy_pending = false;
+        let mut i = start;
+        while i < end {
+            // Attributes: detect `#[derive(… Copy …)]`, skip the group.
+            if self.punct(i) == Some('#') && self.punct(i + 1) == Some('[') {
+                let close = self.skip_group(i + 1, '[', ']');
+                if self.ident(i + 2) == Some("derive") {
+                    derive_copy_pending |= (i + 2..close).any(|k| self.ident(k) == Some("Copy"));
+                }
+                i = close.max(i + 2);
+                continue;
+            }
+            let Some(id) = self.ident(i) else {
+                i += 1;
+                continue;
+            };
+            match id {
+                "fn" => {
+                    derive_copy_pending = false;
+                    i = self.parse_fn(i, qual, trait_name);
+                }
+                "impl" if qual.is_none() => {
+                    derive_copy_pending = false;
+                    i = self.parse_impl(i);
+                }
+                "trait" if qual.is_none() => {
+                    derive_copy_pending = false;
+                    i = self.parse_trait(i);
+                }
+                "mod" => {
+                    derive_copy_pending = false;
+                    // `mod name {` recurses; `mod name;` skips.
+                    let mut k = i + 2;
+                    while k < end && !matches!(self.punct(k), Some('{') | Some(';')) {
+                        k += 1;
+                    }
+                    if self.punct(k) == Some('{') {
+                        let close = self.skip_group(k, '{', '}');
+                        self.parse_items(k + 1, close.saturating_sub(1), None, None);
+                        i = close.max(i + 2);
+                    } else {
+                        i = (k + 1).max(i + 2);
+                    }
+                }
+                "struct" | "enum" | "union" => {
+                    i = self.parse_type_decl(i, derive_copy_pending);
+                    derive_copy_pending = false;
+                }
+                "macro_rules" => {
+                    derive_copy_pending = false;
+                    // Skip the whole definition: its body is patterns,
+                    // not code.
+                    let mut k = i + 1;
+                    while k < end && self.punct(k) != Some('{') {
+                        k += 1;
+                    }
+                    i = if self.punct(k) == Some('{') {
+                        self.skip_group(k, '{', '}').max(i + 2)
+                    } else {
+                        i + 2
+                    };
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Parses an `impl` header at `i` and recurses into its body.
+    fn parse_impl(&mut self, i: usize) -> usize {
+        let mut j = i + 1;
+        if self.punct(j) == Some('<') {
+            j = self.skip_angles(j);
+        }
+        // Collect path idents at angle-depth 0 until `{`; `for` switches
+        // from the trait to the self type, `where` ends collection.
+        let mut trait_last: Option<&str> = None;
+        let mut last: Option<&str> = None;
+        let mut body = None;
+        while j < self.toks.len() {
+            match self.punct(j) {
+                Some('{') => {
+                    body = Some(j);
+                    break;
+                }
+                Some(';') => break,
+                Some('<') => {
+                    j = self.skip_angles(j);
+                    continue;
+                }
+                Some('(') => {
+                    j = self.skip_group(j, '(', ')');
+                    continue;
+                }
+                _ => {}
+            }
+            match self.ident(j) {
+                Some("for") => {
+                    trait_last = last.take();
+                }
+                Some("where") => {
+                    // Skip the clause without collecting bound names.
+                    while j < self.toks.len() && self.punct(j) != Some('{') {
+                        if self.punct(j) == Some('<') {
+                            j = self.skip_angles(j);
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    continue;
+                }
+                Some(id) if !is_expr_keyword(id) => last = Some(id),
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body else {
+            return (j + 1).max(i + 2);
+        };
+        let close = self.skip_group(open, '{', '}');
+        let qual = last.map(str::to_string);
+        let trait_name = trait_last.map(str::to_string);
+        self.parse_items(
+            open + 1,
+            close.saturating_sub(1),
+            qual.as_deref(),
+            trait_name.as_deref(),
+        );
+        close.max(i + 2)
+    }
+
+    /// Parses a `trait Name … { … }` block at `i`; default method bodies
+    /// are owned by the trait itself.
+    fn parse_trait(&mut self, i: usize) -> usize {
+        let name = self.ident(i + 1).map(str::to_string);
+        let mut j = i + 2;
+        while j < self.toks.len() && !matches!(self.punct(j), Some('{') | Some(';')) {
+            if self.punct(j) == Some('<') {
+                j = self.skip_angles(j);
+            } else {
+                j += 1;
+            }
+        }
+        if self.punct(j) != Some('{') {
+            return (j + 1).max(i + 2);
+        }
+        let close = self.skip_group(j, '{', '}');
+        self.parse_items(
+            j + 1,
+            close.saturating_sub(1),
+            name.as_deref(),
+            name.as_deref(),
+        );
+        close.max(i + 2)
+    }
+
+    /// Parses `struct`/`enum`/`union` at `i`, recording name, the
+    /// pending `Copy` derive, and named struct fields with head types.
+    fn parse_type_decl(&mut self, i: usize, derives_copy: bool) -> usize {
+        let Some(name) = self.ident(i + 1) else {
+            return i + 1;
+        };
+        let is_struct = self.ident(i) == Some("struct");
+        let name = name.to_string();
+        let mut j = i + 2;
+        if self.punct(j) == Some('<') {
+            j = self.skip_angles(j);
+        }
+        // Tuple struct `struct X(…);` or unit `struct X;`.
+        let mut fields = Vec::new();
+        let end = match self.punct(j) {
+            Some('(') => {
+                let close = self.skip_group(j, '(', ')');
+                // Trailing `;`.
+                close + usize::from(self.punct(close) == Some(';'))
+            }
+            Some(';') => j + 1,
+            _ => {
+                // Skip a `where` clause, then the brace body.
+                while j < self.toks.len() && self.punct(j) != Some('{') {
+                    if self.punct(j) == Some('<') {
+                        j = self.skip_angles(j);
+                    } else {
+                        j += 1;
+                    }
+                }
+                let close = self.skip_group(j, '{', '}');
+                if is_struct {
+                    // Named fields: ident `:` type, at depth 1.
+                    let mut k = j + 1;
+                    while k + 1 < close {
+                        match self.punct(k) {
+                            Some('<') => {
+                                k = self.skip_angles(k);
+                                continue;
+                            }
+                            Some('(') => {
+                                k = self.skip_group(k, '(', ')');
+                                continue;
+                            }
+                            Some('{') => {
+                                k = self.skip_group(k, '{', '}');
+                                continue;
+                            }
+                            _ => {}
+                        }
+                        if let Some(f) = self.ident(k) {
+                            if self.punct(k + 1) == Some(':')
+                                && self.punct(k + 2) != Some(':')
+                                && !is_expr_keyword(f)
+                            {
+                                // Field type runs to the next top-level `,`.
+                                let mut t = k + 2;
+                                while t < close {
+                                    match self.punct(t) {
+                                        Some(',') => break,
+                                        Some('<') => t = self.skip_angles(t),
+                                        Some('(') => t = self.skip_group(t, '(', ')'),
+                                        _ => t += 1,
+                                    }
+                                }
+                                if let Some(ty) = self.head_type(k + 2, t) {
+                                    fields.push((f.to_string(), ty));
+                                }
+                                k = t;
+                                continue;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                close
+            }
+        };
+        self.types.push(TypeDecl {
+            name,
+            derives_copy,
+            fields,
+        });
+        end.max(i + 2)
+    }
+}
+
+/// Parses one file's comment-stripped tokens into items. `in_test` is
+/// parallel to `toks` (see `crate::test_regions`); `hot_lines` are the
+/// lines carrying hot-entry markers (from the unstripped stream).
+pub fn parse_file(
+    rel: &str,
+    toks: &[Token],
+    in_test: &[bool],
+    hot_lines: &[u32],
+    is_test_path: bool,
+) -> ParsedFile {
+    let mut p = Parser {
+        toks,
+        in_test,
+        hot_lines,
+        fns: Vec::new(),
+        types: Vec::new(),
+    };
+    p.parse_items(0, toks.len(), None, None);
+    let mut fns = p.fns;
+    if is_test_path {
+        for f in &mut fns {
+            f.in_test = true;
+        }
+    }
+    ParsedFile {
+        rel: rel.to_string(),
+        fns,
+        types: p.types,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        let all = lex(src);
+        let hot = hot_entry_lines(&all);
+        let toks: Vec<Token> = all
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment(_) | TokKind::BlockComment(_)))
+            .collect();
+        let in_test = crate::test_regions(&toks);
+        parse_file("crates/core/src/x.rs", &toks, &in_test, &hot, false)
+    }
+
+    #[test]
+    fn impl_blocks_give_fns_their_owner() {
+        let p = parse(
+            "impl<G: Game> PlayoutScratch<G> { pub fn run(&mut self, g: &mut G) -> Score { g.play(&mv) } }\n\
+             impl Game for SumGame { fn apply(&mut self, mv: &u8) -> Undo<Self> { self.play(mv) } }\n\
+             fn free_helper(x: usize) { other(x); }\n",
+        );
+        assert_eq!(p.fns.len(), 3);
+        assert_eq!(p.fns[0].name, "run");
+        assert_eq!(p.fns[0].qual.as_deref(), Some("PlayoutScratch"));
+        assert_eq!(p.fns[0].trait_name, None);
+        assert_eq!(p.fns[1].qual.as_deref(), Some("SumGame"));
+        assert_eq!(p.fns[1].trait_name.as_deref(), Some("Game"));
+        assert_eq!(p.fns[2].qual, None);
+        assert_eq!(
+            p.fns[2].calls,
+            vec![Call {
+                callee: Callee::Free {
+                    name: "other".into()
+                },
+                line: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn call_shapes_and_receivers() {
+        let p = parse(
+            "fn f(playout: &mut PlayoutScratch<G>, seq: &mut Vec<u8>) {\n\
+               playout.run_undo(pos);\n\
+               self.moves.clear();\n\
+               Undo::snapshot(x);\n\
+               let xs: Vec<u8> = ys.iter().collect::<Vec<_>>();\n\
+               <G as Game>::apply(pos, mv);\n\
+             }\n",
+        );
+        let f = &p.fns[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].ty, "PlayoutScratch");
+        assert_eq!(f.params[1].ty, "Vec");
+        let has = |c: &Callee| f.calls.iter().any(|x| &x.callee == c);
+        assert!(has(&Callee::Method {
+            name: "run_undo".into(),
+            recv: Some("playout".into()),
+            recv_self_field: false,
+        }));
+        assert!(has(&Callee::Method {
+            name: "clear".into(),
+            recv: Some("moves".into()),
+            recv_self_field: true,
+        }));
+        assert!(has(&Callee::Qualified {
+            qual: "Undo".into(),
+            name: "snapshot".into()
+        }));
+        assert!(has(&Callee::Method {
+            name: "collect".into(),
+            recv: None,
+            recv_self_field: false,
+        }));
+        assert!(has(&Callee::Qualified {
+            qual: "Game".into(),
+            name: "apply".into()
+        }));
+    }
+
+    #[test]
+    fn hot_entry_marker_binds_to_the_next_fn() {
+        let p = parse(
+            "// nmcs-lint: hot-entry\n\
+             fn hot() {}\n\
+             fn cold() {}\n",
+        );
+        assert!(p.fns[0].hot_entry);
+        assert!(!p.fns[1].hot_entry);
+    }
+
+    #[test]
+    fn debug_assert_groups_are_invisible() {
+        let p = parse("fn f() { debug_assert!(self.check_alloc()); real(); }\n");
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert!(matches!(
+            &p.fns[0].calls[0].callee,
+            Callee::Free { name } if name == "real"
+        ));
+    }
+
+    #[test]
+    fn type_decls_record_copy_and_fields() {
+        let p = parse(
+            "#[derive(Clone, Copy)] pub struct Mv { pub cell: u16 }\n\
+             #[derive(Clone)] struct Board { cols: Vec<Vec<u8>>, moves: Vec<Mv> }\n\
+             enum Kind { A, B(u8) }\n",
+        );
+        assert_eq!(p.types.len(), 3);
+        assert!(p.types[0].derives_copy);
+        assert!(!p.types[1].derives_copy);
+        assert_eq!(p.types[1].fields[0], ("cols".into(), "Vec".into()));
+        assert_eq!(p.types[1].fields[1], ("moves".into(), "Vec".into()));
+        assert!(!p.types[2].derives_copy);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let p = parse("#[cfg(test)]\nmod tests { fn helper() {} }\nfn real() {}\n");
+        let helper = p.fns.iter().find(|f| f.name == "helper").unwrap();
+        let real = p.fns.iter().find(|f| f.name == "real").unwrap();
+        assert!(helper.in_test);
+        assert!(!real.in_test);
+    }
+
+    #[test]
+    fn macros_are_recorded_and_tuple_ctors_are_not_calls() {
+        let p = parse("fn f() { let v = vec![1]; format!(\"x\"); Some(3); okay(); }\n");
+        let names: Vec<&str> = p.fns[0].macros.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["vec", "format"]);
+        assert_eq!(p.fns[0].calls.len(), 1, "{:?}", p.fns[0].calls);
+    }
+}

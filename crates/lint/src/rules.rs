@@ -49,6 +49,13 @@ pub const RULES: &[RuleInfo] = &[
                   result-affecting knobs are identity bits",
     },
     RuleInfo {
+        id: "hot-path",
+        summary: "functions reachable from `nmcs-lint: hot-entry` roots (playout/rollout \
+                  core) must not allocate, take locks, read clocks, or print — the \
+                  call-graph pass in hotpath.rs, dynamically cross-checked by the \
+                  counting allocator in tests/alloc_playout.rs",
+    },
+    RuleInfo {
         id: "lock-discipline",
         summary: "no std::sync::{Mutex,RwLock,Condvar} outside tests — locks go through \
                   vendored parking_lot so the lock-order detector sees them",

@@ -77,6 +77,6 @@ fn every_fixture_fires_exactly_its_declared_rules() {
         }
     }
     // The corpus must keep covering both sides of every rule family.
-    assert!(seen >= 10, "fixture corpus shrank to {seen} files");
-    assert!(bad >= 7, "known-bad coverage shrank to {bad} fixtures");
+    assert!(seen >= 14, "fixture corpus shrank to {seen} files");
+    assert!(bad >= 9, "known-bad coverage shrank to {bad} fixtures");
 }

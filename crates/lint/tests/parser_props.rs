@@ -1,0 +1,244 @@
+//! Property tests for the item-level parser the hot-path pass stands
+//! on, mirroring `lexer_props.rs` one layer up:
+//!
+//! * parsing arbitrary token soup never panics and is deterministic;
+//! * the extracted call-graph structure (fn identities and call shapes)
+//!   is invariant under comment and whitespace perturbation — the same
+//!   token stream re-spaced or re-commented must produce the same
+//!   edges, else lint verdicts would depend on formatting.
+
+use nmcs_lint::lexer::{lex, TokKind, Token};
+use nmcs_lint::parser::{hot_entry_lines, parse_file, Callee, ParsedFile};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Runs the same lex → strip-comments → parse path `lint_source` uses.
+fn parse(src: &str) -> ParsedFile {
+    let all = lex(src);
+    let toks: Vec<Token> = all
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment(_) | TokKind::BlockComment(_)))
+        .cloned()
+        .collect();
+    let in_test = vec![false; toks.len()];
+    let hot = hot_entry_lines(&all);
+    parse_file("prop.rs", &toks, &in_test, &hot, false)
+}
+
+/// Formatting-independent projection of everything the call-graph pass
+/// consumes: fn identity, ownership, hotness, and every call/macro
+/// shape — deliberately excluding line numbers.
+fn shape(p: &ParsedFile) -> Vec<String> {
+    shape_with(p, true)
+}
+
+/// Like [`shape`] but optionally excluding the hot flag: the hot-entry
+/// marker binds by *line*, so whitespace that merges or splits lines
+/// legitimately changes it while the call graph must stay fixed.
+fn shape_with(p: &ParsedFile, include_hot: bool) -> Vec<String> {
+    let mut out: Vec<String> = p
+        .fns
+        .iter()
+        .map(|f| {
+            let calls: Vec<String> = f
+                .calls
+                .iter()
+                .map(|c| match &c.callee {
+                    Callee::Free { name } => format!("free {name}"),
+                    Callee::Qualified { qual, name } => format!("qual {qual}::{name}"),
+                    Callee::Method {
+                        name,
+                        recv,
+                        recv_self_field,
+                    } => format!("method {recv:?}.{name} self_field={recv_self_field}"),
+                })
+                .collect();
+            let macros: Vec<&str> = f.macros.iter().map(|m| m.name.as_str()).collect();
+            let hot = if include_hot {
+                format!(" hot={}", f.hot_entry)
+            } else {
+                String::new()
+            };
+            format!(
+                "{:?}/{:?}/{}{hot} test={} calls={calls:?} macros={macros:?}",
+                f.qual, f.trait_name, f.name, f.in_test
+            )
+        })
+        .collect();
+    out.extend(p.types.iter().map(|t| {
+        format!(
+            "type {} copy={} fields={:?}",
+            t.name, t.derives_copy, t.fields
+        )
+    }));
+    out
+}
+
+/// Item-flavoured fragments: everything the parser special-cases, in
+/// random order — `impl`/`trait`/`fn` headers, generics, paths, call
+/// shapes, markers — so structurally broken nonsense is the common case.
+fn fragment() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("fn ".to_string()),
+        Just("impl ".to_string()),
+        Just("trait ".to_string()),
+        Just("struct ".to_string()),
+        Just("enum ".to_string()),
+        Just("mod ".to_string()),
+        Just("for ".to_string()),
+        Just("where ".to_string()),
+        Just("let ".to_string()),
+        Just("self".to_string()),
+        Just("Self::".to_string()),
+        Just("::<Vec<u8>>".to_string()),
+        Just("<T as Game>::apply(".to_string()),
+        Just("-> Vec<u8>".to_string()),
+        Just("x.run(".to_string()),
+        Just("self.pool.lock()".to_string()),
+        Just("Box::new(".to_string()),
+        Just("#[derive(Clone, Copy)]".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("// nmcs-lint: hot-entry\n".to_string()),
+        Just("debug_assert!(a == b);".to_string()),
+        Just("vec![".to_string()),
+        Just("!=".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("<".to_string()),
+        Just(">".to_string()),
+        Just(",".to_string()),
+        Just(";".to_string()),
+        Just(":".to_string()),
+        Just("'a".to_string()),
+        Just("\n".to_string()),
+        Just(" ".to_string()),
+        Just("Alpha".to_string()),
+        Just("beta".to_string()),
+    ]
+    .boxed()
+}
+
+fn soup() -> BoxedStrategy<String> {
+    vec(fragment(), 0..64).prop_map(|v| v.concat()).boxed()
+}
+
+/// A small well-formed module built from generated pieces: a struct, an
+/// impl whose methods call each other, a trait impl, and a free fn.
+/// Token text is emitted with single spaces; the perturbation tests
+/// re-join the identical pieces with different separators.
+fn template(methods: usize, hot_first: bool) -> Vec<String> {
+    let mut t: Vec<String> = Vec::new();
+    let push = |t: &mut Vec<String>, s: &str| t.push(s.to_string());
+    push(&mut t, "#[derive(Clone)]");
+    push(&mut t, "struct Alpha { data : Vec < u8 > , tag : Beta }");
+    push(&mut t, "struct Beta ;");
+    push(&mut t, "impl Alpha {");
+    for i in 0..methods {
+        if i == 0 && hot_first {
+            push(&mut t, "// nmcs-lint: hot-entry");
+        }
+        t.push(format!("fn m{i} ( & mut self , k : usize ) {{"));
+        if i + 1 < methods {
+            t.push(format!("self . m{} ( k ) ;", i + 1));
+        }
+        push(&mut t, "self . tag . poke ( ) ;");
+        push(&mut t, "free_helper ( k ) ;");
+        push(&mut t, "let v : Vec < u8 > = Vec :: with_capacity ( k ) ;");
+        push(&mut t, "v . len ( ) ;");
+        push(&mut t, "}");
+    }
+    push(&mut t, "}");
+    push(
+        &mut t,
+        "impl Game for Alpha { fn apply ( & mut self ) { self . m0 ( 1 ) ; } }",
+    );
+    push(
+        &mut t,
+        "fn free_helper ( k : usize ) { assert ! ( k < 9 ) ; }",
+    );
+    t
+}
+
+/// Separators that must be invisible to the parser (the hot-entry
+/// marker line in the template carries its own newline, so comment
+/// separators cannot detach it from its fn).
+fn sep() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(" ".to_string()),
+        Just("   ".to_string()),
+        Just("\t".to_string()),
+        Just("\n".to_string()),
+        Just("\n\n".to_string()),
+        Just(" /* tangent */ ".to_string()),
+        Just(" // trailing note\n".to_string()),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Garbage in, items out — parsing arbitrary item-flavoured soup
+    /// never panics, and is deterministic.
+    #[test]
+    fn parsing_never_panics_and_is_deterministic(src in soup()) {
+        let a = parse(&src);
+        let b = parse(&src);
+        prop_assert_eq!(shape(&a), shape(&b));
+    }
+
+    /// Re-joining the same token pieces with different comments and
+    /// whitespace must not change any extracted fn, call, or type —
+    /// call-graph edges cannot depend on formatting.
+    #[test]
+    fn call_graph_shape_survives_comment_and_whitespace_perturbation(
+        methods in 1usize..4,
+        hot_first in (0u8..2).prop_map(|b| b == 1),
+        seps in vec(sep(), 32..64),
+    ) {
+        let pieces = template(methods, hot_first);
+        // One piece per line keeps the hot marker bound to exactly the
+        // fn below it.
+        let canonical = pieces.join("\n");
+        let mut perturbed = String::new();
+        for (i, piece) in pieces.iter().enumerate() {
+            perturbed.push_str(piece);
+            // A line-comment piece must end its line, or it would
+            // swallow the following tokens.
+            if piece.starts_with("//") {
+                perturbed.push('\n');
+            } else {
+                perturbed.push_str(&seps[i % seps.len()]);
+            }
+        }
+        let a = parse(&canonical);
+        let b = parse(&perturbed);
+        // The call graph must ignore formatting entirely. The hot flag
+        // is excluded: it binds by line, and merging lines (a " "
+        // separator) legitimately moves the marker's scope.
+        prop_assert_eq!(shape_with(&a, false), shape_with(&b, false));
+
+        // And the structure is what the template promised: one hot fn
+        // iff requested, all methods owned by Alpha, the trait impl
+        // owned by (Alpha, Game).
+        prop_assert_eq!(a.fns.iter().filter(|f| f.hot_entry).count(), usize::from(hot_first));
+        let m0 = a.fns.iter().find(|f| f.name == "m0").expect("m0 parsed");
+        prop_assert_eq!(m0.qual.as_deref(), Some("Alpha"));
+        let apply = a.fns.iter().find(|f| f.name == "apply").expect("apply parsed");
+        prop_assert_eq!(apply.trait_name.as_deref(), Some("Game"));
+    }
+
+    /// Hot-entry markers never leak out of comments: a marker inside a
+    /// string literal marks nothing.
+    #[test]
+    fn hot_marker_inside_string_is_inert(
+        pad in vec((b'a'..b'{').prop_map(|b| b as char), 0..8)
+            .prop_map(|v| v.into_iter().collect::<String>())
+    ) {
+        let src = format!(
+            "fn quoted() {{ let s = \"// nmcs-lint: hot-entry {pad}\"; s.len(); }}\n"
+        );
+        let p = parse(&src);
+        prop_assert!(p.fns.iter().all(|f| !f.hot_entry), "marker leaked from string");
+    }
+}

@@ -34,8 +34,49 @@ fn the_workspace_is_clean_under_deny() {
     // of exceptions needs a deliberate edit here.
     let waived: usize = rule_counts(&findings).values().map(|(_, w)| w).sum();
     assert!(
-        waived <= 8,
+        waived <= 16,
         "waiver count crept up to {waived} — review them"
+    );
+}
+
+#[test]
+fn hot_path_pass_covers_the_playout_core() {
+    // The hot-path rule is active workspace-wide: every required entry
+    // is annotated (a missing one would be an unwaived finding in the
+    // test above), the reachable set is non-trivial, and it spans both
+    // the search core and the game domains.
+    let (hot, findings) = nmcs_lint::hot_report(workspace_root()).expect("workspace walk");
+    assert!(
+        hot.len() >= 40,
+        "hot set shrank to {} fns — did an entry annotation go missing?",
+        hot.len()
+    );
+    for needle in [
+        ("crates/core/src/search.rs", "PlayoutScratch::run"),
+        ("crates/core/src/search.rs", "PlayoutScratch::run_undo"),
+        ("crates/core/src/search.rs", "nested_scratch"),
+        ("crates/core/src/uct.rs", "TpTree::descend"),
+        ("crates/games/src/samegame.rs", "SameGame::undo"),
+        ("crates/games/src/sudoku.rs", "Sudoku::most_constrained"),
+        ("crates/games/src/tsp.rs", "TspGame::legal_moves"),
+        ("crates/morpion/src/board.rs", "Board::apply"),
+    ] {
+        assert!(
+            hot.iter().any(|f| f.file == needle.0 && f.name == needle.1),
+            "expected `{}` in {} to be hot-reachable",
+            needle.1,
+            needle.0
+        );
+    }
+    // Every hot-path exception is waived with a reason; none are open.
+    assert!(
+        findings.iter().all(|f| f.waived),
+        "unwaived hot-path findings: {findings:#?}"
+    );
+    assert!(
+        !findings.is_empty(),
+        "the by-design exceptions (snapshot fallback, strided deadline \
+         poll, UCT node construction) should appear as waived findings"
     );
 }
 

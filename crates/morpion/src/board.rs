@@ -413,11 +413,13 @@ impl Game for Board {
         true
     }
 
+    // nmcs-lint: hot-entry
     fn apply(&mut self, mv: &Move) -> Undo<Self> {
         self.play_move_inner(mv, true);
         Undo::internal()
     }
 
+    // nmcs-lint: hot-entry
     fn undo(&mut self, token: Undo<Self>) {
         debug_assert!(token.is_internal());
         let m = self.history.pop().expect("undo without apply");

@@ -1,0 +1,122 @@
+//! Minimal vendored counting allocator for zero-allocation assertions.
+//!
+//! [`CountingAllocator`] wraps [`System`] and bumps a thread-local
+//! counter on every `alloc`/`realloc` (and a separate one on `dealloc`).
+//! Install it as the `#[global_allocator]` of a **test binary only** —
+//! that is the cfg gate: production builds and every other test binary
+//! keep the plain system allocator, so benchmark numbers are untouched.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+//!
+//! let result = alloc_counter::assert_no_alloc("playout", || scratch.run_undo(...));
+//! ```
+//!
+//! Counters are per-thread so concurrent test threads do not see each
+//! other's allocations. The counter bump uses a `const`-initialised
+//! `thread_local!` `Cell` — no lazy allocation, so the allocator never
+//! re-enters itself — with an atomic fallback for the brief TLS-teardown
+//! window at thread exit.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::LocalKey;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static DEALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations observed while a thread's TLS was being torn down (they
+/// belong to no live thread and are excluded from scoped counts).
+static TEARDOWN_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+fn bump(key: &'static LocalKey<Cell<u64>>) {
+    if key.try_with(|c| c.set(c.get() + 1)).is_err() {
+        TEARDOWN_EVENTS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A [`System`]-backed allocator that counts this thread's heap events.
+pub struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the counter bump touches only a
+// const-initialised TLS cell and so cannot allocate or unwind.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc may move the block; it counts as an allocation event
+        // because a zero-alloc region must not grow anything either.
+        bump(&ALLOCS);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        bump(&DEALLOCS);
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocation events (`alloc` + `alloc_zeroed` + `realloc`) recorded on
+/// the current thread so far. Monotone; meaningful only when
+/// [`CountingAllocator`] is installed as the global allocator.
+pub fn alloc_count() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+/// Deallocation events recorded on the current thread so far.
+pub fn dealloc_count() -> u64 {
+    DEALLOCS.with(Cell::get)
+}
+
+/// Runs `f` and returns `(allocation events during f, f's result)`.
+pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = alloc_count();
+    let result = f();
+    (alloc_count() - before, result)
+}
+
+/// Runs `f`, asserting it performs **zero** allocation events on this
+/// thread; returns `f`'s result. `label` names the region in the panic
+/// message. (The failure path itself allocates — that is fine, the
+/// region is already over.)
+pub fn assert_no_alloc<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    let (n, result) = count_allocs(f);
+    assert!(
+        n == 0,
+        "`{label}` performed {n} allocation event(s) in a region declared allocation-free"
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the crate's own unit tests do NOT install the allocator (a
+    // vendored lib must not force it on the workspace); they only check
+    // the counting plumbing, which is inert but well-defined without it.
+
+    #[test]
+    fn counters_start_at_zero_and_scoping_subtracts() {
+        let (n, v) = count_allocs(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert_eq!(n, 0, "no allocator installed, so no events recorded");
+    }
+
+    #[test]
+    fn assert_no_alloc_passes_through_the_result() {
+        assert_eq!(assert_no_alloc("arith", || 7 * 6), 42);
+    }
+}
