@@ -27,7 +27,7 @@ fn bench_primitives(c: &mut Criterion) {
     });
     let tags = TagHistograms::new();
     group.bench_function("tagged_record_claimed_slot", |b| {
-        b.iter(|| tags.record(black_box(42), || "bench".to_string(), black_box(1_000)))
+        b.iter(|| tags.record(black_box(42), "bench", black_box(1_000)))
     });
     let dlq = DeadLetterQueue::new(64);
     group.bench_function("dlq_push_at_capacity", |b| {

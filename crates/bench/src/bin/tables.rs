@@ -10,6 +10,7 @@
 //! tables --seed 42 --out target/experiments
 //! tables --spec '{"algorithm":{"kind":"nested","level":2},"budget":{"deadline_ms":200},"seed":42}' --game samegame
 //! tables --lint                  # workspace invariant check (nonzero exit on findings)
+//! tables --serve [--soak-small]  # HTTP front-door soak (nonzero exit on any violated invariant)
 //! ```
 //!
 //! `--spec` replays any persisted sweep row from its recorded JSON (see
@@ -31,6 +32,8 @@ struct Args {
     game: String,
     lint: bool,
     hot: bool,
+    serve: bool,
+    soak_small: bool,
     scale: Scale,
     seed: u64,
     out: PathBuf,
@@ -50,6 +53,8 @@ fn parse_args() -> Args {
         game: "samegame".to_string(),
         lint: false,
         hot: false,
+        serve: false,
+        soak_small: false,
         scale: Scale::Paper,
         seed: 2009,
         out: PathBuf::from("target/experiments"),
@@ -106,6 +111,11 @@ fn parse_args() -> Args {
                 args.hot = true;
                 args.all = false;
             }
+            "--serve" => {
+                args.serve = true;
+                args.all = false;
+            }
+            "--soak-small" => args.soak_small = true,
             "--game" => args.game = expect_val(&mut it, "--game"),
             "--scale" => {
                 args.scale = match expect_val(&mut it, "--scale").as_str() {
@@ -119,7 +129,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] [--tree] [--service] \
-                     [--lint [--hot]] [--spec JSON [--game {}]] \
+                     [--lint [--hot]] [--serve [--soak-small]] [--spec JSON [--game {}]] \
                      [--scale paper|real] [--seed S] [--out DIR]",
                     nmcs_bench::STOCK_GAMES.join("|")
                 );
@@ -216,6 +226,14 @@ fn main() {
         if unwaived > 0 {
             std::process::exit(1);
         }
+        return;
+    }
+
+    // The soak needs no calibration either: it drives the HTTP front
+    // door and panics (nonzero exit) on any violated invariant.
+    if args.serve {
+        let (_, table) = nmcs_bench::serve_soak(args.soak_small, args.seed);
+        println!("{}", table.render());
         return;
     }
 

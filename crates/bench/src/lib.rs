@@ -13,6 +13,7 @@ pub mod paper;
 pub mod pooldelta;
 pub mod report;
 pub(crate) mod searches;
+pub mod serveexp;
 pub mod service;
 pub mod spec_cli;
 pub mod treeexp;
@@ -22,6 +23,7 @@ pub use experiments::{fit_power, Experiments, Scale, CLIENT_SWEEP};
 pub use leafexp::{leaf_sweep, leaf_table, LeafRow};
 pub use pooldelta::{PoolDelta, PoolProbe};
 pub use report::{persist, Table};
+pub use serveexp::{serve_soak, SoakOutcome};
 pub use service::{
     dead_letter_table, measure_cell, slo_rows, slo_snapshot, slo_table, throughput_sweep,
     throughput_table, SloRow, ThroughputRow,

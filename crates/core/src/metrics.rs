@@ -248,11 +248,25 @@ impl Histogram {
             }
             bucket_mid(HISTOGRAM_BUCKETS - 1)
         };
-        let min_ns = self.min.load(Ordering::Relaxed);
-        let max_ns = self.max.load(Ordering::Relaxed);
+        let mut min_ns = self.min.load(Ordering::Relaxed);
+        let mut max_ns = self.max.load(Ordering::Relaxed);
+        // A record in flight on another thread updates bucket, sum, min,
+        // max as four separate relaxed stores, so a torn read can show
+        // `count >= 1` while min/max still hold their initial values
+        // (min = u64::MAX > max = 0). `clamp(min, max)` would panic on
+        // that inversion; fall back to the bucket extremes, which are
+        // consistent with `counts` by construction.
+        if min_ns > max_ns {
+            let first = counts.iter().position(|&c| c > 0).unwrap_or(0);
+            let last = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+            min_ns = bucket_mid(first);
+            max_ns = bucket_mid(last);
+        }
         // Bucket midpoints can over/undershoot the true extremes by up
         // to half a power of two; clamping keeps the summary internally
-        // consistent (min ≤ p50 ≤ p95 ≤ p99 ≤ max always holds).
+        // consistent (min ≤ p50 ≤ p95 ≤ p99 ≤ max always holds). With a
+        // single sample this collapses every percentile to that exact
+        // sample (min == max), not a bucket-midpoint estimate of it.
         let pct = |q: f64| pct(q).clamp(min_ns, max_ns);
         HistogramSnapshot {
             count,
@@ -278,6 +292,9 @@ struct TagSlot {
     /// CAS-claimed key; 0 means empty (a genuine tag of 0 is remapped,
     /// see `slot_key`).
     key: AtomicU64,
+    /// The label of the *first* record that claimed this key. Immutable
+    /// after initialisation — later records under the same key must
+    /// present the same label or they are collisions, not samples.
     label: OnceLock<String>,
     hist: Histogram,
     hits: Counter,
@@ -317,6 +334,10 @@ pub struct TagHistograms {
     slots: [TagSlot; TAG_SLOTS],
     /// Records that found the table full.
     overflow: Counter,
+    /// Records whose tag matched a claimed slot but whose label did not:
+    /// two distinct names hashing to the same u64 tag. Routed to the
+    /// overflow counter instead of silently merging latencies.
+    collisions: Counter,
 }
 
 impl Default for TagHistograms {
@@ -333,13 +354,19 @@ impl TagHistograms {
         TagHistograms {
             slots: [SLOT; TAG_SLOTS],
             overflow: Counter::new(),
+            collisions: Counter::new(),
         }
     }
 
     /// Records `ns` under `tag`, labelling the slot with `label` if this
-    /// is the first sight of the tag. `label` is evaluated lazily so
-    /// callers can pass a closure that formats only on the cold path.
-    pub fn record(&self, tag: u64, label: impl FnOnce() -> String, ns: u64) {
+    /// is the first sight of the tag.
+    ///
+    /// Tags are typically hashes of `label`, so two distinct labels can
+    /// collide on one u64. A slot belongs to the label that claimed it:
+    /// a record whose tag matches but whose label differs is counted in
+    /// [`TagHistograms::collisions`] (and routed to the overflow
+    /// counter) rather than silently merged into the wrong histogram.
+    pub fn record(&self, tag: u64, label: &str, ns: u64) {
         let key = slot_key(tag);
         for slot in &self.slots {
             let cur = slot.key.load(Ordering::Acquire);
@@ -351,7 +378,16 @@ impl TagHistograms {
                         .map(|_| true)
                         .unwrap_or_else(|raced| raced == key));
             if claimed {
-                slot.label.get_or_init(label);
+                // First record under the key wins the label; everyone
+                // else must match it. `get_or_init` makes the claim race
+                // deterministic: a loser observes the winner's label and
+                // detects the mismatch here, at claim time.
+                let owner = slot.label.get_or_init(|| label.to_string());
+                if owner != label {
+                    self.collisions.incr();
+                    self.overflow.incr();
+                    return;
+                }
                 slot.hist.record(ns);
                 slot.hits.incr();
                 return;
@@ -360,9 +396,15 @@ impl TagHistograms {
         self.overflow.incr();
     }
 
-    /// Records that found no free slot.
+    /// Records that found no free slot (including collision re-routes).
     pub fn overflow(&self) -> u64 {
         self.overflow.get()
+    }
+
+    /// Records rejected because their tag matched a slot claimed by a
+    /// different label (hash collision between two names).
+    pub fn collisions(&self) -> u64 {
+        self.collisions.get()
     }
 
     /// Snapshots every claimed slot, sorted by label (then key) so the
@@ -584,6 +626,7 @@ impl SearchMetrics {
             node_trips: self.node_trips.get(),
             cancellations: self.cancellations.get(),
             backends: self.wall.snapshot(),
+            tag_collisions: self.wall.collisions(),
         }
     }
 }
@@ -690,6 +733,9 @@ pub struct SearchSnapshot {
     pub cancellations: u64,
     /// Per-backend wall-time histograms.
     pub backends: Vec<TaggedHistogramSnapshot>,
+    /// Backend records rejected because their tag collided with a slot
+    /// claimed by a different label (see [`TagHistograms::collisions`]).
+    pub tag_collisions: u64,
 }
 
 /// A running job flagged past its deadline estimate.
@@ -743,6 +789,11 @@ pub struct EngineSnapshot {
     pub dlq_dropped: u64,
     /// Running jobs currently past their deadline estimate.
     pub stalled: Vec<StalledJob>,
+    /// Tenant/domain records rejected because their FNV tag collided
+    /// with a slot claimed by a different label — latencies were routed
+    /// to the overflow counter instead of silently merged (see
+    /// [`TagHistograms::collisions`]).
+    pub tag_collisions: u64,
 }
 
 /// The full, serde-round-trippable metrics snapshot — the future
@@ -833,6 +884,7 @@ impl_value_struct!(SearchSnapshot {
     node_trips,
     cancellations,
     backends,
+    tag_collisions,
 });
 impl_value_struct!(DeadLetter {
     job,
@@ -865,6 +917,7 @@ impl_value_struct!(EngineSnapshot {
     dead_letters,
     dlq_dropped,
     stalled,
+    tag_collisions,
 });
 impl_value_struct!(MetricsSnapshot {
     pool,
@@ -911,6 +964,7 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(s, "search_trips_total{{kind=\"nodes\"}} {}", q.node_trips);
         let _ = writeln!(s, "search_cancellations_total {}", q.cancellations);
+        let _ = writeln!(s, "search_tag_collisions_total {}", q.tag_collisions);
         for b in &q.backends {
             render_hist(
                 &mut s,
@@ -979,15 +1033,39 @@ impl MetricsSnapshot {
             let _ = writeln!(s, "engine_dead_letters {}", e.dead_letters.len());
             let _ = writeln!(s, "engine_dead_letters_dropped_total {}", e.dlq_dropped);
             let _ = writeln!(s, "engine_stalled_jobs {}", e.stalled.len());
+            let _ = writeln!(s, "engine_tag_collisions_total {}", e.tag_collisions);
         }
         s
     }
 }
 
+/// Escapes a label *value* for the Prometheus text exposition format:
+/// backslash, double quote, and newline get the format's own escapes;
+/// any other control character (a hostile tenant name can contain a
+/// carriage return or a NUL) is replaced outright, since the format
+/// defines no escape for it and a raw one would corrupt the line
+/// structure. The result always parses as a quoted label value.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if c.is_control() => out.push('\u{FFFD}'),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn render_hist(s: &mut String, name: &str, labels: &[(&str, &str)], h: &HistogramSnapshot) {
     use std::fmt::Write as _;
     let tag = |extra: &str| -> String {
-        let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        let mut parts: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
         if !extra.is_empty() {
             parts.push(extra.to_string());
         }

@@ -970,10 +970,9 @@ where
                 Some(crate::report::Interruption::Cancelled) => reg.cancellations.incr(),
                 None => {}
             }
-            let label = self.algorithm.label();
             reg.wall.record(
                 self.algorithm.tag(),
-                || label.to_string(),
+                self.algorithm.label(),
                 u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
             );
         }

@@ -67,7 +67,7 @@ pub use job::{Algorithm, JobId, JobOutput, JobSpec, JobState, Progress, ReplicaR
 pub use scheduler::ReplicaPlan;
 
 use handle::JobCore;
-use nmcs_core::metrics::{EngineSnapshot, MetricsSnapshot};
+use nmcs_core::metrics::{EngineSnapshot, HistogramSnapshot, MetricsSnapshot};
 use pool::{spawn_workers, PoolShared, Task};
 use queue::PushError;
 use scheduler::InFlight;
@@ -137,7 +137,9 @@ impl std::error::Error for EngineError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
     /// `try_submit` found fewer free queue slots than the job has
-    /// replicas (nothing was admitted).
+    /// replicas, or a blocking `submit` was given a job with more
+    /// replicas than the queue's total capacity (nothing was admitted
+    /// in either case).
     QueueFull { capacity: usize, requested: usize },
     /// The engine is shutting down.
     ShuttingDown,
@@ -247,29 +249,47 @@ impl Engine {
     }
 
     /// Submits a job, **blocking** while the queue is full
-    /// (backpressure). Fails only during shutdown.
+    /// (backpressure). The whole replica batch is admitted atomically:
+    /// a `submit` racing `close()` either lands every replica or
+    /// returns [`SubmitError::ShuttingDown`] with nothing enqueued —
+    /// it never hangs, and never leaves a job half-admitted for the
+    /// workers to cancel. Fails with [`SubmitError::QueueFull`] only
+    /// when the job has more replicas than the queue has slots (waiting
+    /// could never succeed).
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
         let (core, tasks) = self.admit(spec);
         let n = tasks.len();
+        // Count the tasks as outstanding *before* they become poppable —
+        // a fast worker could otherwise finish one and decrement the
+        // counter below zero.
         self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
-        for (i, task) in tasks.into_iter().enumerate() {
-            if let Err(PushError::Closed | PushError::Full) = self.shared.injector.push(task) {
-                // Blocking push only fails on close. Give back whatever
-                // was not admitted.
-                for plan in &core.plans[i..] {
-                    self.in_flight.release(plan.signature);
+        match self.shared.injector.push_all(tasks) {
+            Ok(()) => {
+                self.shared
+                    .metrics
+                    .submitted_jobs
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { core })
+            }
+            Err((push_error, rejected_tasks)) => {
+                self.shared.outstanding.fetch_sub(n, Ordering::AcqRel);
+                self.rollback(&core);
+                drop(rejected_tasks);
+                match push_error {
+                    PushError::Full => {
+                        self.shared
+                            .metrics
+                            .rejected_submissions
+                            .fetch_add(1, Ordering::Relaxed);
+                        Err(SubmitError::QueueFull {
+                            capacity: self.shared.injector.capacity(),
+                            requested: n,
+                        })
+                    }
+                    PushError::Closed => Err(SubmitError::ShuttingDown),
                 }
-                self.shared.outstanding.fetch_sub(n - i, Ordering::AcqRel);
-                // Replicas already queued will be skipped by workers.
-                core.cancel.cancel();
-                return Err(SubmitError::ShuttingDown);
             }
         }
-        self.shared
-            .metrics
-            .submitted_jobs
-            .fetch_add(1, Ordering::Relaxed);
-        Ok(JobHandle { core })
     }
 
     /// Submits a job without blocking: if the queue lacks room for
@@ -386,10 +406,18 @@ impl Engine {
             dead_letters: reg.dlq.snapshot(),
             dlq_dropped: reg.dlq.dropped(),
             stalled,
+            tag_collisions: reg.tenants.collisions() + reg.domains.collisions(),
         };
         let mut snapshot = nmcs_core::metrics::snapshot();
         snapshot.engine = Some(engine);
         snapshot
+    }
+
+    /// Queue-wait latency summary alone (time from submission to first
+    /// replica pickup) — the input an admission controller polls per
+    /// request, far cheaper than a full [`Engine::inspector`] snapshot.
+    pub fn queue_wait_snapshot(&self) -> HistogramSnapshot {
+        self.shared.registry.queue_wait.snapshot()
     }
 
     /// Begins shutdown without consuming the engine: no new jobs are
@@ -638,6 +666,82 @@ mod tests {
         assert_eq!(a.join().state, JobState::Completed);
         assert_eq!(b.join().state, JobState::Completed);
         e.shutdown(); // joins workers; must not hang
+    }
+
+    /// The submit-vs-close hammer (engine level): submitters blocking
+    /// on a small queue while `close()` lands mid-storm. Every submit
+    /// either completes — its handle joins to a terminal state — or
+    /// returns `ShuttingDown` with nothing half-admitted; shutdown then
+    /// joins without hanging and leaks no in-flight signatures.
+    #[test]
+    fn submit_racing_close_completes_or_errors_never_hangs() {
+        for round in 0..10u64 {
+            let e = engine(1, 3);
+            let handles = std::thread::scope(|scope| {
+                let threads: Vec<_> = (0..6u64)
+                    .map(|t| {
+                        let e = &e;
+                        scope.spawn(move || {
+                            e.submit(
+                                JobSpec::new(
+                                    format!("hammer-{t}"),
+                                    SumGame::random(3, 3, round * 100 + t),
+                                    Algorithm::Sample,
+                                    round * 100 + t,
+                                )
+                                .with_replicas(2),
+                            )
+                        })
+                    })
+                    .collect();
+                if round % 2 == 0 {
+                    std::thread::yield_now();
+                }
+                e.close();
+                threads
+                    .into_iter()
+                    .map(|t| t.join().expect("submitter must not panic"))
+                    .collect::<Vec<_>>()
+            });
+            let mut accepted = 0u64;
+            for h in handles {
+                match h {
+                    Ok(handle) => {
+                        accepted += 1;
+                        assert!(
+                            handle.join().state.is_terminal(),
+                            "accepted job must reach a terminal state"
+                        );
+                    }
+                    Err(SubmitError::ShuttingDown) => {}
+                    Err(other) => panic!("round {round}: unexpected {other:?}"),
+                }
+            }
+            let stats = e.stats();
+            assert_eq!(stats.submitted_jobs, accepted, "round {round}");
+            assert_eq!(stats.in_flight_replicas, 0, "round {round}: leaked plans");
+            e.shutdown(); // must not hang on a mis-counted `outstanding`
+        }
+    }
+
+    #[test]
+    fn blocking_submit_of_an_oversized_job_is_queue_full_not_a_hang() {
+        let e = engine(1, 2);
+        // Three replicas can never fit a two-slot queue at once: waiting
+        // would deadlock, so blocking submit must refuse immediately.
+        let spec = JobSpec::new("wide", SumGame::random(4, 3, 1), Algorithm::nested(1), 9)
+            .with_replicas(3);
+        match e.submit(spec) {
+            Err(SubmitError::QueueFull {
+                capacity: 2,
+                requested: 3,
+            }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        let stats = e.stats();
+        assert_eq!(stats.in_flight_replicas, 0, "signatures released");
+        assert_eq!(stats.rejected_submissions, 1);
+        e.shutdown();
     }
 
     #[test]

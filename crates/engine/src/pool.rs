@@ -326,15 +326,9 @@ fn run_task(shared: &PoolShared, task: Task) {
                 let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
                 shared.registry.run_time.record(ns);
                 let tenant = job.spec.name.as_str();
-                shared
-                    .registry
-                    .tenants
-                    .record(name_tag(tenant), || tenant.to_string(), ns);
+                shared.registry.tenants.record(name_tag(tenant), tenant, ns);
                 let domain = job.spec.game.domain();
-                shared
-                    .registry
-                    .domains
-                    .record(name_tag(domain), || domain.to_string(), ns);
+                shared.registry.domains.record(name_tag(domain), domain, ns);
             }
             if let Some(why) = interrupted {
                 let reason = match why {

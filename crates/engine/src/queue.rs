@@ -56,6 +56,10 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Blocking push: waits while the queue is full (backpressure).
+    /// Production submissions go through [`BoundedQueue::push_all`]
+    /// (atomic batches); the single-item form remains the close-race
+    /// regression tests' probe.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn push(&self, item: T) -> Result<(), PushError> {
         let mut inner = self.lock();
         loop {
@@ -67,6 +71,37 @@ impl<T> BoundedQueue<T> {
                 inner.peak = inner.peak.max(inner.queue.len());
                 drop(inner);
                 self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut inner);
+        }
+    }
+
+    /// Blocking push of a whole batch: waits until the queue has room
+    /// for *every* item, then admits them atomically — a multi-replica
+    /// job is never half-admitted, even across a concurrent `close()`.
+    ///
+    /// Returns `Closed` (with the items handed back) if the queue shuts
+    /// down before space appears, and `Full` immediately when the batch
+    /// can *never* fit (`items.len() > capacity`) — waiting would
+    /// deadlock.
+    pub fn push_all(&self, items: Vec<T>) -> Result<(), (PushError, Vec<T>)> {
+        if items.len() > self.capacity {
+            return Err((PushError::Full, items));
+        }
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err((PushError::Closed, items));
+            }
+            if self.capacity - inner.queue.len() >= items.len() {
+                let n = items.len();
+                inner.queue.extend(items);
+                inner.peak = inner.peak.max(inner.queue.len());
+                drop(inner);
+                for _ in 0..n {
+                    self.not_empty.notify_one();
+                }
                 return Ok(());
             }
             self.not_full.wait(&mut inner);
@@ -248,6 +283,89 @@ mod tests {
         q.close();
         assert_eq!(t.join().unwrap(), None);
         assert_eq!(q.push(1), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn push_all_blocks_until_the_whole_batch_fits() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        q.try_push_all(vec![1, 2, 3]).unwrap();
+        let q2 = q.clone();
+        let t = thread::spawn(move || q2.push_all(vec![4, 5, 6]));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished(), "batch must wait: only 1 slot free");
+        assert_eq!(q.try_pop(), Some(1));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished(), "batch must wait: only 2 slots free");
+        assert_eq!(q.try_pop(), Some(2));
+        t.join().unwrap().unwrap();
+        assert_eq!(q.len(), 4);
+        // Nothing interleaved into the middle of the batch.
+        assert_eq!(q.try_pop_batch(4), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn push_all_refuses_batches_that_can_never_fit() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        let (err, returned) = q.push_all(vec![1, 2, 3]).unwrap_err();
+        assert_eq!(err, PushError::Full);
+        assert_eq!(returned, vec![1, 2, 3]);
+        assert_eq!(q.len(), 0);
+    }
+
+    /// The submit-vs-close hammer: many threads blocking-push batches
+    /// while another thread closes the queue mid-storm. Every pusher
+    /// must return — `Ok` with the whole batch admitted, or `Closed`
+    /// with the whole batch handed back — never hang, never lose or
+    /// half-admit a batch.
+    #[test]
+    fn push_all_vs_close_hammer_never_hangs_or_tears_a_batch() {
+        for round in 0..50 {
+            let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(4));
+            let pushers: Vec<_> = (0..8u64)
+                .map(|p| {
+                    let q = q.clone();
+                    thread::spawn(move || {
+                        let batch: Vec<u64> = (0..3).map(|i| p * 100 + i).collect();
+                        q.push_all(batch.clone()).map_err(|(e, back)| {
+                            assert_eq!(e, PushError::Closed);
+                            assert_eq!(back, batch, "refused batch handed back intact");
+                        })
+                    })
+                })
+                .collect();
+            // A popper drains slowly so some pushers are mid-wait when
+            // the close lands; vary the drain to move the race window.
+            let drained = {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..(round % 7) {
+                        got.extend(q.try_pop_batch(2));
+                        thread::yield_now();
+                    }
+                    got
+                })
+            };
+            q.close();
+            let mut admitted = drained.join().unwrap();
+            let mut ok = 0;
+            for t in pushers {
+                if t.join().unwrap().is_ok() {
+                    ok += 1;
+                }
+            }
+            while let Some(v) = q.try_pop() {
+                admitted.push(v);
+            }
+            // Conservation: exactly the accepted batches are in the
+            // queue (or were drained), whole and untorn.
+            assert_eq!(admitted.len(), ok * 3, "round {round}");
+            admitted.sort_unstable();
+            for chunk in admitted.chunks(3) {
+                assert_eq!(chunk[1], chunk[0] + 1, "torn batch: {admitted:?}");
+                assert_eq!(chunk[2], chunk[0] + 2, "torn batch: {admitted:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,14 @@
+// lint-fixture: path=crates/engine/src/telemetry.rs expect=socket-discipline
+//! Known-bad: raw sockets outside the serve crate's waivered HTTP
+//! edge — an engine module quietly growing a network dependency.
+
+use std::net::{SocketAddr, UdpSocket};
+
+pub fn beacon(addr: SocketAddr) -> std::io::Result<usize> {
+    let sock = UdpSocket::bind("127.0.0.1:0")?;
+    sock.send_to(b"hello", addr)
+}
+
+pub fn dial(addr: SocketAddr) -> std::io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect(addr)
+}

@@ -1,0 +1,11 @@
+// lint-fixture: path=crates/serve/src/edge.rs expect=clean
+//! Known-good: the serve crate's HTTP edge carries a waiver per socket
+//! site — accounted for by a written reason, not a directory exemption.
+
+// nmcs-lint: allow(socket-discipline) reason="fixture modelling the serve crate's HTTP boundary"
+use std::net::{TcpListener, TcpStream};
+
+pub fn bind() -> std::io::Result<(TcpListener, Option<TcpStream>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    Ok((listener, None))
+}

@@ -56,6 +56,12 @@ pub const RULES: &[RuleInfo] = &[
                   counting allocator in tests/alloc_playout.rs",
     },
     RuleInfo {
+        id: "socket-discipline",
+        summary: "no std::net sockets anywhere — network I/O exists only at the serve \
+                  crate's HTTP edge, and even there every site carries a waiver naming \
+                  the boundary it implements",
+    },
+    RuleInfo {
         id: "lock-discipline",
         summary: "no std::sync::{Mutex,RwLock,Condvar} outside tests — locks go through \
                   vendored parking_lot so the lock-order detector sees them",
@@ -137,6 +143,7 @@ pub(crate) fn run_all(ctx: &FileCtx) -> Vec<Finding> {
     panic_discipline(ctx, &mut out);
     deprecated_shim(ctx, &mut out);
     tag_identity(ctx, &mut out);
+    socket_discipline(ctx, &mut out);
     lock_discipline(ctx, &mut out);
     out
 }
@@ -548,7 +555,67 @@ fn tag_identity(ctx: &FileCtx, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
-// R7: lock discipline
+// R7: socket discipline
+// ---------------------------------------------------------------------
+
+/// Socket types whose mere mention (as `net::…`) marks network I/O. No
+/// path is allowlisted: the serve crate's HTTP edge waives each site
+/// individually, so every socket in the workspace is accounted for by a
+/// written reason rather than a directory exemption.
+const SOCKET_TYPES: &[&str] = &[
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    "UnixListener",
+    "UnixStream",
+    "UnixDatagram",
+];
+
+fn socket_discipline(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.is_test_path {
+        return;
+    }
+    for i in 0..ctx.toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if ctx.ident(i) != Some("net") || !ctx.path_sep(i + 1) {
+            continue;
+        }
+        let report = |out: &mut Vec<Finding>, at: usize, t: &str| {
+            out.push(finding(
+                ctx,
+                "socket-discipline",
+                at,
+                format!(
+                    "raw socket `{t}`: network I/O lives only at the serve crate's HTTP \
+                     edge, and each site there must carry a waiver naming the boundary \
+                     it implements"
+                ),
+            ));
+        };
+        // Grouped import: `use std::net::{SocketAddr, TcpStream, …};`
+        if ctx.punct(i + 3) == Some('{') {
+            let mut j = i + 4;
+            while j < ctx.toks.len() && ctx.punct(j) != Some('}') {
+                if let Some(t) = ctx.ident(j) {
+                    if SOCKET_TYPES.contains(&t) {
+                        report(out, j, t);
+                    }
+                }
+                j += 1;
+            }
+        } else if let Some(t) = ctx.ident(i + 3) {
+            // Single import or qualified use: `std::net::TcpStream`.
+            if SOCKET_TYPES.contains(&t) {
+                report(out, i + 3, t);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R8: lock discipline
 // ---------------------------------------------------------------------
 
 /// Lock types that must come from vendored `parking_lot`, where the

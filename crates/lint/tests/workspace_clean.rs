@@ -32,9 +32,12 @@ fn the_workspace_is_clean_under_deny() {
     // Waivers exist and are all consumed (a stale one would be an
     // unwaived finding above); keep the count in sight so an explosion
     // of exceptions needs a deliberate edit here.
+    // The serve PR added six edge waivers on purpose: the HTTP
+    // boundary's sockets and connection threads are waivered per site
+    // rather than path-exempt.
     let waived: usize = rule_counts(&findings).values().map(|(_, w)| w).sum();
     assert!(
-        waived <= 16,
+        waived <= 22,
         "waiver count crept up to {waived} — review them"
     );
 }

@@ -1,0 +1,153 @@
+//! The server's job directory: engine job id → (tenant, handle).
+//!
+//! The engine's [`JobHandle`] is the single source of truth for job
+//! state; this directory only adds the two things HTTP needs — lookup
+//! by id after the submitting connection is gone, and a per-tenant
+//! in-flight count for admission quotas. Terminal entries are retained
+//! (bounded) so a poll shortly after completion still finds its result.
+
+use nmcs_engine::{JobHandle, JobId};
+use parking_lot::Mutex;
+
+struct Entry {
+    id: JobId,
+    tenant: String,
+    handle: JobHandle,
+}
+
+pub struct JobDirectory {
+    entries: Mutex<Vec<Entry>>,
+    /// Terminal entries kept for late polls; older ones are evicted
+    /// oldest-first once the count exceeds this.
+    retain_terminal: usize,
+}
+
+impl JobDirectory {
+    pub fn new(retain_terminal: usize) -> Self {
+        JobDirectory {
+            entries: Mutex::new(Vec::new()),
+            retain_terminal,
+        }
+    }
+
+    /// Registers a freshly admitted job and prunes old terminal
+    /// entries. The insert happens after the engine accepted the job,
+    /// so every directory entry has a live handle.
+    pub fn insert(&self, tenant: &str, handle: JobHandle) {
+        let mut entries = self.entries.lock();
+        entries.push(Entry {
+            id: handle.id(),
+            tenant: tenant.to_string(),
+            handle,
+        });
+        let terminal = entries
+            .iter()
+            .filter(|e| e.handle.try_output().is_some())
+            .count();
+        if terminal > self.retain_terminal {
+            let mut evict = terminal - self.retain_terminal;
+            entries.retain(|e| {
+                if evict > 0 && e.handle.try_output().is_some() {
+                    evict -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    /// A clone of the job's handle (cheap: one `Arc`), for polling,
+    /// waiting, or cancelling outside the directory lock.
+    pub fn handle(&self, id: JobId) -> Option<JobHandle> {
+        self.entries
+            .lock()
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.handle.clone())
+    }
+
+    /// Non-terminal jobs currently registered for `tenant` — the quota
+    /// gauge. Counted live from the handles so a finished job frees its
+    /// quota slot without any reaper thread.
+    pub fn tenant_inflight(&self, tenant: &str) -> usize {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| e.tenant == tenant && e.handle.try_output().is_none())
+            .count()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmcs_core::SearchSpec;
+    use nmcs_engine::{Engine, EngineConfig, JobSpec};
+    use nmcs_games::SumGame;
+
+    fn engine() -> Engine {
+        Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 16,
+        })
+        .unwrap()
+    }
+
+    fn job(name: &str, seed: u64) -> JobSpec {
+        JobSpec::from_spec(
+            name,
+            SumGame::random(3, 3, seed),
+            SearchSpec::sample().seed(seed).build(),
+        )
+    }
+
+    #[test]
+    fn quota_gauge_counts_only_non_terminal_jobs_per_tenant() {
+        let e = engine();
+        let dir = JobDirectory::new(64);
+        let handles: Vec<_> = (0..3).map(|i| e.submit(job("acme", i)).unwrap()).collect();
+        for h in &handles {
+            dir.insert("acme", h.clone());
+        }
+        dir.insert("other", e.submit(job("other", 9)).unwrap());
+        assert_eq!(dir.len(), 4);
+        // Drain everything; the gauge must fall to zero with no reaper.
+        for h in handles {
+            h.join();
+        }
+        let other_id = dir.entries.lock()[3].id;
+        dir.handle(other_id).unwrap().wait();
+        assert_eq!(dir.tenant_inflight("acme"), 0);
+        assert_eq!(dir.tenant_inflight("other"), 0);
+        assert_eq!(dir.tenant_inflight("unknown"), 0);
+        e.shutdown();
+    }
+
+    #[test]
+    fn terminal_entries_are_retained_then_evicted_oldest_first() {
+        let e = engine();
+        let dir = JobDirectory::new(2);
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            let h = e.submit(job("t", i)).unwrap();
+            ids.push(h.id());
+            h.clone().join(); // terminal before the next insert
+            dir.insert("t", h);
+        }
+        // Retention: at most 2 terminal entries besides the fresh one.
+        assert!(dir.len() <= 3, "len {}", dir.len());
+        // The newest ids survive; the oldest were evicted.
+        assert!(dir.handle(ids[4]).is_some());
+        assert!(dir.handle(ids[0]).is_none());
+        e.shutdown();
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`cluster`] | `cluster-rt` | MPI-like in-process message passing |
 //! | [`sim`] | `des-sim` | deterministic discrete-event cluster simulation |
 //! | [`engine`] | `nmcs-engine` | concurrent multi-tenant search service: job queue, work-stealing workers, backpressure, cancellation |
+//! | [`serve`] | `nmcs-serve` | HTTP/1.1 front door for the engine: submit/poll/cancel/metrics routes with admission control |
 //!
 //! ## Quickstart — one front door for every backend
 //!
@@ -79,4 +80,5 @@ pub use morpion;
 pub use nmcs_core as search;
 pub use nmcs_engine as engine;
 pub use nmcs_games as games;
+pub use nmcs_serve as serve;
 pub use parallel_nmcs as parallel;

@@ -296,6 +296,98 @@ fn engine_inspector_reports_all_three_layers_and_round_trips() {
     }
 }
 
+#[test]
+fn tag_collisions_are_rerouted_not_merged() {
+    let tags = m::TagHistograms::new();
+    tags.record(7, "alpha", 100);
+    // Same tag under a different label: an FNV collision between two
+    // names. It must not pollute alpha's histogram.
+    tags.record(7, "beta", 9_999);
+    tags.record(7, "alpha", 300);
+    assert_eq!(tags.collisions(), 1);
+    assert_eq!(tags.overflow(), 1, "collisions count as overflow too");
+    let snap = tags.snapshot();
+    let slot = snap.iter().find(|s| s.tag == 7).expect("slot claimed");
+    assert_eq!(slot.label, "alpha", "first claimer keeps the slot");
+    assert_eq!(slot.hits, 2);
+    assert_eq!(slot.hist.count, 2);
+    assert_eq!(slot.hist.max_ns, 300, "colliding sample must not land");
+    assert!(!snap.iter().any(|s| s.label == "beta"));
+}
+
+#[test]
+fn histogram_empty_and_single_sample_snapshots_are_exact() {
+    // Count 0: everything is zero, no garbage percentiles.
+    let h = m::Histogram::new();
+    assert_eq!(h.snapshot(), m::HistogramSnapshot::default());
+
+    // Count 1: every percentile is exactly the one sample (the min/max
+    // clamp collapses the bucket-midpoint estimate).
+    for sample in [0u64, 1, 2, 1_234, u64::MAX / 3] {
+        let h = m::Histogram::new();
+        h.record(sample);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1, "{sample}");
+        assert_eq!(s.sum_ns, sample, "{sample}");
+        assert_eq!(s.min_ns, sample, "{sample}");
+        assert_eq!(s.max_ns, sample, "{sample}");
+        assert_eq!(s.p50_ns, sample, "{sample}");
+        assert_eq!(s.p95_ns, sample, "{sample}");
+        assert_eq!(s.p99_ns, sample, "{sample}");
+    }
+}
+
+#[test]
+fn render_text_escapes_hostile_labels() {
+    let hostile = m::TaggedHistogramSnapshot {
+        tag: 1,
+        label: "evil\"tenant\nname\\\u{7}".to_string(),
+        hits: 1,
+        hist: m::HistogramSnapshot {
+            count: 1,
+            ..Default::default()
+        },
+    };
+    let snap = m::MetricsSnapshot {
+        engine: Some(m::EngineSnapshot {
+            tenants: vec![hostile.clone()],
+            domains: vec![hostile.clone()],
+            tag_collisions: 3,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let mut snap = snap;
+    snap.search.backends.push(hostile);
+    let text = snap.render_text();
+
+    // The quote, newline, and backslash are escaped and the control
+    // character replaced, so every exposition line stays one line with
+    // balanced quotes.
+    assert!(
+        text.contains("evil\\\"tenant\\nname\\\\\u{FFFD}"),
+        "escaped label missing:\n{text}"
+    );
+    assert!(!text.contains("evil\"tenant"), "raw quote survived");
+    for line in text.lines() {
+        // Count quotes that are *not* escaped: every label value must
+        // open and close on the same exposition line.
+        let mut unescaped = 0usize;
+        let mut pending_escape = false;
+        for c in line.chars() {
+            match c {
+                '\\' => pending_escape = !pending_escape,
+                '"' if !pending_escape => unescaped += 1,
+                _ => pending_escape = false,
+            }
+        }
+        assert_eq!(unescaped % 2, 0, "unbalanced: {line}");
+    }
+    // The new collision counters render for both layers.
+    assert!(text.contains("search_tag_collisions_total 0"));
+    assert!(text.contains("engine_tag_collisions_total 3"));
+}
+
 /// The cheap overhead guard: instrumented sequential UCT within noise
 /// of a registry-disabled run. Min-of-N wall clock on identical work;
 /// the generous factor keeps the guard meaningful without making it

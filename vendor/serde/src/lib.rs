@@ -73,6 +73,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// A `Value` serialises as itself, so hand-built JSON trees (e.g. a
+// server's response bodies) pass straight through `serde_json` —
+// mirroring real serde_json's `Value: Serialize + Deserialize`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls -------------------------------------------------
 
 macro_rules! impl_signed {
