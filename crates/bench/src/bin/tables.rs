@@ -11,6 +11,8 @@
 //! tables --spec '{"algorithm":{"kind":"nested","level":2},"budget":{"deadline_ms":200},"seed":42}' --game samegame
 //! tables --lint                  # workspace invariant check (nonzero exit on findings)
 //! tables --serve [--soak-small]  # HTTP front-door soak (nonzero exit on any violated invariant)
+//! tables --serve --sessions      # soak plus the session-churn phase (quota, TTL table, eviction plateau)
+//! tables --reuse                 # equal-budget warm-tree reuse-on vs reuse-off comparison
 //! ```
 //!
 //! `--spec` replays any persisted sweep row from its recorded JSON (see
@@ -27,6 +29,7 @@ struct Args {
     engine: bool,
     leaf: bool,
     tree: bool,
+    reuse: bool,
     service: bool,
     spec: Option<String>,
     game: String,
@@ -34,6 +37,7 @@ struct Args {
     hot: bool,
     serve: bool,
     soak_small: bool,
+    sessions: bool,
     scale: Scale,
     seed: u64,
     out: PathBuf,
@@ -48,6 +52,7 @@ fn parse_args() -> Args {
         engine: false,
         leaf: false,
         tree: false,
+        reuse: false,
         service: false,
         spec: None,
         game: "samegame".to_string(),
@@ -55,6 +60,7 @@ fn parse_args() -> Args {
         hot: false,
         serve: false,
         soak_small: false,
+        sessions: false,
         scale: Scale::Paper,
         seed: 2009,
         out: PathBuf::from("target/experiments"),
@@ -95,6 +101,10 @@ fn parse_args() -> Args {
                 args.tree = true;
                 args.all = false;
             }
+            "--reuse" => {
+                args.reuse = true;
+                args.all = false;
+            }
             "--service" => {
                 args.service = true;
                 args.all = false;
@@ -116,6 +126,7 @@ fn parse_args() -> Args {
                 args.all = false;
             }
             "--soak-small" => args.soak_small = true,
+            "--sessions" => args.sessions = true,
             "--game" => args.game = expect_val(&mut it, "--game"),
             "--scale" => {
                 args.scale = match expect_val(&mut it, "--scale").as_str() {
@@ -128,8 +139,8 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(expect_val(&mut it, "--out")),
             "--help" | "-h" => {
                 println!(
-                    "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] [--tree] [--service] \
-                     [--lint [--hot]] [--serve [--soak-small]] [--spec JSON [--game {}]] \
+                    "tables [--table N] [--figure 1] [--ablations] [--engine] [--leaf] [--tree] [--reuse] [--service] \
+                     [--lint [--hot]] [--serve [--soak-small] [--sessions]] [--spec JSON [--game {}]] \
                      [--scale paper|real] [--seed S] [--out DIR]",
                     nmcs_bench::STOCK_GAMES.join("|")
                 );
@@ -234,6 +245,19 @@ fn main() {
     if args.serve {
         let (_, table) = nmcs_bench::serve_soak(args.soak_small, args.seed);
         println!("{}", table.render());
+        if args.sessions {
+            println!("{}", nmcs_bench::session_churn(args.seed).render());
+        }
+        return;
+    }
+
+    // The reuse comparison needs no calibration: both arms are
+    // deterministic width-1 UCT sessions, and the sweep itself asserts
+    // the reuse-on mean never falls below reuse-off.
+    if args.reuse {
+        let rows = nmcs_bench::reuse_sweep(args.seed);
+        println!("{}", nmcs_bench::reuse_table(&rows).render());
+        nmcs_bench::persist(&args.out, "warm_reuse", &rows).expect("persist reuse rows");
         return;
     }
 

@@ -12,6 +12,7 @@ pub mod leafexp;
 pub mod paper;
 pub mod pooldelta;
 pub mod report;
+pub mod reuseexp;
 pub(crate) mod searches;
 pub mod serveexp;
 pub mod service;
@@ -23,7 +24,8 @@ pub use experiments::{fit_power, Experiments, Scale, CLIENT_SWEEP};
 pub use leafexp::{leaf_sweep, leaf_table, LeafRow};
 pub use pooldelta::{PoolDelta, PoolProbe};
 pub use report::{persist, Table};
-pub use serveexp::{serve_soak, SoakOutcome};
+pub use reuseexp::{reuse_means, reuse_sweep, reuse_table, ReuseRow};
+pub use serveexp::{serve_soak, session_churn, SoakOutcome};
 pub use service::{
     dead_letter_table, measure_cell, slo_rows, slo_snapshot, slo_table, throughput_sweep,
     throughput_table, SloRow, ThroughputRow,

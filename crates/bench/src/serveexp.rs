@@ -137,13 +137,24 @@ fn request(stream: &mut TcpStream, raw: &str) -> Result<HttpReply, String> {
 }
 
 fn post_jobs(stream: &mut TcpStream, body: &str) -> Result<HttpReply, String> {
+    post_path(stream, "/jobs", body)
+}
+
+fn post_path(stream: &mut TcpStream, path: &str, body: &str) -> Result<HttpReply, String> {
     request(
         stream,
         &format!(
-            "POST /jobs HTTP/1.1\r\nHost: soak\r\nContent-Type: application/json\r\n\
+            "POST {path} HTTP/1.1\r\nHost: soak\r\nContent-Type: application/json\r\n\
              Content-Length: {}\r\n\r\n{body}",
             body.len()
         ),
+    )
+}
+
+fn delete_path(stream: &mut TcpStream, path: &str) -> Result<HttpReply, String> {
+    request(
+        stream,
+        &format!("DELETE {path} HTTP/1.1\r\nHost: soak\r\n\r\n"),
     )
 }
 
@@ -471,6 +482,10 @@ pub fn serve_soak(small: bool, seed: u64) -> (SoakOutcome, Table) {
         "every client either landed a job or stayed shed"
     );
 
+    // Close the audit connection before shutdown: a handler blocked in
+    // `read_request` on a live keep-alive socket holds shutdown hostage
+    // for the whole read timeout.
+    drop(stream);
     server.shutdown();
 
     let mut t = Table::new(
@@ -490,6 +505,208 @@ pub fn serve_soak(small: bool, seed: u64) -> (SoakOutcome, Table) {
     t.row(&["bit-identity mismatches".to_string(), "0".to_string()]);
     t.row(&["metrics series parsed".to_string(), series.to_string()]);
     (outcome, t)
+}
+
+// ---------------------------------------------------------------------
+// The session-churn phase (`tables --serve --sessions`).
+// ---------------------------------------------------------------------
+
+/// Drives the session routes through a full churn cycle and panics on
+/// any violated invariant: opens far more warm sessions than the byte
+/// bound holds (each carries its default transposition-table backing),
+/// steps each one, and checks that
+///
+/// * the `engine_session_bytes` gauge **plateaus** — it never exceeds
+///   the configured bound by more than the one just-opened session the
+///   next sweep trims, and LRU eviction is observed in the counters;
+/// * the per-tenant session quota sheds over-quota opens as `429` with
+///   the retry contract, and the shed shows up in
+///   `serve_shed_total{reason="session-quota"}`;
+/// * `DELETE` unlists (a second delete and a step both `404`), and the
+///   serve section's route histograms cover the session routes.
+pub fn session_churn(seed: u64) -> Table {
+    let workers = soak_workers();
+    // Each warm session on the default table budget holds ~3 MiB of
+    // backing, so a dozen opens churn well past this bound.
+    let bound = 16 * 1024 * 1024;
+    let server = Server::start(ServeConfig {
+        engine: EngineConfig {
+            workers,
+            queue_capacity: 64,
+        },
+        session_quota: 2,
+        session_limits: nmcs_engine::SessionLimits {
+            max_bytes: bound,
+            ..Default::default()
+        },
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port for the churn");
+    let addr = server.addr();
+    let mut stream = connect(addr).expect("connect for the churn");
+
+    let spec = SearchSpec::uct()
+        .tree_reuse(true)
+        .seed(seed)
+        .max_playouts(32)
+        .build();
+    let spec_json = serde_json::to_string(&spec).expect("spec serialises");
+    let open_body = |tenant: &str| {
+        format!(r#"{{"tenant":"{tenant}","game":"samegame-small","spec":{spec_json}}}"#)
+    };
+
+    let engine_gauges = |stream: &mut TcpStream| -> nmcs_core::metrics::EngineSnapshot {
+        let (status, _, body) =
+            get_path(stream, "/metrics?format=json").expect("GET /metrics?format=json");
+        assert_eq!(status, 200);
+        let snapshot: MetricsSnapshot = serde_json::from_str(&body).expect("metrics JSON");
+        snapshot
+            .engine
+            .expect("served snapshot has an engine section")
+    };
+
+    // Churn: one tenant per round dodges the per-tenant quota, so the
+    // byte bound is the only thing holding the table back.
+    let rounds = 12u64;
+    let mut peak_bytes = 0u64;
+    for round in 0..rounds {
+        let tenant = format!("churn{round}");
+        let (status, _, body) =
+            post_path(&mut stream, "/sessions", &open_body(&tenant)).expect("POST /sessions");
+        assert_eq!(status, 201, "open session: {body}");
+        let opened: Value = serde_json::from_str(&body).expect("201 body");
+        let sid = field(&opened, "session")
+            .and_then(as_u64)
+            .expect("201 carries a session id");
+        assert_eq!(
+            field(&opened, "warm"),
+            Some(&Value::Bool(true)),
+            "tree_reuse spec opens warm: {body}"
+        );
+
+        let (status, _, body) = post_path(&mut stream, &format!("/sessions/{sid}/jobs"), "")
+            .expect("POST /sessions/id/jobs");
+        assert_eq!(status, 202, "step: {body}");
+        let accepted: Value = serde_json::from_str(&body).expect("202 body");
+        let job = field(&accepted, "job")
+            .and_then(as_u64)
+            .expect("202 carries a job id");
+        let (status, _, out) = get_path(&mut stream, &format!("/jobs/{job}?wait=1")).expect("wait");
+        assert_eq!(status, 200, "step completes: {out}");
+
+        let (status, _, body) =
+            get_path(&mut stream, &format!("/sessions/{sid}")).expect("GET /sessions/id");
+        if status == 200 {
+            // The byte bound may have evicted this (now-LRU) session
+            // already; when it survives, the step must have committed.
+            let info: Value = serde_json::from_str(&body).expect("200 body");
+            assert_eq!(
+                field(&info, "steps").and_then(as_u64),
+                Some(1),
+                "one step taken: {body}"
+            );
+        } else {
+            assert_eq!(status, 404, "evicted sessions 404: {body}");
+        }
+
+        peak_bytes = peak_bytes.max(engine_gauges(&mut stream).session_bytes);
+    }
+
+    // The plateau: churn never pushed the gauge past the bound plus the
+    // single just-opened table the next sweep trims.
+    let slack = 6 * 1024 * 1024;
+    assert!(
+        peak_bytes <= bound as u64 + slack,
+        "session bytes gauge must plateau near the {bound}-byte bound, peaked at {peak_bytes}"
+    );
+    let gauges = engine_gauges(&mut stream);
+    assert!(
+        gauges.sessions_evicted >= 3,
+        "churn past the byte bound evicts LRU sessions: {gauges:?}"
+    );
+    assert!(gauges.sessions >= 1, "newest sessions survive: {gauges:?}");
+    assert_eq!(gauges.sessions_opened, rounds, "every open landed");
+
+    // Quota: a single tenant stops at `session_quota` with the full
+    // retry contract on the 429.
+    let mut hog_ids = Vec::new();
+    for _ in 0..2 {
+        let (status, _, body) =
+            post_path(&mut stream, "/sessions", &open_body("hog")).expect("open under quota");
+        assert_eq!(status, 201, "{body}");
+        let v: Value = serde_json::from_str(&body).expect("201 body");
+        hog_ids.push(field(&v, "session").and_then(as_u64).expect("session id"));
+    }
+    let (status, headers, body) =
+        post_path(&mut stream, "/sessions", &open_body("hog")).expect("over-quota open");
+    assert_eq!(status, 429, "third session for one tenant sheds: {body}");
+    assert!(
+        headers.iter().any(|(k, _)| k == "retry-after"),
+        "429 carries Retry-After"
+    );
+    let shed: Value = serde_json::from_str(&body).expect("429 body");
+    assert!(
+        field(&shed, "retry_after_ms").and_then(as_u64).is_some(),
+        "429 carries retry_after_ms: {body}"
+    );
+
+    // Delete: unlists now, 404s forever after.
+    let sid = hog_ids[0];
+    let (status, _, body) =
+        delete_path(&mut stream, &format!("/sessions/{sid}")).expect("DELETE /sessions/id");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, _) = delete_path(&mut stream, &format!("/sessions/{sid}")).expect("redelete");
+    assert_eq!(status, 404, "second delete is a 404");
+    let (status, _, _) =
+        post_path(&mut stream, &format!("/sessions/{sid}/jobs"), "").expect("step deleted");
+    assert_eq!(status, 404, "stepping a deleted session is a 404");
+
+    // The serve text section: session routes in the histograms, the
+    // quota shed in the by-reason counters, gauges present and parsing.
+    let (status, _, text) = get_path(&mut stream, "/metrics").expect("GET /metrics");
+    assert_eq!(status, 200);
+    for needle in [
+        "serve_route_seconds_count{route=\"POST /sessions\"}",
+        "serve_route_seconds_count{route=\"POST /sessions/{id}/jobs\"}",
+        "serve_route_seconds_count{route=\"DELETE /sessions/{id}\"}",
+        "engine_sessions ",
+        "engine_session_bytes ",
+    ] {
+        assert!(text.contains(needle), "metrics text misses {needle}");
+    }
+    let quota_sheds = text
+        .lines()
+        .find(|l| l.starts_with("serve_shed_total{reason=\"session-quota\"}"))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+        .expect("session-quota shed counter renders");
+    assert!(quota_sheds >= 1, "the over-quota open was counted");
+
+    // As in the soak: close the keep-alive connection first, or
+    // shutdown waits out the full socket read timeout.
+    drop(stream);
+    server.shutdown();
+
+    let mut t = Table::new(
+        format!(
+            "Session churn ({rounds} warm opens vs a {} MiB bound)",
+            bound / (1024 * 1024)
+        ),
+        &["measure", "value"],
+    );
+    t.row(&["opened".to_string(), gauges.sessions_opened.to_string()]);
+    t.row(&[
+        "evicted (LRU)".to_string(),
+        gauges.sessions_evicted.to_string(),
+    ]);
+    t.row(&[
+        "open at end of churn".to_string(),
+        gauges.sessions.to_string(),
+    ]);
+    t.row(&["peak session bytes".to_string(), peak_bytes.to_string()]);
+    t.row(&["byte bound".to_string(), bound.to_string()]);
+    t.row(&["quota sheds (429)".to_string(), quota_sheds.to_string()]);
+    t
 }
 
 #[cfg(test)]

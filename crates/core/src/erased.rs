@@ -48,6 +48,11 @@ pub trait AnyGame: Send + Sync {
     /// [`CodedGame::move_code`]).
     fn move_code_nth(&self, i: usize) -> u64;
 
+    /// The underlying game's [`Game::state_hash`] — the transposition
+    /// key, passed through the erasure unchanged so an erased search
+    /// interns exactly the keys the typed search would.
+    fn state_hash(&self) -> u64;
+
     /// A cheap digest of the current position, used by schedulers to
     /// tell positions apart without access to the concrete game type.
     /// Hashes the position's observable surface (move count, score,
@@ -227,6 +232,10 @@ where
         self.game.move_code(&self.moves[i])
     }
 
+    fn state_hash(&self) -> u64 {
+        self.game.state_hash()
+    }
+
     fn state_digest(&self) -> u64 {
         digest(
             &self.game,
@@ -270,6 +279,10 @@ where
 
     fn move_code_nth(&self, i: usize) -> u64 {
         i as u64
+    }
+
+    fn state_hash(&self) -> u64 {
+        self.game.state_hash()
     }
 
     fn state_digest(&self) -> u64 {
@@ -402,6 +415,10 @@ impl Game for DynGame {
 
     fn is_terminal(&self) -> bool {
         self.inner.legal_count() == 0
+    }
+
+    fn state_hash(&self) -> u64 {
+        self.inner.state_hash()
     }
 
     // The scratch-state protocol passes straight through the erasure, so
@@ -679,6 +696,22 @@ mod tests {
         assert_eq!(g.moves_played(), 1);
         g.undo(token);
         assert_eq!(g.moves_played(), 0);
+    }
+
+    #[test]
+    fn state_hash_passes_through_the_erasure() {
+        let typed = digits();
+        let mut erased = DynGame::new(digits());
+        assert_eq!(erased.state_hash(), typed.state_hash());
+        let mut t2 = digits();
+        t2.play(&1);
+        erased.play(&1);
+        assert_eq!(erased.state_hash(), t2.state_hash());
+        // Undo restores the previous key exactly.
+        let before = erased.state_hash();
+        let token = erased.apply(&0);
+        erased.undo(token);
+        assert_eq!(erased.state_hash(), before);
     }
 
     #[test]

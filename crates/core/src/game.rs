@@ -14,6 +14,26 @@
 /// to integers (e.g. TSP tour lengths in integer units).
 pub type Score = i64;
 
+/// SplitMix64 finaliser — the workspace's one bit-mixing primitive for
+/// position hashing. `mix64(coordinate ^ salt)` is a Zobrist key computed
+/// on the fly: full avalanche, no lookup tables, no allocation, so
+/// [`Game::state_hash`] implementations can stay hot-path clean without
+/// carrying per-game random tables.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Domain-separation salt of the default [`Game::state_hash`], so the
+/// weak fallback digest never collides structurally with a real
+/// implementation's keys.
+const STATE_HASH_FALLBACK_SALT: u64 = 0x5e55_10f0_9b3a_7c41;
+
 /// An undo token returned by [`Game::apply`] and consumed by
 /// [`Game::undo`].
 ///
@@ -158,6 +178,33 @@ pub trait Game: Clone {
         self.legal_moves(out);
     }
 
+    /// A 64-bit hash of the current position — the transposition-table
+    /// key of the tree-reuse search path.
+    ///
+    /// Contract: positions that are observably equal (same board, same
+    /// score, same future) must hash equal; positions with different
+    /// futures should hash differently with overwhelming probability.
+    /// The hash must depend only on the observable position — a state
+    /// reached via [`Game::play`] and the same state reached via
+    /// [`Game::apply`] (with its undo journal pending) hash identically,
+    /// and [`Game::undo`] restores the previous hash exactly.
+    ///
+    /// Called once per tree expansion on the search hot path, so
+    /// implementations must be allocation-free (the `nmcs-lint` hot-path
+    /// pass checks every implementation in the workspace). Games with an
+    /// undo journal should maintain the hash incrementally in
+    /// `apply`/`undo` (Zobrist XOR via [`mix64`]) or fold over their
+    /// compact state on demand.
+    ///
+    /// The default mixes only `(moves_played, score)` — a weak snapshot
+    /// digest that never distinguishes siblings with equal score. It
+    /// keeps every existing game compiling; real domains override it.
+    // nmcs-lint: hot-entry
+    fn state_hash(&self) -> u64 {
+        let a = mix64(self.moves_played() as u64 ^ STATE_HASH_FALLBACK_SALT);
+        mix64(a ^ (self.score() as u64))
+    }
+
     /// Whether this game implements the O(move)-cost [`Game::apply`] /
     /// [`Game::undo`] fast path.
     ///
@@ -238,6 +285,12 @@ impl<G: Game> Game for SnapshotOnly<G> {
         self.0.is_terminal()
     }
 
+    // The position is the inner game's position, so its hash passes
+    // through — A/B runs over the adapter intern the same table keys.
+    fn state_hash(&self) -> u64 {
+        self.0.state_hash()
+    }
+
     // `supports_undo`, `apply`, `undo` deliberately stay at their
     // defaults: that is the whole point of the adapter.
 }
@@ -310,6 +363,30 @@ mod tests {
         assert_eq!(wrapped.0 .0, 1);
         wrapped.undo(t);
         assert_eq!(wrapped.0 .0, 2);
+    }
+
+    #[test]
+    fn mix64_avalanches_and_is_stable() {
+        // The zero fixed point is pinned: every salt in the workspace is
+        // non-zero precisely because mix64(0) == 0.
+        assert_eq!(mix64(0), 0);
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // One-bit input flips change roughly half the output bits.
+        let d = (mix64(7) ^ mix64(6)).count_ones();
+        assert!((16..=48).contains(&d), "poor avalanche: {d} bits");
+    }
+
+    #[test]
+    fn default_state_hash_tracks_the_observable_surface() {
+        let a = Countdown(3);
+        let b = Countdown(3);
+        assert_eq!(a.state_hash(), b.state_hash());
+        let mut c = Countdown(3);
+        c.play(&());
+        assert_ne!(a.state_hash(), c.state_hash(), "score changed");
+        // SnapshotOnly hashes like the game it wraps.
+        assert_eq!(SnapshotOnly(Countdown(3)).state_hash(), a.state_hash());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod report;
 pub mod rng;
 pub mod search;
 pub mod seeds;
+pub mod session;
 pub mod spec;
 pub mod stats;
 pub mod uct;
@@ -69,7 +70,7 @@ pub use ctx::SearchCtx;
 pub use driver::{drive, DriveBudget, DriveReport};
 pub use erased::{decode_report, decode_result, decode_sequence, AnyGame, AnySearcher, DynGame};
 pub use exec::pool::ExecutorPool;
-pub use game::{Game, Score, SnapshotOnly, Undo};
+pub use game::{mix64, Game, Score, SnapshotOnly, Undo};
 pub use metrics::{
     metrics_enabled, search_metrics, set_metrics_enabled, Counter, DeadLetter, DeadLetterQueue,
     EngineSnapshot, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, PoolMetrics,
@@ -80,6 +81,7 @@ pub use nrpa::{nrpa_with, CodedGame, NrpaConfig, Policy};
 pub use report::{Interruption, SearchReport};
 pub use rng::{Fnv1a, Rng};
 pub use search::{nested_with, sample, MemoryPolicy, NestedConfig, PlayoutScratch, SearchResult};
+pub use session::SearchSession;
 pub use spec::{AlgorithmSpec, Budget, CancelToken, SearchBuilder, SearchSpec, Searcher};
 pub use stats::SearchStats;
 pub use uct::{uct_tree_parallel, uct_with, LockStrategy, StatsMode, TreeParallelOpts, UctConfig};

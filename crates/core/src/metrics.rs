@@ -794,6 +794,17 @@ pub struct EngineSnapshot {
     /// to the overflow counter instead of silently merged (see
     /// [`TagHistograms::collisions`]).
     pub tag_collisions: u64,
+    /// Warm-tree sessions currently open.
+    pub sessions: u64,
+    /// Summed approximate warm bytes across open sessions (what the
+    /// session table's memory bound is enforced against).
+    pub session_bytes: u64,
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions dropped by idle-TTL expiry.
+    pub sessions_expired: u64,
+    /// Sessions evicted under the count or byte bound.
+    pub sessions_evicted: u64,
 }
 
 /// The full, serde-round-trippable metrics snapshot — the future
@@ -918,6 +929,11 @@ impl_value_struct!(EngineSnapshot {
     dlq_dropped,
     stalled,
     tag_collisions,
+    sessions,
+    session_bytes,
+    sessions_opened,
+    sessions_expired,
+    sessions_evicted,
 });
 impl_value_struct!(MetricsSnapshot {
     pool,
@@ -1034,6 +1050,23 @@ impl MetricsSnapshot {
             let _ = writeln!(s, "engine_dead_letters_dropped_total {}", e.dlq_dropped);
             let _ = writeln!(s, "engine_stalled_jobs {}", e.stalled.len());
             let _ = writeln!(s, "engine_tag_collisions_total {}", e.tag_collisions);
+            let _ = writeln!(s, "engine_sessions {}", e.sessions);
+            let _ = writeln!(s, "engine_session_bytes {}", e.session_bytes);
+            let _ = writeln!(
+                s,
+                "engine_sessions_total{{event=\"opened\"}} {}",
+                e.sessions_opened
+            );
+            let _ = writeln!(
+                s,
+                "engine_sessions_total{{event=\"expired\"}} {}",
+                e.sessions_expired
+            );
+            let _ = writeln!(
+                s,
+                "engine_sessions_total{{event=\"evicted\"}} {}",
+                e.sessions_evicted
+            );
         }
         s
     }

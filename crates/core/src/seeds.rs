@@ -22,6 +22,7 @@ const TAG_MEDIAN: u64 = 0x6d65_6469_616e_0001;
 const TAG_CLIENT: u64 = 0x636c_6965_6e74_0001;
 const TAG_TREE_WORKER: u64 = 0x7472_6565_7770_0001;
 const TAG_TREE_LEAF: u64 = 0x7472_6565_6c66_0001;
+const TAG_SESSION_STEP: u64 = 0x7365_7373_7374_0001;
 
 /// Seed of the median search spawned for `root_move` at `root_step`.
 pub fn median_seed(root_seed: u64, root_step: usize, root_move: usize) -> u64 {
@@ -65,6 +66,17 @@ pub fn tree_rollout_seed(root_seed: u64, iteration: u64) -> u64 {
     derive_seed(root_seed, &[TAG_TREE_LEAF, iteration])
 }
 
+/// The search seed of session step `step`. Step 0 uses the root seed
+/// *itself*, so a session's first step runs the exact search a plain
+/// one-shot spec run would — steps only diverge once the position does.
+pub fn session_step_seed(root_seed: u64, step: usize) -> u64 {
+    if step == 0 {
+        root_seed
+    } else {
+        derive_seed(root_seed, &[TAG_SESSION_STEP, step as u64])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +114,18 @@ mod tests {
         // Domain-separated from the worker derivation.
         assert_ne!(tree_rollout_seed(42, 1), tree_worker_seed(42, 1));
         assert_eq!(tree_rollout_seed(42, 7), tree_rollout_seed(42, 7));
+    }
+
+    #[test]
+    fn session_step_zero_is_the_root_seed() {
+        // Pinned: step 0 ≡ root seed makes a session's first step equal
+        // to the one-shot run of the same spec.
+        assert_eq!(session_step_seed(42, 0), 42);
+        assert_ne!(session_step_seed(42, 1), 42);
+        assert_ne!(session_step_seed(42, 1), session_step_seed(42, 2));
+        // Domain-separated from the other derivations.
+        assert_ne!(session_step_seed(42, 1), tree_worker_seed(42, 1));
+        assert_ne!(session_step_seed(42, 1), tree_rollout_seed(42, 1));
     }
 
     #[test]

@@ -51,7 +51,8 @@ use crate::report::SearchReport;
 use crate::rng::Rng;
 use crate::search::{nested_with, MemoryPolicy, NestedConfig, PlayoutScratch};
 use crate::uct::{
-    uct_tree_parallel, uct_with, LockStrategy, StatsMode, TreeParallelOpts, UctConfig,
+    uct_tree_parallel_on, uct_with, LockStrategy, StatsMode, TpTree, TreeParallelOpts, UctConfig,
+    DEFAULT_TT_BYTES,
 };
 use serde::{Deserialize, Error, Serialize, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -184,7 +185,18 @@ pub enum AlgorithmSpec {
     /// Nested Rollout Policy Adaptation at `level` ([`crate::nrpa::nrpa_with`]).
     Nrpa { level: u32, config: NrpaConfig },
     /// Single-agent UCT ([`crate::uct::uct_with`]).
-    Uct { config: UctConfig },
+    Uct {
+        config: UctConfig,
+        /// Warm-tree mode: the search runs on a re-rootable shared tree
+        /// with a bounded transposition table keyed by
+        /// [`Game::state_hash`], so transposed move orders share
+        /// statistics and `SearchSession` can keep the tree across
+        /// steps. **Off** (the default): bit-identical to the pre-knob
+        /// behaviour per seed. **On**: a different (table-backed)
+        /// search — run-to-run deterministic, but *not* bit-identical
+        /// to reuse-off. Part of [`AlgorithmSpec::tag`] identity.
+        tree_reuse: bool,
+    },
     /// Flat Monte-Carlo: best of `playouts` random playouts
     /// ([`crate::baselines::flat_monte_carlo_with`]).
     FlatMc { playouts: usize },
@@ -244,6 +256,13 @@ pub enum AlgorithmSpec {
         /// path, and multi-worker runs stay within the backend's usual
         /// schedule-dependence.
         leaf_batch_dynamic: bool,
+        /// Warm-tree mode, as on [`AlgorithmSpec::Uct`]: expansions
+        /// intern their position's [`Game::state_hash`] in a bounded
+        /// transposition table so transposed lines share statistics.
+        /// Off (default): bit-identical to the pre-knob behaviour.
+        /// On at `threads == 1`: run-to-run deterministic. Part of
+        /// [`AlgorithmSpec::tag`] identity.
+        tree_reuse: bool,
     },
     /// Simulated annealing over decision vectors
     /// ([`crate::baselines::simulated_annealing_with`]), the last
@@ -281,6 +300,7 @@ impl AlgorithmSpec {
             stats: StatsMode::default(),
             leaf_batch: 0,
             leaf_batch_dynamic: false,
+            tree_reuse: false,
         }
     }
 
@@ -345,12 +365,14 @@ impl AlgorithmSpec {
                 0,
                 0,
             ],
-            AlgorithmSpec::Uct { config } => [
+            AlgorithmSpec::Uct { config, tree_reuse } => [
                 0x300,
                 config.iterations as u64,
                 config.exploration.to_bits(),
                 config.max_bias.to_bits(),
-                0,
+                // Reuse changes the search (table-backed tree), so it
+                // is identity; `false` keeps the pre-knob tag.
+                *tree_reuse as u64,
                 0,
             ],
             AlgorithmSpec::FlatMc { playouts } => [0x400, *playouts as u64, 0, 0, 0, 0],
@@ -398,6 +420,7 @@ impl AlgorithmSpec {
                 stats,
                 leaf_batch,
                 leaf_batch_dynamic,
+                tree_reuse,
             } => [
                 0xA00,
                 config.iterations as u64,
@@ -416,6 +439,7 @@ impl AlgorithmSpec {
                     lock_code
                         | (stats_code << 8)
                         | ((*leaf_batch_dynamic as u64) << 9)
+                        | ((*tree_reuse as u64) << 10)
                         | ((*leaf_batch as u64) << 16)
                 },
             ],
@@ -453,9 +477,11 @@ impl Serialize for AlgorithmSpec {
                 ("level".to_string(), level.to_value()),
                 ("config".to_string(), config.to_value()),
             ],
-            AlgorithmSpec::Uct { config } => {
-                vec![kind("uct"), ("config".to_string(), config.to_value())]
-            }
+            AlgorithmSpec::Uct { config, tree_reuse } => vec![
+                kind("uct"),
+                ("config".to_string(), config.to_value()),
+                ("tree_reuse".to_string(), tree_reuse.to_value()),
+            ],
             AlgorithmSpec::FlatMc { playouts } => vec![
                 kind("flat_mc"),
                 ("playouts".to_string(), playouts.to_value()),
@@ -503,6 +529,7 @@ impl Serialize for AlgorithmSpec {
                 stats,
                 leaf_batch,
                 leaf_batch_dynamic,
+                tree_reuse,
             } => vec![
                 kind("tree_parallel"),
                 ("config".to_string(), config.to_value()),
@@ -514,6 +541,7 @@ impl Serialize for AlgorithmSpec {
                     "leaf_batch_dynamic".to_string(),
                     leaf_batch_dynamic.to_value(),
                 ),
+                ("tree_reuse".to_string(), tree_reuse.to_value()),
             ],
             AlgorithmSpec::SimulatedAnnealing { config } => vec![
                 kind("simulated_annealing"),
@@ -550,6 +578,12 @@ impl Deserialize for AlgorithmSpec {
                 config: match v.get_field("config") {
                     Some(c) => UctConfig::from_value(c)?,
                     None => UctConfig::default(),
+                },
+                // Pre-knob (PR-9) rows carry no `tree_reuse`; legacy
+                // JSON replays with reuse off — the bit-identical path.
+                tree_reuse: match v.get_field("tree_reuse") {
+                    Some(b) => bool::from_value(b)?,
+                    None => false,
                 },
             }),
             "flat_mc" => Ok(AlgorithmSpec::FlatMc {
@@ -597,6 +631,10 @@ impl Deserialize for AlgorithmSpec {
                     None => 0,
                 },
                 leaf_batch_dynamic: match v.get_field("leaf_batch_dynamic") {
+                    Some(b) => bool::from_value(b)?,
+                    None => false,
+                },
+                tree_reuse: match v.get_field("tree_reuse") {
                     Some(b) => bool::from_value(b)?,
                     None => false,
                 },
@@ -690,12 +728,16 @@ impl SearchSpec {
     pub fn uct() -> SearchBuilder {
         SearchBuilder::new(AlgorithmSpec::Uct {
             config: UctConfig::default(),
+            tree_reuse: false,
         })
     }
 
     /// UCT with an explicit [`UctConfig`].
     pub fn uct_with(config: UctConfig) -> SearchBuilder {
-        SearchBuilder::new(AlgorithmSpec::Uct { config })
+        SearchBuilder::new(AlgorithmSpec::Uct {
+            config,
+            tree_reuse: false,
+        })
     }
 
     /// Flat Monte-Carlo with `playouts` samples.
@@ -761,6 +803,7 @@ impl SearchSpec {
             stats: StatsMode::default(),
             leaf_batch: 0,
             leaf_batch_dynamic: false,
+            tree_reuse: false,
         })
     }
 
@@ -865,9 +908,21 @@ where
                 let mut rng = Rng::seeded(self.seed);
                 nrpa_with(game, *level, config, &mut rng, &mut ctx)
             }
-            AlgorithmSpec::Uct { config } => {
-                let mut rng = Rng::seeded(self.seed);
-                uct_with(game, config, &mut rng, &mut ctx)
+            AlgorithmSpec::Uct { config, tree_reuse } => {
+                if *tree_reuse {
+                    // Reuse-on routes through the width-1 shared tree
+                    // with a transposition table. A single unbatched
+                    // tree worker is bit-identical to `uct_with` when
+                    // no table intervenes, so the *only* behavioural
+                    // delta of the knob is the statistics sharing it
+                    // exists to provide.
+                    let opts = TreeParallelOpts::new(1);
+                    let tree = TpTree::with_table(config, opts.lock, opts.stats, DEFAULT_TT_BYTES);
+                    uct_tree_parallel_on(game, &tree, config, &opts, self.seed, &mut ctx)
+                } else {
+                    let mut rng = Rng::seeded(self.seed);
+                    uct_with(game, config, &mut rng, &mut ctx)
+                }
             }
             AlgorithmSpec::FlatMc { playouts } => {
                 let mut rng = Rng::seeded(self.seed);
@@ -936,6 +991,7 @@ where
                 stats,
                 leaf_batch,
                 leaf_batch_dynamic,
+                tree_reuse,
             } => {
                 let opts = TreeParallelOpts {
                     threads: *threads,
@@ -944,7 +1000,12 @@ where
                     leaf_batch: *leaf_batch,
                     leaf_batch_dynamic: *leaf_batch_dynamic,
                 };
-                uct_tree_parallel(game, config, &opts, self.seed, &mut ctx)
+                let tree = if *tree_reuse {
+                    TpTree::with_table(config, opts.lock, opts.stats, DEFAULT_TT_BYTES)
+                } else {
+                    TpTree::new(config, opts.lock, opts.stats)
+                };
+                uct_tree_parallel_on(game, &tree, config, &opts, self.seed, &mut ctx)
             }
             AlgorithmSpec::SimulatedAnnealing { config } => {
                 let mut rng = Rng::seeded(self.seed);
@@ -1121,6 +1182,28 @@ impl SearchBuilder {
         } = &mut self.spec.algorithm
         {
             *leaf_batch_dynamic = dynamic;
+        }
+        self
+    }
+
+    /// Warm-tree mode (UCT and tree-parallel only; ignored by other
+    /// strategies): the search runs on a re-rootable shared tree with a
+    /// bounded transposition table keyed by [`Game::state_hash`], so
+    /// transposed move orders share node statistics and sessions can
+    /// keep the tree warm between steps.
+    ///
+    /// Determinism contract, stated explicitly: **reuse-off is
+    /// bit-identical to the pre-knob behaviour** (the legacy code path
+    /// runs verbatim, and legacy JSON without the field deserialises to
+    /// off); **reuse-on is run-to-run deterministic at width 1** (same
+    /// spec + seed → same result on every run), but is a different
+    /// search from reuse-off — table sharing is the point. Part of
+    /// [`AlgorithmSpec::tag`] identity.
+    pub fn tree_reuse(mut self, reuse: bool) -> Self {
+        match &mut self.spec.algorithm {
+            AlgorithmSpec::Uct { tree_reuse, .. }
+            | AlgorithmSpec::TreeParallel { tree_reuse, .. } => *tree_reuse = reuse,
+            _ => {}
         }
         self
     }
@@ -1511,13 +1594,28 @@ mod tests {
         assert_ne!(
             AlgorithmSpec::tree_parallel(2).tag(),
             AlgorithmSpec::Uct {
-                config: UctConfig::default()
+                config: UctConfig::default(),
+                tree_reuse: false,
             }
             .tag()
         );
         assert_ne!(
             AlgorithmSpec::simulated_annealing().tag(),
             AlgorithmSpec::nested(2).tag()
+        );
+        // Warm-tree reuse changes the search, so it is identity on both
+        // tree backends — and `false` keeps the pre-knob tag.
+        assert_ne!(
+            SearchSpec::uct().tree_reuse(true).build().algorithm.tag(),
+            SearchSpec::uct().build().algorithm.tag()
+        );
+        assert_ne!(
+            SearchSpec::tree_parallel(2)
+                .tree_reuse(true)
+                .build()
+                .algorithm
+                .tag(),
+            SearchSpec::tree_parallel(2).build().algorithm.tag()
         );
     }
 

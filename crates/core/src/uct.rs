@@ -382,9 +382,14 @@ impl TpStats {
 /// (children, expansion state) sits behind the node's own mutex, which
 /// is what makes [`LockStrategy::Sharded`] contention-free for
 /// descents that diverge.
+///
+/// `stats` is an `Arc` so a [`TransTable`] can hand the *same*
+/// statistics cell to tree nodes reached by transposed move orders:
+/// the tree stays a tree (edge `mv` labels and best-sequence replay
+/// stay exact) while visit/value/best data is shared per position.
 struct TpNode<M> {
     mv: Option<M>,
-    stats: TpStats,
+    stats: Arc<TpStats>,
     body: Mutex<TpBody<M>>,
 }
 
@@ -394,24 +399,172 @@ struct TpBody<M> {
     expanded: bool,
 }
 
+impl<M> TpBody<M> {
+    fn empty() -> Self {
+        TpBody {
+            // nmcs-lint: allow(hot-path) reason="node construction at expansion: the UCT tree grows by design, bounded by the node budget, not per playout step"
+            children: Vec::new(),
+            // nmcs-lint: allow(hot-path) reason="node construction at expansion: the UCT tree grows by design, bounded by the node budget, not per playout step"
+            unexpanded: Vec::new(),
+            expanded: false,
+        }
+    }
+}
+
 impl<M> TpNode<M> {
     fn new(mv: Option<M>) -> Self {
+        TpNode::with_stats(mv, Arc::new(TpStats::new()))
+    }
+
+    fn with_stats(mv: Option<M>, stats: Arc<TpStats>) -> Self {
         TpNode {
             mv,
-            stats: TpStats::new(),
-            body: Mutex::new(TpBody {
-                // nmcs-lint: allow(hot-path) reason="node construction at expansion: the UCT tree grows by design, bounded by the node budget, not per playout step"
-                children: Vec::new(),
-                // nmcs-lint: allow(hot-path) reason="node construction at expansion: the UCT tree grows by design, bounded by the node budget, not per playout step"
-                unexpanded: Vec::new(),
-                expanded: false,
-            }),
+            stats,
+            body: Mutex::new(TpBody::empty()),
         }
     }
 
     fn lock_body(&self) -> parking_lot::MutexGuard<'_, TpBody<M>> {
         // nmcs-lint: allow(hot-path) reason="per-node parking_lot mutex is the tree-parallel sharing design (PR 5); playouts proper never hold it"
         self.body.lock()
+    }
+}
+
+/// Set-associativity of the [`TransTable`] (slots scanned per lookup).
+const TT_WAYS: usize = 8;
+
+/// Default memory bound of a spec-level `tree_reuse` transposition
+/// table (sessions size theirs through the engine's session budget).
+pub(crate) const DEFAULT_TT_BYTES: usize = 8 * 1024 * 1024;
+
+/// One occupied transposition slot: a position key, its shared
+/// statistics cell, and the access tick driving LRU-within-set
+/// eviction.
+struct TtSlot {
+    key: u64,
+    stats: Arc<TpStats>,
+    touch: u64,
+}
+
+/// A bounded transposition table keyed by [`Game::state_hash`], so
+/// tree nodes reached by distinct move orders share one statistics
+/// cell.
+///
+/// Set-associative with [`TT_WAYS`] ways: a lookup scans one set of
+/// eight slots, an insert fills an empty way or evicts the
+/// least-recently-touched one. The slot vector is allocated once at
+/// construction, so memory is bounded *by construction* — churning a
+/// million distinct states through the table recycles slots instead of
+/// growing, and [`TransTable::bytes`] plateaus at the configured
+/// bound. Everything is O(ways) per intern with no rehashing, and a
+/// single-worker run interns in a deterministic order, keeping
+/// reuse-on searches run-to-run deterministic at width 1.
+///
+/// Evicted statistics cells stay alive while tree nodes still hold
+/// their `Arc`; eviction only stops *future* transpositions from
+/// joining them.
+pub(crate) struct TransTable {
+    slots: Mutex<Vec<Option<TtSlot>>>,
+    /// Set index mask (`set_count - 1`; set count is a power of two).
+    set_mask: u64,
+    /// Monotone access clock for LRU-within-set.
+    tick: AtomicU64,
+    occupied: AtomicUsize,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Approximate heap cost of one occupied slot (inline slot + the
+/// `Arc<TpStats>` allocation it owns).
+fn tt_entry_bytes() -> usize {
+    std::mem::size_of::<Option<TtSlot>>() + std::mem::size_of::<TpStats>()
+}
+
+impl TransTable {
+    /// A table sized to stay within `bytes_bound` once full.
+    pub(crate) fn new(bytes_bound: usize) -> Self {
+        let capacity = (bytes_bound / tt_entry_bytes()).max(TT_WAYS);
+        let mut sets = 1usize;
+        while sets * 2 * TT_WAYS <= capacity {
+            sets *= 2;
+        }
+        let mut slots = Vec::new();
+        slots.resize_with(sets * TT_WAYS, || None);
+        TransTable {
+            slots: Mutex::new(slots),
+            set_mask: sets as u64 - 1,
+            tick: AtomicU64::new(0),
+            occupied: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the statistics cell for `key`, creating (and possibly
+    /// evicting) as needed. Called once per tree expansion.
+    fn intern(&self, key: u64) -> Arc<TpStats> {
+        // nmcs-lint: allow(hot-path) reason="one table lock per tree expansion (not per playout step), held for an O(ways) scan; same budget-bounded cadence as node construction"
+        let mut slots = self.slots.lock();
+        let set = (key & self.set_mask) as usize * TT_WAYS;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut empty = None;
+        let mut victim = set;
+        let mut victim_touch = u64::MAX;
+        for i in set..set + TT_WAYS {
+            match &slots[i] {
+                Some(s) if s.key == key => {
+                    let stats = s.stats.clone();
+                    slots[i].as_mut().expect("just matched").touch = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return stats;
+                }
+                Some(s) => {
+                    if s.touch < victim_touch {
+                        victim_touch = s.touch;
+                        victim = i;
+                    }
+                }
+                None => {
+                    if empty.is_none() {
+                        empty = Some(i);
+                    }
+                }
+            }
+        }
+        let stats = Arc::new(TpStats::new());
+        let slot = TtSlot {
+            key,
+            stats: stats.clone(),
+            touch: tick,
+        };
+        match empty {
+            Some(i) => {
+                self.occupied.fetch_add(1, Ordering::Relaxed);
+                slots[i] = Some(slot);
+            }
+            None => {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                slots[victim] = Some(slot);
+            }
+        }
+        stats
+    }
+
+    /// Approximate bytes held: the fixed slot backing plus one stats
+    /// allocation per occupied slot. Monotone up to the bound, then
+    /// flat — eviction recycles slots instead of growing.
+    pub(crate) fn bytes(&self) -> usize {
+        let backing =
+            ((self.set_mask as usize + 1) * TT_WAYS) * std::mem::size_of::<Option<TtSlot>>();
+        backing + self.occupied.load(Ordering::Relaxed) * std::mem::size_of::<TpStats>()
+    }
+
+    /// (hits, evictions) counters, for tables and gauges.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -463,7 +616,11 @@ fn f64_cas_max(cell: &AtomicU64, candidate: f64) {
 }
 
 /// The shared search tree plus the selection knobs every descent needs.
-struct TpTree<M> {
+///
+/// Crate-visible (not public API): `SearchSession` holds one across
+/// steps, re-rooting it on each committed move so the next search
+/// starts warm.
+pub(crate) struct TpTree<M> {
     root: Arc<TpNode<M>>,
     /// Taken for the whole selection + expansion of one descent in
     /// [`LockStrategy::Global`] mode; untouched in `Sharded` mode.
@@ -475,6 +632,11 @@ struct TpTree<M> {
     max_bias: f64,
     lock: LockStrategy,
     stats: StatsMode,
+    /// When present, expansions intern their position's `state_hash`
+    /// here and share the statistics cell with transposed lines. Absent
+    /// on the reuse-off path, which therefore stays byte-for-byte the
+    /// pre-table behaviour.
+    table: Option<TransTable>,
 }
 
 /// Per-worker descent buffers, reused across iterations so the hot
@@ -532,7 +694,7 @@ impl<G: Game> SlabSlot<G> {
 }
 
 impl<M: Clone> TpTree<M> {
-    fn new(config: &UctConfig, lock: LockStrategy, stats: StatsMode) -> Self {
+    pub(crate) fn new(config: &UctConfig, lock: LockStrategy, stats: StatsMode) -> Self {
         TpTree {
             root: Arc::new(TpNode::new(None)),
             structure: Mutex::new(()),
@@ -542,7 +704,74 @@ impl<M: Clone> TpTree<M> {
             max_bias: config.max_bias,
             lock,
             stats,
+            table: None,
         }
+    }
+
+    /// Like [`TpTree::new`] but with a transposition table bounded to
+    /// `table_bytes` — the reuse-on tree.
+    pub(crate) fn with_table(
+        config: &UctConfig,
+        lock: LockStrategy,
+        stats: StatsMode,
+        table_bytes: usize,
+    ) -> Self {
+        let mut tree = TpTree::new(config, lock, stats);
+        tree.table = Some(TransTable::new(table_bytes));
+        tree
+    }
+
+    /// The transposition table, if this is a reuse-on tree.
+    pub(crate) fn table(&self) -> Option<&TransTable> {
+        self.table.as_ref()
+    }
+
+    /// Re-roots the tree on the child reached by `mv`, keeping that
+    /// subtree (statistics included) and the shared normalisation
+    /// bounds; sibling subtrees are dropped. A move that was never
+    /// expanded re-roots onto a fresh cold node. Must not run
+    /// concurrently with a search on this tree (sessions serialise
+    /// steps behind their own lock).
+    pub(crate) fn reroot(&mut self, mv: &M)
+    where
+        M: PartialEq,
+    {
+        let taken = {
+            let mut body = self.root.lock_body();
+            body.children
+                .iter()
+                .position(|c| c.mv.as_ref() == Some(mv))
+                .map(|i| body.children.swap_remove(i))
+        };
+        self.root = match taken {
+            Some(child) => {
+                // The subtree body moves wholesale onto the new root;
+                // `mv: None` keeps root semantics (WU-UCT's in-flight
+                // exclusion keys off `mv.is_some()`).
+                let inner = std::mem::replace(&mut *child.lock_body(), TpBody::empty());
+                Arc::new(TpNode {
+                    mv: None,
+                    stats: child.stats.clone(),
+                    body: Mutex::new(inner),
+                })
+            }
+            None => Arc::new(TpNode::new(None)),
+        };
+    }
+
+    /// Approximate heap bytes of the live tree (a between-steps walk —
+    /// re-rooting drops subtrees, so this is recomputed, not counted)
+    /// plus the transposition table's bound-plateaued footprint.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        fn walk<M>(node: &TpNode<M>) -> usize {
+            let body = node.lock_body();
+            let own = std::mem::size_of::<TpNode<M>>()
+                + std::mem::size_of::<TpStats>()
+                + body.unexpanded.capacity() * std::mem::size_of::<M>()
+                + body.children.capacity() * std::mem::size_of::<Arc<TpNode<M>>>();
+            own + body.children.iter().map(|c| walk(c)).sum::<usize>()
+        }
+        walk(&self.root) + self.table.as_ref().map_or(0, |t| t.bytes())
     }
 
     /// UCB over `children` with normalised means + max bias, folding
@@ -672,6 +901,30 @@ impl<M: Clone> TpTree<M> {
                 }
                 // Expand one child if any remain.
                 if let Some(mv) = body.unexpanded.pop() {
+                    if let Some(table) = self.table.as_ref() {
+                        // Transposition path: the key is the *child*
+                        // position's hash, so the move is applied before
+                        // the node exists. The popped move is exclusively
+                        // ours, so the parent lock can drop first —
+                        // apply/state_hash/intern all run outside node
+                        // locks (`intern` takes only the table's own).
+                        drop(body);
+                        if scr.use_undo {
+                            scr.undo_stack.push(pos.apply(&mv));
+                        } else {
+                            pos.play(&mv);
+                        }
+                        let stats = table.intern(pos.state_hash());
+                        let child = Arc::new(TpNode::with_stats(Some(mv.clone()), stats));
+                        // In-flight before publication, same invariant as
+                        // the in-lock mark below.
+                        child.stats.inflight.fetch_add(1, Ordering::Relaxed);
+                        node.lock_body().children.push(child.clone());
+                        scr.seq.push(mv);
+                        wctx.record_expansion();
+                        scr.path.push(child);
+                        return;
+                    }
                     let child = Arc::new(TpNode::new(Some(mv)));
                     body.children.push(child.clone());
                     next = child;
@@ -733,7 +986,7 @@ impl<M: Clone> TpTree<M> {
 /// incumbent), with the two worker-loop shapes as methods.
 struct TpRun<'a, G: Game> {
     game: &'a G,
-    tree: TpTree<G::Move>,
+    tree: &'a TpTree<G::Move>,
     /// Iterations are claimed from this shared counter, so the total
     /// playout budget matches the sequential run at any width.
     iters: AtomicUsize,
@@ -964,14 +1217,37 @@ where
     G: Game + Send + Sync,
     G::Move: Send + Sync,
 {
+    let tree = TpTree::new(config, opts.lock, opts.stats);
+    uct_tree_parallel_on(game, &tree, config, opts, seed, ctx)
+}
+
+/// Tree-parallel UCT on an *existing* tree: the warm-start entry point
+/// behind [`uct_tree_parallel`] (which passes a fresh tree) and
+/// `SearchSession` (which keeps one across steps, re-rooted per
+/// committed move). The tree's selection knobs were fixed at its
+/// construction and must match `config`.
+pub(crate) fn uct_tree_parallel_on<G>(
+    game: &G,
+    tree: &TpTree<G::Move>,
+    config: &UctConfig,
+    opts: &TreeParallelOpts,
+    seed: u64,
+    ctx: &mut SearchCtx,
+) -> (Score, Vec<G::Move>)
+where
+    G: Game + Send + Sync,
+    G::Move: Send + Sync,
+{
     assert!(
         opts.threads >= 1,
         "tree-parallel UCT needs at least one worker"
     );
+    debug_assert_eq!(tree.exploration.to_bits(), config.exploration.to_bits());
+    debug_assert_eq!(tree.max_bias.to_bits(), config.max_bias.to_bits());
     let exec = ExecutorPool::shared();
     let run = TpRun {
         game,
-        tree: TpTree::new(config, opts.lock, opts.stats),
+        tree,
         iters: AtomicUsize::new(0),
         max_iters: config.iterations.max(1),
         best: Mutex::new((Score::MIN, Vec::new())),
@@ -1372,5 +1648,217 @@ mod tests {
         let r = uct(&g, &cfg, &mut Rng::seeded(1));
         assert_eq!(r.score, 0);
         assert!(r.sequence.is_empty());
+    }
+
+    #[test]
+    fn trans_table_bytes_plateau_under_a_million_state_churn() {
+        let bound = 64 * 1024;
+        let table = TransTable::new(bound);
+        assert!(
+            table.bytes() <= bound,
+            "fresh table backing {} must fit the bound {bound}",
+            table.bytes()
+        );
+        let mut peak = 0usize;
+        for key in 0..1_000_000u64 {
+            table.intern(crate::game::mix64(key + 1));
+            peak = peak.max(table.bytes());
+        }
+        assert!(
+            peak <= bound + tt_entry_bytes() * TT_WAYS,
+            "peak {peak} exceeded bound {bound}: churn must recycle slots, not grow"
+        );
+        assert_eq!(
+            table.bytes(),
+            peak,
+            "a full table is flat: bytes stays at the plateau"
+        );
+        let (_, evictions) = table.counters();
+        assert!(evictions > 0, "a million states must overflow 64 KiB");
+    }
+
+    #[test]
+    fn trans_table_interns_same_key_to_the_same_stats_cell() {
+        let table = TransTable::new(16 * 1024);
+        let a = table.intern(42);
+        let b = table.intern(42);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one cell");
+        let c = table.intern(43);
+        assert!(!Arc::ptr_eq(&a, &c), "distinct keys get distinct cells");
+        assert_eq!(table.counters().0, 1, "exactly one hit");
+    }
+
+    #[test]
+    fn reroot_keeps_the_chosen_subtree_statistics() {
+        let g = Ternary {
+            depth: 4,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 500,
+            ..Default::default()
+        };
+        let opts = TreeParallelOpts::new(1);
+        let mut tree = TpTree::new(&cfg, opts.lock, opts.stats);
+        let mut ctx = SearchCtx::unbounded();
+        let (_, seq) = uct_tree_parallel_on(&g, &tree, &cfg, &opts, 7, &mut ctx);
+        let first = seq[0];
+
+        let child_visits = {
+            let body = tree.root.lock_body();
+            let child = body
+                .children
+                .iter()
+                .find(|c| c.mv == Some(first))
+                .expect("the best line's first move was expanded");
+            child.stats.visits.load(Ordering::Relaxed)
+        };
+        assert!(child_visits > 0);
+        let bytes_before = tree.approx_bytes();
+
+        tree.reroot(&first);
+        assert_eq!(
+            tree.root.stats.visits.load(Ordering::Relaxed),
+            child_visits,
+            "the new root carries the child's visit count"
+        );
+        assert!(tree.root.mv.is_none(), "roots have no inbound move");
+        assert!(
+            tree.approx_bytes() < bytes_before,
+            "re-rooting drops the sibling subtrees"
+        );
+
+        // Re-rooting on a move with no expanded child starts cold (9 is
+        // not a Ternary move, standing in for an unexplored line).
+        tree.reroot(&9u8);
+        assert_eq!(tree.root.stats.visits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn table_backed_single_worker_runs_are_run_to_run_deterministic() {
+        let g = Ternary {
+            depth: 5,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 300,
+            ..Default::default()
+        };
+        let opts = TreeParallelOpts::new(1);
+        for seed in 0..5 {
+            let run = |cfg: &UctConfig| {
+                let tree = TpTree::with_table(cfg, opts.lock, opts.stats, 256 * 1024);
+                let mut ctx = SearchCtx::unbounded();
+                let out = uct_tree_parallel_on(&g, &tree, cfg, &opts, seed, &mut ctx);
+                (out, *ctx.stats())
+            };
+            let a = run(&cfg);
+            let b = run(&cfg);
+            assert_eq!(a, b, "seed {seed}: width-1 reuse-on is deterministic");
+        }
+    }
+
+    #[test]
+    fn table_backed_tree_still_solves_small_games() {
+        let g = Ternary {
+            depth: 4,
+            taken: vec![],
+        };
+        let cfg = UctConfig {
+            iterations: 2_000,
+            ..Default::default()
+        };
+        for threads in [1usize, 4] {
+            let opts = TreeParallelOpts::new(threads);
+            let tree = TpTree::with_table(&cfg, opts.lock, opts.stats, 1024 * 1024);
+            let mut ctx = SearchCtx::unbounded();
+            let (score, seq) = uct_tree_parallel_on(&g, &tree, &cfg, &opts, 3, &mut ctx);
+            assert_eq!(score, optimum(4), "threads {threads}");
+            let mut replay = g.clone();
+            for mv in &seq {
+                replay.play(mv);
+            }
+            assert_eq!(replay.score(), score, "threads {threads}: replayable line");
+        }
+    }
+
+    /// Pick 4 of 6 items, any order; the position is the chosen *set*,
+    /// so every permutation of a set transposes. Scores spread enough
+    /// (weights 1,2,4,8,16,32) that search has something to rank.
+    #[derive(Clone, Debug)]
+    struct PickSet {
+        chosen: u8,
+        count: usize,
+    }
+
+    impl Game for PickSet {
+        type Move = u8;
+        fn legal_moves(&self, out: &mut Vec<u8>) {
+            if self.count < 4 {
+                out.extend((0..6u8).filter(|i| self.chosen & (1 << i) == 0));
+            }
+        }
+        fn play(&mut self, mv: &u8) {
+            self.chosen |= 1 << mv;
+            self.count += 1;
+        }
+        fn score(&self) -> Score {
+            self.chosen as Score
+        }
+        fn moves_played(&self) -> usize {
+            self.count
+        }
+        fn state_hash(&self) -> u64 {
+            crate::game::mix64(self.chosen as u64 + 1)
+        }
+    }
+
+    #[test]
+    fn transposed_move_orders_share_one_statistics_cell() {
+        let g = PickSet {
+            chosen: 0,
+            count: 0,
+        };
+        let cfg = UctConfig {
+            iterations: 2_000,
+            ..Default::default()
+        };
+        let opts = TreeParallelOpts::new(1);
+        let tree = TpTree::with_table(&cfg, opts.lock, opts.stats, 1024 * 1024);
+        let mut ctx = SearchCtx::unbounded();
+        let (score, _) = uct_tree_parallel_on(&g, &tree, &cfg, &opts, 5, &mut ctx);
+        assert_eq!(score, 0b111100, "the four heaviest items win");
+        let (hits, _) = tree.table().expect("reuse-on tree").counters();
+        assert!(
+            hits > 0,
+            "permuted picks reach equal sets; the table must dedupe them"
+        );
+
+        // The sharing is physical: two distinct depth-1 children that
+        // lead to a common grandchild set expose the same Arc somewhere
+        // below — spot-check that total interns < total expansions.
+        let expansions = ctx.stats().expansions as usize;
+        assert!(
+            (hits as usize) + tree_distinct_stats(&tree.root) == expansions + 1,
+            "every expansion either hit the table or made a fresh cell \
+             (hits {hits} + distinct vs expansions {expansions} + root)"
+        );
+    }
+
+    /// Counts distinct statistics cells in the subtree (root included).
+    fn tree_distinct_stats<M>(node: &TpNode<M>) -> usize {
+        fn walk<M>(node: &TpNode<M>, seen: &mut Vec<*const TpStats>) {
+            let ptr = Arc::as_ptr(&node.stats);
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+            }
+            let body = node.lock_body();
+            for c in &body.children {
+                walk(c, seen);
+            }
+        }
+        let mut seen = Vec::new();
+        walk(node, &mut seen);
+        seen.len()
     }
 }

@@ -13,6 +13,7 @@ pub(crate) enum ReplicaOutcome {
     Panicked,
 }
 use crate::scheduler::ReplicaPlan;
+use crate::session::SessionEntry;
 use nmcs_core::metrics::monotonic_now;
 use nmcs_core::CancelToken;
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -36,6 +37,9 @@ pub(crate) struct JobCore {
     pub id: JobId,
     pub spec: JobSpec,
     pub plans: Vec<ReplicaPlan>,
+    /// `Some` for session-scoped jobs: the worker advances this session
+    /// one step instead of running the spec's one-shot search.
+    pub session: Option<Arc<SessionEntry>>,
     /// Cooperative cancellation handle, polled inside the search loops
     /// of every replica (see [`nmcs_core::CancelToken`]).
     pub cancel: CancelToken,
@@ -45,12 +49,18 @@ pub(crate) struct JobCore {
 }
 
 impl JobCore {
-    pub fn new(id: JobId, spec: JobSpec, plans: Vec<ReplicaPlan>) -> Arc<Self> {
+    pub fn new(
+        id: JobId,
+        spec: JobSpec,
+        plans: Vec<ReplicaPlan>,
+        session: Option<Arc<SessionEntry>>,
+    ) -> Arc<Self> {
         let replicas = spec.replicas;
         Arc::new(JobCore {
             id,
             spec,
             plans,
+            session,
             cancel: CancelToken::new(),
             submitted_at: monotonic_now(),
             inner: Mutex::new(JobInner {
@@ -338,7 +348,7 @@ mod tests {
         );
         job.budget.deadline = deadline;
         job.replicas = replicas;
-        JobCore::new(1, job, Vec::new())
+        JobCore::new(1, job, Vec::new(), None)
     }
 
     /// Marks the core running with a start time backdated `ago` into

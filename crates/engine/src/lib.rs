@@ -61,16 +61,20 @@ mod job;
 mod pool;
 mod queue;
 pub mod scheduler;
+pub mod session;
 
 pub use handle::JobHandle;
 pub use job::{Algorithm, JobId, JobOutput, JobSpec, JobState, Progress, ReplicaResult};
 pub use scheduler::ReplicaPlan;
+pub use session::{SessionError, SessionId, SessionInfo, SessionLimits, SessionStats};
 
 use handle::JobCore;
 use nmcs_core::metrics::{EngineSnapshot, HistogramSnapshot, MetricsSnapshot};
+use nmcs_core::{CodedGame, DynGame, SearchSession, SearchSpec};
 use pool::{spawn_workers, PoolShared, Task};
 use queue::PushError;
 use scheduler::InFlight;
+use session::{SessionEntry, SessionTable};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -192,6 +196,7 @@ pub struct EngineStats {
 pub struct Engine {
     shared: Arc<PoolShared>,
     in_flight: Arc<InFlight>,
+    sessions: Arc<SessionTable>,
     next_id: AtomicU64,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
@@ -221,15 +226,24 @@ impl Engine {
         Ok(Engine {
             shared,
             in_flight,
+            sessions: Arc::new(SessionTable::new()),
             next_id: AtomicU64::new(1),
             workers,
         })
     }
 
     fn admit(&self, spec: JobSpec) -> (Arc<JobCore>, Vec<Task>) {
+        self.admit_with(spec, None)
+    }
+
+    fn admit_with(
+        &self,
+        spec: JobSpec,
+        session: Option<Arc<SessionEntry>>,
+    ) -> (Arc<JobCore>, Vec<Task>) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let plans = self.in_flight.plan_job(&spec);
-        let core = JobCore::new(id, spec, plans);
+        let core = JobCore::new(id, spec, plans, session);
         // Weak-register for the inspector's stall scan (weak refs do not
         // block the spec recovery `Arc::try_unwrap` on rejection).
         self.shared.registry.track(&core);
@@ -343,6 +357,143 @@ impl Engine {
         }
     }
 
+    /// Opens a warm-tree session over a typed game: the engine keeps a
+    /// [`SearchSession`] (position + warm tree + transposition table,
+    /// when the spec's `tree_reuse` knob is on) between requests, and
+    /// each [`Engine::submit_session`] advances it one committed move.
+    /// Sessions expire after the configured idle TTL and are evicted
+    /// LRU-first under the table's count/byte bounds
+    /// ([`Engine::set_session_limits`]).
+    pub fn open_session<G>(
+        &self,
+        tenant: &str,
+        game: G,
+        spec: SearchSpec,
+    ) -> Result<SessionId, SessionError>
+    where
+        G: CodedGame + Send + Sync + 'static,
+        G::Move: Send + Sync,
+    {
+        self.open_session_dyn(tenant, DynGame::new(game), spec, None)
+    }
+
+    /// [`Engine::open_session`] over an already-erased game, with an
+    /// optional per-session transposition-table byte bound (`None` uses
+    /// the core default).
+    pub fn open_session_dyn(
+        &self,
+        tenant: &str,
+        game: DynGame,
+        spec: SearchSpec,
+        table_bytes: Option<usize>,
+    ) -> Result<SessionId, SessionError> {
+        self.sessions.sweep();
+        let session = SearchSession::new(game, spec, table_bytes);
+        self.sessions.open(tenant, session).map(|e| e.id)
+    }
+
+    /// Submits one session step as a regular engine job (same bounded
+    /// queue, same backpressure, same cancellation). The job's result
+    /// is the step's search report: the full best line found from the
+    /// pre-step position, whose head was committed. Steps are strictly
+    /// serial per session — a second submission while one is in flight
+    /// returns [`SessionError::StepInFlight`].
+    pub fn submit_session(&self, id: SessionId) -> Result<JobHandle, SessionError> {
+        self.sessions.sweep();
+        let entry = self
+            .sessions
+            .get(id)
+            .ok_or(SessionError::NoSuchSession(id))?;
+        if entry.step_inflight.swap(true, Ordering::AcqRel) {
+            return Err(SessionError::StepInFlight(id));
+        }
+        entry.touch();
+        // The job mirrors the session's spec and current position (the
+        // position clone feeds the tenant/domain metrics and replays;
+        // the step itself runs on the session's own game).
+        let spec = {
+            let slot = entry.slot.lock();
+            JobSpec {
+                name: entry.tenant.clone(),
+                game: slot.game().clone(),
+                algorithm: slot.spec().algorithm.clone(),
+                seed: slot.spec().seed,
+                budget: slot.spec().budget.clone(),
+                replicas: 1,
+                diversify_policies: false,
+            }
+        };
+        let (core, tasks) = self.admit_with(spec, Some(entry.clone()));
+        let n = tasks.len();
+        self.shared.outstanding.fetch_add(n, Ordering::AcqRel);
+        match self.shared.injector.push_all(tasks) {
+            Ok(()) => {
+                self.shared
+                    .metrics
+                    .submitted_jobs
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { core })
+            }
+            Err((push_error, rejected_tasks)) => {
+                self.shared.outstanding.fetch_sub(n, Ordering::AcqRel);
+                self.rollback(&core);
+                drop(rejected_tasks);
+                entry.step_inflight.store(false, Ordering::Release);
+                let error = match push_error {
+                    PushError::Full => {
+                        self.shared
+                            .metrics
+                            .rejected_submissions
+                            .fetch_add(1, Ordering::Relaxed);
+                        SubmitError::QueueFull {
+                            capacity: self.shared.injector.capacity(),
+                            requested: n,
+                        }
+                    }
+                    PushError::Closed => SubmitError::ShuttingDown,
+                };
+                Err(SessionError::Submit(error))
+            }
+        }
+    }
+
+    /// Unlists a session. A step already in flight completes normally
+    /// on its own reference. Returns whether the id was open.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.sessions.close(id)
+    }
+
+    /// A lock-free snapshot of one session (never waits on a running
+    /// step), or `None` if the id is not open.
+    pub fn session_info(&self, id: SessionId) -> Option<SessionInfo> {
+        self.sessions.get(id).map(|e| e.info())
+    }
+
+    /// Sweeps (TTL expiry + byte-bound eviction) and returns the
+    /// session-table counters.
+    pub fn session_stats(&self) -> SessionStats {
+        self.sessions.sweep();
+        self.sessions.stats()
+    }
+
+    /// Replaces the session-table bounds and applies them immediately
+    /// (an over-bound table evicts on this very call).
+    pub fn set_session_limits(&self, limits: SessionLimits) {
+        self.sessions.set_limits(limits);
+        self.sessions.sweep();
+    }
+
+    /// The current session-table bounds.
+    pub fn session_limits(&self) -> SessionLimits {
+        self.sessions.limits()
+    }
+
+    /// Open sessions belonging to `tenant` — the serve layer's session
+    /// quota gauge.
+    pub fn tenant_sessions(&self, tenant: &str) -> usize {
+        self.sessions.tenant_sessions(tenant)
+    }
+
     /// Engine counters.
     pub fn stats(&self) -> EngineStats {
         let m = &self.shared.metrics;
@@ -388,6 +539,7 @@ impl Engine {
                 }
             }
         }
+        let sessions = self.sessions.stats();
         let engine = EngineSnapshot {
             submitted_jobs: m.submitted_jobs.load(Ordering::Relaxed),
             completed_jobs: m.completed_jobs.load(Ordering::Relaxed),
@@ -407,6 +559,11 @@ impl Engine {
             dlq_dropped: reg.dlq.dropped(),
             stalled,
             tag_collisions: reg.tenants.collisions() + reg.domains.collisions(),
+            sessions: sessions.open as u64,
+            session_bytes: sessions.bytes as u64,
+            sessions_opened: sessions.opened,
+            sessions_expired: sessions.expired,
+            sessions_evicted: sessions.evicted,
         };
         let mut snapshot = nmcs_core::metrics::snapshot();
         snapshot.engine = Some(engine);

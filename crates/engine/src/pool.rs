@@ -261,6 +261,7 @@ fn run_task(shared: &PoolShared, task: Task) {
     if job.is_cancelled() {
         shared.metrics.skipped_tasks.fetch_add(1, Ordering::Relaxed);
         dead_letter(shared, &job, task.replica, "cancelled");
+        release_session(&job);
         finish_replica(
             shared,
             &job,
@@ -279,28 +280,42 @@ fn run_task(shared: &PoolShared, task: Task) {
             .record_duration(job.submitted_at.elapsed());
     }
 
-    // The replica's unified spec: job algorithm (with the plan's memory
-    // policy substituted for diversified NMCS replicas) + job budget +
-    // plan seed.
-    let mut spec = job.spec.search_spec();
-    spec.seed = plan.seed;
-    if let (Algorithm::Nested { config, .. }, Some(policy)) =
-        (&mut spec.algorithm, plan.memory_policy)
-    {
-        *config = NestedConfig {
-            memory: policy,
-            ..config.clone()
-        };
-    }
-    let game = job.spec.game.clone();
-
     // The search is fenced with catch_unwind so a buggy game
     // implementation cannot take the worker thread (and with it the
     // whole engine) down. Cancellation no longer relies on unwinding:
     // the cancel token is polled cooperatively inside every search loop.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        spec.search(&game, Some(job.cancel_token()))
-    }));
+    let result = match &job.session {
+        // Session-scoped job: advance the warm session one committed
+        // move. The slot lock is uncontended — `step_inflight`
+        // serialises submissions — and the poller caches refresh while
+        // it is still held, so `SessionInfo` never waits on a search.
+        Some(entry) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut slot = entry.slot.lock();
+            let report = slot.step(Some(job.cancel_token()));
+            entry.refresh_caches(&slot);
+            report
+        })),
+        None => {
+            // The replica's unified spec: job algorithm (with the
+            // plan's memory policy substituted for diversified NMCS
+            // replicas) + job budget + plan seed.
+            let mut spec = job.spec.search_spec();
+            spec.seed = plan.seed;
+            if let (Algorithm::Nested { config, .. }, Some(policy)) =
+                (&mut spec.algorithm, plan.memory_policy)
+            {
+                *config = NestedConfig {
+                    memory: policy,
+                    ..config.clone()
+                };
+            }
+            let game = job.spec.game.clone();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                spec.search(&game, Some(job.cancel_token()))
+            }))
+        }
+    };
+    release_session(&job);
 
     let outcome = match result {
         // A search that raced with cancellation returned a truncated
@@ -341,7 +356,10 @@ fn run_task(shared: &PoolShared, task: Task) {
             }
             ReplicaOutcome::Finished(ReplicaResult {
                 replica: task.replica,
-                seed_used: plan.seed,
+                // The session path steps with a per-step derived seed
+                // (`session_step_seed`); the report carries whichever
+                // seed the search actually drew from.
+                seed_used: report.seed,
                 memory_policy: plan.memory_policy,
                 result: report.into_result(),
                 interrupted,
@@ -354,6 +372,16 @@ fn run_task(shared: &PoolShared, task: Task) {
         }
     };
     finish_replica(shared, &job, task.replica, outcome, plan.signature);
+}
+
+/// Clears a session job's in-flight flag and stamps its touch time, so
+/// the session is immediately steppable again (and TTL-fresh) whether
+/// the step ran, was skipped, or panicked.
+fn release_session(job: &Arc<JobCore>) {
+    if let Some(entry) = &job.session {
+        entry.touch();
+        entry.step_inflight.store(false, Ordering::Release);
+    }
 }
 
 /// Appends a bounded dead-letter record for a replica that panicked,

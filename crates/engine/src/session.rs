@@ -1,0 +1,323 @@
+//! Engine-held warm search sessions.
+//!
+//! A session pins one [`nmcs_core::SearchSession`] (position + warm
+//! tree + transposition table) inside the engine so a tenant can step
+//! the same game across many requests without re-growing the tree from
+//! scratch each time. Steps run as ordinary replica jobs on the worker
+//! pool — same queue, same backpressure, same cancellation — but
+//! instead of a one-shot `spec.search`, the worker locks the session's
+//! slot and advances it one committed move.
+//!
+//! Lifecycle is access-driven, the same no-reaper idiom as the serve
+//! layer's job directory: every `open`/`submit` sweeps the table,
+//! dropping sessions idle past their TTL and — when the summed warm
+//! bytes exceed the memory bound — evicting idle sessions oldest-touch
+//! first. Sessions with a step in flight are never swept; a step's job
+//! holds its own reference, so even a concurrent `close` only unlists
+//! the session (the running step completes normally).
+
+use nmcs_core::metrics::monotonic_now;
+use nmcs_core::{DynGame, Score, SearchSession};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine-assigned session identifier (unique per [`crate::Engine`]).
+pub type SessionId = u64;
+
+/// Bounds on the engine's session table. Settable at runtime via
+/// [`crate::Engine::set_session_limits`] (the serve layer applies its
+/// config at startup); defaults are deliberately conservative.
+#[derive(Debug, Clone)]
+pub struct SessionLimits {
+    /// Idle time after which a session is expired by the next sweep.
+    pub ttl: Duration,
+    /// Hard cap on open sessions; opening past it evicts the
+    /// least-recently-touched idle session, or fails if all are busy.
+    pub max_sessions: usize,
+    /// Bound on the summed approximate warm bytes across sessions;
+    /// sweeps evict idle sessions oldest-touch first until back under.
+    pub max_bytes: usize,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        SessionLimits {
+            ttl: Duration::from_secs(300),
+            max_sessions: 64,
+            max_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a session operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// Unknown id — never opened, closed, expired, or evicted.
+    NoSuchSession(SessionId),
+    /// The session already has a step queued or running; steps are
+    /// strictly serial per session (the warm tree is single-writer
+    /// between commits).
+    StepInFlight(SessionId),
+    /// The table is at `max_sessions` and every session is busy, so
+    /// nothing could be evicted to make room.
+    AtCapacity { open: usize, max: usize },
+    /// The engine refused the step's job submission.
+    Submit(crate::SubmitError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NoSuchSession(id) => write!(f, "no such session {id}"),
+            SessionError::StepInFlight(id) => {
+                write!(f, "session {id} already has a step in flight")
+            }
+            SessionError::AtCapacity { open, max } => {
+                write!(f, "session table at capacity ({open} of {max}, none idle)")
+            }
+            SessionError::Submit(e) => write!(f, "session step submission failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A point-in-time view of one session, readable without touching the
+/// session's slot lock (the fields are caches the worker refreshes
+/// after every step), so polling never waits behind a running search.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    pub id: SessionId,
+    pub tenant: String,
+    /// Steps taken so far (terminal no-ops included).
+    pub steps: usize,
+    /// Moves committed so far.
+    pub committed: usize,
+    /// Score of the current (post-commit) position.
+    pub score: Score,
+    /// Whether the position is terminal.
+    pub done: bool,
+    /// Whether steps run on a warm tree (the spec's `tree_reuse` knob).
+    pub warm: bool,
+    /// Approximate warm-tree + transposition-table bytes.
+    pub bytes: usize,
+    /// Whether a step is currently queued or running.
+    pub busy: bool,
+}
+
+/// Aggregate session-table counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions currently open (the `engine_sessions` gauge).
+    pub open: usize,
+    /// Summed approximate warm bytes (the `engine_session_bytes` gauge).
+    pub bytes: usize,
+    /// Sessions ever opened.
+    pub opened: u64,
+    /// Sessions dropped by TTL expiry.
+    pub expired: u64,
+    /// Sessions evicted under the count or byte bound.
+    pub evicted: u64,
+}
+
+/// One open session: the slot the worker steps, plus lock-free caches
+/// of everything pollers ask about.
+pub(crate) struct SessionEntry {
+    pub id: SessionId,
+    pub tenant: String,
+    /// The session itself. Held only by the worker running a step (and
+    /// briefly by `submit_session` to clone the job's spec/position);
+    /// `step_inflight` serialises those so the lock is never contended.
+    pub slot: Mutex<SearchSession<DynGame>>,
+    /// Last open/submit/step-completion time; the TTL and LRU key.
+    last_touch: Mutex<Instant>,
+    /// Caches refreshed by the worker after each step.
+    pub bytes: AtomicUsize,
+    pub steps: AtomicUsize,
+    pub committed: AtomicUsize,
+    pub score: AtomicI64,
+    pub done: AtomicBool,
+    pub warm: bool,
+    /// True from submission until the step's replica finishes; busy
+    /// sessions are never expired or evicted.
+    pub step_inflight: AtomicBool,
+}
+
+impl SessionEntry {
+    pub fn touch(&self) {
+        *self.last_touch.lock() = monotonic_now();
+    }
+
+    fn idle_for(&self) -> Duration {
+        self.last_touch.lock().elapsed()
+    }
+
+    /// Refreshes every poller-visible cache from the slot. Called by
+    /// the worker with the slot already locked.
+    pub fn refresh_caches(&self, slot: &SearchSession<DynGame>) {
+        self.bytes.store(slot.approx_bytes(), Ordering::Relaxed);
+        self.steps.store(slot.steps(), Ordering::Relaxed);
+        self.committed
+            .store(slot.committed().len(), Ordering::Relaxed);
+        self.score.store(slot.score(), Ordering::Relaxed);
+        self.done.store(slot.is_done(), Ordering::Relaxed);
+    }
+
+    pub fn info(&self) -> SessionInfo {
+        SessionInfo {
+            id: self.id,
+            tenant: self.tenant.clone(),
+            steps: self.steps.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            score: self.score.load(Ordering::Relaxed),
+            done: self.done.load(Ordering::Relaxed),
+            warm: self.warm,
+            bytes: self.bytes.load(Ordering::Relaxed),
+            busy: self.step_inflight.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// The engine's session table. All mutation happens under the one
+/// entries lock; sweeps are short (no search work, no slot locks).
+pub(crate) struct SessionTable {
+    entries: Mutex<Vec<Arc<SessionEntry>>>,
+    limits: Mutex<SessionLimits>,
+    next_id: AtomicU64,
+    opened: AtomicU64,
+    expired: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SessionTable {
+    pub fn new() -> Self {
+        SessionTable {
+            entries: Mutex::new(Vec::new()),
+            limits: Mutex::new(SessionLimits::default()),
+            next_id: AtomicU64::new(1),
+            opened: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    pub fn set_limits(&self, limits: SessionLimits) {
+        *self.limits.lock() = limits;
+    }
+
+    pub fn limits(&self) -> SessionLimits {
+        self.limits.lock().clone()
+    }
+
+    /// Removes the least-recently-touched idle entry; returns whether
+    /// anything could be evicted.
+    fn evict_one(entries: &mut Vec<Arc<SessionEntry>>, evicted: &AtomicU64) -> bool {
+        let victim = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.step_inflight.load(Ordering::Acquire))
+            .max_by_key(|(_, e)| e.idle_for())
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                entries.remove(i);
+                evicted.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The access-driven sweep: TTL expiry first, then byte-bound
+    /// eviction (idle sessions, oldest touch first) until back under
+    /// the memory bound. Busy sessions are untouchable in both phases.
+    pub fn sweep(&self) {
+        let limits = self.limits();
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|e| e.step_inflight.load(Ordering::Acquire) || e.idle_for() <= limits.ttl);
+        self.expired
+            .fetch_add((before - entries.len()) as u64, Ordering::Relaxed);
+        let total =
+            |es: &[Arc<SessionEntry>]| es.iter().map(|e| e.bytes.load(Ordering::Relaxed)).sum();
+        let mut bytes: usize = total(&entries);
+        while bytes > limits.max_bytes {
+            if !Self::evict_one(&mut entries, &self.evicted) {
+                break; // everything left is busy
+            }
+            bytes = total(&entries);
+        }
+    }
+
+    /// Registers a fresh session, evicting an idle LRU entry if the
+    /// table is at its count cap. The caller sweeps first.
+    pub fn open(
+        &self,
+        tenant: &str,
+        session: SearchSession<DynGame>,
+    ) -> Result<Arc<SessionEntry>, SessionError> {
+        let limits = self.limits();
+        let mut entries = self.entries.lock();
+        while entries.len() >= limits.max_sessions.max(1) {
+            if !Self::evict_one(&mut entries, &self.evicted) {
+                return Err(SessionError::AtCapacity {
+                    open: entries.len(),
+                    max: limits.max_sessions,
+                });
+            }
+        }
+        let entry = Arc::new(SessionEntry {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            tenant: tenant.to_string(),
+            bytes: AtomicUsize::new(session.approx_bytes()),
+            steps: AtomicUsize::new(session.steps()),
+            committed: AtomicUsize::new(session.committed().len()),
+            score: AtomicI64::new(session.score()),
+            done: AtomicBool::new(session.is_done()),
+            warm: session.is_warm(),
+            step_inflight: AtomicBool::new(false),
+            last_touch: Mutex::new(monotonic_now()),
+            slot: Mutex::new(session),
+        });
+        entries.push(entry.clone());
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    pub fn get(&self, id: SessionId) -> Option<Arc<SessionEntry>> {
+        self.entries.lock().iter().find(|e| e.id == id).cloned()
+    }
+
+    /// Unlists a session. A step already in flight completes on its own
+    /// reference; its results are still delivered through its handle.
+    pub fn close(&self, id: SessionId) -> bool {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|e| e.id != id);
+        entries.len() < before
+    }
+
+    pub fn tenant_sessions(&self, tenant: &str) -> usize {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| e.tenant == tenant)
+            .count()
+    }
+
+    pub fn stats(&self) -> SessionStats {
+        let entries = self.entries.lock();
+        SessionStats {
+            open: entries.len(),
+            bytes: entries
+                .iter()
+                .map(|e| e.bytes.load(Ordering::Relaxed))
+                .sum(),
+            opened: self.opened.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -6,10 +6,26 @@
 //! down; empty columns close up to the left. Clearing the whole board
 //! earns a +1000 bonus. The game ends when no group of ≥2 remains.
 
-use nmcs_core::{CodedGame, Game, Rng, Score, Undo};
+use nmcs_core::{mix64, CodedGame, Game, Rng, Score, Undo};
 
 /// Bonus for clearing the entire board.
 pub const CLEAR_BONUS: Score = 1000;
+
+/// Domain-separation salts of the board hash (non-zero: `mix64(0) == 0`).
+const SAMEGAME_COL_SALT: u64 = 0x1fb7_62d9_8e04_c3a5;
+const SAMEGAME_HASH_SALT: u64 = 0xc50a_39e6_271d_b84f;
+
+/// Content hash of one column (bottom-up tile colours). The sequential
+/// fold encodes the length implicitly; an empty column hashes to the
+/// salt itself.
+#[inline]
+fn column_hash(col: &[u8]) -> u64 {
+    let mut h = SAMEGAME_COL_SALT;
+    for &c in col {
+        h = mix64(h ^ c as u64);
+    }
+    h
+}
 
 /// Reusable flood-fill scratch of the playout core. `legal_moves` takes
 /// `&self`, so the buffers live in a thread-local (cheap: one borrow per
@@ -74,6 +90,11 @@ pub struct SameGame {
     /// `cols[x][y]` = colour of the tile at column `x`, height `y`
     /// (bottom-up). Colours are `1..=colors`.
     cols: Vec<Vec<u8>>,
+    /// `col_hash[x]` = [`column_hash`] of `cols[x]`, maintained through
+    /// every move and undo so [`Game::state_hash`] is an O(width) fold
+    /// instead of an O(cells) rescan. Derived state: deliberately
+    /// excluded from `PartialEq`.
+    col_hash: Vec<u64>,
     width: usize,
     height: usize,
     accumulated: Score,
@@ -130,8 +151,10 @@ impl SameGame {
                 cols[x].push(c);
             }
         }
+        let col_hash = cols.iter().map(|c| column_hash(c)).collect();
         Self {
             cols,
+            col_hash,
             width,
             height,
             accumulated: 0,
@@ -147,15 +170,17 @@ impl SameGame {
     pub fn random(width: usize, height: usize, colors: u8, seed: u64) -> Self {
         assert!(width > 0 && height > 0 && (1..=9).contains(&colors));
         let mut rng = Rng::seeded(seed);
-        let cols = (0..width)
+        let cols: Vec<Vec<u8>> = (0..width)
             .map(|_| {
                 (0..height)
                     .map(|_| rng.below(colors as usize) as u8 + 1)
                     .collect()
             })
             .collect();
+        let col_hash = cols.iter().map(|c| column_hash(c)).collect();
         Self {
             cols,
+            col_hash,
             width,
             height,
             accumulated: 0,
@@ -398,14 +423,26 @@ impl SameGame {
                     }
                 }
             }
+            // Refresh the content hash of every column the removal
+            // touched (ascending members make distinct-x detection a
+            // one-token lookback), while indices are still pre-collapse.
+            let mut last_x = u16::MAX;
+            for &(x, _) in &members {
+                if x as u16 != last_x {
+                    last_x = x as u16;
+                    self.col_hash[x as usize] = column_hash(&self.cols[x as usize]);
+                }
+            }
             // Stable partition: surviving columns slide left in order,
             // emptied columns become the trailing pads with their
             // buffers (and capacity) intact — the collapse neither
-            // drops nor creates a single Vec.
+            // drops nor creates a single Vec. The hash vector mirrors
+            // every swap so `col_hash[x]` keeps tracking `cols[x]`.
             let mut write = 0;
             for read in 0..self.cols.len() {
                 if !self.cols[read].is_empty() {
                     self.cols.swap(read, write);
+                    self.col_hash.swap(read, write);
                     write += 1;
                 }
             }
@@ -469,6 +506,22 @@ impl Game for SameGame {
         self.moves
     }
 
+    /// O(width) fold over the maintained per-column hashes plus the two
+    /// scalars a transposition must also agree on (score and move
+    /// count — distinct merge orders can reach the same board with
+    /// different earnings, and those positions must not share
+    /// statistics). Allocation-free; the per-column maintenance lives in
+    /// the `remove_inner`/`undo` journal.
+    // nmcs-lint: hot-entry
+    fn state_hash(&self) -> u64 {
+        let mut h = SAMEGAME_HASH_SALT;
+        for &ch in &self.col_hash {
+            h = mix64(h ^ ch);
+        }
+        h = mix64(h ^ self.accumulated as u64);
+        mix64(h ^ self.moves as u64)
+    }
+
     // Scratch-state fast path: `apply` journals the removed group and the
     // collapse it caused; `undo` re-opens collapsed columns and re-inserts
     // the tiles, which also reverses gravity (a removal never reorders
@@ -515,15 +568,30 @@ impl Game for SameGame {
             let pad = self.cols.pop().expect("collapse keeps the width");
             debug_assert!(pad.is_empty());
             self.cols.insert(x, pad);
+            // Mirror on the hash vector: a trailing pad hash moves to x
+            // (every empty column hashes to the salt, so pop-and-insert
+            // is exact).
+            let pad_hash = self.col_hash.pop().expect("hash tracks width");
+            debug_assert_eq!(pad_hash, column_hash(&[]));
+            self.col_hash.insert(x, pad_hash);
         }
         self.undo_cols.truncate(cols_start);
 
         // 2. Re-insert the removed tiles; ascending (x, y) order rebuilds
-        //    each column bottom-up.
+        //    each column bottom-up. Refresh each distinct touched
+        //    column's hash afterwards (same lookback as the removal).
         let tiles_start = frame.tiles_start as usize;
         for i in tiles_start..self.undo_tiles.len() {
             let (x, y, color) = self.undo_tiles[i];
             self.cols[x as usize].insert(y as usize, color);
+        }
+        let mut last_x = u16::MAX;
+        for i in tiles_start..self.undo_tiles.len() {
+            let x = self.undo_tiles[i].0;
+            if x as u16 != last_x {
+                last_x = x as u16;
+                self.col_hash[x as usize] = column_hash(&self.cols[x as usize]);
+            }
         }
         self.undo_tiles.truncate(tiles_start);
 
@@ -753,6 +821,54 @@ mod tests {
             assert_eq!(fast.sequence, slow.sequence, "seed {seed}");
             assert_eq!(fast.stats, slow.stats, "seed {seed}");
         }
+    }
+
+    /// From-scratch reference of the maintained hash.
+    fn rehash(g: &SameGame) -> u64 {
+        let mut h = SAMEGAME_HASH_SALT;
+        for col in &g.cols {
+            h = mix64(h ^ column_hash(col));
+        }
+        h = mix64(h ^ g.accumulated as u64);
+        mix64(h ^ g.moves as u64)
+    }
+
+    #[test]
+    fn state_hash_is_maintained_incrementally_along_random_games() {
+        for seed in 0..6 {
+            let mut g = SameGame::random(8, 8, 3, seed);
+            let mut rng = Rng::seeded(seed + 900);
+            let mut moves = Vec::new();
+            loop {
+                assert_eq!(g.state_hash(), rehash(&g), "seed {seed}: play path");
+                g.legal_moves_into(&mut moves);
+                if moves.is_empty() {
+                    break;
+                }
+                // Round-trip one apply/undo and check the hash restores.
+                let before = g.state_hash();
+                let mv = moves[rng.below(moves.len())];
+                let token = g.apply(&mv);
+                assert_eq!(g.state_hash(), rehash(&g), "seed {seed}: apply path");
+                assert_ne!(g.state_hash(), before, "a removal changes the board");
+                g.undo(token);
+                assert_eq!(g.state_hash(), before, "seed {seed}: undo restores");
+                g.play(&mv);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_positions_hash_equal_regardless_of_journal() {
+        let root = SameGame::random(6, 6, 3, 4);
+        let mut moves = Vec::new();
+        root.legal_moves(&mut moves);
+        let mut played = root.clone();
+        played.play(&moves[0]);
+        let mut applied = root.clone();
+        let _token = applied.apply(&moves[0]);
+        assert_eq!(played, applied);
+        assert_eq!(played.state_hash(), applied.state_hash());
     }
 
     #[test]

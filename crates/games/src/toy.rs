@@ -2,7 +2,12 @@
 //! and backend in the workspace: if parallel NMCS on the simulated cluster
 //! cannot solve `SumGame`, something is broken in plumbing, not in luck.
 
-use nmcs_core::{CodedGame, Game, Rng, Score, Undo};
+use nmcs_core::{mix64, CodedGame, Game, Rng, Score, Undo};
+
+/// Domain-separation salts of the toy games' [`Game::state_hash`] folds
+/// (non-zero: `mix64(0) == 0`).
+const SUM_HASH_SALT: u64 = 0x7a31_9c04_d6e8_5b2f;
+const NEEDLE_HASH_SALT: u64 = 0x2fd8_44b1_03c7_96e5;
 
 /// A depth × width decision table: at step `k` the player picks a column
 /// `c` and earns `values[k][c]`. The optimum is the sum of row maxima —
@@ -82,6 +87,17 @@ impl Game for SumGame {
 
     fn is_terminal(&self) -> bool {
         self.taken.len() >= self.values.len()
+    }
+
+    /// The taken prefix *is* the position, so a sequential fold over it
+    /// (plus the accumulated score) is an exact identity, allocation-free.
+    // nmcs-lint: hot-entry
+    fn state_hash(&self) -> u64 {
+        let mut h = SUM_HASH_SALT;
+        for &m in &self.taken {
+            h = mix64(h ^ (m as u64 + 1));
+        }
+        mix64(h ^ self.accumulated as u64)
     }
 
     // Scratch-state fast path: a move is one pushed column, so undo pops
@@ -165,6 +181,16 @@ impl Game for NeedleLadder {
 
     fn is_terminal(&self) -> bool {
         self.taken.len() >= self.depth
+    }
+
+    /// The taken prefix is the whole position; fold it.
+    // nmcs-lint: hot-entry
+    fn state_hash(&self) -> u64 {
+        let mut h = NEEDLE_HASH_SALT;
+        for &m in &self.taken {
+            h = mix64(h ^ (m as u64 + 1));
+        }
+        h
     }
 
     // Scratch-state fast path: the score is derived from `taken`, so

@@ -6,8 +6,13 @@
 //! tour, a move visits an unvisited city, and the score is the *negated*
 //! tour length in integer micro-units (NMCS maximises).
 
-use nmcs_core::{CodedGame, Game, Rng, Score, Undo};
+use nmcs_core::{mix64, CodedGame, Game, Rng, Score, Undo};
 use std::cell::RefCell;
+
+/// Domain-separation salts of [`TspGame`]'s [`Game::state_hash`]:
+/// visited-set keys and the scalar tail mix.
+const TSP_HASH_CITY_SALT: u64 = 0x91c4_7e02_d5aa_36b9;
+const TSP_HASH_TAIL_SALT: u64 = 0x0b63_f8d1_49e2_7c55;
 
 thread_local! {
     /// Candidate scratch for neighbourhood-pruned move generation —
@@ -160,6 +165,24 @@ impl Game for TspGame {
 
     fn is_terminal(&self) -> bool {
         self.tour.len() == self.instance.cities.len()
+    }
+
+    /// Two partial tours with the same visited set, the same current
+    /// city, and the same length so far have identical futures, so the
+    /// hash is an order-independent XOR over visited cities combined
+    /// with those two scalars — permuted middles transpose, as a TSP
+    /// table should. Allocation-free O(n) fold.
+    // nmcs-lint: hot-entry
+    fn state_hash(&self) -> u64 {
+        let mut h = 0u64;
+        for (c, &v) in self.visited_mask.iter().enumerate() {
+            if v {
+                h ^= mix64(c as u64 ^ TSP_HASH_CITY_SALT);
+            }
+        }
+        let here = *self.tour.last().unwrap() as u64;
+        let tail = mix64(here ^ TSP_HASH_TAIL_SALT) ^ (self.length_so_far as u64);
+        mix64(h ^ mix64(tail))
     }
 
     // Scratch-state fast path: a move extends the tour by one city, so

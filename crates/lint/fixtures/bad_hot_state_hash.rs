@@ -1,0 +1,14 @@
+// lint-fixture: path=crates/games/src/samegame.rs expect=hot-path
+//! Known-bad: a `state_hash` that stringifies the position and hashes
+//! the bytes — a heap allocation per table probe, inside the hottest
+//! loop a warm session has. The purity pass must reject it.
+
+// nmcs-lint: hot-entry
+pub fn state_hash(cells: &[u8]) -> u64 {
+    let key = format!("{cells:?}");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}

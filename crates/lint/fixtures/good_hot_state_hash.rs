@@ -1,0 +1,15 @@
+// lint-fixture: path=crates/games/src/samegame.rs expect=clean
+//! Known-good: an allocation-free incremental `state_hash` — the shape
+//! PR-10's warm sessions demand, since the transposition table keys
+//! every node visit on it. Pure indexing, XOR, and wrapping arithmetic;
+//! nothing for the hot-path pass to object to.
+
+// nmcs-lint: hot-entry
+pub fn state_hash(cells: &[u8], acc: u64) -> u64 {
+    let mut h = acc ^ 0x9e37_79b9_7f4a_7c15;
+    for (i, &c) in cells.iter().enumerate() {
+        h ^= (c as u64).wrapping_mul(0x2545_f491_4f6c_dd1d) ^ (i as u64).rotate_left(17);
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+    h ^ (h >> 33)
+}

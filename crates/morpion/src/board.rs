@@ -20,8 +20,27 @@
 //! through the new point, making random playouts allocation-free and fast.
 
 use crate::geom::{Dir, Point, DIRS};
-use nmcs_core::{Game, Score, Undo};
+use nmcs_core::{mix64, Game, Score, Undo};
 use serde::{Deserialize, Serialize};
+
+/// Domain-separation salts of the board's Zobrist hash: occupancy keys
+/// and constraint-bit keys (non-zero: `mix64(0) == 0`).
+const OCC_HASH_SALT: u64 = 0x8c2f_50ba_6e91_d437;
+const LINE_HASH_SALT: u64 = 0x3b96_e72c_154f_a8d1;
+
+/// Zobrist key of an occupied cell, computed on the fly.
+#[inline]
+fn occ_key(idx: usize) -> u64 {
+    mix64(idx as u64 ^ OCC_HASH_SALT)
+}
+
+/// Zobrist key of one constraint bit (`used_bit`/`seg_bit` of one
+/// direction) at one cell. The raw bit value distinguishes both the
+/// direction and the variant's bit family.
+#[inline]
+fn line_key(idx: usize, bit: u16) -> u64 {
+    mix64((((idx as u64) << 16) | bit as u64) ^ LINE_HASH_SALT)
+}
 
 /// Side length of the board window.
 pub const GRID: i16 = 64;
@@ -106,6 +125,13 @@ struct MoveFrame {
 #[derive(Clone)]
 pub struct Board {
     cells: Box<[u16]>,
+    /// Zobrist hash of `cells` (occupancy + constraint bits), maintained
+    /// incrementally: XORed in `play_move_inner`/`undo` and in
+    /// `mark_line`/`unmark_line`, whose set/clear operations are exact
+    /// inverses by the legality guarantee. The cells fully determine the
+    /// position (score is the move count, derivable from occupancy), so
+    /// this is a complete transposition key.
+    hash: u64,
     variant: Variant,
     /// Cached legal moves of the current position (kept exact).
     candidates: Vec<Move>,
@@ -134,6 +160,7 @@ impl Board {
         assert!(!initial.is_empty(), "initial position must have points");
         let mut cells = vec![0u16; NCELLS].into_boxed_slice();
         let mut min = Point::new(i16::MAX, i16::MAX);
+        let mut hash = 0u64;
         for p in &initial {
             assert!(
                 in_bounds(*p),
@@ -142,11 +169,13 @@ impl Board {
             let idx = cell_index(*p);
             assert_eq!(cells[idx] & OCC, 0, "duplicate initial point {p}");
             cells[idx] |= OCC;
+            hash ^= occ_key(idx);
             min.x = min.x.min(p.x);
             min.y = min.y.min(p.y);
         }
         let mut board = Self {
             cells,
+            hash,
             variant,
             candidates: Vec::new(),
             history: Vec::new(),
@@ -230,8 +259,9 @@ impl Board {
 
     fn play_move_inner(&mut self, m: &Move, record: bool) {
         assert!(self.is_legal(m), "illegal move {m}");
-        let q = m.new_point();
+        let q: Point = m.new_point();
         self.cells[cell_index(q)] |= OCC;
+        self.hash ^= occ_key(cell_index(q));
         self.mark_line(m.start, m.dir);
 
         // Revalidate the cache: a candidate dies iff its new point just got
@@ -284,12 +314,16 @@ impl Board {
         match self.variant {
             Variant::Disjoint => {
                 for k in 0..5i16 {
-                    self.cells[cell_index(start.step(dir, k))] &= !used_bit(dir);
+                    let idx = cell_index(start.step(dir, k));
+                    self.cells[idx] &= !used_bit(dir);
+                    self.hash ^= line_key(idx, used_bit(dir));
                 }
             }
             Variant::Touching => {
                 for k in 0..4i16 {
-                    self.cells[cell_index(start.step(dir, k))] &= !seg_bit(dir);
+                    let idx = cell_index(start.step(dir, k));
+                    self.cells[idx] &= !seg_bit(dir);
+                    self.hash ^= line_key(idx, seg_bit(dir));
                 }
             }
         }
@@ -323,15 +357,21 @@ impl Board {
 
     /// Marks the constraint bits of a just-played line.
     fn mark_line(&mut self, start: Point, dir: Dir) {
+        // Legality guaranteed the bits were clear, so `|=` truly flips
+        // 0 → 1 on every cell and the XOR below is its exact inverse.
         match self.variant {
             Variant::Disjoint => {
                 for k in 0..5i16 {
-                    self.cells[cell_index(start.step(dir, k))] |= used_bit(dir);
+                    let idx = cell_index(start.step(dir, k));
+                    self.cells[idx] |= used_bit(dir);
+                    self.hash ^= line_key(idx, used_bit(dir));
                 }
             }
             Variant::Touching => {
                 for k in 0..4i16 {
-                    self.cells[cell_index(start.step(dir, k))] |= seg_bit(dir);
+                    let idx = cell_index(start.step(dir, k));
+                    self.cells[idx] |= seg_bit(dir);
+                    self.hash ^= line_key(idx, seg_bit(dir));
                 }
             }
         }
@@ -404,6 +444,15 @@ impl Game for Board {
         self.candidates.is_empty()
     }
 
+    /// The incrementally maintained Zobrist key over occupancy and
+    /// constraint bits — cells fully determine the position (the score is
+    /// the move count, derivable from occupancy minus the fixed cross),
+    /// so transposed move orders reaching the same marks hash equal.
+    // nmcs-lint: hot-entry
+    fn state_hash(&self) -> u64 {
+        self.hash
+    }
+
     // Scratch-state fast path: the board journals the candidates each
     // recorded move evicted (plus a tail count of additions); everything
     // else a move did — one occupancy bit, one line's constraint bits,
@@ -426,8 +475,9 @@ impl Game for Board {
         let frame = self.undo_frames.pop().expect("a recorded frame per apply");
 
         // Board bits.
-        let q = m.new_point();
+        let q: Point = m.new_point();
         self.cells[cell_index(q)] &= !OCC;
+        self.hash ^= occ_key(cell_index(q));
         self.unmark_line(m.start, m.dir);
 
         // Candidate cache: drop this move's tail additions, then re-insert
@@ -601,6 +651,57 @@ mod tests {
                 }
                 let mv = b.candidates()[rng.below(b.candidates().len())];
                 b.play_move(&mv);
+                steps += 1;
+            }
+            assert!(steps > 10, "{variant}: game should progress");
+        }
+    }
+
+    /// From-scratch recompute of the incremental Zobrist key: fold every
+    /// set occupancy and constraint bit through the same key functions.
+    fn rehash(b: &Board) -> u64 {
+        let mut h = 0u64;
+        for idx in 0..NCELLS {
+            let bits = b.cells[idx];
+            if bits & OCC != 0 {
+                h ^= occ_key(idx);
+            }
+            for d in crate::geom::DIRS {
+                if bits & used_bit(d) != 0 {
+                    h ^= line_key(idx, used_bit(d));
+                }
+                if bits & seg_bit(d) != 0 {
+                    h ^= line_key(idx, seg_bit(d));
+                }
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn state_hash_is_maintained_incrementally_along_random_games() {
+        use nmcs_core::Rng;
+        for variant in [Variant::Disjoint, Variant::Touching] {
+            let mut b = cross_board(variant, 4);
+            assert_eq!(b.state_hash(), rehash(&b), "{variant}: initial cross");
+            let mut rng = Rng::seeded(11);
+            let mut steps = 0;
+            while !b.candidates().is_empty() && steps < 40 {
+                // Every legal move round-trips the hash through apply/undo.
+                let before = b.state_hash();
+                let mv = b.candidates()[0];
+                let token = b.apply(&mv);
+                assert_eq!(b.state_hash(), rehash(&b), "{variant} step {steps}");
+                b.undo(token);
+                assert_eq!(b.state_hash(), before, "{variant} step {steps}: undo");
+
+                let mv = b.candidates()[rng.below(b.candidates().len())];
+                b.play_move(&mv);
+                assert_eq!(
+                    b.state_hash(),
+                    rehash(&b),
+                    "{variant} step {steps}: play path"
+                );
                 steps += 1;
             }
             assert!(steps > 10, "{variant}: game should progress");

@@ -74,7 +74,7 @@ pub struct AdmissionInputs {
     pub deadline_ms: Option<u64>,
 }
 
-/// Outcome of [`decide`].
+/// Outcome of [`decide`] / [`decide_open_session`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Decision {
     Admit,
@@ -85,6 +85,10 @@ pub enum Decision {
         reason: String,
         /// Suggested backoff, milliseconds.
         retry_after_ms: u64,
+        /// Stable machine-readable rejection class — the label of the
+        /// edge's shed-by-reason counter (one of
+        /// [`crate::metrics::SHED_REASONS`]).
+        kind: &'static str,
     },
 }
 
@@ -113,6 +117,7 @@ pub fn decide(inputs: &AdmissionInputs) -> Decision {
                 inputs.tenant_inflight, inputs.tenant_quota
             ),
             retry_after_ms: wait.max(250),
+            kind: "tenant-quota",
         };
     }
 
@@ -134,6 +139,7 @@ pub fn decide(inputs: &AdmissionInputs) -> Decision {
                 inputs.queue_capacity
             ),
             retry_after_ms: wait.max(250),
+            kind: "lane",
         };
     }
 
@@ -149,10 +155,45 @@ pub fn decide(inputs: &AdmissionInputs) -> Decision {
                     "deadline unmeetable (predicted queue wait {wait}ms > budget {deadline_ms}ms)"
                 ),
                 retry_after_ms: wait,
+                kind: "deadline",
             };
         }
     }
 
+    Decision::Admit
+}
+
+/// Everything the session-open decision looks at, snapshotted by the
+/// caller. Step submissions on an already-open session skip job
+/// admission — steps are strictly serial per session, so open sessions
+/// *are* the concurrency bound — which makes this the single gate a
+/// tenant's warm-tree footprint passes through.
+#[derive(Debug, Clone)]
+pub struct SessionAdmissionInputs {
+    /// Sessions this tenant already has open.
+    pub tenant_sessions: usize,
+    /// Per-tenant open-session cap.
+    pub session_quota: usize,
+}
+
+/// Decides a `POST /sessions`. Only the per-tenant quota is checked
+/// here; the engine's own session table enforces the global count and
+/// byte bounds (by LRU eviction, or `AtCapacity` when everything is
+/// busy).
+pub fn decide_open_session(inputs: &SessionAdmissionInputs) -> Decision {
+    if inputs.tenant_sessions >= inputs.session_quota {
+        return Decision::Reject {
+            status: 429,
+            reason: format!(
+                "session quota exceeded ({} of {} sessions open)",
+                inputs.tenant_sessions, inputs.session_quota
+            ),
+            // Sessions are long-lived; there is no queue model to
+            // predict from, so suggest a fixed polite backoff.
+            retry_after_ms: 1000,
+            kind: "session-quota",
+        };
+    }
     Decision::Admit
 }
 
@@ -180,6 +221,7 @@ mod tests {
                 status,
                 reason,
                 retry_after_ms,
+                ..
             } => {
                 assert_eq!(status, 429);
                 (reason, retry_after_ms)
@@ -260,6 +302,29 @@ mod tests {
         assert_eq!(predicted_wait_ms(4, 2, 50_000_000), 100);
         // Zero workers cannot divide-by-zero.
         assert_eq!(predicted_wait_ms(4, 0, 50_000_000), 200);
+    }
+
+    #[test]
+    fn session_quota_gates_opens_per_tenant() {
+        let mut i = SessionAdmissionInputs {
+            tenant_sessions: 0,
+            session_quota: 2,
+        };
+        assert_eq!(decide_open_session(&i), Decision::Admit);
+        i.tenant_sessions = 2;
+        match decide_open_session(&i) {
+            Decision::Reject {
+                status,
+                reason,
+                kind,
+                ..
+            } => {
+                assert_eq!(status, 429);
+                assert_eq!(kind, "session-quota");
+                assert!(reason.contains("session quota"), "{reason}");
+            }
+            Decision::Admit => panic!("expected rejection at quota"),
+        }
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //! | `POST /jobs` | Submit a [`wire::SubmitRequest`]; `202` with the job id, `429` when shed, `503` when full or shutting down |
 //! | `GET /jobs/{id}` | One progress snapshot (`?wait=1` blocks for the final output; `?stream=1` streams chunked progress lines until terminal) |
 //! | `DELETE /jobs/{id}` | Cancel; finished replicas keep their results |
-//! | `GET /metrics` | Prometheus text from [`MetricsSnapshot::render_text`]; `?format=json` returns the inspector snapshot verbatim |
+//! | `POST /sessions` | Open a warm-tree [`wire::OpenSessionRequest`]; `201` with the session snapshot, `429` over the tenant session quota |
+//! | `GET /sessions/{id}` | One lock-free session snapshot (steps, committed moves, score, warm bytes) |
+//! | `POST /sessions/{id}/jobs` | Submit one session step as a job; `202` with job + session ids, `409` while a step is in flight |
+//! | `DELETE /sessions/{id}` | Close; a step already in flight completes normally |
+//! | `GET /metrics` | Prometheus text from [`MetricsSnapshot::render_text`] plus the serve edge's per-route histograms and shed counters; `?format=json` returns the inspector snapshot verbatim |
 //! | `GET /healthz` | `200 ok` while accepting |
 //!
 //! ## Admission control
@@ -29,12 +33,19 @@
 
 pub mod admission;
 pub mod http;
+pub mod metrics;
 pub mod registry;
 pub mod wire;
 
-use admission::{decide, AdmissionInputs, Decision, Priority};
+use admission::{
+    decide, decide_open_session, AdmissionInputs, Decision, Priority, SessionAdmissionInputs,
+};
 use http::{HttpError, Request, Response};
-use nmcs_engine::{Engine, EngineConfig, JobId, SubmitError};
+use metrics::ServeMetrics;
+use nmcs_core::metrics::monotonic_now;
+use nmcs_engine::{
+    Engine, EngineConfig, JobId, SessionError, SessionId, SessionLimits, SubmitError,
+};
 use registry::JobDirectory;
 use serde::Value;
 use std::io::Write as _;
@@ -43,7 +54,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use wire::{to_json, SubmitRequest};
+use wire::{to_json, OpenSessionRequest, SubmitRequest};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -63,6 +74,12 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Poll interval of the progress stream.
     pub stream_interval: Duration,
+    /// Max warm-tree sessions a tenant may hold open at once
+    /// (admission quota for `POST /sessions`).
+    pub session_quota: usize,
+    /// The embedded engine's session-table bounds (idle TTL, global
+    /// count cap, summed warm-byte cap), applied at startup.
+    pub session_limits: SessionLimits,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +92,8 @@ impl Default for ServeConfig {
             retain_terminal: 256,
             read_timeout: Duration::from_secs(30),
             stream_interval: Duration::from_millis(10),
+            session_quota: 4,
+            session_limits: SessionLimits::default(),
         }
     }
 }
@@ -85,6 +104,7 @@ struct ServerCtx {
     directory: JobDirectory,
     config: ServeConfig,
     accepting: AtomicBool,
+    metrics: ServeMetrics,
 }
 
 /// A running server. Dropping without [`Server::shutdown`] also shuts
@@ -103,11 +123,13 @@ impl Server {
         let addr = listener.local_addr()?;
         let engine = Engine::start(config.engine.clone())
             .map_err(|e| std::io::Error::other(e.to_string()))?;
+        engine.set_session_limits(config.session_limits.clone());
         let ctx = Arc::new(ServerCtx {
             engine,
             directory: JobDirectory::new(config.retain_terminal),
             config,
             accepting: AtomicBool::new(true),
+            metrics: ServeMetrics::new(),
         });
         let conn_threads = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let accept_ctx = ctx.clone();
@@ -204,7 +226,13 @@ fn handle_connection(mut stream: TcpStream, ctx: Arc<ServerCtx>) {
             }
         };
         let keep_alive = request.keep_alive();
-        match route(&request, &ctx) {
+        let started = monotonic_now();
+        let routed = route(&request, &ctx);
+        // For streaming routes this measures routing + setup; the
+        // stream's own lifetime is the client's choice, not a latency.
+        ctx.metrics
+            .record_route(route_label(&request), started.elapsed());
+        match routed {
             Routed::Plain(resp) => {
                 if http::write_response(&mut stream, &resp, keep_alive).is_err() || !keep_alive {
                     return;
@@ -223,6 +251,25 @@ fn handle_connection(mut stream: TcpStream, ctx: Arc<ServerCtx>) {
 enum Routed {
     Plain(Response),
     StreamProgress(JobId),
+}
+
+/// The route template a request resolves to — the label of the edge's
+/// per-route latency histogram (a closed static set, so recording
+/// never allocates after a route's first sight).
+fn route_label(req: &Request) -> &'static str {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => "POST /jobs",
+        ("GET", ["jobs", _]) => "GET /jobs/{id}",
+        ("DELETE", ["jobs", _]) => "DELETE /jobs/{id}",
+        ("POST", ["sessions"]) => "POST /sessions",
+        ("GET", ["sessions", _]) => "GET /sessions/{id}",
+        ("POST", ["sessions", _, "jobs"]) => "POST /sessions/{id}/jobs",
+        ("DELETE", ["sessions", _]) => "DELETE /sessions/{id}",
+        ("GET", ["metrics"]) => "GET /metrics",
+        ("GET", ["healthz"]) => "GET /healthz",
+        _ => "other",
+    }
 }
 
 fn route(req: &Request, ctx: &ServerCtx) -> Routed {
@@ -246,9 +293,22 @@ fn route(req: &Request, ctx: &ServerCtx) -> Routed {
             Err(_) => json_error(404, "no such job", None),
             Ok(id) => cancel(ctx, id),
         }),
+        ("POST", ["sessions"]) => Routed::Plain(open_session(req, ctx)),
+        ("GET", ["sessions", id]) => Routed::Plain(match id.parse::<SessionId>() {
+            Err(_) => json_error(404, "no such session", None),
+            Ok(id) => session_status(ctx, id),
+        }),
+        ("POST", ["sessions", id, "jobs"]) => Routed::Plain(match id.parse::<SessionId>() {
+            Err(_) => json_error(404, "no such session", None),
+            Ok(id) => submit_session(ctx, id),
+        }),
+        ("DELETE", ["sessions", id]) => Routed::Plain(match id.parse::<SessionId>() {
+            Err(_) => json_error(404, "no such session", None),
+            Ok(id) => close_session(ctx, id),
+        }),
         ("GET", ["metrics"]) => Routed::Plain(metrics(ctx, req.query_param("format"))),
         ("GET", ["healthz"]) => Routed::Plain(Response::text(200, "ok\n".to_string())),
-        (_, ["jobs", ..]) | (_, ["metrics"]) | (_, ["healthz"]) => {
+        (_, ["jobs", ..]) | (_, ["sessions", ..]) | (_, ["metrics"]) | (_, ["healthz"]) => {
             Routed::Plain(json_error(405, "method not allowed", None))
         }
         _ => Routed::Plain(json_error(404, "no such route", None)),
@@ -299,8 +359,10 @@ fn submit(req: &Request, ctx: &ServerCtx) -> Response {
         status,
         reason,
         retry_after_ms,
+        kind,
     } = decide(&inputs)
     {
+        ctx.metrics.shed(kind);
         return json_error(status, &reason, Some(retry_after_ms));
     }
 
@@ -315,6 +377,7 @@ fn submit(req: &Request, ctx: &ServerCtx) -> Response {
             )
         }
         Err((SubmitError::QueueFull { .. }, _)) => {
+            ctx.metrics.shed("queue-full");
             let retry = admission::predicted_wait_ms(
                 stats.queue_depth,
                 stats.workers,
@@ -323,7 +386,110 @@ fn submit(req: &Request, ctx: &ServerCtx) -> Response {
             .max(250);
             json_error(503, "submission queue full", Some(retry))
         }
-        Err((SubmitError::ShuttingDown, _)) => json_error(503, "shutting down", None),
+        Err((SubmitError::ShuttingDown, _)) => {
+            ctx.metrics.shed("shutting-down");
+            json_error(503, "shutting down", None)
+        }
+    }
+}
+
+fn open_session(req: &Request, ctx: &ServerCtx) -> Response {
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(_) => return json_error(400, "body is not UTF-8", None),
+    };
+    let open_req: OpenSessionRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => return json_error(400, &format!("bad session request: {e}"), None),
+    };
+    if open_req.tenant.is_empty() {
+        return json_error(400, "tenant must be non-empty", None);
+    }
+    let game = match wire::stock_game(&open_req.game, open_req.spec.seed) {
+        Ok(g) => g,
+        Err(e) => return json_error(404, &e, None),
+    };
+    let inputs = SessionAdmissionInputs {
+        tenant_sessions: ctx.engine.tenant_sessions(&open_req.tenant),
+        session_quota: ctx.config.session_quota,
+    };
+    if let Decision::Reject {
+        status,
+        reason,
+        retry_after_ms,
+        kind,
+    } = decide_open_session(&inputs)
+    {
+        ctx.metrics.shed(kind);
+        return json_error(status, &reason, Some(retry_after_ms));
+    }
+    match ctx
+        .engine
+        .open_session_dyn(&open_req.tenant, game, open_req.spec, None)
+    {
+        Ok(id) => match ctx.engine.session_info(id) {
+            Some(info) => Response::json(201, to_json(&wire::session_value(&info))),
+            // Swept between open and poll — only possible with a zero
+            // TTL; report it as the capacity condition it is.
+            None => json_error(429, "session table at capacity", Some(1000)),
+        },
+        Err(e @ SessionError::AtCapacity { .. }) => {
+            ctx.metrics.shed("session-capacity");
+            json_error(429, &e.to_string(), Some(1000))
+        }
+        Err(e) => json_error(503, &e.to_string(), None),
+    }
+}
+
+fn session_status(ctx: &ServerCtx, id: SessionId) -> Response {
+    match ctx.engine.session_info(id) {
+        Some(info) => Response::json(200, to_json(&wire::session_value(&info))),
+        None => json_error(404, "no such session", None),
+    }
+}
+
+/// Submits one step of a session as an engine job. No job admission
+/// runs here: steps are strictly serial per session (a concurrent
+/// submit is a 409), so the open-session quota already bounds a
+/// tenant's step concurrency.
+fn submit_session(ctx: &ServerCtx, id: SessionId) -> Response {
+    let Some(info) = ctx.engine.session_info(id) else {
+        return json_error(404, "no such session", None);
+    };
+    match ctx.engine.submit_session(id) {
+        Ok(handle) => {
+            let job = handle.id();
+            ctx.directory.insert(&info.tenant, handle);
+            Response::json(
+                202,
+                to_json(&wire::session_job_accepted_value(job, id, &info.tenant)),
+            )
+        }
+        Err(SessionError::NoSuchSession(_)) => json_error(404, "no such session", None),
+        Err(e @ SessionError::StepInFlight(_)) => json_error(409, &e.to_string(), None),
+        Err(e @ SessionError::AtCapacity { .. }) => json_error(429, &e.to_string(), Some(1000)),
+        Err(SessionError::Submit(SubmitError::QueueFull { .. })) => {
+            ctx.metrics.shed("queue-full");
+            json_error(503, "submission queue full", Some(250))
+        }
+        Err(SessionError::Submit(SubmitError::ShuttingDown)) => {
+            ctx.metrics.shed("shutting-down");
+            json_error(503, "shutting down", None)
+        }
+    }
+}
+
+fn close_session(ctx: &ServerCtx, id: SessionId) -> Response {
+    if ctx.engine.close_session(id) {
+        Response::json(
+            200,
+            to_json(&Value::Object(vec![
+                ("session".to_string(), Value::U64(id)),
+                ("closed".to_string(), Value::Bool(true)),
+            ])),
+        )
+    } else {
+        json_error(404, "no such session", None)
     }
 }
 
@@ -373,7 +539,15 @@ fn metrics(ctx: &ServerCtx, format: Option<&str>) -> Response {
             Ok(json) => Response::json(200, json),
             Err(e) => json_error(500, &format!("snapshot serialisation failed: {e}"), None),
         },
-        _ => Response::text(200, snapshot.render_text()),
+        _ => {
+            // Engine/core sections first, then the serve edge's own
+            // per-route histograms and shed counters (same line
+            // grammar; the JSON format stays the inspector snapshot
+            // verbatim, which is what round-trips byte-identically).
+            let mut text = snapshot.render_text();
+            ctx.metrics.render_into(&mut text);
+            Response::text(200, text)
+        }
     }
 }
 

@@ -6,8 +6,8 @@
 //! [`Value`] trees (the engine's output types carry no serde impls, and
 //! the wire shape is a public contract this module owns).
 
-use nmcs_core::SearchSpec;
-use nmcs_engine::{JobOutput, JobSpec, JobState, Progress, ReplicaResult};
+use nmcs_core::{DynGame, SearchSpec};
+use nmcs_engine::{JobOutput, JobSpec, JobState, Progress, ReplicaResult, SessionInfo};
 use serde::{Deserialize, Serialize, Value};
 
 /// The stock games a job may name. Each position is fully determined by
@@ -44,35 +44,56 @@ pub struct SubmitRequest {
     pub ttl_ms: Option<u64>,
 }
 
-/// Builds the engine job for a submit request: the named stock game
-/// seeded from the spec, replicas applied. Errors name the unknown
-/// game (a 404, not a 400 — the route exists, the resource does not).
-pub fn build_job(req: &SubmitRequest) -> Result<JobSpec, String> {
+/// Body of `POST /sessions`: a stock game plus the spec every step of
+/// the session will run under (budget = per-step budget; `tree_reuse`
+/// on a UCT/tree-parallel algorithm makes the session warm).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenSessionRequest {
+    /// Tenant name; the session-quota key.
+    pub tenant: String,
+    /// Stock game name (see [`GAMES`]).
+    pub game: String,
+    /// The unified per-step search spec.
+    pub spec: SearchSpec,
+}
+
+/// Builds the named stock game's erased starting position. Errors name
+/// the unknown game (a 404, not a 400 — the route exists, the resource
+/// does not).
+pub fn stock_game(name: &str, seed: u64) -> Result<DynGame, String> {
     use morpion::{cross_board, standard_5d, Variant};
     use nmcs_games::{NeedleLadder, SameGame, SumGame, TspGame, TspInstance};
 
-    let spec = req.spec.clone();
-    let seed = spec.seed;
-    let tenant = req.tenant.as_str();
-    let job = match req.game.as_str() {
-        "samegame" => JobSpec::from_spec(tenant, SameGame::random(10, 10, 4, seed), spec),
-        "samegame-small" => JobSpec::from_spec(tenant, SameGame::random(6, 6, 3, seed), spec),
-        "morpion" => JobSpec::from_spec(tenant, standard_5d(), spec),
-        "morpion-c3" => JobSpec::from_spec(tenant, cross_board(Variant::Disjoint, 3), spec),
-        "tsp" => JobSpec::from_spec(
-            tenant,
-            TspGame::new(TspInstance::random(12, seed), None),
-            spec,
-        ),
-        "sum" => JobSpec::from_spec(tenant, SumGame::random(6, 4, seed), spec),
-        "needle" => JobSpec::from_spec(tenant, NeedleLadder::new(10), spec),
+    Ok(match name {
+        "samegame" => DynGame::new(SameGame::random(10, 10, 4, seed)),
+        "samegame-small" => DynGame::new(SameGame::random(6, 6, 3, seed)),
+        "morpion" => DynGame::new(standard_5d()),
+        "morpion-c3" => DynGame::new(cross_board(Variant::Disjoint, 3)),
+        "tsp" => DynGame::new(TspGame::new(TspInstance::random(12, seed), None)),
+        "sum" => DynGame::new(SumGame::random(6, 4, seed)),
+        "needle" => DynGame::new(NeedleLadder::new(10)),
         other => {
             return Err(format!(
                 "unknown game '{other}' (expected one of {GAMES:?})"
             ));
         }
-    };
-    Ok(job.with_replicas(req.replicas.unwrap_or(1).max(1)))
+    })
+}
+
+/// Builds the engine job for a submit request: the named stock game
+/// seeded from the spec, replicas applied.
+pub fn build_job(req: &SubmitRequest) -> Result<JobSpec, String> {
+    let game = stock_game(&req.game, req.spec.seed)?;
+    let spec = req.spec.clone();
+    Ok(JobSpec {
+        name: req.tenant.clone(),
+        game,
+        algorithm: spec.algorithm,
+        seed: spec.seed,
+        budget: spec.budget,
+        replicas: req.replicas.unwrap_or(1).max(1),
+        diversify_policies: false,
+    })
 }
 
 pub fn state_str(state: JobState) -> &'static str {
@@ -183,6 +204,33 @@ pub fn output_value(o: &JobOutput) -> Value {
             ),
         ),
         ("elapsed_ms", ms(o.elapsed)),
+    ])
+}
+
+/// One session snapshot: `201 Created` body of `POST /sessions` and
+/// the `GET /sessions/{id}` body.
+pub fn session_value(s: &SessionInfo) -> Value {
+    obj(vec![
+        ("session", Value::U64(s.id)),
+        ("tenant", Value::Str(s.tenant.clone())),
+        ("steps", Value::U64(s.steps as u64)),
+        ("committed", Value::U64(s.committed as u64)),
+        ("score", Value::I64(s.score)),
+        ("done", Value::Bool(s.done)),
+        ("warm", Value::Bool(s.warm)),
+        ("bytes", Value::U64(s.bytes as u64)),
+        ("busy", Value::Bool(s.busy)),
+    ])
+}
+
+/// `202 Accepted` body for a session step: the job id to poll plus the
+/// session it advances.
+pub fn session_job_accepted_value(job: u64, session: u64, tenant: &str) -> Value {
+    obj(vec![
+        ("job", Value::U64(job)),
+        ("session", Value::U64(session)),
+        ("tenant", Value::Str(tenant.to_string())),
+        ("state", Value::Str("queued".to_string())),
     ])
 }
 

@@ -1,0 +1,261 @@
+//! Session lifecycle edge tests for the engine's warm-tree sessions:
+//! TTL expiry, byte-bound eviction (the gauge plateaus), cancellation
+//! mid-step (the session survives, nothing commits), budget-tripped
+//! steps (commit normally, session stays usable), strict step
+//! serialisation, and close-while-stepping.
+
+use pnmcs::engine::{Engine, EngineConfig, JobState, SessionError, SessionLimits};
+use pnmcs::games::SameGame;
+use pnmcs::search::nrpa::CodedGame;
+use pnmcs::search::{DynGame, Game, Score, SearchSpec};
+use std::time::Duration;
+
+fn engine() -> Engine {
+    Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+    })
+    .expect("valid test configuration")
+}
+
+fn warm_spec(seed: u64) -> SearchSpec {
+    SearchSpec::uct().tree_reuse(true).seed(seed).build()
+}
+
+/// A walk whose every move sleeps, so a step reliably outlives the few
+/// milliseconds a test needs to act while it is in flight.
+#[derive(Clone)]
+struct SlowWalk {
+    taken: Vec<u8>,
+    depth: usize,
+    pace: Duration,
+}
+
+impl SlowWalk {
+    fn new(depth: usize, pace: Duration) -> Self {
+        SlowWalk {
+            taken: Vec::new(),
+            depth,
+            pace,
+        }
+    }
+}
+
+impl Game for SlowWalk {
+    type Move = u8;
+    fn legal_moves(&self, out: &mut Vec<u8>) {
+        if self.taken.len() < self.depth {
+            out.extend_from_slice(&[0, 1]);
+        }
+    }
+    fn play(&mut self, mv: &u8) {
+        std::thread::sleep(self.pace);
+        self.taken.push(*mv);
+    }
+    fn score(&self) -> Score {
+        self.taken.iter().map(|&m| m as Score).sum()
+    }
+    fn moves_played(&self) -> usize {
+        self.taken.len()
+    }
+}
+
+impl CodedGame for SlowWalk {
+    fn move_code(&self, mv: &u8) -> u64 {
+        ((self.taken.len() as u64) << 1) | *mv as u64
+    }
+}
+
+#[test]
+fn idle_sessions_expire_after_their_ttl() {
+    let e = engine();
+    e.set_session_limits(SessionLimits {
+        ttl: Duration::from_millis(5),
+        ..Default::default()
+    });
+    let id = e
+        .open_session("ttl", SameGame::random(5, 5, 3, 1), warm_spec(1))
+        .expect("under every bound");
+    assert!(e.session_info(id).is_some());
+    std::thread::sleep(Duration::from_millis(40));
+    let stats = e.session_stats(); // the access-driven sweep
+    assert_eq!(stats.open, 0, "idle past TTL");
+    assert_eq!(stats.expired, 1);
+    assert!(e.session_info(id).is_none());
+    e.shutdown();
+}
+
+#[test]
+fn byte_bound_eviction_keeps_the_gauge_plateaued() {
+    let e = engine();
+    let bound = 512 * 1024;
+    e.set_session_limits(SessionLimits {
+        max_bytes: bound,
+        ..Default::default()
+    });
+    // Each warm session carries a ~100 KiB transposition-table backing
+    // from the moment it opens (the 256 KiB budget rounds down to a
+    // power-of-two set count); twelve of them far exceed the bound.
+    let mut peak = 0;
+    for i in 0..12u64 {
+        e.open_session_dyn(
+            "bytes",
+            DynGame::new(SameGame::random(5, 5, 3, i)),
+            warm_spec(i),
+            Some(256 * 1024),
+        )
+        .expect("eviction always frees an idle slot");
+        peak = peak.max(e.session_stats().bytes);
+    }
+    let stats = e.session_stats();
+    assert!(
+        stats.bytes <= bound,
+        "after a sweep the gauge is under the bound: {} > {bound}",
+        stats.bytes
+    );
+    assert!(stats.evicted >= 4, "churn evicted LRU sessions: {stats:?}");
+    assert!(stats.open >= 1, "the newest sessions survive: {stats:?}");
+    // The plateau: at no point did the table hold more than the bound
+    // plus the one just-opened session the next sweep trims.
+    assert!(
+        peak <= bound + 300 * 1024,
+        "gauge must plateau near the bound, peaked at {peak}"
+    );
+    e.shutdown();
+}
+
+#[test]
+fn cancelling_a_warm_step_commits_nothing_and_keeps_the_session() {
+    let e = engine();
+    let id = e
+        .open_session(
+            "cancel",
+            SlowWalk::new(40, Duration::from_millis(1)),
+            warm_spec(2),
+        )
+        .unwrap();
+    let h = e.submit_session(id).unwrap();
+    assert!(e.session_info(id).unwrap().busy, "busy from submission");
+    // Let the worker get into the search, then cancel mid-step.
+    std::thread::sleep(Duration::from_millis(10));
+    h.cancel();
+    let out = h.join();
+    assert_eq!(out.state, JobState::Cancelled);
+    let info = e.session_info(id).expect("session survives cancellation");
+    assert!(!info.busy, "the step released its in-flight flag");
+    assert_eq!(info.committed, 0, "cancelled steps commit nothing");
+    assert!(!info.done, "position is untouched");
+    e.shutdown();
+}
+
+#[test]
+fn budget_tripped_steps_commit_and_the_session_stays_usable() {
+    let e = engine();
+    let spec = SearchSpec::uct()
+        .tree_reuse(true)
+        .seed(9)
+        .max_playouts(16)
+        .build();
+    let id = e
+        .open_session("budget", SameGame::random(6, 6, 3, 7), spec)
+        .unwrap();
+    let out = e.submit_session(id).unwrap().join();
+    assert_eq!(out.state, JobState::Completed);
+    let best = out.best.as_ref().expect("one replica ran");
+    assert!(best.interrupted.is_some(), "a 16-playout budget trips");
+    let info = e.session_info(id).unwrap();
+    assert_eq!(info.committed, 1, "best-so-far head was committed");
+    assert_eq!(info.steps, 1);
+    assert!(!info.busy);
+    // The trip did not poison the session: the next step commits too.
+    let out = e.submit_session(id).unwrap().join();
+    assert_eq!(out.state, JobState::Completed);
+    assert_eq!(e.session_info(id).unwrap().committed, 2);
+    e.shutdown();
+}
+
+#[test]
+fn steps_are_strictly_serial_and_busy_sessions_resist_eviction() {
+    let e = engine();
+    let id = e
+        .open_session(
+            "serial",
+            SlowWalk::new(40, Duration::from_millis(1)),
+            warm_spec(3),
+        )
+        .unwrap();
+    let h = e.submit_session(id).unwrap();
+    match e.submit_session(id) {
+        Err(SessionError::StepInFlight(i)) => assert_eq!(i, id),
+        other => panic!("expected StepInFlight, got {other:?}"),
+    }
+    // With the only session busy, a count-bound open has nothing to
+    // evict and must fail typed instead of dropping a running step.
+    e.set_session_limits(SessionLimits {
+        max_sessions: 1,
+        ..Default::default()
+    });
+    match e.open_session("other", SameGame::random(4, 4, 3, 1), warm_spec(1)) {
+        Err(SessionError::AtCapacity { open: 1, max: 1 }) => {}
+        other => panic!("expected AtCapacity, got {other:?}"),
+    }
+    h.cancel();
+    assert_eq!(h.join().state, JobState::Cancelled);
+    // Idle again: the same open now evicts the LRU session instead.
+    let id2 = e
+        .open_session("other", SameGame::random(4, 4, 3, 1), warm_spec(1))
+        .expect("idle LRU session is evictable");
+    assert!(e.session_info(id).is_none(), "old session was evicted");
+    assert!(e.session_info(id2).is_some());
+    e.shutdown();
+}
+
+#[test]
+fn closing_mid_step_unlists_while_the_step_finishes_on_its_own() {
+    let e = engine();
+    let id = e
+        .open_session(
+            "close",
+            SlowWalk::new(30, Duration::from_micros(500)),
+            warm_spec(5),
+        )
+        .unwrap();
+    let h = e.submit_session(id).unwrap();
+    assert!(e.close_session(id), "close unlists an open session");
+    assert!(e.session_info(id).is_none());
+    assert!(!e.close_session(id), "second close is a no-op");
+    assert!(matches!(
+        e.submit_session(id),
+        Err(SessionError::NoSuchSession(_))
+    ));
+    // The in-flight step still terminates cleanly on its own reference.
+    h.cancel();
+    assert!(h.join().state.is_terminal());
+    e.shutdown();
+}
+
+#[test]
+fn engine_sessions_step_deterministically() {
+    let e = engine();
+    let spec = SearchSpec::uct()
+        .tree_reuse(true)
+        .seed(4)
+        .max_playouts(64)
+        .build();
+    let run = || {
+        let id = e
+            .open_session("det", SameGame::random(5, 5, 3, 2), spec.clone())
+            .unwrap();
+        let mut scores = Vec::new();
+        for _ in 0..3 {
+            let out = e.submit_session(id).unwrap().join();
+            assert_eq!(out.state, JobState::Completed);
+            scores.push(out.best.as_ref().map(|b| b.result.score));
+        }
+        let info = e.session_info(id).unwrap();
+        assert!(e.close_session(id));
+        (scores, info.committed, info.score)
+    };
+    assert_eq!(run(), run(), "width-1 warm sessions are deterministic");
+    e.shutdown();
+}

@@ -1,0 +1,200 @@
+//! Property tests for the PR-10 session plumbing's two compatibility
+//! contracts:
+//!
+//! 1. **Serde back-compat** — `tree_reuse: false` is the wire default:
+//!    legacy JSON rows (persisted before the knob existed, so carrying
+//!    no `tree_reuse` field) deserialise to exactly the spec the
+//!    builder produces today, and running either spec is bit-identical
+//!    (score, sequence, counters) on every backend. Stripping the field
+//!    from a *warm* spec must conversely turn the knob off — legacy
+//!    rows can never accidentally resurrect as warm sessions.
+//!
+//! 2. **`state_hash` round-trip** — on every real domain, the hash a
+//!    session keys its transposition table with survives the undo
+//!    journal: `apply` then `undo` restores the pre-apply hash exactly,
+//!    and the apply-path hash equals the play-path hash for the same
+//!    move. Without this, a warm tree re-rooted after an undo-backed
+//!    search would look up poisoned entries.
+
+use pnmcs::games::{NeedleLadder, SameGame, SumGame, TspGame, TspInstance};
+use pnmcs::morpion::{cross_board, Variant};
+use pnmcs::search::{DynGame, Game, Rng, SearchReport, SearchSpec};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+
+/// Removes every `tree_reuse` field from a JSON tree, reproducing the
+/// exact shape pre-knob persisted rows have on disk.
+fn strip_tree_reuse(v: &Value) -> Value {
+    match v {
+        Value::Array(items) => Value::Array(items.iter().map(strip_tree_reuse).collect()),
+        Value::Object(fields) => Value::Object(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "tree_reuse")
+                .map(|(k, field)| (k.clone(), strip_tree_reuse(field)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// One spec per backend, parallel ones at width 1 so a run is
+/// bit-reproducible and the legacy/current comparison cannot flake.
+fn backends(seed: u64) -> Vec<SearchSpec> {
+    vec![
+        SearchSpec::sample().seed(seed).build(),
+        SearchSpec::nested(1).seed(seed).build(),
+        SearchSpec::nrpa(1).seed(seed).build(),
+        SearchSpec::flat_mc(16).seed(seed).build(),
+        SearchSpec::iterated_sampling(8).seed(seed).build(),
+        SearchSpec::beam(2, 4).seed(seed).build(),
+        SearchSpec::simulated_annealing().seed(seed).build(),
+        SearchSpec::uct().seed(seed).max_playouts(64).build(),
+        SearchSpec::leaf(1, 2, 1).seed(seed).build(),
+        SearchSpec::root_parallel(2, 1).seed(seed).build(),
+        SearchSpec::tree_parallel(1)
+            .seed(seed)
+            .max_playouts(64)
+            .build(),
+    ]
+}
+
+/// The observable outcome of a run: everything a persisted report
+/// records except wall-clock time.
+fn fingerprint(spec: &SearchSpec, game: &SumGame) -> (i64, Vec<u8>, u64, u64, bool) {
+    let r: SearchReport<u8> = spec.run(game);
+    (
+        r.score,
+        r.sequence,
+        r.stats.playouts,
+        r.stats.work_units,
+        r.interrupted.is_some(),
+    )
+}
+
+/// Drives a random walk over `game`, checking at every position that
+/// the undo journal restores `state_hash` exactly and that the
+/// apply-path and play-path hashes agree. Plain asserts (not
+/// `prop_assert`) so the helper stays generic over `G`.
+fn check_hash_walk<G: Game>(mut game: G, seed: u64, cap: usize) {
+    let mut rng = Rng::seeded(seed);
+    let mut moves = Vec::new();
+    for _ in 0..cap {
+        moves.clear();
+        game.legal_moves(&mut moves);
+        if moves.is_empty() {
+            break;
+        }
+        let mv = &moves[rng.below(moves.len())];
+        let before = game.state_hash();
+        let token = game.apply(mv);
+        let after = game.state_hash();
+        game.undo(token);
+        assert_eq!(
+            game.state_hash(),
+            before,
+            "undo must restore the pre-apply hash (move {})",
+            game.moves_played()
+        );
+        game.play(mv);
+        assert_eq!(
+            game.state_hash(),
+            after,
+            "play and apply must hash the same position identically (move {})",
+            game.moves_played()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // -- contract 1: legacy JSON ≡ tree_reuse: false ------------------
+
+    #[test]
+    fn legacy_json_without_the_knob_is_bit_identical_on_every_backend(
+        seed in 0u64..500,
+    ) {
+        let game = SumGame::random(4, 3, seed);
+        for spec in backends(seed) {
+            let legacy = strip_tree_reuse(&spec.to_value());
+            let revived = SearchSpec::from_value(&legacy)
+                .expect("legacy rows must keep deserialising");
+            // The knobless wire form IS the reuse-off spec...
+            prop_assert_eq!(&revived, &spec, "legacy JSON must mean reuse-off");
+            // ...and runs exactly as the pre-PR backend did.
+            prop_assert_eq!(
+                fingerprint(&revived, &game),
+                fingerprint(&spec, &game),
+                "legacy and current specs must run bit-identically: {:?}",
+                spec.algorithm.label()
+            );
+        }
+    }
+
+    #[test]
+    fn serialisation_always_records_the_knob_on_tree_backends(
+        seed in 0u64..500, reuse_bit in 0u8..2,
+    ) {
+        let reuse = reuse_bit == 1;
+        for spec in [
+            SearchSpec::uct().tree_reuse(reuse).seed(seed).build(),
+            SearchSpec::tree_parallel(1).tree_reuse(reuse).seed(seed).build(),
+        ] {
+            let json = serde_json::to_string(&spec).expect("specs serialise");
+            prop_assert!(
+                json.contains("\"tree_reuse\""),
+                "new rows must be self-describing: {json}"
+            );
+            let round: SearchSpec = serde_json::from_str(&json).expect("round-trips");
+            prop_assert_eq!(round, spec);
+        }
+    }
+
+    #[test]
+    fn stripping_a_warm_spec_turns_the_knob_off(seed in 0u64..500) {
+        for warm in [
+            SearchSpec::uct().tree_reuse(true).seed(seed).build(),
+            SearchSpec::tree_parallel(1).tree_reuse(true).seed(seed).build(),
+        ] {
+            let cold = SearchSpec::from_value(&strip_tree_reuse(&warm.to_value()))
+                .expect("stripped specs deserialise");
+            // The knob must survive the wire, and warm/cold specs must
+            // never share a dedup tag.
+            prop_assert_ne!(&cold, &warm);
+            prop_assert_ne!(cold.algorithm.tag(), warm.algorithm.tag());
+        }
+    }
+
+    // -- contract 2: state_hash survives apply/undo -------------------
+
+    #[test]
+    fn state_hash_round_trips_on_samegame(seed in 0u64..1000) {
+        check_hash_walk(SameGame::random(5, 5, 3, seed), seed, 64);
+    }
+
+    #[test]
+    fn state_hash_round_trips_on_morpion(seed in 0u64..1000) {
+        check_hash_walk(cross_board(Variant::Disjoint, 3), seed, 48);
+    }
+
+    #[test]
+    fn state_hash_round_trips_on_tsp(seed in 0u64..1000) {
+        check_hash_walk(TspGame::new(TspInstance::random(7, seed), None), seed, 16);
+    }
+
+    #[test]
+    fn state_hash_round_trips_on_toy_games(seed in 0u64..1000) {
+        check_hash_walk(SumGame::random(5, 4, seed), seed, 16);
+        check_hash_walk(NeedleLadder::new(6), seed, 16);
+    }
+
+    #[test]
+    fn state_hash_round_trips_through_erasure(seed in 0u64..1000) {
+        // The erased wrapper must preserve the inner game's hash
+        // discipline — sessions opened over the HTTP surface only ever
+        // see a `DynGame`.
+        check_hash_walk(DynGame::new(SameGame::random(5, 5, 3, seed)), seed, 48);
+        check_hash_walk(DynGame::new(SumGame::random(5, 4, seed)), seed, 16);
+    }
+}
